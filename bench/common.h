@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: the ten
+ * paper testcases with generated workloads, per-preset calibrated
+ * CTA configurations, and the standard platform set.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "cta/config.h"
+#include "cta_accel/accelerator.h"
+#include "nn/model_zoo.h"
+#include "nn/workload.h"
+
+namespace bench {
+
+using cta::core::Index;
+using cta::core::Matrix;
+
+/** One instantiated testcase: config + sampled tokens + head. */
+struct Case
+{
+    cta::nn::Testcase testcase;
+    Matrix tokens;     ///< calibration sequence
+    Matrix evalTokens; ///< held-out sequence for measurement
+    cta::nn::AttentionHeadParams head;
+};
+
+/** Instantiates the ten paper testcases at a sequence length. */
+inline std::vector<Case>
+makeCases(Index seq_len = 512, std::uint64_t seed = 42)
+{
+    std::vector<Case> cases;
+    for (const auto &tc : cta::nn::paperTestcases(seq_len)) {
+        cta::nn::WorkloadGenerator gen(tc.workload,
+                                       seed + cases.size());
+        cta::core::Rng head_rng(seed * 1000 + cases.size());
+        Matrix calib = gen.sampleTokens();
+        Matrix eval = gen.sampleTokens();
+        cases.push_back(Case{
+            tc, std::move(calib), std::move(eval),
+            cta::nn::AttentionHeadParams::randomInit(
+                tc.workload.tokenDim, tc.model.dHead, head_rng)});
+    }
+    return cases;
+}
+
+/** Calibrates a preset on a case's representative sequence. */
+inline cta::alg::CtaConfig
+calibrated(const Case &c, cta::alg::Preset preset)
+{
+    return cta::alg::calibrate(c.tokens, c.tokens, preset, 6,
+                               /*seed=*/7);
+}
+
+/** The three CTA presets in paper order. */
+inline std::vector<cta::alg::Preset>
+allPresets()
+{
+    return {cta::alg::Preset::Cta0, cta::alg::Preset::Cta05,
+            cta::alg::Preset::Cta1};
+}
+
+/** Prints a bench banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/**
+ * Writes a rendered table as results/<name>.csv (plot-ready data for
+ * the figure the bench reproduces). Commas inside cells are replaced
+ * with semicolons to keep the format trivial.
+ */
+inline void
+writeCsv(const std::string &name,
+         const std::vector<std::vector<std::string>> &rows)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (ec)
+        return; // best-effort: benches still print to stdout
+    std::ofstream out("results/" + name + ".csv");
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string cell = row[c];
+            for (auto &ch : cell)
+                if (ch == ',')
+                    ch = ';';
+            out << cell;
+            if (c + 1 < row.size())
+                out << ',';
+        }
+        out << '\n';
+    }
+    std::printf("[data written to results/%s.csv]\n", name.c_str());
+}
+
+} // namespace bench

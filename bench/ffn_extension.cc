@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quantifies the paper's closing claim (SVI-C / SVII): extending the
+ * CTA systolic array to also execute the FFN "further promotes" the
+ * end-to-end speedup. Three deployments are compared at n = 512 and
+ * n = 2048:
+ *
+ *   A. GPU only (baseline);
+ *   B. attention on 12 x CTA, FFN + rest on GPU (the paper's main
+ *      end-to-end configuration);
+ *   C. attention AND FFN on 12 x CTA (FFN over the compressed tokens,
+ *      expanded through CT0), remainder on GPU.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "cta_accel/ffn_mapper.h"
+#include "gpu/gpu_model.h"
+#include "sim/report.h"
+
+namespace {
+
+constexpr int kUnits = 12;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("FFN-on-SA extension: end-to-end speedup "
+                  "(paper SVI-C closing claim)");
+    const cta::gpu::GpuModel gpu;
+    const auto tech = cta::sim::TechParams::smic40nmClass();
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"model", "n", "attention-only speedup",
+                    "attention+FFN speedup"});
+    for (const cta::core::Index n : {512, 2048}) {
+        cta::accel::HwConfig hw = cta::accel::HwConfig::paperDefault();
+        hw.maxSeqLen = n;
+        const cta::accel::CtaAccelerator accel(hw, tech);
+        const cta::accel::FfnMapper ffn(hw);
+        auto cases = bench::makeCases(n);
+        for (const auto &c : cases) {
+            if (c.testcase.workload.name != "squad1-like")
+                continue;
+            const auto config =
+                bench::calibrated(c, cta::alg::Preset::Cta05);
+            const auto r = accel.run(c.tokens, c.tokens, c.head,
+                                     config, "CTA");
+            const double t_attn_gpu = gpu.exactAttentionSeconds(
+                n, n, c.tokens.cols(), c.testcase.model.dHead);
+            const double t_attn_cta = r.report.seconds() / kUnits;
+
+            // Time shares at n = 512, scaled like the end2end bench.
+            const double f512 = static_cast<double>(
+                c.testcase.model.attentionFraction);
+            const double scale = static_cast<double>(n) / 512.0;
+            const double attn_t = f512 * std::pow(scale, 1.6);
+            const double rest_t = (1.0 - f512) * scale;
+            // The FFN is the bulk of the non-attention work
+            // (~75 % of it in BERT-class models).
+            const double ffn_share = 0.75;
+            const double f_attn = attn_t / (attn_t + rest_t);
+            const double f_ffn =
+                rest_t * ffn_share / (attn_t + rest_t);
+            const double f_rest = 1.0 - f_attn - f_ffn;
+
+            const double attn_ratio = t_attn_cta / t_attn_gpu;
+
+            // FFN on the SA, over compressed tokens: per 64-dim
+            // model slice, tokens = k0. GPU reference from the same
+            // roofline at gemm efficiency.
+            const auto ffn_r = ffn.runCompressed(
+                r.algorithm.stats.k0, 64, 256);
+            const double t_ffn_cta = static_cast<double>(
+                ffn_r.cycles) / 1e9 / kUnits;
+            const double t_ffn_gpu =
+                static_cast<double>(ffn_r.macs) * 2.0 *
+                (static_cast<double>(n) /
+                 static_cast<double>(r.algorithm.stats.k0)) /
+                (gpu.params().peakFp32Tflops * 1e12 * 0.35);
+            const double ffn_ratio =
+                std::min(1.0, t_ffn_cta / t_ffn_gpu);
+
+            const double speedup_b =
+                1.0 / (f_rest + f_ffn + f_attn * attn_ratio);
+            const double speedup_c = 1.0 /
+                (f_rest + f_ffn * ffn_ratio + f_attn * attn_ratio);
+            rows.push_back({c.testcase.model.name, std::to_string(n),
+                            cta::sim::fmtRatio(speedup_b, 2),
+                            cta::sim::fmtRatio(speedup_c, 2)});
+        }
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("ffn_extension", rows);
+    std::printf("\n(paper: attention-only 1.9-2.0x at n=512; FFN "
+                "extension 'further promotes' end-to-end speedup)\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: model accuracy and the computation
+ * ratios RL (linears) / RA (attention calculations) for CTA-0,
+ * CTA-0.5 and CTA-1 over the ten model-dataset combinations.
+ *
+ * Accuracy substitution (DESIGN.md #2.1): accuracy is the proxy-task
+ * label-agreement rate between CTA output and exact-attention output
+ * over sampled sequences (100 % = no accuracy loss), plus the mean
+ * output cosine as a second fidelity signal.
+ *
+ * Paper reference averages: CTA-0 / CTA-0.5 / CTA-1 consume
+ * 58.3 / 52.2 / 44.4 % linear computation and
+ * 35.2 / 27.5 / 18.4 % attention computation, at 0 / 0.5 / 1 %
+ * accuracy loss.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "cta/error.h"
+#include "sim/report.h"
+
+namespace {
+
+constexpr int kSamplesPerCase = 6;
+
+struct PresetAverages
+{
+    double acc = 0, rl = 0, ra = 0, cosine = 0;
+    int count = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 11: accuracy and RL/RA for CTA presets "
+                  "over 10 testcases");
+    auto cases = bench::makeCases(512);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"testcase", "preset", "accuracy", "cosine", "RL",
+                    "RA"});
+    std::vector<PresetAverages> avgs(3);
+
+    for (const auto &c : cases) {
+        cta::nn::WorkloadGenerator gen(c.testcase.workload, 1234);
+        // Pre-sample shared sequences so every preset sees the same
+        // data (paired comparison).
+        std::vector<cta::core::Matrix> sequences;
+        for (int s = 0; s < kSamplesPerCase; ++s)
+            sequences.push_back(gen.sampleTokens());
+
+        const cta::nn::ProxyTask task(c.testcase.workload.tokenDim,
+                                      c.testcase.model.dHead, 8,
+                                      /*seed=*/99);
+        int preset_idx = 0;
+        for (const auto preset : bench::allPresets()) {
+            const auto config = bench::calibrated(c, preset);
+            double agree = 0;
+            double cosine = 0, rl = 0, ra = 0;
+            for (const auto &x : sequences) {
+                const auto exact =
+                    exactAttention(x, x, task.head());
+                const auto approx =
+                    cta::alg::ctaAttention(x, x, task.head(), config);
+                agree +=
+                    task.confidentAgreement(exact, approx.output);
+                const auto err =
+                    cta::alg::compareOutputs(approx.output, exact);
+                cosine += err.meanCosine;
+                rl += approx.measuredRl();
+                ra += approx.measuredRa();
+            }
+            const double acc = agree / kSamplesPerCase;
+            cosine /= kSamplesPerCase;
+            rl /= kSamplesPerCase;
+            ra /= kSamplesPerCase;
+            rows.push_back({c.testcase.name,
+                            cta::alg::presetName(preset),
+                            cta::sim::fmtPercent(acc),
+                            cta::sim::fmt(cosine, 4),
+                            cta::sim::fmtPercent(rl),
+                            cta::sim::fmtPercent(ra)});
+            auto &avg = avgs[static_cast<std::size_t>(preset_idx)];
+            avg.acc += acc;
+            avg.rl += rl;
+            avg.ra += ra;
+            avg.cosine += cosine;
+            ++avg.count;
+            ++preset_idx;
+        }
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("fig11_accuracy_compression", rows);
+
+    std::printf("\naverages over the 10 testcases:\n");
+    std::vector<std::vector<std::string>> avg_rows;
+    avg_rows.push_back({"preset", "accuracy", "RL", "RA",
+                        "paper RL", "paper RA"});
+    const char *paper_rl[3] = {"58.3%", "52.2%", "44.4%"};
+    const char *paper_ra[3] = {"35.2%", "27.5%", "18.4%"};
+    int i = 0;
+    for (const auto preset : bench::allPresets()) {
+        const auto &avg = avgs[static_cast<std::size_t>(i)];
+        avg_rows.push_back({cta::alg::presetName(preset),
+                            cta::sim::fmtPercent(avg.acc / avg.count),
+                            cta::sim::fmtPercent(avg.rl / avg.count),
+                            cta::sim::fmtPercent(avg.ra / avg.count),
+                            paper_rl[i], paper_ra[i]});
+        ++i;
+    }
+    std::fputs(cta::sim::renderTable(avg_rows).c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12.
+ *
+ * Left: normalized attention-mechanism throughput of
+ *   GPU (V100), ELSA-Conservative+GPU, ELSA-Aggressive+GPU and
+ *   12 x CTA-0 / CTA-0.5 / CTA-1, over the ten testcases (geomean).
+ *   Paper reference: CTA-0/0.5/1 = 27.7x / 33.8x / 44.2x over GPU
+ *   and 18.3x / 22.1x / 28.7x over ELSA-Aggressive+GPU.
+ *
+ * Right: CTA latency breakdown (token compression / linears /
+ *   attention) and CTA latency relative to the iso-multiplier ideal
+ *   accelerator. Paper reference: 7 / 34 / 59 % breakdown;
+ *   CTA-0/0.5/1 at 41 / 34 / 26 % of ideal latency.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/ideal_accel.h"
+#include "bench/common.h"
+#include "core/stats.h"
+#include "elsa/elsa_accel.h"
+#include "elsa/elsa_system.h"
+#include "gpu/gpu_model.h"
+#include "sim/report.h"
+
+namespace {
+
+constexpr cta::core::Index kUnits = 12; // 12 x CTA vs 12 x ELSA
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 12 left: normalized attention throughput");
+    auto cases = bench::makeCases(512);
+    const cta::gpu::GpuModel gpu;
+    const cta::sim::TechParams tech =
+        cta::sim::TechParams::smic40nmClass();
+    const cta::accel::CtaAccelerator accel(
+        cta::accel::HwConfig::paperDefault(), tech);
+    const cta::elsa::ElsaAccelerator elsa_accel(
+        cta::elsa::ElsaHwConfig::paperDefault(), tech);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"testcase", "ELSA-Cons+GPU", "ELSA-Aggr+GPU",
+                    "CTA-0", "CTA-0.5", "CTA-1"});
+
+    std::vector<double> sp_elsa_c, sp_elsa_a;
+    std::vector<std::vector<double>> sp_cta(3);
+    // Latency-breakdown accumulators (CTA-0.5 representative run).
+    double comp_sum = 0, lin_sum = 0, attn_sum = 0;
+    std::vector<std::vector<double>> vs_ideal(3);
+
+    for (const auto &c : cases) {
+        const auto n = c.tokens.rows();
+        const double t_gpu = gpu.exactAttentionSeconds(
+            n, n, c.tokens.cols(), c.testcase.model.dHead);
+        const double t_gpu_lin = gpu.linearSeconds(
+            n, n, c.tokens.cols(), c.testcase.model.dHead);
+
+        std::vector<std::string> row{c.testcase.name};
+        // ELSA systems.
+        for (const auto preset :
+             {cta::elsa::ElsaPreset::Conservative,
+              cta::elsa::ElsaPreset::Aggressive}) {
+            const auto r = elsa_accel.run(
+                c.evalTokens, c.evalTokens, c.head,
+                cta::elsa::ElsaConfig::fromPreset(preset),
+                elsaPresetName(preset));
+            const auto sys = cta::elsa::combineWithGpu(
+                r, t_gpu_lin, gpu.params().boardPowerW, kUnits);
+            const double t_sys = sys.gpuSeconds + sys.elsaSeconds;
+            const double speedup = t_gpu / t_sys;
+            row.push_back(cta::sim::fmtRatio(speedup));
+            (preset == cta::elsa::ElsaPreset::Conservative
+                 ? sp_elsa_c : sp_elsa_a).push_back(speedup);
+        }
+        // CTA presets.
+        int pi = 0;
+        const cta::baseline::IdealAccelerator ideal(
+            accel.config().multiplierCount());
+        const double t_ideal =
+            static_cast<double>(ideal.exactAttentionCycles(
+                n, n, c.tokens.cols(), c.testcase.model.dHead)) /
+            1e9 / kUnits;
+        for (const auto preset : bench::allPresets()) {
+            const auto config = bench::calibrated(c, preset);
+            const auto r = accel.run(c.evalTokens, c.evalTokens, c.head,
+                                     config,
+                                     cta::alg::presetName(preset));
+            const double t_cta = r.report.seconds() / kUnits;
+            const double speedup = t_gpu / t_cta;
+            row.push_back(cta::sim::fmtRatio(speedup));
+            sp_cta[static_cast<std::size_t>(pi)].push_back(speedup);
+            vs_ideal[static_cast<std::size_t>(pi)].push_back(
+                t_cta / t_ideal);
+            if (preset == cta::alg::Preset::Cta05) {
+                const auto &lat = r.report.latency;
+                comp_sum += static_cast<double>(
+                    lat.tokenCompression) / lat.total();
+                lin_sum +=
+                    static_cast<double>(lat.linears) / lat.total();
+                attn_sum +=
+                    static_cast<double>(lat.attention) / lat.total();
+            }
+            ++pi;
+        }
+        rows.push_back(row);
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("fig12_throughput", rows);
+
+    std::printf("\ngeomean speedup over GPU (paper: CTA 27.7x / "
+                "33.8x / 44.2x):\n");
+    std::vector<std::vector<std::string>> geo;
+    geo.push_back({"platform", "geomean vs GPU"});
+    geo.push_back({"ELSA-Conservative+GPU",
+                   cta::sim::fmtRatio(cta::core::geomean(sp_elsa_c))});
+    geo.push_back({"ELSA-Aggressive+GPU",
+                   cta::sim::fmtRatio(cta::core::geomean(sp_elsa_a))});
+    const char *names[3] = {"CTA-0", "CTA-0.5", "CTA-1"};
+    for (int i = 0; i < 3; ++i)
+        geo.push_back({names[i], cta::sim::fmtRatio(
+            cta::core::geomean(sp_cta[static_cast<std::size_t>(i)]))});
+    std::fputs(cta::sim::renderTable(geo).c_str(), stdout);
+
+    const double geo_aggr = cta::core::geomean(sp_elsa_a);
+    std::printf("\nCTA vs ELSA-Aggressive+GPU (paper: 18.3x / 22.1x "
+                "/ 28.7x): %s / %s / %s\n",
+                cta::sim::fmtRatio(
+                    cta::core::geomean(sp_cta[0]) / geo_aggr).c_str(),
+                cta::sim::fmtRatio(
+                    cta::core::geomean(sp_cta[1]) / geo_aggr).c_str(),
+                cta::sim::fmtRatio(
+                    cta::core::geomean(sp_cta[2]) / geo_aggr).c_str());
+
+    bench::banner("Figure 12 right: CTA latency breakdown");
+    const double n_cases = static_cast<double>(cases.size());
+    std::printf("mean latency shares (paper: compression 7%%, "
+                "linears 34%%, attention 59%%):\n"
+                "  token compression %s, linears %s, attention %s\n",
+                cta::sim::fmtPercent(comp_sum / n_cases).c_str(),
+                cta::sim::fmtPercent(lin_sum / n_cases).c_str(),
+                cta::sim::fmtPercent(attn_sum / n_cases).c_str());
+    std::printf("\nCTA latency as fraction of ideal accelerator "
+                "(paper: 41%% / 34%% / 26%%):\n");
+    for (int i = 0; i < 3; ++i) {
+        std::printf("  %-8s %s\n", names[i],
+                    cta::sim::fmtPercent(cta::core::mean(
+                        vs_ideal[static_cast<std::size_t>(i)]))
+                        .c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: design-space exploration of average
+ * attention throughput under SA width b in {8, 16, 32, 64} crossed
+ * with PAG degree of parallelism in {4, 8, 16, 32, 64, 128}, via the
+ * library DSE API (cta_accel/dse.h).
+ *
+ * Paper's findings to reproduce:
+ *   - PAG parallelism = 2 x SA width is the knee (more buys nothing,
+ *     less stalls the loop);
+ *   - optimal throughput grows sub-linearly with SA width (LSH phase
+ *     only occupies l columns; value-register updates grow).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "cta_accel/dse.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    bench::banner("Figure 13: throughput vs SA width x PAG "
+                  "parallelism");
+    auto cases = bench::makeCases(512);
+    // Realized shapes from CTA-0.5 calibrations across testcases.
+    std::vector<cta::alg::CompressionStats> shapes;
+    for (const auto &c : cases) {
+        const auto config =
+            bench::calibrated(c, cta::alg::Preset::Cta05);
+        shapes.push_back(cta::alg::ctaAttention(c.evalTokens,
+                                                c.evalTokens, c.head,
+                                                config)
+                             .stats);
+    }
+
+    // Width starts at 8: the LSH phase maps one hash direction per
+    // column, so the SA must be at least l = 6 columns wide.
+    const std::vector<cta::core::Index> widths{8, 16, 32, 64};
+    const std::vector<cta::core::Index> pag_par{4, 8, 16, 32, 64,
+                                                128};
+    const auto points = exploreDesignSpace(
+        cta::accel::HwConfig::paperDefault(), shapes, widths,
+        pag_par);
+
+    // Normalize to b = 8, PAG = 16 (the paper's configuration).
+    double base_throughput = 0;
+    for (const auto &p : points)
+        if (p.saWidth == 8 && p.pagParallelism == 16)
+            base_throughput = p.throughput;
+
+    std::vector<std::vector<std::string>> rows;
+    {
+        std::vector<std::string> header{"SA width"};
+        for (const auto p : pag_par)
+            header.push_back("PAG=" + std::to_string(p));
+        rows.push_back(header);
+    }
+    for (const auto width : widths) {
+        std::vector<std::string> row{std::to_string(width)};
+        for (const auto &p : points)
+            if (p.saWidth == width)
+                row.push_back(cta::sim::fmt(
+                    p.throughput / base_throughput, 2));
+        rows.push_back(row);
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("fig13_dse", rows);
+    std::printf("\n(values normalized to b=8, PAG=16 — the paper's "
+                "configuration)\n");
+
+    std::printf("\nknee analysis (paper: PAG = 2 x SA width is "
+                "optimal):\n");
+    for (const auto width : widths) {
+        std::printf("  b=%-3lld saturates at PAG=%lld (2b = %lld)\n",
+                    static_cast<long long>(width),
+                    static_cast<long long>(
+                        cta::accel::saturationKnee(points, width)),
+                    static_cast<long long>(2 * width));
+    }
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14.
+ *
+ * Left: normalized energy efficiency of the attention mechanism on
+ *   GPU, ELSA+GPU (conservative/aggressive) and 12 x CTA presets.
+ *   Paper reference: CTA-0/0.5/1 at 634x / 756x / 950x over GPU and
+ *   399x / 471x / 587x over ELSA+GPU.
+ *
+ * Right: CTA energy breakdown — paper reference 29 % memory, 62 %
+ *   SA computation engine, 9 % auxiliary modules.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/stats.h"
+#include "elsa/elsa_accel.h"
+#include "elsa/elsa_system.h"
+#include "gpu/gpu_model.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    bench::banner("Figure 14 left: normalized energy efficiency");
+    auto cases = bench::makeCases(512);
+    const cta::gpu::GpuModel gpu;
+    const auto tech = cta::sim::TechParams::smic40nmClass();
+    const cta::accel::CtaAccelerator accel(
+        cta::accel::HwConfig::paperDefault(), tech);
+    const cta::elsa::ElsaAccelerator elsa_accel(
+        cta::elsa::ElsaHwConfig::paperDefault(), tech);
+
+    std::vector<double> eff_elsa_c, eff_elsa_a;
+    std::vector<std::vector<double>> eff_cta(3);
+    double mem_share = 0, sa_share = 0, aux_share = 0;
+    int breakdown_count = 0;
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"testcase", "ELSA-Cons+GPU", "ELSA-Aggr+GPU",
+                    "CTA-0", "CTA-0.5", "CTA-1"});
+    for (const auto &c : cases) {
+        const auto n = c.tokens.rows();
+        const double t_gpu = gpu.exactAttentionSeconds(
+            n, n, c.tokens.cols(), c.testcase.model.dHead);
+        const double e_gpu = gpu.energyJ(t_gpu);
+        const double t_gpu_lin = gpu.linearSeconds(
+            n, n, c.tokens.cols(), c.testcase.model.dHead);
+
+        std::vector<std::string> row{c.testcase.name};
+        for (const auto preset :
+             {cta::elsa::ElsaPreset::Conservative,
+              cta::elsa::ElsaPreset::Aggressive}) {
+            const auto r = elsa_accel.run(
+                c.evalTokens, c.evalTokens, c.head,
+                cta::elsa::ElsaConfig::fromPreset(preset),
+                elsaPresetName(preset));
+            const auto sys = cta::elsa::combineWithGpu(
+                r, t_gpu_lin, gpu.params().boardPowerW, 12);
+            const double ratio = e_gpu / sys.report.energyJ();
+            row.push_back(cta::sim::fmtRatio(ratio, 0));
+            (preset == cta::elsa::ElsaPreset::Conservative
+                 ? eff_elsa_c : eff_elsa_a).push_back(ratio);
+        }
+        int pi = 0;
+        for (const auto preset : bench::allPresets()) {
+            const auto config = bench::calibrated(c, preset);
+            const auto r = accel.run(c.evalTokens, c.evalTokens, c.head,
+                                     config,
+                                     cta::alg::presetName(preset));
+            const double ratio = e_gpu / r.report.energyJ();
+            row.push_back(cta::sim::fmtRatio(ratio, 0));
+            eff_cta[static_cast<std::size_t>(pi)].push_back(ratio);
+            if (preset == cta::alg::Preset::Cta05) {
+                const auto &e = r.report.energy;
+                mem_share += e.memoryPj / e.total();
+                sa_share += e.computePj / e.total();
+                aux_share +=
+                    (e.auxiliaryPj + e.staticPj) / e.total();
+                ++breakdown_count;
+            }
+            ++pi;
+        }
+        rows.push_back(row);
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("fig14_energy", rows);
+
+    std::printf("\ngeomean energy efficiency vs GPU (paper: CTA "
+                "634x / 756x / 950x):\n");
+    std::vector<std::vector<std::string>> geo;
+    geo.push_back({"platform", "geomean vs GPU"});
+    geo.push_back({"ELSA-Conservative+GPU", cta::sim::fmtRatio(
+        cta::core::geomean(eff_elsa_c), 0)});
+    geo.push_back({"ELSA-Aggressive+GPU", cta::sim::fmtRatio(
+        cta::core::geomean(eff_elsa_a), 0)});
+    const char *names[3] = {"CTA-0", "CTA-0.5", "CTA-1"};
+    for (int i = 0; i < 3; ++i)
+        geo.push_back({names[i], cta::sim::fmtRatio(
+            cta::core::geomean(
+                eff_cta[static_cast<std::size_t>(i)]), 0)});
+    std::fputs(cta::sim::renderTable(geo).c_str(), stdout);
+
+    const double geo_elsa =
+        cta::core::geomean(eff_elsa_a);
+    std::printf("\nCTA vs ELSA-Aggressive+GPU energy (paper: 399x / "
+                "471x / 587x): %s / %s / %s\n",
+                cta::sim::fmtRatio(cta::core::geomean(eff_cta[0]) /
+                                   geo_elsa, 0).c_str(),
+                cta::sim::fmtRatio(cta::core::geomean(eff_cta[1]) /
+                                   geo_elsa, 0).c_str(),
+                cta::sim::fmtRatio(cta::core::geomean(eff_cta[2]) /
+                                   geo_elsa, 0).c_str());
+
+    bench::banner("Figure 14 right: CTA energy breakdown");
+    std::printf("mean shares (paper: memory 29%%, SA 62%%, "
+                "auxiliary 9%%):\n"
+                "  memory %s, SA %s, auxiliary(+static) %s\n",
+                cta::sim::fmtPercent(mem_share / breakdown_count)
+                    .c_str(),
+                cta::sim::fmtPercent(sa_share / breakdown_count)
+                    .c_str(),
+                cta::sim::fmtPercent(aux_share / breakdown_count)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: the CTA accelerator area breakdown.
+ * Paper reference: total 2.150 mm^2 in SMIC 40 nm at 1 GHz, with the
+ * SA computation engine taking 74.6 % and the auxiliary modules
+ * small.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    bench::banner("Figure 15: CTA accelerator area breakdown");
+    const cta::accel::CtaAccelerator accel(
+        cta::accel::HwConfig::paperDefault(),
+        cta::sim::TechParams::smic40nmClass());
+    const auto area = accel.area();
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"component", "area (mm^2)", "share"});
+    const auto add = [&](const std::string &name, double mm2) {
+        rows.push_back({name, cta::sim::fmt(mm2, 3),
+                        cta::sim::fmtPercent(mm2 / area.total())});
+    };
+    add("SA computation engine", area.saMm2);
+    add("memories (token/KV + weight + result)", area.memoriesMm2);
+    add("CIM", area.cimMm2);
+    add("CAG", area.cagMm2);
+    add("PAG", area.pagMm2);
+    rows.push_back({"total", cta::sim::fmt(area.total(), 3),
+                    "100.0%"});
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    std::printf("\npaper reference: total 2.150 mm^2, SA 74.6%%\n");
+    std::printf("\nmemory sizing: token/KV %.0f KB, weight %.0f KB, "
+                "result %.0f KB\n",
+                accel.tokenKvMemKb(), accel.weightMemKb(),
+                accel.resultMemKb());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: normalized on-chip memory accesses of
+ * CTA vs ELSA for one attention head at sequence lengths
+ * n = 128 / 256 / 384 / 512.
+ *
+ * Paper's claim to reproduce: ELSA's query-serial processing re-reads
+ * keys/values (and signatures) per query, so its traffic grows much
+ * faster with n than CTA's systolic, reuse-friendly access pattern.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "elsa/elsa_accel.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    bench::banner("Figure 16: normalized memory access vs sequence "
+                  "length");
+    const auto tech = cta::sim::TechParams::smic40nmClass();
+    const cta::accel::CtaAccelerator accel(
+        cta::accel::HwConfig::paperDefault(), tech);
+    const cta::elsa::ElsaAccelerator elsa_accel(
+        cta::elsa::ElsaHwConfig::paperDefault(), tech);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"n", "CTA accesses", "ELSA accesses",
+                    "CTA (norm)", "ELSA (norm)", "ELSA/CTA"});
+    double cta_base = 0;
+    for (const cta::core::Index n : {128, 256, 384, 512}) {
+        // Same workload family at each length (SQuAD1.1-like, BERT).
+        auto cases = bench::makeCases(n);
+        const auto &c = cases.front();
+        const auto config =
+            bench::calibrated(c, cta::alg::Preset::Cta05);
+        const auto r_cta =
+            accel.run(c.tokens, c.tokens, c.head, config, "CTA");
+        const auto r_elsa = elsa_accel.run(
+            c.tokens, c.tokens, c.head,
+            cta::elsa::ElsaConfig::fromPreset(
+                cta::elsa::ElsaPreset::Aggressive),
+            "ELSA");
+        const double cta_acc =
+            static_cast<double>(r_cta.report.traffic.total());
+        const double elsa_acc =
+            static_cast<double>(r_elsa.report.traffic.total());
+        if (cta_base == 0)
+            cta_base = cta_acc;
+        rows.push_back({std::to_string(n),
+                        cta::sim::fmt(cta_acc / 1e3, 0) + "K",
+                        cta::sim::fmt(elsa_acc / 1e3, 0) + "K",
+                        cta::sim::fmt(cta_acc / cta_base, 2),
+                        cta::sim::fmt(elsa_acc / cta_base, 2),
+                        cta::sim::fmtRatio(elsa_acc / cta_acc, 1)});
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("fig16_memory_access", rows);
+    std::printf("\npaper reference: ELSA traffic grows much faster "
+                "with n than CTA's\n");
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the CTA kernel library: LSH
+ * hashing, cluster-tree maintenance, centroid aggregation,
+ * probability aggregation, exact vs CTA attention, and ELSA
+ * attention. These measure the *host* implementation (useful for
+ * regression tracking of the simulator itself), not accelerator
+ * cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "cta/compressed_attention.h"
+#include "cta/config.h"
+#include "elsa/elsa_attention.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+Matrix
+clusteredTokens(Index n, Index d, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = d;
+    profile.coarseClusters = 40;
+    profile.fineClusters = 24;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+void
+BM_LshHash(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 1);
+    Rng rng(2);
+    const auto params = cta::alg::LshParams::sample(6, 64, 1.0f, rng);
+    for (auto _ : state) {
+        auto h = cta::alg::hashTokens(x, params);
+        benchmark::DoNotOptimize(h);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LshHash)->Arg(128)->Arg(512);
+
+void
+BM_ClusterTree(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 3);
+    Rng rng(4);
+    const auto params = cta::alg::LshParams::sample(6, 64, 1.0f, rng);
+    const auto codes = cta::alg::hashTokens(x, params);
+    for (auto _ : state) {
+        auto table = cta::alg::buildClusterTable(codes);
+        benchmark::DoNotOptimize(table);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ClusterTree)->Arg(128)->Arg(512);
+
+void
+BM_TwoLevelCompression(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 5);
+    Rng rng(6);
+    const auto lsh1 = cta::alg::LshParams::sample(6, 64, 1.0f, rng);
+    const auto lsh2 = cta::alg::LshParams::sample(6, 64, 0.5f, rng);
+    for (auto _ : state) {
+        auto c = cta::alg::compressTwoLevel(x, lsh1, lsh2);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TwoLevelCompression)->Arg(128)->Arg(512);
+
+void
+BM_ExactAttention(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 7);
+    Rng rng(8);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    for (auto _ : state) {
+        auto out = exactAttention(x, x, head);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ExactAttention)->Arg(128)->Arg(512);
+
+void
+BM_CtaAttention(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 9);
+    Rng rng(10);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    cta::alg::CtaConfig config;
+    config.w0 = 0.8f;
+    config.w1 = 0.8f;
+    config.w2 = 0.4f;
+    for (auto _ : state) {
+        auto out = cta::alg::ctaAttention(x, x, head, config);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CtaAttention)->Arg(128)->Arg(512);
+
+void
+BM_ElsaAttention(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 11);
+    Rng rng(12);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    const auto config = cta::elsa::ElsaConfig::fromPreset(
+        cta::elsa::ElsaPreset::Aggressive);
+    for (auto _ : state) {
+        auto out = cta::elsa::elsaAttention(x, x, head, config);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ElsaAttention)->Arg(128)->Arg(256);
+
+void
+BM_ProbabilityAggregation(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    const Matrix x = clusteredTokens(n, 64, 13);
+    Rng rng(14);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    cta::alg::CtaConfig config;
+    const auto pre = cta::alg::ctaAttention(x, x, head, config);
+    Matrix ap, sums;
+    for (auto _ : state) {
+        cta::alg::aggregateProbabilities(
+            pre.inter.sBar, pre.inter.kvComp.level1.table,
+            pre.inter.kvComp.level2.table, pre.stats.k1, ap, sums);
+        benchmark::DoNotOptimize(ap);
+    }
+    state.SetItemsProcessed(state.iterations() * pre.stats.k0 * n);
+}
+BENCHMARK(BM_ProbabilityAggregation)->Arg(128)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension bench: fixed-point bit-width sweep around the paper's
+ * SIV-C scheme (13-bit tokens / 12-bit weights / 12-bit centroids).
+ * Shows where the accuracy cliff sits and why the paper's choice is
+ * safe (< 0.1 % impact) while 8-bit everything is not.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "cta/error.h"
+#include "cta/quantization.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    bench::banner("Fixed-point bit-width sweep (paper scheme: "
+                  "13b tokens / 12b weights, SIV-C)");
+    auto cases = bench::makeCases(512);
+    const auto &c = cases.front();
+    const auto config = bench::calibrated(c, cta::alg::Preset::Cta05);
+    const auto exact =
+        exactAttention(c.evalTokens, c.evalTokens, c.head);
+    const auto float_run = cta::alg::ctaAttention(
+        c.evalTokens, c.evalTokens, c.head, config);
+    const auto float_err =
+        cta::alg::compareOutputs(float_run.output, exact);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"scheme", "token fmt", "centroid fmt",
+                    "rel. error", "extra vs float"});
+    rows.push_back({"float", "-", "-",
+                    cta::sim::fmt(float_err.relativeFrobenius, 4),
+                    "0.0000"});
+
+    struct Sweep
+    {
+        const char *name;
+        int tokenBits, tokenFrac;
+        int centroidBits, centroidFrac;
+    };
+    const std::vector<Sweep> sweeps = {
+        {"paper (13b/12b)", 13, 7, 12, 6},
+        {"16-bit", 16, 9, 16, 9},
+        {"10-bit", 10, 5, 10, 5},
+        {"8-bit", 8, 4, 8, 4},
+        {"6-bit", 6, 3, 6, 3},
+    };
+    for (const auto &s : sweeps) {
+        cta::core::QuantScheme scheme =
+            cta::core::QuantScheme::paperDefault();
+        scheme.tokens = cta::core::FxpFormat{s.tokenBits, s.tokenFrac};
+        scheme.centroids =
+            cta::core::FxpFormat{s.centroidBits, s.centroidFrac};
+        const auto q = cta::alg::ctaAttentionQuantized(
+            c.evalTokens, c.evalTokens, c.head, config, scheme);
+        const auto err = cta::alg::compareOutputs(q.output, exact);
+        rows.push_back({
+            s.name, scheme.tokens.toString(),
+            scheme.centroids.toString(),
+            cta::sim::fmt(err.relativeFrobenius, 4),
+            cta::sim::fmt(err.relativeFrobenius -
+                              float_err.relativeFrobenius, 4),
+        });
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("quantization_sweep", rows);
+    std::printf("\n(paper claims < 0.1%% accuracy impact at "
+                "13b/12b; the cliff sits several bits lower)\n");
+    return 0;
+}

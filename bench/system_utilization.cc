@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension bench: system-level utilization of the 12 x CTA
+ * deployment on whole models (paper SVI-C evaluates 12 x CTA; this
+ * quantifies how well the unit pool is used when a model's head
+ * count does not divide the pool).
+ *
+ * BERT-large has 16 heads/layer and GPT-2-large 20 — neither is a
+ * multiple of 12, so a per-layer barrier strands units; pipelining
+ * layers across the batch recovers them.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "cta_accel/system.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    bench::banner("System utilization: whole models on 12 x CTA");
+    auto cases = bench::makeCases(512);
+    const cta::accel::CtaSystem system(
+        cta::accel::HwConfig::paperDefault(), 12);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"model", "layers x heads", "barriered util",
+                    "pipelined util", "pipelined speedup"});
+    for (const auto &c : cases) {
+        if (c.testcase.workload.name != "squad1-like" &&
+            c.testcase.workload.name != "wikitext2-like") {
+            continue;
+        }
+        const auto config =
+            bench::calibrated(c, cta::alg::Preset::Cta05);
+        const auto stats = cta::alg::ctaAttention(
+            c.evalTokens, c.evalTokens, c.head, config).stats;
+        // Every head of every layer sees statistically similar
+        // shapes; reuse the measured shape for the whole model.
+        const auto layers = static_cast<std::size_t>(
+            c.testcase.model.numLayers);
+        const auto heads = static_cast<std::size_t>(
+            c.testcase.model.numHeads);
+        const std::vector<std::vector<cta::alg::CompressionStats>>
+            shapes(layers,
+                   std::vector<cta::alg::CompressionStats>(heads,
+                                                           stats));
+        const auto barriered = system.scheduleModel(shapes, false);
+        const auto pipelined = system.scheduleModel(shapes, true);
+        rows.push_back({
+            c.testcase.model.name,
+            std::to_string(layers) + " x " + std::to_string(heads),
+            cta::sim::fmtPercent(barriered.utilization),
+            cta::sim::fmtPercent(pipelined.utilization),
+            cta::sim::fmtRatio(
+                static_cast<double>(barriered.makespan) /
+                    static_cast<double>(pipelined.makespan), 2),
+        });
+    }
+    std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
+    bench::writeCsv("system_utilization", rows);
+    std::printf("\n(16 or 20 heads on 12 units strand capacity at "
+                "layer barriers; pipelining layers across a batch "
+                "recovers it)\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * End-to-end example: a small transformer encoder stack whose
+ * attention layers run the CTA scheme, compared against the same
+ * stack with exact attention — output drift, per-layer compression
+ * and total operation counts.
+ *
+ * Demonstrates the layer-level API (CtaEncoderLayer) and the fact
+ * that one token compression is shared by all heads of a layer.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/op_counter.h"
+#include "core/rng.h"
+#include "cta/error.h"
+#include "cta/multihead.h"
+#include "nn/workload.h"
+#include "sim/report.h"
+
+int
+main()
+{
+    using namespace cta;
+
+    constexpr core::Index kDModel = 128;
+    constexpr core::Index kHeads = 2;
+    constexpr core::Index kFfn = 256;
+    constexpr core::Index kLayers = 4;
+    constexpr core::Index kSeqLen = 256;
+
+    // Clustered input sequence in model space.
+    nn::WorkloadProfile profile;
+    profile.seqLen = kSeqLen;
+    profile.tokenDim = kDModel;
+    profile.coarseClusters = 30;
+    profile.fineClusters = 16;
+    nn::WorkloadGenerator generator(profile, 1);
+    const core::Matrix input = generator.sampleTokens();
+
+    // Build the stack; every layer shares architecture but has its
+    // own weights, and is calibrated on the activations that reach
+    // it (compression dials drift across depth as features mix).
+    core::Rng rng(2);
+    std::vector<std::unique_ptr<alg::CtaEncoderLayer>> layers;
+    for (core::Index i = 0; i < kLayers; ++i)
+        layers.push_back(std::make_unique<alg::CtaEncoderLayer>(
+            kDModel, kHeads, kFfn, rng));
+
+    core::Matrix calib = input;
+    for (auto &layer : layers) {
+        layer->calibrate(calib, alg::Preset::Cta05);
+        calib = layer->forwardExact(calib);
+    }
+
+    // Run both paths and compare layer by layer.
+    std::printf("layer-by-layer drift (CTA vs exact stack):\n\n");
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"layer", "k0", "k1+k2", "rel. error",
+                    "mean cosine"});
+    core::Matrix x_cta = input, x_exact = input;
+    core::OpCounts cta_ops, exact_ops;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        x_cta = layers[i]->forward(x_cta, &cta_ops);
+        x_exact = layers[i]->forwardExact(x_exact, &exact_ops);
+        const auto err = alg::compareOutputs(x_cta, x_exact);
+        const auto &stats = layers[i]->attention().lastStats();
+        rows.push_back({std::to_string(i),
+                        std::to_string(stats.k0),
+                        std::to_string(stats.k1 + stats.k2),
+                        sim::fmt(err.relativeFrobenius, 4),
+                        sim::fmt(err.meanCosine, 4)});
+    }
+    std::fputs(sim::renderTable(rows).c_str(), stdout);
+
+    std::printf("\ntotal multiplier ops: CTA %.1f M, exact %.1f M "
+                "(%.1f %% of exact)\n",
+                static_cast<double>(cta_ops.multiplierOps()) / 1e6,
+                static_cast<double>(exact_ops.multiplierOps()) / 1e6,
+                100.0 *
+                    static_cast<double>(cta_ops.multiplierOps()) /
+                    static_cast<double>(exact_ops.multiplierOps()));
+    std::printf("(FFN/layernorm ops are identical in both stacks; "
+                "the savings are all in attention)\n");
+    return 0;
+}

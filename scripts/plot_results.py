@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs the benches write into results/.
+
+Usage:
+    for b in build/bench/*; do $b; done   # populates results/*.csv
+    python3 scripts/plot_results.py       # writes results/*.png
+
+Requires matplotlib; degrades to a textual summary without it.
+Each CSV's first column is treated as the x/category axis and every
+other column as a series; values like "27.7x", "74.6%" and "327K" are
+parsed numerically.
+"""
+
+import csv
+import pathlib
+import re
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def parse_value(text: str):
+    """Parses '27.7x' / '74.6%' / '327K' / '1.23' to float, else None."""
+    match = re.fullmatch(r"\s*(-?\d+(?:\.\d+)?)\s*([xX%kKmM]?)\s*", text)
+    if not match:
+        return None
+    value = float(match.group(1))
+    suffix = match.group(2).lower()
+    if suffix == "k":
+        value *= 1e3
+    elif suffix == "m":
+        value *= 1e6
+    return value
+
+
+def load(path: pathlib.Path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if len(rows) < 2:
+        return None
+    header, body = rows[0], rows[1:]
+    series = {}
+    categories = [row[0] for row in body]
+    for col in range(1, len(header)):
+        values = [parse_value(row[col]) if col < len(row) else None
+                  for row in body]
+        if any(v is not None for v in values):
+            series[header[col]] = values
+    return categories, series
+
+
+def main() -> int:
+    if not RESULTS.is_dir():
+        print(f"no results directory at {RESULTS}; run the benches first")
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable — printing summaries only\n")
+
+    for path in sorted(RESULTS.glob("*.csv")):
+        loaded = load(path)
+        if not loaded:
+            continue
+        categories, series = loaded
+        print(f"{path.name}: {len(categories)} rows, "
+              f"{len(series)} numeric series "
+              f"({', '.join(series)})")
+        if plt is None or not series:
+            continue
+        fig, ax = plt.subplots(figsize=(7, 4))
+        for name, values in series.items():
+            xs = [i for i, v in enumerate(values) if v is not None]
+            ys = [v for v in values if v is not None]
+            ax.plot(xs, ys, marker="o", label=name)
+        ax.set_xticks(range(len(categories)))
+        ax.set_xticklabels(categories, rotation=30, ha="right",
+                           fontsize=7)
+        ax.set_title(path.stem.replace("_", " "))
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        out = path.with_suffix(".png")
+        fig.savefig(out, dpi=130)
+        plt.close(fig)
+        print(f"  -> {out.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every figure bench and
+# render plots. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure | tee test_output.txt
+
+echo "== benches (figures + ablations + micro-kernels) =="
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "== plots =="
+python3 scripts/plot_results.py || true
+
+echo "done: see test_output.txt, bench_output.txt, results/"

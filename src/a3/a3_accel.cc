@@ -1,0 +1,117 @@
+#include "a3/a3_accel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace cta::a3 {
+
+using core::Cycles;
+using core::Index;
+using sim::Wide;
+
+A3Accelerator::A3Accelerator(const A3HwConfig &config,
+                             const sim::TechParams &tech)
+    : hwConfig_(config), tech_(tech)
+{
+    CTA_REQUIRE(config.searchLanes > 0 && config.dim > 0,
+                "invalid A3 configuration");
+}
+
+Wide
+A3Accelerator::areaMm2() const
+{
+    // Sorting/merge network + candidate datapath + d-wide exact
+    // attention pipeline + key/value/sorted-index SRAM.
+    const Wide datapath =
+        static_cast<Wide>(2 * hwConfig_.dim) * tech_.peAreaMm2 +
+        0.06 /* sort/merge + heap logic */ + tech_.lutAreaMm2;
+    const Wide kv_kb = 2.0 * static_cast<Wide>(hwConfig_.maxSeqLen) *
+        static_cast<Wide>(hwConfig_.dim) * 2.0 / 1024.0;
+    const Wide idx_kb = static_cast<Wide>(hwConfig_.maxSeqLen) *
+        static_cast<Wide>(hwConfig_.dim) * 2.0 / 1024.0;
+    return datapath + (kv_kb + idx_kb) * tech_.sramAreaMm2PerKb;
+}
+
+A3AccelResult
+A3Accelerator::run(const core::Matrix &xq, const core::Matrix &xkv,
+                   const nn::AttentionHeadParams &params,
+                   const A3Config &alg_config,
+                   const std::string &platform) const
+{
+    CTA_REQUIRE(xkv.rows() <= hwConfig_.maxSeqLen,
+                "sequence too long for configured A3 memory");
+    A3AccelResult out;
+    out.algorithm = a3Attention(xq, xkv, params, alg_config);
+    const auto &alg = out.algorithm;
+    const auto n = static_cast<std::uint64_t>(alg.n);
+    const auto m = static_cast<std::uint64_t>(alg.m);
+    const auto d = static_cast<std::uint64_t>(alg.d);
+
+    // --- Timing. ---
+    // Preprocessing: the merge network sorts d columns of n keys in
+    // ~n log2(n) / d-parallel cycles; A^3 pipelines one column per
+    // n-cycle pass.
+    const auto logn = static_cast<Cycles>(
+        std::ceil(std::log2(std::max<Index>(2, alg.n))));
+    Cycles cycles = static_cast<Cycles>(alg.n) * logn;
+    // Per query: search rounds / lanes, overlapped with the previous
+    // query's candidate pipeline (candidates + d drain).
+    const Cycles search = static_cast<Cycles>(
+        (alg_config.searchRounds + hwConfig_.searchLanes - 1) /
+        hwConfig_.searchLanes);
+    const auto keep = static_cast<Cycles>(
+        std::min<Index>(alg_config.candidates, alg.n));
+    for (Index i = 0; i < alg.m; ++i)
+        cycles += std::max(search, keep);
+    out.report.latency.attention = cycles;
+
+    // --- Memory traffic. ---
+    sim::SramModel kv_mem("A3 key/value",
+        2.0 * static_cast<Wide>(hwConfig_.maxSeqLen) *
+        static_cast<Wide>(hwConfig_.dim) * 2.0 / 1024.0, tech_);
+    sim::SramModel idx_mem("A3 sorted index",
+        static_cast<Wide>(hwConfig_.maxSeqLen) *
+        static_cast<Wide>(hwConfig_.dim) * 2.0 / 1024.0, tech_);
+    kv_mem.write(2 * n * d);
+    idx_mem.write(n * d);                  // sorted orders
+    kv_mem.read(n * d * logn / 2);         // sorting passes
+    // Per query: search rounds touch the sorted arrays; candidates
+    // re-read K and V rows.
+    idx_mem.read(m * static_cast<std::uint64_t>(
+        alg_config.searchRounds) * 2);
+    const auto cand_rows = static_cast<std::uint64_t>(
+        static_cast<Wide>(alg.candidateRatio) *
+        static_cast<Wide>(n) * static_cast<Wide>(m));
+    kv_mem.read(2 * cand_rows * d);
+    out.report.traffic.reads = kv_mem.reads() + idx_mem.reads();
+    out.report.traffic.writes = kv_mem.writes() + idx_mem.writes();
+
+    // --- Energy. ---
+    sim::EnergyBreakdown energy;
+    energy.memoryPj =
+        kv_mem.dynamicEnergyPj() + idx_mem.dynamicEnergyPj();
+    energy.computePj =
+        static_cast<Wide>(alg.attnOps.macs) *
+            (tech_.macEnergyPj + 2.0 * tech_.regEnergyPj) +
+        static_cast<Wide>(alg.attnOps.exps) * tech_.expLutEnergyPj +
+        static_cast<Wide>(alg.attnOps.adds) * tech_.addEnergyPj +
+        static_cast<Wide>(alg.attnOps.muls) * tech_.mulEnergyPj;
+    energy.auxiliaryPj =
+        static_cast<Wide>(alg.approxOps.cmps) * tech_.cmpEnergyPj +
+        static_cast<Wide>(alg.approxOps.muls) * tech_.mulEnergyPj +
+        static_cast<Wide>(alg.approxOps.adds) * tech_.addEnergyPj;
+    const Wide seconds = static_cast<Wide>(cycles) /
+        (static_cast<Wide>(hwConfig_.freqGhz) * 1e9);
+    energy.staticPj = tech_.leakageMwPerMm2 * areaMm2() * 1e-3 *
+        seconds * 1e12;
+    out.report.energy = energy;
+
+    out.report.platform = platform;
+    out.report.areaMm2 = areaMm2();
+    out.report.freqGhz = hwConfig_.freqGhz;
+    return out;
+}
+
+} // namespace cta::a3

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cycle/energy model of the A^3 accelerator (reconstructed from the
+ * HPCA'20 architecture description): a preprocessing unit sorts the
+ * key columns once per KV set; per query, the candidate-selection
+ * module retires one greedy-search round per cycle and the exact
+ * attention pipeline one candidate per cycle, query-serially
+ * (overlapped across consecutive queries).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "a3/a3_attention.h"
+#include "sim/memory.h"
+#include "sim/report.h"
+
+namespace cta::a3 {
+
+/** Static configuration of one A^3 accelerator instance. */
+struct A3HwConfig
+{
+    core::Index dim = 64;
+    core::Index maxSeqLen = 512;
+    /** Greedy rounds retired per cycle. */
+    core::Index searchLanes = 1;
+    core::Real freqGhz = 1.0f;
+
+    static A3HwConfig paperDefault() { return {}; }
+};
+
+/** Timed/priced result of one A^3-accelerated attention head. */
+struct A3AccelResult
+{
+    A3Result algorithm;
+    sim::PerfReport report; ///< attention part only (no linears)
+};
+
+/** The A^3 accelerator model. */
+class A3Accelerator
+{
+  public:
+    A3Accelerator(const A3HwConfig &config,
+                  const sim::TechParams &tech);
+
+    /** Simulates the attention part of one head. */
+    A3AccelResult run(const core::Matrix &xq, const core::Matrix &xkv,
+                      const nn::AttentionHeadParams &params,
+                      const A3Config &alg_config,
+                      const std::string &platform) const;
+
+    sim::Wide areaMm2() const;
+
+  private:
+    A3HwConfig hwConfig_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::a3

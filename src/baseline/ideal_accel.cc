@@ -1,0 +1,48 @@
+#include "baseline/ideal_accel.h"
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+#include "nn/attention.h"
+
+namespace cta::baseline {
+
+using core::Cycles;
+
+IdealAccelerator::IdealAccelerator(Index multipliers,
+                                   core::Real freq_ghz)
+    : multipliers_(multipliers), freqGhz_(freq_ghz)
+{
+    CTA_REQUIRE(multipliers > 0, "need at least one multiplier");
+}
+
+Cycles
+IdealAccelerator::exactAttentionCycles(Index m, Index n, Index dw,
+                                       Index d) const
+{
+    const auto lin = nn::exactLinearOps(m, n, dw, d);
+    const auto attn = nn::exactAttentionCalcOps(m, n, d);
+    const std::uint64_t mults =
+        lin.multiplierOps() + attn.multiplierOps();
+    return (mults + static_cast<std::uint64_t>(multipliers_) - 1) /
+           static_cast<std::uint64_t>(multipliers_);
+}
+
+sim::PerfReport
+IdealAccelerator::run(Index m, Index n, Index dw, Index d,
+                      const std::string &platform) const
+{
+    sim::PerfReport report;
+    report.platform = platform;
+    report.freqGhz = freqGhz_;
+    const auto lin = nn::exactLinearOps(m, n, dw, d);
+    const auto attn = nn::exactAttentionCalcOps(m, n, d);
+    const auto mult_count =
+        static_cast<std::uint64_t>(multipliers_);
+    report.latency.linears =
+        (lin.multiplierOps() + mult_count - 1) / mult_count;
+    report.latency.attention =
+        (attn.multiplierOps() + mult_count - 1) / mult_count;
+    return report;
+}
+
+} // namespace cta::baseline

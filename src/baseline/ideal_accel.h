@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The "ideal accelerator" comparator of paper Fig. 12-right: a
+ * hypothetical design with the same number of multipliers as CTA,
+ * the same 1 GHz clock, sustaining peak multiplier utilization at
+ * all times, but running *exact* attention (no CTA optimizations).
+ * Its latency is simply total multiplier-engaged operations divided
+ * by the multiplier count — a lower bound no real exact-attention
+ * design beats.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "sim/report.h"
+
+namespace cta::baseline {
+
+using core::Index;
+
+/** The iso-multiplier peak-throughput exact-attention bound. */
+class IdealAccelerator
+{
+  public:
+    /**
+     * @param multipliers same count as the compared CTA instance
+     * @param freq_ghz clock frequency
+     */
+    IdealAccelerator(Index multipliers, core::Real freq_ghz = 1.0f);
+
+    /** Cycles to run exact attention for (m, n, dw, d) at peak. */
+    core::Cycles exactAttentionCycles(Index m, Index n, Index dw,
+                                      Index d) const;
+
+    /** Full report (latency split linears/attention). */
+    sim::PerfReport run(Index m, Index n, Index dw, Index d,
+                        const std::string &platform = "Ideal") const;
+
+    Index multipliers() const { return multipliers_; }
+
+  private:
+    Index multipliers_;
+    core::Real freqGhz_;
+};
+
+} // namespace cta::baseline

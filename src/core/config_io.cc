@@ -1,0 +1,161 @@
+#include "core/config_io.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace cta::core {
+
+namespace {
+
+/** Trims ASCII whitespace from both ends. */
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t\r\n");
+    return text.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+ConfigMap
+ConfigMap::parse(const std::string &text)
+{
+    ConfigMap map;
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::string stripped = trim(line);
+        if (stripped.empty())
+            continue;
+        const auto eq = stripped.find('=');
+        CTA_REQUIRE(eq != std::string::npos,
+                    "config line ", line_no, " has no '=': '",
+                    stripped, "'");
+        const std::string key = trim(stripped.substr(0, eq));
+        const std::string value = trim(stripped.substr(eq + 1));
+        CTA_REQUIRE(!key.empty(), "config line ", line_no,
+                    " has empty key");
+        map.values_[key] = value;
+    }
+    return map;
+}
+
+std::string
+ConfigMap::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &[key, value] : values_)
+        oss << key << " = " << value << "\n";
+    return oss.str();
+}
+
+bool
+ConfigMap::contains(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+void
+ConfigMap::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+ConfigMap::set(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+ConfigMap::set(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    values_[key] = oss.str();
+}
+
+void
+ConfigMap::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+std::string
+ConfigMap::getString(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    CTA_REQUIRE(it != values_.end(), "missing config key '", key, "'");
+    return it->second;
+}
+
+std::int64_t
+ConfigMap::getInt(const std::string &key) const
+{
+    const std::string value = getString(key);
+    std::int64_t out = 0;
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), out);
+    CTA_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+                "config key '", key, "' is not an integer: '", value,
+                "'");
+    return out;
+}
+
+double
+ConfigMap::getDouble(const std::string &key) const
+{
+    const std::string value = getString(key);
+    try {
+        std::size_t consumed = 0;
+        const double out = std::stod(value, &consumed);
+        CTA_REQUIRE(consumed == value.size(), "config key '", key,
+                    "' is not a number: '", value, "'");
+        return out;
+    } catch (const std::exception &) {
+        CTA_FATAL("config key '", key, "' is not a number: '", value,
+                  "'");
+    }
+}
+
+bool
+ConfigMap::getBool(const std::string &key) const
+{
+    const std::string value = getString(key);
+    if (value == "true" || value == "1")
+        return true;
+    if (value == "false" || value == "0")
+        return false;
+    CTA_FATAL("config key '", key, "' is not a bool: '", value, "'");
+}
+
+std::int64_t
+ConfigMap::getInt(const std::string &key, std::int64_t fallback) const
+{
+    return contains(key) ? getInt(key) : fallback;
+}
+
+double
+ConfigMap::getDouble(const std::string &key, double fallback) const
+{
+    return contains(key) ? getDouble(key) : fallback;
+}
+
+bool
+ConfigMap::getBool(const std::string &key, bool fallback) const
+{
+    return contains(key) ? getBool(key) : fallback;
+}
+
+} // namespace cta::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal key=value configuration text format used to persist and
+ * exchange experiment configurations (CTA presets found by
+ * calibration, hardware configurations for DSE points) without a
+ * third-party serialization dependency.
+ *
+ * Format: one "key = value" pair per line; '#' starts a comment;
+ * blank lines ignored; keys are case-sensitive. Values parse as
+ * string / int64 / double / bool on demand.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cta::core {
+
+/** An ordered key -> string-value map with typed accessors. */
+class ConfigMap
+{
+  public:
+    /** Parses the key=value text; fatal on malformed lines. */
+    static ConfigMap parse(const std::string &text);
+
+    /** Renders back to the text format (keys sorted). */
+    std::string toString() const;
+
+    /** True when @p key is present. */
+    bool contains(const std::string &key) const;
+
+    /** Sets/overwrites a value. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** Typed getters; fatal if missing or unparseable. */
+    std::string getString(const std::string &key) const;
+    std::int64_t getInt(const std::string &key) const;
+    double getDouble(const std::string &key) const;
+    bool getBool(const std::string &key) const;
+
+    /** Typed getters with defaults for absent keys. */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Number of keys. */
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace cta::core

@@ -1,0 +1,89 @@
+#include "core/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.h"
+#include "core/matrix.h"
+
+namespace cta::core {
+
+Real
+FxpFormat::step() const
+{
+    return std::ldexp(1.0f, -fracBits);
+}
+
+Real
+FxpFormat::maxValue() const
+{
+    // Largest code is 2^(totalBits-1) - 1.
+    return decode((std::int64_t{1} << (totalBits - 1)) - 1);
+}
+
+Real
+FxpFormat::minValue() const
+{
+    return decode(-(std::int64_t{1} << (totalBits - 1)));
+}
+
+Real
+FxpFormat::quantize(Real x) const
+{
+    return decode(encode(x));
+}
+
+std::int64_t
+FxpFormat::encode(Real x) const
+{
+    CTA_ASSERT(totalBits > 0 && totalBits <= 32 && fracBits >= 0 &&
+               fracBits < totalBits + 16, "bad FxP format ", totalBits,
+               ".", fracBits);
+    const Real scaled = std::ldexp(x, fracBits);
+    const std::int64_t lo = -(std::int64_t{1} << (totalBits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (totalBits - 1)) - 1;
+    const auto code = static_cast<std::int64_t>(std::llrint(scaled));
+    return std::clamp(code, lo, hi);
+}
+
+Real
+FxpFormat::decode(std::int64_t code) const
+{
+    return std::ldexp(static_cast<Real>(code), -fracBits);
+}
+
+std::string
+FxpFormat::toString() const
+{
+    std::ostringstream oss;
+    oss << "Q" << intBits() << "." << fracBits << " (" << totalBits
+        << "b)";
+    return oss.str();
+}
+
+Matrix
+quantizeMatrix(const Matrix &m, const FxpFormat &fmt)
+{
+    Matrix out(m.rows(), m.cols());
+    for (Index i = 0; i < m.size(); ++i)
+        out.data()[i] = fmt.quantize(m.data()[i]);
+    return out;
+}
+
+FxpFormat
+fitWeightFormat(const Matrix &m, int total_bits)
+{
+    Real max_abs = 0;
+    for (Index i = 0; i < m.size(); ++i)
+        max_abs = std::max(max_abs, std::abs(m.data()[i]));
+    // Smallest integer width (incl. sign) whose range covers max_abs.
+    int int_bits = 1;
+    while (int_bits < total_bits &&
+           std::ldexp(1.0f, int_bits - 1) < max_abs) {
+        ++int_bits;
+    }
+    return FxpFormat{total_bits, total_bits - int_bits};
+}
+
+} // namespace cta::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-point (FxP) number formats and matrix quantization.
+ *
+ * The CTA accelerator computes in fixed point throughout (paper
+ * SIV-C): tokens are 13-bit with 6 integer / 7 fractional bits,
+ * weight-memory values are 12-bit with per-tensor integer widths
+ * chosen to cover the value range (e.g. the LSH direction matrix A,
+ * drawn from N(0,1), gets 3 integer bits by the three-sigma
+ * guideline), and centroids / compressed Q,K,V are 12-bit Q6.6.
+ *
+ * Quantization here is simulated: values are rounded to the FxP grid
+ * and saturated to the representable range but kept in Real storage,
+ * which is exactly how the paper's PyTorch extension models it.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace cta::core {
+
+class Matrix;
+
+/**
+ * A signed two's-complement fixed-point format. The integer field
+ * includes the sign, matching the paper's accounting (tokens are
+ * "13 bit, with 6 integer bits and 7 fractional bits": 6 + 7 = 13).
+ */
+struct FxpFormat
+{
+    /** Total bit width. */
+    int totalBits;
+    /** Fractional bits (scale = 2^fracBits). */
+    int fracBits;
+
+    /** Integer bits including sign (total - frac). */
+    int intBits() const { return totalBits - fracBits; }
+
+    /** Quantization step = 2^-fracBits. */
+    Real step() const;
+
+    /** Largest representable value. */
+    Real maxValue() const;
+
+    /** Smallest (most negative) representable value. */
+    Real minValue() const;
+
+    /** Rounds @p x to the grid and saturates to the range. */
+    Real quantize(Real x) const;
+
+    /** Raw integer code for @p x (round-to-nearest, saturated). */
+    std::int64_t encode(Real x) const;
+
+    /** Value for raw integer code @p code. */
+    Real decode(std::int64_t code) const;
+
+    /** e.g. "Q6.7 (13b)". */
+    std::string toString() const;
+};
+
+/** Quantization scheme from paper SIV-C (Design Details). */
+struct QuantScheme
+{
+    /** Tokens: 13-bit, 6 integer + 7 fractional bits. */
+    FxpFormat tokens{13, 7};
+    /** Linear weights: 12-bit, range-fit; default Q3.9 for |w| < 4. */
+    FxpFormat weights{12, 9};
+    /** LSH direction matrix A ~ N(0,1): 3 int bits (three sigma). */
+    FxpFormat lshParams{12, 9};
+    /** Centroids and compressed Q/K/V: 12-bit, 6 int + 6 frac. */
+    FxpFormat centroids{12, 6};
+    /** Attention scores / probabilities kept at 16-bit Q6.9. */
+    FxpFormat scores{16, 9};
+
+    /** The configuration used throughout the paper's evaluation. */
+    static QuantScheme paperDefault() { return {}; }
+};
+
+/** Returns a copy of @p m with every element quantized to @p fmt. */
+Matrix quantizeMatrix(const Matrix &m, const FxpFormat &fmt);
+
+/**
+ * Picks the 12-bit format whose integer bits minimally cover
+ * [-range, range] (paper: "minimal integer bits to cover the value
+ * range leaving the rest bits as fractional bits").
+ */
+FxpFormat fitWeightFormat(const Matrix &m, int total_bits = 12);
+
+} // namespace cta::core

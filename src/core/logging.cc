@@ -1,0 +1,30 @@
+#include "core/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cta::core {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s:%d: %s\n", file, line, msg.c_str());
+}
+
+} // namespace cta::core

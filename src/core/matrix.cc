@@ -1,0 +1,230 @@
+#include "core/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+#include "core/rng.h"
+
+namespace cta::core {
+
+Matrix::Matrix(Index rows, Index cols, Real fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), fill)
+{
+    CTA_REQUIRE(rows >= 0 && cols >= 0,
+                "matrix dims must be non-negative, got ", rows, "x", cols);
+}
+
+Real &
+Matrix::operator()(Index r, Index c)
+{
+    CTA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+Real
+Matrix::operator()(Index r, Index c) const
+{
+    CTA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+std::span<Real>
+Matrix::row(Index r)
+{
+    CTA_ASSERT(r >= 0 && r < rows_, "row ", r, " out of ", rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+}
+
+std::span<const Real>
+Matrix::row(Index r) const
+{
+    CTA_ASSERT(r >= 0 && r < rows_, "row ", r, " out of ", rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+}
+
+void
+Matrix::fill(Real value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix
+Matrix::rowSlice(Index begin, Index end) const
+{
+    CTA_REQUIRE(begin >= 0 && begin <= end && end <= rows_,
+                "bad row slice [", begin, ",", end, ") of ", rows_);
+    Matrix out(end - begin, cols_);
+    std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+              out.data_.begin());
+    return out;
+}
+
+void
+Matrix::appendRows(const Matrix &other)
+{
+    if (other.empty())
+        return;
+    if (empty()) {
+        *this = other;
+        return;
+    }
+    CTA_REQUIRE(other.cols_ == cols_, "appendRows column mismatch: ",
+                cols_, " vs ", other.cols_);
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    rows_ += other.rows_;
+}
+
+Matrix
+Matrix::randomNormal(Index rows, Index cols, Rng &rng, Real mean,
+                     Real stddev)
+{
+    Matrix out(rows, cols);
+    for (auto &value : out.data_)
+        value = rng.normal(mean, stddev);
+    return out;
+}
+
+Matrix
+Matrix::randomUniform(Index rows, Index cols, Rng &rng, Real lo, Real hi)
+{
+    Matrix out(rows, cols);
+    for (auto &value : out.data_)
+        value = rng.uniform(lo, hi);
+    return out;
+}
+
+Matrix
+Matrix::identity(Index order)
+{
+    Matrix out(order, order);
+    for (Index i = 0; i < order; ++i)
+        out(i, i) = 1;
+    return out;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b, OpCounts *counts)
+{
+    CTA_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch: ",
+                a.rows(), "x", a.cols(), " * ", b.rows(), "x", b.cols());
+    Matrix c(a.rows(), b.cols());
+    // ikj loop order streams B rows for cache friendliness.
+    for (Index i = 0; i < a.rows(); ++i) {
+        Real *crow = c.row(i).data();
+        for (Index k = 0; k < a.cols(); ++k) {
+            const Real aik = a(i, k);
+            const Real *brow = b.row(k).data();
+            for (Index j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    if (counts)
+        counts->macs += a.rows() * a.cols() * b.cols();
+    return c;
+}
+
+Matrix
+matmulTransB(const Matrix &a, const Matrix &b, OpCounts *counts)
+{
+    CTA_REQUIRE(a.cols() == b.cols(), "matmulTransB shape mismatch: ",
+                a.rows(), "x", a.cols(), " * (", b.rows(), "x", b.cols(),
+                ")^T");
+    Matrix c(a.rows(), b.rows());
+    for (Index i = 0; i < a.rows(); ++i) {
+        const Real *arow = a.row(i).data();
+        for (Index j = 0; j < b.rows(); ++j) {
+            const Real *brow = b.row(j).data();
+            Wide acc = 0;
+            for (Index k = 0; k < a.cols(); ++k)
+                acc += static_cast<Wide>(arow[k]) * brow[k];
+            c(i, j) = static_cast<Real>(acc);
+        }
+    }
+    if (counts)
+        counts->macs += a.rows() * b.rows() * a.cols();
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b, OpCounts *counts)
+{
+    CTA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "add shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    if (counts)
+        counts->adds += a.size();
+    return c;
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b, OpCounts *counts)
+{
+    CTA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "sub shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] - b.data()[i];
+    if (counts)
+        counts->adds += a.size();
+    return c;
+}
+
+Matrix
+scale(const Matrix &a, Real s, OpCounts *counts)
+{
+    Matrix c(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * s;
+    if (counts)
+        counts->muls += a.size();
+    return c;
+}
+
+Real
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    CTA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                "maxAbsDiff shape mismatch");
+    Real max_diff = 0;
+    for (Index i = 0; i < a.size(); ++i)
+        max_diff = std::max(max_diff, std::abs(a.data()[i] - b.data()[i]));
+    return max_diff;
+}
+
+Real
+frobeniusNorm(const Matrix &a)
+{
+    Wide acc = 0;
+    for (Index i = 0; i < a.size(); ++i)
+        acc += static_cast<Wide>(a.data()[i]) * a.data()[i];
+    return static_cast<Real>(std::sqrt(acc));
+}
+
+Real
+relativeError(const Matrix &a, const Matrix &ref)
+{
+    const Real denom = frobeniusNorm(ref);
+    if (denom == 0)
+        return frobeniusNorm(a) == 0 ? 0 : 1;
+    Matrix diff = sub(a, ref);
+    return frobeniusNorm(diff) / denom;
+}
+
+} // namespace cta::core

@@ -1,0 +1,42 @@
+#include "core/op_counter.h"
+
+#include <sstream>
+
+namespace cta::core {
+
+std::uint64_t
+OpCounts::total() const
+{
+    return macs + adds + muls + divs + exps + cmps + floors;
+}
+
+std::uint64_t
+OpCounts::flops() const
+{
+    return 2 * macs + adds + muls + divs + exps;
+}
+
+OpCounts &
+OpCounts::operator+=(const OpCounts &other)
+{
+    macs += other.macs;
+    adds += other.adds;
+    muls += other.muls;
+    divs += other.divs;
+    exps += other.exps;
+    cmps += other.cmps;
+    floors += other.floors;
+    return *this;
+}
+
+std::string
+OpCounts::toString() const
+{
+    std::ostringstream oss;
+    oss << "macs=" << macs << " adds=" << adds << " muls=" << muls
+        << " divs=" << divs << " exps=" << exps << " cmps=" << cmps
+        << " floors=" << floors;
+    return oss.str();
+}
+
+} // namespace cta::core

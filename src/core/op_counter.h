@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Arithmetic operation accounting.
+ *
+ * Every algorithm path (exact attention, CTA, ELSA) reports an
+ * OpCounts so the computation-reduction ratios RL / RA (paper Fig. 11)
+ * and the roofline hardware models consume *measured* operation
+ * counts. The closed-form complexity expressions from paper SIII-D are
+ * verified against these counters in tests/cta_complexity_test.cc.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace cta::core {
+
+/** Counts of scalar arithmetic operations performed by a kernel. */
+struct OpCounts
+{
+    /** Fused multiply-accumulate operations (1 mul + 1 add). */
+    std::uint64_t macs = 0;
+    /** Standalone additions / subtractions. */
+    std::uint64_t adds = 0;
+    /** Standalone multiplications. */
+    std::uint64_t muls = 0;
+    /** Divisions (or reciprocal lookups). */
+    std::uint64_t divs = 0;
+    /** Exponential evaluations (or exp-LUT lookups). */
+    std::uint64_t exps = 0;
+    /** Comparisons (max trees, threshold tests, trie probes). */
+    std::uint64_t cmps = 0;
+    /** Floor/rounding operations (LSH bucketization). */
+    std::uint64_t floors = 0;
+
+    /** Sum of all operation classes. */
+    std::uint64_t total() const;
+
+    /**
+     * Total multiplier-engaged operations (macs + muls). This is the
+     * quantity the paper's RL/RA ratios and the ideal-accelerator
+     * model (same multiplier count at peak) are defined over.
+     */
+    std::uint64_t multiplierOps() const { return macs + muls; }
+
+    /** Equivalent FLOPs, counting a MAC as 2 floating-point ops. */
+    std::uint64_t flops() const;
+
+    OpCounts &operator+=(const OpCounts &other);
+    friend OpCounts operator+(OpCounts lhs, const OpCounts &rhs)
+    {
+        lhs += rhs;
+        return lhs;
+    }
+
+    bool operator==(const OpCounts &other) const = default;
+
+    /** One-line human-readable rendering. */
+    std::string toString() const;
+};
+
+} // namespace cta::core

@@ -1,0 +1,115 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cta::core {
+
+namespace {
+
+/** SplitMix64 step used to expand the seed into engine state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+Real
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1); narrow to Real.
+    return static_cast<Real>((next() >> 11) * 0x1.0p-53);
+}
+
+Real
+Rng::uniform(Real lo, Real hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+Real
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller on two fresh uniforms; guard against log(0).
+    Real u1 = uniform();
+    while (u1 <= 0)
+        u1 = uniform();
+    const Real u2 = uniform();
+    const Real radius = std::sqrt(-2.0f * std::log(u1));
+    const Real angle = 2.0f * std::numbers::pi_v<Real> * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+Real
+Rng::normal(Real mean, Real stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % bound + 1) % bound;
+    std::uint64_t draw = next();
+    while (draw > limit)
+        draw = next();
+    return draw % bound;
+}
+
+bool
+Rng::bernoulli(Real p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace cta::core

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the CTA library.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace cta::core {
+
+/** Floating-point type used by all algorithm-level math. */
+using Real = float;
+
+/** Double-precision type used by accumulators and statistics. */
+using Wide = double;
+
+/** Index type for matrix dimensions, token positions, cluster ids. */
+using Index = std::int64_t;
+
+/** Cycle count type for the accelerator timing models. */
+using Cycles = std::uint64_t;
+
+} // namespace cta::core

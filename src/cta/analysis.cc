@@ -1,0 +1,115 @@
+#include "cta/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+using core::Wide;
+
+namespace {
+
+ResidualStats
+statsOfResidual(const Matrix &x, const Matrix &approx)
+{
+    ResidualStats out;
+    Wide sum = 0;
+    Real max_norm = 0;
+    for (Index i = 0; i < x.rows(); ++i) {
+        const Real dist = core::l2Distance(x.row(i), approx.row(i));
+        sum += dist;
+        max_norm = std::max(max_norm, dist);
+    }
+    out.meanNorm =
+        x.rows() > 0 ? static_cast<Real>(sum / x.rows()) : 0;
+    out.maxNorm = max_norm;
+    out.relative = relativeError(approx, x);
+    return out;
+}
+
+Real
+maxRowNorm(const Matrix &m)
+{
+    Real out = 0;
+    for (Index i = 0; i < m.rows(); ++i)
+        out = std::max(out, std::sqrt(core::squaredNorm(m.row(i))));
+    return out;
+}
+
+} // namespace
+
+ResidualStats
+residualStats(const Matrix &x, const CompressionLevel &level)
+{
+    return statsOfResidual(x, reconstruct(level));
+}
+
+ResidualStats
+residualStats(const Matrix &x, const TwoLevelCompression &compression)
+{
+    return statsOfResidual(x, reconstruct(compression));
+}
+
+Real
+spectralNormUpperBound(const Matrix &w, int iterations)
+{
+    CTA_REQUIRE(!w.empty(), "spectral norm of empty matrix");
+    // Power iteration on W^T W with a deterministic start vector;
+    // v is kept unit-norm, so sigma = ||W v|| converges to the top
+    // singular value from below.
+    core::Rng rng(0xA11CE);
+    Matrix v = Matrix::randomNormal(w.cols(), 1, rng);
+    {
+        const Real norm = frobeniusNorm(v);
+        CTA_ASSERT(norm > 0, "degenerate start vector");
+        for (Index i = 0; i < v.rows(); ++i)
+            v(i, 0) /= norm;
+    }
+    Real sigma = 0;
+    for (int it = 0; it < iterations; ++it) {
+        const Matrix wv = matmul(w, v);               // m x 1
+        sigma = frobeniusNorm(wv);
+        if (sigma == 0)
+            return 0;
+        const Matrix wtwv = matmul(transpose(w), wv); // n x 1
+        const Real norm = frobeniusNorm(wtwv);
+        if (norm == 0)
+            return 0;
+        for (Index i = 0; i < v.rows(); ++i)
+            v(i, 0) = wtwv(i, 0) / norm;
+    }
+    // 5 % safety margin makes this an upper bound in practice even
+    // when power iteration has not fully converged.
+    return sigma * 1.05f;
+}
+
+Real
+scoreErrorBound(const Matrix &xq, const Matrix &xkv,
+                const CompressionLevel &query_comp,
+                const TwoLevelCompression &kv_comp,
+                const nn::AttentionHeadParams &params)
+{
+    const ResidualStats q_res = residualStats(xq, query_comp);
+    const ResidualStats kv_res = residualStats(xkv, kv_comp);
+    const Real wq_norm = spectralNormUpperBound(params.wq.weight());
+    const Real wk_norm = spectralNormUpperBound(params.wk.weight());
+    const Real q_norm =
+        maxRowNorm(matmul(xq, params.wq.weight()));
+    const Real k_approx_norm =
+        maxRowNorm(matmul(reconstruct(kv_comp), params.wk.weight()));
+    const auto d = static_cast<Real>(params.wq.outDim());
+    const Real inv_sqrt_d = 1.0f / std::sqrt(d);
+    return (q_norm * wk_norm * kv_res.maxNorm +
+            k_approx_norm * wq_norm * q_res.maxNorm +
+            wq_norm * wk_norm * q_res.maxNorm * kv_res.maxNorm) *
+           inv_sqrt_d;
+}
+
+} // namespace cta::alg

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A-priori approximation-error analysis for token compression.
+ *
+ * Paper SIII-B argues: "If two tokens have small L2 distance, it's
+ * safe to conclude that they encode similar features." This module
+ * quantifies that argument. For a compression X ~= X~ with residual
+ * matrix R = X - X~:
+ *
+ *   - score error: |S_ij - S~_ij| = |q_i.k_j - q~_i.k~_j| / sqrt(d)
+ *     <= (||q_i|| * ||e^K_j|| + ||e^Q_i|| * ||k~_j||) / sqrt(d)
+ *     where e^Q/e^K are the projected residuals, so the worst-case
+ *     compressed-score error is bounded by residual norms times
+ *     operand norms and the projection's spectral norm.
+ *
+ * The helpers below compute cluster-radius statistics and the
+ * resulting deterministic score-error bound; tests verify the bound
+ * holds empirically and the bench uses the radii to explain why
+ * two-level compression works (residual radii shrink).
+ */
+
+#pragma once
+
+#include "core/matrix.h"
+#include "cta/compression.h"
+#include "nn/attention.h"
+
+namespace cta::alg {
+
+/** Residual-norm statistics of one compression. */
+struct ResidualStats
+{
+    /** Mean per-token residual L2 norm ||x_i - x~_i||. */
+    core::Real meanNorm = 0;
+    /** Maximum per-token residual norm (the bound driver). */
+    core::Real maxNorm = 0;
+    /** Relative Frobenius residual ||R||_F / ||X||_F. */
+    core::Real relative = 0;
+};
+
+/** Residuals of a one-level compression against its tokens. */
+ResidualStats residualStats(const core::Matrix &x,
+                            const CompressionLevel &level);
+
+/** Residuals of a two-level compression against its tokens. */
+ResidualStats residualStats(const core::Matrix &x,
+                            const TwoLevelCompression &compression);
+
+/**
+ * Spectral-norm upper bound of a weight matrix estimated by power
+ * iteration (||W||_2 within @p iterations refinements).
+ */
+core::Real spectralNormUpperBound(const core::Matrix &w,
+                                  int iterations = 30);
+
+/**
+ * Deterministic worst-case bound on the compressed-score error
+ * max_ij |S_ij - S~_ij| given token residual norms:
+ *
+ *   bound = (maxQnorm * ||W^K||_2 * maxKVresid
+ *            + maxKnorm~ * ||W^Q||_2 * maxQresid
+ *            + ||W^Q||_2 * ||W^K||_2 * maxQresid * maxKVresid)
+ *           / sqrt(d)
+ *
+ * (the cross term covers both operands being approximate).
+ */
+core::Real scoreErrorBound(const core::Matrix &xq,
+                           const core::Matrix &xkv,
+                           const CompressionLevel &query_comp,
+                           const TwoLevelCompression &kv_comp,
+                           const nn::AttentionHeadParams &params);
+
+} // namespace cta::alg

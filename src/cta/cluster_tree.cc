@@ -1,0 +1,111 @@
+#include "cta/cluster_tree.h"
+
+#include "core/logging.h"
+
+namespace cta::alg {
+
+using core::Index;
+
+MapClusterTree::MapClusterTree(Index hash_len) : hashLen_(hash_len)
+{
+    CTA_REQUIRE(hash_len > 0, "hash length must be positive");
+    nodes_.emplace_back(); // root
+}
+
+Index
+MapClusterTree::assign(std::span<const std::int32_t> code)
+{
+    CTA_REQUIRE(static_cast<Index>(code.size()) == hashLen_,
+                "code length ", code.size(), " != ", hashLen_);
+    Index node = 0;
+    // Walk the first l-1 layers through internal nodes.
+    for (Index depth = 0; depth + 1 < hashLen_; ++depth) {
+        auto &children = nodes_[static_cast<std::size_t>(node)].children;
+        auto it = children.find(code[static_cast<std::size_t>(depth)]);
+        if (it == children.end()) {
+            const Index fresh = static_cast<Index>(nodes_.size());
+            children.emplace(code[static_cast<std::size_t>(depth)],
+                             fresh);
+            nodes_.emplace_back();
+            node = fresh;
+        } else {
+            node = it->second;
+        }
+    }
+    // Leaf layer: children map hash value -> cluster index directly.
+    auto &leaves = nodes_[static_cast<std::size_t>(node)].children;
+    auto it = leaves.find(code[static_cast<std::size_t>(hashLen_ - 1)]);
+    if (it == leaves.end()) {
+        const Index idx = clusterCount_++;
+        leaves.emplace(code[static_cast<std::size_t>(hashLen_ - 1)],
+                       idx);
+        return idx;
+    }
+    return it->second;
+}
+
+LinearClusterTree::LinearClusterTree(Index hash_len)
+    : hashLen_(hash_len),
+      layers_(static_cast<std::size_t>(hash_len))
+{
+    CTA_REQUIRE(hash_len > 0, "hash length must be positive");
+}
+
+Index
+LinearClusterTree::findOrCreateChild(Index layer, Index node_addr,
+                                     std::int32_t hash_val, bool is_leaf)
+{
+    Node &node = layer == 0
+        ? root_
+        : layers_[static_cast<std::size_t>(layer - 1)]
+                 [static_cast<std::size_t>(node_addr)];
+    // Associative scan over the node's (value, address) entries, like
+    // the CIM reading one node record from layer memory.
+    for (const Entry &entry : node.entries) {
+        ++memReads_;
+        ++probes_;
+        if (entry.hashVal == hash_val)
+            return entry.childAddr;
+    }
+    // Miss: allocate the next free node in the child layer.
+    auto &child_layer = layers_[static_cast<std::size_t>(layer)];
+    const Index fresh = static_cast<Index>(child_layer.size());
+    child_layer.emplace_back();
+    ++nodesAllocated_;
+    if (is_leaf)
+        child_layer.back().clusterIdx = clusterCount_++;
+    node.entries.push_back(Entry{hash_val, fresh});
+    ++memWrites_;
+    return fresh;
+}
+
+Index
+LinearClusterTree::assign(std::span<const std::int32_t> code)
+{
+    CTA_REQUIRE(static_cast<Index>(code.size()) == hashLen_,
+                "code length ", code.size(), " != ", hashLen_);
+    Index addr = 0;
+    for (Index depth = 0; depth < hashLen_; ++depth) {
+        const bool is_leaf = depth == hashLen_ - 1;
+        addr = findOrCreateChild(depth, addr,
+                                 code[static_cast<std::size_t>(depth)],
+                                 is_leaf);
+    }
+    ++memReads_; // read the leaf's cluster index
+    return layers_[static_cast<std::size_t>(hashLen_ - 1)]
+                  [static_cast<std::size_t>(addr)].clusterIdx;
+}
+
+ClusterTable
+buildClusterTable(const HashMatrix &codes)
+{
+    MapClusterTree tree(codes.cols());
+    ClusterTable ct;
+    ct.table.reserve(static_cast<std::size_t>(codes.rows()));
+    for (Index i = 0; i < codes.rows(); ++i)
+        ct.table.push_back(tree.assign(codes.code(i)));
+    ct.numClusters = tree.numClusters();
+    return ct;
+}
+
+} // namespace cta::alg

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cluster tree: maps each l-dimensional hash code to a dense cluster
+ * index (paper SIII-A, Fig. 4a). A trie with l layers below the root;
+ * each root-to-leaf path is one distinct hash code, each leaf holds
+ * the cluster index assigned when that code was first seen.
+ *
+ * Two implementations with identical observable behaviour:
+ *
+ *  - MapClusterTree: hash-map children, the fast software path used
+ *    by the algorithm library.
+ *  - LinearClusterTree: linearly-allocated per-layer node arrays with
+ *    associative (hash value, child address) pairs — the structure
+ *    the paper's Cluster Index Module stores in its layer memories
+ *    (SIV-B(2): "pointers ... are allocated and managed linearly").
+ *    It additionally counts memory probes so the CIM timing/energy
+ *    model can consume them.
+ *
+ * tests/cluster_tree_test.cc cross-checks the two.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "cta/lsh.h"
+
+namespace cta::alg {
+
+/** Result of clustering a token sequence. */
+struct ClusterTable
+{
+    /** table[i] = cluster index of token i, in [0, numClusters). */
+    std::vector<core::Index> table;
+    /** Number of distinct clusters (== number of distinct codes). */
+    core::Index numClusters = 0;
+};
+
+/** Trie over hash codes using hash-map children (software path). */
+class MapClusterTree
+{
+  public:
+    /** @param hash_len the code length l (trie depth). */
+    explicit MapClusterTree(core::Index hash_len);
+
+    /**
+     * Looks up (inserting if absent) the cluster for @p code; returns
+     * its dense index. Indices are assigned in first-seen order
+     * starting at 0.
+     */
+    core::Index assign(std::span<const std::int32_t> code);
+
+    /** Number of distinct clusters assigned so far. */
+    core::Index numClusters() const { return clusterCount_; }
+
+  private:
+    struct Node
+    {
+        std::unordered_map<std::int32_t, core::Index> children;
+    };
+
+    core::Index hashLen_;
+    std::vector<Node> nodes_;       ///< node 0 is the root
+    core::Index clusterCount_ = 0;
+};
+
+/**
+ * Hardware-faithful cluster tree with linear node allocation.
+ *
+ * Layer i (0-based, i < l-1) stores internal nodes as growing arrays
+ * of (hash value, child address) entries; the leaf layer stores
+ * cluster indices. assign() walks one layer per step exactly like a
+ * CIM thread and tallies the memory reads/writes and comparisons the
+ * walk performs.
+ */
+class LinearClusterTree
+{
+  public:
+    explicit LinearClusterTree(core::Index hash_len);
+
+    /** Same contract as MapClusterTree::assign. */
+    core::Index assign(std::span<const std::int32_t> code);
+
+    core::Index numClusters() const { return clusterCount_; }
+
+    /** Memory words read during assigns (CIM layer-memory reads). */
+    std::uint64_t memReads() const { return memReads_; }
+
+    /** Memory words written during assigns (node allocations). */
+    std::uint64_t memWrites() const { return memWrites_; }
+
+    /** (value == stored-value) comparisons performed. */
+    std::uint64_t probes() const { return probes_; }
+
+    /** Total nodes allocated across all layers (area proxy). */
+    core::Index nodesAllocated() const { return nodesAllocated_; }
+
+  private:
+    struct Entry
+    {
+        std::int32_t hashVal;
+        core::Index childAddr;
+    };
+
+    struct Node
+    {
+        std::vector<Entry> entries;
+        core::Index clusterIdx = -1; ///< valid for leaves only
+    };
+
+    /** Finds or creates the child of @p node for @p hash_val in the
+     *  given layer; returns the child address. */
+    core::Index findOrCreateChild(core::Index layer, core::Index node,
+                                  std::int32_t hash_val, bool is_leaf);
+
+    core::Index hashLen_;
+    std::vector<std::vector<Node>> layers_; ///< layers_[i] = nodes at depth i+1
+    Node root_;
+    core::Index clusterCount_ = 0;
+    core::Index nodesAllocated_ = 0;
+    std::uint64_t memReads_ = 0;
+    std::uint64_t memWrites_ = 0;
+    std::uint64_t probes_ = 0;
+};
+
+/**
+ * Clusters all rows of @p codes with a MapClusterTree, returning the
+ * cluster table CT (paper notation: CT[i] = cluster index of token i).
+ */
+ClusterTable buildClusterTable(const HashMatrix &codes);
+
+} // namespace cta::alg

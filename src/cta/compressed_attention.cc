@@ -1,0 +1,224 @@
+#include "cta/compressed_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::OpCounts;
+using core::Real;
+using core::Wide;
+
+Real
+CompressionStats::rl() const
+{
+    return static_cast<Real>(k0 + 2 * (k1 + k2)) /
+           static_cast<Real>(m + 2 * n);
+}
+
+Real
+CompressionStats::effectiveRelationRatio() const
+{
+    return static_cast<Real>(k0) * static_cast<Real>(k1 + k2) /
+           (static_cast<Real>(m) * static_cast<Real>(n));
+}
+
+Real
+CtaResult::measuredRa() const
+{
+    const OpCounts exact =
+        nn::exactAttentionCalcOps(stats.m, stats.n, stats.d);
+    return static_cast<Real>(attnOps.flops()) /
+           static_cast<Real>(exact.flops());
+}
+
+Real
+CtaResult::measuredRl() const
+{
+    const OpCounts exact =
+        nn::exactLinearOps(stats.m, stats.n, stats.dw, stats.d);
+    return static_cast<Real>(linearOps.flops()) /
+           static_cast<Real>(exact.flops());
+}
+
+void
+aggregateProbabilities(const Matrix &s_bar,
+                       const std::vector<Index> &ct1,
+                       const std::vector<Index> &ct2, Index k1,
+                       Matrix &ap, Matrix &row_sums, OpCounts *counts)
+{
+    CTA_REQUIRE(ct1.size() == ct2.size(), "CT1/CT2 size mismatch");
+    const Index k0 = s_bar.rows();
+    const Index k_total = s_bar.cols();
+    const auto n = static_cast<Index>(ct1.size());
+    ap = Matrix(k0, k_total);
+    row_sums = Matrix(k0, 1);
+    for (Index i = 0; i < k0; ++i) {
+        const Real *srow = s_bar.row(i).data();
+        Real *aprow = ap.row(i).data();
+        Wide total = 0;
+        for (Index j = 0; j < n; ++j) {
+            const Index c1 = ct1[static_cast<std::size_t>(j)];
+            const Index c2 = k1 + ct2[static_cast<std::size_t>(j)];
+            CTA_ASSERT(c1 >= 0 && c1 < k1 && c2 >= k1 && c2 < k_total,
+                       "cluster index out of range");
+            const Real p = std::exp(srow[c1] + srow[c2]);
+            aprow[c1] += p;
+            aprow[c2] += p;
+            total += 2.0 * p;
+        }
+        row_sums(i, 0) = static_cast<Real>(total);
+    }
+    if (counts) {
+        const auto k0u = static_cast<std::uint64_t>(k0);
+        const auto nu = static_cast<std::uint64_t>(n);
+        counts->exps += k0u * nu;      // one exp per (row, token)
+        counts->adds += 3 * k0u * nu;  // s1+s2 and two AP merges
+    }
+}
+
+LshParamSet
+sampleLshParams(const CtaConfig &config, Index dim)
+{
+    CTA_REQUIRE(config.hashLen > 0 && config.w0 > 0 && config.w1 > 0 &&
+                config.w2 > 0, "invalid CtaConfig");
+    core::Rng rng(config.seed);
+    LshParamSet set{
+        LshParams::sample(config.hashLen, dim, config.w0, rng),
+        LshParams::sample(config.hashLen, dim, config.w1, rng),
+        LshParams::sample(config.hashLen, dim, config.w2, rng),
+    };
+    return set;
+}
+
+CtaResult
+ctaAttention(const Matrix &xq, const Matrix &xkv,
+             const nn::AttentionHeadParams &params,
+             const CtaConfig &config)
+{
+    CTA_REQUIRE(xq.cols() == xkv.cols(), "query/key token dims differ");
+
+    // --- Stage 1: token compression (paper SIII-A/B). ---
+    const LshParamSet lsh = sampleLshParams(config, xq.cols());
+    core::OpCounts compression_ops;
+    TwoLevelCompression kv_comp =
+        compressTwoLevel(xkv, lsh.lsh1, lsh.lsh2, &compression_ops);
+    CompressionLevel query_comp =
+        compressTokens(xq, lsh.lsh0, &compression_ops);
+
+    // --- Stages 2-5 on the compressed tokens. ---
+    CtaResult result = ctaAttentionFromCompression(
+        query_comp, kv_comp, xq.rows(), params,
+        config.subtractRowMax);
+    result.overheadOps += compression_ops;
+    return result;
+}
+
+CtaResult
+ctaAttentionFromCompression(const CompressionLevel &query_comp,
+                            const TwoLevelCompression &kv_comp,
+                            Index m,
+                            const nn::AttentionHeadParams &params,
+                            bool subtract_row_max)
+{
+    CTA_REQUIRE(!query_comp.table.empty() &&
+                !kv_comp.level1.table.empty(),
+                "empty compression");
+    CtaResult result;
+    result.inter.queryComp = query_comp;
+    result.inter.kvComp = kv_comp;
+    const auto n = static_cast<Index>(kv_comp.level1.table.size());
+    const Index dw = query_comp.centroids.cols();
+
+    const Index k0 = result.inter.queryComp.numClusters;
+    const Index k1 = result.inter.kvComp.level1.numClusters;
+    const Index k2 = result.inter.kvComp.level2.numClusters;
+
+    // --- Stage 2: linears on compressed tokens (eq. 3). ---
+    Matrix c_cat = result.inter.kvComp.level1.centroids;
+    c_cat.appendRows(result.inter.kvComp.level2.centroids);
+    result.inter.qBar = params.wq.forward(
+        result.inter.queryComp.centroids, &result.linearOps);
+    result.inter.kBar = params.wk.forward(c_cat, &result.linearOps);
+    result.inter.vBar = params.wv.forward(c_cat, &result.linearOps);
+    const Index d = result.inter.qBar.cols();
+
+    // --- Stage 3: compressed scores (eq. 5). ---
+    const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
+    result.inter.sBar = matmulTransB(result.inter.qBar,
+                                     result.inter.kBar,
+                                     &result.attnOps);
+    result.inter.sBar =
+        scale(result.inter.sBar, inv_sqrt_d, &result.attnOps);
+
+    if (subtract_row_max) {
+        // PPE behaviour (SIV-B score phase): per row, subtract the max
+        // of the first k1 scores from the k2 level-2 scores. Since
+        // every aggregated score is (level1 + level2), this shifts all
+        // of a row's scores by the same constant, which cancels after
+        // normalization but keeps exp() arguments small.
+        for (Index i = 0; i < k0; ++i) {
+            Real *row = result.inter.sBar.row(i).data();
+            Real row_max = row[0];
+            for (Index j = 1; j < k1; ++j)
+                row_max = std::max(row_max, row[j]);
+            for (Index j = k1; j < k1 + k2; ++j)
+                row[j] -= row_max;
+        }
+        result.attnOps.cmps +=
+            static_cast<std::uint64_t>(k0) * (k1 - 1);
+        result.attnOps.adds += static_cast<std::uint64_t>(k0) * k2;
+    }
+
+    // --- Stage 4: probability aggregation (Fig. 6). ---
+    OpCounts agg_ops;
+    aggregateProbabilities(result.inter.sBar,
+                           result.inter.kvComp.level1.table,
+                           result.inter.kvComp.level2.table, k1,
+                           result.inter.ap, result.inter.apRowSums,
+                           &agg_ops);
+    // Paper SIII-D: the exps count against the (reduced) softmax
+    // stage; the 3*k0*n merge additions are approximation overhead.
+    result.attnOps.exps += agg_ops.exps;
+    result.overheadOps.adds += agg_ops.adds;
+
+    // --- Stage 5: output calculation (eq. 8). ---
+    result.inter.oBar =
+        matmul(result.inter.ap, result.inter.vBar, &result.attnOps);
+
+    // Normalize per compressed query: divide by rowsum(AP)/2 (the
+    // probabilities were accumulated twice per row). k0*d divisions,
+    // matching the paper's "output divisions reduced from nd to k0d".
+    Matrix o_norm(k0, d);
+    for (Index i = 0; i < k0; ++i) {
+        const Real denom = result.inter.apRowSums(i, 0) * 0.5f;
+        CTA_ASSERT(denom > 0, "zero attention denominator");
+        const Real inv = 1.0f / denom;
+        const Real *src = result.inter.oBar.row(i).data();
+        Real *dst = o_norm.row(i).data();
+        for (Index j = 0; j < d; ++j)
+            dst[j] = src[j] * inv;
+    }
+    result.attnOps.divs += static_cast<std::uint64_t>(k0) * d;
+
+    // Expand to the original sequence: O_i = O_norm[CT0[i]].
+    result.output = Matrix(m, d);
+    for (Index i = 0; i < m; ++i) {
+        const Index c =
+            result.inter.queryComp.table[static_cast<std::size_t>(i)];
+        const Real *src = o_norm.row(c).data();
+        Real *dst = result.output.row(i).data();
+        for (Index j = 0; j < d; ++j)
+            dst[j] = src[j];
+    }
+
+    result.stats = CompressionStats{m, n, dw, d, k0, k1, k2};
+    return result;
+}
+
+} // namespace cta::alg

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The complete CTA approximation scheme (paper SIII):
+ *
+ *   1. Compress query tokens with LSH0 (one level) and key/value
+ *      tokens with LSH1 + LSH2 (two-level residual clustering).
+ *   2. Project only the compressed tokens:
+ *        Qb = C0 . W^Q,  Kb = [C1; C2] . W^K,  Vb = [C1; C2] . W^V
+ *   3. Compressed scores Sb = Qb . Kb^T / sqrt(d)    (k0 x (k1+k2))
+ *   4. Attention probability aggregation (Fig. 6): every original KV
+ *      position j contributes p_j = exp(Sb[i, CT1[j]] + Sb[i,
+ *      k1+CT2[j]]) to both of its centroid columns of AP.
+ *   5. Ob = AP . Vb; the output for original query i is
+ *      Ob[CT0[i]] / (rowsum(AP[CT0[i]]) / 2)  — the half-sum because
+ *      each p_j was accumulated twice per row (paper SIII-C).
+ *
+ * The optional row-max subtraction mirrors the PPE behaviour in the
+ * score-calculation phase (SIV-B(1)): the maximum of each row's first
+ * k1 scores is subtracted from its k2 remaining scores, keeping
+ * aggregated scores small for the exp LUT; it cancels in the final
+ * normalization.
+ */
+
+#pragma once
+
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "cta/compression.h"
+#include "nn/attention.h"
+
+namespace cta::alg {
+
+/** Tunable parameters of one CTA attention evaluation. */
+struct CtaConfig
+{
+    /** Hash-code length l (paper uses 6). */
+    core::Index hashLen = 6;
+    /** LSH0 bucket width (query tokens). */
+    core::Real w0 = 1.0f;
+    /** LSH1 bucket width (KV tokens, coarse level). */
+    core::Real w1 = 1.0f;
+    /** LSH2 bucket width (KV residuals, fine level). */
+    core::Real w2 = 0.5f;
+    /** Apply the PPE row-max subtraction (hardware behaviour). */
+    bool subtractRowMax = true;
+    /** Seed for sampling the LSH hyperparameters A, B. */
+    std::uint64_t seed = 1;
+};
+
+/** Shape/compression summary of one CTA evaluation. */
+struct CompressionStats
+{
+    core::Index m = 0;  ///< query count
+    core::Index n = 0;  ///< key/value count
+    core::Index dw = 0; ///< token dimension
+    core::Index d = 0;  ///< head dimension
+    core::Index k0 = 0; ///< compressed query count
+    core::Index k1 = 0; ///< coarse KV cluster count
+    core::Index k2 = 0; ///< fine KV cluster count
+
+    /**
+     * RL: linear-transformation computation ratio vs exact attention
+     * = (k0 + 2(k1+k2)) / (m + 2n)  (paper SIII-D, eq. 3 vs SII-A).
+     */
+    core::Real rl() const;
+
+    /**
+     * Effective-relation proportion k0*(k1+k2) / (m*n) — the quantity
+     * plotted in paper Fig. 2.
+     */
+    core::Real effectiveRelationRatio() const;
+};
+
+/** Every intermediate of a CTA evaluation (consumed by the hardware
+ *  model and by tests). */
+struct CtaIntermediates
+{
+    CompressionLevel queryComp;    ///< C0 / CT0
+    TwoLevelCompression kvComp;    ///< C1, C2 / CT1, CT2
+    core::Matrix qBar;             ///< k0 x d
+    core::Matrix kBar;             ///< (k1+k2) x d
+    core::Matrix vBar;             ///< (k1+k2) x d
+    core::Matrix sBar;             ///< k0 x (k1+k2) compressed scores
+    core::Matrix ap;               ///< k0 x (k1+k2) aggregated probs
+    core::Matrix apRowSums;        ///< k0 x 1 (twice the denominator)
+    core::Matrix oBar;             ///< k0 x d un-normalized outputs
+};
+
+/** Result of one CTA attention evaluation. */
+struct CtaResult
+{
+    /** Full m x d output approximating exact attention. */
+    core::Matrix output;
+    CtaIntermediates inter;
+    CompressionStats stats;
+    /** Token-compression + probability-aggregation bookkeeping ops
+     *  (paper SIII-D "overhead": hashing, centroid agg, AP adds). */
+    core::OpCounts overheadOps;
+    /** Compressed Q/K/V projection ops (the RL numerator). */
+    core::OpCounts linearOps;
+    /** Score + normalization + output ops (the RA numerator). */
+    core::OpCounts attnOps;
+
+    /** All operations combined. */
+    core::OpCounts totalOps() const
+    {
+        return overheadOps + linearOps + attnOps;
+    }
+
+    /** Measured RA: attention-calculation FLOPs vs exact attention. */
+    core::Real measuredRa() const;
+
+    /** Measured RL: linear FLOPs vs exact attention's linears. */
+    core::Real measuredRl() const;
+};
+
+/** The three LSH instances one CtaConfig induces. */
+struct LshParamSet
+{
+    LshParams lsh0; ///< query clustering
+    LshParams lsh1; ///< KV coarse clustering
+    LshParams lsh2; ///< KV residual clustering
+};
+
+/**
+ * Samples the LSH hyperparameters a CtaConfig implies for tokens of
+ * dimension @p dim. Deterministic in config.seed; this exact sampling
+ * is what ctaAttention(), the calibration code and the hardware model
+ * all share.
+ */
+LshParamSet sampleLshParams(const CtaConfig &config, core::Index dim);
+
+/**
+ * Runs the CTA scheme for one attention head.
+ *
+ * @param xq query token matrix (m x dw); pass the same matrix as
+ *        @p xkv for self-attention
+ * @param xkv key/value token matrix (n x dw)
+ */
+CtaResult ctaAttention(const core::Matrix &xq, const core::Matrix &xkv,
+                       const nn::AttentionHeadParams &params,
+                       const CtaConfig &config);
+
+/**
+ * Stages 2-5 of the CTA scheme on *precomputed* compressions —
+ * linears, compressed scores, probability aggregation and output
+ * recovery. This is the per-head work when one token compression is
+ * shared by all heads of a layer (clustering depends only on the
+ * tokens, not on head weights; see cta/multihead.h). The returned
+ * result's overheadOps contains only the probability-aggregation
+ * additions; charge the compression overhead once at the layer
+ * level.
+ *
+ * @param m original query count (output rows to expand to)
+ */
+CtaResult ctaAttentionFromCompression(
+    const CompressionLevel &query_comp,
+    const TwoLevelCompression &kv_comp, core::Index m,
+    const nn::AttentionHeadParams &params,
+    bool subtract_row_max = true);
+
+/**
+ * Attention probability aggregation (paper Fig. 6), exposed for the
+ * PAG hardware model and tests. Fills @p ap (k0 x (k1+k2)) and
+ * @p row_sums (k0 x 1).
+ */
+void aggregateProbabilities(const core::Matrix &s_bar,
+                            const std::vector<core::Index> &ct1,
+                            const std::vector<core::Index> &ct2,
+                            core::Index k1, core::Matrix &ap,
+                            core::Matrix &row_sums,
+                            core::OpCounts *counts = nullptr);
+
+} // namespace cta::alg

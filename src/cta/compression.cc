@@ -1,0 +1,114 @@
+#include "cta/compression.h"
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+
+Real
+CompressionLevel::ratio() const
+{
+    if (table.empty())
+        return 1;
+    return static_cast<Real>(numClusters) /
+           static_cast<Real>(table.size());
+}
+
+Matrix
+aggregateCentroids(const Matrix &x, const ClusterTable &ct,
+                   core::OpCounts *counts)
+{
+    CTA_REQUIRE(static_cast<Index>(ct.table.size()) == x.rows(),
+                "cluster table size ", ct.table.size(),
+                " != token count ", x.rows());
+    const Index d = x.cols();
+    Matrix centroids(ct.numClusters, d);
+    std::vector<Index> members(
+        static_cast<std::size_t>(ct.numClusters), 0);
+    for (Index i = 0; i < x.rows(); ++i) {
+        const Index c = ct.table[static_cast<std::size_t>(i)];
+        CTA_ASSERT(c >= 0 && c < ct.numClusters, "bad cluster id ", c);
+        Real *crow = centroids.row(c).data();
+        const Real *trow = x.row(i).data();
+        for (Index j = 0; j < d; ++j)
+            crow[j] += trow[j];
+        ++members[static_cast<std::size_t>(c)];
+    }
+    for (Index c = 0; c < ct.numClusters; ++c) {
+        const Real inv =
+            1.0f / static_cast<Real>(members[static_cast<std::size_t>(c)]);
+        Real *crow = centroids.row(c).data();
+        for (Index j = 0; j < d; ++j)
+            crow[j] *= inv;
+    }
+    if (counts) {
+        counts->adds += static_cast<std::uint64_t>(x.rows()) * d;
+        counts->divs += static_cast<std::uint64_t>(ct.numClusters) * d;
+    }
+    return centroids;
+}
+
+CompressionLevel
+compressTokens(const Matrix &x, const LshParams &params,
+               core::OpCounts *counts)
+{
+    const HashMatrix codes = hashTokens(x, params, counts);
+    ClusterTable ct = buildClusterTable(codes);
+    CompressionLevel level;
+    level.centroids = aggregateCentroids(x, ct, counts);
+    level.numClusters = ct.numClusters;
+    level.table = std::move(ct.table);
+    return level;
+}
+
+TwoLevelCompression
+compressTwoLevel(const Matrix &x, const LshParams &params1,
+                 const LshParams &params2, core::OpCounts *counts)
+{
+    TwoLevelCompression out;
+    out.level1 = compressTokens(x, params1, counts);
+    // Residual tokens rX = X - C1[CT1] (the SA's leftmost adder
+    // column performs this subtraction in hardware).
+    Matrix residual(x.rows(), x.cols());
+    for (Index i = 0; i < x.rows(); ++i) {
+        const Index c = out.level1.table[static_cast<std::size_t>(i)];
+        const Real *trow = x.row(i).data();
+        const Real *crow = out.level1.centroids.row(c).data();
+        Real *rrow = residual.row(i).data();
+        for (Index j = 0; j < x.cols(); ++j)
+            rrow[j] = trow[j] - crow[j];
+    }
+    if (counts)
+        counts->adds += static_cast<std::uint64_t>(x.size());
+    out.level2 = compressTokens(residual, params2, counts);
+    return out;
+}
+
+Matrix
+reconstruct(const CompressionLevel &level)
+{
+    const Index n = static_cast<Index>(level.table.size());
+    Matrix out(n, level.centroids.cols());
+    for (Index i = 0; i < n; ++i) {
+        const Index c = level.table[static_cast<std::size_t>(i)];
+        const Real *crow = level.centroids.row(c).data();
+        Real *orow = out.row(i).data();
+        for (Index j = 0; j < out.cols(); ++j)
+            orow[j] = crow[j];
+    }
+    return out;
+}
+
+Matrix
+reconstruct(const TwoLevelCompression &compression)
+{
+    Matrix coarse = reconstruct(compression.level1);
+    const Matrix fine = reconstruct(compression.level2);
+    return add(coarse, fine);
+}
+
+} // namespace cta::alg

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Token compression (paper SIII-B).
+ *
+ * One-level compression clusters tokens by LSH and replaces each
+ * cluster with its centroid (mean of member tokens, Fig. 4b).
+ * Two-level compression (used for key/value tokens) clusters the
+ * *residuals* X - C1[CT1] a second time, so tokens are approximated
+ * as the sum of a coarse and a fine centroid (eq. 2):
+ *
+ *   X_i  =~  C1[CT1[i]] + C2[CT2[i]]
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "cta/cluster_tree.h"
+#include "cta/lsh.h"
+
+namespace cta::alg {
+
+/** One clustering level: centroids plus the token -> cluster table. */
+struct CompressionLevel
+{
+    core::Matrix centroids;          ///< numClusters x d
+    std::vector<core::Index> table;  ///< CT: token -> cluster index
+    core::Index numClusters = 0;     ///< k
+
+    /** Compression ratio k / n. */
+    core::Real ratio() const;
+};
+
+/** Two-level residual compression of a key/value token matrix. */
+struct TwoLevelCompression
+{
+    CompressionLevel level1; ///< coarse (LSH1)
+    CompressionLevel level2; ///< fine, over residuals (LSH2)
+
+    /** k1 + k2, the compressed KV token count. */
+    core::Index totalClusters() const
+    {
+        return level1.numClusters + level2.numClusters;
+    }
+};
+
+/**
+ * Averages tokens per cluster (Fig. 4b centroid aggregation).
+ *
+ * Charges n*d adds and k*d divisions when @p counts is given —
+ * the paper's SIII-D centroid-aggregation overhead.
+ */
+core::Matrix aggregateCentroids(const core::Matrix &x,
+                                const ClusterTable &ct,
+                                core::OpCounts *counts = nullptr);
+
+/** Hash + cluster + aggregate: one full compression level. */
+CompressionLevel compressTokens(const core::Matrix &x,
+                                const LshParams &params,
+                                core::OpCounts *counts = nullptr);
+
+/**
+ * Two-level residual compression: level 1 on @p x with @p params1,
+ * level 2 on the residual tokens with @p params2 (Fig. 3b).
+ * Charges n*d adds for forming residuals.
+ */
+TwoLevelCompression compressTwoLevel(const core::Matrix &x,
+                                     const LshParams &params1,
+                                     const LshParams &params2,
+                                     core::OpCounts *counts = nullptr);
+
+/** Reconstructs X~ with X~_i = centroids[CT[i]] (eq. 2, queries). */
+core::Matrix reconstruct(const CompressionLevel &level);
+
+/** Reconstructs X~_i = C1[CT1[i]] + C2[CT2[i]] (eq. 2, keys/values). */
+core::Matrix reconstruct(const TwoLevelCompression &compression);
+
+} // namespace cta::alg

@@ -1,0 +1,172 @@
+#include "cta/config.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+
+std::string
+presetName(Preset preset)
+{
+    switch (preset) {
+      case Preset::Cta0: return "CTA-0";
+      case Preset::Cta05: return "CTA-0.5";
+      case Preset::Cta1: return "CTA-1";
+    }
+    CTA_PANIC("unreachable preset");
+}
+
+PresetTargets
+presetTargets(Preset preset)
+{
+    switch (preset) {
+      case Preset::Cta0: return {0.63f, 0.56f};
+      case Preset::Cta05: return {0.53f, 0.52f};
+      case Preset::Cta1: return {0.39f, 0.47f};
+    }
+    CTA_PANIC("unreachable preset");
+}
+
+namespace {
+
+/**
+ * Re-derives the LSH parameter set for the given slot exactly as
+ * ctaAttention() samples it: lsh0, lsh1, lsh2 are drawn in order from
+ * one Rng(seed) stream, so the direction matrix of slot k is
+ * independent of any bucket width. Width w is applied afterwards via
+ * withWidth(), which reproduces sample()'s b ~ U(0, w) bit-for-bit.
+ */
+LshParams
+lshForSlot(Index hash_len, Index dim, std::uint64_t seed, int slot)
+{
+    CTA_REQUIRE(slot >= 0 && slot < 3, "LSH slot must be 0..2");
+    core::Rng rng(seed);
+    LshParams params = LshParams::sample(hash_len, dim, 1.0f, rng);
+    for (int k = 0; k < slot; ++k)
+        params = LshParams::sample(hash_len, dim, 1.0f, rng);
+    return params;
+}
+
+/** Cluster-count ratio of one-level compression at width @p w. */
+Real
+ratioAtWidth(const Matrix &x, const LshParams &base, Real w)
+{
+    const CompressionLevel level =
+        compressTokens(x, base.withWidth(w));
+    return level.ratio();
+}
+
+} // namespace
+
+Real
+calibrateWidth(const Matrix &x, Index hash_len, Real target_ratio,
+               std::uint64_t seed, int lsh_index)
+{
+    CTA_REQUIRE(target_ratio > 0 && target_ratio <= 1,
+                "target ratio must be in (0, 1], got ", target_ratio);
+    const LshParams base =
+        lshForSlot(hash_len, x.cols(), seed, lsh_index);
+
+    // Ratio is (stochastically) decreasing in width: wider buckets
+    // merge more tokens. Bisect on log-width.
+    Real lo = 1e-3f, hi = 1e3f;
+    Real best_w = 1.0f;
+    Real best_err = 2.0f;
+    for (int iter = 0; iter < 48; ++iter) {
+        const Real mid = std::sqrt(lo * hi);
+        const Real ratio = ratioAtWidth(x, base, mid);
+        const Real err = std::abs(ratio - target_ratio);
+        if (err < best_err) {
+            best_err = err;
+            best_w = mid;
+        }
+        if (ratio > target_ratio)
+            lo = mid; // too many clusters -> widen buckets
+        else
+            hi = mid;
+        if (hi / lo < 1.0005f)
+            break;
+    }
+    return best_w;
+}
+
+CtaConfig
+calibrateToTargets(const Matrix &xq, const Matrix &xkv,
+                   const PresetTargets &targets, Index hash_len,
+                   std::uint64_t seed)
+{
+    CtaConfig config;
+    config.hashLen = hash_len;
+    config.seed = seed;
+
+    config.w0 =
+        calibrateWidth(xq, hash_len, targets.queryRatio, seed, 0);
+
+    // Split the KV budget: roughly half the clusters at the coarse
+    // level, the remainder at the fine (residual) level.
+    const Real coarse_target = targets.kvRatio * 0.5f;
+    config.w1 =
+        calibrateWidth(xkv, hash_len, coarse_target, seed, 1);
+
+    // The fine level clusters residual tokens, which depend on the
+    // realized level-1 clustering; compute them, then calibrate w2 on
+    // the actual residual matrix for the remaining budget.
+    const LshParams lsh1 =
+        lshForSlot(hash_len, xkv.cols(), seed, 1).withWidth(config.w1);
+    const CompressionLevel level1 = compressTokens(xkv, lsh1);
+    Matrix residual(xkv.rows(), xkv.cols());
+    for (Index i = 0; i < xkv.rows(); ++i) {
+        const Index c = level1.table[static_cast<std::size_t>(i)];
+        for (Index j = 0; j < xkv.cols(); ++j)
+            residual(i, j) = xkv(i, j) - level1.centroids(c, j);
+    }
+    const Real realized_coarse = level1.ratio();
+    const Real fine_target =
+        std::max(0.02f, targets.kvRatio - realized_coarse);
+    config.w2 =
+        calibrateWidth(residual, hash_len, fine_target, seed, 2);
+    return config;
+}
+
+CtaConfig
+calibrate(const Matrix &xq, const Matrix &xkv, Preset preset,
+          Index hash_len, std::uint64_t seed)
+{
+    return calibrateToTargets(xq, xkv, presetTargets(preset), hash_len,
+                              seed);
+}
+
+core::ConfigMap
+toConfigMap(const CtaConfig &config)
+{
+    core::ConfigMap map;
+    map.set("hash_len", static_cast<std::int64_t>(config.hashLen));
+    map.set("w0", static_cast<double>(config.w0));
+    map.set("w1", static_cast<double>(config.w1));
+    map.set("w2", static_cast<double>(config.w2));
+    map.set("subtract_row_max", config.subtractRowMax);
+    map.set("seed", static_cast<std::int64_t>(config.seed));
+    return map;
+}
+
+CtaConfig
+ctaConfigFromMap(const core::ConfigMap &map)
+{
+    CtaConfig config;
+    config.hashLen = static_cast<Index>(map.getInt("hash_len"));
+    config.w0 = static_cast<Real>(map.getDouble("w0"));
+    config.w1 = static_cast<Real>(map.getDouble("w1"));
+    config.w2 = static_cast<Real>(map.getDouble("w2"));
+    config.subtractRowMax = map.getBool("subtract_row_max", true);
+    config.seed =
+        static_cast<std::uint64_t>(map.getInt("seed", 1));
+    return config;
+}
+
+} // namespace cta::alg

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CTA accuracy presets and bucket-width calibration.
+ *
+ * The paper defines CTA-0 / CTA-0.5 / CTA-1 as operating points with
+ * on-average 0 %, 0.5 % and 1 % accuracy loss, reached by tuning the
+ * clustering aggressiveness per testcase; Fig. 11 reports the
+ * resulting average computation ratios. Here each preset carries the
+ * compression-ratio targets implied by those averages:
+ *
+ *     preset   RL      RA      =>  k0/n    (k1+k2)/n
+ *     CTA-0    58.3 %  35.2 %      ~0.63   ~0.56
+ *     CTA-0.5  52.2 %  27.5 %      ~0.53   ~0.52
+ *     CTA-1    44.4 %  18.4 %      ~0.39   ~0.47
+ *
+ * (from RL = (k0 + 2(k1+k2)) / 3n and RA =~ k0(k1+k2)/n^2), and
+ * calibrate() bisects the LSH bucket widths until the measured
+ * cluster counts hit the targets on a sample token matrix — the
+ * reproduction analogue of the paper's per-testcase fine-tuning.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/config_io.h"
+#include "cta/compressed_attention.h"
+
+namespace cta::alg {
+
+/** The paper's three accuracy/compression operating points. */
+enum class Preset
+{
+    Cta0,   ///< no accuracy loss (mildest compression)
+    Cta05,  ///< ~0.5 % accuracy loss
+    Cta1,   ///< ~1 % accuracy loss (strongest compression)
+};
+
+/** Display name, e.g. "CTA-0.5". */
+std::string presetName(Preset preset);
+
+/** Compression-ratio targets a preset calibrates toward. */
+struct PresetTargets
+{
+    core::Real queryRatio;  ///< target k0 / n
+    core::Real kvRatio;     ///< target (k1 + k2) / n
+};
+
+/** Targets implied by the paper's Fig. 11 averages (see file doc). */
+PresetTargets presetTargets(Preset preset);
+
+/**
+ * Bisects the LSH bucket width until one-level compression of @p x
+ * yields ~@p target_ratio clusters per token. Width and ratio are
+ * inversely monotone, so bisection on log-width converges.
+ *
+ * @param hash_len code length l
+ * @param seed LSH hyperparameter seed (must match later use)
+ */
+core::Real calibrateWidth(const core::Matrix &x, core::Index hash_len,
+                          core::Real target_ratio, std::uint64_t seed,
+                          int lsh_index);
+
+/**
+ * Produces a CtaConfig whose measured k0, k1+k2 hit the preset's
+ * targets on the given sample tokens. For self-attention pass the
+ * same matrix twice.
+ */
+CtaConfig calibrate(const core::Matrix &xq, const core::Matrix &xkv,
+                    Preset preset, core::Index hash_len = 6,
+                    std::uint64_t seed = 1);
+
+/** Calibrates toward explicit ratio targets instead of a preset. */
+CtaConfig calibrateToTargets(const core::Matrix &xq,
+                             const core::Matrix &xkv,
+                             const PresetTargets &targets,
+                             core::Index hash_len = 6,
+                             std::uint64_t seed = 1);
+
+/**
+ * Serializes a (typically calibrated) CtaConfig to the key=value
+ * text format, so operating points found by an expensive calibration
+ * sweep can be stored and shipped.
+ */
+core::ConfigMap toConfigMap(const CtaConfig &config);
+
+/** Parses a CtaConfig back; fatal on missing keys. */
+CtaConfig ctaConfigFromMap(const core::ConfigMap &map);
+
+} // namespace cta::alg

@@ -1,0 +1,38 @@
+#include "cta/error.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "core/stats.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+
+ApproximationError
+compareOutputs(const Matrix &approx, const Matrix &exact)
+{
+    CTA_REQUIRE(approx.rows() == exact.rows() &&
+                approx.cols() == exact.cols(),
+                "compareOutputs shape mismatch: ", approx.rows(), "x",
+                approx.cols(), " vs ", exact.rows(), "x", exact.cols());
+    ApproximationError err;
+    err.relativeFrobenius = relativeError(approx, exact);
+    err.maxAbs = maxAbsDiff(approx, exact);
+    core::Wide cos_sum = 0;
+    Real cos_min = 1;
+    for (Index i = 0; i < approx.rows(); ++i) {
+        const Real c =
+            core::cosineSimilarity(approx.row(i), exact.row(i));
+        cos_sum += c;
+        cos_min = std::min(cos_min, c);
+    }
+    err.meanCosine = approx.rows() > 0
+        ? static_cast<Real>(cos_sum / approx.rows()) : 1;
+    err.worstCosine = approx.rows() > 0 ? cos_min : 1;
+    return err;
+}
+
+} // namespace cta::alg

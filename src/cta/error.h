@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Approximation-error metrics for comparing CTA (or any approximate
+ * attention) outputs against exact attention. These power the
+ * accuracy axis of Fig. 11 in the reproduction: relative output error
+ * and mean per-row cosine similarity are the geometric quantities a
+ * downstream head feels, and the proxy-task label-flip rate (see
+ * nn/workload.h) converts them into an accuracy loss.
+ */
+
+#pragma once
+
+#include "core/matrix.h"
+
+namespace cta::alg {
+
+/** Error summary of an approximate attention output vs a reference. */
+struct ApproximationError
+{
+    /** ||approx - exact||_F / ||exact||_F. */
+    core::Real relativeFrobenius = 0;
+    /** Mean over rows of cosine(approx_i, exact_i). */
+    core::Real meanCosine = 0;
+    /** Worst (minimum) per-row cosine similarity. */
+    core::Real worstCosine = 0;
+    /** Max absolute element difference. */
+    core::Real maxAbs = 0;
+};
+
+/** Computes all error metrics; shapes must match. */
+ApproximationError compareOutputs(const core::Matrix &approx,
+                                  const core::Matrix &exact);
+
+} // namespace cta::alg

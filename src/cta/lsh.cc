@@ -1,0 +1,105 @@
+#include "cta/lsh.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+#include "core/rng.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+using core::Wide;
+
+HashMatrix::HashMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0)
+{
+}
+
+std::int32_t &
+HashMatrix::operator()(Index r, Index c)
+{
+    CTA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "hash index out of range");
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+std::int32_t
+HashMatrix::operator()(Index r, Index c) const
+{
+    CTA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "hash index out of range");
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+std::span<const std::int32_t>
+HashMatrix::code(Index r) const
+{
+    CTA_ASSERT(r >= 0 && r < rows_, "hash row out of range");
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+}
+
+LshParams
+LshParams::sample(Index l, Index d, Real w, core::Rng &rng)
+{
+    CTA_REQUIRE(l > 0 && d > 0 && w > 0,
+                "LSH needs positive l, d, w; got ", l, ", ", d, ", ", w);
+    LshParams params;
+    params.a = Matrix::randomNormal(l, d, rng);
+    params.b = Matrix(l, 1);
+    for (Index i = 0; i < l; ++i)
+        params.b(i, 0) = rng.uniform(0, w);
+    params.w = w;
+    return params;
+}
+
+LshParams
+LshParams::withWidth(Real new_w) const
+{
+    CTA_REQUIRE(new_w > 0, "bucket width must be positive");
+    LshParams params = *this;
+    // Keep the bias uniform over [0, new_w) by rescaling.
+    for (Index i = 0; i < params.b.rows(); ++i)
+        params.b(i, 0) = params.b(i, 0) / w * new_w;
+    params.w = new_w;
+    return params;
+}
+
+HashMatrix
+hashTokens(const Matrix &x, const LshParams &params,
+           core::OpCounts *counts)
+{
+    CTA_REQUIRE(x.cols() == params.dim(), "token dim ", x.cols(),
+                " != LSH dim ", params.dim());
+    const Index n = x.rows();
+    const Index l = params.hashLen();
+    const Index d = params.dim();
+    HashMatrix h(n, l);
+    const Real inv_w = 1.0f / params.w;
+    for (Index i = 0; i < n; ++i) {
+        const Real *token = x.row(i).data();
+        for (Index j = 0; j < l; ++j) {
+            const Real *dir = params.a.row(j).data();
+            Wide dot = 0;
+            for (Index k = 0; k < d; ++k)
+                dot += static_cast<Wide>(dir[k]) * token[k];
+            const Wide shifted = (dot + params.b(j, 0)) * inv_w;
+            h(i, j) = static_cast<std::int32_t>(
+                std::floor(shifted));
+        }
+    }
+    if (counts) {
+        const auto nu = static_cast<std::uint64_t>(n);
+        const auto lu = static_cast<std::uint64_t>(l);
+        counts->macs += lu * nu * static_cast<std::uint64_t>(d);
+        counts->adds += lu * nu;   // + b
+        counts->muls += lu * nu;   // * 1/w
+        counts->floors += lu * nu;
+    }
+    return h;
+}
+
+} // namespace cta::alg

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * p-stable locality sensitive hashing (paper SIII-A, eq. 1):
+ *
+ *   h_{a,b}(x) = floor((<x, a> + b) / w)
+ *   H = floor((A . X^T + B) / w)
+ *
+ * with A's rows sampled from N(0,1)^d and b from U(0, w). A token's
+ * hash code is the column of H belonging to it: an l-vector of bucket
+ * integers. Tokens sharing a hash code land in one cluster.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+
+namespace cta::core {
+class Rng;
+struct OpCounts;
+} // namespace cta::core
+
+namespace cta::alg {
+
+/** Integer matrix holding one l-dimensional hash code per token row. */
+class HashMatrix
+{
+  public:
+    HashMatrix() = default;
+
+    /** rows = number of tokens, cols = hash length l. */
+    HashMatrix(core::Index rows, core::Index cols);
+
+    core::Index rows() const { return rows_; }
+    core::Index cols() const { return cols_; }
+
+    std::int32_t &operator()(core::Index r, core::Index c);
+    std::int32_t operator()(core::Index r, core::Index c) const;
+
+    /** The hash code (length-l span) of token @p r. */
+    std::span<const std::int32_t> code(core::Index r) const;
+
+    bool operator==(const HashMatrix &other) const = default;
+
+  private:
+    core::Index rows_ = 0;
+    core::Index cols_ = 0;
+    std::vector<std::int32_t> data_;
+};
+
+/** Hyperparameters of one LSH instance (A, B, w from eq. 1). */
+struct LshParams
+{
+    core::Matrix a;   ///< l x d direction matrix, rows ~ N(0,1)^d
+    core::Matrix b;   ///< l x 1 bias vector, entries ~ U(0, w)
+    core::Real w = 1; ///< bucket width
+
+    /** Hash-code length l. */
+    core::Index hashLen() const { return a.rows(); }
+
+    /** Token dimension d. */
+    core::Index dim() const { return a.cols(); }
+
+    /** Samples fresh (A, B) for the given shape and width. */
+    static LshParams sample(core::Index l, core::Index d, core::Real w,
+                            core::Rng &rng);
+
+    /** Returns a copy with a different bucket width (same A; biases
+     *  are rescaled to stay uniform over the new [0, w)). */
+    LshParams withWidth(core::Real new_w) const;
+};
+
+/**
+ * Hashes every row of @p x (n x d), producing an n x l HashMatrix.
+ *
+ * Charges l*n*d MACs (the A.X^T product, counting the bias add into
+ * the MAC chain), l*n adds and l*n floor/divide pairs — matching the
+ * paper's SIII-D overhead accounting of 3*l*n*d multiplications for
+ * the three LSH instances.
+ */
+HashMatrix hashTokens(const core::Matrix &x, const LshParams &params,
+                      core::OpCounts *counts = nullptr);
+
+} // namespace cta::alg

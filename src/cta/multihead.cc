@@ -1,0 +1,127 @@
+#include "cta/multihead.h"
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+using core::OpCounts;
+
+CtaMultiHeadAttention::CtaMultiHeadAttention(Index d_model,
+                                             Index num_heads,
+                                             core::Rng &rng)
+    : headDim_(d_model / num_heads),
+      outputProj_(nn::Linear::randomInit(d_model, d_model, rng))
+{
+    CTA_REQUIRE(num_heads > 0 && d_model % num_heads == 0,
+                "d_model ", d_model, " not divisible by heads ",
+                num_heads);
+    heads_.reserve(static_cast<std::size_t>(num_heads));
+    for (Index h = 0; h < num_heads; ++h)
+        heads_.push_back(nn::AttentionHeadParams::randomInit(
+            d_model, headDim_, rng));
+}
+
+void
+CtaMultiHeadAttention::calibrate(const Matrix &sample_tokens,
+                                 Preset preset, std::uint64_t seed)
+{
+    config_ = alg::calibrate(sample_tokens, sample_tokens, preset, 6,
+                             seed);
+}
+
+const CtaConfig &
+CtaMultiHeadAttention::config() const
+{
+    CTA_REQUIRE(config_.has_value(),
+                "CtaMultiHeadAttention used before calibrate()/"
+                "setConfig()");
+    return *config_;
+}
+
+Matrix
+CtaMultiHeadAttention::forward(const Matrix &x, OpCounts *counts) const
+{
+    const CtaConfig &cfg = config();
+    // Compress the layer input ONCE; all heads share it.
+    const LshParamSet lsh = sampleLshParams(cfg, x.cols());
+    OpCounts compression_ops;
+    const TwoLevelCompression kv_comp =
+        compressTwoLevel(x, lsh.lsh1, lsh.lsh2, &compression_ops);
+    const CompressionLevel query_comp =
+        compressTokens(x, lsh.lsh0, &compression_ops);
+    if (counts)
+        *counts += compression_ops;
+
+    Matrix all(x.rows(), headDim_ * static_cast<Index>(heads_.size()));
+    Index offset = 0;
+    for (const auto &head : heads_) {
+        CtaResult r = ctaAttentionFromCompression(
+            query_comp, kv_comp, x.rows(), head,
+            cfg.subtractRowMax);
+        if (counts)
+            *counts += r.totalOps();
+        for (Index i = 0; i < x.rows(); ++i)
+            for (Index j = 0; j < headDim_; ++j)
+                all(i, offset + j) = r.output(i, j);
+        offset += headDim_;
+        lastStats_ = r.stats;
+    }
+    return outputProj_.forward(all, counts);
+}
+
+Matrix
+CtaMultiHeadAttention::forwardExact(const Matrix &x,
+                                    OpCounts *counts) const
+{
+    Matrix all(x.rows(), headDim_ * static_cast<Index>(heads_.size()));
+    Index offset = 0;
+    for (const auto &head : heads_) {
+        const Matrix out = nn::exactAttention(x, x, head, counts);
+        for (Index i = 0; i < x.rows(); ++i)
+            for (Index j = 0; j < headDim_; ++j)
+                all(i, offset + j) = out(i, j);
+        offset += headDim_;
+    }
+    return outputProj_.forward(all, counts);
+}
+
+CtaEncoderLayer::CtaEncoderLayer(Index d_model, Index num_heads,
+                                 Index d_hidden, core::Rng &rng)
+    : norm1_(d_model), attention_(d_model, num_heads, rng),
+      norm2_(d_model), ffn_(d_model, d_hidden, rng)
+{
+}
+
+void
+CtaEncoderLayer::calibrate(const Matrix &sample_tokens, Preset preset,
+                           std::uint64_t seed)
+{
+    // Calibrate on what the attention block actually sees: the
+    // layer-normalized tokens.
+    attention_.calibrate(norm1_.forward(sample_tokens), preset, seed);
+}
+
+Matrix
+CtaEncoderLayer::forward(const Matrix &x, OpCounts *counts) const
+{
+    Matrix attn_out =
+        attention_.forward(norm1_.forward(x, counts), counts);
+    Matrix mid = add(x, attn_out, counts);
+    Matrix ffn_out = ffn_.forward(norm2_.forward(mid, counts), counts);
+    return add(mid, ffn_out, counts);
+}
+
+Matrix
+CtaEncoderLayer::forwardExact(const Matrix &x, OpCounts *counts) const
+{
+    Matrix attn_out =
+        attention_.forwardExact(norm1_.forward(x, counts), counts);
+    Matrix mid = add(x, attn_out, counts);
+    Matrix ffn_out = ffn_.forward(norm2_.forward(mid, counts), counts);
+    return add(mid, ffn_out, counts);
+}
+
+} // namespace cta::alg

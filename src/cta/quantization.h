@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fixed-point CTA inference (paper SIV-C "Number Quantization").
+ *
+ * Runs the same CTA pipeline with every tensor snapped to the paper's
+ * fixed-point grids at the points hardware would hold it:
+ *
+ *   - input tokens            -> 13-bit Q6.7
+ *   - linear weights          -> 12-bit, integer bits fit to range
+ *   - LSH direction matrix A  -> 12-bit Q3.9 (three-sigma rule)
+ *   - centroids, Qb/Kb/Vb     -> 12-bit Q6.6
+ *   - scores / probabilities  -> 16-bit Q7.9
+ *
+ * The paper reports < 0.1 % accuracy loss from this scheme; the
+ * reproduction's quantization bench verifies the analogous claim on
+ * output error (tests/quantization_test.cc, bench/ablation suite).
+ */
+
+#pragma once
+
+#include "core/fixed_point.h"
+#include "cta/compressed_attention.h"
+
+namespace cta::alg {
+
+/**
+ * CTA attention computed on fixed-point-quantized tensors.
+ *
+ * Identical control flow to ctaAttention(); tensors are quantized at
+ * module boundaries (token load, weight load, centroid writeback,
+ * compressed Q/K/V writeback, score writeback).
+ */
+CtaResult ctaAttentionQuantized(const core::Matrix &xq,
+                                const core::Matrix &xkv,
+                                const nn::AttentionHeadParams &params,
+                                const CtaConfig &config,
+                                const core::QuantScheme &scheme =
+                                    core::QuantScheme::paperDefault());
+
+/**
+ * Exact attention with the same token/weight quantization, for
+ * isolating quantization error from approximation error.
+ */
+core::Matrix exactAttentionQuantized(const core::Matrix &xq,
+                                     const core::Matrix &xkv,
+                                     const nn::AttentionHeadParams &params,
+                                     const core::QuantScheme &scheme =
+                                         core::QuantScheme::paperDefault());
+
+} // namespace cta::alg

@@ -1,0 +1,44 @@
+#include "cta/recovery.h"
+
+#include "core/logging.h"
+#include "nn/softmax.h"
+
+namespace cta::alg {
+
+using core::Index;
+using core::Matrix;
+
+Matrix
+recoverScores(const CtaIntermediates &inter, Index m)
+{
+    const auto &ct0 = inter.queryComp.table;
+    const auto &ct1 = inter.kvComp.level1.table;
+    const auto &ct2 = inter.kvComp.level2.table;
+    CTA_REQUIRE(static_cast<Index>(ct0.size()) == m,
+                "query table size mismatch");
+    CTA_REQUIRE(!ct1.empty() && ct1.size() == ct2.size(),
+                "KV tables inconsistent");
+    const auto n = static_cast<Index>(ct1.size());
+    const Index k1 = inter.kvComp.level1.numClusters;
+
+    Matrix scores(m, n);
+    for (Index i = 0; i < m; ++i) {
+        const Index c0 = ct0[static_cast<std::size_t>(i)];
+        for (Index j = 0; j < n; ++j) {
+            const Index c1 = ct1[static_cast<std::size_t>(j)];
+            const Index c2 =
+                k1 + ct2[static_cast<std::size_t>(j)];
+            scores(i, j) =
+                inter.sBar(c0, c1) + inter.sBar(c0, c2);
+        }
+    }
+    return scores;
+}
+
+Matrix
+recoverProbabilities(const CtaIntermediates &inter, Index m)
+{
+    return nn::rowSoftmax(recoverScores(inter, m));
+}
+
+} // namespace cta::alg

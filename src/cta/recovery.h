@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Full-matrix recovery from compressed attention quantities — the
+ * operation paper Fig. 5 visualizes: every original score S_ij is
+ * the sum of two compressed scores (eq. 6),
+ *
+ *   S_ij ~= Sb[CT0[i], CT1[j]] + Sb[CT0[i], k1 + CT2[j]]
+ *
+ * and the original attention probabilities follow by row-softmax.
+ * Production inference never materializes these O(m n) matrices
+ * (that would undo the compression); they exist for analysis,
+ * visualization and testing.
+ */
+
+#pragma once
+
+#include "cta/compressed_attention.h"
+
+namespace cta::alg {
+
+/**
+ * Expands the compressed score matrix to the full m x n
+ * approximation via eq. 6.
+ *
+ * @param inter intermediates of a ctaAttention() run
+ * @param m original query count
+ */
+core::Matrix recoverScores(const CtaIntermediates &inter,
+                           core::Index m);
+
+/**
+ * Expands the full m x n attention-probability approximation:
+ * row-softmax of the recovered scores. Rows are exactly stochastic.
+ */
+core::Matrix recoverProbabilities(const CtaIntermediates &inter,
+                                  core::Index m);
+
+} // namespace cta::alg

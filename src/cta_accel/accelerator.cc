@@ -1,0 +1,225 @@
+#include "cta_accel/accelerator.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+using core::Index;
+using sim::Wide;
+
+CtaAccelerator::CtaAccelerator(const HwConfig &config,
+                               const sim::TechParams &tech)
+    : hwConfig_(config), tech_(tech)
+{
+}
+
+Wide
+CtaAccelerator::tokenKvMemKb() const
+{
+    // n x d tokens at one 16-bit word each; reused for Kb/Vb storage
+    // after compression (paper SV-B memory recycling).
+    return static_cast<Wide>(hwConfig_.maxSeqLen) *
+           static_cast<Wide>(hwConfig_.saHeight) * 2.0 / 1024.0;
+}
+
+Wide
+CtaAccelerator::weightMemKb() const
+{
+    // Three d x d weight matrices, the l x d LSH parameter matrix and
+    // three n-entry cluster tables.
+    const Wide d = static_cast<Wide>(hwConfig_.saHeight);
+    const Wide words = 3.0 * d * d +
+                       static_cast<Wide>(hwConfig_.hashLen) * d +
+                       3.0 * static_cast<Wide>(hwConfig_.maxSeqLen);
+    return words * 2.0 / 1024.0;
+}
+
+Wide
+CtaAccelerator::resultMemKb() const
+{
+    // Centroids (up to k0 + k1 + k2 <= 1.5 n in practice) and the
+    // compressed outputs share this memory (paper SV-B).
+    return 1.5 * static_cast<Wide>(hwConfig_.maxSeqLen) *
+           static_cast<Wide>(hwConfig_.saHeight) * 2.0 / 1024.0;
+}
+
+AreaBreakdown
+CtaAccelerator::area() const
+{
+    AreaBreakdown breakdown;
+    const auto pes = static_cast<Wide>(hwConfig_.multiplierCount());
+    breakdown.saMm2 = pes * tech_.peAreaMm2 +
+        static_cast<Wide>(hwConfig_.saWidth) * tech_.ppeAreaMm2 +
+        static_cast<Wide>(hwConfig_.saHeight) * tech_.saAdderColAreaMm2;
+    breakdown.memoriesMm2 =
+        (tokenKvMemKb() + weightMemKb() + resultMemKb()) *
+        tech_.sramAreaMm2PerKb;
+    breakdown.cimMm2 = CimModel(hwConfig_, tech_).areaMm2();
+    breakdown.cagMm2 = CagModel(hwConfig_, tech_).areaMm2();
+    breakdown.pagMm2 = PagModel(hwConfig_, tech_).areaMm2();
+    return breakdown;
+}
+
+CtaAccelResult
+CtaAccelerator::run(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &params,
+                    const alg::CtaConfig &alg_config,
+                    const std::string &platform) const
+{
+    CTA_REQUIRE(xq.cols() == hwConfig_.saHeight,
+                "token dim ", xq.cols(), " != SA height ",
+                hwConfig_.saHeight);
+    CTA_REQUIRE(xkv.rows() <= hwConfig_.maxSeqLen,
+                "sequence length ", xkv.rows(),
+                " exceeds configured maximum ", hwConfig_.maxSeqLen);
+
+    CtaAccelResult out;
+    // --- Functional execution. ---
+    out.algorithm = ctaAttention(xq, xkv, params, alg_config);
+    const auto &stats = out.algorithm.stats;
+    const Index d = stats.d;
+    const Index b = hwConfig_.saWidth;
+    const Index k_total = stats.k1 + stats.k2;
+    const Index kv_batches = (k_total + b - 1) / b;
+    const Index q_batches = (stats.k0 + b - 1) / b;
+
+    // --- Timing (Table I schedule). ---
+    TableIMapper mapper(hwConfig_);
+    out.mapping = mapper.schedule(stats);
+
+    // --- Memory traffic (16-bit words). ---
+    sim::SramModel token_kv("token/KV", tokenKvMemKb(), tech_);
+    sim::SramModel weight("weight", weightMemKb(), tech_);
+    sim::SramModel result_mem("result", resultMemKb(), tech_);
+
+    const auto nu = static_cast<std::uint64_t>(stats.n);
+    const auto mu = static_cast<std::uint64_t>(stats.m);
+    const auto du = static_cast<std::uint64_t>(d);
+    const auto ku = static_cast<std::uint64_t>(k_total);
+    const auto k0u = static_cast<std::uint64_t>(stats.k0);
+
+    // Compression: LSH parameter load + token reads (X^KV read twice:
+    // once for LSH1/CACC, once to form residuals, which also reads
+    // C1 by CT1 addressing from result memory).
+    weight.read(static_cast<std::uint64_t>(hwConfig_.hashLen) * du);
+    token_kv.read(nu * du);           // LSH1 + CACC share one stream
+    token_kv.read(mu * du);           // LSH0 (self-attn: X^Q = X^KV)
+    token_kv.read(nu * du);           // residual pass token stream
+    result_mem.read(nu * du);         // C1 addressed by CT1
+    weight.write(3 * nu);             // cluster tables CT0/1/2
+    weight.read(2 * k0u * nu);        // PAG streams CT1/CT2 per row
+    // CACC writeback/refill per clustering (buffered, but each
+    // cluster-index change spills d words each way).
+    result_mem.write(2 * nu * du + mu * du); // 3 clusterings, upper bound
+    result_mem.read(2 * nu * du + mu * du);
+    // CAVG: read + write each centroid once per level.
+    const auto centroid_words =
+        (k0u + static_cast<std::uint64_t>(stats.k1) +
+         static_cast<std::uint64_t>(stats.k2)) * du;
+    result_mem.read(centroid_words);
+    result_mem.write(centroid_words);
+
+    // K/V linears: per batch load b tokens once (shared by K and V),
+    // stream W^K and W^V fully, write Kb and Vb.
+    result_mem.read(ku * du);                       // C^cat batches
+    weight.read(2 * static_cast<std::uint64_t>(kv_batches) * du * du);
+    token_kv.write(2 * ku * du);                    // Kb, Vb
+
+    // Query loop: load C0 batch, stream W^Q, stream Kb per score
+    // batch, stream Vb per output batch, write outputs.
+    result_mem.read(k0u * du);
+    weight.read(static_cast<std::uint64_t>(q_batches) * du * du);
+    token_kv.read(static_cast<std::uint64_t>(q_batches) * ku * du); // Kb
+    token_kv.read(static_cast<std::uint64_t>(q_batches) * ku * du); // Vb
+    result_mem.write(k0u * du);                     // outputs
+
+    out.tokenKvAccesses = token_kv.accesses();
+    out.weightAccesses = weight.accesses();
+    out.resultAccesses = result_mem.accesses();
+
+    // --- Auxiliary modules (functional + energy). ---
+    const alg::LshParamSet lsh =
+        sampleLshParams(alg_config, xq.cols());
+    CimModel cim(hwConfig_, tech_);
+    const auto h1 = alg::hashTokens(xkv, lsh.lsh1);
+    const auto h0 = alg::hashTokens(xq, lsh.lsh0);
+    // Residual tokens for LSH2 (recomputed for the CIM energy model).
+    core::Matrix residual(xkv.rows(), xkv.cols());
+    const auto &level1 = out.algorithm.inter.kvComp.level1;
+    for (Index i = 0; i < xkv.rows(); ++i) {
+        const Index c = level1.table[static_cast<std::size_t>(i)];
+        for (Index j = 0; j < xkv.cols(); ++j)
+            residual(i, j) = xkv(i, j) - level1.centroids(c, j);
+    }
+    const auto h2 = alg::hashTokens(residual, lsh.lsh2);
+    const CimReport cim1 = cim.process(h1);
+    const CimReport cim0 = cim.process(h0);
+    const CimReport cim2 = cim.process(h2);
+    CTA_ASSERT(cim1.clusters.numClusters == stats.k1 &&
+               cim0.clusters.numClusters == stats.k0 &&
+               cim2.clusters.numClusters == stats.k2,
+               "CIM functional model diverged from algorithm library");
+
+    CagModel cag(hwConfig_, tech_);
+    const CagReport cag1 = cag.aggregate(stats.n, stats.k1, true);
+    const CagReport cag0 = cag.aggregate(stats.m, stats.k0, true);
+    const CagReport cag2 = cag.aggregate(stats.n, stats.k2, false);
+
+    PagModel pag(hwConfig_, tech_);
+    const PagReport pag_batch = pag.aggregateBatch(b, stats.n);
+
+    // --- Energy. ---
+    const auto &ops = out.algorithm;
+    // PAG owns the Fig. 6 aggregation: k0*n exps and 3*k0*n adds; the
+    // rest of the overhead adds (hash bias, centroid accumulation,
+    // residual subtraction) happen on SA adders / PPEs.
+    const std::uint64_t pag_adds = 3 * k0u * nu;
+    const std::uint64_t sa_adds =
+        ops.overheadOps.adds - pag_adds + ops.attnOps.adds;
+    const std::uint64_t sa_macs = ops.overheadOps.macs +
+        ops.linearOps.macs + ops.attnOps.macs;
+
+    sim::EnergyBreakdown energy;
+    energy.computePj =
+        static_cast<Wide>(sa_macs) * tech_.macEnergyPj +
+        static_cast<Wide>(sa_adds) * tech_.addEnergyPj +
+        static_cast<Wide>(ops.attnOps.muls + ops.overheadOps.muls) *
+            tech_.mulEnergyPj +
+        static_cast<Wide>(ops.attnOps.cmps) * tech_.cmpEnergyPj +
+        static_cast<Wide>(ops.attnOps.divs + ops.overheadOps.divs) *
+            (tech_.mulEnergyPj + tech_.divEnergyPj) +
+        static_cast<Wide>(ops.overheadOps.floors) * tech_.cmpEnergyPj +
+        // operand/result register movement through the PE mesh
+        static_cast<Wide>(sa_macs) * 2.0 * tech_.regEnergyPj;
+    // CAG arithmetic is already inside overheadOps (SA adders), so
+    // only its control/buffer energy is added to auxiliary.
+    energy.auxiliaryPj = cim0.energyPj + cim1.energyPj + cim2.energyPj +
+        static_cast<Wide>(q_batches) * pag_batch.energyPj +
+        0.15 * (cag0.energyPj + cag1.energyPj + cag2.energyPj);
+    energy.memoryPj = token_kv.dynamicEnergyPj() +
+        weight.dynamicEnergyPj() + result_mem.dynamicEnergyPj();
+
+    const Wide seconds =
+        static_cast<Wide>(out.mapping.latency.total()) /
+        (static_cast<Wide>(hwConfig_.freqGhz) * 1e9);
+    energy.staticPj =
+        tech_.leakageMwPerMm2 * area().total() * 1e-3 /* W */ *
+        seconds * 1e12;
+
+    // --- Report. ---
+    out.report.platform = platform;
+    out.report.latency = out.mapping.latency;
+    out.report.energy = energy;
+    out.report.traffic.reads =
+        token_kv.reads() + weight.reads() + result_mem.reads();
+    out.report.traffic.writes =
+        token_kv.writes() + weight.writes() + result_mem.writes();
+    out.report.areaMm2 = area().total();
+    out.report.freqGhz = hwConfig_.freqGhz;
+    return out;
+}
+
+} // namespace cta::accel

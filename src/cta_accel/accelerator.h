@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Top-level CTA accelerator model (paper Fig. 7): functional
+ * execution (via the algorithm library), Table-I timing (via the
+ * mapper), and full energy / area / memory-traffic accounting over
+ * the three on-chip SRAMs and the four hardware modules.
+ *
+ * One CtaAccelerator instance models one accelerator; the benches
+ * instantiate 12 of them (iso-area with 12 x ELSA, paper SVI-C) by
+ * dividing per-head latency by the unit count at the system level.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "cta/compressed_attention.h"
+#include "cta_accel/cag.h"
+#include "cta_accel/cim.h"
+#include "cta_accel/mapper.h"
+#include "cta_accel/pag.h"
+#include "sim/memory.h"
+#include "sim/report.h"
+
+namespace cta::accel {
+
+/** Fig. 15 area breakdown. */
+struct AreaBreakdown
+{
+    sim::Wide saMm2 = 0;       ///< PEs + PPEs + residual adders
+    sim::Wide memoriesMm2 = 0; ///< token/KV + weight + result SRAM
+    sim::Wide cimMm2 = 0;
+    sim::Wide cagMm2 = 0;
+    sim::Wide pagMm2 = 0;
+
+    sim::Wide total() const
+    {
+        return saMm2 + memoriesMm2 + cimMm2 + cagMm2 + pagMm2;
+    }
+};
+
+/** Everything produced by one simulated attention evaluation. */
+struct CtaAccelResult
+{
+    alg::CtaResult algorithm;  ///< functional output + op counts
+    MappingResult mapping;     ///< timed Table-I schedule
+    sim::PerfReport report;    ///< latency/energy/traffic/area
+    /** Per-memory access counts (token/KV, weight, result). */
+    std::uint64_t tokenKvAccesses = 0;
+    std::uint64_t weightAccesses = 0;
+    std::uint64_t resultAccesses = 0;
+};
+
+/** The complete CTA accelerator model. */
+class CtaAccelerator
+{
+  public:
+    CtaAccelerator(const HwConfig &config, const sim::TechParams &tech);
+
+    /**
+     * Simulates one attention-head evaluation end to end.
+     *
+     * @param platform label stamped into the PerfReport
+     */
+    CtaAccelResult run(const core::Matrix &xq, const core::Matrix &xkv,
+                       const nn::AttentionHeadParams &params,
+                       const alg::CtaConfig &alg_config,
+                       const std::string &platform = "CTA") const;
+
+    /** Static area breakdown of this configuration (Fig. 15). */
+    AreaBreakdown area() const;
+
+    const HwConfig &config() const { return hwConfig_; }
+
+    // --- memory sizing (exposed for tests) ---
+
+    /** Token/KV memory capacity in KB. */
+    sim::Wide tokenKvMemKb() const;
+
+    /** Weight (+ tables + LSH params) memory capacity in KB. */
+    sim::Wide weightMemKb() const;
+
+    /** Result (centroids + outputs) memory capacity in KB. */
+    sim::Wide resultMemKb() const;
+
+  private:
+    HwConfig hwConfig_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::accel

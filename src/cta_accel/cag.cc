@@ -1,0 +1,40 @@
+#include "cta_accel/cag.h"
+
+namespace cta::accel {
+
+CagModel::CagModel(const HwConfig &config, const sim::TechParams &tech)
+    : config_(config), tech_(tech)
+{
+}
+
+CagReport
+CagModel::aggregate(core::Index tokens, core::Index clusters,
+                    bool overlapped) const
+{
+    CagReport report;
+    const auto d = static_cast<sim::Wide>(config_.saHeight);
+    // CACC: one d-wide add per token plus the counter increment and
+    // the read/compare of the incoming cluster index.
+    report.energyPj +=
+        static_cast<sim::Wide>(tokens) *
+        (d * tech_.addEnergyPj + tech_.addEnergyPj +
+         tech_.cmpEnergyPj + 2.0 * d * tech_.regEnergyPj);
+    // CAVG: one d-wide multiply by the reciprocal per centroid plus
+    // the reciprocal-LUT lookup.
+    report.energyPj +=
+        static_cast<sim::Wide>(clusters) *
+        (d * tech_.mulEnergyPj + tech_.divEnergyPj);
+    if (!overlapped) {
+        // Exposed CAVG pass: one centroid per cycle down the column.
+        report.exposedCycles = static_cast<core::Cycles>(clusters);
+    }
+    return report;
+}
+
+sim::Wide
+CagModel::areaMm2() const
+{
+    return tech_.cagAreaMm2;
+}
+
+} // namespace cta::accel

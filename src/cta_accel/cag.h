@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Centroid Aggregation Module model (paper SIV-B(3)).
+ *
+ * CACC re-uses the d adders of one SA column to accumulate
+ * C[CT[i]][:] += X[i][:] while the same X rows stream through the
+ * LSH phase, and CAVG re-uses the d multipliers of another column to
+ * scale each accumulated centroid by the reciprocal of its member
+ * count (from a counter-indexed LUT). Because both piggyback on SA
+ * columns that the LSH phase leaves idle (columns l..b-1), they add
+ * **no** latency; only energy and the small control/buffer area are
+ * charged.
+ */
+
+#pragma once
+
+#include "core/types.h"
+#include "cta_accel/config.h"
+#include "sim/energy_model.h"
+
+namespace cta::accel {
+
+/** Energy/latency contribution of one centroid aggregation. */
+struct CagReport
+{
+    /** Extra cycles on the SA critical path (CAVG tail when no LSH
+     *  step runs concurrently, e.g. Table I row 4). */
+    core::Cycles exposedCycles = 0;
+    sim::Wide energyPj = 0;
+};
+
+/** Timing/energy model of CACC + CAVG. */
+class CagModel
+{
+  public:
+    CagModel(const HwConfig &config, const sim::TechParams &tech);
+
+    /**
+     * One full aggregate of @p tokens tokens into @p clusters
+     * centroids of dimension saHeight.
+     *
+     * @param overlapped true when a concurrent SA step hides the
+     *        CAVG pass (Table I rows 1-3); false for the exposed
+     *        tail (row 4).
+     */
+    CagReport aggregate(core::Index tokens, core::Index clusters,
+                        bool overlapped) const;
+
+    sim::Wide areaMm2() const;
+
+  private:
+    HwConfig config_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::accel

@@ -1,0 +1,58 @@
+#include "cta_accel/cim.h"
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Index;
+
+CimModel::CimModel(const HwConfig &config, const sim::TechParams &tech)
+    : config_(config), tech_(tech)
+{
+}
+
+CimReport
+CimModel::process(const alg::HashMatrix &codes) const
+{
+    CTA_REQUIRE(codes.cols() == config_.hashLen,
+                "hash length ", codes.cols(), " != CIM threads ",
+                config_.hashLen);
+    CimReport report;
+    alg::LinearClusterTree tree(config_.hashLen);
+    report.clusters.table.reserve(
+        static_cast<std::size_t>(codes.rows()));
+    for (Index i = 0; i < codes.rows(); ++i)
+        report.clusters.table.push_back(tree.assign(codes.code(i)));
+    report.clusters.numClusters = tree.numClusters();
+
+    // One hash code retires per cycle once the pipeline is primed;
+    // priming costs l cycles (thread i starts at layer i).
+    report.cycles = static_cast<core::Cycles>(codes.rows()) +
+                    static_cast<core::Cycles>(config_.hashLen);
+    report.memReads = tree.memReads();
+    report.memWrites = tree.memWrites();
+    report.probes = tree.probes();
+
+    // Layer memories are small but multi-ported (l threads with
+    // write-bypass between adjacent threads); charge twice the
+    // single-ported word energy plus a comparator per probe and
+    // thread-register activity.
+    const sim::Wide word_pj = 2.0 * tech_.sramEnergyPjPerWord(2.0);
+    report.energyPj =
+        static_cast<sim::Wide>(report.memReads + report.memWrites) *
+            word_pj +
+        static_cast<sim::Wide>(report.probes) * tech_.cmpEnergyPj +
+        static_cast<sim::Wide>(codes.rows()) *
+            static_cast<sim::Wide>(config_.hashLen) *
+            3.0 * tech_.regEnergyPj;
+    return report;
+}
+
+sim::Wide
+CimModel::areaMm2() const
+{
+    return static_cast<sim::Wide>(config_.hashLen) *
+           tech_.cimThreadAreaMm2;
+}
+
+} // namespace cta::accel

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cluster Index Module model (paper SIV-B(2)).
+ *
+ * l thread units consume the l hash values the SA emits per cycle
+ * (the SA's output skew guarantees thread i+1 always works one trie
+ * layer behind thread i, so all l threads touch different layer
+ * memories — no structural hazard; read-after-write between adjacent
+ * threads is bypassed). The CIM therefore sustains one full hash
+ * code per cycle and never stalls the SA.
+ *
+ * The functional path runs the hardware-faithful LinearClusterTree
+ * (cta/cluster_tree.h), whose probe/read/write counters drive the
+ * energy model.
+ */
+
+#pragma once
+
+#include "cta/cluster_tree.h"
+#include "cta/lsh.h"
+#include "cta_accel/config.h"
+#include "sim/energy_model.h"
+
+namespace cta::accel {
+
+/** Result of streaming one hash-code matrix through the CIM. */
+struct CimReport
+{
+    alg::ClusterTable clusters;  ///< the produced cluster table
+    core::Cycles cycles = 0;     ///< one code retired per cycle
+    std::uint64_t memReads = 0;  ///< layer-memory word reads
+    std::uint64_t memWrites = 0; ///< layer-memory word writes
+    std::uint64_t probes = 0;    ///< (hash value == entry) compares
+    sim::Wide energyPj = 0;      ///< total CIM dynamic energy
+};
+
+/** Timing/energy/functional model of the CIM. */
+class CimModel
+{
+  public:
+    CimModel(const HwConfig &config, const sim::TechParams &tech);
+
+    /** Streams all codes through a fresh cluster tree. */
+    CimReport process(const alg::HashMatrix &codes) const;
+
+    /** Area of l threads + decoder + layer memories. */
+    sim::Wide areaMm2() const;
+
+  private:
+    HwConfig config_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::accel

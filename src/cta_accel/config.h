@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hardware configuration of the CTA accelerator (paper SIV-C "Design
+ * Details"): b x d systolic array, l CIM threads, b PAG tiles of
+ * parallelism 2, 1 GHz. n and d size the on-chip memories.
+ */
+
+#pragma once
+
+#include "core/types.h"
+
+namespace cta::accel {
+
+using core::Index;
+
+/** Static configuration of one CTA accelerator instance. */
+struct HwConfig
+{
+    /** SA width b (batch size); the paper uses 8. */
+    Index saWidth = 8;
+    /** SA height d = head/token dimension; the paper uses 64. */
+    Index saHeight = 64;
+    /** Hash-code length l = number of CIM threads; paper uses 6. */
+    Index hashLen = 6;
+    /** Maximum sequence length n (memory sizing); paper uses 512. */
+    Index maxSeqLen = 512;
+    /** Number of PAG tiles; best practice = saWidth (SVI-C DSE). */
+    Index pagTiles = 8;
+    /** Inner-loop iterations each PAG tile retires per cycle. */
+    Index pagPerTile = 2;
+    /** Clock frequency in GHz; the paper synthesizes at 1 GHz. */
+    core::Real freqGhz = 1.0f;
+    /** Apply the Fig. 10 bubble-removal packing between steps. */
+    bool bubbleRemoval = true;
+
+    /** Total PAG parallelism (iterations per cycle). */
+    Index pagParallelism() const { return pagTiles * pagPerTile; }
+
+    /** Number of multipliers (one per PE), used for the iso-resource
+     *  ideal-accelerator comparison. */
+    Index multiplierCount() const { return saWidth * saHeight; }
+
+    /** The paper's evaluated configuration. */
+    static HwConfig paperDefault() { return {}; }
+};
+
+} // namespace cta::accel

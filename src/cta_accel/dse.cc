@@ -1,0 +1,76 @@
+#include "cta_accel/dse.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Index;
+using sim::Wide;
+
+std::vector<DsePoint>
+exploreDesignSpace(const HwConfig &base,
+                   const std::vector<alg::CompressionStats> &shapes,
+                   const std::vector<Index> &sa_widths,
+                   const std::vector<Index> &pag_parallelisms)
+{
+    CTA_REQUIRE(!shapes.empty(), "DSE needs at least one shape");
+    std::vector<DsePoint> points;
+    for (const Index width : sa_widths) {
+        CTA_REQUIRE(width >= base.hashLen,
+                    "SA width ", width, " below hash length ",
+                    base.hashLen);
+        for (const Index parallelism : pag_parallelisms) {
+            CTA_REQUIRE(parallelism % base.pagPerTile == 0,
+                        "PAG parallelism ", parallelism,
+                        " not divisible by per-tile rate ",
+                        base.pagPerTile);
+            HwConfig config = base;
+            config.saWidth = width;
+            config.pagTiles =
+                std::max<Index>(1, parallelism / base.pagPerTile);
+            const TableIMapper mapper(config);
+            DsePoint point;
+            point.saWidth = width;
+            point.pagParallelism = parallelism;
+            Wide cycles_sum = 0, stall_sum = 0, tput_sum = 0;
+            for (const auto &shape : shapes) {
+                const MappingResult r = mapper.schedule(shape);
+                const auto cycles =
+                    static_cast<Wide>(r.latency.total());
+                cycles_sum += cycles;
+                stall_sum += static_cast<Wide>(r.pagStallCycles);
+                tput_sum += static_cast<Wide>(config.freqGhz) * 1e9 /
+                            cycles;
+            }
+            const auto count = static_cast<Wide>(shapes.size());
+            point.meanCycles = cycles_sum / count;
+            point.meanPagStalls = stall_sum / count;
+            point.throughput = tput_sum / count;
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+Index
+saturationKnee(const std::vector<DsePoint> &points, Index sa_width,
+               Wide tolerance)
+{
+    Index knee = 0;
+    Wide best = 0;
+    for (const auto &point : points) {
+        if (point.saWidth != sa_width)
+            continue;
+        if (knee == 0 ||
+            point.throughput > best * (1.0 + tolerance)) {
+            best = std::max(best, point.throughput);
+            knee = point.pagParallelism;
+        }
+    }
+    CTA_REQUIRE(knee != 0, "no DSE points for width ", sa_width);
+    return knee;
+}
+
+} // namespace cta::accel

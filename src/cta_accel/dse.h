@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Design-space exploration over the CTA hardware configuration
+ * (paper Fig. 13): sweeps SA width x PAG parallelism, times a set of
+ * realized workload shapes with the Table-I scheduler and reports
+ * mean throughput per point. The fig13 bench is a thin printer over
+ * this API; library users can sweep their own grids.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cta_accel/mapper.h"
+
+namespace cta::accel {
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    core::Index saWidth = 0;
+    core::Index pagParallelism = 0;
+    /** Mean attention evaluations per second over the shapes. */
+    sim::Wide throughput = 0;
+    /** Mean cycles over the shapes. */
+    sim::Wide meanCycles = 0;
+    /** Mean PAG stall cycles (nonzero = PAG-bound design). */
+    sim::Wide meanPagStalls = 0;
+};
+
+/**
+ * Evaluates the full grid. The base configuration supplies
+ * everything except saWidth / pagTiles (pagPerTile stays at the
+ * base's value; pag_parallelisms must be divisible by it).
+ */
+std::vector<DsePoint>
+exploreDesignSpace(const HwConfig &base,
+                   const std::vector<alg::CompressionStats> &shapes,
+                   const std::vector<core::Index> &sa_widths,
+                   const std::vector<core::Index> &pag_parallelisms);
+
+/**
+ * The PAG parallelism at which a width's throughput saturates
+ * (within @p tolerance relative improvement). Paper finding: the
+ * knee sits at 2 x SA width.
+ */
+core::Index saturationKnee(const std::vector<DsePoint> &points,
+                           core::Index sa_width,
+                           sim::Wide tolerance = 0.005);
+
+} // namespace cta::accel

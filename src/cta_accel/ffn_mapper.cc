@@ -1,0 +1,45 @@
+#include "cta_accel/ffn_mapper.h"
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+using core::Index;
+
+FfnMapper::FfnMapper(const HwConfig &config) : hwConfig_(config) {}
+
+FfnReport
+FfnMapper::run(Index tokens, Index d_model, Index d_hidden) const
+{
+    CTA_REQUIRE(d_model <= hwConfig_.saHeight,
+                "d_model ", d_model, " exceeds SA height ",
+                hwConfig_.saHeight);
+    CTA_REQUIRE(tokens > 0 && d_hidden > 0, "empty FFN shapes");
+    FfnReport report;
+    const Index b = hwConfig_.saWidth;
+    const Index d = hwConfig_.saHeight;
+    const auto batches = static_cast<Cycles>((tokens + b - 1) / b);
+
+    // Up projection: per batch, load b tokens (d cycles) and stream
+    // d_hidden weight columns.
+    report.cycles +=
+        batches * (static_cast<Cycles>(d) +
+                   static_cast<Cycles>(d_hidden));
+    // Down projection: the d_hidden-dim activations are consumed in
+    // ceil(d_hidden / d) chunks; each chunk loads its slice and
+    // streams the d_model output columns, accumulating partial sums.
+    const auto chunks =
+        static_cast<Cycles>((d_hidden + d - 1) / d);
+    report.cycles += batches * chunks *
+        (static_cast<Cycles>(d) + static_cast<Cycles>(d_model));
+    // Fill/drain once per FFN under the packed schedule.
+    report.cycles += static_cast<Cycles>(2 * (d + b));
+
+    report.macs = 2ull * static_cast<std::uint64_t>(tokens) *
+                  static_cast<std::uint64_t>(d_model) *
+                  static_cast<std::uint64_t>(d_hidden);
+    return report;
+}
+
+} // namespace cta::accel

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FFN-on-SA extension (the paper's SVI-C closing remark / SVII
+ * future work: "our systolic array-based architecture could be
+ * easily extended to accelerate FFN, in which case the end-to-end
+ * speedup is further promoted").
+ *
+ * The position-wise FFN is two linears (d_model -> d_hidden ->
+ * d_model) with a GELU between them. Both map onto the SA's linear
+ * phase unmodified:
+ *
+ *   - up projection: a batch of b tokens (d_model <= SA height) sits
+ *     in the value registers; d_hidden weight columns stream.
+ *   - activation: evaluated by the PPE LUTs as values exit the top
+ *     row (same mechanism as the exp/reciprocal LUTs) — no extra
+ *     cycles.
+ *   - down projection: the hidden vectors exceed the SA height, so
+ *     the input dimension is processed in ceil(d_hidden / d) chunks
+ *     with partial-sum accumulation in the result registers.
+ *
+ * Since CTA compresses the layer's tokens anyway, the FFN can also
+ * run on the compressed tokens only (k0 rows instead of n),
+ * inheriting the same RL-style reduction.
+ */
+
+#pragma once
+
+#include "core/types.h"
+#include "cta_accel/systolic_array.h"
+
+namespace cta::accel {
+
+/** Timing/ops of one FFN evaluation on the SA. */
+struct FfnReport
+{
+    core::Cycles cycles = 0;
+    std::uint64_t macs = 0;
+};
+
+/** Maps position-wise FFNs onto the CTA systolic array. */
+class FfnMapper
+{
+  public:
+    explicit FfnMapper(const HwConfig &config);
+
+    /**
+     * Times one FFN pass over @p tokens rows.
+     *
+     * @param d_model input/output dimension (must be <= SA height)
+     * @param d_hidden expansion dimension
+     */
+    FfnReport run(core::Index tokens, core::Index d_model,
+                  core::Index d_hidden) const;
+
+    /**
+     * FFN over compressed tokens only: k0 rows now, with the n-row
+     * result recovered through CT0 exactly like attention outputs.
+     */
+    FfnReport runCompressed(core::Index k0, core::Index d_model,
+                            core::Index d_hidden) const
+    {
+        return run(k0, d_model, d_hidden);
+    }
+
+  private:
+    HwConfig hwConfig_;
+};
+
+} // namespace cta::accel

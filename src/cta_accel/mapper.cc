@@ -1,0 +1,157 @@
+#include "cta_accel/mapper.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+using core::Index;
+
+TableIMapper::TableIMapper(const HwConfig &config)
+    : hwConfig_(config), sa_(config)
+{
+}
+
+void
+TableIMapper::addStep(MappingResult &result, const SaStep &sa,
+                      PhaseClass phase, Cycles exposed_aux) const
+{
+    ScheduledStep step;
+    step.name = sa.name;
+    step.phase = phase;
+    step.saCycles = sa.streamCycles + sa.updateCycles;
+    if (!hwConfig_.bubbleRemoval) {
+        // Without packing every step drains the array individually.
+        step.saCycles += sa.skewCycles;
+    }
+    step.exposedAux = exposed_aux;
+    const Cycles cost = step.saCycles + step.exposedAux;
+    switch (phase) {
+      case PhaseClass::Compression:
+        result.latency.tokenCompression += cost;
+        break;
+      case PhaseClass::Linear:
+        result.latency.linears += cost;
+        break;
+      case PhaseClass::Attention:
+        result.latency.attention += cost;
+        break;
+    }
+    result.steps.push_back(std::move(step));
+}
+
+MappingResult
+TableIMapper::schedule(const alg::CompressionStats &stats) const
+{
+    CTA_REQUIRE(stats.n > 0 && stats.m > 0 && stats.k0 > 0 &&
+                stats.k1 > 0, "empty shapes");
+    CTA_REQUIRE(stats.d == hwConfig_.saHeight,
+                "head dim ", stats.d, " != SA height ",
+                hwConfig_.saHeight);
+    MappingResult result;
+    const Index b = hwConfig_.saWidth;
+    const Index d = hwConfig_.saHeight;
+    const Index k_total = stats.k1 + stats.k2;
+    PagModel pag(hwConfig_, sim::TechParams::smic40nmClass());
+
+    // ---- Rows 1-4: token compression. ----
+    // The LSH parameter matrix A is loaded once (shared by the three
+    // clusterings, as Table I's LSH(A, .) notation indicates); the
+    // CIM consumes hash codes and CACC accumulates centroids fully
+    // overlapped on idle SA columns.
+    addStep(result, sa_.lshStep(stats.n, "LSH1(X^KV)"),
+            PhaseClass::Compression);
+    SaStep lsh0 = sa_.lshStep(stats.m, "LSH0(X^Q)");
+    lsh0.updateCycles = 0; // A stays resident (Fig. 10 case a)
+    addStep(result, lsh0, PhaseClass::Compression);
+    SaStep lsh2 = sa_.lshStep(stats.n, "LSH2(rX^KV)");
+    lsh2.updateCycles = 0;
+    addStep(result, lsh2, PhaseClass::Compression);
+    // Row 4: the final CAVG pass (C2) has no concurrent SA step.
+    {
+        SaStep cavg;
+        cavg.name = "CAVG(C2)";
+        cavg.streamCycles = 0;
+        addStep(result, cavg, PhaseClass::Compression,
+                static_cast<Cycles>(stats.k2));
+    }
+
+    // ---- Rows 5-6: K/V linears over C^cat batches. ----
+    const Index kv_batches = (k_total + b - 1) / b;
+    for (Index t = 0; t < kv_batches; ++t) {
+        addStep(result,
+                sa_.linearStep(d, ValueRegSource::Memory,
+                               "LIN K batch " + std::to_string(t)),
+                PhaseClass::Linear);
+        // V reuses the token batch already in the value registers.
+        addStep(result,
+                sa_.linearStep(d, ValueRegSource::Keep,
+                               "LIN V batch " + std::to_string(t)),
+                PhaseClass::Linear);
+    }
+
+    // ---- Rows 7-11: steady-state query loop. ----
+    // Per batch t: LIN Q(t) -> SCORE(t); PAG(t-1) runs concurrently
+    // with [LIN Q(t), SCORE(t)]; OUT(t-1) follows SCORE(t). The PAG
+    // only stalls the SA when its batch latency exceeds the SA work
+    // it hides behind.
+    const Index q_batches = (stats.k0 + b - 1) / b;
+    const PagReport pag_batch = pag.aggregateBatch(b, stats.n);
+    result.pagBusyCycles =
+        pag_batch.cycles * static_cast<Cycles>(q_batches);
+
+    for (Index t = 0; t < q_batches; ++t) {
+        const SaStep lin_q =
+            sa_.linearStep(d, ValueRegSource::Memory,
+                           "LIN Q batch " + std::to_string(t));
+        const SaStep score =
+            sa_.scoreStep(k_total, "SCORE batch " + std::to_string(t));
+        addStep(result, lin_q, PhaseClass::Linear);
+        addStep(result, score, PhaseClass::Attention);
+        if (t > 0) {
+            // Output of the previous batch; its AP must be ready.
+            // The PAG had the span of [LIN Q(t), SCORE(t)] to hide in.
+            const Cycles hide =
+                lin_q.streamCycles + lin_q.updateCycles +
+                score.streamCycles;
+            if (pag_batch.cycles > hide) {
+                const Cycles stall = pag_batch.cycles - hide;
+                SaStep wait;
+                wait.name = "PAG stall batch " + std::to_string(t - 1);
+                addStep(result, wait, PhaseClass::Attention, stall);
+                result.pagStallCycles += stall;
+            }
+            addStep(result,
+                    sa_.outputStep(k_total, "OUT batch " +
+                                   std::to_string(t - 1)),
+                    PhaseClass::Attention);
+        }
+    }
+
+    // ---- Rows 12-13: epilogue for the last batch. ----
+    {
+        SaStep wait;
+        wait.name = "PAG last batch";
+        addStep(result, wait, PhaseClass::Attention, pag_batch.cycles);
+        addStep(result,
+                sa_.outputStep(k_total, "OUT last batch"),
+                PhaseClass::Attention);
+    }
+
+    if (hwConfig_.bubbleRemoval) {
+        // Packed schedule: the array diagonal is paid once to fill
+        // and once to drain instead of per step.
+        const Cycles skew = static_cast<Cycles>(d + b);
+        result.latency.attention += 2 * skew;
+        ScheduledStep fill;
+        fill.name = "pipeline fill+drain";
+        fill.phase = PhaseClass::Attention;
+        fill.saCycles = 2 * skew;
+        result.steps.push_back(fill);
+    }
+    return result;
+}
+
+} // namespace cta::accel

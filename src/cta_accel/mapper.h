@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Table-I mapping scheduler: turns one CTA attention evaluation
+ * (shapes m, n, k0, k1, k2, d) into the chronological step sequence
+ * the paper maps onto the hardware, timing each step with the SA /
+ * CIM / CAG / PAG models and accounting for their overlap:
+ *
+ *   rows 1-4 : three LSH passes (CIM and CACC ride along on idle SA
+ *              columns; the final CAVG for C2 is exposed)
+ *   rows 5-6 : K/V linears in saWidth-row batches; V reuses the
+ *              token batch loaded for K (the paper's "saves half the
+ *              reads" optimization)
+ *   rows 7-11: the steady-state loop — per query batch: Q linear
+ *              (shortcut install), score, then the *previous*
+ *              batch's PAG (concurrent) and output step
+ *   rows 12-13: epilogue (last PAG + last output)
+ *
+ * The scheduler is deliberately analytical (the paper: "a cycle-level
+ * simulator summing latency of all mapping steps in Table I"), with
+ * the Fig. 10 bubble-removal packing switchable for the ablation
+ * bench.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cta/compressed_attention.h"
+#include "cta_accel/cag.h"
+#include "cta_accel/cim.h"
+#include "cta_accel/pag.h"
+#include "cta_accel/systolic_array.h"
+#include "sim/report.h"
+
+namespace cta::accel {
+
+/** Which Fig. 12 latency bucket a step belongs to. */
+enum class PhaseClass
+{
+    Compression,
+    Linear,
+    Attention,
+};
+
+/** One scheduled step with its resolved timing. */
+struct ScheduledStep
+{
+    std::string name;
+    PhaseClass phase;
+    core::Cycles saCycles = 0;   ///< SA occupancy (0 for aux-only)
+    core::Cycles exposedAux = 0; ///< aux cycles not hidden by the SA
+};
+
+/** Complete schedule of one attention evaluation. */
+struct MappingResult
+{
+    std::vector<ScheduledStep> steps;
+    sim::LatencyBreakdown latency;
+    /** PAG busy cycles (hidden or not), for energy accounting. */
+    core::Cycles pagBusyCycles = 0;
+    /** Cycles in which the PAG limited the loop (visible stall). */
+    core::Cycles pagStallCycles = 0;
+};
+
+/** Analytical Table-I scheduler. */
+class TableIMapper
+{
+  public:
+    explicit TableIMapper(const HwConfig &config);
+
+    /** Schedules one evaluation with the given realized shapes. */
+    MappingResult schedule(const alg::CompressionStats &stats) const;
+
+    const HwConfig &config() const { return hwConfig_; }
+
+  private:
+    /** Adds a step, applying per-step skew when packing is off. */
+    void addStep(MappingResult &result, const SaStep &sa,
+                 PhaseClass phase, core::Cycles exposed_aux = 0) const;
+
+    HwConfig hwConfig_;
+    SystolicArrayModel sa_;
+};
+
+} // namespace cta::accel

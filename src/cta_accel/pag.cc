@@ -1,0 +1,54 @@
+#include "cta_accel/pag.h"
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+PagModel::PagModel(const HwConfig &config, const sim::TechParams &tech)
+    : config_(config), tech_(tech)
+{
+    CTA_REQUIRE(config.pagTiles > 0 && config.pagPerTile > 0,
+                "PAG needs positive tile counts");
+}
+
+PagReport
+PagModel::aggregateBatch(core::Index rows, core::Index tokens) const
+{
+    PagReport report;
+    if (rows <= 0 || tokens <= 0)
+        return report;
+    // Rounds of tile assignment: each round maps up to pagTiles rows;
+    // a row takes ceil(tokens / pagPerTile) cycles in its tile.
+    const auto rounds = static_cast<core::Cycles>(
+        (rows + config_.pagTiles - 1) / config_.pagTiles);
+    const auto row_cycles = static_cast<core::Cycles>(
+        (tokens + config_.pagPerTile - 1) / config_.pagPerTile);
+    report.cycles = rounds * row_cycles;
+
+    const auto iters = static_cast<sim::Wide>(rows) *
+                       static_cast<sim::Wide>(tokens);
+    report.csReads = static_cast<std::uint64_t>(2.0 * iters);
+    report.apWrites = static_cast<std::uint64_t>(2.0 * iters);
+    // Per iteration: 1 add (s1+s2), 1 exp LUT, 2 merge adds, buffer
+    // traffic. The CS/AP buffers are multi-ported read-modify-write
+    // structures shared by all tiles, roughly twice the access cost
+    // of a single-ported SRAM of the same size.
+    const sim::Wide buffer_pj = 2.0 * tech_.sramEnergyPjPerWord(2.0);
+    report.energyPj = iters *
+        (tech_.addEnergyPj + tech_.expLutEnergyPj +
+         2.0 * tech_.addEnergyPj) +
+        static_cast<sim::Wide>(report.csReads + report.apWrites) *
+            buffer_pj;
+    return report;
+}
+
+sim::Wide
+PagModel::areaMm2() const
+{
+    return static_cast<sim::Wide>(config_.pagTiles) *
+               tech_.pagTileAreaMm2 *
+               (static_cast<sim::Wide>(config_.pagPerTile) / 2.0) +
+           tech_.lutAreaMm2;
+}
+
+} // namespace cta::accel

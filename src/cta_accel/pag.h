@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Probability Aggregation Module model (paper SIV-B(4)).
+ *
+ * The PAG is tile-based: each tile owns one outer-loop iteration
+ * (one compressed-query row of AP) and walks the inner loop over the
+ * n original KV tokens, retiring pagPerTile iterations per cycle
+ * (the implemented tile has two ADD_EXP units and two probability
+ * merge units, so pagPerTile = 2). Outer iterations are spread
+ * round-robin over pagTiles tiles.
+ *
+ * Each inner iteration performs: two CS-buffer reads (the two score
+ * summands), one add, one exp-LUT lookup, and two read-modify-write
+ * merges into the AP buffer, with same-address merges in consecutive
+ * iterations combined by the merge unit.
+ */
+
+#pragma once
+
+#include "core/types.h"
+#include "cta_accel/config.h"
+#include "sim/energy_model.h"
+
+namespace cta::accel {
+
+/** Timing/energy of aggregating one batch of AP rows. */
+struct PagReport
+{
+    core::Cycles cycles = 0;
+    sim::Wide energyPj = 0;
+    std::uint64_t csReads = 0;  ///< compressed-score buffer reads
+    std::uint64_t apWrites = 0; ///< AP buffer read-modify-writes
+};
+
+/** Timing/energy model of the PAG. */
+class PagModel
+{
+  public:
+    PagModel(const HwConfig &config, const sim::TechParams &tech);
+
+    /**
+     * Aggregates @p rows AP rows (one per outer iteration) over a
+     * sequence of @p tokens KV tokens.
+     */
+    PagReport aggregateBatch(core::Index rows,
+                             core::Index tokens) const;
+
+    sim::Wide areaMm2() const;
+
+  private:
+    HwConfig config_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::accel

@@ -1,0 +1,126 @@
+#include "cta_accel/sa_functional.h"
+
+#include <vector>
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+using core::Wide;
+
+FunctionalSystolicArray::FunctionalSystolicArray(Index width,
+                                                 Index height)
+    : width_(width), height_(height)
+{
+    CTA_REQUIRE(width > 0 && height > 0, "empty PE grid");
+}
+
+FunctionalRun
+FunctionalSystolicArray::runDataflow1(const Matrix &stationary,
+                                      const Matrix &streaming) const
+{
+    CTA_REQUIRE(stationary.rows() <= width_,
+                "stationary operand needs ", stationary.rows(),
+                " columns, array has ", width_);
+    CTA_REQUIRE(stationary.cols() == height_ &&
+                streaming.cols() == height_,
+                "operand dimension must equal SA height");
+    const Index cols = stationary.rows();
+    const Index d = height_;
+    const Index tokens = streaming.rows();
+
+    FunctionalRun run;
+    run.result = Matrix(tokens, cols);
+
+    // Pipeline registers: left-moving operand and upward partial
+    // sums, one per PE, double-buffered per cycle.
+    const auto cells = static_cast<std::size_t>(d * cols);
+    std::vector<Real> left(cells, 0), left_next(cells, 0);
+    std::vector<Wide> up(cells, 0), up_next(cells, 0);
+    const auto at = [&](Index j, Index i) {
+        return static_cast<std::size_t>(j * cols + i);
+    };
+
+    // Run until the last token's sum exits the top of the last
+    // column: t_last = (tokens-1) + (cols-1) + (d-1), plus one cycle
+    // for the final register update.
+    const Index total_cycles = tokens + cols + d;
+    for (Index t = 0; t < total_cycles; ++t) {
+        for (Index j = 0; j < d; ++j) {
+            for (Index i = 0; i < cols; ++i) {
+                // Horizontal operand: injected at column 0 with the
+                // row-j diagonal skew, else taken from the left
+                // neighbour's previous-cycle register.
+                Real in_left;
+                if (i == 0) {
+                    const Index token = t - j;
+                    in_left = (token >= 0 && token < tokens)
+                        ? streaming(token, j) : 0.0f;
+                } else {
+                    in_left = left[at(j, i - 1)];
+                }
+                const Wide in_bottom =
+                    j == 0 ? 0.0 : up[at(j - 1, i)];
+                left_next[at(j, i)] = in_left;
+                up_next[at(j, i)] = in_bottom +
+                    static_cast<Wide>(stationary(i, j)) * in_left;
+            }
+        }
+        left.swap(left_next);
+        up.swap(up_next);
+        // Top row emits: the sum leaving PE (d-1, i) after this
+        // cycle belongs to token t - (d-1) - i.
+        for (Index i = 0; i < cols; ++i) {
+            const Index token = t - (d - 1) - i;
+            if (token >= 0 && token < tokens) {
+                run.result(token, i) =
+                    static_cast<Real>(up[at(d - 1, i)]);
+                run.lastOutputCycle = static_cast<Cycles>(t);
+            }
+        }
+    }
+    return run;
+}
+
+FunctionalRun
+FunctionalSystolicArray::runDataflow2(const Matrix &ap,
+                                      const Matrix &vb) const
+{
+    CTA_REQUIRE(ap.rows() <= width_, "AP batch exceeds SA width");
+    CTA_REQUIRE(vb.cols() <= height_, "value dim exceeds SA height");
+    CTA_REQUIRE(ap.cols() == vb.rows(), "AP/Vb inner dim mismatch");
+    const Index rows = ap.rows();
+    const Index d = vb.cols();
+    const Index inner = ap.cols();
+
+    FunctionalRun run;
+    run.result = Matrix(rows, d);
+
+    // acc(i, j) accumulates AP(i, tau) * Vb(tau, j); operand (i, j)
+    // pair tau arrives at PE (i, j) at cycle tau + i + j (both
+    // streams skewed and forwarded one hop per cycle, Fig. 8 (b)).
+    std::vector<Wide> acc(static_cast<std::size_t>(rows * d), 0);
+    const Index total_cycles = inner + rows + d;
+    for (Index t = 0; t < total_cycles; ++t) {
+        for (Index i = 0; i < rows; ++i) {
+            for (Index j = 0; j < d; ++j) {
+                const Index tau = t - i - j;
+                if (tau >= 0 && tau < inner) {
+                    acc[static_cast<std::size_t>(i * d + j)] +=
+                        static_cast<Wide>(ap(i, tau)) * vb(tau, j);
+                    run.lastOutputCycle = static_cast<Cycles>(t);
+                }
+            }
+        }
+    }
+    for (Index i = 0; i < rows; ++i)
+        for (Index j = 0; j < d; ++j)
+            run.result(i, j) = static_cast<Real>(
+                acc[static_cast<std::size_t>(i * d + j)]);
+    return run;
+}
+
+} // namespace cta::accel

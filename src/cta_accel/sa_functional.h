@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional, cycle-by-cycle simulation of the systolic array's two
+ * dataflows (paper Fig. 8) — the executable specification behind the
+ * analytical SystolicArrayModel.
+ *
+ * Dataflow 1 (LSH / linear / score phases): one operand is
+ * stationary in the value registers (one vector per column, laid out
+ * down the d rows); the other streams from the left with the
+ * canonical diagonal skew (row j delayed by j cycles); partial sums
+ * ripple upward one row per cycle, so the dot product of streamed
+ * row t with stationary column i emerges from the top of column i at
+ * cycle t + i + d - 1:
+ *
+ *     up[j][i](t) = up[j-1][i](t-1) + vreg[j][i] * left[j][i](t)
+ *     left[j][i](t) = (i == 0) ? inject(t - j, j) : left[j][i-1](t-1)
+ *
+ * Dataflow 2 (output phase): both operands stream (AP rows from the
+ * left, Vb rows from the bottom) with the same skew; each PE
+ * accumulates its stationary result register in place:
+ *
+ *     acc[i][j] += AP(i, t-(i+j)) * Vb(t-(i+j), j)
+ *
+ * The tests cross-check both against plain matrix multiplication and
+ * verify that the emergence cycles match the analytical model's
+ * stream + skew accounting.
+ */
+
+#pragma once
+
+#include "core/matrix.h"
+#include "core/types.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+
+/** Result of one functional dataflow run. */
+struct FunctionalRun
+{
+    core::Matrix result;
+    /** Cycle at which the last output element emerged. */
+    Cycles lastOutputCycle = 0;
+};
+
+/** Cycle-accurate functional model of the b x d PE grid. */
+class FunctionalSystolicArray
+{
+  public:
+    /**
+     * @param width number of columns (stationary vectors per pass)
+     * @param height number of rows (vector dimension d)
+     */
+    FunctionalSystolicArray(core::Index width, core::Index height);
+
+    /**
+     * Dataflow 1: stationary (cols x d) against streaming (T x d).
+     * Returns the T x cols matrix of dot products
+     * result(t, i) = <streaming.row(t), stationary.row(i)>.
+     * stationary must have at most `width` rows and exactly `height`
+     * columns.
+     */
+    FunctionalRun runDataflow1(const core::Matrix &stationary,
+                               const core::Matrix &streaming) const;
+
+    /**
+     * Dataflow 2: AP (rows x K) against Vb (K x d); returns the
+     * rows x d product accumulated in the result registers. AP rows
+     * must be at most `width`; d at most `height`.
+     */
+    FunctionalRun runDataflow2(const core::Matrix &ap,
+                               const core::Matrix &vb) const;
+
+    core::Index width() const { return width_; }
+    core::Index height() const { return height_; }
+
+  private:
+    core::Index width_;
+    core::Index height_;
+};
+
+} // namespace cta::accel

@@ -1,0 +1,89 @@
+#include "cta_accel/system.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+using core::Index;
+
+CtaSystem::CtaSystem(const HwConfig &hw, Index units)
+    : hwConfig_(hw), units_(units)
+{
+    CTA_REQUIRE(units > 0, "need at least one accelerator unit");
+}
+
+SystemReport
+CtaSystem::scheduleTasks(std::vector<HeadTask> tasks) const
+{
+    SystemReport report;
+    report.unitBusy.assign(static_cast<std::size_t>(units_), 0);
+    // LPT: sort descending, place each task on the least-loaded unit.
+    std::sort(tasks.begin(), tasks.end(),
+              [](const HeadTask &a, const HeadTask &b) {
+                  return a.cycles > b.cycles;
+              });
+    for (const HeadTask &task : tasks) {
+        auto min_it = std::min_element(report.unitBusy.begin(),
+                                       report.unitBusy.end());
+        *min_it += task.cycles;
+        report.totalWork += task.cycles;
+    }
+    report.makespan = *std::max_element(report.unitBusy.begin(),
+                                        report.unitBusy.end());
+    report.utilization = report.makespan == 0
+        ? 1.0
+        : static_cast<sim::Wide>(report.totalWork) /
+          (static_cast<sim::Wide>(units_) *
+           static_cast<sim::Wide>(report.makespan));
+    return report;
+}
+
+SystemReport
+CtaSystem::scheduleModel(
+    const std::vector<std::vector<alg::CompressionStats>> &layer_shapes,
+    bool pipelined) const
+{
+    const TableIMapper mapper(hwConfig_);
+    SystemReport combined;
+    combined.unitBusy.assign(static_cast<std::size_t>(units_), 0);
+
+    if (pipelined) {
+        // No layer barrier: all head tasks form one pool.
+        std::vector<HeadTask> tasks;
+        for (std::size_t l = 0; l < layer_shapes.size(); ++l) {
+            for (std::size_t h = 0; h < layer_shapes[l].size(); ++h) {
+                tasks.push_back(HeadTask{
+                    static_cast<Index>(l), static_cast<Index>(h),
+                    mapper.schedule(layer_shapes[l][h])
+                        .latency.total()});
+            }
+        }
+        return scheduleTasks(std::move(tasks));
+    }
+
+    // Barriered: schedule layer by layer; makespans add up.
+    for (std::size_t l = 0; l < layer_shapes.size(); ++l) {
+        std::vector<HeadTask> tasks;
+        for (std::size_t h = 0; h < layer_shapes[l].size(); ++h) {
+            tasks.push_back(HeadTask{
+                static_cast<Index>(l), static_cast<Index>(h),
+                mapper.schedule(layer_shapes[l][h]).latency.total()});
+        }
+        const SystemReport layer = scheduleTasks(std::move(tasks));
+        combined.makespan += layer.makespan;
+        combined.totalWork += layer.totalWork;
+        for (std::size_t u = 0; u < combined.unitBusy.size(); ++u)
+            combined.unitBusy[u] += layer.unitBusy[u];
+    }
+    combined.utilization = combined.makespan == 0
+        ? 1.0
+        : static_cast<sim::Wide>(combined.totalWork) /
+          (static_cast<sim::Wide>(units_) *
+           static_cast<sim::Wide>(combined.makespan));
+    return combined;
+}
+
+} // namespace cta::accel

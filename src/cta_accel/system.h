@@ -1,0 +1,81 @@
+/**
+ * @file
+ * System-level model of a multi-accelerator CTA deployment (the
+ * paper evaluates 12 x CTA against 12 x ELSA and the GPU, SVI-C).
+ *
+ * A transformer model is L layers of H parallel attention heads;
+ * heads within a layer are independent, layers are sequential (the
+ * next layer consumes the previous one's outputs). The system
+ * scheduler distributes each layer's heads over the units with
+ * longest-processing-time-first (LPT) greedy assignment and
+ * barriers between layers; an optional relaxed mode overlaps
+ * consecutive layers (software pipelining across the batch
+ * dimension) for the ablation bench.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cta/compressed_attention.h"
+#include "cta_accel/mapper.h"
+
+namespace cta::accel {
+
+/** One head-invocation to schedule. */
+struct HeadTask
+{
+    core::Index layer = 0;
+    core::Index head = 0;
+    core::Cycles cycles = 0;
+};
+
+/** Result of scheduling a model onto the unit pool. */
+struct SystemReport
+{
+    /** End-to-end cycles with per-layer barriers (or without, in
+     *  pipelined mode). */
+    core::Cycles makespan = 0;
+    /** Sum of all task cycles (the work). */
+    core::Cycles totalWork = 0;
+    /** Busy cycles of each unit. */
+    std::vector<core::Cycles> unitBusy;
+    /** totalWork / (units * makespan). */
+    sim::Wide utilization = 0;
+};
+
+/** Pool of identical CTA accelerators plus the LPT scheduler. */
+class CtaSystem
+{
+  public:
+    /**
+     * @param hw per-unit hardware configuration
+     * @param units accelerator count (paper: 12)
+     */
+    CtaSystem(const HwConfig &hw, core::Index units);
+
+    /**
+     * Times each (layer, head) shape with the Table-I mapper and
+     * schedules the whole model.
+     *
+     * @param layer_shapes layer_shapes[l][h] = realized compression
+     *        shapes of head h in layer l
+     * @param pipelined when true, no barrier between layers (models
+     *        cross-layer overlap across a batch of sequences)
+     */
+    SystemReport scheduleModel(
+        const std::vector<std::vector<alg::CompressionStats>>
+            &layer_shapes,
+        bool pipelined = false) const;
+
+    /** Schedules one layer of pre-timed tasks (exposed for tests). */
+    SystemReport scheduleTasks(std::vector<HeadTask> tasks) const;
+
+    core::Index units() const { return units_; }
+
+  private:
+    HwConfig hwConfig_;
+    core::Index units_;
+};
+
+} // namespace cta::accel

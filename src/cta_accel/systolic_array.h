@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Timing model of the b x d systolic array computation engine
+ * (paper SIV-B(1)).
+ *
+ * The SA supports four phases under two dataflows:
+ *
+ *  - LSH clustering: LSH direction rows stationary in l columns;
+ *    tokens stream from the left, partial sums flow upward, PPEs add
+ *    the bias and scale by 1/w (dataflow 1).
+ *  - Linear: a batch of b (compressed) tokens stationary, one per
+ *    column; weight columns stream from the left; after d streamed
+ *    columns each PE column has produced a full output row
+ *    (dataflow 1). Query results re-enter value registers through
+ *    the column shortcut.
+ *  - Score: a batch of b queries stationary; compressed keys stream;
+ *    PPEs track the row max of the first k1 scores (dataflow 1).
+ *  - Output: AP rows stream from the left, Vb rows from the bottom;
+ *    result registers accumulate in place and shift out on a
+ *    separate chain (dataflow 2).
+ *
+ * The model charges, per step: the streamed-input cycles, the
+ * pipeline skew (fill/drain over the array diagonal) and the
+ * value-register update cost, with the Fig. 10 bubble-removal rules
+ * deciding how much of the skew/update of consecutive steps
+ * overlaps. This is exactly the granularity the paper's simulator
+ * works at ("summing latency of all mapping steps in Table I").
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "cta_accel/config.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+
+/** How a step's value registers are prepared (Fig. 10 cases). */
+enum class ValueRegSource
+{
+    Keep,     ///< case (a): previous values stay
+    Memory,   ///< case (b): d-cycle load from memory
+    Shortcut, ///< case (c): 1-cycle broadcast from PPE shortcut
+};
+
+/** One timed SA mapping step. */
+struct SaStep
+{
+    std::string name;        ///< e.g. "LIN K batch 3"
+    Cycles streamCycles = 0; ///< cycles of useful input streaming
+    Cycles updateCycles = 0; ///< value-register preparation
+    Cycles skewCycles = 0;   ///< pipeline fill/drain (bubbles)
+
+    Cycles total() const
+    {
+        return streamCycles + updateCycles + skewCycles;
+    }
+};
+
+/** Stateless SA timing calculator for one hardware configuration. */
+class SystolicArrayModel
+{
+  public:
+    explicit SystolicArrayModel(const HwConfig &config);
+
+    /**
+     * LSH clustering phase: hash @p tokens tokens of dimension
+     * saHeight with hashLen directions. Only hashLen columns are
+     * active (the Fig. 13 sub-linear-scaling effect).
+     */
+    SaStep lshStep(core::Index tokens, const std::string &name) const;
+
+    /**
+     * Linear phase on a batch of up to saWidth tokens: streams
+     * @p weight_cols weight columns.
+     *
+     * @param source how the token batch reaches the value registers
+     */
+    SaStep linearStep(core::Index weight_cols, ValueRegSource source,
+                      const std::string &name) const;
+
+    /** Score phase: streams @p keys compressed keys against the
+     *  query batch installed by the preceding linear step. */
+    SaStep scoreStep(core::Index keys, const std::string &name) const;
+
+    /** Output phase: streams @p kv_clusters AP/Vb row pairs
+     *  (dataflow 2). */
+    SaStep outputStep(core::Index kv_clusters,
+                      const std::string &name) const;
+
+    /**
+     * Skew charged between steps: with bubble removal, consecutive
+     * steps pack and the array diagonal is only paid once per
+     * dataflow change; without, every step pays fill + drain.
+     */
+    Cycles interStepSkew(bool dataflow_change) const;
+
+    const HwConfig &config() const { return config_; }
+
+  private:
+    HwConfig config_;
+};
+
+} // namespace cta::accel

@@ -1,0 +1,86 @@
+#include "cta_accel/trace.h"
+
+#include <ostream>
+
+#include "core/logging.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+
+const char *
+phaseClassName(PhaseClass phase)
+{
+    switch (phase) {
+      case PhaseClass::Compression: return "compression";
+      case PhaseClass::Linear: return "linear";
+      case PhaseClass::Attention: return "attention";
+    }
+    CTA_PANIC("unreachable phase");
+}
+
+void
+writeScheduleCsv(const MappingResult &result, std::ostream &os)
+{
+    os << "step,phase,start_cycle,sa_cycles,aux_cycles\n";
+    Cycles clock = 0;
+    for (const auto &step : result.steps) {
+        os << step.name << ',' << phaseClassName(step.phase) << ','
+           << clock << ',' << step.saCycles << ',' << step.exposedAux
+           << '\n';
+        clock += step.saCycles + step.exposedAux;
+    }
+}
+
+namespace {
+
+/** Escapes the few characters step names may contain. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const MappingResult &result, std::ostream &os)
+{
+    os << "{\"traceEvents\":[";
+    Cycles clock = 0;
+    bool first = true;
+    for (const auto &step : result.steps) {
+        if (step.saCycles > 0) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"name\":\"" << jsonEscape(step.name)
+               << "\",\"cat\":\"" << phaseClassName(step.phase)
+               << "\",\"ph\":\"X\",\"ts\":" << clock
+               << ",\"dur\":" << step.saCycles
+               << ",\"pid\":0,\"tid\":0}";
+        }
+        if (step.exposedAux > 0) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"name\":\"" << jsonEscape(step.name)
+               << " (aux)\",\"cat\":\"" << phaseClassName(step.phase)
+               << "\",\"ph\":\"X\",\"ts\":"
+               << clock + step.saCycles
+               << ",\"dur\":" << step.exposedAux
+               << ",\"pid\":0,\"tid\":1}";
+        }
+        clock += step.saCycles + step.exposedAux;
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+} // namespace cta::accel

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Schedule-trace export: renders a Table-I MappingResult as CSV or
+ * as a Chrome-tracing JSON ("chrome://tracing" / Perfetto) timeline
+ * so schedules can be inspected visually — the standard debugging
+ * workflow for accelerator timing models.
+ *
+ * The SA occupies track 0; exposed auxiliary-module time (CAVG tail,
+ * PAG stalls/epilogue) occupies track 1.
+ */
+
+#pragma once
+
+#include <iosfwd>
+
+#include "cta_accel/mapper.h"
+
+namespace cta::accel {
+
+/** Writes "step,phase,start_cycle,sa_cycles,aux_cycles" rows. */
+void writeScheduleCsv(const MappingResult &result, std::ostream &os);
+
+/** Writes a Chrome-tracing "traceEvents" JSON document (complete
+ *  events, microsecond timestamps = cycles at 1 GHz). */
+void writeChromeTrace(const MappingResult &result, std::ostream &os);
+
+/** Phase-class display name ("compression" / "linear" /
+ *  "attention"). */
+const char *phaseClassName(PhaseClass phase);
+
+} // namespace cta::accel

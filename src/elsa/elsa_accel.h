@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cycle/energy/memory model of the ELSA accelerator (reconstructed
+ * from the ISCA'21 architecture description).
+ *
+ * Pipeline per attention head:
+ *   1. Key preprocessing: hash + norm of all n keys (n cycles with a
+ *      kappa-wide sign unit).
+ *   2. Per query (QUERY-SERIAL — the structural property CTA
+ *      attacks): candidate selection scans all n key signatures at
+ *      filterLanes keys/cycle, feeding survivors to an exact
+ *      attention pipeline that retires one surviving key per cycle
+ *      (d-wide dot product + d-wide output accumulate). The two
+ *      stages of consecutive queries overlap, so per-query latency
+ *      is max(n / filterLanes, survivors).
+ *
+ * Memory behaviour: every query re-reads all n signatures, and each
+ * surviving key's K and V rows are re-read from the key/value SRAM —
+ * the per-query re-read traffic of Fig. 16.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "elsa/elsa_attention.h"
+#include "sim/memory.h"
+#include "sim/report.h"
+
+namespace cta::elsa {
+
+/** Static configuration of one ELSA accelerator instance. */
+struct ElsaHwConfig
+{
+    core::Index dim = 64;         ///< datapath width d
+    core::Index maxSeqLen = 512;
+    core::Index hashBits = 64;
+    core::Index filterLanes = 8;  ///< signatures scanned per cycle
+    core::Real freqGhz = 1.0f;
+
+    static ElsaHwConfig paperDefault() { return {}; }
+};
+
+/** Timed/priced result of one ELSA-accelerated attention head. */
+struct ElsaAccelResult
+{
+    ElsaResult algorithm;
+    sim::PerfReport report; ///< attention part only (no linears)
+};
+
+/** The ELSA accelerator model. */
+class ElsaAccelerator
+{
+  public:
+    ElsaAccelerator(const ElsaHwConfig &config,
+                    const sim::TechParams &tech);
+
+    /** Simulates the attention part of one head (linears excluded,
+     *  as ELSA maps them to the GPU). */
+    ElsaAccelResult run(const core::Matrix &xq,
+                        const core::Matrix &xkv,
+                        const nn::AttentionHeadParams &params,
+                        const ElsaConfig &alg_config,
+                        const std::string &platform) const;
+
+    /** Total accelerator area (datapath + SRAMs). */
+    sim::Wide areaMm2() const;
+
+  private:
+    ElsaHwConfig hwConfig_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::elsa

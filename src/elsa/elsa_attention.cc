@@ -1,0 +1,181 @@
+#include "elsa/elsa_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "elsa/sign_hash.h"
+
+namespace cta::elsa {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+using core::Wide;
+
+std::string
+elsaPresetName(ElsaPreset preset)
+{
+    switch (preset) {
+      case ElsaPreset::Conservative: return "ELSA-Conservative";
+      case ElsaPreset::Moderate: return "ELSA-Moderate";
+      case ElsaPreset::Aggressive: return "ELSA-Aggressive";
+    }
+    CTA_PANIC("unreachable preset");
+}
+
+ElsaConfig
+ElsaConfig::fromPreset(ElsaPreset preset, std::uint64_t seed)
+{
+    ElsaConfig config;
+    config.seed = seed;
+    switch (preset) {
+      case ElsaPreset::Conservative:
+        config.epsilon = 1e-3f;
+        break;
+      case ElsaPreset::Moderate:
+        config.epsilon = 1e-2f;
+        break;
+      case ElsaPreset::Aggressive:
+        config.epsilon = 5e-2f;
+        break;
+    }
+    return config;
+}
+
+ElsaResult
+elsaAttention(const Matrix &xq, const Matrix &xkv,
+              const nn::AttentionHeadParams &params,
+              const ElsaConfig &config)
+{
+    CTA_REQUIRE(xq.cols() == xkv.cols(), "query/key token dims differ");
+    CTA_REQUIRE(config.hashBits > 0 && config.epsilon > 0 &&
+                config.epsilon < 1, "invalid ElsaConfig");
+
+    ElsaResult result;
+    result.m = xq.rows();
+    result.n = xkv.rows();
+
+    // Q/K/V projections (on the GPU in the ELSA system; counted so
+    // the system model can price them).
+    const Matrix q = params.wq.forward(xq, &result.linearOps);
+    const Matrix k = params.wk.forward(xkv, &result.linearOps);
+    const Matrix v = params.wv.forward(xkv, &result.linearOps);
+    result.d = q.cols();
+    const Real inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<Real>(result.d));
+
+    // Hash all keys once and each query once.
+    core::Rng rng(config.seed);
+    const SignHashParams hash =
+        SignHashParams::sample(config.hashBits, result.d, rng);
+    const SignatureMatrix key_sigs = signHash(k, hash,
+                                              &result.approxOps);
+    const SignatureMatrix query_sigs = signHash(q, hash,
+                                                &result.approxOps);
+    std::vector<Real> key_norms(static_cast<std::size_t>(result.n));
+    for (Index j = 0; j < result.n; ++j)
+        key_norms[static_cast<std::size_t>(j)] =
+            std::sqrt(core::squaredNorm(k.row(j)));
+    result.approxOps.macs +=
+        static_cast<std::uint64_t>(result.n) * result.d; // norms
+
+    const Real margin = std::log(1.0f / config.epsilon);
+    result.output = Matrix(result.m, result.d);
+    result.candidates.resize(static_cast<std::size_t>(result.m));
+
+    // The concatenated signature matrix trick: reuse one structure by
+    // comparing query i against key j via separate matrices.
+    std::vector<Index> kept;
+    kept.reserve(static_cast<std::size_t>(result.n));
+    Wide ratio_sum = 0;
+    for (Index i = 0; i < result.m; ++i) {
+        const Real norm_q =
+            std::sqrt(core::squaredNorm(q.row(i)));
+        result.approxOps.macs +=
+            static_cast<std::uint64_t>(result.d);
+        // Estimate all n scores from Hamming distances.
+        Real best = -1e30f;
+        std::vector<Real> estimates(
+            static_cast<std::size_t>(result.n));
+        for (Index j = 0; j < result.n; ++j) {
+            Index ham = 0;
+            for (Index b = 0; b < config.hashBits; ++b) {
+                ham += query_sigs.bit(i, b) != key_sigs.bit(j, b)
+                    ? 1 : 0;
+            }
+            const Real est = estimateDot(
+                ham, config.hashBits, norm_q,
+                key_norms[static_cast<std::size_t>(j)]) * inv_sqrt_d;
+            estimates[static_cast<std::size_t>(j)] = est;
+            best = std::max(best, est);
+        }
+        // XOR+popcount per signature word + LUT cosine + 2 muls.
+        result.approxOps.cmps +=
+            static_cast<std::uint64_t>(result.n) *
+            static_cast<std::uint64_t>((config.hashBits + 63) / 64);
+        result.approxOps.muls +=
+            2ull * static_cast<std::uint64_t>(result.n);
+        result.approxOps.exps +=
+            static_cast<std::uint64_t>(result.n); // cos LUT lookups
+        result.approxOps.cmps +=
+            static_cast<std::uint64_t>(result.n); // threshold tests
+
+        kept.clear();
+        for (Index j = 0; j < result.n; ++j) {
+            if (estimates[static_cast<std::size_t>(j)] >=
+                best - margin) {
+                kept.push_back(j);
+            }
+        }
+        // ELSA never drops everything: the filter is anchored at the
+        // estimated max, which always passes its own test.
+        CTA_ASSERT(!kept.empty(), "empty candidate set");
+        result.candidates[static_cast<std::size_t>(i)] =
+            static_cast<Index>(kept.size());
+        ratio_sum += static_cast<Wide>(kept.size()) / result.n;
+
+        // Exact attention over survivors.
+        Real score_max = -1e30f;
+        std::vector<Real> scores(kept.size());
+        for (std::size_t t = 0; t < kept.size(); ++t) {
+            const Index j = kept[t];
+            Wide dot = 0;
+            for (Index c = 0; c < result.d; ++c)
+                dot += static_cast<Wide>(q(i, c)) * k(j, c);
+            scores[t] = static_cast<Real>(dot) * inv_sqrt_d;
+            score_max = std::max(score_max, scores[t]);
+        }
+        result.attnOps.macs += kept.size() *
+            static_cast<std::uint64_t>(result.d);
+        result.attnOps.muls += kept.size();
+        result.attnOps.cmps += kept.size();
+
+        Wide denom = 0;
+        for (std::size_t t = 0; t < kept.size(); ++t) {
+            scores[t] = std::exp(scores[t] - score_max);
+            denom += scores[t];
+        }
+        result.attnOps.exps += kept.size();
+        result.attnOps.adds += 2 * kept.size();
+
+        const Real inv_denom = static_cast<Real>(1.0 / denom);
+        for (std::size_t t = 0; t < kept.size(); ++t) {
+            const Index j = kept[t];
+            const Real p = scores[t] * inv_denom;
+            for (Index c = 0; c < result.d; ++c)
+                result.output(i, c) += p * v(j, c);
+        }
+        result.attnOps.divs += 1;
+        result.attnOps.muls += kept.size();
+        result.attnOps.macs += kept.size() *
+            static_cast<std::uint64_t>(result.d);
+    }
+    result.candidateRatio =
+        static_cast<Real>(ratio_sum / result.m);
+    return result;
+}
+
+} // namespace cta::elsa

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The ELSA approximation algorithm (reconstructed): per query,
+ * estimate every key's similarity from kappa-bit signatures, keep
+ * keys whose estimated score is within a softmax-significance margin
+ * of the query's estimated maximum, then run exact attention over
+ * the surviving keys only.
+ *
+ * The margin is the approximation knob: a key whose score trails the
+ * maximum by more than ln(1/epsilon) contributes less than epsilon
+ * relative softmax weight; Conservative/Moderate/Aggressive presets
+ * use epsilon = 1e-3 / 1e-2 / 5e-2.
+ *
+ * The defining structural property (and CTA's critique, paper SI):
+ * candidate selection is *query-specific*, so processing is
+ * query-serial and keys/values are re-touched per query.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "nn/attention.h"
+
+namespace cta::elsa {
+
+/** ELSA approximation strength presets. */
+enum class ElsaPreset
+{
+    Conservative, ///< epsilon = 1e-3: keeps most keys
+    Moderate,     ///< epsilon = 1e-2
+    Aggressive,   ///< epsilon = 5e-2: prunes hardest
+};
+
+/** Display name, e.g. "ELSA-Aggressive". */
+std::string elsaPresetName(ElsaPreset preset);
+
+/** Tunable parameters of one ELSA evaluation. */
+struct ElsaConfig
+{
+    /** Signature width kappa (ELSA uses compact multi-bit hashes). */
+    core::Index hashBits = 64;
+    /** Significance threshold: keep keys with estimated score >=
+     *  max_estimate - ln(1/epsilon). */
+    core::Real epsilon = 1e-2f;
+    /** Seed for the hash directions. */
+    std::uint64_t seed = 1;
+
+    static ElsaConfig fromPreset(ElsaPreset preset,
+                                 std::uint64_t seed = 1);
+};
+
+/** Result of one ELSA attention evaluation. */
+struct ElsaResult
+{
+    core::Matrix output;      ///< m x d approximate attention output
+    /** candidates[i] = number of keys kept for query i. */
+    std::vector<core::Index> candidates;
+    /** Mean kept-key fraction over queries. */
+    core::Real candidateRatio = 0;
+    /** Hashing + estimation ops (the approximation overhead). */
+    core::OpCounts approxOps;
+    /** Exact attention ops over surviving keys. */
+    core::OpCounts attnOps;
+    /** Q/K/V projection ops (ELSA leaves these to the GPU). */
+    core::OpCounts linearOps;
+    core::Index m = 0, n = 0, d = 0;
+};
+
+/** Runs the reconstructed ELSA scheme for one attention head. */
+ElsaResult elsaAttention(const core::Matrix &xq,
+                         const core::Matrix &xkv,
+                         const nn::AttentionHeadParams &params,
+                         const ElsaConfig &config);
+
+} // namespace cta::elsa

@@ -1,0 +1,39 @@
+#include "elsa/elsa_system.h"
+
+#include "core/logging.h"
+
+namespace cta::elsa {
+
+using sim::Wide;
+
+ElsaSystemReport
+combineWithGpu(const ElsaAccelResult &accel, Wide gpu_linear_seconds,
+               Wide gpu_power_w, core::Index units)
+{
+    CTA_REQUIRE(units > 0, "need at least one ELSA unit");
+    ElsaSystemReport out;
+    out.gpuSeconds = gpu_linear_seconds;
+    const Wide unit_seconds =
+        static_cast<Wide>(accel.report.latency.total()) /
+        (accel.report.freqGhz * 1e9);
+    out.elsaSeconds = unit_seconds / static_cast<Wide>(units);
+
+    out.report.platform = accel.report.platform + "+GPU";
+    out.report.freqGhz = 1.0; // nanoseconds as cycles
+    out.report.latency.linears = static_cast<core::Cycles>(
+        out.gpuSeconds * 1e9);
+    out.report.latency.attention = static_cast<core::Cycles>(
+        out.elsaSeconds * 1e9);
+    // Energy: the GPU burns board power through the linears; the
+    // accelerators add their (comparatively small) dynamic energy.
+    out.report.energy.computePj =
+        gpu_power_w * out.gpuSeconds * 1e12 +
+        accel.report.energy.computePj + accel.report.energy.staticPj;
+    out.report.energy.memoryPj = accel.report.energy.memoryPj;
+    out.report.energy.auxiliaryPj = accel.report.energy.auxiliaryPj;
+    out.report.traffic = accel.report.traffic;
+    out.report.areaMm2 = accel.report.areaMm2;
+    return out;
+}
+
+} // namespace cta::elsa

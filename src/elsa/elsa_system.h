@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The ELSA+GPU system split the paper compares against (SVI-C):
+ * ELSA does not accelerate the Q/K/V linear transformations, so the
+ * ISCA'21 paper (and CTA's evaluation) pairs 12 ELSA units with the
+ * host GPU — linears run on the GPU, the quadratic attention part on
+ * the accelerators.
+ *
+ * To avoid a library dependency on the GPU model, the combiner takes
+ * the GPU-side linear time and average power as plain numbers; the
+ * benches obtain them from gpu::GpuModel.
+ */
+
+#pragma once
+
+#include "elsa/elsa_accel.h"
+
+namespace cta::elsa {
+
+/** System-level performance of (units x ELSA) + GPU for one head. */
+struct ElsaSystemReport
+{
+    sim::PerfReport report;   ///< combined latency/energy
+    sim::Wide gpuSeconds = 0; ///< linear-transformation time (GPU)
+    sim::Wide elsaSeconds = 0;///< attention time (per-unit share)
+};
+
+/**
+ * Combines one simulated ELSA head with the GPU linears.
+ *
+ * @param accel the per-head ELSA accelerator result
+ * @param gpu_linear_seconds GPU time for this head's Q/K/V linears
+ * @param gpu_power_w average GPU board power
+ * @param units number of ELSA accelerators sharing the head stream
+ *        (per-head latency amortizes by this factor, matching how
+ *        the paper reports 12 x ELSA throughput)
+ */
+ElsaSystemReport combineWithGpu(const ElsaAccelResult &accel,
+                                sim::Wide gpu_linear_seconds,
+                                sim::Wide gpu_power_w,
+                                core::Index units);
+
+} // namespace cta::elsa

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Analytical V100-SXM2 model (DESIGN.md substitution #2): the
+ * normalization baseline for every throughput/energy figure.
+ *
+ * Each kernel class is priced by a roofline —
+ * max(flops / (peak x efficiency), bytes / (bandwidth x efficiency))
+ * — plus amortized launch overhead, with the efficiency derates in
+ * sim::GpuParams calibrated to published V100 PyTorch attention
+ * profiles. All quantities are per attention head with the full GPU
+ * available (equivalently: per-head time of a perfectly batched run,
+ * the GPU's best-throughput operating point the paper measures).
+ *
+ * Also prices the CUDA implementation of CTA itself (paper SIV
+ * opening: 1.0-2.1x the latency of normal attention even after
+ * Antares tuning) by charging the irregular, serialized kernels at
+ * element-wise efficiency.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "cta/compressed_attention.h"
+#include "sim/report.h"
+
+namespace cta::gpu {
+
+using core::Index;
+using sim::Wide;
+
+/** The analytical GPU cost model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const sim::GpuParams &params =
+                          sim::GpuParams::v100Sxm2());
+
+    /** Q/K/V projection time for one head (seconds). */
+    Wide linearSeconds(Index m, Index n, Index dw, Index d) const;
+
+    /** Score + softmax + output time for one head (seconds). */
+    Wide attentionCalcSeconds(Index m, Index n, Index d) const;
+
+    /** Whole attention mechanism (linears + attention calc). */
+    Wide exactAttentionSeconds(Index m, Index n, Index dw,
+                               Index d) const;
+
+    /**
+     * CTA's own scheme executed as CUDA kernels: the matrix stages
+     * run at GEMM efficiency on the compressed shapes, but the
+     * clustering / aggregation stages serialize into element-wise-
+     * efficiency kernels, reproducing the paper's observation that
+     * GPU-CTA is not faster than normal attention.
+     */
+    Wide ctaOnGpuSeconds(const alg::CompressionStats &stats) const;
+
+    /** Board energy for a run of @p seconds. */
+    Wide energyJ(Wide seconds) const;
+
+    /** Full PerfReport for one exact-attention head evaluation. */
+    sim::PerfReport runExactHead(Index m, Index n, Index dw, Index d,
+                                 const std::string &platform =
+                                     "V100") const;
+
+    const sim::GpuParams &params() const { return params_; }
+
+  private:
+    /** Roofline for one kernel class. */
+    Wide kernelSeconds(Wide flops, Wide bytes, Wide flop_eff,
+                       Wide kernels) const;
+
+    sim::GpuParams params_;
+};
+
+} // namespace cta::gpu

@@ -1,0 +1,105 @@
+#include "leopard/leopard_accel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace cta::leopard {
+
+using core::Cycles;
+using core::Index;
+using sim::Wide;
+
+LeopardAccelerator::LeopardAccelerator(const LeopardHwConfig &config,
+                                       const sim::TechParams &tech)
+    : hwConfig_(config), tech_(tech)
+{
+    CTA_REQUIRE(config.keyLanes > 0 && config.dim > 0,
+                "invalid LeOPArd configuration");
+}
+
+Wide
+LeopardAccelerator::areaMm2() const
+{
+    // keyLanes bit-serial d-wide lanes (cheaper than full
+    // multipliers: ~1/4 PE area each) + softmax/value pipeline +
+    // K/V SRAM.
+    const Wide lanes = static_cast<Wide>(hwConfig_.keyLanes) *
+        static_cast<Wide>(hwConfig_.dim) * tech_.peAreaMm2 * 0.25;
+    const Wide pipeline =
+        static_cast<Wide>(hwConfig_.dim) * tech_.peAreaMm2 +
+        tech_.lutAreaMm2;
+    const Wide kv_kb = 2.0 * static_cast<Wide>(hwConfig_.maxSeqLen) *
+        static_cast<Wide>(hwConfig_.dim) * 2.0 / 1024.0;
+    return lanes + pipeline + kv_kb * tech_.sramAreaMm2PerKb;
+}
+
+LeopardAccelResult
+LeopardAccelerator::run(const core::Matrix &xq,
+                        const core::Matrix &xkv,
+                        const nn::AttentionHeadParams &params,
+                        const LeopardConfig &alg_config,
+                        const std::string &platform) const
+{
+    CTA_REQUIRE(xkv.rows() <= hwConfig_.maxSeqLen,
+                "sequence too long for configured LeOPArd memory");
+    LeopardAccelResult out;
+    out.algorithm = leopardAttention(xq, xkv, params, alg_config);
+    const auto &alg = out.algorithm;
+    const auto n = static_cast<Wide>(alg.n);
+    const auto m = static_cast<Wide>(alg.m);
+    const auto d = static_cast<std::uint64_t>(alg.d);
+
+    // --- Timing. ---
+    // Score stage per query: the n keys spread over keyLanes lanes;
+    // each key occupies its lane for its bit count. Mean bit count =
+    // bitWorkRatio * scoreBits.
+    const Wide mean_bits = static_cast<Wide>(alg.bitWorkRatio) *
+        static_cast<Wide>(alg_config.scoreBits);
+    const Wide score_stage =
+        n * mean_bits / static_cast<Wide>(hwConfig_.keyLanes);
+    // Value stage per query: survivors at one key per cycle.
+    const Wide value_stage = static_cast<Wide>(alg.keepRatio) * n;
+    // Stages of consecutive queries overlap.
+    out.report.latency.attention = static_cast<Cycles>(
+        m * std::max(score_stage, value_stage) + score_stage);
+
+    // --- Memory traffic: per-query K re-reads (bit-serial reads
+    // fetch each key row once per query), V rows for survivors. ---
+    sim::SramModel kv_mem("LeOPArd key/value",
+        2.0 * static_cast<Wide>(hwConfig_.maxSeqLen) *
+        static_cast<Wide>(hwConfig_.dim) * 2.0 / 1024.0, tech_);
+    kv_mem.write(2 * static_cast<std::uint64_t>(n) * d);
+    kv_mem.read(static_cast<std::uint64_t>(m * n) * d); // K per query
+    kv_mem.read(static_cast<std::uint64_t>(
+        m * static_cast<Wide>(alg.keepRatio) * n) * d); // V survivors
+    out.report.traffic.reads = kv_mem.reads();
+    out.report.traffic.writes = kv_mem.writes();
+
+    // --- Energy: bit-serial MACs cost ~bits/scoreBits of a full
+    // MAC; survivors pay the softmax/value pipeline. ---
+    sim::EnergyBreakdown energy;
+    energy.memoryPj = kv_mem.dynamicEnergyPj();
+    energy.computePj =
+        static_cast<Wide>(alg.approxOps.macs) * tech_.macEnergyPj +
+        static_cast<Wide>(alg.attnOps.macs) *
+            (tech_.macEnergyPj + 2.0 * tech_.regEnergyPj) +
+        static_cast<Wide>(alg.attnOps.exps) * tech_.expLutEnergyPj +
+        static_cast<Wide>(alg.attnOps.muls) * tech_.mulEnergyPj;
+    energy.auxiliaryPj =
+        static_cast<Wide>(alg.approxOps.cmps) * tech_.cmpEnergyPj;
+    const Wide seconds =
+        static_cast<Wide>(out.report.latency.total()) /
+        (static_cast<Wide>(hwConfig_.freqGhz) * 1e9);
+    energy.staticPj = tech_.leakageMwPerMm2 * areaMm2() * 1e-3 *
+        seconds * 1e12;
+    out.report.energy = energy;
+
+    out.report.platform = platform;
+    out.report.areaMm2 = areaMm2();
+    out.report.freqGhz = hwConfig_.freqGhz;
+    return out;
+}
+
+} // namespace cta::leopard

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cycle/energy model of the LeOPArd accelerator (reconstructed from
+ * the ISCA'22 description): a bank of bit-serial dot-product lanes
+ * computes scores MSB-first; a lane terminates its key as soon as
+ * the score's upper bound falls under the learned threshold, so a
+ * pruned key occupies its lane for only earlyTerminationBits cycles
+ * instead of scoreBits. Surviving keys proceed to the softmax/value
+ * pipeline at one key per cycle. Processing is query-serial, with
+ * consecutive queries overlapped across the two stages.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "leopard/leopard_attention.h"
+#include "sim/memory.h"
+#include "sim/report.h"
+
+namespace cta::leopard {
+
+/** Static configuration of one LeOPArd accelerator instance. */
+struct LeopardHwConfig
+{
+    core::Index dim = 64;
+    core::Index maxSeqLen = 512;
+    /** Parallel bit-serial key lanes. */
+    core::Index keyLanes = 8;
+    core::Real freqGhz = 1.0f;
+
+    static LeopardHwConfig paperDefault() { return {}; }
+};
+
+/** Timed/priced result of one LeOPArd-accelerated head. */
+struct LeopardAccelResult
+{
+    LeopardResult algorithm;
+    sim::PerfReport report; ///< attention part only (no linears)
+};
+
+/** The LeOPArd accelerator model. */
+class LeopardAccelerator
+{
+  public:
+    LeopardAccelerator(const LeopardHwConfig &config,
+                       const sim::TechParams &tech);
+
+    LeopardAccelResult run(const core::Matrix &xq,
+                           const core::Matrix &xkv,
+                           const nn::AttentionHeadParams &params,
+                           const LeopardConfig &alg_config,
+                           const std::string &platform) const;
+
+    sim::Wide areaMm2() const;
+
+  private:
+    LeopardHwConfig hwConfig_;
+    sim::TechParams tech_;
+};
+
+} // namespace cta::leopard

@@ -1,0 +1,152 @@
+#include "leopard/leopard_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace cta::leopard {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+using core::Wide;
+
+LeopardConfig
+calibrateLeopard(const Matrix &sample_tokens,
+                 const nn::AttentionHeadParams &params,
+                 Real mass_target)
+{
+    CTA_REQUIRE(mass_target > 0 && mass_target < 1,
+                "mass target must be in (0, 1)");
+    const auto trace = nn::exactAttentionTraced(
+        sample_tokens, sample_tokens, params);
+    // For each candidate margin, measure the softmax mass retained;
+    // pick the smallest margin meeting the target (the quantity
+    // LeOPArd's gradient training converges to).
+    LeopardConfig config;
+    for (const Real margin :
+         {1.0f, 1.5f, 2.0f, 2.5f, 3.0f, 3.5f, 4.0f, 4.6f, 5.5f,
+          6.9f}) {
+        Wide kept_mass = 0;
+        const Index m = trace.scores.rows();
+        for (Index i = 0; i < m; ++i) {
+            Real row_max = trace.scores(i, 0);
+            for (Index j = 1; j < trace.scores.cols(); ++j)
+                row_max = std::max(row_max, trace.scores(i, j));
+            for (Index j = 0; j < trace.scores.cols(); ++j) {
+                if (trace.scores(i, j) >= row_max - margin)
+                    kept_mass += trace.probs(i, j);
+            }
+        }
+        kept_mass /= m;
+        if (kept_mass >= mass_target) {
+            config.margin = margin;
+            return config;
+        }
+    }
+    config.margin = 6.9f;
+    return config;
+}
+
+LeopardResult
+leopardAttention(const Matrix &xq, const Matrix &xkv,
+                 const nn::AttentionHeadParams &params,
+                 const LeopardConfig &config)
+{
+    CTA_REQUIRE(xq.cols() == xkv.cols(), "query/key token dims differ");
+    CTA_REQUIRE(config.margin > 0 && config.scoreBits > 0 &&
+                config.earlyTerminationBits <= config.scoreBits,
+                "invalid LeopardConfig");
+
+    LeopardResult result;
+    result.m = xq.rows();
+    result.n = xkv.rows();
+
+    const Matrix q = params.wq.forward(xq, &result.linearOps);
+    const Matrix k = params.wk.forward(xkv, &result.linearOps);
+    const Matrix v = params.wv.forward(xkv, &result.linearOps);
+    result.d = q.cols();
+    const Real inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<Real>(result.d));
+
+    result.output = Matrix(result.m, result.d);
+    Wide keep_sum = 0;
+    std::uint64_t bit_planes_used = 0;
+    const std::uint64_t full_planes =
+        static_cast<std::uint64_t>(result.m) *
+        static_cast<std::uint64_t>(result.n) *
+        static_cast<std::uint64_t>(config.scoreBits);
+
+    std::vector<Real> scores(static_cast<std::size_t>(result.n));
+    for (Index i = 0; i < result.m; ++i) {
+        // Bit-serial score pass: every pair is touched; survivors
+        // consume all bit-planes, pruned keys terminate early. The
+        // functional result is the exact score for survivors.
+        Real row_max = -1e30f;
+        for (Index j = 0; j < result.n; ++j) {
+            Wide dot = 0;
+            for (Index c = 0; c < result.d; ++c)
+                dot += static_cast<Wide>(q(i, c)) * k(j, c);
+            scores[static_cast<std::size_t>(j)] =
+                static_cast<Real>(dot) * inv_sqrt_d;
+            row_max = std::max(row_max,
+                               scores[static_cast<std::size_t>(j)]);
+        }
+        // The paper tracks a running max from already-seen keys; the
+        // end-of-row max is the steady-state approximation.
+        const Real threshold = row_max - config.margin;
+
+        Wide denom = 0;
+        Index kept = 0;
+        std::vector<bool> keep(static_cast<std::size_t>(result.n));
+        for (Index j = 0; j < result.n; ++j) {
+            const bool survives =
+                scores[static_cast<std::size_t>(j)] >= threshold;
+            keep[static_cast<std::size_t>(j)] = survives;
+            bit_planes_used += survives
+                ? static_cast<std::uint64_t>(config.scoreBits)
+                : static_cast<std::uint64_t>(
+                      config.earlyTerminationBits);
+            if (!survives)
+                continue;
+            ++kept;
+            denom += std::exp(
+                scores[static_cast<std::size_t>(j)] - row_max);
+        }
+        CTA_ASSERT(kept > 0, "threshold pruned every key");
+        keep_sum += static_cast<Wide>(kept) / result.n;
+        result.attnOps.exps += 2ull * static_cast<std::uint64_t>(kept);
+        result.attnOps.adds += static_cast<std::uint64_t>(kept);
+
+        const Real inv_denom = static_cast<Real>(1.0 / denom);
+        for (Index j = 0; j < result.n; ++j) {
+            if (!keep[static_cast<std::size_t>(j)])
+                continue;
+            const Real p =
+                std::exp(scores[static_cast<std::size_t>(j)] -
+                         row_max) * inv_denom;
+            for (Index c = 0; c < result.d; ++c)
+                result.output(i, c) += p * v(j, c);
+            result.attnOps.macs +=
+                static_cast<std::uint64_t>(result.d);
+            result.attnOps.muls += 1;
+        }
+        result.attnOps.divs += 1;
+    }
+    // Bit-serial score work: scoreBits-plane MACs; express as
+    // fractional full MACs in approxOps.
+    result.approxOps.macs = static_cast<std::uint64_t>(
+        static_cast<Wide>(bit_planes_used) / config.scoreBits *
+        static_cast<Wide>(result.d));
+    result.approxOps.cmps =
+        static_cast<std::uint64_t>(result.m) *
+        static_cast<std::uint64_t>(result.n); // threshold tests
+    result.keepRatio = static_cast<Real>(keep_sum / result.m);
+    result.bitWorkRatio = static_cast<Real>(
+        static_cast<Wide>(bit_planes_used) /
+        static_cast<Wide>(full_planes));
+    return result;
+}
+
+} // namespace cta::leopard

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reconstruction of the LeOPArd baseline (Li et al., ISCA 2022 —
+ * the CTA paper's reference [44], "accelerating attention through
+ * gradient-based learned runtime pruning").
+ *
+ * LeOPArd's idea: a per-layer score threshold theta is *learned*
+ * jointly with the model; at inference, a key whose attention score
+ * falls below theta is pruned before softmax. The hardware computes
+ * the Q.K dot products bit-serially (MSB first), maintaining an
+ * upper bound on the final score; as soon as the bound drops below
+ * theta, the computation terminates early — pruned keys cost only a
+ * fraction of the full dot product.
+ *
+ * Reconstruction choices (no training loop available offline):
+ *   - the "learned" theta is calibrated on sample data as the
+ *     row-max-relative margin that retains a target share of the
+ *     softmax mass (the same objective the gradient learning
+ *     optimizes against accuracy loss);
+ *   - early termination is modeled bit-serially: a pruned key is
+ *     charged `earlyTerminationBits` of the `scoreBits` bit-planes
+ *     (LeOPArd reports terminating most pruned keys within the
+ *     first few bit-planes).
+ *
+ * Like A^3 and ELSA, pruning is query-specific — the structural
+ * property CTA removes.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "nn/attention.h"
+
+namespace cta::leopard {
+
+/** Tunable parameters of one LeOPArd evaluation. */
+struct LeopardConfig
+{
+    /**
+     * Score threshold relative to each row's max score: key j
+     * survives for query i iff S_ij >= rowmax_i - margin. Smaller
+     * margin = harder pruning (the learned quantity).
+     */
+    core::Real margin = 4.6f; // ~ keeps keys above 1% relative mass
+    /** Bit-planes of the bit-serial score datapath. */
+    core::Index scoreBits = 12;
+    /** Average bit-planes consumed before a pruned key terminates. */
+    core::Index earlyTerminationBits = 4;
+};
+
+/** Calibrates the margin to retain @p mass_target softmax mass. */
+LeopardConfig calibrateLeopard(const core::Matrix &sample_tokens,
+                               const nn::AttentionHeadParams &params,
+                               core::Real mass_target = 0.99f);
+
+/** Result of one LeOPArd attention evaluation. */
+struct LeopardResult
+{
+    core::Matrix output;
+    /** Mean kept-key fraction over queries. */
+    core::Real keepRatio = 0;
+    /** Effective fraction of bit-serial score work performed
+     *  (1.0 = no early termination benefit). */
+    core::Real bitWorkRatio = 0;
+    core::OpCounts attnOps;   ///< surviving-key attention work
+    core::OpCounts approxOps; ///< full score pass (bit-serial)
+    core::OpCounts linearOps; ///< Q/K/V projections (GPU side)
+    core::Index m = 0, n = 0, d = 0;
+};
+
+/** Runs the reconstructed LeOPArd scheme for one attention head. */
+LeopardResult leopardAttention(const core::Matrix &xq,
+                               const core::Matrix &xkv,
+                               const nn::AttentionHeadParams &params,
+                               const LeopardConfig &config);
+
+} // namespace cta::leopard

@@ -1,0 +1,53 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+#include "core/rng.h"
+
+namespace cta::nn {
+
+using core::Index;
+using core::Matrix;
+using core::OpCounts;
+using core::Real;
+
+Linear::Linear(Index in_dim, Index out_dim, bool with_bias)
+    : weight_(in_dim, out_dim)
+{
+    if (with_bias)
+        bias_ = Matrix(1, out_dim);
+}
+
+Linear::Linear(Matrix weight) : weight_(std::move(weight)) {}
+
+Linear
+Linear::randomInit(Index in_dim, Index out_dim, core::Rng &rng,
+                   bool with_bias)
+{
+    Linear layer(in_dim, out_dim, with_bias);
+    const Real stddev = 1.0f / std::sqrt(static_cast<Real>(in_dim));
+    layer.weight_ = Matrix::randomNormal(in_dim, out_dim, rng, 0, stddev);
+    if (with_bias)
+        layer.bias_ = Matrix::randomNormal(1, out_dim, rng, 0, 0.01f);
+    return layer;
+}
+
+Matrix
+Linear::forward(const Matrix &x, OpCounts *counts) const
+{
+    CTA_REQUIRE(x.cols() == weight_.rows(),
+                "linear input dim ", x.cols(), " != ", weight_.rows());
+    Matrix y = matmul(x, weight_, counts);
+    if (bias_) {
+        for (Index i = 0; i < y.rows(); ++i)
+            for (Index j = 0; j < y.cols(); ++j)
+                y(i, j) += (*bias_)(0, j);
+        if (counts)
+            counts->adds += y.size();
+    }
+    return y;
+}
+
+} // namespace cta::nn

@@ -1,0 +1,108 @@
+#include "nn/model_zoo.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace cta::nn {
+
+using core::Index;
+
+ModelConfig
+ModelConfig::bertLarge()
+{
+    return {"BERT-large", 24, 16, 1024, 64, 4096, 0.45f};
+}
+
+ModelConfig
+ModelConfig::robertaLarge()
+{
+    return {"RoBERTa-large", 24, 16, 1024, 64, 4096, 0.45f};
+}
+
+ModelConfig
+ModelConfig::albertLarge()
+{
+    // ALBERT-large shares parameters across layers but executes the
+    // same per-layer compute; 16 heads on d_model 1024.
+    return {"ALBERT-large", 24, 16, 1024, 64, 4096, 0.45f};
+}
+
+ModelConfig
+ModelConfig::gpt2Large()
+{
+    return {"GPT-2-large", 36, 20, 1280, 64, 5120, 0.50f};
+}
+
+WorkloadProfile
+datasetProfile(const std::string &dataset, Index seq_len,
+               Index token_dim)
+{
+    WorkloadProfile profile;
+    profile.seqLen = seq_len;
+    profile.tokenDim = token_dim;
+    // Fine (residual) structure is modest relative to the coarse
+    // semantic clusters — the regime where two-level compression
+    // preserves accuracy (paper SIII-B).
+    profile.fineScale = 0.25f;
+    // The coarse/fine cluster budgets scale with sequence length:
+    // longer contexts repeat more (paper Fig. 2 — the proportion of
+    // effective relations *drops* as n grows), so cluster counts grow
+    // sub-linearly with n.
+    const auto scaled = [&](double base) {
+        return std::max<Index>(4, static_cast<Index>(
+            base * std::max(1.0, static_cast<double>(seq_len) / 512.0)));
+    };
+    if (dataset == "SQuAD1.1") {
+        profile.name = "squad1-like";
+        profile.coarseClusters = scaled(44);
+        profile.fineClusters = scaled(26);
+        profile.noiseScale = 0.05f;
+    } else if (dataset == "SQuAD2.0") {
+        profile.name = "squad2-like";
+        profile.coarseClusters = scaled(48);
+        profile.fineClusters = scaled(28);
+        profile.noiseScale = 0.06f;
+    } else if (dataset == "IMDB") {
+        // Movie reviews are more repetitive than QA passages.
+        profile.name = "imdb-like";
+        profile.coarseClusters = scaled(36);
+        profile.fineClusters = scaled(22);
+        profile.noiseScale = 0.05f;
+    } else if (dataset == "WikiText-2") {
+        profile.name = "wikitext2-like";
+        profile.coarseClusters = scaled(52);
+        profile.fineClusters = scaled(30);
+        profile.noiseScale = 0.07f;
+    } else {
+        CTA_FATAL("unknown dataset '", dataset, "'");
+    }
+    return profile;
+}
+
+std::vector<Testcase>
+paperTestcases(Index seq_len)
+{
+    const std::vector<ModelConfig> discriminative = {
+        ModelConfig::bertLarge(),
+        ModelConfig::robertaLarge(),
+        ModelConfig::albertLarge(),
+    };
+    const std::vector<std::string> datasets = {"SQuAD1.1", "SQuAD2.0",
+                                               "IMDB"};
+    std::vector<Testcase> cases;
+    for (const auto &model : discriminative) {
+        for (const auto &dataset : datasets) {
+            cases.push_back(Testcase{
+                model.name + "/" + dataset, model,
+                datasetProfile(dataset, seq_len, model.dHead)});
+        }
+    }
+    const ModelConfig gpt2 = ModelConfig::gpt2Large();
+    cases.push_back(Testcase{gpt2.name + "/WikiText-2", gpt2,
+                             datasetProfile("WikiText-2", seq_len,
+                                            gpt2.dHead)});
+    return cases;
+}
+
+} // namespace cta::nn

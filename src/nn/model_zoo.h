@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Model and testcase catalog mirroring the paper's evaluation setup
+ * (SVI-A): BERT-large, RoBERTa-large, ALBERT-large on SQuAD 1.1/2.0
+ * and IMDB, and GPT-2-large on WikiText-2 — ten model-dataset
+ * combinations in total (Fig. 11's x-axis).
+ *
+ * Architectural hyperparameters are the published ones; each dataset
+ * maps to a synthetic WorkloadProfile (see nn/workload.h and the
+ * substitution note in DESIGN.md).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "nn/workload.h"
+
+namespace cta::nn {
+
+/** Published architecture hyperparameters of an evaluated model. */
+struct ModelConfig
+{
+    std::string name;
+    core::Index numLayers;
+    core::Index numHeads;
+    core::Index dModel;
+    core::Index dHead;
+    core::Index ffnDim;
+    /** Fraction of total inference work that is attention (incl.
+     *  QKV linears); the paper's intro cites "up to 50%". Used by
+     *  the end-to-end speedup model (Amdahl split). */
+    core::Real attentionFraction;
+
+    static ModelConfig bertLarge();
+    static ModelConfig robertaLarge();
+    static ModelConfig albertLarge();
+    static ModelConfig gpt2Large();
+};
+
+/** One model-dataset evaluation point. */
+struct Testcase
+{
+    std::string name;       ///< e.g. "BERT/SQuAD1.1"
+    ModelConfig model;
+    WorkloadProfile workload;
+};
+
+/** The ten model-dataset combinations of the paper's Fig. 11. */
+std::vector<Testcase> paperTestcases(core::Index seq_len = 512);
+
+/** Workload profile emulating a given dataset's token geometry. */
+WorkloadProfile datasetProfile(const std::string &dataset,
+                               core::Index seq_len,
+                               core::Index token_dim);
+
+} // namespace cta::nn

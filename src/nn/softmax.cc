@@ -1,0 +1,63 @@
+#include "nn/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+
+namespace cta::nn {
+
+using core::Index;
+using core::Matrix;
+using core::OpCounts;
+using core::Real;
+using core::Wide;
+
+Matrix
+rowExp(const Matrix &scores, Matrix &row_sums, OpCounts *counts)
+{
+    Matrix out(scores.rows(), scores.cols());
+    row_sums = Matrix(scores.rows(), 1);
+    for (Index i = 0; i < scores.rows(); ++i) {
+        const auto row = scores.row(i);
+        const Real row_max =
+            *std::max_element(row.begin(), row.end());
+        Wide denom = 0;
+        for (Index j = 0; j < scores.cols(); ++j) {
+            const Real e = std::exp(scores(i, j) - row_max);
+            out(i, j) = e;
+            denom += e;
+        }
+        row_sums(i, 0) = static_cast<Real>(denom);
+    }
+    if (counts) {
+        const auto cells = static_cast<std::uint64_t>(scores.size());
+        const auto rows = static_cast<std::uint64_t>(scores.rows());
+        counts->cmps += cells - rows;  // max scan
+        counts->adds += cells;         // shift by max
+        counts->exps += cells;
+        counts->adds += cells - rows;  // denominator sum
+    }
+    return out;
+}
+
+Matrix
+rowSoftmax(const Matrix &scores, OpCounts *counts)
+{
+    CTA_REQUIRE(scores.cols() > 0, "softmax over empty rows");
+    Matrix row_sums;
+    Matrix out = rowExp(scores, row_sums, counts);
+    for (Index i = 0; i < out.rows(); ++i) {
+        const Real inv = 1.0f / row_sums(i, 0);
+        for (Index j = 0; j < out.cols(); ++j)
+            out(i, j) *= inv;
+    }
+    if (counts) {
+        counts->divs += static_cast<std::uint64_t>(out.rows());
+        counts->muls += static_cast<std::uint64_t>(out.size());
+    }
+    return out;
+}
+
+} // namespace cta::nn

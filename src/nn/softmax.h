@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Numerically-stable row-wise softmax, plus the un-normalized
+ * exponential form used when the normalization is folded elsewhere
+ * (as CTA folds it into the output division, paper eq. 7-8).
+ */
+
+#pragma once
+
+#include "core/matrix.h"
+
+namespace cta::core {
+struct OpCounts;
+} // namespace cta::core
+
+namespace cta::nn {
+
+/**
+ * Row-wise softmax with max-subtraction for stability.
+ *
+ * Charges per row: (cols-1) cmps for the max scan, cols adds for the
+ * shift, cols exps, (cols-1) adds for the denominator sum and cols
+ * divs — matching what attention hardware actually evaluates.
+ */
+core::Matrix rowSoftmax(const core::Matrix &scores,
+                        core::OpCounts *counts = nullptr);
+
+/**
+ * Row-wise exp(x - rowmax(x)) without the normalizing division;
+ * also returns each row's denominator in @p row_sums (rows x 1).
+ */
+core::Matrix rowExp(const core::Matrix &scores, core::Matrix &row_sums,
+                    core::OpCounts *counts = nullptr);
+
+} // namespace cta::nn

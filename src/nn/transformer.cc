@@ -1,0 +1,106 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+#include "core/rng.h"
+
+namespace cta::nn {
+
+using core::Index;
+using core::Matrix;
+using core::OpCounts;
+using core::Real;
+using core::Wide;
+
+LayerNorm::LayerNorm(Index dim, Real epsilon)
+    : gamma_(1, dim, 1.0f), beta_(1, dim, 0.0f), epsilon_(epsilon)
+{
+}
+
+Matrix
+LayerNorm::forward(const Matrix &x, OpCounts *counts) const
+{
+    CTA_REQUIRE(x.cols() == gamma_.cols(), "layernorm dim mismatch");
+    Matrix out(x.rows(), x.cols());
+    for (Index i = 0; i < x.rows(); ++i) {
+        Wide sum = 0;
+        for (Index j = 0; j < x.cols(); ++j)
+            sum += x(i, j);
+        const Wide mu = sum / x.cols();
+        Wide var = 0;
+        for (Index j = 0; j < x.cols(); ++j) {
+            const Wide diff = x(i, j) - mu;
+            var += diff * diff;
+        }
+        var /= x.cols();
+        const Real inv_std =
+            1.0f / std::sqrt(static_cast<Real>(var) + epsilon_);
+        for (Index j = 0; j < x.cols(); ++j) {
+            const Real norm =
+                (x(i, j) - static_cast<Real>(mu)) * inv_std;
+            out(i, j) = norm * gamma_(0, j) + beta_(0, j);
+        }
+    }
+    if (counts) {
+        const auto cells = static_cast<std::uint64_t>(x.size());
+        counts->adds += 3 * cells; // mean sum, var sum, centering
+        counts->muls += 3 * cells; // var square, inv_std, gamma
+        counts->divs += 2 * static_cast<std::uint64_t>(x.rows());
+    }
+    return out;
+}
+
+Matrix
+gelu(const Matrix &x, OpCounts *counts)
+{
+    Matrix out(x.rows(), x.cols());
+    const Real c = std::sqrt(2.0f / std::numbers::pi_v<Real>);
+    for (Index i = 0; i < x.size(); ++i) {
+        const Real v = x.data()[i];
+        out.data()[i] =
+            0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+    }
+    if (counts) {
+        // Count a GELU as ~6 muls + 2 adds + 1 exp-class op per cell.
+        const auto cells = static_cast<std::uint64_t>(x.size());
+        counts->muls += 6 * cells;
+        counts->adds += 2 * cells;
+        counts->exps += cells;
+    }
+    return out;
+}
+
+FeedForward::FeedForward(Index d_model, Index d_hidden, core::Rng &rng)
+    : up_(Linear::randomInit(d_model, d_hidden, rng, true)),
+      down_(Linear::randomInit(d_hidden, d_model, rng, true))
+{
+}
+
+Matrix
+FeedForward::forward(const Matrix &x, OpCounts *counts) const
+{
+    return down_.forward(gelu(up_.forward(x, counts), counts), counts);
+}
+
+EncoderLayer::EncoderLayer(Index d_model, Index num_heads,
+                           Index d_hidden, core::Rng &rng)
+    : norm1_(d_model), attention_(d_model, num_heads, rng),
+      norm2_(d_model), ffn_(d_model, d_hidden, rng)
+{
+}
+
+Matrix
+EncoderLayer::forward(const Matrix &x, OpCounts *counts) const
+{
+    // Pre-norm residual blocks: x + Attn(LN(x)), then x + FFN(LN(x)).
+    Matrix attn_out =
+        attention_.forward(norm1_.forward(x, counts), counts);
+    Matrix mid = add(x, attn_out, counts);
+    Matrix ffn_out = ffn_.forward(norm2_.forward(mid, counts), counts);
+    return add(mid, ffn_out, counts);
+}
+
+} // namespace cta::nn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal transformer-encoder substrate: layer normalization, GELU
+ * feed-forward network and a full encoder layer (attention + FFN with
+ * residual connections). Used by the end-to-end examples and the
+ * end-to-end speedup bench (paper SVI-C "End-to-end performance").
+ */
+
+#pragma once
+
+#include "core/matrix.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+
+namespace cta::nn {
+
+/** Per-feature layer normalization with learned scale/shift. */
+class LayerNorm
+{
+  public:
+    /** Identity-initialized (gamma = 1, beta = 0) layer norm. */
+    explicit LayerNorm(core::Index dim, core::Real epsilon = 1e-5f);
+
+    /** Normalizes each row of @p x to zero mean / unit variance. */
+    core::Matrix forward(const core::Matrix &x,
+                         core::OpCounts *counts = nullptr) const;
+
+  private:
+    core::Matrix gamma_;
+    core::Matrix beta_;
+    core::Real epsilon_;
+};
+
+/** Two-layer position-wise feed-forward network with GELU. */
+class FeedForward
+{
+  public:
+    FeedForward(core::Index d_model, core::Index d_hidden,
+                core::Rng &rng);
+
+    core::Matrix forward(const core::Matrix &x,
+                         core::OpCounts *counts = nullptr) const;
+
+  private:
+    Linear up_;
+    Linear down_;
+};
+
+/** One pre-norm transformer encoder layer. */
+class EncoderLayer
+{
+  public:
+    EncoderLayer(core::Index d_model, core::Index num_heads,
+                 core::Index d_hidden, core::Rng &rng);
+
+    core::Matrix forward(const core::Matrix &x,
+                         core::OpCounts *counts = nullptr) const;
+
+    /** The attention block (exposed for CTA substitution). */
+    const MultiHeadAttention &attention() const { return attention_; }
+
+  private:
+    LayerNorm norm1_;
+    MultiHeadAttention attention_;
+    LayerNorm norm2_;
+    FeedForward ffn_;
+};
+
+/** GELU activation applied element-wise (tanh approximation). */
+core::Matrix gelu(const core::Matrix &x,
+                  core::OpCounts *counts = nullptr);
+
+} // namespace cta::nn

@@ -1,0 +1,210 @@
+#include "nn/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/op_counter.h"
+
+namespace cta::nn {
+
+using core::Index;
+using core::Matrix;
+using core::Real;
+
+WorkloadProfile
+WorkloadProfile::withSeqLen(Index n) const
+{
+    WorkloadProfile copy = *this;
+    copy.seqLen = n;
+    return copy;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadProfile profile,
+                                     std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed)
+{
+    CTA_REQUIRE(profile_.seqLen > 0 && profile_.tokenDim > 0,
+                "workload needs positive dims");
+    CTA_REQUIRE(profile_.coarseClusters > 0 && profile_.fineClusters > 0,
+                "workload needs positive cluster counts");
+    coarseCenters_ = Matrix::randomNormal(
+        profile_.coarseClusters, profile_.tokenDim, rng_, 0,
+        profile_.coarseScale);
+    fineOffsets_ = Matrix::randomNormal(
+        profile_.fineClusters, profile_.tokenDim, rng_, 0,
+        profile_.fineScale);
+    const auto build_cdf = [&](Index count) {
+        std::vector<Real> cdf;
+        cdf.reserve(static_cast<std::size_t>(count));
+        Real total = 0;
+        for (Index i = 0; i < count; ++i) {
+            total += std::pow(static_cast<Real>(i + 1),
+                              -profile_.zipfExponent);
+            cdf.push_back(total);
+        }
+        for (auto &v : cdf)
+            v /= total;
+        return cdf;
+    };
+    coarseCdf_ = build_cdf(profile_.coarseClusters);
+    fineCdf_ = build_cdf(profile_.fineClusters);
+}
+
+Index
+WorkloadGenerator::drawZipf(const std::vector<Real> &cdf)
+{
+    const Real u = rng_.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<Index>(it - cdf.begin());
+}
+
+TokenSample
+WorkloadGenerator::sample()
+{
+    TokenSample out;
+    out.tokens = Matrix(profile_.seqLen, profile_.tokenDim);
+    out.coarseId.resize(static_cast<std::size_t>(profile_.seqLen));
+    out.fineId.resize(static_cast<std::size_t>(profile_.seqLen));
+    for (Index i = 0; i < profile_.seqLen; ++i) {
+        const Index c = drawZipf(coarseCdf_);
+        const Index f = drawZipf(fineCdf_);
+        out.coarseId[static_cast<std::size_t>(i)] = c;
+        out.fineId[static_cast<std::size_t>(i)] = f;
+        for (Index j = 0; j < profile_.tokenDim; ++j) {
+            out.tokens(i, j) = coarseCenters_(c, j) + fineOffsets_(f, j)
+                + rng_.normal(0, profile_.noiseScale);
+        }
+    }
+    return out;
+}
+
+Matrix
+WorkloadGenerator::sampleTokens()
+{
+    return sample().tokens;
+}
+
+ProxyTask::ProxyTask(Index token_dim, Index head_dim, Index num_classes,
+                     std::uint64_t seed)
+    : head_([&] {
+          core::Rng rng(seed);
+          return AttentionHeadParams::randomInit(token_dim, head_dim,
+                                                 rng);
+      }()),
+      readout_([&] {
+          core::Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+          return Matrix::randomNormal(head_dim, num_classes, rng);
+      }())
+{
+    CTA_REQUIRE(num_classes >= 2, "need at least 2 classes");
+}
+
+Index
+ProxyTask::labelFromOutput(const Matrix &output) const
+{
+    CTA_REQUIRE(output.cols() == readout_.rows(),
+                "output dim ", output.cols(), " != readout in-dim ",
+                readout_.rows());
+    // Mean-pool over positions, then project through the readout.
+    Matrix pooled(1, output.cols());
+    for (Index i = 0; i < output.rows(); ++i)
+        for (Index j = 0; j < output.cols(); ++j)
+            pooled(0, j) += output(i, j);
+    for (Index j = 0; j < output.cols(); ++j)
+        pooled(0, j) /= static_cast<Real>(output.rows());
+    const Matrix logits = matmul(pooled, readout_);
+    Index best = 0;
+    for (Index c = 1; c < logits.cols(); ++c)
+        if (logits(0, c) > logits(0, best))
+            best = c;
+    return best;
+}
+
+Index
+ProxyTask::groundTruth(const Matrix &tokens) const
+{
+    return labelFromOutput(exactAttention(tokens, tokens, head_));
+}
+
+std::vector<Index>
+ProxyTask::positionLabels(const Matrix &output) const
+{
+    CTA_REQUIRE(output.cols() == readout_.rows(),
+                "output dim mismatch");
+    const Matrix logits = matmul(output, readout_);
+    std::vector<Index> labels;
+    labels.reserve(static_cast<std::size_t>(logits.rows()));
+    for (Index i = 0; i < logits.rows(); ++i) {
+        Index best = 0;
+        for (Index c = 1; c < logits.cols(); ++c)
+            if (logits(i, c) > logits(i, best))
+                best = c;
+        labels.push_back(best);
+    }
+    return labels;
+}
+
+Real
+ProxyTask::positionAgreement(const Matrix &reference,
+                             const Matrix &approx) const
+{
+    return labelAgreement(positionLabels(reference),
+                          positionLabels(approx));
+}
+
+Real
+ProxyTask::confidentAgreement(const Matrix &reference,
+                              const Matrix &approx) const
+{
+    const Matrix ref_logits = matmul(reference, readout_);
+    const std::vector<Index> ref_labels = positionLabels(reference);
+    const std::vector<Index> approx_labels = positionLabels(approx);
+
+    // Per-position top1 - top2 margin of the reference.
+    std::vector<Real> margins;
+    margins.reserve(static_cast<std::size_t>(ref_logits.rows()));
+    core::Wide margin_sum = 0;
+    for (Index i = 0; i < ref_logits.rows(); ++i) {
+        Real top1 = -1e30f, top2 = -1e30f;
+        for (Index c = 0; c < ref_logits.cols(); ++c) {
+            const Real v = ref_logits(i, c);
+            if (v > top1) {
+                top2 = top1;
+                top1 = v;
+            } else if (v > top2) {
+                top2 = v;
+            }
+        }
+        margins.push_back(top1 - top2);
+        margin_sum += top1 - top2;
+    }
+    const Real threshold =
+        static_cast<Real>(margin_sum / ref_logits.rows());
+
+    std::size_t counted = 0, hits = 0;
+    for (std::size_t i = 0; i < margins.size(); ++i) {
+        if (margins[i] < threshold)
+            continue;
+        ++counted;
+        hits += ref_labels[i] == approx_labels[i] ? 1 : 0;
+    }
+    if (counted == 0)
+        return 1;
+    return static_cast<Real>(hits) / static_cast<Real>(counted);
+}
+
+Real
+labelAgreement(const std::vector<Index> &reference,
+               const std::vector<Index> &approximate)
+{
+    CTA_REQUIRE(reference.size() == approximate.size() &&
+                !reference.empty(), "labelAgreement size mismatch");
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        hits += reference[i] == approximate[i] ? 1 : 0;
+    return static_cast<Real>(hits) /
+           static_cast<Real>(reference.size());
+}
+
+} // namespace cta::nn

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * Substitution (see DESIGN.md #2.1): the paper evaluates on
+ * SQuAD/IMDB/WikiText-2 token sequences produced by real language
+ * models. Those are unavailable offline, but CTA's behaviour depends
+ * only on the *geometry* of the token matrices: paper SII-B argues
+ * tokens cluster because language repeats semantic features, and the
+ * two-level compression (SIII-B) works because residuals after
+ * coarse clustering cluster again.
+ *
+ * The generator therefore produces token matrices with an explicit
+ * two-level hierarchical cluster structure plus isotropic noise:
+ *
+ *   token = coarse_center[c] + fine_offset[f] + noise
+ *
+ * where the number of coarse/fine centers and noise magnitude are the
+ * dials that control compressibility — exactly the dials the paper's
+ * fine-tuned models turn. The downstream accuracy proxy is a
+ * classification task whose ground-truth labels are defined by exact
+ * attention (see ProxyTask).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "nn/attention.h"
+
+namespace cta::nn {
+
+/** Dials describing one synthetic token-sequence distribution. */
+struct WorkloadProfile
+{
+    /** Human-readable name, e.g. "squad1-like". */
+    std::string name = "default";
+    /** Sequence length n (number of tokens). */
+    core::Index seqLen = 512;
+    /** Embedded token dimension d_w. */
+    core::Index tokenDim = 64;
+    /** Number of coarse semantic clusters. */
+    core::Index coarseClusters = 40;
+    /** Number of fine (residual) offsets shared across the sequence. */
+    core::Index fineClusters = 24;
+    /** Scale of coarse cluster centers. */
+    core::Real coarseScale = 1.0f;
+    /** Scale of fine offsets relative to coarse centers. */
+    core::Real fineScale = 0.35f;
+    /** Isotropic per-token noise stddev (uncompressible residue). */
+    core::Real noiseScale = 0.05f;
+    /**
+     * Zipf exponent for cluster usage. Natural language reuses a few
+     * expressions heavily (the paper's SII-B premise); cluster
+     * indices are drawn with probability proportional to
+     * 1/(rank+1)^zipfExponent. 0 = uniform.
+     */
+    core::Real zipfExponent = 0.8f;
+
+    /** Returns a copy with a different sequence length. */
+    WorkloadProfile withSeqLen(core::Index n) const;
+};
+
+/** One generated sample: the token matrix plus its latent structure. */
+struct TokenSample
+{
+    core::Matrix tokens;                 ///< seqLen x tokenDim
+    std::vector<core::Index> coarseId;   ///< latent coarse assignment
+    std::vector<core::Index> fineId;     ///< latent fine assignment
+};
+
+/** Generates token sequences from a WorkloadProfile. */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(WorkloadProfile profile, std::uint64_t seed);
+
+    /** Draws one token sequence. */
+    TokenSample sample();
+
+    /** Draws one token matrix (dropping latent structure). */
+    core::Matrix sampleTokens();
+
+    /** The profile this generator draws from. */
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    /** Draws a cluster index from the Zipf distribution with the
+     *  given cumulative mass table. */
+    core::Index drawZipf(const std::vector<core::Real> &cdf);
+
+    WorkloadProfile profile_;
+    core::Rng rng_;
+    core::Matrix coarseCenters_;
+    core::Matrix fineOffsets_;
+    std::vector<core::Real> coarseCdf_;
+    std::vector<core::Real> fineCdf_;
+};
+
+/**
+ * Accuracy proxy: a readout head on attention-pooled features.
+ *
+ * Ground truth for a token matrix X is
+ *   label(X) = argmax_c ( mean_i O_i . R )_c
+ * where O is the *exact* attention output and R a fixed random
+ * readout. An approximation scheme's accuracy is the fraction of
+ * samples whose label survives the approximation, mirroring how a
+ * downstream classifier feels attention error.
+ */
+class ProxyTask
+{
+  public:
+    ProxyTask(core::Index token_dim, core::Index head_dim,
+              core::Index num_classes, std::uint64_t seed);
+
+    /** The attention head the task is defined over. */
+    const AttentionHeadParams &head() const { return head_; }
+
+    /** Label for a *precomputed* attention output (m x d). */
+    core::Index labelFromOutput(const core::Matrix &output) const;
+
+    /** Ground-truth label (runs exact attention internally). */
+    core::Index groundTruth(const core::Matrix &tokens) const;
+
+    /**
+     * Per-position labels: argmax of each output row through the
+     * readout. This is the fine-grained accuracy metric (analogous
+     * to SQuAD span scoring, which is also per-position): a
+     * downstream head reads each position, so position-level label
+     * flips are what accuracy loss means.
+     */
+    std::vector<core::Index>
+    positionLabels(const core::Matrix &output) const;
+
+    /** Mean per-position label agreement between two outputs. */
+    core::Real positionAgreement(const core::Matrix &reference,
+                                 const core::Matrix &approx) const;
+
+    /**
+     * Margin-aware agreement: scores only positions whose reference
+     * top1-top2 logit margin is at least the sequence-mean margin.
+     * Rationale: the paper fine-tunes each model (~1 h per testcase)
+     * after inserting the approximation, which re-fits the decision
+     * boundary to the approximate features and recovers borderline
+     * positions; without fine-tuning, confident positions are the
+     * indicative ones. See EXPERIMENTS.md (Fig. 11 substitution).
+     */
+    core::Real confidentAgreement(const core::Matrix &reference,
+                                  const core::Matrix &approx) const;
+
+    /** Number of classes. */
+    core::Index numClasses() const { return readout_.cols(); }
+
+  private:
+    AttentionHeadParams head_;
+    core::Matrix readout_; ///< head_dim x num_classes
+};
+
+/** Fraction of samples whose proxy label matches ground truth. */
+core::Real
+labelAgreement(const std::vector<core::Index> &reference,
+               const std::vector<core::Index> &approximate);
+
+} // namespace cta::nn

@@ -1,0 +1,14 @@
+#include "sim/energy_model.h"
+
+#include <cmath>
+
+namespace cta::sim {
+
+Wide
+TechParams::sramEnergyPjPerWord(Wide capacity_kb) const
+{
+    return sramBasePjPerWord +
+           sramPjPerWordPerSqrtKb * std::sqrt(capacity_kb);
+}
+
+} // namespace cta::sim

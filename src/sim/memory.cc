@@ -1,0 +1,35 @@
+#include "sim/memory.h"
+
+#include "core/logging.h"
+
+namespace cta::sim {
+
+SramModel::SramModel(std::string name, Wide capacity_kb,
+                     const TechParams &tech)
+    : name_(std::move(name)), capacityKb_(capacity_kb),
+      energyPjPerWord_(tech.sramEnergyPjPerWord(capacity_kb)),
+      areaMm2_(tech.sramAreaMm2PerKb * capacity_kb)
+{
+    CTA_REQUIRE(capacity_kb > 0, "SRAM capacity must be positive");
+}
+
+void
+SramModel::reset()
+{
+    reads_ = 0;
+    writes_ = 0;
+}
+
+Wide
+SramModel::dynamicEnergyPj() const
+{
+    return static_cast<Wide>(accesses()) * energyPjPerWord_;
+}
+
+Wide
+SramModel::areaMm2() const
+{
+    return areaMm2_;
+}
+
+} // namespace cta::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * On-chip SRAM model with access counting and energy accounting.
+ *
+ * The CTA accelerator has three memories (paper Fig. 7): token/KV
+ * memory, weight memory (also holding cluster tables and LSH
+ * parameters) and result memory. Each is an SramModel sized from the
+ * hardware configuration; reads/writes are charged per 16-bit word
+ * with a CACTI-like capacity-dependent energy (sim/energy_model.h).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "sim/energy_model.h"
+
+namespace cta::sim {
+
+/** One on-chip SRAM: capacity, access counters, energy, area. */
+class SramModel
+{
+  public:
+    /**
+     * @param name display name, e.g. "token/KV memory"
+     * @param capacity_kb capacity in kilobytes
+     * @param tech technology constants for energy/area
+     */
+    SramModel(std::string name, Wide capacity_kb,
+              const TechParams &tech);
+
+    /** Records @p words 16-bit word reads. */
+    void read(std::uint64_t words) { reads_ += words; }
+
+    /** Records @p words 16-bit word writes. */
+    void write(std::uint64_t words) { writes_ += words; }
+
+    /** Resets the access counters (not the configuration). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+    Wide capacityKb() const { return capacityKb_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t accesses() const { return reads_ + writes_; }
+
+    /** Dynamic access energy so far, in picojoules. */
+    Wide dynamicEnergyPj() const;
+
+    /** SRAM macro area. */
+    Wide areaMm2() const;
+
+  private:
+    std::string name_;
+    Wide capacityKb_;
+    Wide energyPjPerWord_;
+    Wide areaMm2_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace cta::sim

@@ -1,0 +1,84 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace cta::sim {
+
+Wide
+PerfReport::seconds() const
+{
+    return static_cast<Wide>(latency.total()) / (freqGhz * 1e9);
+}
+
+Wide
+PerfReport::throughput() const
+{
+    const Wide s = seconds();
+    CTA_ASSERT(s > 0, "zero-latency run");
+    return 1.0 / s;
+}
+
+Wide
+PerfReport::energyJ() const
+{
+    return energy.total() * 1e-12;
+}
+
+std::string
+renderTable(const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return "";
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::ostringstream oss;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << rows[r][c];
+            if (c + 1 < rows[r].size())
+                oss << "  ";
+        }
+        oss << "\n";
+        if (r == 0) {
+            for (std::size_t c = 0; c < rows[0].size(); ++c) {
+                oss << std::string(widths[c], '-');
+                if (c + 1 < rows[0].size())
+                    oss << "  ";
+            }
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+std::string
+fmt(Wide value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+fmtRatio(Wide value, int precision)
+{
+    return fmt(value, precision) + "x";
+}
+
+std::string
+fmtPercent(Wide fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+} // namespace cta::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Result structures shared by all hardware models (CTA accelerator,
+ * ELSA, GPU, ideal) plus text rendering used by the benches.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/energy_model.h"
+
+namespace cta::sim {
+
+using core::Cycles;
+
+/** Latency split by the paper's Fig. 12-right phases. */
+struct LatencyBreakdown
+{
+    Cycles tokenCompression = 0; ///< LSH + CIM + centroid steps
+    Cycles linears = 0;          ///< compressed Q/K/V projections
+    Cycles attention = 0;        ///< score + aggregation + output
+
+    Cycles total() const
+    {
+        return tokenCompression + linears + attention;
+    }
+};
+
+/** Energy split by the paper's Fig. 14-right components. */
+struct EnergyBreakdown
+{
+    Wide memoryPj = 0;    ///< all SRAM dynamic energy
+    Wide computePj = 0;   ///< SA datapath (PEs + PPEs)
+    Wide auxiliaryPj = 0; ///< CIM + CAG + PAG + LUTs
+    Wide staticPj = 0;    ///< leakage over the run
+
+    Wide total() const
+    {
+        return memoryPj + computePj + auxiliaryPj + staticPj;
+    }
+};
+
+/** Word-granularity memory traffic (Fig. 16). */
+struct MemoryTraffic
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    std::uint64_t total() const { return reads + writes; }
+
+    MemoryTraffic &operator+=(const MemoryTraffic &other)
+    {
+        reads += other.reads;
+        writes += other.writes;
+        return *this;
+    }
+};
+
+/** One complete simulated run of an accelerator on one workload. */
+struct PerfReport
+{
+    std::string platform;      ///< e.g. "CTA-0", "ELSA-Aggressive+GPU"
+    LatencyBreakdown latency;
+    EnergyBreakdown energy;
+    MemoryTraffic traffic;
+    Wide areaMm2 = 0;
+    Wide freqGhz = 1.0;
+
+    /** Wall-clock seconds of the run. */
+    Wide seconds() const;
+
+    /** Attention evaluations per second (1 run = 1 evaluation). */
+    Wide throughput() const;
+
+    /** Total energy in joules. */
+    Wide energyJ() const;
+};
+
+/** Renders a fixed-width table; row 0 is the header. */
+std::string renderTable(const std::vector<std::vector<std::string>> &rows);
+
+/** Formats a double with the given precision. */
+std::string fmt(Wide value, int precision = 2);
+
+/** Formats a ratio as e.g. "27.7x". */
+std::string fmtRatio(Wide value, int precision = 1);
+
+/** Formats a fraction as e.g. "62.0%". */
+std::string fmtPercent(Wide fraction, int precision = 1);
+
+} // namespace cta::sim

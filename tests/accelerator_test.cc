@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Integration tests for the full CTA accelerator model: functional
+ * equivalence with the algorithm library, area/energy breakdown
+ * sanity against the paper's Fig. 14/15, and module cross-checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta_accel/accelerator.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::accel::AreaBreakdown;
+using cta::accel::CtaAccelerator;
+using cta::accel::CtaAccelResult;
+using cta::accel::HwConfig;
+using cta::alg::CtaConfig;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+using cta::nn::AttentionHeadParams;
+using cta::sim::TechParams;
+
+struct Fixture
+{
+    Matrix tokens;
+    AttentionHeadParams params;
+    CtaConfig algConfig;
+
+    Fixture()
+        : params([] {
+              Rng rng(1);
+              return AttentionHeadParams::randomInit(64, 64, rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = 256;
+        profile.tokenDim = 64;
+        profile.coarseClusters = 30;
+        profile.fineClusters = 18;
+        profile.noiseScale = 0.04f;
+        cta::nn::WorkloadGenerator gen(profile, 2);
+        tokens = gen.sampleTokens();
+        algConfig.w0 = 0.8f;
+        algConfig.w1 = 0.8f;
+        algConfig.w2 = 0.4f;
+    }
+};
+
+TEST(AcceleratorTest, FunctionalOutputMatchesAlgorithmLibrary)
+{
+    Fixture fx;
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    const CtaAccelResult result =
+        accel.run(fx.tokens, fx.tokens, fx.params, fx.algConfig);
+    const auto direct =
+        ctaAttention(fx.tokens, fx.tokens, fx.params, fx.algConfig);
+    EXPECT_LT(maxAbsDiff(result.algorithm.output, direct.output),
+              1e-6f);
+}
+
+TEST(AcceleratorTest, CimAgreesWithAlgorithm)
+{
+    // The internal CTA_ASSERT in run() cross-checks the CIM cluster
+    // counts against the algorithm library; reaching here means the
+    // hardware-faithful trie reproduced the software clustering.
+    Fixture fx;
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    const auto result =
+        accel.run(fx.tokens, fx.tokens, fx.params, fx.algConfig);
+    EXPECT_GT(result.algorithm.stats.k0, 0);
+}
+
+TEST(AcceleratorTest, AreaMatchesPaperFig15)
+{
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    const AreaBreakdown area = accel.area();
+    // Paper: total 2.150 mm^2, SA = 74.6 %.
+    EXPECT_NEAR(area.total(), 2.150, 0.10);
+    EXPECT_NEAR(area.saMm2 / area.total(), 0.746, 0.03);
+    // Auxiliary modules are individually small.
+    EXPECT_LT(area.cimMm2, 0.1);
+    EXPECT_LT(area.cagMm2, 0.1);
+    EXPECT_LT(area.pagMm2, 0.12);
+}
+
+TEST(AcceleratorTest, EnergyBreakdownShapeMatchesFig14)
+{
+    Fixture fx;
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    const auto result =
+        accel.run(fx.tokens, fx.tokens, fx.params, fx.algConfig);
+    const auto &energy = result.report.energy;
+    const double total = energy.total();
+    ASSERT_GT(total, 0.0);
+    // Paper: ~62 % SA, ~29 % memory, ~9 % auxiliary. Generous bands.
+    EXPECT_GT(energy.computePj / total, 0.45);
+    EXPECT_LT(energy.computePj / total, 0.80);
+    EXPECT_GT(energy.memoryPj / total, 0.10);
+    EXPECT_LT(energy.memoryPj / total, 0.45);
+    EXPECT_LT(energy.auxiliaryPj / total, 0.20);
+}
+
+TEST(AcceleratorTest, LatencyConsistentWithMapper)
+{
+    Fixture fx;
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    const auto result =
+        accel.run(fx.tokens, fx.tokens, fx.params, fx.algConfig);
+    EXPECT_EQ(result.report.latency.total(),
+              result.mapping.latency.total());
+    EXPECT_GT(result.report.latency.total(), 0u);
+}
+
+TEST(AcceleratorTest, TrafficAccounted)
+{
+    Fixture fx;
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    const auto result =
+        accel.run(fx.tokens, fx.tokens, fx.params, fx.algConfig);
+    EXPECT_GT(result.report.traffic.reads, 0u);
+    EXPECT_GT(result.report.traffic.writes, 0u);
+    EXPECT_EQ(result.report.traffic.total(),
+              result.tokenKvAccesses + result.weightAccesses +
+                  result.resultAccesses);
+}
+
+TEST(AcceleratorTest, LongerSequencesMoreTrafficAndCycles)
+{
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    Rng rng(5);
+    const auto params = AttentionHeadParams::randomInit(64, 64, rng);
+    CtaConfig config;
+    config.w0 = config.w1 = 0.8f;
+    config.w2 = 0.4f;
+    std::uint64_t prev_traffic = 0;
+    cta::core::Cycles prev_cycles = 0;
+    for (Index n : {128, 256, 384, 512}) {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = n;
+        profile.tokenDim = 64;
+        cta::nn::WorkloadGenerator gen(profile, 7);
+        const Matrix x = gen.sampleTokens();
+        const auto result = accel.run(x, x, params, config);
+        EXPECT_GT(result.report.traffic.total(), prev_traffic);
+        EXPECT_GT(result.report.latency.total(), prev_cycles);
+        prev_traffic = result.report.traffic.total();
+        prev_cycles = result.report.latency.total();
+    }
+}
+
+TEST(AcceleratorTest, RejectsOversizedSequence)
+{
+    HwConfig config = HwConfig::paperDefault();
+    config.maxSeqLen = 64;
+    const CtaAccelerator accel(config, TechParams::smic40nmClass());
+    Fixture fx; // 256 tokens
+    EXPECT_DEATH(
+        accel.run(fx.tokens, fx.tokens, fx.params, fx.algConfig),
+        "exceeds configured maximum");
+}
+
+TEST(AcceleratorTest, MemorySizingFormulas)
+{
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               TechParams::smic40nmClass());
+    // n = 512, d = 64, 2-byte words.
+    EXPECT_NEAR(accel.tokenKvMemKb(), 64.0, 1e-9);
+    EXPECT_NEAR(accel.resultMemKb(), 96.0, 1e-9);
+    EXPECT_GT(accel.weightMemKb(), 20.0);
+    EXPECT_LT(accel.weightMemKb(), 40.0);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the approximation-error analysis: residual statistics,
+ * spectral-norm estimation, and the empirical validity of the
+ * worst-case score-error bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "cta/analysis.h"
+#include "cta/compressed_attention.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::alg::CompressionLevel;
+using cta::alg::CtaConfig;
+using cta::alg::ResidualStats;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(ResidualStatsTest, LosslessCompressionHasZeroResiduals)
+{
+    Rng rng(1);
+    const Matrix x = Matrix::randomNormal(32, 8, rng);
+    const auto lsh = cta::alg::LshParams::sample(6, 8, 1e-4f, rng);
+    const CompressionLevel level = cta::alg::compressTokens(x, lsh);
+    ASSERT_EQ(level.numClusters, 32); // singleton clusters
+    const ResidualStats stats = residualStats(x, level);
+    EXPECT_LT(stats.maxNorm, 1e-5f);
+    EXPECT_LT(stats.relative, 1e-6f);
+}
+
+TEST(ResidualStatsTest, MeanNeverExceedsMax)
+{
+    Rng rng(2);
+    const Matrix x = Matrix::randomNormal(64, 16, rng);
+    const auto lsh = cta::alg::LshParams::sample(4, 16, 4.0f, rng);
+    const auto level = cta::alg::compressTokens(x, lsh);
+    const ResidualStats stats = residualStats(x, level);
+    EXPECT_LE(stats.meanNorm, stats.maxNorm + 1e-6f);
+    EXPECT_GT(stats.maxNorm, 0.0f);
+}
+
+TEST(ResidualStatsTest, SecondLevelShrinksResiduals)
+{
+    // The quantitative version of paper SIII-B: the residual norms
+    // after two-level compression are strictly below one-level's.
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 192;
+    profile.tokenDim = 32;
+    profile.coarseClusters = 10;
+    profile.fineClusters = 6;
+    cta::nn::WorkloadGenerator gen(profile, 3);
+    const Matrix x = gen.sampleTokens();
+    Rng rng(4);
+    const auto lsh1 = cta::alg::LshParams::sample(6, 32, 2.0f, rng);
+    const auto lsh2 = cta::alg::LshParams::sample(6, 32, 0.8f, rng);
+    const auto two = cta::alg::compressTwoLevel(x, lsh1, lsh2);
+    const ResidualStats one_stats = residualStats(x, two.level1);
+    const ResidualStats two_stats = residualStats(x, two);
+    EXPECT_LT(two_stats.relative, one_stats.relative);
+    EXPECT_LT(two_stats.meanNorm, one_stats.meanNorm);
+}
+
+TEST(SpectralNormTest, DiagonalMatrix)
+{
+    Matrix w(3, 3);
+    w(0, 0) = 2.0f;
+    w(1, 1) = -5.0f;
+    w(2, 2) = 1.0f;
+    const Real sigma = cta::alg::spectralNormUpperBound(w);
+    EXPECT_GE(sigma, 5.0f - 1e-3f);
+    EXPECT_LE(sigma, 5.0f * 1.06f);
+}
+
+TEST(SpectralNormTest, UpperBoundsOperatorAction)
+{
+    Rng rng(5);
+    const Matrix w = Matrix::randomNormal(16, 16, rng);
+    const Real sigma = cta::alg::spectralNormUpperBound(w);
+    for (int t = 0; t < 20; ++t) {
+        Matrix v = Matrix::randomNormal(16, 1, rng);
+        const Real ratio =
+            frobeniusNorm(matmul(w, v)) / frobeniusNorm(v);
+        EXPECT_LE(ratio, sigma + 1e-3f);
+    }
+}
+
+TEST(ScoreErrorBoundTest, BoundHoldsEmpirically)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 128;
+    profile.tokenDim = 16;
+    profile.coarseClusters = 10;
+    profile.fineClusters = 6;
+    cta::nn::WorkloadGenerator gen(profile, 6);
+    const Matrix x = gen.sampleTokens();
+    Rng rng(7);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(16, 16, rng);
+    CtaConfig config;
+    config.subtractRowMax = false; // compare raw compressed scores
+    const auto r = ctaAttention(x, x, head, config);
+
+    const Real bound = cta::alg::scoreErrorBound(
+        x, x, r.inter.queryComp, r.inter.kvComp, head);
+
+    // Measure the true max score error: exact S_ij vs recovered
+    // compressed score S~_{CT0[i], CT1[j]} + S~_{CT0[i], k1+CT2[j]}.
+    const auto trace = cta::nn::exactAttentionTraced(x, x, head);
+    Real max_err = 0;
+    const Index k1 = r.stats.k1;
+    for (Index i = 0; i < 128; ++i) {
+        const Index c0 =
+            r.inter.queryComp.table[static_cast<std::size_t>(i)];
+        for (Index j = 0; j < 128; ++j) {
+            const Index c1 = r.inter.kvComp.level1
+                .table[static_cast<std::size_t>(j)];
+            const Index c2 = k1 + r.inter.kvComp.level2
+                .table[static_cast<std::size_t>(j)];
+            const Real approx =
+                r.inter.sBar(c0, c1) + r.inter.sBar(c0, c2);
+            max_err = std::max(
+                max_err, std::abs(approx - trace.scores(i, j)));
+        }
+    }
+    EXPECT_LE(max_err, bound)
+        << "worst-case bound violated: measured " << max_err
+        << " bound " << bound;
+    EXPECT_GT(max_err, 0.0f);
+    // The bound should not be vacuous (within ~100x of reality).
+    EXPECT_LT(bound, 100.0f * std::max(max_err, 1e-3f));
+}
+
+TEST(ScoreErrorBoundTest, TighterCompressionTightensBound)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 96;
+    profile.tokenDim = 16;
+    cta::nn::WorkloadGenerator gen(profile, 8);
+    const Matrix x = gen.sampleTokens();
+    Rng rng(9);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(16, 16, rng);
+    CtaConfig fine, coarse;
+    fine.w0 = fine.w1 = 0.3f;
+    fine.w2 = 0.15f;
+    coarse.w0 = coarse.w1 = 3.0f;
+    coarse.w2 = 1.5f;
+    const auto r_fine = ctaAttention(x, x, head, fine);
+    const auto r_coarse = ctaAttention(x, x, head, coarse);
+    const Real b_fine = cta::alg::scoreErrorBound(
+        x, x, r_fine.inter.queryComp, r_fine.inter.kvComp, head);
+    const Real b_coarse = cta::alg::scoreErrorBound(
+        x, x, r_coarse.inter.queryComp, r_coarse.inter.kvComp, head);
+    EXPECT_LT(b_fine, b_coarse);
+}
+
+} // namespace

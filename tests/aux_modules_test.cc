@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Direct unit tests for the auxiliary hardware modules: CIM (cluster
+ * index module), CAG (centroid aggregation), PAG (probability
+ * aggregation) — their timing formulas, energy accounting, overlap
+ * semantics and functional agreement with the algorithm library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta/cluster_tree.h"
+#include "cta/lsh.h"
+#include "cta_accel/cag.h"
+#include "cta_accel/cim.h"
+#include "cta_accel/pag.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::accel::CagModel;
+using cta::accel::CimModel;
+using cta::accel::CimReport;
+using cta::accel::HwConfig;
+using cta::accel::PagModel;
+using cta::accel::PagReport;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+using cta::sim::TechParams;
+
+cta::alg::HashMatrix
+randomCodes(Index n, Index l, std::uint64_t seed)
+{
+    Rng rng(seed);
+    cta::alg::HashMatrix codes(n, l);
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < l; ++j)
+            codes(i, j) =
+                static_cast<std::int32_t>(rng.uniformInt(5)) - 2;
+    return codes;
+}
+
+TEST(CimModelTest, OneCodePerCyclePlusPriming)
+{
+    const CimModel cim(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const auto codes = randomCodes(200, 6, 1);
+    const CimReport report = cim.process(codes);
+    EXPECT_EQ(report.cycles, 200u + 6u);
+}
+
+TEST(CimModelTest, ClustersMatchSoftwareTrie)
+{
+    const CimModel cim(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const auto codes = randomCodes(300, 6, 2);
+    const CimReport report = cim.process(codes);
+    const auto reference = buildClusterTable(codes);
+    EXPECT_EQ(report.clusters.table, reference.table);
+    EXPECT_EQ(report.clusters.numClusters, reference.numClusters);
+}
+
+TEST(CimModelTest, EnergyScalesWithTraffic)
+{
+    const CimModel cim(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const auto small = cim.process(randomCodes(50, 6, 3));
+    const auto large = cim.process(randomCodes(500, 6, 3));
+    EXPECT_GT(large.energyPj, small.energyPj);
+    EXPECT_GT(large.memReads, small.memReads);
+}
+
+TEST(CimModelTest, RejectsWrongHashLength)
+{
+    const CimModel cim(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    EXPECT_DEATH(cim.process(randomCodes(10, 4, 4)), "CIM threads");
+}
+
+TEST(CagModelTest, OverlappedPassIsLatencyFree)
+{
+    const CagModel cag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const auto overlapped = cag.aggregate(512, 200, true);
+    EXPECT_EQ(overlapped.exposedCycles, 0u);
+    EXPECT_GT(overlapped.energyPj, 0.0);
+}
+
+TEST(CagModelTest, ExposedPassCostsOneCyclePerCentroid)
+{
+    const CagModel cag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const auto exposed = cag.aggregate(512, 137, false);
+    EXPECT_EQ(exposed.exposedCycles, 137u);
+}
+
+TEST(CagModelTest, EnergyScalesWithTokensAndClusters)
+{
+    const CagModel cag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const auto few = cag.aggregate(100, 10, true);
+    const auto many_tokens = cag.aggregate(1000, 10, true);
+    const auto many_clusters = cag.aggregate(100, 100, true);
+    EXPECT_GT(many_tokens.energyPj, few.energyPj);
+    EXPECT_GT(many_clusters.energyPj, few.energyPj);
+}
+
+TEST(PagModelTest, BatchLatencyFormula)
+{
+    // 8 tiles x 2/cycle, 8 rows, n tokens: one round of
+    // ceil(n/2) cycles.
+    const PagModel pag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const PagReport r = pag.aggregateBatch(8, 512);
+    EXPECT_EQ(r.cycles, 256u);
+}
+
+TEST(PagModelTest, MoreRowsThanTilesTakeRounds)
+{
+    HwConfig hw = HwConfig::paperDefault();
+    hw.pagTiles = 4;
+    const PagModel pag(hw, TechParams::smic40nmClass());
+    // 8 rows on 4 tiles: two rounds.
+    const PagReport r = pag.aggregateBatch(8, 100);
+    EXPECT_EQ(r.cycles, 2u * 50u);
+}
+
+TEST(PagModelTest, OddTokenCountRoundsUp)
+{
+    const PagModel pag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    EXPECT_EQ(pag.aggregateBatch(8, 101).cycles, 51u);
+}
+
+TEST(PagModelTest, EmptyBatchFree)
+{
+    const PagModel pag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const PagReport r = pag.aggregateBatch(0, 512);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_DOUBLE_EQ(r.energyPj, 0.0);
+}
+
+TEST(PagModelTest, BufferTrafficIsTwoPerIterationEachWay)
+{
+    const PagModel pag(HwConfig::paperDefault(),
+                       TechParams::smic40nmClass());
+    const PagReport r = pag.aggregateBatch(8, 100);
+    EXPECT_EQ(r.csReads, 2u * 8u * 100u);
+    EXPECT_EQ(r.apWrites, 2u * 8u * 100u);
+}
+
+TEST(PagModelTest, DoublingParallelismHalvesLatency)
+{
+    HwConfig slow = HwConfig::paperDefault();
+    slow.pagTiles = 4;
+    HwConfig fast = HwConfig::paperDefault();
+    fast.pagTiles = 8;
+    const PagModel pag_slow(slow, TechParams::smic40nmClass());
+    const PagModel pag_fast(fast, TechParams::smic40nmClass());
+    EXPECT_EQ(pag_slow.aggregateBatch(8, 512).cycles,
+              2 * pag_fast.aggregateBatch(8, 512).cycles);
+}
+
+TEST(AuxAreaTest, ModulesAreSmallVsSa)
+{
+    // Paper Fig. 15: auxiliary modules are a small area fraction.
+    const auto tech = TechParams::smic40nmClass();
+    const HwConfig hw = HwConfig::paperDefault();
+    const double sa_area =
+        static_cast<double>(hw.multiplierCount()) * tech.peAreaMm2;
+    EXPECT_LT(CimModel(hw, tech).areaMm2(), 0.05 * sa_area);
+    EXPECT_LT(CagModel(hw, tech).areaMm2(), 0.05 * sa_area);
+    EXPECT_LT(PagModel(hw, tech).areaMm2(), 0.10 * sa_area);
+}
+
+} // namespace

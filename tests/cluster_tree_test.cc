@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for both cluster-tree implementations, including the
+ * cross-check that the hardware-faithful linear tree reproduces the
+ * software tree exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/rng.h"
+#include "cta/cluster_tree.h"
+#include "cta/lsh.h"
+
+namespace {
+
+using cta::alg::HashMatrix;
+using cta::alg::LinearClusterTree;
+using cta::alg::MapClusterTree;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+TEST(MapClusterTreeTest, FirstCodeGetsClusterZero)
+{
+    MapClusterTree tree(3);
+    const std::array<std::int32_t, 3> code{1, 2, 3};
+    EXPECT_EQ(tree.assign(code), 0);
+    EXPECT_EQ(tree.numClusters(), 1);
+}
+
+TEST(MapClusterTreeTest, SameCodeSameCluster)
+{
+    MapClusterTree tree(3);
+    const std::array<std::int32_t, 3> code{5, -2, 7};
+    const Index first = tree.assign(code);
+    EXPECT_EQ(tree.assign(code), first);
+    EXPECT_EQ(tree.numClusters(), 1);
+}
+
+TEST(MapClusterTreeTest, DifferentCodesDifferentClusters)
+{
+    MapClusterTree tree(2);
+    EXPECT_EQ(tree.assign(std::array<std::int32_t, 2>{0, 0}), 0);
+    EXPECT_EQ(tree.assign(std::array<std::int32_t, 2>{0, 1}), 1);
+    EXPECT_EQ(tree.assign(std::array<std::int32_t, 2>{1, 0}), 2);
+    EXPECT_EQ(tree.numClusters(), 3);
+}
+
+TEST(MapClusterTreeTest, PrefixSharingDoesNotCollide)
+{
+    // Codes sharing all but the last value are distinct clusters.
+    MapClusterTree tree(4);
+    const Index a =
+        tree.assign(std::array<std::int32_t, 4>{9, 9, 9, 1});
+    const Index b =
+        tree.assign(std::array<std::int32_t, 4>{9, 9, 9, 2});
+    EXPECT_NE(a, b);
+}
+
+TEST(MapClusterTreeTest, NegativeHashValuesSupported)
+{
+    MapClusterTree tree(2);
+    const Index a =
+        tree.assign(std::array<std::int32_t, 2>{-5, -7});
+    const Index b =
+        tree.assign(std::array<std::int32_t, 2>{-5, 7});
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tree.assign(std::array<std::int32_t, 2>{-5, -7}), a);
+}
+
+TEST(MapClusterTreeTest, IndicesAreDenseFirstSeenOrder)
+{
+    MapClusterTree tree(1);
+    for (std::int32_t v = 0; v < 10; ++v) {
+        EXPECT_EQ(tree.assign(std::array<std::int32_t, 1>{100 - v}),
+                  v);
+    }
+}
+
+TEST(LinearClusterTreeTest, MatchesMapTreeOnRandomCodes)
+{
+    Rng rng(1);
+    const Index l = 6;
+    MapClusterTree map_tree(l);
+    LinearClusterTree lin_tree(l);
+    for (int i = 0; i < 500; ++i) {
+        std::vector<std::int32_t> code;
+        for (Index j = 0; j < l; ++j)
+            code.push_back(
+                static_cast<std::int32_t>(rng.uniformInt(4)) - 2);
+        EXPECT_EQ(lin_tree.assign(code), map_tree.assign(code));
+    }
+    EXPECT_EQ(lin_tree.numClusters(), map_tree.numClusters());
+}
+
+TEST(LinearClusterTreeTest, CountsMemoryTraffic)
+{
+    LinearClusterTree tree(3);
+    const std::array<std::int32_t, 3> code{1, 2, 3};
+    tree.assign(code);
+    // A fresh path allocates 3 nodes (one per layer).
+    EXPECT_EQ(tree.nodesAllocated(), 3);
+    EXPECT_GT(tree.memWrites(), 0u);
+    const auto writes_after_first = tree.memWrites();
+    tree.assign(code); // replay: pure reads, no allocation
+    EXPECT_EQ(tree.memWrites(), writes_after_first);
+    EXPECT_GT(tree.memReads(), 0u);
+}
+
+TEST(LinearClusterTreeTest, ProbesGrowWithNodeFanout)
+{
+    LinearClusterTree tree(1);
+    for (std::int32_t v = 0; v < 8; ++v)
+        tree.assign(std::array<std::int32_t, 1>{v});
+    const auto probes_before = tree.probes();
+    // Assigning the last-inserted value scans all 8 entries.
+    tree.assign(std::array<std::int32_t, 1>{7});
+    EXPECT_EQ(tree.probes() - probes_before, 8u);
+}
+
+TEST(BuildClusterTableTest, TableCoversAllTokens)
+{
+    Rng rng(2);
+    const Matrix x = Matrix::randomNormal(50, 8, rng);
+    const auto params = cta::alg::LshParams::sample(4, 8, 2.0f, rng);
+    const HashMatrix codes = hashTokens(x, params);
+    const auto ct = buildClusterTable(codes);
+    EXPECT_EQ(ct.table.size(), 50u);
+    for (Index c : ct.table) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, ct.numClusters);
+    }
+    // Every cluster index must be used at least once (density).
+    std::vector<int> used(static_cast<std::size_t>(ct.numClusters), 0);
+    for (Index c : ct.table)
+        used[static_cast<std::size_t>(c)] = 1;
+    for (int flag : used)
+        EXPECT_EQ(flag, 1);
+}
+
+TEST(BuildClusterTableTest, TokensWithEqualCodesShareCluster)
+{
+    HashMatrix codes(3, 2);
+    codes(0, 0) = 1; codes(0, 1) = 2;
+    codes(1, 0) = 3; codes(1, 1) = 4;
+    codes(2, 0) = 1; codes(2, 1) = 2; // same as token 0
+    const auto ct = buildClusterTable(codes);
+    EXPECT_EQ(ct.numClusters, 2);
+    EXPECT_EQ(ct.table[0], ct.table[2]);
+    EXPECT_NE(ct.table[0], ct.table[1]);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for token compression (paper SIII-B): centroid
+ * aggregation, one-level and two-level residual compression,
+ * reconstruction error behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/op_counter.h"
+#include "core/rng.h"
+#include "cta/compression.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::alg::ClusterTable;
+using cta::alg::CompressionLevel;
+using cta::alg::LshParams;
+using cta::alg::TwoLevelCompression;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::OpCounts;
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(CentroidAggregationTest, MeanOfClusterMembers)
+{
+    Matrix x(4, 2);
+    x(0, 0) = 1; x(0, 1) = 2;
+    x(1, 0) = 3; x(1, 1) = 4;
+    x(2, 0) = 5; x(2, 1) = 6;
+    x(3, 0) = 100; x(3, 1) = 200;
+    ClusterTable ct;
+    ct.table = {0, 0, 0, 1};
+    ct.numClusters = 2;
+    const Matrix c = aggregateCentroids(x, ct);
+    EXPECT_FLOAT_EQ(c(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 100.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 200.0f);
+}
+
+TEST(CentroidAggregationTest, OpCountMatchesFig4b)
+{
+    // Paper SIII-D: n*d additions, k*d divisions.
+    Rng rng(1);
+    const Matrix x = Matrix::randomNormal(30, 8, rng);
+    ClusterTable ct;
+    for (Index i = 0; i < 30; ++i)
+        ct.table.push_back(i % 5);
+    ct.numClusters = 5;
+    OpCounts ops;
+    aggregateCentroids(x, ct, &ops);
+    EXPECT_EQ(ops.adds, 30u * 8u);
+    EXPECT_EQ(ops.divs, 5u * 8u);
+}
+
+TEST(CompressTokensTest, SingletonClustersReproduceTokens)
+{
+    // With tiny buckets every token is its own cluster: the
+    // "compression" is lossless.
+    Rng rng(2);
+    const Matrix x = Matrix::randomNormal(20, 8, rng);
+    const LshParams params = LshParams::sample(6, 8, 0.001f, rng);
+    const CompressionLevel level = cta::alg::compressTokens(x, params);
+    EXPECT_EQ(level.numClusters, 20);
+    EXPECT_LT(maxAbsDiff(reconstruct(level), x), 1e-5f);
+}
+
+TEST(CompressTokensTest, ClusteredDataCompressesHard)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 256;
+    profile.tokenDim = 32;
+    profile.coarseClusters = 10;
+    profile.fineClusters = 1;
+    profile.fineScale = 0.0f;
+    profile.noiseScale = 0.001f;
+    cta::nn::WorkloadGenerator gen(profile, 3);
+    const Matrix x = gen.sampleTokens();
+    Rng rng(4);
+    const LshParams params = LshParams::sample(6, 32, 1.0f, rng);
+    const CompressionLevel level = cta::alg::compressTokens(x, params);
+    // ~10 latent clusters should land in far fewer than 64 buckets.
+    EXPECT_LE(level.numClusters, 40);
+    EXPECT_LT(relativeError(reconstruct(level), x), 0.05f);
+}
+
+TEST(CompressTokensTest, RatioIsClusterFraction)
+{
+    Rng rng(5);
+    const Matrix x = Matrix::randomNormal(40, 8, rng);
+    const LshParams params = LshParams::sample(4, 8, 2.0f, rng);
+    const CompressionLevel level = cta::alg::compressTokens(x, params);
+    EXPECT_FLOAT_EQ(level.ratio(),
+                    static_cast<Real>(level.numClusters) / 40.0f);
+}
+
+TEST(TwoLevelTest, ResidualLevelReducesReconstructionError)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 256;
+    profile.tokenDim = 32;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    profile.fineScale = 0.4f;
+    profile.noiseScale = 0.01f;
+    cta::nn::WorkloadGenerator gen(profile, 6);
+    const Matrix x = gen.sampleTokens();
+    Rng rng(7);
+    const LshParams lsh1 = LshParams::sample(6, 32, 2.5f, rng);
+    const LshParams lsh2 = LshParams::sample(6, 32, 1.0f, rng);
+
+    const CompressionLevel one =
+        cta::alg::compressTokens(x, lsh1);
+    const TwoLevelCompression two =
+        cta::alg::compressTwoLevel(x, lsh1, lsh2);
+
+    const Real err_one = relativeError(reconstruct(one), x);
+    const Real err_two = relativeError(reconstruct(two), x);
+    EXPECT_LT(err_two, err_one)
+        << "second level must refine the approximation";
+}
+
+TEST(TwoLevelTest, Level1TablesMatchStandalone)
+{
+    Rng rng(8);
+    const Matrix x = Matrix::randomNormal(64, 16, rng);
+    Rng rng_a(9), rng_b(9);
+    const LshParams lsh1 = LshParams::sample(4, 16, 2.0f, rng_a);
+    const LshParams lsh1_copy = LshParams::sample(4, 16, 2.0f, rng_b);
+    const LshParams lsh2 = LshParams::sample(4, 16, 1.0f, rng_a);
+    const auto standalone = cta::alg::compressTokens(x, lsh1_copy);
+    const auto two = cta::alg::compressTwoLevel(x, lsh1, lsh2);
+    EXPECT_EQ(two.level1.table, standalone.table);
+    EXPECT_EQ(two.totalClusters(),
+              two.level1.numClusters + two.level2.numClusters);
+}
+
+TEST(TwoLevelTest, ResidualMeansAreSmall)
+{
+    // Residual tokens are token - centroid; their centroid-level
+    // means per level-1 cluster must be ~0 by construction, so the
+    // level-2 centroid magnitudes are bounded by the fine structure.
+    Rng rng(10);
+    const Matrix x = Matrix::randomNormal(128, 16, rng);
+    const LshParams lsh1 = LshParams::sample(4, 16, 3.0f, rng);
+    const LshParams lsh2 = LshParams::sample(4, 16, 1.5f, rng);
+    const auto two = cta::alg::compressTwoLevel(x, lsh1, lsh2);
+    EXPECT_LE(frobeniusNorm(two.level2.centroids),
+              frobeniusNorm(x));
+}
+
+TEST(TwoLevelTest, ReconstructIsSumOfLevels)
+{
+    Rng rng(11);
+    const Matrix x = Matrix::randomNormal(32, 8, rng);
+    const LshParams lsh1 = LshParams::sample(4, 8, 2.0f, rng);
+    const LshParams lsh2 = LshParams::sample(4, 8, 1.0f, rng);
+    const auto two = cta::alg::compressTwoLevel(x, lsh1, lsh2);
+    const Matrix sum = add(reconstruct(two.level1),
+                           reconstruct(two.level2));
+    EXPECT_LT(maxAbsDiff(reconstruct(two), sum), 1e-6f);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the key=value configuration format and CtaConfig
+ * round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.h"
+#include "cta/config.h"
+
+namespace {
+
+using cta::alg::CtaConfig;
+using cta::core::ConfigMap;
+
+TEST(ConfigMapTest, ParseBasicPairs)
+{
+    const ConfigMap map = ConfigMap::parse(
+        "alpha = 3\n"
+        "beta=hello world\n"
+        "  gamma   =  2.5  \n");
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.getInt("alpha"), 3);
+    EXPECT_EQ(map.getString("beta"), "hello world");
+    EXPECT_DOUBLE_EQ(map.getDouble("gamma"), 2.5);
+}
+
+TEST(ConfigMapTest, CommentsAndBlankLinesIgnored)
+{
+    const ConfigMap map = ConfigMap::parse(
+        "# a comment\n"
+        "\n"
+        "key = 1  # trailing comment\n");
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.getInt("key"), 1);
+}
+
+TEST(ConfigMapTest, BoolForms)
+{
+    const ConfigMap map = ConfigMap::parse(
+        "a = true\nb = false\nc = 1\nd = 0\n");
+    EXPECT_TRUE(map.getBool("a"));
+    EXPECT_FALSE(map.getBool("b"));
+    EXPECT_TRUE(map.getBool("c"));
+    EXPECT_FALSE(map.getBool("d"));
+}
+
+TEST(ConfigMapTest, DefaultsForMissingKeys)
+{
+    const ConfigMap map = ConfigMap::parse("x = 1\n");
+    EXPECT_EQ(map.getInt("absent", 42), 42);
+    EXPECT_DOUBLE_EQ(map.getDouble("absent", 2.5), 2.5);
+    EXPECT_TRUE(map.getBool("absent", true));
+    EXPECT_EQ(map.getInt("x", 42), 1);
+}
+
+TEST(ConfigMapTest, RoundTripThroughText)
+{
+    ConfigMap map;
+    map.set("name", std::string("cta"));
+    map.set("count", std::int64_t{7});
+    map.set("ratio", 0.123456789012345);
+    map.set("flag", true);
+    const ConfigMap reparsed = ConfigMap::parse(map.toString());
+    EXPECT_EQ(reparsed.getString("name"), "cta");
+    EXPECT_EQ(reparsed.getInt("count"), 7);
+    EXPECT_NEAR(reparsed.getDouble("ratio"), 0.123456789012345,
+                1e-15);
+    EXPECT_TRUE(reparsed.getBool("flag"));
+}
+
+TEST(ConfigMapTest, MalformedLineDies)
+{
+    EXPECT_DEATH(ConfigMap::parse("no equals sign here\n"),
+                 "has no '='");
+}
+
+TEST(ConfigMapTest, MissingKeyDies)
+{
+    const ConfigMap map = ConfigMap::parse("x = 1\n");
+    EXPECT_DEATH(map.getString("y"), "missing config key");
+}
+
+TEST(ConfigMapTest, BadIntDies)
+{
+    const ConfigMap map = ConfigMap::parse("x = hello\n");
+    EXPECT_DEATH(map.getInt("x"), "not an integer");
+}
+
+TEST(CtaConfigIoTest, RoundTripPreservesEverything)
+{
+    CtaConfig config;
+    config.hashLen = 8;
+    config.w0 = 0.375f;
+    config.w1 = 1.25f;
+    config.w2 = 0.625f;
+    config.subtractRowMax = false;
+    config.seed = 12345;
+    const CtaConfig back =
+        cta::alg::ctaConfigFromMap(cta::alg::toConfigMap(config));
+    EXPECT_EQ(back.hashLen, 8);
+    EXPECT_FLOAT_EQ(back.w0, 0.375f);
+    EXPECT_FLOAT_EQ(back.w1, 1.25f);
+    EXPECT_FLOAT_EQ(back.w2, 0.625f);
+    EXPECT_FALSE(back.subtractRowMax);
+    EXPECT_EQ(back.seed, 12345u);
+}
+
+TEST(CtaConfigIoTest, TextFormIsHumanReadable)
+{
+    CtaConfig config;
+    const std::string text =
+        cta::alg::toConfigMap(config).toString();
+    EXPECT_NE(text.find("hash_len = 6"), std::string::npos);
+    EXPECT_NE(text.find("subtract_row_max = true"),
+              std::string::npos);
+}
+
+TEST(CtaConfigIoTest, DefaultsApplyForOptionalKeys)
+{
+    const ConfigMap map = ConfigMap::parse(
+        "hash_len = 6\nw0 = 1\nw1 = 1\nw2 = 0.5\n");
+    const CtaConfig config = cta::alg::ctaConfigFromMap(map);
+    EXPECT_TRUE(config.subtractRowMax);
+    EXPECT_EQ(config.seed, 1u);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Verifies the paper's SIII-D complexity analysis against measured
+ * operation counts: the closed-form expressions for hashing, centroid
+ * aggregation, probability aggregation, linears, similarity, score
+ * normalization and output calculation must match what the
+ * implementation actually performs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta/compressed_attention.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::alg::CtaConfig;
+using cta::alg::CtaResult;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+using cta::nn::AttentionHeadParams;
+
+struct Measured
+{
+    CtaResult result;
+    Index n, dw, d, l;
+};
+
+Measured
+runCase(Index n, Index dw, Index d, Index l, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = dw;
+    profile.coarseClusters = 10;
+    profile.fineClusters = 6;
+    profile.noiseScale = 0.05f;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    const Matrix x = gen.sampleTokens();
+    Rng rng(seed + 1);
+    const auto params = AttentionHeadParams::randomInit(dw, d, rng);
+    CtaConfig config;
+    config.hashLen = l;
+    config.subtractRowMax = false; // isolate the core-formula terms
+    return Measured{ctaAttention(x, x, params, config), n, dw, d, l};
+}
+
+TEST(ComplexityTest, HashingCostIs3lnd)
+{
+    const auto mc = runCase(128, 32, 16, 6, 1);
+    // Overhead MACs come only from the three LSH instances:
+    // LSH0 + LSH1 + LSH2 = 3 * l * n * d_w (self-attention: m = n).
+    const std::uint64_t expect = 3ull * 6 * 128 * 32;
+    EXPECT_EQ(mc.result.overheadOps.macs, expect);
+}
+
+TEST(ComplexityTest, CentroidDivisionsAreKd)
+{
+    const auto mc = runCase(128, 32, 16, 6, 2);
+    const auto &s = mc.result.stats;
+    // Divisions in overhead come only from centroid averaging:
+    // (k0 + k1 + k2) * d_w.
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(s.k0 + s.k1 + s.k2) * 32;
+    EXPECT_EQ(mc.result.overheadOps.divs, expect);
+}
+
+TEST(ComplexityTest, OverheadAddsMatchFormula)
+{
+    const auto mc = runCase(96, 16, 8, 4, 3);
+    const auto &s = mc.result.stats;
+    const auto n = static_cast<std::uint64_t>(mc.n);
+    const auto dw = static_cast<std::uint64_t>(mc.dw);
+    const auto l = static_cast<std::uint64_t>(mc.l);
+    // adds = 3*l*n (hash bias) + 3*n*dw (centroid accumulation over
+    // three clusterings) + n*dw (residual subtraction)
+    //      + 3*k0*n (probability aggregation, Fig. 6).
+    const std::uint64_t expect = 3 * l * n + 3 * n * dw + n * dw +
+        3 * static_cast<std::uint64_t>(s.k0) * n;
+    EXPECT_EQ(mc.result.overheadOps.adds, expect);
+}
+
+TEST(ComplexityTest, LinearMacsMatchEq3)
+{
+    const auto mc = runCase(128, 32, 16, 6, 4);
+    const auto &s = mc.result.stats;
+    // (k0 + 2(k1+k2)) * dw * d MACs (eq. 3).
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(s.k0 + 2 * (s.k1 + s.k2)) * 32 * 16;
+    EXPECT_EQ(mc.result.linearOps.macs, expect);
+}
+
+TEST(ComplexityTest, AttentionMacsMatchEq5And8)
+{
+    const auto mc = runCase(128, 32, 16, 6, 5);
+    const auto &s = mc.result.stats;
+    // Scores k0*(k1+k2)*d + outputs k0*(k1+k2)*d (eq. 5, 8).
+    const std::uint64_t expect = 2ull *
+        static_cast<std::uint64_t>(s.k0) *
+        static_cast<std::uint64_t>(s.k1 + s.k2) * 16;
+    EXPECT_EQ(mc.result.attnOps.macs, expect);
+}
+
+TEST(ComplexityTest, ExponentialsReducedToK0n)
+{
+    const auto mc = runCase(128, 32, 16, 6, 6);
+    const auto &s = mc.result.stats;
+    EXPECT_EQ(mc.result.attnOps.exps,
+              static_cast<std::uint64_t>(s.k0) * 128u);
+}
+
+TEST(ComplexityTest, OutputDivisionsReducedToK0d)
+{
+    const auto mc = runCase(128, 32, 16, 6, 7);
+    const auto &s = mc.result.stats;
+    EXPECT_EQ(mc.result.attnOps.divs,
+              static_cast<std::uint64_t>(s.k0) * 16u);
+}
+
+TEST(ComplexityTest, RlFormulaMatchesMeasured)
+{
+    const auto mc = runCase(256, 32, 16, 6, 8);
+    const auto &s = mc.result.stats;
+    // stats.rl() is the closed form; measuredRl() is op-count based.
+    EXPECT_NEAR(s.rl(), mc.result.measuredRl(), 1e-6f);
+}
+
+TEST(ComplexityTest, CompressionReducesWork)
+{
+    const auto mc = runCase(256, 32, 16, 6, 9);
+    const auto exact_attn =
+        cta::nn::exactAttentionCalcOps(256, 256, 16);
+    EXPECT_LT(mc.result.attnOps.flops(), exact_attn.flops());
+    const auto exact_lin = cta::nn::exactLinearOps(256, 256, 32, 16);
+    EXPECT_LT(mc.result.linearOps.flops(), exact_lin.flops());
+}
+
+TEST(ComplexityTest, OverheadSmallRelativeToSavings)
+{
+    // The paper's premise: approximation overhead (hashing, centroid
+    // and probability aggregation) is far below what compression
+    // saves in the backbone.
+    const auto mc = runCase(512, 64, 64, 6, 10);
+    const auto exact = cta::nn::exactAttentionCalcOps(512, 512, 64) +
+                       cta::nn::exactLinearOps(512, 512, 64, 64);
+    const auto cta_total = mc.result.totalOps();
+    const std::uint64_t saved =
+        exact.flops() - (mc.result.linearOps.flops() +
+                         mc.result.attnOps.flops());
+    EXPECT_LT(mc.result.overheadOps.flops(), saved / 2);
+    EXPECT_LT(cta_total.flops(), exact.flops());
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Stress and invariant tests for the full CTA pipeline across random
+ * shapes and hostile inputs: outputs must stay finite, compression
+ * tables must stay consistent partitions, and the pipeline must
+ * behave sensibly at degenerate extremes (single token, constant
+ * tokens, huge magnitudes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/rng.h"
+#include "cta/compressed_attention.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::alg::CtaConfig;
+using cta::alg::CtaResult;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::nn::AttentionHeadParams;
+
+bool
+allFinite(const Matrix &m)
+{
+    for (Index i = 0; i < m.size(); ++i)
+        if (!std::isfinite(m.data()[i]))
+            return false;
+    return true;
+}
+
+/** The cluster tables must partition [0, n) onto [0, k). */
+void
+checkPartition(const std::vector<Index> &table, Index k, Index n)
+{
+    ASSERT_EQ(static_cast<Index>(table.size()), n);
+    std::vector<int> used(static_cast<std::size_t>(k), 0);
+    for (Index c : table) {
+        ASSERT_GE(c, 0);
+        ASSERT_LT(c, k);
+        used[static_cast<std::size_t>(c)] = 1;
+    }
+    for (int flag : used)
+        EXPECT_EQ(flag, 1) << "empty cluster";
+}
+
+class CtaShapeStress
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CtaShapeStress, InvariantsHoldAcrossShapes)
+{
+    const auto [m, n, d] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 1000 + n * 10 + d));
+    const auto params = AttentionHeadParams::randomInit(d, d, rng);
+    const Matrix xq = Matrix::randomNormal(m, d, rng, 0, 0.5f);
+    const Matrix xkv = Matrix::randomNormal(n, d, rng, 0, 0.5f);
+    CtaConfig config;
+    config.w0 = 0.7f;
+    config.w1 = 0.7f;
+    config.w2 = 0.35f;
+    const CtaResult r = ctaAttention(xq, xkv, params, config);
+
+    EXPECT_EQ(r.output.rows(), m);
+    EXPECT_EQ(r.output.cols(), d);
+    EXPECT_TRUE(allFinite(r.output));
+    checkPartition(r.inter.queryComp.table, r.stats.k0, m);
+    checkPartition(r.inter.kvComp.level1.table, r.stats.k1, n);
+    checkPartition(r.inter.kvComp.level2.table, r.stats.k2, n);
+    // Cluster counts never exceed token counts.
+    EXPECT_LE(r.stats.k0, m);
+    EXPECT_LE(r.stats.k1, n);
+    EXPECT_LE(r.stats.k2, n);
+    // AP is non-negative (sums of exponentials).
+    for (Index i = 0; i < r.inter.ap.size(); ++i)
+        EXPECT_GE(r.inter.ap.data()[i], 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CtaShapeStress,
+    ::testing::Values(std::make_tuple(1, 1, 4),
+                      std::make_tuple(1, 64, 8),
+                      std::make_tuple(64, 1, 8),
+                      std::make_tuple(17, 33, 16),
+                      std::make_tuple(128, 128, 32),
+                      std::make_tuple(5, 512, 8),
+                      std::make_tuple(512, 5, 8)));
+
+TEST(CtaStressTest, ConstantTokensCollapseToOneCluster)
+{
+    Rng rng(1);
+    const auto params = AttentionHeadParams::randomInit(8, 8, rng);
+    const Matrix x(32, 8, 1.5f); // all tokens identical
+    const CtaResult r = ctaAttention(x, x, params, CtaConfig{});
+    EXPECT_EQ(r.stats.k0, 1);
+    EXPECT_EQ(r.stats.k1, 1);
+    EXPECT_EQ(r.stats.k2, 1);
+    // Output equals exact attention exactly (one token repeated).
+    const Matrix exact = exactAttention(x, x, params);
+    EXPECT_LT(maxAbsDiff(r.output, exact), 1e-4f);
+}
+
+TEST(CtaStressTest, LargeMagnitudeTokensStayFinite)
+{
+    Rng rng(2);
+    const auto params = AttentionHeadParams::randomInit(8, 8, rng);
+    const Matrix x = Matrix::randomNormal(64, 8, rng, 0, 30.0f);
+    CtaConfig config;
+    config.w1 = 10.0f;
+    config.w0 = 10.0f;
+    config.w2 = 5.0f;
+    const CtaResult r = ctaAttention(x, x, params, config);
+    EXPECT_TRUE(allFinite(r.output))
+        << "row-max subtraction must keep exponentials bounded";
+}
+
+TEST(CtaStressTest, RowMaxGuardsAgainstOverflow)
+{
+    // Without max subtraction, large scores overflow float exp; the
+    // hardware path (subtractRowMax = true) must survive inputs the
+    // naive path cannot.
+    Rng rng(3);
+    const auto params = AttentionHeadParams::randomInit(8, 8, rng);
+    const Matrix x = Matrix::randomNormal(48, 8, rng, 0, 12.0f);
+    CtaConfig guarded;
+    guarded.subtractRowMax = true;
+    guarded.w0 = guarded.w1 = 4.0f;
+    guarded.w2 = 2.0f;
+    const CtaResult r = ctaAttention(x, x, params, guarded);
+    EXPECT_TRUE(allFinite(r.output));
+}
+
+TEST(CtaStressTest, SeedChangesClusteringNotValidity)
+{
+    Rng rng(4);
+    const auto params = AttentionHeadParams::randomInit(16, 16, rng);
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 96;
+    profile.tokenDim = 16;
+    cta::nn::WorkloadGenerator gen(profile, 5);
+    const Matrix x = gen.sampleTokens();
+    CtaConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    const CtaResult ra = ctaAttention(x, x, params, a);
+    const CtaResult rb = ctaAttention(x, x, params, b);
+    EXPECT_TRUE(allFinite(ra.output));
+    EXPECT_TRUE(allFinite(rb.output));
+    // Different hyperplanes give (almost surely) different k's, but
+    // both outputs approximate the same exact attention.
+    const Matrix exact = exactAttention(x, x, params);
+    EXPECT_LT(relativeError(ra.output, exact), 0.8f);
+    EXPECT_LT(relativeError(rb.output, exact), 0.8f);
+}
+
+TEST(CtaStressTest, DeterministicAcrossCalls)
+{
+    Rng rng(6);
+    const auto params = AttentionHeadParams::randomInit(16, 16, rng);
+    const Matrix x = Matrix::randomNormal(64, 16, rng, 0, 0.4f);
+    const CtaResult a = ctaAttention(x, x, params, CtaConfig{});
+    const CtaResult b = ctaAttention(x, x, params, CtaConfig{});
+    EXPECT_LT(maxAbsDiff(a.output, b.output), 0.0f + 1e-9f);
+    EXPECT_EQ(a.stats.k0, b.stats.k0);
+    EXPECT_EQ(a.totalOps(), b.totalOps());
+}
+
+} // namespace

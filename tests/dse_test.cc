@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the design-space exploration API: grid shape, knee
+ * detection (paper Fig. 13: PAG = 2 x SA width), monotonicity and
+ * input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cta_accel/dse.h"
+
+namespace {
+
+using cta::accel::DsePoint;
+using cta::accel::HwConfig;
+using cta::alg::CompressionStats;
+using cta::core::Index;
+
+std::vector<CompressionStats>
+shapes()
+{
+    CompressionStats s;
+    s.m = s.n = 512;
+    s.dw = s.d = 64;
+    s.k0 = 200;
+    s.k1 = 130;
+    s.k2 = 120;
+    CompressionStats t = s;
+    t.k0 = 280;
+    t.k1 = 150;
+    t.k2 = 130;
+    return {s, t};
+}
+
+TEST(DseTest, GridShape)
+{
+    const auto points = exploreDesignSpace(
+        HwConfig::paperDefault(), shapes(), {8, 16}, {8, 16, 32});
+    EXPECT_EQ(points.size(), 6u);
+    for (const auto &p : points) {
+        EXPECT_GT(p.throughput, 0.0);
+        EXPECT_GT(p.meanCycles, 0.0);
+    }
+}
+
+TEST(DseTest, KneeAtTwiceWidth)
+{
+    const auto points = exploreDesignSpace(
+        HwConfig::paperDefault(), shapes(), {8, 16, 32},
+        {4, 8, 16, 32, 64, 128});
+    EXPECT_EQ(cta::accel::saturationKnee(points, 8), 16);
+    EXPECT_EQ(cta::accel::saturationKnee(points, 16), 32);
+    EXPECT_EQ(cta::accel::saturationKnee(points, 32), 64);
+}
+
+TEST(DseTest, ThroughputMonotoneInParallelismPerWidth)
+{
+    const auto points = exploreDesignSpace(
+        HwConfig::paperDefault(), shapes(), {8},
+        {4, 8, 16, 32, 64});
+    double prev = 0;
+    for (const auto &p : points) {
+        EXPECT_GE(p.throughput, prev - 1e-9);
+        prev = p.throughput;
+    }
+}
+
+TEST(DseTest, StallsVanishPastKnee)
+{
+    const auto points = exploreDesignSpace(
+        HwConfig::paperDefault(), shapes(), {8}, {4, 16});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_GT(points[0].meanPagStalls, 0.0)
+        << "PAG=4 must be the bottleneck";
+    EXPECT_DOUBLE_EQ(points[1].meanPagStalls, 0.0)
+        << "PAG=16 = 2b must hide entirely";
+}
+
+TEST(DseTest, SublinearWidthScaling)
+{
+    const auto points = exploreDesignSpace(
+        HwConfig::paperDefault(), shapes(), {8, 64}, {128});
+    ASSERT_EQ(points.size(), 2u);
+    const double speedup =
+        points[1].throughput / points[0].throughput;
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, 8.0) << "8x width must give < 8x throughput";
+}
+
+TEST(DseTest, RejectsBadInputs)
+{
+    EXPECT_DEATH(exploreDesignSpace(HwConfig::paperDefault(), {},
+                                    {8}, {16}),
+                 "at least one shape");
+    EXPECT_DEATH(exploreDesignSpace(HwConfig::paperDefault(),
+                                    shapes(), {4}, {16}),
+                 "below hash length");
+    EXPECT_DEATH(exploreDesignSpace(HwConfig::paperDefault(),
+                                    shapes(), {8}, {7}),
+                 "not divisible");
+}
+
+} // namespace

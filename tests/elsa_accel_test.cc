@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the ELSA accelerator cycle model and the ELSA+GPU
+ * system combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "elsa/elsa_accel.h"
+#include "elsa/elsa_system.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+using cta::elsa::ElsaAccelerator;
+using cta::elsa::ElsaAccelResult;
+using cta::elsa::ElsaConfig;
+using cta::elsa::ElsaHwConfig;
+using cta::elsa::ElsaPreset;
+using cta::nn::AttentionHeadParams;
+using cta::sim::TechParams;
+
+struct Fixture
+{
+    Matrix tokens;
+    AttentionHeadParams params;
+
+    explicit Fixture(Index n = 128)
+        : params([] {
+              Rng rng(1);
+              return AttentionHeadParams::randomInit(64, 64, rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = n;
+        profile.tokenDim = 64;
+        cta::nn::WorkloadGenerator gen(profile, 2);
+        tokens = gen.sampleTokens();
+    }
+};
+
+TEST(ElsaAccelTest, QuerySerialLatencyScalesWithM)
+{
+    const ElsaAccelerator accel(ElsaHwConfig::paperDefault(),
+                                TechParams::smic40nmClass());
+    Fixture small(64), large(256);
+    const auto r_small = accel.run(small.tokens, small.tokens,
+                                   small.params, ElsaConfig{}, "ELSA");
+    const auto r_large = accel.run(large.tokens, large.tokens,
+                                   large.params, ElsaConfig{}, "ELSA");
+    // Quadratic query-serial behaviour: 4x tokens -> ~16x cycles
+    // when the filter scan dominates.
+    const double ratio =
+        static_cast<double>(r_large.report.latency.total()) /
+        static_cast<double>(r_small.report.latency.total());
+    EXPECT_GT(ratio, 6.0);
+}
+
+TEST(ElsaAccelTest, PerQueryRereadsDriveTraffic)
+{
+    const ElsaAccelerator accel(ElsaHwConfig::paperDefault(),
+                                TechParams::smic40nmClass());
+    Fixture fx(128);
+    const auto r = accel.run(fx.tokens, fx.tokens, fx.params,
+                             ElsaConfig{}, "ELSA");
+    // Signature re-reads alone are m*n*sig_words >= 128*128*4.
+    EXPECT_GT(r.report.traffic.reads, 128u * 128u * 4u);
+}
+
+TEST(ElsaAccelTest, EnergyPositiveAndDecomposed)
+{
+    const ElsaAccelerator accel(ElsaHwConfig::paperDefault(),
+                                TechParams::smic40nmClass());
+    Fixture fx;
+    const auto r = accel.run(fx.tokens, fx.tokens, fx.params,
+                             ElsaConfig{}, "ELSA");
+    EXPECT_GT(r.report.energy.memoryPj, 0.0);
+    EXPECT_GT(r.report.energy.computePj, 0.0);
+    EXPECT_GT(r.report.energy.auxiliaryPj, 0.0);
+}
+
+TEST(ElsaAccelTest, AggressivePresetIsFaster)
+{
+    const ElsaAccelerator accel(ElsaHwConfig::paperDefault(),
+                                TechParams::smic40nmClass());
+    Fixture fx(256);
+    const auto cons = accel.run(
+        fx.tokens, fx.tokens, fx.params,
+        ElsaConfig::fromPreset(ElsaPreset::Conservative), "ELSA-C");
+    const auto aggr = accel.run(
+        fx.tokens, fx.tokens, fx.params,
+        ElsaConfig::fromPreset(ElsaPreset::Aggressive), "ELSA-A");
+    EXPECT_LE(aggr.report.latency.total(),
+              cons.report.latency.total());
+}
+
+TEST(ElsaSystemTest, CombinesLatencyAndEnergy)
+{
+    const ElsaAccelerator accel(ElsaHwConfig::paperDefault(),
+                                TechParams::smic40nmClass());
+    Fixture fx;
+    const ElsaAccelResult r = accel.run(fx.tokens, fx.tokens,
+                                        fx.params, ElsaConfig{},
+                                        "ELSA-Moderate");
+    const auto sys =
+        cta::elsa::combineWithGpu(r, 10e-6 /* s */, 300.0, 12);
+    EXPECT_EQ(sys.report.platform, "ELSA-Moderate+GPU");
+    EXPECT_NEAR(sys.gpuSeconds, 10e-6, 1e-12);
+    EXPECT_NEAR(sys.elsaSeconds,
+                r.report.seconds() / 12.0, 1e-12);
+    // GPU linear energy: 300 W x 10 us = 3 mJ dominates.
+    EXPECT_GT(sys.report.energy.computePj, 2.9e9);
+}
+
+TEST(ElsaSystemTest, MoreUnitsShrinkAttentionShare)
+{
+    const ElsaAccelerator accel(ElsaHwConfig::paperDefault(),
+                                TechParams::smic40nmClass());
+    Fixture fx;
+    const auto r = accel.run(fx.tokens, fx.tokens, fx.params,
+                             ElsaConfig{}, "ELSA");
+    const auto one = cta::elsa::combineWithGpu(r, 1e-5, 300.0, 1);
+    const auto twelve = cta::elsa::combineWithGpu(r, 1e-5, 300.0, 12);
+    EXPECT_LT(twelve.elsaSeconds, one.elsaSeconds);
+    EXPECT_NEAR(one.elsaSeconds / twelve.elsaSeconds, 12.0, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the ELSA baseline reconstruction: sign hashing,
+ * candidate filtering behaviour and approximation quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "cta/error.h"
+#include "elsa/elsa_attention.h"
+#include "elsa/sign_hash.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::elsa::ElsaConfig;
+using cta::elsa::ElsaPreset;
+using cta::elsa::ElsaResult;
+using cta::elsa::SignatureMatrix;
+using cta::elsa::SignHashParams;
+using cta::nn::AttentionHeadParams;
+
+TEST(SignatureMatrixTest, BitSetAndGet)
+{
+    SignatureMatrix sig(2, 70); // forces two 64-bit words per row
+    sig.setBit(0, 0, true);
+    sig.setBit(0, 69, true);
+    sig.setBit(1, 69, true);
+    EXPECT_TRUE(sig.bit(0, 0));
+    EXPECT_TRUE(sig.bit(0, 69));
+    EXPECT_FALSE(sig.bit(0, 1));
+    EXPECT_EQ(sig.hamming(0, 1), 1); // differ only in bit 0
+}
+
+TEST(SignatureMatrixTest, HammingIsSymmetricAndZeroOnSelf)
+{
+    Rng rng(1);
+    SignatureMatrix sig(3, 64);
+    for (Index r = 0; r < 3; ++r)
+        for (Index b = 0; b < 64; ++b)
+            sig.setBit(r, b, rng.bernoulli(0.5f));
+    EXPECT_EQ(sig.hamming(0, 0), 0);
+    EXPECT_EQ(sig.hamming(0, 1), sig.hamming(1, 0));
+}
+
+TEST(SignHashTest, ParallelVectorsShareSignature)
+{
+    Rng rng(2);
+    const SignHashParams params = SignHashParams::sample(64, 16, rng);
+    Matrix x(2, 16);
+    for (Index j = 0; j < 16; ++j) {
+        x(0, j) = rng.normal();
+        x(1, j) = 3.0f * x(0, j); // same direction
+    }
+    const SignatureMatrix sig = signHash(x, params);
+    EXPECT_EQ(sig.hamming(0, 1), 0);
+}
+
+TEST(SignHashTest, OppositeVectorsAllBitsDiffer)
+{
+    Rng rng(3);
+    const SignHashParams params = SignHashParams::sample(64, 16, rng);
+    Matrix x(2, 16);
+    for (Index j = 0; j < 16; ++j) {
+        x(0, j) = rng.normal();
+        x(1, j) = -x(0, j);
+    }
+    const SignatureMatrix sig = signHash(x, params);
+    // Opposite signs except on measure-zero boundaries.
+    EXPECT_GE(sig.hamming(0, 1), 62);
+}
+
+TEST(SignHashTest, HammingEstimatesAngle)
+{
+    // Orthogonal vectors should land near kappa/2 Hamming distance.
+    Rng rng(4);
+    const SignHashParams params =
+        SignHashParams::sample(256, 32, rng);
+    Matrix x(2, 32);
+    x(0, 0) = 1.0f;
+    x(1, 1) = 1.0f;
+    const SignatureMatrix sig = signHash(x, params);
+    EXPECT_NEAR(static_cast<double>(sig.hamming(0, 1)), 128.0, 30.0);
+}
+
+TEST(EstimateDotTest, Endpoints)
+{
+    EXPECT_NEAR(cta::elsa::estimateDot(0, 64, 2.0f, 3.0f), 6.0f,
+                1e-5f);
+    EXPECT_NEAR(cta::elsa::estimateDot(64, 64, 2.0f, 3.0f), -6.0f,
+                1e-5f);
+    EXPECT_NEAR(cta::elsa::estimateDot(32, 64, 2.0f, 3.0f), 0.0f,
+                1e-5f);
+}
+
+struct Fixture
+{
+    Matrix tokens;
+    AttentionHeadParams params;
+
+    Fixture()
+        : params([] {
+              Rng rng(5);
+              return AttentionHeadParams::randomInit(32, 16, rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = 128;
+        profile.tokenDim = 32;
+        profile.coarseClusters = 12;
+        profile.fineClusters = 8;
+        cta::nn::WorkloadGenerator gen(profile, 6);
+        tokens = gen.sampleTokens();
+    }
+};
+
+TEST(ElsaAttentionTest, OutputShape)
+{
+    Fixture fx;
+    const ElsaResult r = elsaAttention(fx.tokens, fx.tokens,
+                                       fx.params, ElsaConfig{});
+    EXPECT_EQ(r.output.rows(), 128);
+    EXPECT_EQ(r.output.cols(), 16);
+    EXPECT_EQ(r.candidates.size(), 128u);
+}
+
+TEST(ElsaAttentionTest, ConservativeBeatsAggressiveAccuracy)
+{
+    Fixture fx;
+    const Matrix exact =
+        exactAttention(fx.tokens, fx.tokens, fx.params);
+    const ElsaResult cons = elsaAttention(
+        fx.tokens, fx.tokens, fx.params,
+        ElsaConfig::fromPreset(ElsaPreset::Conservative));
+    const ElsaResult aggr = elsaAttention(
+        fx.tokens, fx.tokens, fx.params,
+        ElsaConfig::fromPreset(ElsaPreset::Aggressive));
+    const auto err_c = cta::alg::compareOutputs(cons.output, exact);
+    const auto err_a = cta::alg::compareOutputs(aggr.output, exact);
+    EXPECT_LE(err_c.relativeFrobenius, err_a.relativeFrobenius + 1e-5f);
+    EXPECT_LT(aggr.candidateRatio, cons.candidateRatio);
+}
+
+TEST(ElsaAttentionTest, ConservativeIsAccurate)
+{
+    Fixture fx;
+    const Matrix exact =
+        exactAttention(fx.tokens, fx.tokens, fx.params);
+    const ElsaResult r = elsaAttention(
+        fx.tokens, fx.tokens, fx.params,
+        ElsaConfig::fromPreset(ElsaPreset::Conservative));
+    const auto err = cta::alg::compareOutputs(r.output, exact);
+    EXPECT_GT(err.meanCosine, 0.99f);
+}
+
+TEST(ElsaAttentionTest, CandidatesWithinRange)
+{
+    Fixture fx;
+    const ElsaResult r = elsaAttention(fx.tokens, fx.tokens,
+                                       fx.params, ElsaConfig{});
+    for (Index c : r.candidates) {
+        EXPECT_GE(c, 1);
+        EXPECT_LE(c, 128);
+    }
+    EXPECT_GT(r.candidateRatio, 0.0f);
+    EXPECT_LE(r.candidateRatio, 1.0f);
+}
+
+TEST(ElsaAttentionTest, AggressivePrunes)
+{
+    Fixture fx;
+    const ElsaResult r = elsaAttention(
+        fx.tokens, fx.tokens, fx.params,
+        ElsaConfig::fromPreset(ElsaPreset::Aggressive));
+    EXPECT_LT(r.candidateRatio, 0.9f)
+        << "aggressive preset must actually prune keys";
+}
+
+TEST(ElsaAttentionTest, PresetNames)
+{
+    EXPECT_EQ(elsaPresetName(ElsaPreset::Conservative),
+              "ELSA-Conservative");
+    EXPECT_EQ(elsaPresetName(ElsaPreset::Aggressive),
+              "ELSA-Aggressive");
+}
+
+TEST(ElsaAttentionTest, QuadraticApproxOpsLinearAttnOps)
+{
+    // The structural contrast with CTA: ELSA still touches all m*n
+    // pairs in its estimation stage.
+    Fixture fx;
+    const ElsaResult r = elsaAttention(fx.tokens, fx.tokens,
+                                       fx.params, ElsaConfig{});
+    EXPECT_GE(r.approxOps.cmps,
+              static_cast<std::uint64_t>(128) * 128);
+    EXPECT_LT(r.attnOps.macs,
+              2ull * 128 * 128 * 16 + 1);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for approximation-error metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta/error.h"
+
+namespace {
+
+using cta::alg::ApproximationError;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+TEST(ErrorTest, IdenticalMatricesPerfectScores)
+{
+    Rng rng(1);
+    const Matrix a = Matrix::randomNormal(10, 8, rng);
+    const ApproximationError err = cta::alg::compareOutputs(a, a);
+    EXPECT_FLOAT_EQ(err.relativeFrobenius, 0.0f);
+    EXPECT_FLOAT_EQ(err.maxAbs, 0.0f);
+    EXPECT_NEAR(err.meanCosine, 1.0f, 1e-6f);
+    EXPECT_NEAR(err.worstCosine, 1.0f, 1e-6f);
+}
+
+TEST(ErrorTest, ScaledMatrixKeepsCosine)
+{
+    Rng rng(2);
+    const Matrix a = Matrix::randomNormal(10, 8, rng);
+    const Matrix b = scale(a, 2.0f);
+    const ApproximationError err = cta::alg::compareOutputs(b, a);
+    EXPECT_NEAR(err.meanCosine, 1.0f, 1e-5f);
+    EXPECT_NEAR(err.relativeFrobenius, 1.0f, 1e-5f);
+}
+
+TEST(ErrorTest, NegatedMatrixWorstCosine)
+{
+    Rng rng(3);
+    const Matrix a = Matrix::randomNormal(5, 8, rng);
+    const Matrix b = scale(a, -1.0f);
+    const ApproximationError err = cta::alg::compareOutputs(b, a);
+    EXPECT_NEAR(err.meanCosine, -1.0f, 1e-5f);
+    EXPECT_NEAR(err.worstCosine, -1.0f, 1e-5f);
+}
+
+TEST(ErrorTest, WorstCosineIsMinimum)
+{
+    Matrix exact(2, 2);
+    exact(0, 0) = 1; exact(0, 1) = 0;
+    exact(1, 0) = 0; exact(1, 1) = 1;
+    Matrix approx(2, 2);
+    approx(0, 0) = 1; approx(0, 1) = 0;   // perfect row
+    approx(1, 0) = 1; approx(1, 1) = 0;   // orthogonal row
+    const ApproximationError err =
+        cta::alg::compareOutputs(approx, exact);
+    EXPECT_NEAR(err.worstCosine, 0.0f, 1e-6f);
+    EXPECT_NEAR(err.meanCosine, 0.5f, 1e-6f);
+}
+
+TEST(ErrorTest, MaxAbsTracksLargestDeviation)
+{
+    Matrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+    b(1, 1) = 4.0f;
+    const ApproximationError err = cta::alg::compareOutputs(a, b);
+    EXPECT_FLOAT_EQ(err.maxAbs, 3.0f);
+}
+
+TEST(ErrorTest, ShapeMismatchDies)
+{
+    const Matrix a(2, 2), b(3, 2);
+    EXPECT_DEATH(cta::alg::compareOutputs(a, b), "shape mismatch");
+}
+
+} // namespace

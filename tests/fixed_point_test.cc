@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for fixed-point formats and the paper's quantization
+ * scheme (SIV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fixed_point.h"
+#include "core/matrix.h"
+#include "core/rng.h"
+
+namespace {
+
+using cta::core::FxpFormat;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::QuantScheme;
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(FxpFormatTest, StepIsPowerOfTwo)
+{
+    const FxpFormat fmt{13, 7};
+    EXPECT_FLOAT_EQ(fmt.step(), 1.0f / 128.0f);
+    EXPECT_EQ(fmt.intBits(), 6);
+}
+
+TEST(FxpFormatTest, PaperTokenFormatRange)
+{
+    // 13-bit Q6.7: range [-32, 32 - 2^-7].
+    const FxpFormat fmt{13, 7};
+    EXPECT_FLOAT_EQ(fmt.minValue(), -32.0f);
+    EXPECT_FLOAT_EQ(fmt.maxValue(), 32.0f - 1.0f / 128.0f);
+}
+
+TEST(FxpFormatTest, QuantizeRoundsToGrid)
+{
+    const FxpFormat fmt{13, 7};
+    const Real q = fmt.quantize(0.005f);
+    // 0.005 * 128 = 0.64 -> rounds to 1 -> 1/128.
+    EXPECT_FLOAT_EQ(q, 1.0f / 128.0f);
+}
+
+TEST(FxpFormatTest, QuantizeSaturates)
+{
+    const FxpFormat fmt{13, 7};
+    EXPECT_FLOAT_EQ(fmt.quantize(1000.0f), fmt.maxValue());
+    EXPECT_FLOAT_EQ(fmt.quantize(-1000.0f), fmt.minValue());
+}
+
+TEST(FxpFormatTest, EncodeDecodeRoundTripOnGrid)
+{
+    const FxpFormat fmt{12, 6};
+    for (std::int64_t code = -2048; code < 2048; code += 97) {
+        const Real value = fmt.decode(code);
+        EXPECT_EQ(fmt.encode(value), code);
+    }
+}
+
+TEST(FxpFormatTest, QuantizationErrorBoundedByHalfStep)
+{
+    const FxpFormat fmt{13, 7};
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const Real x = rng.uniform(-30.0f, 30.0f);
+        EXPECT_LE(std::abs(fmt.quantize(x) - x), fmt.step() * 0.5f + 1e-6f);
+    }
+}
+
+TEST(FxpFormatTest, ToStringNamesFormat)
+{
+    const FxpFormat fmt{13, 7};
+    EXPECT_EQ(fmt.toString(), "Q6.7 (13b)");
+}
+
+TEST(QuantizeMatrixTest, AllElementsOnGrid)
+{
+    Rng rng(6);
+    const FxpFormat fmt{12, 6};
+    const Matrix m = Matrix::randomNormal(20, 20, rng, 0, 5);
+    const Matrix q = quantizeMatrix(m, fmt);
+    for (Index i = 0; i < q.size(); ++i) {
+        const Real scaled = q.data()[i] * 64.0f;
+        EXPECT_NEAR(scaled, std::round(scaled), 1e-4f);
+    }
+}
+
+TEST(FitWeightFormatTest, ThreeSigmaNormalGetsQ3)
+{
+    // N(0,1) samples rarely exceed |3.x|; expect 3 integer bits
+    // (range [-4, 4)) exactly as the paper's three-sigma guideline.
+    Rng rng(7);
+    const Matrix a = Matrix::randomNormal(64, 64, rng);
+    const FxpFormat fmt = fitWeightFormat(a, 12);
+    EXPECT_EQ(fmt.totalBits, 12);
+    EXPECT_GE(fmt.intBits(), 2);
+    EXPECT_LE(fmt.intBits(), 4);
+}
+
+TEST(FitWeightFormatTest, CoversObservedRange)
+{
+    Rng rng(8);
+    const Matrix m = Matrix::randomUniform(10, 10, rng, -14.0f, 14.0f);
+    const FxpFormat fmt = fitWeightFormat(m, 12);
+    Real max_abs = 0;
+    for (Index i = 0; i < m.size(); ++i)
+        max_abs = std::max(max_abs, std::abs(m.data()[i]));
+    EXPECT_GE(fmt.maxValue() + fmt.step(), max_abs);
+}
+
+TEST(QuantSchemeTest, PaperDefaultsMatchSectionIVC)
+{
+    const QuantScheme scheme = QuantScheme::paperDefault();
+    EXPECT_EQ(scheme.tokens.totalBits, 13);
+    EXPECT_EQ(scheme.tokens.fracBits, 7);
+    EXPECT_EQ(scheme.weights.totalBits, 12);
+    EXPECT_EQ(scheme.lshParams.totalBits, 12);
+    EXPECT_EQ(scheme.lshParams.intBits(), 3);
+    EXPECT_EQ(scheme.centroids.totalBits, 12);
+    EXPECT_EQ(scheme.centroids.fracBits, 6);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the analytical V100 model and the ideal accelerator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/ideal_accel.h"
+#include "gpu/gpu_model.h"
+
+namespace {
+
+using cta::alg::CompressionStats;
+using cta::baseline::IdealAccelerator;
+using cta::gpu::GpuModel;
+using cta::sim::Wide;
+
+TEST(GpuModelTest, LatencyGrowsQuadraticallyWithSeqLen)
+{
+    const GpuModel gpu;
+    const Wide t256 = gpu.attentionCalcSeconds(256, 256, 64);
+    const Wide t512 = gpu.attentionCalcSeconds(512, 512, 64);
+    EXPECT_GT(t512 / t256, 2.5);
+    EXPECT_LT(t512 / t256, 6.0);
+}
+
+TEST(GpuModelTest, LinearsGrowLinearly)
+{
+    const GpuModel gpu;
+    const Wide t256 = gpu.linearSeconds(256, 256, 64, 64);
+    const Wide t512 = gpu.linearSeconds(512, 512, 64, 64);
+    EXPECT_GT(t512 / t256, 1.3);
+    EXPECT_LT(t512 / t256, 2.6);
+}
+
+TEST(GpuModelTest, AttentionDominatesAtLongSequences)
+{
+    const GpuModel gpu;
+    EXPECT_GT(gpu.attentionCalcSeconds(512, 512, 64),
+              gpu.linearSeconds(512, 512, 64, 64));
+}
+
+TEST(GpuModelTest, PlausibleAbsoluteScale)
+{
+    // Per-head attention mechanism at n = 512 should land in the
+    // tens of microseconds (the calibration target, EXPERIMENTS.md).
+    const GpuModel gpu;
+    const Wide t = gpu.exactAttentionSeconds(512, 512, 64, 64);
+    EXPECT_GT(t, 20e-6);
+    EXPECT_LT(t, 300e-6);
+}
+
+TEST(GpuModelTest, EnergyIsPowerTimesTime)
+{
+    const GpuModel gpu;
+    EXPECT_NEAR(gpu.energyJ(1e-3),
+                gpu.params().boardPowerW * 1e-3, 1e-12);
+}
+
+TEST(GpuModelTest, CtaOnGpuIsNotFaster)
+{
+    // Paper SIV opening: optimized CUDA CTA is 1.0-2.1x the latency
+    // of normal attention.
+    const GpuModel gpu;
+    CompressionStats stats;
+    stats.m = stats.n = 512;
+    stats.dw = stats.d = 64;
+    stats.k0 = 200;
+    stats.k1 = 130;
+    stats.k2 = 120;
+    const Wide normal = gpu.exactAttentionSeconds(512, 512, 64, 64);
+    const Wide cta = gpu.ctaOnGpuSeconds(stats);
+    EXPECT_GT(cta / normal, 0.9);
+    EXPECT_LT(cta / normal, 3.0);
+}
+
+TEST(GpuModelTest, RunExactHeadReportsBreakdown)
+{
+    const GpuModel gpu;
+    const auto report = gpu.runExactHead(512, 512, 64, 64);
+    EXPECT_GT(report.latency.linears, 0u);
+    EXPECT_GT(report.latency.attention, 0u);
+    EXPECT_GT(report.energy.total(), 0.0);
+}
+
+TEST(IdealAcceleratorTest, PeakCyclesFormula)
+{
+    const IdealAccelerator ideal(512);
+    // multiplier ops: 3nd^2 + 2n^2 d + n^2 (softmax muls) + n (in
+    // exactAttentionCalcOps: muls = 2 m n, macs = 2 m n d).
+    const auto cycles = ideal.exactAttentionCycles(512, 512, 64, 64);
+    const std::uint64_t mults = 3ull * 512 * 64 * 64 // linears
+        + 2ull * 512 * 512 * 64                      // S and O macs
+        + 2ull * 512 * 512;                          // scale+norm muls
+    EXPECT_EQ(cycles, (mults + 511) / 512);
+}
+
+TEST(IdealAcceleratorTest, MoreMultipliersFewerCycles)
+{
+    const IdealAccelerator small(256), large(1024);
+    EXPECT_GT(small.exactAttentionCycles(512, 512, 64, 64),
+              large.exactAttentionCycles(512, 512, 64, 64));
+}
+
+TEST(IdealAcceleratorTest, ReportSplitsPhases)
+{
+    const IdealAccelerator ideal(512);
+    const auto report = ideal.run(512, 512, 64, 64);
+    EXPECT_GT(report.latency.linears, 0u);
+    EXPECT_GT(report.latency.attention, report.latency.linears);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the LeOPArd baseline reconstruction: threshold
+ * calibration, pruning behaviour, early-termination accounting and
+ * approximation quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta/error.h"
+#include "leopard/leopard_attention.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::leopard::calibrateLeopard;
+using cta::leopard::LeopardConfig;
+using cta::leopard::LeopardResult;
+using cta::nn::AttentionHeadParams;
+
+struct Fixture
+{
+    Matrix tokens;
+    AttentionHeadParams params;
+
+    Fixture()
+        : params([] {
+              Rng rng(1);
+              return AttentionHeadParams::randomInit(32, 16, rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = 128;
+        profile.tokenDim = 32;
+        cta::nn::WorkloadGenerator gen(profile, 2);
+        tokens = gen.sampleTokens();
+    }
+};
+
+TEST(LeopardTest, OutputShapeAndFiniteness)
+{
+    Fixture fx;
+    const LeopardResult r = leopardAttention(
+        fx.tokens, fx.tokens, fx.params, LeopardConfig{});
+    EXPECT_EQ(r.output.rows(), 128);
+    EXPECT_EQ(r.output.cols(), 16);
+    EXPECT_GT(r.keepRatio, 0.0f);
+    EXPECT_LE(r.keepRatio, 1.0f);
+}
+
+TEST(LeopardTest, LargeMarginIsNearlyExact)
+{
+    Fixture fx;
+    LeopardConfig config;
+    config.margin = 50.0f; // keeps everything
+    const LeopardResult r =
+        leopardAttention(fx.tokens, fx.tokens, fx.params, config);
+    const Matrix exact =
+        exactAttention(fx.tokens, fx.tokens, fx.params);
+    EXPECT_NEAR(r.keepRatio, 1.0f, 1e-6f);
+    EXPECT_LT(relativeError(r.output, exact), 1e-4f);
+}
+
+TEST(LeopardTest, SmallerMarginPrunesHarder)
+{
+    Fixture fx;
+    LeopardConfig mild, hard;
+    mild.margin = 6.0f;
+    hard.margin = 1.5f;
+    const auto r_mild =
+        leopardAttention(fx.tokens, fx.tokens, fx.params, mild);
+    const auto r_hard =
+        leopardAttention(fx.tokens, fx.tokens, fx.params, hard);
+    EXPECT_LT(r_hard.keepRatio, r_mild.keepRatio);
+    EXPECT_LT(r_hard.bitWorkRatio, r_mild.bitWorkRatio);
+}
+
+TEST(LeopardTest, PruningStaysAccurate)
+{
+    // Keys below rowmax - 4.6 carry < 1% relative softmax weight
+    // each, so the output barely moves.
+    Fixture fx;
+    const LeopardResult r = leopardAttention(
+        fx.tokens, fx.tokens, fx.params, LeopardConfig{});
+    const Matrix exact =
+        exactAttention(fx.tokens, fx.tokens, fx.params);
+    const auto err = cta::alg::compareOutputs(r.output, exact);
+    EXPECT_GT(err.meanCosine, 0.995f);
+}
+
+TEST(LeopardTest, BitWorkRatioBounds)
+{
+    Fixture fx;
+    LeopardConfig config;
+    config.margin = 2.0f;
+    config.scoreBits = 12;
+    config.earlyTerminationBits = 4;
+    const auto r =
+        leopardAttention(fx.tokens, fx.tokens, fx.params, config);
+    // Ratio in [early/score, 1].
+    EXPECT_GE(r.bitWorkRatio, 4.0f / 12.0f - 1e-6f);
+    EXPECT_LE(r.bitWorkRatio, 1.0f + 1e-6f);
+    // Consistency: ratio = keep + (1-keep) * early/score.
+    const Real expect =
+        r.keepRatio + (1.0f - r.keepRatio) * 4.0f / 12.0f;
+    EXPECT_NEAR(r.bitWorkRatio, expect, 1e-4f);
+}
+
+TEST(LeopardTest, CalibrationMeetsMassTarget)
+{
+    Fixture fx;
+    const LeopardConfig config =
+        calibrateLeopard(fx.tokens, fx.params, 0.99f);
+    // Verify retained softmax mass on the sample.
+    const auto trace = cta::nn::exactAttentionTraced(
+        fx.tokens, fx.tokens, fx.params);
+    double mass = 0;
+    for (Index i = 0; i < 128; ++i) {
+        Real row_max = trace.scores(i, 0);
+        for (Index j = 1; j < 128; ++j)
+            row_max = std::max(row_max, trace.scores(i, j));
+        for (Index j = 0; j < 128; ++j)
+            if (trace.scores(i, j) >= row_max - config.margin)
+                mass += trace.probs(i, j);
+    }
+    EXPECT_GE(mass / 128.0, 0.989);
+}
+
+TEST(LeopardTest, TighterMassTargetSmallerMargin)
+{
+    Fixture fx;
+    const auto strict = calibrateLeopard(fx.tokens, fx.params, 0.999f);
+    const auto loose = calibrateLeopard(fx.tokens, fx.params, 0.90f);
+    EXPECT_LE(loose.margin, strict.margin);
+}
+
+TEST(LeopardTest, QuerySpecificPruningVaries)
+{
+    // Different queries keep different key counts — the defining
+    // query-specific behaviour CTA's critique targets. Check the
+    // aggregate is strictly between the extremes.
+    Fixture fx;
+    LeopardConfig config;
+    config.margin = 2.5f;
+    const auto r =
+        leopardAttention(fx.tokens, fx.tokens, fx.params, config);
+    EXPECT_GT(r.keepRatio, 0.01f);
+    EXPECT_LT(r.keepRatio, 0.99f);
+}
+
+} // namespace

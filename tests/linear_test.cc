@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the dense linear layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "core/rng.h"
+#include "nn/linear.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::OpCounts;
+using cta::core::Rng;
+using cta::nn::Linear;
+
+TEST(LinearTest, IdentityWeightsPassThrough)
+{
+    Linear layer(Matrix::identity(4));
+    Rng rng(1);
+    const Matrix x = Matrix::randomNormal(3, 4, rng);
+    EXPECT_LT(maxAbsDiff(layer.forward(x), x), 1e-6f);
+}
+
+TEST(LinearTest, ShapesAndDims)
+{
+    Rng rng(2);
+    const Linear layer = Linear::randomInit(8, 5, rng);
+    EXPECT_EQ(layer.inDim(), 8);
+    EXPECT_EQ(layer.outDim(), 5);
+    const Matrix y = layer.forward(Matrix::randomNormal(3, 8, rng));
+    EXPECT_EQ(y.rows(), 3);
+    EXPECT_EQ(y.cols(), 5);
+}
+
+TEST(LinearTest, ForwardMatchesMatmul)
+{
+    Rng rng(3);
+    const Linear layer = Linear::randomInit(6, 4, rng);
+    const Matrix x = Matrix::randomNormal(5, 6, rng);
+    EXPECT_LT(maxAbsDiff(layer.forward(x), matmul(x, layer.weight())),
+              1e-6f);
+}
+
+TEST(LinearTest, BiasIsAddedPerColumn)
+{
+    Rng rng(4);
+    const Linear layer = Linear::randomInit(4, 4, rng, true);
+    ASSERT_TRUE(layer.bias().has_value());
+    const Matrix x(2, 4, 0.0f); // zero input isolates the bias
+    const Matrix y = layer.forward(x);
+    for (Index j = 0; j < 4; ++j) {
+        EXPECT_FLOAT_EQ(y(0, j), (*layer.bias())(0, j));
+        EXPECT_FLOAT_EQ(y(1, j), (*layer.bias())(0, j));
+    }
+}
+
+TEST(LinearTest, OpCountIsRowsInOut)
+{
+    Rng rng(5);
+    const Linear layer = Linear::randomInit(7, 3, rng);
+    const Matrix x = Matrix::randomNormal(11, 7, rng);
+    OpCounts ops;
+    layer.forward(x, &ops);
+    EXPECT_EQ(ops.macs, 11u * 7u * 3u);
+}
+
+TEST(LinearTest, XavierScaleKeepsUnitVariance)
+{
+    Rng rng(6);
+    const Linear layer = Linear::randomInit(256, 256, rng);
+    const Matrix x = Matrix::randomNormal(64, 256, rng);
+    const Matrix y = layer.forward(x);
+    // Output variance should stay within ~2x of input variance.
+    double var = 0;
+    for (Index i = 0; i < y.size(); ++i)
+        var += static_cast<double>(y.data()[i]) * y.data()[i];
+    var /= y.size();
+    EXPECT_GT(var, 0.5);
+    EXPECT_LT(var, 2.0);
+}
+
+} // namespace

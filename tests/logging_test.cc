@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the logging/assertion layer: message formatting, the
+ * panic/fatal distinction (abort vs exit), and the assert/require
+ * macro contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+
+namespace {
+
+TEST(LoggingTest, ConcatFormatsMixedTypes)
+{
+    const std::string text =
+        cta::core::detail::concat("x=", 42, " y=", 2.5, " z=", 'q');
+    EXPECT_EQ(text, "x=42 y=2.5 z=q");
+}
+
+TEST(LoggingTest, ConcatEmpty)
+{
+    EXPECT_EQ(cta::core::detail::concat(), "");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(CTA_FATAL("bad config ", 7),
+                ::testing::ExitedWithCode(1), "bad config 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(CTA_PANIC("invariant ", "broken"),
+                 "invariant broken");
+}
+
+TEST(LoggingDeathTest, RequireFailureIsFatal)
+{
+    const int value = 3;
+    EXPECT_EXIT(CTA_REQUIRE(value > 5, "value was ", value),
+                ::testing::ExitedWithCode(1),
+                "requirement failed: value > 5");
+}
+
+TEST(LoggingDeathTest, RequirePassesSilently)
+{
+    CTA_REQUIRE(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, MessagesIncludeSourceLocation)
+{
+    EXPECT_EXIT(CTA_FATAL("locate me"),
+                ::testing::ExitedWithCode(1), "logging_test.cc");
+}
+
+TEST(LoggingTest, WarnDoesNotTerminate)
+{
+    CTA_WARN("just a warning: ", 1);
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Statistical property tests for p-stable LSH: the single-dimension
+ * collision probability of two vectors at distance c under bucket
+ * width w follows the closed form (Datar et al., SoCG 2004):
+ *
+ *   p(c) = integral_0^w (1/c) * phi(t/c) * (1 - t/w) * 2 dt
+ *        = 2*Phi(w/c) - 1 - (2c / (sqrt(2 pi) w)) * (1 - e^{-w^2/(2c^2)})
+ *
+ * where phi/Phi are the standard normal pdf/cdf. The implementation
+ * must match this law empirically — the quantitative basis for why
+ * bucket-width calibration controls the compression ratio.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+#include "cta/lsh.h"
+
+namespace {
+
+using cta::alg::LshParams;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+
+/** Standard normal CDF. */
+double
+phiCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+/** Closed-form single-hash collision probability at distance c. */
+double
+collisionProbability(double c, double w)
+{
+    const double r = w / c;
+    return 2.0 * phiCdf(r) - 1.0 -
+           (2.0 / (std::sqrt(2.0 * std::numbers::pi) * r)) *
+               (1.0 - std::exp(-r * r / 2.0));
+}
+
+/** Empirical single-dimension collision rate at distance c. */
+double
+empiricalCollisionRate(double c, double w, Index dim, int trials,
+                       std::uint64_t seed)
+{
+    Rng rng(seed);
+    int collisions = 0;
+    for (int t = 0; t < trials; ++t) {
+        // Two points at exact distance c along a random direction.
+        Matrix x(2, dim);
+        Real norm_sq = 0;
+        std::vector<Real> dir(static_cast<std::size_t>(dim));
+        for (Index j = 0; j < dim; ++j) {
+            dir[static_cast<std::size_t>(j)] = rng.normal();
+            norm_sq += dir[static_cast<std::size_t>(j)] *
+                       dir[static_cast<std::size_t>(j)];
+        }
+        const Real inv_norm = 1.0f / std::sqrt(norm_sq);
+        for (Index j = 0; j < dim; ++j) {
+            const Real base = rng.normal();
+            x(0, j) = base;
+            x(1, j) = base + static_cast<Real>(c) *
+                dir[static_cast<std::size_t>(j)] * inv_norm;
+        }
+        const LshParams params = LshParams::sample(
+            1, dim, static_cast<Real>(w), rng);
+        const auto codes = hashTokens(x, params);
+        collisions += codes(0, 0) == codes(1, 0) ? 1 : 0;
+    }
+    return static_cast<double>(collisions) / trials;
+}
+
+/** Sweep (distance, width) pairs against the closed form. */
+class CollisionLawTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(CollisionLawTest, EmpiricalMatchesClosedForm)
+{
+    const auto [c, w] = GetParam();
+    const double predicted = collisionProbability(c, w);
+    const double measured =
+        empiricalCollisionRate(c, w, 16, 4000,
+                               static_cast<std::uint64_t>(c * 100 +
+                                                          w * 10));
+    EXPECT_NEAR(measured, predicted, 0.03)
+        << "c=" << c << " w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistanceWidthGrid, CollisionLawTest,
+    ::testing::Values(std::make_pair(0.5, 1.0),
+                      std::make_pair(1.0, 1.0),
+                      std::make_pair(2.0, 1.0),
+                      std::make_pair(1.0, 4.0),
+                      std::make_pair(1.0, 0.5),
+                      std::make_pair(4.0, 4.0)));
+
+TEST(CollisionLawTest, MonotoneInDistance)
+{
+    // Farther points collide less (the locality property).
+    const double w = 2.0;
+    double prev = 1.0;
+    for (const double c : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        const double p = collisionProbability(c, w);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(CollisionLawTest, MonotoneInWidth)
+{
+    // Wider buckets collide more.
+    const double c = 1.0;
+    double prev = 0.0;
+    for (const double w : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        const double p = collisionProbability(c, w);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(CollisionLawTest, FullCodeCollisionIsPowerOfSingle)
+{
+    // With l independent hashes, P[full-code collision] = p^l; check
+    // empirically for l = 4.
+    const double c = 1.0, w = 2.0;
+    const double p1 = collisionProbability(c, w);
+    Rng rng(99);
+    const Index dim = 16, l = 4;
+    int collisions = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        Matrix x(2, dim);
+        Real norm_sq = 0;
+        std::vector<Real> dir(static_cast<std::size_t>(dim));
+        for (Index j = 0; j < dim; ++j) {
+            dir[static_cast<std::size_t>(j)] = rng.normal();
+            norm_sq += dir[static_cast<std::size_t>(j)] *
+                       dir[static_cast<std::size_t>(j)];
+        }
+        const Real inv_norm = 1.0f / std::sqrt(norm_sq);
+        for (Index j = 0; j < dim; ++j) {
+            const Real base = rng.normal();
+            x(0, j) = base;
+            x(1, j) = base + static_cast<Real>(c) *
+                dir[static_cast<std::size_t>(j)] * inv_norm;
+        }
+        const LshParams params =
+            LshParams::sample(l, dim, static_cast<Real>(w), rng);
+        const auto codes = hashTokens(x, params);
+        bool same = true;
+        for (Index j = 0; j < l; ++j)
+            same &= codes(0, j) == codes(1, j);
+        collisions += same ? 1 : 0;
+    }
+    const double measured = static_cast<double>(collisions) / trials;
+    EXPECT_NEAR(measured, std::pow(p1, l), 0.04);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for p-stable LSH (paper eq. 1): locality property,
+ * determinism, width scaling and op accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/op_counter.h"
+#include "core/rng.h"
+#include "cta/lsh.h"
+
+namespace {
+
+using cta::alg::HashMatrix;
+using cta::alg::LshParams;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::OpCounts;
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(LshParamsTest, SampleShapes)
+{
+    Rng rng(1);
+    const LshParams params = LshParams::sample(6, 32, 2.0f, rng);
+    EXPECT_EQ(params.hashLen(), 6);
+    EXPECT_EQ(params.dim(), 32);
+    EXPECT_EQ(params.a.rows(), 6);
+    EXPECT_EQ(params.a.cols(), 32);
+    EXPECT_EQ(params.b.rows(), 6);
+}
+
+TEST(LshParamsTest, BiasWithinWidth)
+{
+    Rng rng(2);
+    const LshParams params = LshParams::sample(8, 16, 3.5f, rng);
+    for (Index i = 0; i < 8; ++i) {
+        EXPECT_GE(params.b(i, 0), 0.0f);
+        EXPECT_LT(params.b(i, 0), 3.5f);
+    }
+}
+
+TEST(LshParamsTest, WithWidthMatchesDirectSample)
+{
+    // sample(l, d, w, rng) == sample(l, d, 1, rng).withWidth(w) when
+    // both consume the same Rng stream — the property calibration
+    // relies on (cta/config.cc).
+    Rng rng_a(3), rng_b(3);
+    const LshParams direct = LshParams::sample(6, 8, 4.0f, rng_a);
+    const LshParams rescaled =
+        LshParams::sample(6, 8, 1.0f, rng_b).withWidth(4.0f);
+    EXPECT_LT(maxAbsDiff(direct.a, rescaled.a), 1e-9f);
+    EXPECT_LT(maxAbsDiff(direct.b, rescaled.b), 1e-5f);
+    EXPECT_FLOAT_EQ(direct.w, rescaled.w);
+}
+
+TEST(LshTest, HashShape)
+{
+    Rng rng(4);
+    const LshParams params = LshParams::sample(6, 16, 1.0f, rng);
+    const Matrix x = Matrix::randomNormal(10, 16, rng);
+    const HashMatrix h = hashTokens(x, params);
+    EXPECT_EQ(h.rows(), 10);
+    EXPECT_EQ(h.cols(), 6);
+}
+
+TEST(LshTest, IdenticalTokensIdenticalCodes)
+{
+    Rng rng(5);
+    const LshParams params = LshParams::sample(6, 16, 1.0f, rng);
+    Matrix x = Matrix::randomNormal(4, 16, rng);
+    for (Index j = 0; j < 16; ++j)
+        x(2, j) = x(0, j);
+    const HashMatrix h = hashTokens(x, params);
+    for (Index j = 0; j < 6; ++j)
+        EXPECT_EQ(h(0, j), h(2, j));
+}
+
+TEST(LshTest, LocalityNearbyTokensCollideMoreThanFarOnes)
+{
+    Rng rng(6);
+    const Index d = 32, trials = 200;
+    const LshParams params = LshParams::sample(4, d, 4.0f, rng);
+    int near_collisions = 0, far_collisions = 0;
+    for (int t = 0; t < trials; ++t) {
+        Matrix x(3, d);
+        for (Index j = 0; j < d; ++j) {
+            const Real base = rng.normal();
+            x(0, j) = base;
+            x(1, j) = base + rng.normal(0, 0.05f); // near neighbor
+            x(2, j) = rng.normal() * 3.0f;         // far vector
+        }
+        const HashMatrix h = hashTokens(x, params);
+        bool near_same = true, far_same = true;
+        for (Index j = 0; j < 4; ++j) {
+            near_same &= h(0, j) == h(1, j);
+            far_same &= h(0, j) == h(2, j);
+        }
+        near_collisions += near_same ? 1 : 0;
+        far_collisions += far_same ? 1 : 0;
+    }
+    EXPECT_GT(near_collisions, trials / 2);
+    EXPECT_LT(far_collisions, near_collisions / 2 + 5);
+}
+
+TEST(LshTest, WiderBucketsMergeMore)
+{
+    Rng rng(7);
+    const Matrix x = Matrix::randomNormal(64, 16, rng);
+    Rng rng_a(8), rng_b(8);
+    const LshParams narrow = LshParams::sample(4, 16, 0.5f, rng_a);
+    const LshParams wide = LshParams::sample(4, 16, 8.0f, rng_b);
+    const HashMatrix hn = hashTokens(x, narrow);
+    const HashMatrix hw = hashTokens(x, wide);
+    // Count distinct codes via pairwise comparison.
+    auto distinct = [](const HashMatrix &h) {
+        int count = 0;
+        for (Index i = 0; i < h.rows(); ++i) {
+            bool fresh = true;
+            for (Index j = 0; j < i && fresh; ++j) {
+                bool same = true;
+                for (Index c = 0; c < h.cols(); ++c)
+                    same &= h(i, c) == h(j, c);
+                fresh = !same;
+            }
+            count += fresh ? 1 : 0;
+        }
+        return count;
+    };
+    EXPECT_LT(distinct(hw), distinct(hn));
+}
+
+TEST(LshTest, MatchesScalarFormula)
+{
+    // Spot-check H = floor((A x + b) / w) element-wise.
+    Rng rng(9);
+    const LshParams params = LshParams::sample(3, 4, 1.7f, rng);
+    const Matrix x = Matrix::randomNormal(5, 4, rng);
+    const HashMatrix h = hashTokens(x, params);
+    for (Index i = 0; i < 5; ++i) {
+        for (Index j = 0; j < 3; ++j) {
+            double dot = 0;
+            for (Index k = 0; k < 4; ++k)
+                dot += static_cast<double>(params.a(j, k)) * x(i, k);
+            const auto expect = static_cast<std::int32_t>(
+                std::floor((dot + params.b(j, 0)) / params.w));
+            EXPECT_EQ(h(i, j), expect);
+        }
+    }
+}
+
+TEST(LshTest, OpAccountingMatchesPaperFormula)
+{
+    // Paper SIII-D: hashing one matrix costs l*n*d multiplies.
+    Rng rng(10);
+    const Index l = 6, n = 20, d = 16;
+    const LshParams params = LshParams::sample(l, d, 1.0f, rng);
+    const Matrix x = Matrix::randomNormal(n, d, rng);
+    OpCounts ops;
+    hashTokens(x, params, &ops);
+    EXPECT_EQ(ops.macs, static_cast<std::uint64_t>(l * n * d));
+    EXPECT_EQ(ops.floors, static_cast<std::uint64_t>(l * n));
+}
+
+} // namespace

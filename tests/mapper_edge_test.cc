@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Edge-case tests for the Table-I scheduler and accelerator: shapes
+ * smaller than one batch, cross-attention (m != n), non-divisible
+ * batch counts, and consistency of the latency arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta_accel/accelerator.h"
+#include "cta_accel/mapper.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::accel::CtaAccelerator;
+using cta::accel::HwConfig;
+using cta::accel::MappingResult;
+using cta::accel::TableIMapper;
+using cta::alg::CompressionStats;
+using cta::core::Cycles;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+CompressionStats
+stats(Index m, Index n, Index k0, Index k1, Index k2)
+{
+    CompressionStats s;
+    s.m = m;
+    s.n = n;
+    s.dw = s.d = 64;
+    s.k0 = k0;
+    s.k1 = k1;
+    s.k2 = k2;
+    return s;
+}
+
+TEST(MapperEdgeTest, SubBatchShapes)
+{
+    // k0 and k1+k2 smaller than one SA batch still schedule.
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto r = mapper.schedule(stats(8, 8, 3, 2, 1));
+    EXPECT_GT(r.latency.total(), 0u);
+    EXPECT_GT(r.steps.size(), 5u);
+}
+
+TEST(MapperEdgeTest, SingleTokenSequence)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto r = mapper.schedule(stats(1, 1, 1, 1, 1));
+    EXPECT_GT(r.latency.total(), 0u);
+}
+
+TEST(MapperEdgeTest, CrossAttentionShapes)
+{
+    // m != n: query-side steps scale with m/k0, KV steps with n.
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto small_q = mapper.schedule(stats(32, 512, 16, 130, 120));
+    const auto large_q = mapper.schedule(stats(512, 512, 200, 130, 120));
+    EXPECT_LT(small_q.latency.total(), large_q.latency.total());
+}
+
+TEST(MapperEdgeTest, NonDivisibleBatchesRoundUp)
+{
+    const HwConfig hw = HwConfig::paperDefault(); // b = 8
+    const TableIMapper mapper{hw};
+    // k0 = 9 -> 2 query batches; k0 = 8 -> 1.
+    const auto one = mapper.schedule(stats(512, 512, 8, 100, 100));
+    const auto two = mapper.schedule(stats(512, 512, 9, 100, 100));
+    EXPECT_GT(two.latency.total(), one.latency.total());
+    // The increment is roughly one loop iteration (LIN Q + SCORE +
+    // OUT): bounded by ~2d + 2(k1+k2) + constants.
+    const Cycles delta = two.latency.total() - one.latency.total();
+    EXPECT_LT(delta, 2u * 64u + 2u * 200u + 300u);
+}
+
+TEST(MapperEdgeTest, LatencyEqualsStepSum)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto r = mapper.schedule(stats(512, 512, 200, 130, 120));
+    Cycles sum = 0;
+    for (const auto &step : r.steps)
+        sum += step.saCycles + step.exposedAux;
+    EXPECT_EQ(sum, r.latency.total());
+}
+
+TEST(MapperEdgeTest, CompressionLatencyIndependentOfK)
+{
+    // Rows 1-3 stream all tokens regardless of how well they
+    // cluster; only the CAVG tail varies with k2.
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto tight = mapper.schedule(stats(512, 512, 50, 40, 30));
+    const auto loose = mapper.schedule(stats(512, 512, 400, 300, 250));
+    const Cycles diff =
+        loose.latency.tokenCompression -
+        tight.latency.tokenCompression;
+    EXPECT_EQ(diff, 250u - 30u) << "only the exposed CAVG differs";
+}
+
+TEST(AcceleratorEdgeTest, CrossAttentionRuns)
+{
+    Rng rng(1);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    cta::nn::WorkloadProfile profile;
+    profile.tokenDim = 64;
+    cta::nn::WorkloadGenerator qgen(profile.withSeqLen(32), 2);
+    cta::nn::WorkloadGenerator kgen(profile.withSeqLen(256), 3);
+    const Matrix xq = qgen.sampleTokens();
+    const Matrix xkv = kgen.sampleTokens();
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               cta::sim::TechParams::smic40nmClass());
+    cta::alg::CtaConfig config;
+    config.w0 = 0.8f;
+    config.w1 = 0.8f;
+    config.w2 = 0.4f;
+    const auto r = accel.run(xq, xkv, head, config);
+    EXPECT_EQ(r.algorithm.output.rows(), 32);
+    EXPECT_GT(r.report.latency.total(), 0u);
+}
+
+TEST(AcceleratorEdgeTest, MinimalSequence)
+{
+    Rng rng(4);
+    const auto head =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    const Matrix x = Matrix::randomNormal(2, 64, rng);
+    const CtaAccelerator accel(HwConfig::paperDefault(),
+                               cta::sim::TechParams::smic40nmClass());
+    cta::alg::CtaConfig config;
+    const auto r = accel.run(x, x, head, config);
+    EXPECT_EQ(r.algorithm.output.rows(), 2);
+    EXPECT_GT(r.report.energy.total(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Assorted invariants not covered elsewhere: Zipfian workload
+ * frequency ordering, CRLF-tolerant config parsing, unpacked-trace
+ * consistency, and FFN mapping inside a system schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/config_io.h"
+#include "cta_accel/ffn_mapper.h"
+#include "cta_accel/trace.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+
+TEST(ZipfWorkloadTest, LowRanksDominate)
+{
+    // With a positive Zipf exponent, cluster 0 must be used far more
+    // often than the median cluster — the repetition premise.
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 4096;
+    profile.tokenDim = 8;
+    profile.coarseClusters = 32;
+    profile.fineClusters = 4;
+    profile.zipfExponent = 1.0f;
+    cta::nn::WorkloadGenerator gen(profile, 1);
+    const auto sample = gen.sample();
+    std::vector<int> counts(32, 0);
+    for (Index c : sample.coarseId)
+        ++counts[static_cast<std::size_t>(c)];
+    EXPECT_GT(counts[0], 4 * std::max(1, counts[16]))
+        << "rank-0 cluster must dominate mid-rank clusters";
+}
+
+TEST(ZipfWorkloadTest, ZeroExponentIsUniform)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 8000;
+    profile.tokenDim = 4;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 2;
+    profile.zipfExponent = 0.0f;
+    cta::nn::WorkloadGenerator gen(profile, 2);
+    const auto sample = gen.sample();
+    std::vector<int> counts(8, 0);
+    for (Index c : sample.coarseId)
+        ++counts[static_cast<std::size_t>(c)];
+    const int expect = 1000;
+    for (int count : counts)
+        EXPECT_NEAR(count, expect, 160);
+}
+
+TEST(ZipfWorkloadTest, IdsCoverRangeEventually)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 6000;
+    profile.tokenDim = 4;
+    profile.coarseClusters = 12;
+    profile.fineClusters = 3;
+    profile.zipfExponent = 0.8f;
+    cta::nn::WorkloadGenerator gen(profile, 3);
+    const auto sample = gen.sample();
+    std::vector<int> seen(12, 0);
+    for (Index c : sample.coarseId)
+        seen[static_cast<std::size_t>(c)] = 1;
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1), 12);
+}
+
+TEST(ConfigMapTest, CrlfLineEndingsTolerated)
+{
+    const auto map =
+        cta::core::ConfigMap::parse("a = 1\r\nb = two\r\n");
+    EXPECT_EQ(map.getInt("a"), 1);
+    EXPECT_EQ(map.getString("b"), "two");
+}
+
+TEST(TraceTest, UnpackedScheduleStillContiguous)
+{
+    cta::accel::HwConfig hw = cta::accel::HwConfig::paperDefault();
+    hw.bubbleRemoval = false;
+    const cta::accel::TableIMapper mapper(hw);
+    cta::alg::CompressionStats stats;
+    stats.m = stats.n = 256;
+    stats.dw = stats.d = 64;
+    stats.k0 = 100;
+    stats.k1 = 70;
+    stats.k2 = 60;
+    const auto result = mapper.schedule(stats);
+    std::ostringstream csv;
+    writeScheduleCsv(result, csv);
+    cta::core::Cycles sum = 0;
+    for (const auto &step : result.steps)
+        sum += step.saCycles + step.exposedAux;
+    EXPECT_EQ(sum, result.latency.total());
+    EXPECT_NE(csv.str().find("LSH1"), std::string::npos);
+}
+
+TEST(FfnSystemTest, FfnWorkCompatibleWithHeadTasks)
+{
+    // FFN cycles can be scheduled on the same units as head tasks —
+    // shapes and magnitudes must be sane relative to attention work.
+    const cta::accel::FfnMapper ffn{
+        cta::accel::HwConfig::paperDefault()};
+    const auto report = ffn.runCompressed(256, 64, 256);
+    const cta::accel::TableIMapper mapper{
+        cta::accel::HwConfig::paperDefault()};
+    cta::alg::CompressionStats stats;
+    stats.m = stats.n = 512;
+    stats.dw = stats.d = 64;
+    stats.k0 = 256;
+    stats.k1 = 140;
+    stats.k2 = 120;
+    const auto attn = mapper.schedule(stats);
+    // A compressed FFN pass is the same order of magnitude as one
+    // attention head (both SA-bound).
+    EXPECT_GT(report.cycles, attn.latency.total() / 10);
+    EXPECT_LT(report.cycles, attn.latency.total() * 10);
+}
+
+} // namespace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the model/testcase catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/model_zoo.h"
+
+namespace {
+
+using cta::nn::ModelConfig;
+using cta::nn::Testcase;
+
+TEST(ModelZooTest, PublishedHyperparameters)
+{
+    const ModelConfig bert = ModelConfig::bertLarge();
+    EXPECT_EQ(bert.numLayers, 24);
+    EXPECT_EQ(bert.numHeads, 16);
+    EXPECT_EQ(bert.dModel, 1024);
+    EXPECT_EQ(bert.dHead, 64);
+    const ModelConfig gpt2 = ModelConfig::gpt2Large();
+    EXPECT_EQ(gpt2.numLayers, 36);
+    EXPECT_EQ(gpt2.numHeads, 20);
+    EXPECT_EQ(gpt2.dModel, 1280);
+}
+
+TEST(ModelZooTest, TenTestcases)
+{
+    const auto cases = cta::nn::paperTestcases(512);
+    EXPECT_EQ(cases.size(), 10u);
+    std::set<std::string> names;
+    for (const auto &tc : cases)
+        names.insert(tc.name);
+    EXPECT_EQ(names.size(), 10u) << "testcase names must be unique";
+}
+
+TEST(ModelZooTest, TestcaseWorkloadsUseRequestedSeqLen)
+{
+    for (const auto &tc : cta::nn::paperTestcases(384))
+        EXPECT_EQ(tc.workload.seqLen, 384);
+}
+
+TEST(ModelZooTest, WorkloadTokenDimIsHeadDim)
+{
+    for (const auto &tc : cta::nn::paperTestcases(512))
+        EXPECT_EQ(tc.workload.tokenDim, tc.model.dHead);
+}
+
+TEST(ModelZooTest, ClusterCountsGrowSublinearlyWithSeqLen)
+{
+    // Longer sequences repeat more: clusters grow slower than n, so
+    // the cluster/token ratio must fall (the Fig. 2 trend).
+    const auto p256 = cta::nn::datasetProfile("SQuAD1.1", 256, 64);
+    const auto p512 = cta::nn::datasetProfile("SQuAD1.1", 512, 64);
+    const double r256 =
+        static_cast<double>(p256.coarseClusters) / 256.0;
+    const double r512 =
+        static_cast<double>(p512.coarseClusters) / 512.0;
+    EXPECT_LE(r512, r256 + 1e-9);
+}
+
+TEST(ModelZooTest, UnknownDatasetDies)
+{
+    EXPECT_DEATH(cta::nn::datasetProfile("nonexistent", 512, 64),
+                 "unknown dataset");
+}
+
+TEST(ModelZooTest, AttentionFractionInPlausibleRange)
+{
+    for (const auto &tc : cta::nn::paperTestcases(512)) {
+        EXPECT_GT(tc.model.attentionFraction, 0.2f);
+        EXPECT_LE(tc.model.attentionFraction, 0.6f);
+    }
+}
+
+} // namespace

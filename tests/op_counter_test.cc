@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for OpCounts arithmetic and derived quantities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/op_counter.h"
+
+namespace {
+
+using cta::core::OpCounts;
+
+TEST(OpCountsTest, DefaultIsZero)
+{
+    const OpCounts ops;
+    EXPECT_EQ(ops.total(), 0u);
+    EXPECT_EQ(ops.flops(), 0u);
+    EXPECT_EQ(ops.multiplierOps(), 0u);
+}
+
+TEST(OpCountsTest, TotalSumsAllClasses)
+{
+    OpCounts ops;
+    ops.macs = 1;
+    ops.adds = 2;
+    ops.muls = 3;
+    ops.divs = 4;
+    ops.exps = 5;
+    ops.cmps = 6;
+    ops.floors = 7;
+    EXPECT_EQ(ops.total(), 28u);
+}
+
+TEST(OpCountsTest, FlopsCountsMacAsTwo)
+{
+    OpCounts ops;
+    ops.macs = 10;
+    ops.adds = 3;
+    EXPECT_EQ(ops.flops(), 23u);
+}
+
+TEST(OpCountsTest, MultiplierOps)
+{
+    OpCounts ops;
+    ops.macs = 10;
+    ops.muls = 5;
+    ops.adds = 100; // adders don't use multipliers
+    EXPECT_EQ(ops.multiplierOps(), 15u);
+}
+
+TEST(OpCountsTest, PlusAccumulatesFieldwise)
+{
+    OpCounts a;
+    a.macs = 1;
+    a.exps = 2;
+    OpCounts b;
+    b.macs = 10;
+    b.cmps = 5;
+    const OpCounts c = a + b;
+    EXPECT_EQ(c.macs, 11u);
+    EXPECT_EQ(c.exps, 2u);
+    EXPECT_EQ(c.cmps, 5u);
+}
+
+TEST(OpCountsTest, EqualityIsFieldwise)
+{
+    OpCounts a, b;
+    a.divs = 1;
+    EXPECT_NE(a, b);
+    b.divs = 1;
+    EXPECT_EQ(a, b);
+}
+
+TEST(OpCountsTest, ToStringMentionsEveryField)
+{
+    OpCounts ops;
+    ops.macs = 42;
+    const std::string s = ops.toString();
+    EXPECT_NE(s.find("macs=42"), std::string::npos);
+    EXPECT_NE(s.find("exps=0"), std::string::npos);
+    EXPECT_NE(s.find("floors=0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for fixed-point CTA inference (paper SIV-C): the quantized
+ * pipeline must track the float pipeline closely (the paper reports
+ * < 0.1 % accuracy impact).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "cta/error.h"
+#include "cta/quantization.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::alg::CtaConfig;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::QuantScheme;
+using cta::core::Rng;
+using cta::nn::AttentionHeadParams;
+
+struct Fixture
+{
+    Matrix tokens;
+    AttentionHeadParams params;
+
+    Fixture()
+        : params([] {
+              Rng rng(1);
+              return AttentionHeadParams::randomInit(32, 16, rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = 192;
+        profile.tokenDim = 32;
+        profile.coarseClusters = 12;
+        profile.fineClusters = 8;
+        profile.noiseScale = 0.03f;
+        cta::nn::WorkloadGenerator gen(profile, 2);
+        tokens = gen.sampleTokens();
+    }
+};
+
+TEST(QuantizationTest, QuantizedTracksFloatPipeline)
+{
+    Fixture fx;
+    CtaConfig config;
+    config.w0 = 0.5f;
+    config.w1 = 0.5f;
+    config.w2 = 0.25f;
+    const auto fp = ctaAttention(fx.tokens, fx.tokens, fx.params,
+                                 config);
+    const auto q = ctaAttentionQuantized(fx.tokens, fx.tokens,
+                                         fx.params, config);
+    const auto err = cta::alg::compareOutputs(q.output, fp.output);
+    EXPECT_GT(err.meanCosine, 0.995f);
+    EXPECT_LT(err.relativeFrobenius, 0.05f);
+}
+
+TEST(QuantizationTest, QuantizedStillApproximatesExact)
+{
+    Fixture fx;
+    CtaConfig config;
+    config.w0 = 0.5f;
+    config.w1 = 0.5f;
+    config.w2 = 0.25f;
+    const Matrix exact =
+        exactAttention(fx.tokens, fx.tokens, fx.params);
+    const auto q = ctaAttentionQuantized(fx.tokens, fx.tokens,
+                                         fx.params, config);
+    const auto err = cta::alg::compareOutputs(q.output, exact);
+    EXPECT_GT(err.meanCosine, 0.97f);
+}
+
+TEST(QuantizationTest, ExactQuantizedCloseToExactFloat)
+{
+    Fixture fx;
+    const Matrix fp = exactAttention(fx.tokens, fx.tokens, fx.params);
+    const Matrix q = cta::alg::exactAttentionQuantized(
+        fx.tokens, fx.tokens, fx.params);
+    EXPECT_LT(relativeError(q, fp), 0.02f);
+}
+
+TEST(QuantizationTest, CompressionStatsUnaffectedByGridChoice)
+{
+    // Quantized clustering may differ slightly, but counts stay in
+    // the same ballpark (tokens barely move on a Q6.7 grid).
+    Fixture fx;
+    CtaConfig config;
+    const auto fp =
+        ctaAttention(fx.tokens, fx.tokens, fx.params, config);
+    const auto q = ctaAttentionQuantized(fx.tokens, fx.tokens,
+                                         fx.params, config);
+    EXPECT_NEAR(static_cast<double>(q.stats.k0),
+                static_cast<double>(fp.stats.k0),
+                0.25 * static_cast<double>(fp.stats.k0) + 4.0);
+}
+
+TEST(QuantizationTest, CoarserTokensDegradeGracefully)
+{
+    Fixture fx;
+    CtaConfig config;
+    QuantScheme coarse = QuantScheme::paperDefault();
+    coarse.tokens = cta::core::FxpFormat{8, 4};
+    coarse.centroids = cta::core::FxpFormat{8, 4};
+    const auto fine = ctaAttentionQuantized(fx.tokens, fx.tokens,
+                                            fx.params, config);
+    const auto rough = ctaAttentionQuantized(fx.tokens, fx.tokens,
+                                             fx.params, config, coarse);
+    const Matrix exact =
+        exactAttention(fx.tokens, fx.tokens, fx.params);
+    const auto err_fine = cta::alg::compareOutputs(fine.output, exact);
+    const auto err_rough =
+        cta::alg::compareOutputs(rough.output, exact);
+    EXPECT_GE(err_fine.meanCosine, err_rough.meanCosine - 1e-4f);
+}
+
+} // namespace

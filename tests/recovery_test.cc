@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for full-matrix recovery (paper eq. 6 / Fig. 5): the
+ * recovered scores must equal the per-pair sums, the recovered
+ * probabilities must be row-stochastic and close to exact attention
+ * probabilities, and — the punchline identity — attention computed
+ * with the recovered full probability matrix against approximate
+ * values must equal CTA's aggregated output path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "cta/compressed_attention.h"
+#include "cta/recovery.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::alg::CtaConfig;
+using cta::alg::CtaResult;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+
+struct Fixture
+{
+    Matrix tokens;
+    cta::nn::AttentionHeadParams params;
+    CtaResult result;
+
+    Fixture()
+        : params([] {
+              Rng rng(1);
+              return cta::nn::AttentionHeadParams::randomInit(16, 16,
+                                                              rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = 96;
+        profile.tokenDim = 16;
+        profile.coarseClusters = 10;
+        profile.fineClusters = 6;
+        profile.noiseScale = 0.02f;
+        cta::nn::WorkloadGenerator gen(profile, 2);
+        tokens = gen.sampleTokens();
+        CtaConfig config;
+        config.subtractRowMax = false;
+        result = ctaAttention(tokens, tokens, params, config);
+    }
+};
+
+TEST(RecoveryTest, ScoresAreEqSixSums)
+{
+    Fixture fx;
+    const Matrix recovered =
+        recoverScores(fx.result.inter, fx.tokens.rows());
+    const Index k1 = fx.result.stats.k1;
+    for (Index i = 0; i < 5; ++i) {
+        for (Index j = 0; j < 5; ++j) {
+            const Index c0 = fx.result.inter.queryComp
+                .table[static_cast<std::size_t>(i)];
+            const Index c1 = fx.result.inter.kvComp.level1
+                .table[static_cast<std::size_t>(j)];
+            const Index c2 = k1 + fx.result.inter.kvComp.level2
+                .table[static_cast<std::size_t>(j)];
+            EXPECT_FLOAT_EQ(recovered(i, j),
+                            fx.result.inter.sBar(c0, c1) +
+                                fx.result.inter.sBar(c0, c2));
+        }
+    }
+}
+
+TEST(RecoveryTest, RecoveredScoresApproximateExact)
+{
+    Fixture fx;
+    const auto trace = cta::nn::exactAttentionTraced(
+        fx.tokens, fx.tokens, fx.params);
+    const Matrix recovered =
+        recoverScores(fx.result.inter, fx.tokens.rows());
+    EXPECT_LT(relativeError(recovered, trace.scores), 0.25f);
+}
+
+TEST(RecoveryTest, ProbabilitiesAreRowStochastic)
+{
+    Fixture fx;
+    const Matrix probs =
+        recoverProbabilities(fx.result.inter, fx.tokens.rows());
+    for (Index i = 0; i < probs.rows(); ++i) {
+        Real sum = 0;
+        for (Index j = 0; j < probs.cols(); ++j) {
+            EXPECT_GE(probs(i, j), 0.0f);
+            sum += probs(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(RecoveryTest, FullPathEqualsAggregatedPath)
+{
+    // The identity behind eq. 7/8: multiplying the recovered full
+    // probability matrix with the approximate values V~ (eq. 4)
+    // reproduces CTA's aggregated output exactly — probability
+    // aggregation is just the factored form of this product.
+    Fixture fx;
+    const Matrix probs =
+        recoverProbabilities(fx.result.inter, fx.tokens.rows());
+    // V~_j = Vb[CT1[j]] + Vb[k1 + CT2[j]].
+    const auto n = fx.tokens.rows();
+    const Index d = fx.result.stats.d;
+    const Index k1 = fx.result.stats.k1;
+    Matrix v_approx(n, d);
+    for (Index j = 0; j < n; ++j) {
+        const Index c1 = fx.result.inter.kvComp.level1
+            .table[static_cast<std::size_t>(j)];
+        const Index c2 = k1 + fx.result.inter.kvComp.level2
+            .table[static_cast<std::size_t>(j)];
+        for (Index c = 0; c < d; ++c)
+            v_approx(j, c) = fx.result.inter.vBar(c1, c) +
+                             fx.result.inter.vBar(c2, c);
+    }
+    const Matrix full_path = matmul(probs, v_approx);
+    EXPECT_LT(relativeError(full_path, fx.result.output), 2e-3f)
+        << "aggregation must be the factored form of the full "
+           "probability product";
+}
+
+TEST(RecoveryTest, OutputInvariantToRowMaxFlag)
+{
+    // Recovered probabilities are softmax-normalized, so the PPE
+    // max-subtraction variant recovers the same matrix.
+    Fixture fx;
+    CtaConfig with_max;
+    with_max.subtractRowMax = true;
+    const CtaResult shifted =
+        ctaAttention(fx.tokens, fx.tokens, fx.params, with_max);
+    const Matrix p_plain =
+        recoverProbabilities(fx.result.inter, fx.tokens.rows());
+    const Matrix p_shifted =
+        recoverProbabilities(shifted.inter, fx.tokens.rows());
+    EXPECT_LT(maxAbsDiff(p_plain, p_shifted), 1e-4f);
+}
+
+} // namespace

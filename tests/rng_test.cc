@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for core::Rng: determinism, distribution moments,
+ * range contracts, and split independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace {
+
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const Real u = rng.uniform();
+        EXPECT_GE(u, 0.0f);
+        EXPECT_LT(u, 1.0f);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const Real u = rng.uniform(-3.0f, 5.0f);
+        EXPECT_GE(u, -3.0f);
+        EXPECT_LT(u, 5.0f);
+    }
+}
+
+TEST(RngTest, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / samples, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0, sum_sq = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / samples, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / samples, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaleAndShift)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i)
+        sum += rng.normal(5.0f, 2.0f);
+    EXPECT_NEAR(sum / samples, 5.0, 0.05);
+}
+
+TEST(RngTest, UniformIntWithinBound)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(RngTest, UniformIntZeroBoundReturnsZero)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.uniformInt(0), 0u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues)
+{
+    Rng rng(23);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i)
+        hits += rng.bernoulli(0.3f) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    // The child stream should differ from the parent's continuation.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, SplitIsDeterministic)
+{
+    Rng a(37), b(37);
+    Rng ca = a.split(), cb = b.split();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the functional (cycle-by-cycle) systolic array: both
+ * Fig. 8 dataflows must compute exact matrix products, and their
+ * emergence cycles must match the analytical SystolicArrayModel's
+ * stream + skew accounting — the executable proof that the timing
+ * model is consistent with the dataflow the paper describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/rng.h"
+#include "cta/lsh.h"
+#include "cta_accel/sa_functional.h"
+#include "cta_accel/systolic_array.h"
+
+namespace {
+
+using cta::accel::FunctionalRun;
+using cta::accel::FunctionalSystolicArray;
+using cta::accel::HwConfig;
+using cta::accel::SystolicArrayModel;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+TEST(SaFunctionalTest, Dataflow1ComputesDotProducts)
+{
+    Rng rng(1);
+    const FunctionalSystolicArray sa(8, 16);
+    const Matrix stationary = Matrix::randomNormal(6, 16, rng);
+    const Matrix streaming = Matrix::randomNormal(20, 16, rng);
+    const FunctionalRun run = sa.runDataflow1(stationary, streaming);
+    const Matrix expect = matmulTransB(streaming, stationary);
+    EXPECT_LT(maxAbsDiff(run.result, expect), 1e-4f);
+}
+
+TEST(SaFunctionalTest, Dataflow1EmergenceCycleFormula)
+{
+    // Last output: token (T-1) leaves column (cols-1) at cycle
+    // (T-1) + (cols-1) + (d-1): exactly the stream + skew charge of
+    // the analytical model.
+    Rng rng(2);
+    const Index cols = 5, d = 12, tokens = 9;
+    const FunctionalSystolicArray sa(8, d);
+    const FunctionalRun run = sa.runDataflow1(
+        Matrix::randomNormal(cols, d, rng),
+        Matrix::randomNormal(tokens, d, rng));
+    EXPECT_EQ(run.lastOutputCycle,
+              static_cast<cta::core::Cycles>(
+                  (tokens - 1) + (cols - 1) + (d - 1)));
+}
+
+TEST(SaFunctionalTest, Dataflow1MatchesAnalyticalSkewBound)
+{
+    // The analytical model charges stream + (height + width) skew;
+    // the functional array must never take longer than that.
+    HwConfig hw;
+    hw.saWidth = 8;
+    hw.saHeight = 32;
+    const SystolicArrayModel model(hw);
+    const FunctionalSystolicArray sa(hw.saWidth, hw.saHeight);
+    Rng rng(3);
+    const Index tokens = 40;
+    const auto run = sa.runDataflow1(
+        Matrix::randomNormal(hw.saWidth, hw.saHeight, rng),
+        Matrix::randomNormal(tokens, hw.saHeight, rng));
+    const auto analytical = model.scoreStep(tokens, "score");
+    EXPECT_LE(run.lastOutputCycle,
+              analytical.streamCycles + analytical.skewCycles);
+}
+
+TEST(SaFunctionalTest, Dataflow1ReproducesLshProjections)
+{
+    // The LSH phase is dataflow 1 with A stationary: H raw
+    // projections X . A^T must match the algorithm library's
+    // pre-floor values.
+    Rng rng(4);
+    const Index d = 16, n = 24, l = 6;
+    const auto params = cta::alg::LshParams::sample(l, d, 1.0f, rng);
+    const Matrix x = Matrix::randomNormal(n, d, rng);
+    const FunctionalSystolicArray sa(8, d);
+    const auto run = sa.runDataflow1(params.a, x);
+    // Apply PPE post-processing (add b, scale 1/w, floor) and
+    // compare against hashTokens.
+    const auto codes = cta::alg::hashTokens(x, params);
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < l; ++j) {
+            const auto hashed = static_cast<std::int32_t>(std::floor(
+                (run.result(i, j) + params.b(j, 0)) / params.w));
+            EXPECT_EQ(hashed, codes(i, j)) << i << "," << j;
+        }
+    }
+}
+
+TEST(SaFunctionalTest, Dataflow2ComputesMatrixProduct)
+{
+    Rng rng(5);
+    const FunctionalSystolicArray sa(8, 16);
+    const Matrix ap = Matrix::randomUniform(6, 30, rng, 0, 1);
+    const Matrix vb = Matrix::randomNormal(30, 12, rng);
+    const FunctionalRun run = sa.runDataflow2(ap, vb);
+    const Matrix expect = matmul(ap, vb);
+    EXPECT_LT(maxAbsDiff(run.result, expect), 1e-4f);
+}
+
+TEST(SaFunctionalTest, Dataflow2EmergenceCycleFormula)
+{
+    Rng rng(6);
+    const Index rows = 7, d = 10, inner = 25;
+    const FunctionalSystolicArray sa(8, 16);
+    const auto run = sa.runDataflow2(
+        Matrix::randomNormal(rows, inner, rng),
+        Matrix::randomNormal(inner, d, rng));
+    // Last accumulation: tau = inner-1 at PE (rows-1, d-1).
+    EXPECT_EQ(run.lastOutputCycle,
+              static_cast<cta::core::Cycles>(
+                  (inner - 1) + (rows - 1) + (d - 1)));
+}
+
+TEST(SaFunctionalTest, RejectsOversizedOperands)
+{
+    const FunctionalSystolicArray sa(4, 8);
+    Rng rng(7);
+    EXPECT_DEATH(sa.runDataflow1(Matrix::randomNormal(5, 8, rng),
+                                 Matrix::randomNormal(3, 8, rng)),
+                 "stationary operand");
+    EXPECT_DEATH(sa.runDataflow2(Matrix::randomNormal(5, 6, rng),
+                                 Matrix::randomNormal(6, 8, rng)),
+                 "exceeds SA width");
+}
+
+TEST(SaFunctionalTest, SingleElementGrid)
+{
+    const FunctionalSystolicArray sa(1, 1);
+    Matrix stationary(1, 1);
+    stationary(0, 0) = 3.0f;
+    Matrix streaming(2, 1);
+    streaming(0, 0) = 2.0f;
+    streaming(1, 0) = -1.0f;
+    const auto run = sa.runDataflow1(stationary, streaming);
+    EXPECT_FLOAT_EQ(run.result(0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(run.result(1, 0), -3.0f);
+}
+
+/** Property sweep: dataflow 1 equals GEMM across random shapes. */
+class Dataflow1Property
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(Dataflow1Property, MatchesGemm)
+{
+    const auto [cols, d, tokens] = GetParam();
+    Rng rng(100 + cols + d + tokens);
+    const FunctionalSystolicArray sa(cols, d);
+    const Matrix stationary = Matrix::randomNormal(cols, d, rng);
+    const Matrix streaming = Matrix::randomNormal(tokens, d, rng);
+    const auto run = sa.runDataflow1(stationary, streaming);
+    EXPECT_LT(relativeError(run.result,
+                            matmulTransB(streaming, stationary)),
+              1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Dataflow1Property,
+    ::testing::Values(std::make_tuple(1, 4, 4),
+                      std::make_tuple(8, 64, 8),
+                      std::make_tuple(3, 7, 11),
+                      std::make_tuple(8, 16, 100),
+                      std::make_tuple(2, 2, 2)));
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the simulator infrastructure: technology constants,
+ * SRAM model, and report structures/formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.h"
+#include "sim/memory.h"
+#include "sim/report.h"
+
+namespace {
+
+using cta::sim::EnergyBreakdown;
+using cta::sim::LatencyBreakdown;
+using cta::sim::MemoryTraffic;
+using cta::sim::PerfReport;
+using cta::sim::SramModel;
+using cta::sim::TechParams;
+using cta::sim::Wide;
+
+TEST(TechParamsTest, SramEnergyGrowsWithCapacity)
+{
+    const TechParams tech = TechParams::smic40nmClass();
+    EXPECT_LT(tech.sramEnergyPjPerWord(2.0),
+              tech.sramEnergyPjPerWord(64.0));
+    EXPECT_LT(tech.sramEnergyPjPerWord(64.0),
+              tech.sramEnergyPjPerWord(512.0));
+}
+
+TEST(TechParamsTest, MacCostsMoreThanAdd)
+{
+    const TechParams tech;
+    EXPECT_GT(tech.macEnergyPj, tech.addEnergyPj);
+    EXPECT_GT(tech.mulEnergyPj, tech.cmpEnergyPj);
+}
+
+TEST(SramModelTest, CountsAccesses)
+{
+    SramModel mem("test", 64.0, TechParams{});
+    EXPECT_EQ(mem.accesses(), 0u);
+    mem.read(100);
+    mem.write(40);
+    EXPECT_EQ(mem.reads(), 100u);
+    EXPECT_EQ(mem.writes(), 40u);
+    EXPECT_EQ(mem.accesses(), 140u);
+    mem.reset();
+    EXPECT_EQ(mem.accesses(), 0u);
+}
+
+TEST(SramModelTest, EnergyProportionalToAccesses)
+{
+    const TechParams tech;
+    SramModel mem("test", 64.0, tech);
+    mem.read(1000);
+    const Wide e1 = mem.dynamicEnergyPj();
+    mem.read(1000);
+    EXPECT_NEAR(mem.dynamicEnergyPj(), 2.0 * e1, 1e-9);
+    EXPECT_NEAR(e1, 1000.0 * tech.sramEnergyPjPerWord(64.0), 1e-6);
+}
+
+TEST(SramModelTest, AreaScalesWithCapacity)
+{
+    const TechParams tech;
+    const SramModel small("s", 32.0, tech);
+    const SramModel large("l", 128.0, tech);
+    EXPECT_NEAR(large.areaMm2(), 4.0 * small.areaMm2(), 1e-9);
+}
+
+TEST(LatencyBreakdownTest, TotalIsSum)
+{
+    LatencyBreakdown lat;
+    lat.tokenCompression = 100;
+    lat.linears = 200;
+    lat.attention = 300;
+    EXPECT_EQ(lat.total(), 600u);
+}
+
+TEST(EnergyBreakdownTest, TotalIsSum)
+{
+    EnergyBreakdown e;
+    e.memoryPj = 1;
+    e.computePj = 2;
+    e.auxiliaryPj = 3;
+    e.staticPj = 4;
+    EXPECT_DOUBLE_EQ(e.total(), 10.0);
+}
+
+TEST(MemoryTrafficTest, Accumulates)
+{
+    MemoryTraffic a{10, 5}, b{1, 2};
+    a += b;
+    EXPECT_EQ(a.reads, 11u);
+    EXPECT_EQ(a.writes, 7u);
+    EXPECT_EQ(a.total(), 18u);
+}
+
+TEST(PerfReportTest, ThroughputIsInverseLatency)
+{
+    PerfReport r;
+    r.freqGhz = 1.0;
+    r.latency.attention = 1000; // 1 us at 1 GHz
+    EXPECT_NEAR(r.seconds(), 1e-6, 1e-12);
+    EXPECT_NEAR(r.throughput(), 1e6, 1.0);
+}
+
+TEST(PerfReportTest, EnergyInJoules)
+{
+    PerfReport r;
+    r.energy.computePj = 2e12; // 2 J
+    EXPECT_NEAR(r.energyJ(), 2.0, 1e-9);
+}
+
+TEST(RenderTableTest, AlignsColumns)
+{
+    const std::string table = cta::sim::renderTable(
+        {{"name", "value"}, {"x", "123"}, {"longname", "4"}});
+    EXPECT_NE(table.find("name"), std::string::npos);
+    EXPECT_NE(table.find("--------"), std::string::npos);
+    EXPECT_NE(table.find("longname"), std::string::npos);
+}
+
+TEST(FormatTest, RatiosAndPercents)
+{
+    EXPECT_EQ(cta::sim::fmtRatio(27.66, 1), "27.7x");
+    EXPECT_EQ(cta::sim::fmtPercent(0.746, 1), "74.6%");
+    EXPECT_EQ(cta::sim::fmt(3.14159, 2), "3.14");
+}
+
+} // namespace

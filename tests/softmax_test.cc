@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the row-wise softmax and its un-normalized form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "core/rng.h"
+#include "nn/softmax.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::OpCounts;
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(SoftmaxTest, RowsSumToOne)
+{
+    Rng rng(1);
+    const Matrix s = Matrix::randomNormal(5, 9, rng, 0, 3);
+    const Matrix p = cta::nn::rowSoftmax(s);
+    for (Index i = 0; i < p.rows(); ++i) {
+        Real sum = 0;
+        for (Index j = 0; j < p.cols(); ++j) {
+            sum += p(i, j);
+            EXPECT_GT(p(i, j), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(SoftmaxTest, UniformInputGivesUniformOutput)
+{
+    const Matrix s(2, 4, 3.0f);
+    const Matrix p = cta::nn::rowSoftmax(s);
+    for (Index i = 0; i < 2; ++i)
+        for (Index j = 0; j < 4; ++j)
+            EXPECT_NEAR(p(i, j), 0.25f, 1e-6f);
+}
+
+TEST(SoftmaxTest, ShiftInvariance)
+{
+    Rng rng(2);
+    const Matrix s = Matrix::randomNormal(3, 6, rng);
+    Matrix shifted = s;
+    for (Index i = 0; i < s.size(); ++i)
+        shifted.data()[i] += 100.0f;
+    EXPECT_LT(maxAbsDiff(cta::nn::rowSoftmax(s),
+                         cta::nn::rowSoftmax(shifted)),
+              1e-5f);
+}
+
+TEST(SoftmaxTest, StableForLargeScores)
+{
+    Matrix s(1, 3);
+    s(0, 0) = 500.0f;
+    s(0, 1) = 400.0f;
+    s(0, 2) = 300.0f;
+    const Matrix p = cta::nn::rowSoftmax(s);
+    EXPECT_TRUE(std::isfinite(p(0, 0)));
+    EXPECT_NEAR(p(0, 0), 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, RowExpReturnsDenominators)
+{
+    Rng rng(3);
+    const Matrix s = Matrix::randomNormal(4, 5, rng);
+    Matrix sums;
+    const Matrix e = cta::nn::rowExp(s, sums);
+    ASSERT_EQ(sums.rows(), 4);
+    for (Index i = 0; i < 4; ++i) {
+        Real acc = 0;
+        for (Index j = 0; j < 5; ++j)
+            acc += e(i, j);
+        EXPECT_NEAR(acc, sums(i, 0), 1e-4f);
+    }
+}
+
+TEST(SoftmaxTest, OpAccountingMatchesFormula)
+{
+    Rng rng(4);
+    const Matrix s = Matrix::randomNormal(3, 7, rng);
+    OpCounts ops;
+    cta::nn::rowSoftmax(s, &ops);
+    const std::uint64_t cells = 21, rows = 3;
+    EXPECT_EQ(ops.exps, cells);
+    EXPECT_EQ(ops.cmps, cells - rows);
+    EXPECT_EQ(ops.divs, rows);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the multi-unit system scheduler (12 x CTA deployment),
+ * the schedule-trace export and the FFN-on-SA extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cta_accel/ffn_mapper.h"
+#include "cta_accel/system.h"
+#include "cta_accel/trace.h"
+
+namespace {
+
+using cta::accel::CtaSystem;
+using cta::accel::FfnMapper;
+using cta::accel::HeadTask;
+using cta::accel::HwConfig;
+using cta::accel::SystemReport;
+using cta::accel::TableIMapper;
+using cta::alg::CompressionStats;
+using cta::core::Cycles;
+using cta::core::Index;
+
+CompressionStats
+typicalStats()
+{
+    CompressionStats stats;
+    stats.m = stats.n = 512;
+    stats.dw = stats.d = 64;
+    stats.k0 = 200;
+    stats.k1 = 130;
+    stats.k2 = 120;
+    return stats;
+}
+
+TEST(SystemTest, SingleTaskSingleUnit)
+{
+    const CtaSystem system(HwConfig::paperDefault(), 1);
+    const SystemReport r =
+        system.scheduleTasks({HeadTask{0, 0, 1000}});
+    EXPECT_EQ(r.makespan, 1000u);
+    EXPECT_EQ(r.totalWork, 1000u);
+    EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(SystemTest, PerfectlyParallelHeads)
+{
+    const CtaSystem system(HwConfig::paperDefault(), 4);
+    std::vector<HeadTask> tasks;
+    for (Index h = 0; h < 4; ++h)
+        tasks.push_back(HeadTask{0, h, 500});
+    const SystemReport r = system.scheduleTasks(tasks);
+    EXPECT_EQ(r.makespan, 500u);
+    EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(SystemTest, LptBalancesUnevenTasks)
+{
+    const CtaSystem system(HwConfig::paperDefault(), 2);
+    // LPT on {6,5,4,3} over 2 units -> {6,3} and {5,4}: makespan 9.
+    const SystemReport r = system.scheduleTasks({
+        HeadTask{0, 0, 6}, HeadTask{0, 1, 5},
+        HeadTask{0, 2, 4}, HeadTask{0, 3, 3}});
+    EXPECT_EQ(r.makespan, 9u);
+}
+
+TEST(SystemTest, MoreUnitsNeverSlower)
+{
+    std::vector<HeadTask> tasks;
+    for (Index h = 0; h < 16; ++h)
+        tasks.push_back(HeadTask{0, h,
+                                 static_cast<Cycles>(100 + 7 * h)});
+    Cycles prev = ~0ull;
+    for (Index units : {1, 2, 4, 8, 16}) {
+        const CtaSystem system(HwConfig::paperDefault(), units);
+        const Cycles makespan =
+            system.scheduleTasks(tasks).makespan;
+        EXPECT_LE(makespan, prev);
+        prev = makespan;
+    }
+}
+
+TEST(SystemTest, ModelScheduleBarriersAddUp)
+{
+    const CtaSystem system(HwConfig::paperDefault(), 12);
+    // BERT-large-ish: 24 layers x 16 heads, identical shapes.
+    std::vector<std::vector<CompressionStats>> layers(
+        24, std::vector<CompressionStats>(16, typicalStats()));
+    const SystemReport barriered =
+        system.scheduleModel(layers, false);
+    const SystemReport pipelined =
+        system.scheduleModel(layers, true);
+    EXPECT_EQ(barriered.totalWork, pipelined.totalWork);
+    EXPECT_GE(barriered.makespan, pipelined.makespan);
+    // 16 heads on 12 units with a barrier waste 1/3 of the slots:
+    // utilization ~ 16/24; pipelined should be near 1.
+    EXPECT_LT(barriered.utilization, 0.75);
+    EXPECT_GT(pipelined.utilization, 0.95);
+}
+
+TEST(SystemTest, MakespanMatchesMapperForOneHead)
+{
+    const HwConfig hw = HwConfig::paperDefault();
+    const CtaSystem system(hw, 12);
+    const TableIMapper mapper(hw);
+    const auto stats = typicalStats();
+    const SystemReport r = system.scheduleModel({{stats}}, false);
+    EXPECT_EQ(r.makespan, mapper.schedule(stats).latency.total());
+}
+
+TEST(TraceTest, CsvHasHeaderAndAllSteps)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto result = mapper.schedule(typicalStats());
+    std::ostringstream oss;
+    writeScheduleCsv(result, oss);
+    const std::string csv = oss.str();
+    EXPECT_NE(csv.find("step,phase,start_cycle"), std::string::npos);
+    EXPECT_NE(csv.find("LSH1(X^KV),compression,0,"),
+              std::string::npos);
+    // One line per step plus header.
+    const auto lines = static_cast<std::size_t>(
+        std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, result.steps.size() + 1);
+}
+
+TEST(TraceTest, ChromeTraceIsWellFormedJson)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto result = mapper.schedule(typicalStats());
+    std::ostringstream oss;
+    writeChromeTrace(result, oss);
+    const std::string json = oss.str();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Balanced braces (cheap structural check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    // No dangling comma before the closing bracket.
+    EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST(TraceTest, CsvTimelineIsContiguous)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto result = mapper.schedule(typicalStats());
+    std::ostringstream oss;
+    writeScheduleCsv(result, oss);
+    // Final start + duration must equal the total latency.
+    Cycles total = 0;
+    for (const auto &step : result.steps)
+        total += step.saCycles + step.exposedAux;
+    EXPECT_EQ(total, result.latency.total());
+}
+
+TEST(FfnMapperTest, CyclesScaleWithTokens)
+{
+    const FfnMapper ffn{HwConfig::paperDefault()};
+    const auto small = ffn.run(128, 64, 256);
+    const auto large = ffn.run(512, 64, 256);
+    EXPECT_GT(large.cycles, 3 * small.cycles / 1);
+    EXPECT_EQ(large.macs, 4 * small.macs);
+}
+
+TEST(FfnMapperTest, HiddenChunksAccounted)
+{
+    const FfnMapper ffn{HwConfig::paperDefault()};
+    // d_hidden = 256 on a 64-tall SA -> 4 chunks for the down proj.
+    const auto r = ffn.run(64, 64, 256);
+    const Cycles batches = 8; // 64 tokens / b=8
+    const Cycles up = batches * (64 + 256);
+    const Cycles down = batches * 4 * (64 + 64);
+    EXPECT_EQ(r.cycles, up + down + 2 * (64 + 8));
+}
+
+TEST(FfnMapperTest, CompressedTokensCheaper)
+{
+    const FfnMapper ffn{HwConfig::paperDefault()};
+    const auto full = ffn.run(512, 64, 256);
+    const auto compressed = ffn.runCompressed(200, 64, 256);
+    EXPECT_LT(compressed.cycles, full.cycles);
+}
+
+TEST(FfnMapperTest, RejectsOversizedModelDim)
+{
+    const FfnMapper ffn{HwConfig::paperDefault()};
+    EXPECT_DEATH(ffn.run(64, 128, 256), "exceeds SA height");
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the systolic-array timing model and the Table-I
+ * mapping scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cta_accel/mapper.h"
+#include "cta_accel/systolic_array.h"
+
+namespace {
+
+using cta::accel::HwConfig;
+using cta::accel::MappingResult;
+using cta::accel::PhaseClass;
+using cta::accel::SaStep;
+using cta::accel::SystolicArrayModel;
+using cta::accel::TableIMapper;
+using cta::accel::ValueRegSource;
+using cta::alg::CompressionStats;
+using cta::core::Cycles;
+
+CompressionStats
+typicalStats()
+{
+    CompressionStats stats;
+    stats.m = 512;
+    stats.n = 512;
+    stats.dw = 64;
+    stats.d = 64;
+    stats.k0 = 200;
+    stats.k1 = 130;
+    stats.k2 = 120;
+    return stats;
+}
+
+TEST(SystolicArrayTest, LshStreamsOneTokenPerCycle)
+{
+    const SystolicArrayModel sa(HwConfig::paperDefault());
+    const SaStep step = sa.lshStep(512, "lsh");
+    EXPECT_EQ(step.streamCycles, 512u);
+    EXPECT_GT(step.skewCycles, 0u);
+}
+
+TEST(SystolicArrayTest, ValueRegSourcesOrdered)
+{
+    const SystolicArrayModel sa(HwConfig::paperDefault());
+    const Cycles keep =
+        sa.linearStep(64, ValueRegSource::Keep, "k").updateCycles;
+    const Cycles shortcut =
+        sa.linearStep(64, ValueRegSource::Shortcut, "s").updateCycles;
+    const Cycles memory =
+        sa.linearStep(64, ValueRegSource::Memory, "m").updateCycles;
+    EXPECT_EQ(keep, 0u);
+    EXPECT_EQ(shortcut, 1u);
+    EXPECT_EQ(memory, 64u);
+}
+
+TEST(SystolicArrayTest, HashLenMustFitWidth)
+{
+    HwConfig config;
+    config.saWidth = 4;
+    config.hashLen = 6;
+    EXPECT_DEATH(SystolicArrayModel{config}, "exceeds SA width");
+}
+
+TEST(MapperTest, LatencyBucketsAllPopulated)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const MappingResult result = mapper.schedule(typicalStats());
+    EXPECT_GT(result.latency.tokenCompression, 0u);
+    EXPECT_GT(result.latency.linears, 0u);
+    EXPECT_GT(result.latency.attention, 0u);
+}
+
+TEST(MapperTest, AttentionDominatesTypicalWorkload)
+{
+    // Paper Fig. 12-right: ~59% attention, ~34% linears, ~7%
+    // compression. Check the ordering and rough proportions.
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const auto lat = mapper.schedule(typicalStats()).latency;
+    EXPECT_GT(lat.attention, lat.linears);
+    EXPECT_GT(lat.linears, lat.tokenCompression);
+    const double comp_share =
+        static_cast<double>(lat.tokenCompression) / lat.total();
+    EXPECT_LT(comp_share, 0.20)
+        << "token compression must be a small latency share";
+}
+
+TEST(MapperTest, BubbleRemovalSaves)
+{
+    HwConfig packed = HwConfig::paperDefault();
+    packed.bubbleRemoval = true;
+    HwConfig bubbly = HwConfig::paperDefault();
+    bubbly.bubbleRemoval = false;
+    const auto stats = typicalStats();
+    const Cycles t_packed =
+        TableIMapper{packed}.schedule(stats).latency.total();
+    const Cycles t_bubbly =
+        TableIMapper{bubbly}.schedule(stats).latency.total();
+    EXPECT_LT(t_packed, t_bubbly);
+}
+
+TEST(MapperTest, MoreCompressionLessLatency)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    CompressionStats mild = typicalStats();
+    CompressionStats strong = typicalStats();
+    strong.k0 = 100;
+    strong.k1 = 80;
+    strong.k2 = 60;
+    EXPECT_LT(mapper.schedule(strong).latency.total(),
+              mapper.schedule(mild).latency.total());
+}
+
+TEST(MapperTest, PagHiddenAtBalancedParallelism)
+{
+    // With PAG parallelism = 2 x SA width (the paper's best design
+    // practice), the PAG never stalls the typical workload.
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const MappingResult result = mapper.schedule(typicalStats());
+    EXPECT_EQ(result.pagStallCycles, 0u);
+}
+
+TEST(MapperTest, StarvedPagStalls)
+{
+    HwConfig config = HwConfig::paperDefault();
+    config.pagTiles = 1;
+    config.pagPerTile = 1; // 16x less PAG throughput
+    const TableIMapper mapper{config};
+    const MappingResult result = mapper.schedule(typicalStats());
+    EXPECT_GT(result.pagStallCycles, 0u);
+}
+
+TEST(MapperTest, WiderSaIsFasterButSublinear)
+{
+    // Paper Fig. 13: throughput does not scale linearly with SA
+    // width because the LSH phase uses only l columns.
+    HwConfig w8 = HwConfig::paperDefault();
+    HwConfig w32 = HwConfig::paperDefault();
+    w32.saWidth = 32;
+    w32.pagTiles = 32;
+    const auto stats = typicalStats();
+    const auto t8 = TableIMapper{w8}.schedule(stats).latency.total();
+    const auto t32 = TableIMapper{w32}.schedule(stats).latency.total();
+    EXPECT_LT(t32, t8);
+    EXPECT_GT(static_cast<double>(t32),
+              static_cast<double>(t8) / 4.0)
+        << "4x width must yield < 4x speedup";
+}
+
+TEST(MapperTest, StepsCoverTableIStructure)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    const MappingResult result = mapper.schedule(typicalStats());
+    // Expect the canonical step names to appear.
+    auto has_step = [&](const std::string &prefix) {
+        for (const auto &step : result.steps)
+            if (step.name.rfind(prefix, 0) == 0)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_step("LSH1"));
+    EXPECT_TRUE(has_step("LSH0"));
+    EXPECT_TRUE(has_step("LSH2"));
+    EXPECT_TRUE(has_step("CAVG"));
+    EXPECT_TRUE(has_step("LIN K"));
+    EXPECT_TRUE(has_step("LIN V"));
+    EXPECT_TRUE(has_step("LIN Q"));
+    EXPECT_TRUE(has_step("SCORE"));
+    EXPECT_TRUE(has_step("OUT"));
+    EXPECT_TRUE(has_step("PAG last"));
+}
+
+TEST(MapperTest, RejectsMismatchedHeadDim)
+{
+    const TableIMapper mapper{HwConfig::paperDefault()};
+    CompressionStats stats = typicalStats();
+    stats.d = 32;
+    EXPECT_DEATH(mapper.schedule(stats), "SA height");
+}
+
+} // namespace

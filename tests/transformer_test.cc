@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the transformer substrate (layer norm, GELU, FFN,
+ * encoder layer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "nn/transformer.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+
+TEST(LayerNormTest, RowsHaveZeroMeanUnitVar)
+{
+    Rng rng(1);
+    const cta::nn::LayerNorm norm(16);
+    const Matrix x = Matrix::randomNormal(8, 16, rng, 3.0f, 2.0f);
+    const Matrix y = norm.forward(x);
+    for (Index i = 0; i < y.rows(); ++i) {
+        double mean = 0, var = 0;
+        for (Index j = 0; j < 16; ++j)
+            mean += y(i, j);
+        mean /= 16;
+        for (Index j = 0; j < 16; ++j)
+            var += (y(i, j) - mean) * (y(i, j) - mean);
+        var /= 16;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(LayerNormTest, ConstantRowMapsToZero)
+{
+    const cta::nn::LayerNorm norm(8);
+    const Matrix x(2, 8, 5.0f);
+    const Matrix y = norm.forward(x);
+    for (Index j = 0; j < 8; ++j)
+        EXPECT_NEAR(y(0, j), 0.0f, 1e-2f);
+}
+
+TEST(GeluTest, KnownValues)
+{
+    Matrix x(1, 3);
+    x(0, 0) = 0.0f;
+    x(0, 1) = 10.0f;
+    x(0, 2) = -10.0f;
+    const Matrix y = cta::nn::gelu(x);
+    EXPECT_NEAR(y(0, 0), 0.0f, 1e-6f);
+    EXPECT_NEAR(y(0, 1), 10.0f, 1e-3f);
+    EXPECT_NEAR(y(0, 2), 0.0f, 1e-3f);
+}
+
+TEST(GeluTest, MonotoneOnPositiveAxis)
+{
+    Matrix x(1, 4);
+    x(0, 0) = 0.5f;
+    x(0, 1) = 1.0f;
+    x(0, 2) = 2.0f;
+    x(0, 3) = 4.0f;
+    const Matrix y = cta::nn::gelu(x);
+    EXPECT_LT(y(0, 0), y(0, 1));
+    EXPECT_LT(y(0, 1), y(0, 2));
+    EXPECT_LT(y(0, 2), y(0, 3));
+}
+
+TEST(FeedForwardTest, ShapePreserved)
+{
+    Rng rng(2);
+    const cta::nn::FeedForward ffn(16, 64, rng);
+    const Matrix x = Matrix::randomNormal(5, 16, rng);
+    const Matrix y = ffn.forward(x);
+    EXPECT_EQ(y.rows(), 5);
+    EXPECT_EQ(y.cols(), 16);
+}
+
+TEST(EncoderLayerTest, ShapeAndFiniteness)
+{
+    Rng rng(3);
+    const cta::nn::EncoderLayer layer(32, 4, 64, rng);
+    const Matrix x = Matrix::randomNormal(10, 32, rng);
+    const Matrix y = layer.forward(x);
+    EXPECT_EQ(y.rows(), 10);
+    EXPECT_EQ(y.cols(), 32);
+    for (Index i = 0; i < y.size(); ++i)
+        EXPECT_TRUE(std::isfinite(y.data()[i]));
+}
+
+TEST(EncoderLayerTest, Deterministic)
+{
+    Rng rng(4);
+    const cta::nn::EncoderLayer layer(16, 2, 32, rng);
+    Rng data_rng(5);
+    const Matrix x = Matrix::randomNormal(6, 16, data_rng);
+    EXPECT_LT(maxAbsDiff(layer.forward(x), layer.forward(x)), 1e-9f);
+}
+
+TEST(EncoderLayerTest, ResidualPathDominatesForSmallBlocks)
+{
+    // The residual structure means output correlates with input.
+    Rng rng(6);
+    const cta::nn::EncoderLayer layer(16, 2, 32, rng);
+    const Matrix x = Matrix::randomNormal(6, 16, rng, 0, 10.0f);
+    const Matrix y = layer.forward(x);
+    // With large-scale inputs the residual term dominates the
+    // unit-scale block outputs, so relative error to x is < 1.
+    EXPECT_LT(relativeError(y, x), 1.0f);
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generator and proxy task.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::nn::ProxyTask;
+using cta::nn::TokenSample;
+using cta::nn::WorkloadGenerator;
+using cta::nn::WorkloadProfile;
+
+WorkloadProfile
+smallProfile()
+{
+    WorkloadProfile p;
+    p.seqLen = 128;
+    p.tokenDim = 16;
+    p.coarseClusters = 8;
+    p.fineClusters = 4;
+    p.noiseScale = 0.02f;
+    return p;
+}
+
+TEST(WorkloadTest, SampleShapeMatchesProfile)
+{
+    WorkloadGenerator gen(smallProfile(), 1);
+    const TokenSample s = gen.sample();
+    EXPECT_EQ(s.tokens.rows(), 128);
+    EXPECT_EQ(s.tokens.cols(), 16);
+    EXPECT_EQ(s.coarseId.size(), 128u);
+    EXPECT_EQ(s.fineId.size(), 128u);
+}
+
+TEST(WorkloadTest, LatentIdsWithinRange)
+{
+    WorkloadGenerator gen(smallProfile(), 2);
+    const TokenSample s = gen.sample();
+    for (Index c : s.coarseId) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, 8);
+    }
+    for (Index f : s.fineId) {
+        EXPECT_GE(f, 0);
+        EXPECT_LT(f, 4);
+    }
+}
+
+TEST(WorkloadTest, SameSeedSameTokens)
+{
+    WorkloadGenerator a(smallProfile(), 3);
+    WorkloadGenerator b(smallProfile(), 3);
+    EXPECT_LT(maxAbsDiff(a.sampleTokens(), b.sampleTokens()), 1e-9f);
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer)
+{
+    WorkloadGenerator a(smallProfile(), 4);
+    WorkloadGenerator b(smallProfile(), 5);
+    EXPECT_GT(maxAbsDiff(a.sampleTokens(), b.sampleTokens()), 0.01f);
+}
+
+TEST(WorkloadTest, SameLatentPairMeansNearbyTokens)
+{
+    // Tokens sharing (coarse, fine) ids differ only by noise.
+    auto profile = smallProfile();
+    profile.seqLen = 256;
+    WorkloadGenerator gen(profile, 6);
+    const TokenSample s = gen.sample();
+    for (Index i = 0; i < profile.seqLen; ++i) {
+        for (Index j = i + 1; j < profile.seqLen; ++j) {
+            if (s.coarseId[static_cast<std::size_t>(i)] ==
+                    s.coarseId[static_cast<std::size_t>(j)] &&
+                s.fineId[static_cast<std::size_t>(i)] ==
+                    s.fineId[static_cast<std::size_t>(j)]) {
+                const Real dist = cta::core::l2Distance(
+                    s.tokens.row(i), s.tokens.row(j));
+                // Noise is N(0, 0.02) per dim over 16 dims; the
+                // distance of two draws concentrates near
+                // 0.02 * sqrt(2*16) ~ 0.11.
+                EXPECT_LT(dist, 0.5f);
+                return; // one verified pair suffices
+            }
+        }
+    }
+}
+
+TEST(WorkloadTest, WithSeqLenOverrides)
+{
+    const WorkloadProfile p = smallProfile().withSeqLen(64);
+    EXPECT_EQ(p.seqLen, 64);
+    EXPECT_EQ(p.tokenDim, 16);
+}
+
+TEST(ProxyTaskTest, LabelsWithinRange)
+{
+    const ProxyTask task(16, 8, 4, 7);
+    WorkloadGenerator gen(smallProfile(), 8);
+    for (int s = 0; s < 5; ++s) {
+        const Index label = task.groundTruth(gen.sampleTokens());
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 4);
+    }
+}
+
+TEST(ProxyTaskTest, GroundTruthIsDeterministic)
+{
+    const ProxyTask task(16, 8, 4, 9);
+    WorkloadGenerator gen(smallProfile(), 10);
+    const Matrix tokens = gen.sampleTokens();
+    EXPECT_EQ(task.groundTruth(tokens), task.groundTruth(tokens));
+}
+
+TEST(ProxyTaskTest, ExactOutputGetsPerfectAgreement)
+{
+    const ProxyTask task(16, 8, 4, 11);
+    WorkloadGenerator gen(smallProfile(), 12);
+    std::vector<Index> ref, approx;
+    for (int s = 0; s < 10; ++s) {
+        const Matrix tokens = gen.sampleTokens();
+        ref.push_back(task.groundTruth(tokens));
+        approx.push_back(task.labelFromOutput(
+            exactAttention(tokens, tokens, task.head())));
+    }
+    EXPECT_FLOAT_EQ(cta::nn::labelAgreement(ref, approx), 1.0f);
+}
+
+TEST(LabelAgreementTest, CountsMatches)
+{
+    const std::vector<Index> a{1, 2, 3, 4};
+    const std::vector<Index> b{1, 0, 3, 0};
+    EXPECT_FLOAT_EQ(cta::nn::labelAgreement(a, b), 0.5f);
+}
+
+} // namespace
