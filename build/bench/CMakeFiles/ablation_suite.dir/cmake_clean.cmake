@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_suite.dir/ablation_suite.cc.o"
+  "CMakeFiles/ablation_suite.dir/ablation_suite.cc.o.d"
+  "ablation_suite"
+  "ablation_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end2end_speedup.dir/end2end_speedup.cc.o"
+  "CMakeFiles/end2end_speedup.dir/end2end_speedup.cc.o.d"
+  "end2end_speedup"
+  "end2end_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end2end_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

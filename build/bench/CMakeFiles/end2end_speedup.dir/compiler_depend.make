@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for end2end_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for end2end_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffn_extension.dir/ffn_extension.cc.o"
+  "CMakeFiles/ffn_extension.dir/ffn_extension.cc.o.d"
+  "ffn_extension"
+  "ffn_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffn_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_effective_relations.dir/fig02_effective_relations.cc.o"
+  "CMakeFiles/fig02_effective_relations.dir/fig02_effective_relations.cc.o.d"
+  "fig02_effective_relations"
+  "fig02_effective_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_effective_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

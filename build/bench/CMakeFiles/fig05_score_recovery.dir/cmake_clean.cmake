@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_score_recovery.dir/fig05_score_recovery.cc.o"
+  "CMakeFiles/fig05_score_recovery.dir/fig05_score_recovery.cc.o.d"
+  "fig05_score_recovery"
+  "fig05_score_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_score_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_accuracy_compression.dir/fig11_accuracy_compression.cc.o"
+  "CMakeFiles/fig11_accuracy_compression.dir/fig11_accuracy_compression.cc.o.d"
+  "fig11_accuracy_compression"
+  "fig11_accuracy_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_accuracy_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

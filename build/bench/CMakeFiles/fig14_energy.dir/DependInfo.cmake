@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_energy.cc" "bench/CMakeFiles/fig14_energy.dir/fig14_energy.cc.o" "gcc" "bench/CMakeFiles/fig14_energy.dir/fig14_energy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_a3.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_leopard.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_elsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

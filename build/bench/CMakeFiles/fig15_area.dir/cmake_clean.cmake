@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_area.dir/fig15_area.cc.o"
+  "CMakeFiles/fig15_area.dir/fig15_area.cc.o.d"
+  "fig15_area"
+  "fig15_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

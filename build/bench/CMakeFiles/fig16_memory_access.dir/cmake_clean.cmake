@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_memory_access.dir/fig16_memory_access.cc.o"
+  "CMakeFiles/fig16_memory_access.dir/fig16_memory_access.cc.o.d"
+  "fig16_memory_access"
+  "fig16_memory_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_memory_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

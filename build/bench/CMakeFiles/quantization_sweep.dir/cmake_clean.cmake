@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_sweep.dir/quantization_sweep.cc.o"
+  "CMakeFiles/quantization_sweep.dir/quantization_sweep.cc.o.d"
+  "quantization_sweep"
+  "quantization_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqlen_scaling.dir/seqlen_scaling.cc.o"
+  "CMakeFiles/seqlen_scaling.dir/seqlen_scaling.cc.o.d"
+  "seqlen_scaling"
+  "seqlen_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqlen_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_utilization.dir/system_utilization.cc.o"
+  "CMakeFiles/system_utilization.dir/system_utilization.cc.o.d"
+  "system_utilization"
+  "system_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

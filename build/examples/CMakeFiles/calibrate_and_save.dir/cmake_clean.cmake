@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_save.dir/calibrate_and_save.cpp.o"
+  "CMakeFiles/calibrate_and_save.dir/calibrate_and_save.cpp.o.d"
+  "calibrate_and_save"
+  "calibrate_and_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_qa.dir/document_qa.cpp.o"
+  "CMakeFiles/document_qa.dir/document_qa.cpp.o.d"
+  "document_qa"
+  "document_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

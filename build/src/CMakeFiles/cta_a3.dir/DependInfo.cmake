@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/a3/a3_accel.cc" "src/CMakeFiles/cta_a3.dir/a3/a3_accel.cc.o" "gcc" "src/CMakeFiles/cta_a3.dir/a3/a3_accel.cc.o.d"
+  "/root/repo/src/a3/a3_attention.cc" "src/CMakeFiles/cta_a3.dir/a3/a3_attention.cc.o" "gcc" "src/CMakeFiles/cta_a3.dir/a3/a3_attention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_a3.dir/a3/a3_accel.cc.o"
+  "CMakeFiles/cta_a3.dir/a3/a3_accel.cc.o.d"
+  "CMakeFiles/cta_a3.dir/a3/a3_attention.cc.o"
+  "CMakeFiles/cta_a3.dir/a3/a3_attention.cc.o.d"
+  "libcta_a3.a"
+  "libcta_a3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_a3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

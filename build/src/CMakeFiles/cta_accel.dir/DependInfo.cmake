@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cta_accel/accelerator.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/accelerator.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/accelerator.cc.o.d"
+  "/root/repo/src/cta_accel/cag.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/cag.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/cag.cc.o.d"
+  "/root/repo/src/cta_accel/cim.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/cim.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/cim.cc.o.d"
+  "/root/repo/src/cta_accel/dse.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/dse.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/dse.cc.o.d"
+  "/root/repo/src/cta_accel/ffn_mapper.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/ffn_mapper.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/ffn_mapper.cc.o.d"
+  "/root/repo/src/cta_accel/mapper.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/mapper.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/mapper.cc.o.d"
+  "/root/repo/src/cta_accel/pag.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/pag.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/pag.cc.o.d"
+  "/root/repo/src/cta_accel/sa_functional.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/sa_functional.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/sa_functional.cc.o.d"
+  "/root/repo/src/cta_accel/system.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/system.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/system.cc.o.d"
+  "/root/repo/src/cta_accel/systolic_array.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/systolic_array.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/systolic_array.cc.o.d"
+  "/root/repo/src/cta_accel/trace.cc" "src/CMakeFiles/cta_accel.dir/cta_accel/trace.cc.o" "gcc" "src/CMakeFiles/cta_accel.dir/cta_accel/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

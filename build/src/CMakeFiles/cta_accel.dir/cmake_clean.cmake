@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_accel.dir/cta_accel/accelerator.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/accelerator.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/cag.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/cag.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/cim.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/cim.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/dse.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/dse.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/ffn_mapper.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/ffn_mapper.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/mapper.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/mapper.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/pag.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/pag.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/sa_functional.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/sa_functional.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/system.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/system.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/systolic_array.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/systolic_array.cc.o.d"
+  "CMakeFiles/cta_accel.dir/cta_accel/trace.cc.o"
+  "CMakeFiles/cta_accel.dir/cta_accel/trace.cc.o.d"
+  "libcta_accel.a"
+  "libcta_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

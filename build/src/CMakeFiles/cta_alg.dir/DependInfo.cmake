@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cta/analysis.cc" "src/CMakeFiles/cta_alg.dir/cta/analysis.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/analysis.cc.o.d"
+  "/root/repo/src/cta/cluster_tree.cc" "src/CMakeFiles/cta_alg.dir/cta/cluster_tree.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/cluster_tree.cc.o.d"
+  "/root/repo/src/cta/compressed_attention.cc" "src/CMakeFiles/cta_alg.dir/cta/compressed_attention.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/compressed_attention.cc.o.d"
+  "/root/repo/src/cta/compression.cc" "src/CMakeFiles/cta_alg.dir/cta/compression.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/compression.cc.o.d"
+  "/root/repo/src/cta/config.cc" "src/CMakeFiles/cta_alg.dir/cta/config.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/config.cc.o.d"
+  "/root/repo/src/cta/error.cc" "src/CMakeFiles/cta_alg.dir/cta/error.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/error.cc.o.d"
+  "/root/repo/src/cta/lsh.cc" "src/CMakeFiles/cta_alg.dir/cta/lsh.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/lsh.cc.o.d"
+  "/root/repo/src/cta/multihead.cc" "src/CMakeFiles/cta_alg.dir/cta/multihead.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/multihead.cc.o.d"
+  "/root/repo/src/cta/quantization.cc" "src/CMakeFiles/cta_alg.dir/cta/quantization.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/quantization.cc.o.d"
+  "/root/repo/src/cta/recovery.cc" "src/CMakeFiles/cta_alg.dir/cta/recovery.cc.o" "gcc" "src/CMakeFiles/cta_alg.dir/cta/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

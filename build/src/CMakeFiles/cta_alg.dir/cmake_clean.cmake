@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_alg.dir/cta/analysis.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/analysis.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/cluster_tree.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/cluster_tree.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/compressed_attention.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/compressed_attention.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/compression.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/compression.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/config.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/config.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/error.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/error.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/lsh.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/lsh.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/multihead.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/multihead.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/quantization.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/quantization.cc.o.d"
+  "CMakeFiles/cta_alg.dir/cta/recovery.cc.o"
+  "CMakeFiles/cta_alg.dir/cta/recovery.cc.o.d"
+  "libcta_alg.a"
+  "libcta_alg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_alg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

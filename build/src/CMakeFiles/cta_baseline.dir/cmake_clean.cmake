@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_baseline.dir/baseline/ideal_accel.cc.o"
+  "CMakeFiles/cta_baseline.dir/baseline/ideal_accel.cc.o.d"
+  "libcta_baseline.a"
+  "libcta_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cc" "src/CMakeFiles/cta_core.dir/core/config_io.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/config_io.cc.o.d"
+  "/root/repo/src/core/fixed_point.cc" "src/CMakeFiles/cta_core.dir/core/fixed_point.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/fixed_point.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/CMakeFiles/cta_core.dir/core/logging.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/logging.cc.o.d"
+  "/root/repo/src/core/matrix.cc" "src/CMakeFiles/cta_core.dir/core/matrix.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/matrix.cc.o.d"
+  "/root/repo/src/core/op_counter.cc" "src/CMakeFiles/cta_core.dir/core/op_counter.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/op_counter.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/cta_core.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/cta_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/cta_core.dir/core/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_core.dir/core/config_io.cc.o"
+  "CMakeFiles/cta_core.dir/core/config_io.cc.o.d"
+  "CMakeFiles/cta_core.dir/core/fixed_point.cc.o"
+  "CMakeFiles/cta_core.dir/core/fixed_point.cc.o.d"
+  "CMakeFiles/cta_core.dir/core/logging.cc.o"
+  "CMakeFiles/cta_core.dir/core/logging.cc.o.d"
+  "CMakeFiles/cta_core.dir/core/matrix.cc.o"
+  "CMakeFiles/cta_core.dir/core/matrix.cc.o.d"
+  "CMakeFiles/cta_core.dir/core/op_counter.cc.o"
+  "CMakeFiles/cta_core.dir/core/op_counter.cc.o.d"
+  "CMakeFiles/cta_core.dir/core/rng.cc.o"
+  "CMakeFiles/cta_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/cta_core.dir/core/stats.cc.o"
+  "CMakeFiles/cta_core.dir/core/stats.cc.o.d"
+  "libcta_core.a"
+  "libcta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcta_core.a"
+)

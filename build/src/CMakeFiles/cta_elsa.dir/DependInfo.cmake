@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elsa/elsa_accel.cc" "src/CMakeFiles/cta_elsa.dir/elsa/elsa_accel.cc.o" "gcc" "src/CMakeFiles/cta_elsa.dir/elsa/elsa_accel.cc.o.d"
+  "/root/repo/src/elsa/elsa_attention.cc" "src/CMakeFiles/cta_elsa.dir/elsa/elsa_attention.cc.o" "gcc" "src/CMakeFiles/cta_elsa.dir/elsa/elsa_attention.cc.o.d"
+  "/root/repo/src/elsa/elsa_system.cc" "src/CMakeFiles/cta_elsa.dir/elsa/elsa_system.cc.o" "gcc" "src/CMakeFiles/cta_elsa.dir/elsa/elsa_system.cc.o.d"
+  "/root/repo/src/elsa/sign_hash.cc" "src/CMakeFiles/cta_elsa.dir/elsa/sign_hash.cc.o" "gcc" "src/CMakeFiles/cta_elsa.dir/elsa/sign_hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

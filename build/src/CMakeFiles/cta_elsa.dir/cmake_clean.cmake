@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_elsa.dir/elsa/elsa_accel.cc.o"
+  "CMakeFiles/cta_elsa.dir/elsa/elsa_accel.cc.o.d"
+  "CMakeFiles/cta_elsa.dir/elsa/elsa_attention.cc.o"
+  "CMakeFiles/cta_elsa.dir/elsa/elsa_attention.cc.o.d"
+  "CMakeFiles/cta_elsa.dir/elsa/elsa_system.cc.o"
+  "CMakeFiles/cta_elsa.dir/elsa/elsa_system.cc.o.d"
+  "CMakeFiles/cta_elsa.dir/elsa/sign_hash.cc.o"
+  "CMakeFiles/cta_elsa.dir/elsa/sign_hash.cc.o.d"
+  "libcta_elsa.a"
+  "libcta_elsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_elsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_gpu.dir/gpu/gpu_model.cc.o"
+  "CMakeFiles/cta_gpu.dir/gpu/gpu_model.cc.o.d"
+  "libcta_gpu.a"
+  "libcta_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

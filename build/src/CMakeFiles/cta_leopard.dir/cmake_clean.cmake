@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_leopard.dir/leopard/leopard_accel.cc.o"
+  "CMakeFiles/cta_leopard.dir/leopard/leopard_accel.cc.o.d"
+  "CMakeFiles/cta_leopard.dir/leopard/leopard_attention.cc.o"
+  "CMakeFiles/cta_leopard.dir/leopard/leopard_attention.cc.o.d"
+  "libcta_leopard.a"
+  "libcta_leopard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_leopard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

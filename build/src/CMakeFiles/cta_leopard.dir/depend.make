@@ -1,0 +1,2 @@
+# Empty dependencies file for cta_leopard.
+# This may be replaced when dependencies are built.

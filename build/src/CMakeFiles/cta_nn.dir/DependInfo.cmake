@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/cta_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/cta_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/cta_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/cta_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/CMakeFiles/cta_nn.dir/nn/model_zoo.cc.o" "gcc" "src/CMakeFiles/cta_nn.dir/nn/model_zoo.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/CMakeFiles/cta_nn.dir/nn/softmax.cc.o" "gcc" "src/CMakeFiles/cta_nn.dir/nn/softmax.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/cta_nn.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/cta_nn.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/nn/workload.cc" "src/CMakeFiles/cta_nn.dir/nn/workload.cc.o" "gcc" "src/CMakeFiles/cta_nn.dir/nn/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/cta_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/cta_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/cta_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/cta_nn.dir/nn/model_zoo.cc.o"
+  "CMakeFiles/cta_nn.dir/nn/model_zoo.cc.o.d"
+  "CMakeFiles/cta_nn.dir/nn/softmax.cc.o"
+  "CMakeFiles/cta_nn.dir/nn/softmax.cc.o.d"
+  "CMakeFiles/cta_nn.dir/nn/transformer.cc.o"
+  "CMakeFiles/cta_nn.dir/nn/transformer.cc.o.d"
+  "CMakeFiles/cta_nn.dir/nn/workload.cc.o"
+  "CMakeFiles/cta_nn.dir/nn/workload.cc.o.d"
+  "libcta_nn.a"
+  "libcta_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

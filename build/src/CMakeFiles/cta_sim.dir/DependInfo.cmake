@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy_model.cc" "src/CMakeFiles/cta_sim.dir/sim/energy_model.cc.o" "gcc" "src/CMakeFiles/cta_sim.dir/sim/energy_model.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/cta_sim.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/cta_sim.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/cta_sim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/cta_sim.dir/sim/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_sim.dir/sim/energy_model.cc.o"
+  "CMakeFiles/cta_sim.dir/sim/energy_model.cc.o.d"
+  "CMakeFiles/cta_sim.dir/sim/memory.cc.o"
+  "CMakeFiles/cta_sim.dir/sim/memory.cc.o.d"
+  "CMakeFiles/cta_sim.dir/sim/report.cc.o"
+  "CMakeFiles/cta_sim.dir/sim/report.cc.o.d"
+  "libcta_sim.a"
+  "libcta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

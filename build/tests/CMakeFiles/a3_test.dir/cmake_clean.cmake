@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_test.dir/a3_test.cc.o"
+  "CMakeFiles/a3_test.dir/a3_test.cc.o.d"
+  "a3_test"
+  "a3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_test.dir/accelerator_test.cc.o"
+  "CMakeFiles/accelerator_test.dir/accelerator_test.cc.o.d"
+  "accelerator_test"
+  "accelerator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

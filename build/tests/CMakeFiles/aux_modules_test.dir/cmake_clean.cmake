@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aux_modules_test.dir/aux_modules_test.cc.o"
+  "CMakeFiles/aux_modules_test.dir/aux_modules_test.cc.o.d"
+  "aux_modules_test"
+  "aux_modules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aux_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_attention_test.dir/compressed_attention_test.cc.o"
+  "CMakeFiles/compressed_attention_test.dir/compressed_attention_test.cc.o.d"
+  "compressed_attention_test"
+  "compressed_attention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

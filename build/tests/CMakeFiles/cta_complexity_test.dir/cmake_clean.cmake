@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_complexity_test.dir/cta_complexity_test.cc.o"
+  "CMakeFiles/cta_complexity_test.dir/cta_complexity_test.cc.o.d"
+  "cta_complexity_test"
+  "cta_complexity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cta_stress_test.dir/cta_stress_test.cc.o"
+  "CMakeFiles/cta_stress_test.dir/cta_stress_test.cc.o.d"
+  "cta_stress_test"
+  "cta_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cta_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

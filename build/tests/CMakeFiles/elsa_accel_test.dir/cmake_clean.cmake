@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_accel_test.dir/elsa_accel_test.cc.o"
+  "CMakeFiles/elsa_accel_test.dir/elsa_accel_test.cc.o.d"
+  "elsa_accel_test"
+  "elsa_accel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

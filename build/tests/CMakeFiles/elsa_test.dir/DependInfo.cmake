@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/elsa_test.cc" "tests/CMakeFiles/elsa_test.dir/elsa_test.cc.o" "gcc" "tests/CMakeFiles/elsa_test.dir/elsa_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cta_elsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cta_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_test.dir/elsa_test.cc.o"
+  "CMakeFiles/elsa_test.dir/elsa_test.cc.o.d"
+  "elsa_test"
+  "elsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

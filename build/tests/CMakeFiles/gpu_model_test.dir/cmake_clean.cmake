@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_model_test.dir/gpu_model_test.cc.o"
+  "CMakeFiles/gpu_model_test.dir/gpu_model_test.cc.o.d"
+  "gpu_model_test"
+  "gpu_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leopard_test.dir/leopard_test.cc.o"
+  "CMakeFiles/leopard_test.dir/leopard_test.cc.o.d"
+  "leopard_test"
+  "leopard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leopard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

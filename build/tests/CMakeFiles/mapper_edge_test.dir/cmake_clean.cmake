@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_edge_test.dir/mapper_edge_test.cc.o"
+  "CMakeFiles/mapper_edge_test.dir/mapper_edge_test.cc.o.d"
+  "mapper_edge_test"
+  "mapper_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_invariants_test.dir/misc_invariants_test.cc.o"
+  "CMakeFiles/misc_invariants_test.dir/misc_invariants_test.cc.o.d"
+  "misc_invariants_test"
+  "misc_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

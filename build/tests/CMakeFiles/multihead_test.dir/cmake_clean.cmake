@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihead_test.dir/multihead_test.cc.o"
+  "CMakeFiles/multihead_test.dir/multihead_test.cc.o.d"
+  "multihead_test"
+  "multihead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

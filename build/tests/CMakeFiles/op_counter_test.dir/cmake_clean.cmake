@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_counter_test.dir/op_counter_test.cc.o"
+  "CMakeFiles/op_counter_test.dir/op_counter_test.cc.o.d"
+  "op_counter_test"
+  "op_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

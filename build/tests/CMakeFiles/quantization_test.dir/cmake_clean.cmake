@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_test.dir/quantization_test.cc.o"
+  "CMakeFiles/quantization_test.dir/quantization_test.cc.o.d"
+  "quantization_test"
+  "quantization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

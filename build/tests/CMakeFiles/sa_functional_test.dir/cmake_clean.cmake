@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_functional_test.dir/sa_functional_test.cc.o"
+  "CMakeFiles/sa_functional_test.dir/sa_functional_test.cc.o.d"
+  "sa_functional_test"
+  "sa_functional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

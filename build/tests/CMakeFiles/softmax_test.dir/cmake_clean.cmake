@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_test.dir/softmax_test.cc.o"
+  "CMakeFiles/softmax_test.dir/softmax_test.cc.o.d"
+  "softmax_test"
+  "softmax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
