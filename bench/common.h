@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "cta/config.h"
 #include "cta_accel/accelerator.h"
@@ -50,6 +51,30 @@ makeCases(Index seq_len = 512, std::uint64_t seed = 42)
                 tc.workload.tokenDim, tc.model.dHead, head_rng)});
     }
     return cases;
+}
+
+/**
+ * Runs @p fn over every case concurrently — one thread-pool task per
+ * case — and returns the results in case order, so downstream table
+ * building and averaging stay deterministic. The callable receives a
+ * (const Case &) and its result type is deduced; it must only touch
+ * per-case state. Kernel-level parallelism nested inside a case
+ * degrades to inline execution (core/parallel.h), so per-case
+ * fan-out is the outermost and only live parallel level here.
+ */
+template <typename Fn>
+auto
+runCasesParallel(const std::vector<Case> &cases, Fn &&fn)
+    -> std::vector<decltype(fn(cases.front()))>
+{
+    using Result = decltype(fn(cases.front()));
+    std::vector<Result> results(cases.size());
+    cta::core::ThreadPool::global().run(
+        static_cast<Index>(cases.size()), [&](Index i) {
+            results[static_cast<std::size_t>(i)] =
+                fn(cases[static_cast<std::size_t>(i)]);
+        });
+    return results;
 }
 
 /** Calibrates a preset on a case's representative sequence. */

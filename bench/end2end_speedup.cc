@@ -44,38 +44,45 @@ main()
         cta::accel::HwConfig hw = cta::accel::HwConfig::paperDefault();
         hw.maxSeqLen = n;
         const cta::accel::CtaAccelerator accel(hw, tech);
-        auto cases = bench::makeCases(n);
-        for (const auto &c : cases) {
-            if (c.testcase.workload.name != "squad1-like" &&
-                c.testcase.workload.name != "wikitext2-like") {
-                continue;
+        // Keep only the two language workloads, then measure those
+        // cases concurrently (results stay in case order).
+        std::vector<bench::Case> selected;
+        for (auto &c : bench::makeCases(n)) {
+            if (c.testcase.workload.name == "squad1-like" ||
+                c.testcase.workload.name == "wikitext2-like") {
+                selected.push_back(std::move(c));
             }
-            const auto config =
-                bench::calibrated(c, cta::alg::Preset::Cta05);
-            const auto r = accel.run(c.tokens, c.tokens, c.head,
-                                     config, "CTA");
-            const double t_attn_gpu = gpu.exactAttentionSeconds(
-                n, n, c.tokens.cols(), c.testcase.model.dHead);
-            const double t_attn_cta = r.report.seconds() / kUnits;
-            // Amdahl split at n = 512 from the model config. The
-            // non-attention part scales ~linearly in n. Attention
-            // FLOPs scale quadratically, but GPU wall-clock grows
-            // slower (~n^1.6): longer sequences give better-shaped
-            // score/output matmuls and amortize kernel launches.
-            const double f512 =
-                static_cast<double>(c.testcase.model.attentionFraction);
-            const double scale =
-                static_cast<double>(n) / 512.0;
-            const double attn_time =
-                f512 * std::pow(scale, 1.6);
-            const double rest_time = (1.0 - f512) * scale;
-            const double f = attn_time / (attn_time + rest_time);
-            const double speedup =
-                1.0 / ((1.0 - f) + f * (t_attn_cta / t_attn_gpu));
-            rows.push_back({c.testcase.model.name, std::to_string(n),
-                            cta::sim::fmtPercent(f),
-                            cta::sim::fmtRatio(speedup, 2)});
         }
+        const auto measured = bench::runCasesParallel(
+            selected, [&](const bench::Case &c) {
+                const auto config =
+                    bench::calibrated(c, cta::alg::Preset::Cta05);
+                const auto r = accel.run(c.tokens, c.tokens, c.head,
+                                         config, "CTA");
+                const double t_attn_gpu = gpu.exactAttentionSeconds(
+                    n, n, c.tokens.cols(), c.testcase.model.dHead);
+                const double t_attn_cta = r.report.seconds() / kUnits;
+                // Amdahl split at n = 512 from the model config. The
+                // non-attention part scales ~linearly in n. Attention
+                // FLOPs scale quadratically, but GPU wall-clock grows
+                // slower (~n^1.6): longer sequences give
+                // better-shaped score/output matmuls and amortize
+                // kernel launches.
+                const double f512 = static_cast<double>(
+                    c.testcase.model.attentionFraction);
+                const double scale = static_cast<double>(n) / 512.0;
+                const double attn_time = f512 * std::pow(scale, 1.6);
+                const double rest_time = (1.0 - f512) * scale;
+                const double f = attn_time / (attn_time + rest_time);
+                const double speedup =
+                    1.0 /
+                    ((1.0 - f) + f * (t_attn_cta / t_attn_gpu));
+                return std::vector<std::string>{
+                    c.testcase.model.name, std::to_string(n),
+                    cta::sim::fmtPercent(f),
+                    cta::sim::fmtRatio(speedup, 2)};
+            });
+        rows.insert(rows.end(), measured.begin(), measured.end());
     }
     std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
     bench::writeCsv("end2end_speedup", rows);

@@ -32,6 +32,53 @@ struct PresetAverages
     int count = 0;
 };
 
+/** Per-preset measurements for one testcase. */
+struct CaseResult
+{
+    struct PresetResult
+    {
+        double acc = 0, cosine = 0, rl = 0, ra = 0;
+    };
+    std::vector<PresetResult> presets;
+};
+
+CaseResult
+measureCase(const bench::Case &c)
+{
+    cta::nn::WorkloadGenerator gen(c.testcase.workload, 1234);
+    // Pre-sample shared sequences so every preset sees the same
+    // data (paired comparison).
+    std::vector<cta::core::Matrix> sequences;
+    for (int s = 0; s < kSamplesPerCase; ++s)
+        sequences.push_back(gen.sampleTokens());
+
+    const cta::nn::ProxyTask task(c.testcase.workload.tokenDim,
+                                  c.testcase.model.dHead, 8,
+                                  /*seed=*/99);
+    CaseResult result;
+    for (const auto preset : bench::allPresets()) {
+        const auto config = bench::calibrated(c, preset);
+        CaseResult::PresetResult r;
+        for (const auto &x : sequences) {
+            const auto exact = exactAttention(x, x, task.head());
+            const auto approx =
+                cta::alg::ctaAttention(x, x, task.head(), config);
+            r.acc += task.confidentAgreement(exact, approx.output);
+            const auto err =
+                cta::alg::compareOutputs(approx.output, exact);
+            r.cosine += err.meanCosine;
+            r.rl += approx.measuredRl();
+            r.ra += approx.measuredRa();
+        }
+        r.acc /= kSamplesPerCase;
+        r.cosine /= kSamplesPerCase;
+        r.rl /= kSamplesPerCase;
+        r.ra /= kSamplesPerCase;
+        result.presets.push_back(r);
+    }
+    return result;
+}
+
 } // namespace
 
 int
@@ -46,50 +93,27 @@ main()
                     "RA"});
     std::vector<PresetAverages> avgs(3);
 
-    for (const auto &c : cases) {
-        cta::nn::WorkloadGenerator gen(c.testcase.workload, 1234);
-        // Pre-sample shared sequences so every preset sees the same
-        // data (paired comparison).
-        std::vector<cta::core::Matrix> sequences;
-        for (int s = 0; s < kSamplesPerCase; ++s)
-            sequences.push_back(gen.sampleTokens());
-
-        const cta::nn::ProxyTask task(c.testcase.workload.tokenDim,
-                                      c.testcase.model.dHead, 8,
-                                      /*seed=*/99);
+    // Testcases are independent: measure them concurrently, then
+    // assemble rows/averages from the in-order results.
+    const auto measured = bench::runCasesParallel(cases, measureCase);
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+        const auto &c = cases[ci];
         int preset_idx = 0;
         for (const auto preset : bench::allPresets()) {
-            const auto config = bench::calibrated(c, preset);
-            double agree = 0;
-            double cosine = 0, rl = 0, ra = 0;
-            for (const auto &x : sequences) {
-                const auto exact =
-                    exactAttention(x, x, task.head());
-                const auto approx =
-                    cta::alg::ctaAttention(x, x, task.head(), config);
-                agree +=
-                    task.confidentAgreement(exact, approx.output);
-                const auto err =
-                    cta::alg::compareOutputs(approx.output, exact);
-                cosine += err.meanCosine;
-                rl += approx.measuredRl();
-                ra += approx.measuredRa();
-            }
-            const double acc = agree / kSamplesPerCase;
-            cosine /= kSamplesPerCase;
-            rl /= kSamplesPerCase;
-            ra /= kSamplesPerCase;
+            const auto &r =
+                measured[ci].presets[static_cast<std::size_t>(
+                    preset_idx)];
             rows.push_back({c.testcase.name,
                             cta::alg::presetName(preset),
-                            cta::sim::fmtPercent(acc),
-                            cta::sim::fmt(cosine, 4),
-                            cta::sim::fmtPercent(rl),
-                            cta::sim::fmtPercent(ra)});
+                            cta::sim::fmtPercent(r.acc),
+                            cta::sim::fmt(r.cosine, 4),
+                            cta::sim::fmtPercent(r.rl),
+                            cta::sim::fmtPercent(r.ra)});
             auto &avg = avgs[static_cast<std::size_t>(preset_idx)];
-            avg.acc += acc;
-            avg.rl += rl;
-            avg.ra += ra;
-            avg.cosine += cosine;
+            avg.acc += r.acc;
+            avg.rl += r.rl;
+            avg.ra += r.ra;
+            avg.cosine += r.cosine;
             ++avg.count;
             ++preset_idx;
         }

@@ -29,6 +29,77 @@ namespace {
 
 constexpr cta::core::Index kUnits = 12; // 12 x CTA vs 12 x ELSA
 
+/** Everything one testcase contributes to the tables. */
+struct CaseResult
+{
+    std::vector<std::string> row;
+    double spElsaC = 0, spElsaA = 0;
+    double spCta[3] = {0, 0, 0};
+    double vsIdeal[3] = {0, 0, 0};
+    // Latency-breakdown shares (CTA-0.5 representative run).
+    double compShare = 0, linShare = 0, attnShare = 0;
+};
+
+CaseResult
+measureCase(const bench::Case &c, const cta::gpu::GpuModel &gpu,
+            const cta::accel::CtaAccelerator &accel,
+            const cta::elsa::ElsaAccelerator &elsa_accel)
+{
+    CaseResult out;
+    const auto n = c.tokens.rows();
+    const double t_gpu = gpu.exactAttentionSeconds(
+        n, n, c.tokens.cols(), c.testcase.model.dHead);
+    const double t_gpu_lin = gpu.linearSeconds(
+        n, n, c.tokens.cols(), c.testcase.model.dHead);
+
+    out.row.push_back(c.testcase.name);
+    // ELSA systems.
+    for (const auto preset : {cta::elsa::ElsaPreset::Conservative,
+                              cta::elsa::ElsaPreset::Aggressive}) {
+        const auto r = elsa_accel.run(
+            c.evalTokens, c.evalTokens, c.head,
+            cta::elsa::ElsaConfig::fromPreset(preset),
+            elsaPresetName(preset));
+        const auto sys = cta::elsa::combineWithGpu(
+            r, t_gpu_lin, gpu.params().boardPowerW, kUnits);
+        const double t_sys = sys.gpuSeconds + sys.elsaSeconds;
+        const double speedup = t_gpu / t_sys;
+        out.row.push_back(cta::sim::fmtRatio(speedup));
+        (preset == cta::elsa::ElsaPreset::Conservative
+             ? out.spElsaC : out.spElsaA) = speedup;
+    }
+    // CTA presets.
+    int pi = 0;
+    const cta::baseline::IdealAccelerator ideal(
+        accel.config().multiplierCount());
+    const double t_ideal =
+        static_cast<double>(ideal.exactAttentionCycles(
+            n, n, c.tokens.cols(), c.testcase.model.dHead)) /
+        1e9 / kUnits;
+    for (const auto preset : bench::allPresets()) {
+        const auto config = bench::calibrated(c, preset);
+        const auto r = accel.run(c.evalTokens, c.evalTokens, c.head,
+                                 config,
+                                 cta::alg::presetName(preset));
+        const double t_cta = r.report.seconds() / kUnits;
+        const double speedup = t_gpu / t_cta;
+        out.row.push_back(cta::sim::fmtRatio(speedup));
+        out.spCta[pi] = speedup;
+        out.vsIdeal[pi] = t_cta / t_ideal;
+        if (preset == cta::alg::Preset::Cta05) {
+            const auto &lat = r.report.latency;
+            out.compShare = static_cast<double>(
+                lat.tokenCompression) / lat.total();
+            out.linShare =
+                static_cast<double>(lat.linears) / lat.total();
+            out.attnShare =
+                static_cast<double>(lat.attention) / lat.total();
+        }
+        ++pi;
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -54,61 +125,24 @@ main()
     double comp_sum = 0, lin_sum = 0, attn_sum = 0;
     std::vector<std::vector<double>> vs_ideal(3);
 
-    for (const auto &c : cases) {
-        const auto n = c.tokens.rows();
-        const double t_gpu = gpu.exactAttentionSeconds(
-            n, n, c.tokens.cols(), c.testcase.model.dHead);
-        const double t_gpu_lin = gpu.linearSeconds(
-            n, n, c.tokens.cols(), c.testcase.model.dHead);
-
-        std::vector<std::string> row{c.testcase.name};
-        // ELSA systems.
-        for (const auto preset :
-             {cta::elsa::ElsaPreset::Conservative,
-              cta::elsa::ElsaPreset::Aggressive}) {
-            const auto r = elsa_accel.run(
-                c.evalTokens, c.evalTokens, c.head,
-                cta::elsa::ElsaConfig::fromPreset(preset),
-                elsaPresetName(preset));
-            const auto sys = cta::elsa::combineWithGpu(
-                r, t_gpu_lin, gpu.params().boardPowerW, kUnits);
-            const double t_sys = sys.gpuSeconds + sys.elsaSeconds;
-            const double speedup = t_gpu / t_sys;
-            row.push_back(cta::sim::fmtRatio(speedup));
-            (preset == cta::elsa::ElsaPreset::Conservative
-                 ? sp_elsa_c : sp_elsa_a).push_back(speedup);
+    // One pool task per testcase; results come back in case order so
+    // the tables and geomeans below are unchanged.
+    const auto measured =
+        bench::runCasesParallel(cases, [&](const bench::Case &c) {
+            return measureCase(c, gpu, accel, elsa_accel);
+        });
+    for (const auto &m : measured) {
+        rows.push_back(m.row);
+        sp_elsa_c.push_back(m.spElsaC);
+        sp_elsa_a.push_back(m.spElsaA);
+        for (int i = 0; i < 3; ++i) {
+            sp_cta[static_cast<std::size_t>(i)].push_back(m.spCta[i]);
+            vs_ideal[static_cast<std::size_t>(i)].push_back(
+                m.vsIdeal[i]);
         }
-        // CTA presets.
-        int pi = 0;
-        const cta::baseline::IdealAccelerator ideal(
-            accel.config().multiplierCount());
-        const double t_ideal =
-            static_cast<double>(ideal.exactAttentionCycles(
-                n, n, c.tokens.cols(), c.testcase.model.dHead)) /
-            1e9 / kUnits;
-        for (const auto preset : bench::allPresets()) {
-            const auto config = bench::calibrated(c, preset);
-            const auto r = accel.run(c.evalTokens, c.evalTokens, c.head,
-                                     config,
-                                     cta::alg::presetName(preset));
-            const double t_cta = r.report.seconds() / kUnits;
-            const double speedup = t_gpu / t_cta;
-            row.push_back(cta::sim::fmtRatio(speedup));
-            sp_cta[static_cast<std::size_t>(pi)].push_back(speedup);
-            vs_ideal[static_cast<std::size_t>(pi)].push_back(
-                t_cta / t_ideal);
-            if (preset == cta::alg::Preset::Cta05) {
-                const auto &lat = r.report.latency;
-                comp_sum += static_cast<double>(
-                    lat.tokenCompression) / lat.total();
-                lin_sum +=
-                    static_cast<double>(lat.linears) / lat.total();
-                attn_sum +=
-                    static_cast<double>(lat.attention) / lat.total();
-            }
-            ++pi;
-        }
-        rows.push_back(row);
+        comp_sum += m.compShare;
+        lin_sum += m.linShare;
+        attn_sum += m.attnShare;
     }
     std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
     bench::writeCsv("fig12_throughput", rows);

@@ -41,49 +41,71 @@ main()
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"testcase", "ELSA-Cons+GPU", "ELSA-Aggr+GPU",
                     "CTA-0", "CTA-0.5", "CTA-1"});
-    for (const auto &c : cases) {
-        const auto n = c.tokens.rows();
-        const double t_gpu = gpu.exactAttentionSeconds(
-            n, n, c.tokens.cols(), c.testcase.model.dHead);
-        const double e_gpu = gpu.energyJ(t_gpu);
-        const double t_gpu_lin = gpu.linearSeconds(
-            n, n, c.tokens.cols(), c.testcase.model.dHead);
+    // Per-testcase work fans out over the thread pool; the in-order
+    // results feed the same accumulators as the old serial loop.
+    struct CaseResult
+    {
+        std::vector<std::string> row;
+        double effElsaC = 0, effElsaA = 0;
+        double effCta[3] = {0, 0, 0};
+        double memShare = 0, saShare = 0, auxShare = 0;
+    };
+    const auto measured = bench::runCasesParallel(
+        cases, [&](const bench::Case &c) {
+            CaseResult out;
+            const auto n = c.tokens.rows();
+            const double t_gpu = gpu.exactAttentionSeconds(
+                n, n, c.tokens.cols(), c.testcase.model.dHead);
+            const double e_gpu = gpu.energyJ(t_gpu);
+            const double t_gpu_lin = gpu.linearSeconds(
+                n, n, c.tokens.cols(), c.testcase.model.dHead);
 
-        std::vector<std::string> row{c.testcase.name};
-        for (const auto preset :
-             {cta::elsa::ElsaPreset::Conservative,
-              cta::elsa::ElsaPreset::Aggressive}) {
-            const auto r = elsa_accel.run(
-                c.evalTokens, c.evalTokens, c.head,
-                cta::elsa::ElsaConfig::fromPreset(preset),
-                elsaPresetName(preset));
-            const auto sys = cta::elsa::combineWithGpu(
-                r, t_gpu_lin, gpu.params().boardPowerW, 12);
-            const double ratio = e_gpu / sys.report.energyJ();
-            row.push_back(cta::sim::fmtRatio(ratio, 0));
-            (preset == cta::elsa::ElsaPreset::Conservative
-                 ? eff_elsa_c : eff_elsa_a).push_back(ratio);
-        }
-        int pi = 0;
-        for (const auto preset : bench::allPresets()) {
-            const auto config = bench::calibrated(c, preset);
-            const auto r = accel.run(c.evalTokens, c.evalTokens, c.head,
-                                     config,
-                                     cta::alg::presetName(preset));
-            const double ratio = e_gpu / r.report.energyJ();
-            row.push_back(cta::sim::fmtRatio(ratio, 0));
-            eff_cta[static_cast<std::size_t>(pi)].push_back(ratio);
-            if (preset == cta::alg::Preset::Cta05) {
-                const auto &e = r.report.energy;
-                mem_share += e.memoryPj / e.total();
-                sa_share += e.computePj / e.total();
-                aux_share +=
-                    (e.auxiliaryPj + e.staticPj) / e.total();
-                ++breakdown_count;
+            out.row.push_back(c.testcase.name);
+            for (const auto preset :
+                 {cta::elsa::ElsaPreset::Conservative,
+                  cta::elsa::ElsaPreset::Aggressive}) {
+                const auto r = elsa_accel.run(
+                    c.evalTokens, c.evalTokens, c.head,
+                    cta::elsa::ElsaConfig::fromPreset(preset),
+                    elsaPresetName(preset));
+                const auto sys = cta::elsa::combineWithGpu(
+                    r, t_gpu_lin, gpu.params().boardPowerW, 12);
+                const double ratio = e_gpu / sys.report.energyJ();
+                out.row.push_back(cta::sim::fmtRatio(ratio, 0));
+                (preset == cta::elsa::ElsaPreset::Conservative
+                     ? out.effElsaC : out.effElsaA) = ratio;
             }
-            ++pi;
-        }
-        rows.push_back(row);
+            int pi = 0;
+            for (const auto preset : bench::allPresets()) {
+                const auto config = bench::calibrated(c, preset);
+                const auto r =
+                    accel.run(c.evalTokens, c.evalTokens, c.head,
+                              config, cta::alg::presetName(preset));
+                const double ratio = e_gpu / r.report.energyJ();
+                out.row.push_back(cta::sim::fmtRatio(ratio, 0));
+                out.effCta[pi] = ratio;
+                if (preset == cta::alg::Preset::Cta05) {
+                    const auto &e = r.report.energy;
+                    out.memShare = e.memoryPj / e.total();
+                    out.saShare = e.computePj / e.total();
+                    out.auxShare =
+                        (e.auxiliaryPj + e.staticPj) / e.total();
+                }
+                ++pi;
+            }
+            return out;
+        });
+    for (const auto &m : measured) {
+        rows.push_back(m.row);
+        eff_elsa_c.push_back(m.effElsaC);
+        eff_elsa_a.push_back(m.effElsaA);
+        for (int i = 0; i < 3; ++i)
+            eff_cta[static_cast<std::size_t>(i)].push_back(
+                m.effCta[i]);
+        mem_share += m.memShare;
+        sa_share += m.saShare;
+        aux_share += m.auxShare;
+        ++breakdown_count;
     }
     std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
     bench::writeCsv("fig14_energy", rows);

@@ -28,37 +28,46 @@ main()
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"model", "layers x heads", "barriered util",
                     "pipelined util", "pipelined speedup"});
-    for (const auto &c : cases) {
-        if (c.testcase.workload.name != "squad1-like" &&
-            c.testcase.workload.name != "wikitext2-like") {
-            continue;
+    // The language-workload cases run concurrently; results return
+    // in case order so the table rows keep their order.
+    std::vector<bench::Case> selected;
+    for (auto &c : cases) {
+        if (c.testcase.workload.name == "squad1-like" ||
+            c.testcase.workload.name == "wikitext2-like") {
+            selected.push_back(std::move(c));
         }
-        const auto config =
-            bench::calibrated(c, cta::alg::Preset::Cta05);
-        const auto stats = cta::alg::ctaAttention(
-            c.evalTokens, c.evalTokens, c.head, config).stats;
-        // Every head of every layer sees statistically similar
-        // shapes; reuse the measured shape for the whole model.
-        const auto layers = static_cast<std::size_t>(
-            c.testcase.model.numLayers);
-        const auto heads = static_cast<std::size_t>(
-            c.testcase.model.numHeads);
-        const std::vector<std::vector<cta::alg::CompressionStats>>
-            shapes(layers,
-                   std::vector<cta::alg::CompressionStats>(heads,
-                                                           stats));
-        const auto barriered = system.scheduleModel(shapes, false);
-        const auto pipelined = system.scheduleModel(shapes, true);
-        rows.push_back({
-            c.testcase.model.name,
-            std::to_string(layers) + " x " + std::to_string(heads),
-            cta::sim::fmtPercent(barriered.utilization),
-            cta::sim::fmtPercent(pipelined.utilization),
-            cta::sim::fmtRatio(
-                static_cast<double>(barriered.makespan) /
-                    static_cast<double>(pipelined.makespan), 2),
-        });
     }
+    const auto measured = bench::runCasesParallel(
+        selected, [&](const bench::Case &c) {
+            const auto config =
+                bench::calibrated(c, cta::alg::Preset::Cta05);
+            const auto stats = cta::alg::ctaAttention(
+                c.evalTokens, c.evalTokens, c.head, config).stats;
+            // Every head of every layer sees statistically similar
+            // shapes; reuse the measured shape for the whole model.
+            const auto layers = static_cast<std::size_t>(
+                c.testcase.model.numLayers);
+            const auto heads = static_cast<std::size_t>(
+                c.testcase.model.numHeads);
+            const std::vector<std::vector<cta::alg::CompressionStats>>
+                shapes(layers,
+                       std::vector<cta::alg::CompressionStats>(
+                           heads, stats));
+            const auto barriered = system.scheduleModel(shapes, false);
+            const auto pipelined = system.scheduleModel(shapes, true);
+            return std::vector<std::string>{
+                c.testcase.model.name,
+                std::to_string(layers) + " x " +
+                    std::to_string(heads),
+                cta::sim::fmtPercent(barriered.utilization),
+                cta::sim::fmtPercent(pipelined.utilization),
+                cta::sim::fmtRatio(
+                    static_cast<double>(barriered.makespan) /
+                        static_cast<double>(pipelined.makespan),
+                    2),
+            };
+        });
+    rows.insert(rows.end(), measured.begin(), measured.end());
     std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
     bench::writeCsv("system_utilization", rows);
     std::printf("\n(16 or 20 heads on 12 units strand capacity at "

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 
 namespace cta::a3 {
 
@@ -16,7 +17,8 @@ using core::Wide;
 
 SortedKeys::SortedKeys(const Matrix &k, core::OpCounts *counts)
     : n_(k.rows()), d_(k.cols()),
-      order_(static_cast<std::size_t>(k.rows() * k.cols())),
+      order_(static_cast<std::size_t>(k.rows()) *
+             static_cast<std::size_t>(k.cols())),
       keys_(&k)
 {
     for (Index j = 0; j < d_; ++j) {
@@ -47,7 +49,9 @@ SortedKeys::rankToKey(Index j, Index rank) const
 {
     CTA_ASSERT(j >= 0 && j < d_ && rank >= 0 && rank < n_,
                "sorted-key rank out of range");
-    return order_[static_cast<std::size_t>(j * n_ + rank)];
+    return order_[static_cast<std::size_t>(j) *
+                      static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(rank)];
 }
 
 Real
@@ -80,11 +84,28 @@ a3Attention(const Matrix &xq, const Matrix &xkv,
     const auto keep = std::min<Index>(config.candidates, result.n);
 
     result.output = Matrix(result.m, result.d);
-    Wide ratio_sum = 0;
 
+    // Per-query fan-out over chunks of the query range (see
+    // core/parallel.h): each chunk owns its scratch buffers and an
+    // OpCounts/ratio partial; partials reduce in ascending chunk
+    // order after the join so counts are thread-count-invariant.
+    struct QueryChunkPartial
+    {
+        core::OpCounts approx;
+        core::OpCounts attn;
+        Wide ratioSum = 0;
+    };
+    const auto spans = core::chunkSpans(0, result.m, /*grain=*/8);
+    std::vector<QueryChunkPartial> partials(spans.size());
+    core::ThreadPool::global().run(
+        static_cast<Index>(spans.size()), [&](Index chunk) {
+    auto &acc = partials[static_cast<std::size_t>(chunk)];
+    auto &approx_ops = acc.approx;
+    auto &attn_ops = acc.attn;
+    const auto &span = spans[static_cast<std::size_t>(chunk)];
     std::vector<Real> partial(static_cast<std::size_t>(result.n));
     std::vector<Index> touched;
-    for (Index i = 0; i < result.m; ++i) {
+    for (Index i = span.first; i < span.second; ++i) {
         std::fill(partial.begin(), partial.end(), 0.0f);
         touched.clear();
 
@@ -110,7 +131,7 @@ a3Attention(const Matrix &xq, const Matrix &xkv,
             frontier.push(Cursor{
                 qj * sorted.rankToValue(j, rank), j, rank});
         }
-        result.approxOps.muls +=
+        approx_ops.muls +=
             static_cast<std::uint64_t>(result.d);
 
         for (Index round = 0;
@@ -122,15 +143,15 @@ a3Attention(const Matrix &xq, const Matrix &xkv,
             if (partial[static_cast<std::size_t>(key)] == 0)
                 touched.push_back(key);
             partial[static_cast<std::size_t>(key)] += top.product;
-            result.approxOps.adds += 1;
-            result.approxOps.cmps += 1; // heap maintenance
+            approx_ops.adds += 1;
+            approx_ops.cmps += 1; // heap maintenance
             const Real qj = q(i, top.dim);
             const Index next = qj > 0 ? top.rank + 1 : top.rank - 1;
             if (next >= 0 && next < result.n) {
                 frontier.push(Cursor{
                     qj * sorted.rankToValue(top.dim, next), top.dim,
                     next});
-                result.approxOps.muls += 1;
+                approx_ops.muls += 1;
             }
         }
 
@@ -143,7 +164,7 @@ a3Attention(const Matrix &xq, const Matrix &xkv,
         if (static_cast<Index>(touched.size()) > keep)
             touched.resize(static_cast<std::size_t>(keep));
         CTA_ASSERT(!touched.empty(), "A3 search touched no keys");
-        ratio_sum +=
+        acc.ratioSum +=
             static_cast<Wide>(touched.size()) / result.n;
 
         // Exact attention over the candidates.
@@ -156,25 +177,34 @@ a3Attention(const Matrix &xq, const Matrix &xkv,
             scores[t] = static_cast<Real>(dot) * inv_sqrt_d;
             score_max = std::max(score_max, scores[t]);
         }
-        result.attnOps.macs += touched.size() *
+        attn_ops.macs += touched.size() *
             static_cast<std::uint64_t>(result.d);
         Wide denom = 0;
         for (auto &s : scores) {
             s = std::exp(s - score_max);
             denom += s;
         }
-        result.attnOps.exps += touched.size();
-        result.attnOps.adds += 2 * touched.size();
+        attn_ops.exps += touched.size();
+        attn_ops.adds += 2 * touched.size();
         const Real inv_denom = static_cast<Real>(1.0 / denom);
         for (std::size_t t = 0; t < touched.size(); ++t) {
             const Real p = scores[t] * inv_denom;
             for (Index c = 0; c < result.d; ++c)
                 result.output(i, c) += p * v(touched[t], c);
         }
-        result.attnOps.muls += touched.size();
-        result.attnOps.macs += touched.size() *
+        attn_ops.muls += touched.size();
+        attn_ops.macs += touched.size() *
             static_cast<std::uint64_t>(result.d);
-        result.attnOps.divs += 1;
+        attn_ops.divs += 1;
+    }
+        });
+
+    // Ordered reduction of the per-chunk partials.
+    Wide ratio_sum = 0;
+    for (const auto &partial : partials) {
+        result.approxOps += partial.approx;
+        result.attnOps += partial.attn;
+        ratio_sum += partial.ratioSum;
     }
     result.candidateRatio = static_cast<Real>(ratio_sum / result.m);
     return result;

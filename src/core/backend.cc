@@ -1,0 +1,412 @@
+#include "core/backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/logging.h"
+#include "core/matrix.h"
+#include "core/parallel.h"
+
+namespace cta::core {
+
+namespace {
+
+/**
+ * Shared chunk grain for the row map/reduce entry points. Both
+ * backends use the same grain so their reduction chunking — and
+ * therefore every floating-point reduction result — is identical.
+ */
+constexpr Index kRowGrain = 8;
+
+/** GEMMs below this MAC count run inline even on pooled backends. */
+constexpr Index kSerialGemmMacs = 64 * 64 * 64;
+
+/**
+ * Reference ikj GEMM over output rows [row_begin, row_end): for each
+ * output element, k ascends 0..K-1 — the accumulation order every
+ * backend must reproduce bit-exactly.
+ */
+void
+gemmRowsNaive(const Matrix &a, const Matrix &b, Matrix &c,
+              Index row_begin, Index row_end)
+{
+    for (Index i = row_begin; i < row_end; ++i) {
+        Real *crow = c.row(i).data();
+        for (Index k = 0; k < a.cols(); ++k) {
+            const Real aik = a(i, k);
+            const Real *brow = b.row(k).data();
+            for (Index j = 0; j < b.cols(); ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+}
+
+/** Reference dot-product A * B^T over output rows [row_begin, row_end). */
+void
+gemmTransBRowsNaive(const Matrix &a, const Matrix &b, Matrix &c,
+                    Index row_begin, Index row_end)
+{
+    for (Index i = row_begin; i < row_end; ++i) {
+        const Real *arow = a.row(i).data();
+        for (Index j = 0; j < b.rows(); ++j) {
+            const Real *brow = b.row(j).data();
+            Wide acc = 0;
+            for (Index k = 0; k < a.cols(); ++k)
+                acc += static_cast<Wide>(arow[k]) * brow[k];
+            c(i, j) = static_cast<Real>(acc);
+        }
+    }
+}
+
+/** Register-tile width of the blocked GEMM micro-kernel. */
+constexpr Index kNr = 16;
+
+/**
+ * 1 x kNr GEMM micro-kernel: one output row's kNr-column tile
+ * accumulated in registers across the full depth (k ascending, so
+ * each element's rounding sequence matches gemmRowsNaive).
+ */
+inline void
+gemmTile1(const Real *__restrict a0, const Real *__restrict bcol,
+          Real *__restrict c0, Index depth, Index width)
+{
+    Real acc0[kNr];
+    for (Index t = 0; t < kNr; ++t)
+        acc0[t] = c0[t];
+    for (Index k = 0; k < depth; ++k) {
+        const Real *__restrict brow = bcol + k * width;
+        const Real a0k = a0[k];
+        for (Index t = 0; t < kNr; ++t)
+            acc0[t] += a0k * brow[t];
+    }
+    for (Index t = 0; t < kNr; ++t)
+        c0[t] = acc0[t];
+}
+
+/**
+ * Blocked GEMM over output rows [row_begin, row_end): a 4 x kNr
+ * register tile of C accumulates across the whole depth, so each
+ * C element is read and written once instead of once per k (the
+ * naive ikj order re-touches the full C row every k iteration). B
+ * columns stream tile-by-tile; the 4-row block reuses each B load
+ * 4x and gives 4 independent accumulator chains per column. k is
+ * ascending per output element — bit-identical to gemmRowsNaive.
+ */
+void
+gemmRowsBlocked(const Matrix &a, const Matrix &b, Matrix &c,
+                Index row_begin, Index row_end)
+{
+    const Index depth = a.cols();
+    const Index width = b.cols();
+    const Real *__restrict bd = b.data();
+    Index i = row_begin;
+    for (; i + 4 <= row_end; i += 4) {
+        const Real *__restrict a0 = a.row(i).data();
+        const Real *__restrict a1 = a.row(i + 1).data();
+        const Real *__restrict a2 = a.row(i + 2).data();
+        const Real *__restrict a3 = a.row(i + 3).data();
+        Real *__restrict c0 = c.row(i).data();
+        Real *__restrict c1 = c.row(i + 1).data();
+        Real *__restrict c2 = c.row(i + 2).data();
+        Real *__restrict c3 = c.row(i + 3).data();
+        Index j = 0;
+        for (; j + kNr <= width; j += kNr) {
+            Real acc0[kNr], acc1[kNr], acc2[kNr], acc3[kNr];
+            for (Index t = 0; t < kNr; ++t) {
+                acc0[t] = c0[j + t];
+                acc1[t] = c1[j + t];
+                acc2[t] = c2[j + t];
+                acc3[t] = c3[j + t];
+            }
+            const Real *__restrict bcol = bd + j;
+            for (Index k = 0; k < depth; ++k) {
+                const Real *__restrict brow = bcol + k * width;
+                const Real a0k = a0[k];
+                const Real a1k = a1[k];
+                const Real a2k = a2[k];
+                const Real a3k = a3[k];
+                for (Index t = 0; t < kNr; ++t) {
+                    const Real bkt = brow[t];
+                    acc0[t] += a0k * bkt;
+                    acc1[t] += a1k * bkt;
+                    acc2[t] += a2k * bkt;
+                    acc3[t] += a3k * bkt;
+                }
+            }
+            for (Index t = 0; t < kNr; ++t) {
+                c0[j + t] = acc0[t];
+                c1[j + t] = acc1[t];
+                c2[j + t] = acc2[t];
+                c3[j + t] = acc3[t];
+            }
+        }
+        // Column tail: per-element register accumulation, k ascending.
+        for (; j < width; ++j) {
+            Real s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+            for (Index k = 0; k < depth; ++k) {
+                const Real bkj = bd[k * width + j];
+                s0 += a0[k] * bkj;
+                s1 += a1[k] * bkj;
+                s2 += a2[k] * bkj;
+                s3 += a3[k] * bkj;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+        }
+    }
+    // Row tail (< 4 rows): 1 x kNr tiles, then scalar columns.
+    for (; i < row_end; ++i) {
+        const Real *__restrict a0 = a.row(i).data();
+        Real *__restrict c0 = c.row(i).data();
+        Index j = 0;
+        for (; j + kNr <= width; j += kNr)
+            gemmTile1(a0, bd + j, c0 + j, depth, width);
+        for (; j < width; ++j) {
+            Real s0 = c0[j];
+            for (Index k = 0; k < depth; ++k)
+                s0 += a0[k] * bd[k * width + j];
+            c0[j] = s0;
+        }
+    }
+}
+
+/**
+ * Blocked A * B^T over output rows [row_begin, row_end): 4 B rows
+ * share one pass over the A row, turning the latency-bound single
+ * accumulator chain into 4 independent chains. Each output element
+ * keeps one accumulator with k ascending — bit-identical to
+ * gemmTransBRowsNaive.
+ */
+void
+gemmTransBRowsBlocked(const Matrix &a, const Matrix &b, Matrix &c,
+                      Index row_begin, Index row_end)
+{
+    const Index depth = a.cols();
+    const Index n = b.rows();
+    for (Index i = row_begin; i < row_end; ++i) {
+        const Real *arow = a.row(i).data();
+        Index j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const Real *b0 = b.row(j).data();
+            const Real *b1 = b.row(j + 1).data();
+            const Real *b2 = b.row(j + 2).data();
+            const Real *b3 = b.row(j + 3).data();
+            Wide acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+            for (Index k = 0; k < depth; ++k) {
+                const Wide ak = arow[k];
+                acc0 += ak * b0[k];
+                acc1 += ak * b1[k];
+                acc2 += ak * b2[k];
+                acc3 += ak * b3[k];
+            }
+            c(i, j) = static_cast<Real>(acc0);
+            c(i, j + 1) = static_cast<Real>(acc1);
+            c(i, j + 2) = static_cast<Real>(acc2);
+            c(i, j + 3) = static_cast<Real>(acc3);
+        }
+        for (; j < n; ++j) {
+            const Real *brow = b.row(j).data();
+            Wide acc = 0;
+            for (Index k = 0; k < depth; ++k)
+                acc += static_cast<Wide>(arow[k]) * brow[k];
+            c(i, j) = static_cast<Real>(acc);
+        }
+    }
+}
+
+/**
+ * Deterministic chunked reduction shared by every backend: partials
+ * over chunkSpans(0, rows, kRowGrain) summed in ascending chunk
+ * order. @p partial_fn fills partials[chunk]; it may run serially or
+ * on a pool — the combination order is fixed either way.
+ */
+Wide
+combineChunks(const std::vector<Wide> &partials)
+{
+    Wide total = 0;
+    for (const Wide partial : partials)
+        total += partial;
+    return total;
+}
+
+} // namespace
+
+void
+NaiveBackend::gemm(const Matrix &a, const Matrix &b, Matrix &c) const
+{
+    gemmRowsNaive(a, b, c, 0, a.rows());
+}
+
+void
+NaiveBackend::gemmTransposedB(const Matrix &a, const Matrix &b,
+                              Matrix &c) const
+{
+    gemmTransBRowsNaive(a, b, c, 0, a.rows());
+}
+
+void
+NaiveBackend::mapRows(Index rows,
+                      const std::function<void(Index, Index)> &body) const
+{
+    if (rows > 0)
+        body(0, rows);
+}
+
+Wide
+NaiveBackend::reduceRows(Index rows,
+                         const std::function<Wide(Index, Index)> &body)
+    const
+{
+    const auto spans = chunkSpans(0, rows, kRowGrain);
+    std::vector<Wide> partials(spans.size());
+    for (std::size_t chunk = 0; chunk < spans.size(); ++chunk)
+        partials[chunk] =
+            body(spans[chunk].first, spans[chunk].second);
+    return combineChunks(partials);
+}
+
+ParallelBackend::ParallelBackend(int threads)
+{
+    CTA_REQUIRE(threads >= 0, "negative thread count ", threads);
+    if (threads > 0)
+        owned_ = std::make_unique<ThreadPool>(threads);
+}
+
+ParallelBackend::~ParallelBackend() = default;
+
+ThreadPool &
+ParallelBackend::pool() const
+{
+    return owned_ ? *owned_ : ThreadPool::global();
+}
+
+std::string
+ParallelBackend::name() const
+{
+    return "parallel:" + std::to_string(threadCount());
+}
+
+int
+ParallelBackend::threadCount() const
+{
+    return pool().threadCount();
+}
+
+void
+ParallelBackend::gemm(const Matrix &a, const Matrix &b, Matrix &c) const
+{
+    if (a.rows() * a.cols() * b.cols() <= kSerialGemmMacs) {
+        gemmRowsBlocked(a, b, c, 0, a.rows());
+        return;
+    }
+    parallelFor(pool(), 0, a.rows(),
+                [&](Index row_begin, Index row_end) {
+                    gemmRowsBlocked(a, b, c, row_begin, row_end);
+                },
+                /*grain=*/4);
+}
+
+void
+ParallelBackend::gemmTransposedB(const Matrix &a, const Matrix &b,
+                                 Matrix &c) const
+{
+    if (a.rows() * a.cols() * b.rows() <= kSerialGemmMacs) {
+        gemmTransBRowsBlocked(a, b, c, 0, a.rows());
+        return;
+    }
+    parallelFor(pool(), 0, a.rows(),
+                [&](Index row_begin, Index row_end) {
+                    gemmTransBRowsBlocked(a, b, c, row_begin, row_end);
+                },
+                /*grain=*/4);
+}
+
+void
+ParallelBackend::mapRows(Index rows,
+                         const std::function<void(Index, Index)> &body)
+    const
+{
+    parallelFor(pool(), 0, rows, body, kRowGrain);
+}
+
+Wide
+ParallelBackend::reduceRows(Index rows,
+                            const std::function<Wide(Index, Index)>
+                                &body) const
+{
+    const auto spans = chunkSpans(0, rows, kRowGrain);
+    if (spans.size() <= 1) {
+        std::vector<Wide> partials(spans.size());
+        for (std::size_t chunk = 0; chunk < spans.size(); ++chunk)
+            partials[chunk] =
+                body(spans[chunk].first, spans[chunk].second);
+        return combineChunks(partials);
+    }
+    std::vector<Wide> partials(spans.size());
+    pool().run(static_cast<Index>(spans.size()), [&](Index chunk) {
+        const auto &span = spans[static_cast<std::size_t>(chunk)];
+        partials[static_cast<std::size_t>(chunk)] =
+            body(span.first, span.second);
+    });
+    return combineChunks(partials);
+}
+
+namespace {
+
+/** Test override slot; nullptr means "use the environment default". */
+Backend *&
+activeBackendSlot()
+{
+    static Backend *slot = nullptr;
+    return slot;
+}
+
+/** The process default, resolved once from CTA_BACKEND. */
+Backend &
+defaultBackend()
+{
+    static std::unique_ptr<Backend> instance = [] {
+        const char *env = std::getenv("CTA_BACKEND");
+        return makeBackend(env ? env : "parallel");
+    }();
+    return *instance;
+}
+
+} // namespace
+
+Backend &
+activeBackend()
+{
+    Backend *override_backend = activeBackendSlot();
+    return override_backend ? *override_backend : defaultBackend();
+}
+
+Backend *
+setActiveBackend(Backend *backend)
+{
+    Backend *previous = activeBackendSlot();
+    activeBackendSlot() = backend;
+    return previous;
+}
+
+std::unique_ptr<Backend>
+makeBackend(const std::string &spec)
+{
+    if (spec == "naive")
+        return std::make_unique<NaiveBackend>();
+    if (spec == "parallel")
+        return std::make_unique<ParallelBackend>();
+    const std::string prefix = "parallel:";
+    if (spec.rfind(prefix, 0) == 0) {
+        const int threads = std::atoi(spec.c_str() + prefix.size());
+        CTA_REQUIRE(threads >= 1, "bad backend thread count in '",
+                    spec, "'");
+        return std::make_unique<ParallelBackend>(threads);
+    }
+    CTA_PANIC("unknown backend '", spec,
+              "' (expected naive | parallel | parallel:<threads>)");
+}
+
+} // namespace cta::core

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Pluggable compute-backend layer behind the core::Matrix kernels.
+ *
+ * Every dense kernel in the library (GEMM, transposed-B GEMM, the
+ * element-wise maps and row reductions) dispatches through the
+ * process-active Backend, so an algorithm path never names an
+ * implementation: swapping naive loops for blocked multithreaded
+ * kernels — or, later, SIMD / batched / sharded ones — is a matter
+ * of installing another backend.
+ *
+ * Two implementations ship today:
+ *  - NaiveBackend: the original single-threaded reference kernels,
+ *    kept verbatim as the op-count and bit-exactness reference.
+ *  - ParallelBackend: cache-blocked, register-tiled kernels fanned
+ *    out over a persistent thread pool (core/parallel.h).
+ *
+ * Determinism contract: both backends produce bit-identical results
+ * for any thread count. Work is partitioned over OUTPUT rows only
+ * and each output element keeps the reference accumulation order
+ * (ascending k); reductions combine per-chunk partials in ascending
+ * chunk order with thread-count-independent chunking
+ * (core/parallel.h chunkSpans). OpCounts are charged analytically by
+ * the calling kernel wrappers and therefore never depend on the
+ * backend or thread count.
+ *
+ * Selection: the default backend is chosen once from the CTA_BACKEND
+ * environment variable ("parallel", the default, or "naive"), with
+ * the thread count from CTA_THREADS; tests override it with
+ * setActiveBackend().
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/types.h"
+
+namespace cta::core {
+
+class Matrix;
+class ThreadPool;
+
+/** Abstract compute backend the Matrix kernels dispatch through. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Human-readable backend name (e.g. "naive", "parallel:8"). */
+    virtual std::string name() const = 0;
+
+    /** Worker threads this backend may use (1 for serial backends). */
+    virtual int threadCount() const = 0;
+
+    /**
+     * C = A * B. @p c is pre-sized to rows(A) x cols(B) and
+     * zero-filled by the caller.
+     */
+    virtual void gemm(const Matrix &a, const Matrix &b,
+                      Matrix &c) const = 0;
+
+    /** C = A * B^T. @p c is pre-sized to rows(A) x rows(B). */
+    virtual void gemmTransposedB(const Matrix &a, const Matrix &b,
+                                 Matrix &c) const = 0;
+
+    /**
+     * Row-parallel map: invokes body(row_begin, row_end) over
+     * disjoint chunks covering [0, rows) exactly once. The body must
+     * only write state disjoint per row range.
+     */
+    virtual void
+    mapRows(Index rows,
+            const std::function<void(Index, Index)> &body) const = 0;
+
+    /**
+     * Row-parallel deterministic reduction: sums
+     * body(row_begin, row_end) over the same chunks as mapRows(), in
+     * ascending chunk order regardless of thread count.
+     */
+    virtual Wide
+    reduceRows(Index rows,
+               const std::function<Wide(Index, Index)> &body) const = 0;
+};
+
+/**
+ * The original single-threaded kernels, unchanged — the reference
+ * every other backend is validated against (tests/backend_test.cc).
+ */
+class NaiveBackend : public Backend
+{
+  public:
+    std::string name() const override { return "naive"; }
+    int threadCount() const override { return 1; }
+    void gemm(const Matrix &a, const Matrix &b,
+              Matrix &c) const override;
+    void gemmTransposedB(const Matrix &a, const Matrix &b,
+                         Matrix &c) const override;
+    void mapRows(Index rows, const std::function<void(Index, Index)>
+                                 &body) const override;
+    Wide reduceRows(Index rows, const std::function<Wide(Index, Index)>
+                                    &body) const override;
+};
+
+/**
+ * Cache-blocked, register-tiled kernels over a persistent thread
+ * pool. Bit-identical to NaiveBackend at any thread count (see the
+ * determinism contract above): row-range partitioning plus
+ * ascending-k accumulation per output element.
+ */
+class ParallelBackend : public Backend
+{
+  public:
+    /**
+     * @param threads worker count; 0 uses the process-global pool
+     *        sized by CTA_THREADS / hardware concurrency.
+     */
+    explicit ParallelBackend(int threads = 0);
+    ~ParallelBackend() override;
+
+    std::string name() const override;
+    int threadCount() const override;
+    void gemm(const Matrix &a, const Matrix &b,
+              Matrix &c) const override;
+    void gemmTransposedB(const Matrix &a, const Matrix &b,
+                         Matrix &c) const override;
+    void mapRows(Index rows, const std::function<void(Index, Index)>
+                                 &body) const override;
+    Wide reduceRows(Index rows, const std::function<Wide(Index, Index)>
+                                    &body) const override;
+
+  private:
+    ThreadPool &pool() const;
+
+    std::unique_ptr<ThreadPool> owned_; ///< set when threads > 0
+};
+
+/**
+ * The backend all Matrix kernels currently dispatch through. The
+ * default is resolved once from CTA_BACKEND / CTA_THREADS.
+ */
+Backend &activeBackend();
+
+/**
+ * Installs @p backend as the process-active backend (caller keeps
+ * ownership; pass nullptr to restore the environment default).
+ * Returns the previously active backend. Not thread-safe against
+ * concurrent kernel dispatch — switch backends only between
+ * computations (tests, bench setup).
+ */
+Backend *setActiveBackend(Backend *backend);
+
+/**
+ * Factory: "naive" or "parallel" (optionally "parallel:<threads>").
+ * Fatal on unknown names.
+ */
+std::unique_ptr<Backend> makeBackend(const std::string &spec);
+
+} // namespace cta::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/backend.h"
 #include "core/logging.h"
 #include "core/op_counter.h"
 #include "core/rng.h"
@@ -10,11 +11,15 @@
 namespace cta::core {
 
 Matrix::Matrix(Index rows, Index cols, Real fill)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<std::size_t>(rows * cols), fill)
+    : rows_(rows), cols_(cols)
 {
     CTA_REQUIRE(rows >= 0 && cols >= 0,
                 "matrix dims must be non-negative, got ", rows, "x", cols);
+    // Cast the factors BEFORE multiplying: the product is formed in
+    // std::size_t, so it cannot narrow through Index on the way in.
+    data_.assign(static_cast<std::size_t>(rows) *
+                     static_cast<std::size_t>(cols),
+                 fill);
 }
 
 Real &
@@ -22,7 +27,9 @@ Matrix::operator()(Index r, Index c)
 {
     CTA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
                "index (", r, ",", c, ") out of ", rows_, "x", cols_);
-    return data_[static_cast<std::size_t>(r * cols_ + c)];
+    return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
 }
 
 Real
@@ -30,21 +37,29 @@ Matrix::operator()(Index r, Index c) const
 {
     CTA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
                "index (", r, ",", c, ") out of ", rows_, "x", cols_);
-    return data_[static_cast<std::size_t>(r * cols_ + c)];
+    return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
 }
 
 std::span<Real>
 Matrix::row(Index r)
 {
     CTA_ASSERT(r >= 0 && r < rows_, "row ", r, " out of ", rows_);
-    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+    return {data_.data() +
+                static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
 }
 
 std::span<const Real>
 Matrix::row(Index r) const
 {
     CTA_ASSERT(r >= 0 && r < rows_, "row ", r, " out of ", rows_);
-    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+    return {data_.data() +
+                static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
 }
 
 void
@@ -59,7 +74,13 @@ Matrix::rowSlice(Index begin, Index end) const
     CTA_REQUIRE(begin >= 0 && begin <= end && end <= rows_,
                 "bad row slice [", begin, ",", end, ") of ", rows_);
     Matrix out(end - begin, cols_);
-    std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+    // Form byte offsets in std::size_t, not Index (narrowing audit).
+    const auto first = static_cast<std::size_t>(begin) *
+                       static_cast<std::size_t>(cols_);
+    const auto last = static_cast<std::size_t>(end) *
+                      static_cast<std::size_t>(cols_);
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(first),
+              data_.begin() + static_cast<std::ptrdiff_t>(last),
               out.data_.begin());
     return out;
 }
@@ -113,18 +134,13 @@ matmul(const Matrix &a, const Matrix &b, OpCounts *counts)
     CTA_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch: ",
                 a.rows(), "x", a.cols(), " * ", b.rows(), "x", b.cols());
     Matrix c(a.rows(), b.cols());
-    // ikj loop order streams B rows for cache friendliness.
-    for (Index i = 0; i < a.rows(); ++i) {
-        Real *crow = c.row(i).data();
-        for (Index k = 0; k < a.cols(); ++k) {
-            const Real aik = a(i, k);
-            const Real *brow = b.row(k).data();
-            for (Index j = 0; j < b.cols(); ++j)
-                crow[j] += aik * brow[j];
-        }
-    }
+    activeBackend().gemm(a, b, c);
+    // Op accounting is analytic — identical for every backend and
+    // thread count (the OpCounts determinism contract).
     if (counts)
-        counts->macs += a.rows() * a.cols() * b.cols();
+        counts->macs += static_cast<std::uint64_t>(a.rows()) *
+                        static_cast<std::uint64_t>(a.cols()) *
+                        static_cast<std::uint64_t>(b.cols());
     return c;
 }
 
@@ -135,18 +151,11 @@ matmulTransB(const Matrix &a, const Matrix &b, OpCounts *counts)
                 a.rows(), "x", a.cols(), " * (", b.rows(), "x", b.cols(),
                 ")^T");
     Matrix c(a.rows(), b.rows());
-    for (Index i = 0; i < a.rows(); ++i) {
-        const Real *arow = a.row(i).data();
-        for (Index j = 0; j < b.rows(); ++j) {
-            const Real *brow = b.row(j).data();
-            Wide acc = 0;
-            for (Index k = 0; k < a.cols(); ++k)
-                acc += static_cast<Wide>(arow[k]) * brow[k];
-            c(i, j) = static_cast<Real>(acc);
-        }
-    }
+    activeBackend().gemmTransposedB(a, b, c);
     if (counts)
-        counts->macs += a.rows() * b.rows() * a.cols();
+        counts->macs += static_cast<std::uint64_t>(a.rows()) *
+                        static_cast<std::uint64_t>(b.rows()) *
+                        static_cast<std::uint64_t>(a.cols());
     return c;
 }
 
@@ -154,9 +163,12 @@ Matrix
 transpose(const Matrix &a)
 {
     Matrix t(a.cols(), a.rows());
-    for (Index i = 0; i < a.rows(); ++i)
-        for (Index j = 0; j < a.cols(); ++j)
-            t(j, i) = a(i, j);
+    // Parallel over OUTPUT rows (columns of A): disjoint writes.
+    activeBackend().mapRows(a.cols(), [&](Index begin, Index end) {
+        for (Index j = begin; j < end; ++j)
+            for (Index i = 0; i < a.rows(); ++i)
+                t(j, i) = a(i, j);
+    });
     return t;
 }
 
@@ -166,10 +178,14 @@ add(const Matrix &a, const Matrix &b, OpCounts *counts)
     CTA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
                 "add shape mismatch");
     Matrix c(a.rows(), a.cols());
-    for (Index i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] + b.data()[i];
+    activeBackend().mapRows(a.rows(), [&](Index begin, Index end) {
+        const Index lo = begin * a.cols();
+        const Index hi = end * a.cols();
+        for (Index i = lo; i < hi; ++i)
+            c.data()[i] = a.data()[i] + b.data()[i];
+    });
     if (counts)
-        counts->adds += a.size();
+        counts->adds += static_cast<std::uint64_t>(a.size());
     return c;
 }
 
@@ -179,10 +195,14 @@ sub(const Matrix &a, const Matrix &b, OpCounts *counts)
     CTA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
                 "sub shape mismatch");
     Matrix c(a.rows(), a.cols());
-    for (Index i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] - b.data()[i];
+    activeBackend().mapRows(a.rows(), [&](Index begin, Index end) {
+        const Index lo = begin * a.cols();
+        const Index hi = end * a.cols();
+        for (Index i = lo; i < hi; ++i)
+            c.data()[i] = a.data()[i] - b.data()[i];
+    });
     if (counts)
-        counts->adds += a.size();
+        counts->adds += static_cast<std::uint64_t>(a.size());
     return c;
 }
 
@@ -190,10 +210,14 @@ Matrix
 scale(const Matrix &a, Real s, OpCounts *counts)
 {
     Matrix c(a.rows(), a.cols());
-    for (Index i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] * s;
+    activeBackend().mapRows(a.rows(), [&](Index begin, Index end) {
+        const Index lo = begin * a.cols();
+        const Index hi = end * a.cols();
+        for (Index i = lo; i < hi; ++i)
+            c.data()[i] = a.data()[i] * s;
+    });
     if (counts)
-        counts->muls += a.size();
+        counts->muls += static_cast<std::uint64_t>(a.size());
     return c;
 }
 
@@ -211,9 +235,16 @@ maxAbsDiff(const Matrix &a, const Matrix &b)
 Real
 frobeniusNorm(const Matrix &a)
 {
-    Wide acc = 0;
-    for (Index i = 0; i < a.size(); ++i)
-        acc += static_cast<Wide>(a.data()[i]) * a.data()[i];
+    const Wide acc = activeBackend().reduceRows(
+        a.rows(), [&](Index begin, Index end) {
+            const Index lo = begin * a.cols();
+            const Index hi = end * a.cols();
+            Wide partial = 0;
+            for (Index i = lo; i < hi; ++i)
+                partial +=
+                    static_cast<Wide>(a.data()[i]) * a.data()[i];
+            return partial;
+        });
     return static_cast<Real>(std::sqrt(acc));
 }
 

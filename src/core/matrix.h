@@ -8,6 +8,11 @@
  * on dense m x d / n x d matrices, and the op-counting instrumentation
  * (see core/op_counter.h) is easier to keep exact with explicit
  * kernels.
+ *
+ * The free-function kernels below dispatch through the process-active
+ * compute backend (core/backend.h) — naive reference loops or blocked
+ * multithreaded kernels — while op accounting stays analytic, so
+ * OpCounts are bit-identical for every backend and thread count.
  */
 
 #pragma once

@@ -1,0 +1,200 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/logging.h"
+
+namespace cta::core {
+
+namespace {
+
+/** True while the current thread is executing a pool task. */
+thread_local bool tls_in_pool_task = false;
+
+} // namespace
+
+int
+configuredThreadCount()
+{
+    if (const char *env = std::getenv("CTA_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        return static_cast<int>(std::clamp(parsed, 1l, 64l));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+std::vector<std::pair<Index, Index>>
+chunkSpans(Index begin, Index end, Index grain)
+{
+    std::vector<std::pair<Index, Index>> spans;
+    const Index n = end - begin;
+    if (n <= 0)
+        return spans;
+    grain = std::max<Index>(grain, 1);
+    // Smallest chunk >= grain such that at most kMaxChunks chunks
+    // cover the range; a pure function of (n, grain).
+    const Index chunk =
+        std::max(grain, (n + kMaxChunks - 1) / kMaxChunks);
+    spans.reserve(static_cast<std::size_t>((n + chunk - 1) / chunk));
+    for (Index at = begin; at < end; at += chunk)
+        spans.emplace_back(at, std::min(end, at + chunk));
+    return spans;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    CTA_REQUIRE(threads >= 1, "thread pool needs >= 1 thread, got ",
+                threads);
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int w = 1; w < threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runShare(int worker_idx, Index num_tasks,
+                     const std::function<void(Index)> &task,
+                     std::vector<std::exception_ptr> &errors)
+{
+    const auto stride = static_cast<Index>(threadCount());
+    tls_in_pool_task = true;
+    for (Index t = worker_idx; t < num_tasks; t += stride) {
+        try {
+            task(t);
+        } catch (...) {
+            errors[static_cast<std::size_t>(t)] =
+                std::current_exception();
+        }
+    }
+    tls_in_pool_task = false;
+}
+
+void
+ThreadPool::run(Index num_tasks, const std::function<void(Index)> &task)
+{
+    if (num_tasks <= 0)
+        return;
+    // Re-entrant or contended invocations fall back to inline serial
+    // execution — same chunks, ascending order, identical results.
+    const bool inline_only = workers_.empty() || tls_in_pool_task ||
+                             !runMutex_.try_lock();
+    if (inline_only) {
+        std::vector<std::exception_ptr> errors(
+            static_cast<std::size_t>(num_tasks));
+        const bool was_in_task = tls_in_pool_task;
+        tls_in_pool_task = true;
+        for (Index t = 0; t < num_tasks; ++t) {
+            try {
+                task(t);
+            } catch (...) {
+                errors[static_cast<std::size_t>(t)] =
+                    std::current_exception();
+            }
+        }
+        tls_in_pool_task = was_in_task;
+        for (const auto &error : errors)
+            if (error)
+                std::rethrow_exception(error);
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(num_tasks));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        numTasks_ = num_tasks;
+        errors_ = &errors;
+        pendingWorkers_ = static_cast<int>(workers_.size());
+        ++epoch_;
+    }
+    wake_cv_.notify_all();
+
+    runShare(0, num_tasks, task, errors);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pendingWorkers_ == 0; });
+        task_ = nullptr;
+        errors_ = nullptr;
+    }
+    runMutex_.unlock();
+
+    for (const auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+void
+ThreadPool::workerLoop(int worker_idx)
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        const std::function<void(Index)> *task = nullptr;
+        Index num_tasks = 0;
+        std::vector<std::exception_ptr> *errors = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_cv_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+            task = task_;
+            num_tasks = numTasks_;
+            errors = errors_;
+        }
+        runShare(worker_idx, num_tasks, *task, *errors);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pendingWorkers_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreadCount());
+    return pool;
+}
+
+void
+parallelFor(ThreadPool &pool, Index begin, Index end,
+            const std::function<void(Index, Index)> &body, Index grain)
+{
+    const auto spans = chunkSpans(begin, end, grain);
+    if (spans.empty())
+        return;
+    if (spans.size() == 1) {
+        body(spans[0].first, spans[0].second);
+        return;
+    }
+    pool.run(static_cast<Index>(spans.size()), [&](Index chunk) {
+        const auto &span = spans[static_cast<std::size_t>(chunk)];
+        body(span.first, span.second);
+    });
+}
+
+void
+parallelFor(Index begin, Index end,
+            const std::function<void(Index, Index)> &body, Index grain)
+{
+    parallelFor(ThreadPool::global(), begin, end, body, grain);
+}
+
+} // namespace cta::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Persistent worker-thread pool and a deterministic parallel-for,
+ * the substrate of the compute-backend layer (core/backend.h) and of
+ * the per-head / per-case fan-out in the upper layers.
+ *
+ * Determinism contract: chunkSpans() partitions an iteration range as
+ * a function of the range and the grain ONLY — never of the thread
+ * count — and every reduction in the library combines per-chunk
+ * partials in ascending chunk order. The thread count therefore only
+ * decides which worker executes which chunk; all floating-point
+ * results and all OpCounts are bit-identical for any CTA_THREADS
+ * setting (verified by tests/backend_test.cc).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cta::core {
+
+/**
+ * Worker count used by the process-global pool: the CTA_THREADS
+ * environment variable when set (clamped to [1, 64]), otherwise
+ * std::thread::hardware_concurrency() clamped to [1, 16]. Read once
+ * at first use of the global pool.
+ */
+int configuredThreadCount();
+
+/**
+ * Deterministic static partition of [begin, end) into contiguous
+ * chunks of at least @p grain iterations, capped at kMaxChunks
+ * chunks. Depends only on its arguments (see the determinism
+ * contract above). Returns no spans for an empty range.
+ */
+std::vector<std::pair<Index, Index>> chunkSpans(Index begin, Index end,
+                                                Index grain = 1);
+
+/** Upper bound on the number of chunks chunkSpans() produces. */
+inline constexpr Index kMaxChunks = 64;
+
+/**
+ * A pool of persistent worker threads executing statically
+ * partitioned task batches.
+ *
+ * run() assigns task t to worker t % threadCount() (the calling
+ * thread participates as worker 0), so the task->worker mapping is
+ * deterministic. Re-entrant use — run() called from inside a task,
+ * or while another run() is in flight — degrades to inline serial
+ * execution of the same tasks in ascending order, which by the
+ * determinism contract computes identical results.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawns @p threads - 1 workers (the caller is the last one). */
+    explicit ThreadPool(int threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total worker count including the calling thread. */
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /**
+     * Executes task(t) for every t in [0, num_tasks), distributed
+     * over the workers; returns when all tasks finished. If any task
+     * threw, the exception of the lowest-numbered failing task is
+     * rethrown after the batch completes.
+     */
+    void run(Index num_tasks, const std::function<void(Index)> &task);
+
+    /** Process-wide pool, sized by configuredThreadCount(). */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop(int worker_idx);
+
+    /** Runs this worker's static share of the current batch. */
+    void runShare(int worker_idx, Index num_tasks,
+                  const std::function<void(Index)> &task,
+                  std::vector<std::exception_ptr> &errors);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t epoch_ = 0;      ///< batch generation counter
+    Index numTasks_ = 0;           ///< tasks in the current batch
+    const std::function<void(Index)> *task_ = nullptr;
+    std::vector<std::exception_ptr> *errors_ = nullptr;
+    int pendingWorkers_ = 0;       ///< spawned workers still running
+    bool stop_ = false;
+
+    std::mutex runMutex_;          ///< serializes concurrent run()s
+};
+
+/**
+ * Applies body(chunk_begin, chunk_end) over the chunkSpans() of
+ * [begin, end), potentially concurrently on @p pool. Chunks are
+ * disjoint and cover the range exactly once; the body must only
+ * write state disjoint per chunk.
+ */
+void parallelFor(ThreadPool &pool, Index begin, Index end,
+                 const std::function<void(Index, Index)> &body,
+                 Index grain = 1);
+
+/** parallelFor() on the process-global pool. */
+void parallelFor(Index begin, Index end,
+                 const std::function<void(Index, Index)> &body,
+                 Index grain = 1);
+
+} // namespace cta::core

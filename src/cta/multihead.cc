@@ -1,6 +1,7 @@
 #include "cta/multihead.h"
 
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace cta::alg {
@@ -55,20 +56,31 @@ CtaMultiHeadAttention::forward(const Matrix &x, OpCounts *counts) const
     if (counts)
         *counts += compression_ops;
 
-    Matrix all(x.rows(), headDim_ * static_cast<Index>(heads_.size()));
-    Index offset = 0;
-    for (const auto &head : heads_) {
-        CtaResult r = ctaAttentionFromCompression(
-            query_comp, kv_comp, x.rows(), head,
-            cfg.subtractRowMax);
+    const auto num_heads = static_cast<Index>(heads_.size());
+    Matrix all(x.rows(), headDim_ * num_heads);
+    // Per-head fan-out: given the shared compression the heads are
+    // independent, so they run concurrently into per-head slots. The
+    // OpCounts reduction below walks the slots in ascending head
+    // order — counts are bit-identical for any thread count.
+    std::vector<CtaResult> results(heads_.size());
+    core::parallelFor(0, num_heads, [&](Index begin, Index end) {
+        for (Index h = begin; h < end; ++h)
+            results[static_cast<std::size_t>(h)] =
+                ctaAttentionFromCompression(
+                    query_comp, kv_comp, x.rows(),
+                    heads_[static_cast<std::size_t>(h)],
+                    cfg.subtractRowMax);
+    });
+    for (Index h = 0; h < num_heads; ++h) {
+        const CtaResult &r = results[static_cast<std::size_t>(h)];
+        const Index offset = h * headDim_;
         if (counts)
             *counts += r.totalOps();
         for (Index i = 0; i < x.rows(); ++i)
             for (Index j = 0; j < headDim_; ++j)
                 all(i, offset + j) = r.output(i, j);
-        offset += headDim_;
-        lastStats_ = r.stats;
     }
+    lastStats_ = results.back().stats;
     return outputProj_.forward(all, counts);
 }
 
@@ -76,14 +88,28 @@ Matrix
 CtaMultiHeadAttention::forwardExact(const Matrix &x,
                                     OpCounts *counts) const
 {
-    Matrix all(x.rows(), headDim_ * static_cast<Index>(heads_.size()));
-    Index offset = 0;
-    for (const auto &head : heads_) {
-        const Matrix out = nn::exactAttention(x, x, head, counts);
+    const auto num_heads = static_cast<Index>(heads_.size());
+    Matrix all(x.rows(), headDim_ * num_heads);
+    // Same fan-out as forward(): per-head outputs and OpCounts land
+    // in slots, then reduce in ascending head order.
+    std::vector<Matrix> outputs(heads_.size());
+    std::vector<OpCounts> head_counts(heads_.size());
+    core::parallelFor(0, num_heads, [&](Index begin, Index end) {
+        for (Index h = begin; h < end; ++h) {
+            const auto slot = static_cast<std::size_t>(h);
+            outputs[slot] = nn::exactAttention(
+                x, x, heads_[slot],
+                counts ? &head_counts[slot] : nullptr);
+        }
+    });
+    for (Index h = 0; h < num_heads; ++h) {
+        const auto slot = static_cast<std::size_t>(h);
+        const Index offset = h * headDim_;
+        if (counts)
+            *counts += head_counts[slot];
         for (Index i = 0; i < x.rows(); ++i)
             for (Index j = 0; j < headDim_; ++j)
-                all(i, offset + j) = out(i, j);
-        offset += headDim_;
+                all(i, offset + j) = outputs[slot](i, j);
     }
     return outputProj_.forward(all, counts);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "elsa/sign_hash.h"
@@ -86,92 +87,126 @@ elsaAttention(const Matrix &xq, const Matrix &xkv,
     result.output = Matrix(result.m, result.d);
     result.candidates.resize(static_cast<std::size_t>(result.m));
 
-    // The concatenated signature matrix trick: reuse one structure by
-    // comparing query i against key j via separate matrices.
-    std::vector<Index> kept;
-    kept.reserve(static_cast<std::size_t>(result.n));
+    // Queries are independent: fan the loop out over chunks of the
+    // query range. Each chunk accumulates its own OpCounts / ratio
+    // partial and writes disjoint output rows; partials are reduced
+    // in ascending chunk order after the join (determinism contract,
+    // core/parallel.h).
+    struct QueryChunkPartial
+    {
+        core::OpCounts approx;
+        core::OpCounts attn;
+        Wide ratioSum = 0;
+    };
+    const auto spans = core::chunkSpans(0, result.m, /*grain=*/8);
+    std::vector<QueryChunkPartial> partials(spans.size());
+    core::ThreadPool::global().run(
+        static_cast<Index>(spans.size()), [&](Index chunk) {
+            auto &partial = partials[static_cast<std::size_t>(chunk)];
+            auto &approx_ops = partial.approx;
+            auto &attn_ops = partial.attn;
+            const auto &span = spans[static_cast<std::size_t>(chunk)];
+            std::vector<Index> kept;
+            kept.reserve(static_cast<std::size_t>(result.n));
+            for (Index i = span.first; i < span.second; ++i) {
+                const Real norm_q =
+                    std::sqrt(core::squaredNorm(q.row(i)));
+                approx_ops.macs +=
+                    static_cast<std::uint64_t>(result.d);
+                // Estimate all n scores from Hamming distances.
+                Real best = -1e30f;
+                std::vector<Real> estimates(
+                    static_cast<std::size_t>(result.n));
+                for (Index j = 0; j < result.n; ++j) {
+                    Index ham = 0;
+                    for (Index b = 0; b < config.hashBits; ++b) {
+                        ham += query_sigs.bit(i, b) !=
+                                       key_sigs.bit(j, b)
+                                   ? 1
+                                   : 0;
+                    }
+                    const Real est =
+                        estimateDot(
+                            ham, config.hashBits, norm_q,
+                            key_norms[static_cast<std::size_t>(j)]) *
+                        inv_sqrt_d;
+                    estimates[static_cast<std::size_t>(j)] = est;
+                    best = std::max(best, est);
+                }
+                // XOR+popcount per signature word + LUT cosine +
+                // 2 muls.
+                approx_ops.cmps +=
+                    static_cast<std::uint64_t>(result.n) *
+                    static_cast<std::uint64_t>(
+                        (config.hashBits + 63) / 64);
+                approx_ops.muls +=
+                    2ull * static_cast<std::uint64_t>(result.n);
+                approx_ops.exps +=
+                    static_cast<std::uint64_t>(result.n); // cos LUT
+                approx_ops.cmps +=
+                    static_cast<std::uint64_t>(result.n); // thresholds
+
+                kept.clear();
+                for (Index j = 0; j < result.n; ++j) {
+                    if (estimates[static_cast<std::size_t>(j)] >=
+                        best - margin) {
+                        kept.push_back(j);
+                    }
+                }
+                // ELSA never drops everything: the filter is anchored
+                // at the estimated max, which always passes its own
+                // test.
+                CTA_ASSERT(!kept.empty(), "empty candidate set");
+                result.candidates[static_cast<std::size_t>(i)] =
+                    static_cast<Index>(kept.size());
+                partial.ratioSum +=
+                    static_cast<Wide>(kept.size()) / result.n;
+
+                // Exact attention over survivors.
+                Real score_max = -1e30f;
+                std::vector<Real> scores(kept.size());
+                for (std::size_t t = 0; t < kept.size(); ++t) {
+                    const Index j = kept[t];
+                    Wide dot = 0;
+                    for (Index c = 0; c < result.d; ++c)
+                        dot += static_cast<Wide>(q(i, c)) * k(j, c);
+                    scores[t] = static_cast<Real>(dot) * inv_sqrt_d;
+                    score_max = std::max(score_max, scores[t]);
+                }
+                attn_ops.macs +=
+                    kept.size() * static_cast<std::uint64_t>(result.d);
+                attn_ops.muls += kept.size();
+                attn_ops.cmps += kept.size();
+
+                Wide denom = 0;
+                for (std::size_t t = 0; t < kept.size(); ++t) {
+                    scores[t] = std::exp(scores[t] - score_max);
+                    denom += scores[t];
+                }
+                attn_ops.exps += kept.size();
+                attn_ops.adds += 2 * kept.size();
+
+                const Real inv_denom =
+                    static_cast<Real>(1.0 / denom);
+                for (std::size_t t = 0; t < kept.size(); ++t) {
+                    const Index j = kept[t];
+                    const Real p = scores[t] * inv_denom;
+                    for (Index c = 0; c < result.d; ++c)
+                        result.output(i, c) += p * v(j, c);
+                }
+                attn_ops.divs += 1;
+                attn_ops.muls += kept.size();
+                attn_ops.macs +=
+                    kept.size() * static_cast<std::uint64_t>(result.d);
+            }
+        });
+
+    // Ordered reduction of the per-chunk partials.
     Wide ratio_sum = 0;
-    for (Index i = 0; i < result.m; ++i) {
-        const Real norm_q =
-            std::sqrt(core::squaredNorm(q.row(i)));
-        result.approxOps.macs +=
-            static_cast<std::uint64_t>(result.d);
-        // Estimate all n scores from Hamming distances.
-        Real best = -1e30f;
-        std::vector<Real> estimates(
-            static_cast<std::size_t>(result.n));
-        for (Index j = 0; j < result.n; ++j) {
-            Index ham = 0;
-            for (Index b = 0; b < config.hashBits; ++b) {
-                ham += query_sigs.bit(i, b) != key_sigs.bit(j, b)
-                    ? 1 : 0;
-            }
-            const Real est = estimateDot(
-                ham, config.hashBits, norm_q,
-                key_norms[static_cast<std::size_t>(j)]) * inv_sqrt_d;
-            estimates[static_cast<std::size_t>(j)] = est;
-            best = std::max(best, est);
-        }
-        // XOR+popcount per signature word + LUT cosine + 2 muls.
-        result.approxOps.cmps +=
-            static_cast<std::uint64_t>(result.n) *
-            static_cast<std::uint64_t>((config.hashBits + 63) / 64);
-        result.approxOps.muls +=
-            2ull * static_cast<std::uint64_t>(result.n);
-        result.approxOps.exps +=
-            static_cast<std::uint64_t>(result.n); // cos LUT lookups
-        result.approxOps.cmps +=
-            static_cast<std::uint64_t>(result.n); // threshold tests
-
-        kept.clear();
-        for (Index j = 0; j < result.n; ++j) {
-            if (estimates[static_cast<std::size_t>(j)] >=
-                best - margin) {
-                kept.push_back(j);
-            }
-        }
-        // ELSA never drops everything: the filter is anchored at the
-        // estimated max, which always passes its own test.
-        CTA_ASSERT(!kept.empty(), "empty candidate set");
-        result.candidates[static_cast<std::size_t>(i)] =
-            static_cast<Index>(kept.size());
-        ratio_sum += static_cast<Wide>(kept.size()) / result.n;
-
-        // Exact attention over survivors.
-        Real score_max = -1e30f;
-        std::vector<Real> scores(kept.size());
-        for (std::size_t t = 0; t < kept.size(); ++t) {
-            const Index j = kept[t];
-            Wide dot = 0;
-            for (Index c = 0; c < result.d; ++c)
-                dot += static_cast<Wide>(q(i, c)) * k(j, c);
-            scores[t] = static_cast<Real>(dot) * inv_sqrt_d;
-            score_max = std::max(score_max, scores[t]);
-        }
-        result.attnOps.macs += kept.size() *
-            static_cast<std::uint64_t>(result.d);
-        result.attnOps.muls += kept.size();
-        result.attnOps.cmps += kept.size();
-
-        Wide denom = 0;
-        for (std::size_t t = 0; t < kept.size(); ++t) {
-            scores[t] = std::exp(scores[t] - score_max);
-            denom += scores[t];
-        }
-        result.attnOps.exps += kept.size();
-        result.attnOps.adds += 2 * kept.size();
-
-        const Real inv_denom = static_cast<Real>(1.0 / denom);
-        for (std::size_t t = 0; t < kept.size(); ++t) {
-            const Index j = kept[t];
-            const Real p = scores[t] * inv_denom;
-            for (Index c = 0; c < result.d; ++c)
-                result.output(i, c) += p * v(j, c);
-        }
-        result.attnOps.divs += 1;
-        result.attnOps.muls += kept.size();
-        result.attnOps.macs += kept.size() *
-            static_cast<std::uint64_t>(result.d);
+    for (const auto &partial : partials) {
+        result.approxOps += partial.approx;
+        result.attnOps += partial.attn;
+        ratio_sum += partial.ratioSum;
     }
     result.candidateRatio =
         static_cast<Real>(ratio_sum / result.m);

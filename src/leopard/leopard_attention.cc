@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 
 namespace cta::leopard {
 
@@ -71,15 +72,29 @@ leopardAttention(const Matrix &xq, const Matrix &xkv,
         1.0f / std::sqrt(static_cast<Real>(result.d));
 
     result.output = Matrix(result.m, result.d);
-    Wide keep_sum = 0;
-    std::uint64_t bit_planes_used = 0;
     const std::uint64_t full_planes =
         static_cast<std::uint64_t>(result.m) *
         static_cast<std::uint64_t>(result.n) *
         static_cast<std::uint64_t>(config.scoreBits);
 
+    // Per-query fan-out over chunks of the query range (see
+    // core/parallel.h): per-chunk partials reduce in ascending chunk
+    // order after the join, keeping counts thread-count-invariant.
+    struct QueryChunkPartial
+    {
+        core::OpCounts attn;
+        Wide keepSum = 0;
+        std::uint64_t bitPlanes = 0;
+    };
+    const auto spans = core::chunkSpans(0, result.m, /*grain=*/8);
+    std::vector<QueryChunkPartial> partials(spans.size());
+    core::ThreadPool::global().run(
+        static_cast<Index>(spans.size()), [&](Index chunk) {
+    auto &acc = partials[static_cast<std::size_t>(chunk)];
+    auto &attn_ops = acc.attn;
+    const auto &span = spans[static_cast<std::size_t>(chunk)];
     std::vector<Real> scores(static_cast<std::size_t>(result.n));
-    for (Index i = 0; i < result.m; ++i) {
+    for (Index i = span.first; i < span.second; ++i) {
         // Bit-serial score pass: every pair is touched; survivors
         // consume all bit-planes, pruned keys terminate early. The
         // functional result is the exact score for survivors.
@@ -104,7 +119,7 @@ leopardAttention(const Matrix &xq, const Matrix &xkv,
             const bool survives =
                 scores[static_cast<std::size_t>(j)] >= threshold;
             keep[static_cast<std::size_t>(j)] = survives;
-            bit_planes_used += survives
+            acc.bitPlanes += survives
                 ? static_cast<std::uint64_t>(config.scoreBits)
                 : static_cast<std::uint64_t>(
                       config.earlyTerminationBits);
@@ -115,9 +130,9 @@ leopardAttention(const Matrix &xq, const Matrix &xkv,
                 scores[static_cast<std::size_t>(j)] - row_max);
         }
         CTA_ASSERT(kept > 0, "threshold pruned every key");
-        keep_sum += static_cast<Wide>(kept) / result.n;
-        result.attnOps.exps += 2ull * static_cast<std::uint64_t>(kept);
-        result.attnOps.adds += static_cast<std::uint64_t>(kept);
+        acc.keepSum += static_cast<Wide>(kept) / result.n;
+        attn_ops.exps += 2ull * static_cast<std::uint64_t>(kept);
+        attn_ops.adds += static_cast<std::uint64_t>(kept);
 
         const Real inv_denom = static_cast<Real>(1.0 / denom);
         for (Index j = 0; j < result.n; ++j) {
@@ -128,11 +143,21 @@ leopardAttention(const Matrix &xq, const Matrix &xkv,
                          row_max) * inv_denom;
             for (Index c = 0; c < result.d; ++c)
                 result.output(i, c) += p * v(j, c);
-            result.attnOps.macs +=
+            attn_ops.macs +=
                 static_cast<std::uint64_t>(result.d);
-            result.attnOps.muls += 1;
+            attn_ops.muls += 1;
         }
-        result.attnOps.divs += 1;
+        attn_ops.divs += 1;
+    }
+        });
+
+    // Ordered reduction of the per-chunk partials.
+    Wide keep_sum = 0;
+    std::uint64_t bit_planes_used = 0;
+    for (const auto &partial : partials) {
+        result.attnOps += partial.attn;
+        keep_sum += partial.keepSum;
+        bit_planes_used += partial.bitPlanes;
     }
     // Bit-serial score work: scoreBits-plane MACs; express as
     // fractional full MACs in approxOps.

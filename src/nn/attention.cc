@@ -5,6 +5,7 @@
 
 #include "core/logging.h"
 #include "core/op_counter.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "nn/softmax.h"
 
@@ -110,17 +111,30 @@ MultiHeadAttention::MultiHeadAttention(Index d_model, Index num_heads,
 Matrix
 MultiHeadAttention::forward(const Matrix &x, OpCounts *counts) const
 {
-    Matrix concat(x.rows(), 0);
+    const auto num_heads = static_cast<Index>(heads_.size());
     // Concatenate per-head outputs along the feature dimension.
-    Matrix all(x.rows(),
-               headDim_ * static_cast<Index>(heads_.size()));
-    Index offset = 0;
-    for (const auto &head : heads_) {
-        const Matrix out = exactAttention(x, x, head, counts);
+    Matrix all(x.rows(), headDim_ * num_heads);
+    // Per-head fan-out into slots; OpCounts reduce in ascending head
+    // order so the totals are identical for any thread count.
+    std::vector<Matrix> outputs(heads_.size());
+    std::vector<OpCounts> head_counts(heads_.size());
+    core::parallelFor(0, num_heads, [&](Index begin, Index end) {
+        for (Index h = begin; h < end; ++h) {
+            const auto slot = static_cast<std::size_t>(h);
+            outputs[slot] = exactAttention(
+                x, x, heads_[slot],
+                counts ? &head_counts[slot] : nullptr);
+        }
+    });
+    for (Index h = 0; h < num_heads; ++h) {
+        const auto slot = static_cast<std::size_t>(h);
+        const Index offset = h * headDim_;
+        if (counts)
+            *counts += head_counts[slot];
+        const Matrix &out = outputs[slot];
         for (Index i = 0; i < out.rows(); ++i)
             for (Index j = 0; j < out.cols(); ++j)
                 all(i, offset + j) = out(i, j);
-        offset += headDim_;
     }
     return outputProj_.forward(all, counts);
 }

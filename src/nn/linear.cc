@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/backend.h"
 #include "core/logging.h"
 #include "core/op_counter.h"
 #include "core/rng.h"
@@ -41,11 +42,14 @@ Linear::forward(const Matrix &x, OpCounts *counts) const
                 "linear input dim ", x.cols(), " != ", weight_.rows());
     Matrix y = matmul(x, weight_, counts);
     if (bias_) {
-        for (Index i = 0; i < y.rows(); ++i)
-            for (Index j = 0; j < y.cols(); ++j)
-                y(i, j) += (*bias_)(0, j);
+        core::activeBackend().mapRows(
+            y.rows(), [&](Index row_begin, Index row_end) {
+                for (Index i = row_begin; i < row_end; ++i)
+                    for (Index j = 0; j < y.cols(); ++j)
+                        y(i, j) += (*bias_)(0, j);
+            });
         if (counts)
-            counts->adds += y.size();
+            counts->adds += static_cast<std::uint64_t>(y.size());
     }
     return y;
 }

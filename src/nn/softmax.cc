@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/backend.h"
 #include "core/logging.h"
 #include "core/op_counter.h"
 
@@ -19,18 +20,22 @@ rowExp(const Matrix &scores, Matrix &row_sums, OpCounts *counts)
 {
     Matrix out(scores.rows(), scores.cols());
     row_sums = Matrix(scores.rows(), 1);
-    for (Index i = 0; i < scores.rows(); ++i) {
-        const auto row = scores.row(i);
-        const Real row_max =
-            *std::max_element(row.begin(), row.end());
-        Wide denom = 0;
-        for (Index j = 0; j < scores.cols(); ++j) {
-            const Real e = std::exp(scores(i, j) - row_max);
-            out(i, j) = e;
-            denom += e;
-        }
-        row_sums(i, 0) = static_cast<Real>(denom);
-    }
+    // Row-parallel: each row's max/exp/denominator is independent.
+    core::activeBackend().mapRows(
+        scores.rows(), [&](Index row_begin, Index row_end) {
+            for (Index i = row_begin; i < row_end; ++i) {
+                const auto row = scores.row(i);
+                const Real row_max =
+                    *std::max_element(row.begin(), row.end());
+                Wide denom = 0;
+                for (Index j = 0; j < scores.cols(); ++j) {
+                    const Real e = std::exp(scores(i, j) - row_max);
+                    out(i, j) = e;
+                    denom += e;
+                }
+                row_sums(i, 0) = static_cast<Real>(denom);
+            }
+        });
     if (counts) {
         const auto cells = static_cast<std::uint64_t>(scores.size());
         const auto rows = static_cast<std::uint64_t>(scores.rows());
@@ -48,11 +53,14 @@ rowSoftmax(const Matrix &scores, OpCounts *counts)
     CTA_REQUIRE(scores.cols() > 0, "softmax over empty rows");
     Matrix row_sums;
     Matrix out = rowExp(scores, row_sums, counts);
-    for (Index i = 0; i < out.rows(); ++i) {
-        const Real inv = 1.0f / row_sums(i, 0);
-        for (Index j = 0; j < out.cols(); ++j)
-            out(i, j) *= inv;
-    }
+    core::activeBackend().mapRows(
+        out.rows(), [&](Index row_begin, Index row_end) {
+            for (Index i = row_begin; i < row_end; ++i) {
+                const Real inv = 1.0f / row_sums(i, 0);
+                for (Index j = 0; j < out.cols(); ++j)
+                    out(i, j) *= inv;
+            }
+        });
     if (counts) {
         counts->divs += static_cast<std::uint64_t>(out.rows());
         counts->muls += static_cast<std::uint64_t>(out.size());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/backend.h"
 #include "core/logging.h"
 #include "core/op_counter.h"
 #include "core/rng.h"
@@ -25,25 +26,31 @@ LayerNorm::forward(const Matrix &x, OpCounts *counts) const
 {
     CTA_REQUIRE(x.cols() == gamma_.cols(), "layernorm dim mismatch");
     Matrix out(x.rows(), x.cols());
-    for (Index i = 0; i < x.rows(); ++i) {
-        Wide sum = 0;
-        for (Index j = 0; j < x.cols(); ++j)
-            sum += x(i, j);
-        const Wide mu = sum / x.cols();
-        Wide var = 0;
-        for (Index j = 0; j < x.cols(); ++j) {
-            const Wide diff = x(i, j) - mu;
-            var += diff * diff;
-        }
-        var /= x.cols();
-        const Real inv_std =
-            1.0f / std::sqrt(static_cast<Real>(var) + epsilon_);
-        for (Index j = 0; j < x.cols(); ++j) {
-            const Real norm =
-                (x(i, j) - static_cast<Real>(mu)) * inv_std;
-            out(i, j) = norm * gamma_(0, j) + beta_(0, j);
-        }
-    }
+    // Rows normalize independently: row-parallel map with per-row
+    // state only (disjoint writes into out).
+    core::activeBackend().mapRows(
+        x.rows(), [&](Index row_begin, Index row_end) {
+            for (Index i = row_begin; i < row_end; ++i) {
+                Wide sum = 0;
+                for (Index j = 0; j < x.cols(); ++j)
+                    sum += x(i, j);
+                const Wide mu = sum / x.cols();
+                Wide var = 0;
+                for (Index j = 0; j < x.cols(); ++j) {
+                    const Wide diff = x(i, j) - mu;
+                    var += diff * diff;
+                }
+                var /= x.cols();
+                const Real inv_std =
+                    1.0f /
+                    std::sqrt(static_cast<Real>(var) + epsilon_);
+                for (Index j = 0; j < x.cols(); ++j) {
+                    const Real norm =
+                        (x(i, j) - static_cast<Real>(mu)) * inv_std;
+                    out(i, j) = norm * gamma_(0, j) + beta_(0, j);
+                }
+            }
+        });
     if (counts) {
         const auto cells = static_cast<std::uint64_t>(x.size());
         counts->adds += 3 * cells; // mean sum, var sum, centering
@@ -58,11 +65,18 @@ gelu(const Matrix &x, OpCounts *counts)
 {
     Matrix out(x.rows(), x.cols());
     const Real c = std::sqrt(2.0f / std::numbers::pi_v<Real>);
-    for (Index i = 0; i < x.size(); ++i) {
-        const Real v = x.data()[i];
-        out.data()[i] =
-            0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
-    }
+    core::activeBackend().mapRows(
+        x.rows(), [&](Index row_begin, Index row_end) {
+            const Index lo = row_begin * x.cols();
+            const Index hi = row_end * x.cols();
+            for (Index i = lo; i < hi; ++i) {
+                const Real v = x.data()[i];
+                out.data()[i] =
+                    0.5f * v *
+                    (1.0f +
+                     std::tanh(c * (v + 0.044715f * v * v * v)));
+            }
+        });
     if (counts) {
         // Count a GELU as ~6 muls + 2 adds + 1 exp-class op per cell.
         const auto cells = static_cast<std::uint64_t>(x.size());

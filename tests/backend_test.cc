@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Parity tests for the compute-backend layer (core/backend.h): the
+ * ParallelBackend must be bit-identical to NaiveBackend at every
+ * thread count, OpCounts must not depend on the installed backend,
+ * and the end-to-end CTA pipeline must produce identical results and
+ * identical op accounting whichever backend runs it.
+ */
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "cta/compressed_attention.h"
+#include "nn/attention.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Backend;
+using cta::core::Index;
+using cta::core::makeBackend;
+using cta::core::Matrix;
+using cta::core::NaiveBackend;
+using cta::core::OpCounts;
+using cta::core::ParallelBackend;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::core::setActiveBackend;
+using cta::core::Wide;
+
+/** RAII guard restoring the previously active backend. */
+class ScopedBackend
+{
+  public:
+    explicit ScopedBackend(Backend *backend)
+        : previous_(setActiveBackend(backend))
+    {
+    }
+    ~ScopedBackend() { setActiveBackend(previous_); }
+
+  private:
+    Backend *previous_;
+};
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    return std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(Real)) == 0;
+}
+
+/** Shapes straddling the serial-inline GEMM threshold, with tails
+ *  that exercise the 4-row / 4-column block remainders. */
+struct GemmShape
+{
+    Index m, k, n;
+};
+
+const std::vector<GemmShape> kShapes = {
+    {1, 1, 1},   {3, 5, 7},    {17, 33, 9}, {64, 64, 64},
+    {65, 63, 66}, {70, 128, 96}, {128, 96, 130},
+};
+
+TEST(BackendParityTest, GemmBitIdenticalAcrossThreadCounts)
+{
+    NaiveBackend naive;
+    Rng rng(7);
+    for (const auto &[m, k, n] : kShapes) {
+        const Matrix a = Matrix::randomNormal(m, k, rng);
+        const Matrix b = Matrix::randomNormal(k, n, rng);
+        Matrix ref(m, n);
+        naive.gemm(a, b, ref);
+        for (const int threads : {1, 2, 8}) {
+            ParallelBackend parallel(threads);
+            Matrix out(m, n);
+            parallel.gemm(a, b, out);
+            EXPECT_TRUE(bitIdentical(out, ref))
+                << "gemm " << m << "x" << k << "x" << n << " with "
+                << threads << " threads";
+        }
+    }
+}
+
+TEST(BackendParityTest, GemmTransposedBBitIdenticalAcrossThreadCounts)
+{
+    NaiveBackend naive;
+    Rng rng(11);
+    for (const auto &[m, k, n] : kShapes) {
+        const Matrix a = Matrix::randomNormal(m, k, rng);
+        const Matrix b = Matrix::randomNormal(n, k, rng);
+        Matrix ref(m, n);
+        naive.gemmTransposedB(a, b, ref);
+        for (const int threads : {1, 2, 8}) {
+            ParallelBackend parallel(threads);
+            Matrix out(m, n);
+            parallel.gemmTransposedB(a, b, out);
+            EXPECT_TRUE(bitIdentical(out, ref))
+                << "gemmTransB " << m << "x" << k << "x" << n
+                << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(BackendParityTest, ReduceRowsBitIdenticalAcrossThreadCounts)
+{
+    // Float reductions are order-sensitive; the shared chunking policy
+    // makes the partial-sum tree identical in both backends.
+    Rng rng(3);
+    const Matrix x = Matrix::randomNormal(257, 33, rng);
+    NaiveBackend naive;
+    const auto body = [&](Index begin, Index end) {
+        Wide sum = 0;
+        for (Index i = begin; i < end; ++i)
+            for (Index j = 0; j < x.cols(); ++j)
+                sum += static_cast<Wide>(x(i, j)) * x(i, j);
+        return sum;
+    };
+    const Wide ref = naive.reduceRows(x.rows(), body);
+    for (const int threads : {1, 2, 8}) {
+        ParallelBackend parallel(threads);
+        EXPECT_EQ(parallel.reduceRows(x.rows(), body), ref)
+            << threads << " threads";
+    }
+}
+
+TEST(BackendParityTest, FreeFunctionKernelsMatchUnderEitherBackend)
+{
+    Rng rng(19);
+    const Matrix a = Matrix::randomNormal(70, 40, rng);
+    const Matrix b = Matrix::randomNormal(40, 50, rng);
+
+    NaiveBackend naive;
+    ParallelBackend parallel(4);
+
+    Matrix prod_naive, prod_parallel;
+    Real norm_naive = 0, norm_parallel = 0;
+    {
+        ScopedBackend guard(&naive);
+        prod_naive = matmul(a, b);
+        norm_naive = frobeniusNorm(a);
+    }
+    {
+        ScopedBackend guard(&parallel);
+        prod_parallel = matmul(a, b);
+        norm_parallel = frobeniusNorm(a);
+    }
+    EXPECT_TRUE(bitIdentical(prod_naive, prod_parallel));
+    EXPECT_EQ(norm_naive, norm_parallel);
+}
+
+TEST(BackendParityTest, OpCountsIndependentOfBackend)
+{
+    Rng rng(23);
+    const Matrix a = Matrix::randomNormal(48, 32, rng);
+    const Matrix b = Matrix::randomNormal(32, 24, rng);
+
+    NaiveBackend naive;
+    ParallelBackend parallel(8);
+
+    OpCounts counts_naive, counts_parallel;
+    {
+        ScopedBackend guard(&naive);
+        (void)matmul(a, b, &counts_naive);
+        (void)matmulTransB(a, transpose(b), &counts_naive);
+        (void)add(a, a, &counts_naive);
+        (void)scale(a, 2.0f, &counts_naive);
+    }
+    {
+        ScopedBackend guard(&parallel);
+        (void)matmul(a, b, &counts_parallel);
+        (void)matmulTransB(a, transpose(b), &counts_parallel);
+        (void)add(a, a, &counts_parallel);
+        (void)scale(a, 2.0f, &counts_parallel);
+    }
+    EXPECT_EQ(counts_naive, counts_parallel);
+}
+
+TEST(BackendFactoryTest, ParsesSpecStrings)
+{
+    EXPECT_EQ(makeBackend("naive")->name(), "naive");
+    EXPECT_EQ(makeBackend("parallel:3")->threadCount(), 3);
+    EXPECT_GE(makeBackend("parallel")->threadCount(), 1);
+}
+
+/** End-to-end CTA run under a specific backend. */
+cta::alg::CtaResult
+runCta(Backend *backend)
+{
+    ScopedBackend guard(backend);
+    Rng rng(41);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(32, 16, rng);
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 192;
+    profile.tokenDim = 32;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    profile.noiseScale = 0.02f;
+    cta::nn::WorkloadGenerator gen(profile, 99);
+    const Matrix tokens = gen.sampleTokens();
+    cta::alg::CtaConfig config;
+    return ctaAttention(tokens, tokens, params, config);
+}
+
+TEST(BackendEndToEndTest, CtaPipelineBitIdenticalAndCountsMatch)
+{
+    NaiveBackend naive;
+    ParallelBackend one(1);
+    ParallelBackend eight(8);
+
+    const auto ref = runCta(&naive);
+    for (Backend *backend :
+         std::vector<Backend *>{&one, &eight}) {
+        const auto result = runCta(backend);
+        EXPECT_TRUE(bitIdentical(result.output, ref.output));
+        EXPECT_EQ(result.totalOps(), ref.totalOps());
+        EXPECT_EQ(result.stats.k0, ref.stats.k0);
+        EXPECT_EQ(result.stats.k1, ref.stats.k1);
+    }
+}
+
+} // namespace

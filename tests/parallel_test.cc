@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the thread pool and deterministic parallel-for
+ * (core/parallel.h): chunking policy, empty/small ranges, ranges
+ * smaller than the thread count, exception propagation, and
+ * re-entrant (nested) invocation.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+
+namespace {
+
+using cta::core::chunkSpans;
+using cta::core::Index;
+using cta::core::parallelFor;
+using cta::core::ThreadPool;
+
+TEST(ChunkSpansTest, EmptyRangeYieldsNoSpans)
+{
+    EXPECT_TRUE(chunkSpans(0, 0).empty());
+    EXPECT_TRUE(chunkSpans(5, 5).empty());
+    EXPECT_TRUE(chunkSpans(7, 3).empty());
+}
+
+TEST(ChunkSpansTest, SpansAreDisjointAndCoverTheRange)
+{
+    for (const Index n : {1, 2, 7, 63, 64, 65, 100, 512, 1000}) {
+        const auto spans = chunkSpans(10, 10 + n);
+        ASSERT_FALSE(spans.empty());
+        EXPECT_LE(static_cast<Index>(spans.size()),
+                  cta::core::kMaxChunks);
+        Index expect_begin = 10;
+        for (const auto &[begin, end] : spans) {
+            EXPECT_EQ(begin, expect_begin);
+            EXPECT_LT(begin, end);
+            expect_begin = end;
+        }
+        EXPECT_EQ(expect_begin, 10 + n);
+    }
+}
+
+TEST(ChunkSpansTest, GrainIsRespected)
+{
+    const auto spans = chunkSpans(0, 100, /*grain=*/32);
+    for (std::size_t c = 0; c + 1 < spans.size(); ++c)
+        EXPECT_GE(spans[c].second - spans[c].first, 32);
+}
+
+TEST(ChunkSpansTest, PartitionIsIndependentOfThreadCount)
+{
+    // The partition is a pure function of (range, grain); nothing
+    // about pools or CTA_THREADS can appear here. Two calls agree.
+    EXPECT_EQ(chunkSpans(0, 777, 4), chunkSpans(0, 777, 4));
+}
+
+TEST(ParallelForTest, EmptyRangeBodyNeverRuns)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    parallelFor(pool, 0, 0, [&](Index, Index) { ++calls; });
+    parallelFor(pool, 9, 3, [&](Index, Index) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanThreadCount)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> visits(3);
+    parallelFor(pool, 0, 3, [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i)
+            ++visits[static_cast<std::size_t>(i)];
+    });
+    for (const auto &count : visits)
+        EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr Index kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    parallelFor(pool, 0, kN, [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i)
+            ++visits[static_cast<std::size_t>(i)];
+    });
+    for (const auto &count : visits)
+        EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        parallelFor(pool, 0, 100,
+                    [&](Index begin, Index) {
+                        if (begin == 0)
+                            throw std::runtime_error("chunk failed");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelForTest, LowestFailingChunkWins)
+{
+    // Several chunks throw; the rethrown exception is the one from
+    // the lowest-numbered failing task (deterministic choice).
+    ThreadPool pool(4);
+    try {
+        pool.run(16, [&](Index task) {
+            if (task >= 2)
+                throw std::runtime_error("task " +
+                                         std::to_string(task));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "task 2");
+    }
+}
+
+TEST(ParallelForTest, PoolSurvivesAnExceptionBatch)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.run(8,
+                          [&](Index) {
+                              throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The pool keeps working after a failed batch.
+    std::atomic<Index> sum{0};
+    pool.run(8, [&](Index task) { sum += task; });
+    EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ParallelForTest, NestedInvocationRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(64);
+    parallelFor(pool, 0, 8, [&](Index obegin, Index oend) {
+        for (Index o = obegin; o < oend; ++o) {
+            // Nested parallelFor on the SAME pool must not deadlock;
+            // it degrades to inline execution.
+            parallelFor(pool, 0, 8, [&](Index ibegin, Index iend) {
+                for (Index i = ibegin; i < iend; ++i)
+                    ++visits[static_cast<std::size_t>(o * 8 + i)];
+            });
+        }
+    });
+    for (const auto &count : visits)
+        EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadPoolWorks)
+{
+    ThreadPool pool(1);
+    Index sum = 0; // no atomics needed: single worker
+    parallelFor(pool, 0, 100, [&](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum, 4950);
+}
+
+TEST(ConfiguredThreadCountTest, IsPositive)
+{
+    EXPECT_GE(cta::core::configuredThreadCount(), 1);
+}
+
+} // namespace
