@@ -400,10 +400,13 @@ makeBackend(const std::string &spec)
         return std::make_unique<ParallelBackend>();
     const std::string prefix = "parallel:";
     if (spec.rfind(prefix, 0) == 0) {
-        const int threads = std::atoi(spec.c_str() + prefix.size());
-        CTA_REQUIRE(threads >= 1, "bad backend thread count in '",
-                    spec, "'");
-        return std::make_unique<ParallelBackend>(threads);
+        const long threads = parseEnvInt(spec.c_str() + prefix.size(),
+                                         "CTA_BACKEND thread count");
+        CTA_REQUIRE(threads >= 1 && threads <= 64,
+                    "backend thread count in '", spec,
+                    "' outside [1, 64]");
+        return std::make_unique<ParallelBackend>(
+            static_cast<int>(threads));
     }
     CTA_PANIC("unknown backend '", spec,
               "' (expected naive | parallel | parallel:<threads>)");

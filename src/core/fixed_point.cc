@@ -38,11 +38,19 @@ std::int64_t
 FxpFormat::encode(Real x) const
 {
     CTA_ASSERT(totalBits > 0 && totalBits <= 32 && fracBits >= 0 &&
-               fracBits < totalBits + 16, "bad FxP format ", totalBits,
+               fracBits < totalBits, "bad FxP format ", totalBits,
                ".", fracBits);
+    // Saturate in the float domain before scaling: llrint on a
+    // non-finite or out-of-range scaled value is UB. NaN encodes as 0
+    // (the hardware's saturating converters treat it as no signal).
+    if (std::isnan(x))
+        return 0;
+    x = std::clamp(x, minValue(), maxValue());
     const Real scaled = std::ldexp(x, fracBits);
     const std::int64_t lo = -(std::int64_t{1} << (totalBits - 1));
     const std::int64_t hi = (std::int64_t{1} << (totalBits - 1)) - 1;
+    // maxValue() rounds up to 2^(totalBits-1) in float for wide
+    // formats, so clamp the integer code as well.
     const auto code = static_cast<std::int64_t>(std::llrint(scaled));
     return std::clamp(code, lo, hi);
 }

@@ -1,6 +1,8 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "core/logging.h"
@@ -14,12 +16,32 @@ thread_local bool tls_in_pool_task = false;
 
 } // namespace
 
+long
+parseEnvInt(const char *text, const char *what)
+{
+    if (text == nullptr || *text == '\0' ||
+        std::isspace(static_cast<unsigned char>(*text)))
+        CTA_FATAL("empty ", what);
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0')
+        CTA_FATAL("malformed ", what, " '", text,
+                  "': expected a base-10 integer");
+    if (errno == ERANGE)
+        CTA_FATAL(what, " '", text, "' out of range");
+    return parsed;
+}
+
 int
 configuredThreadCount()
 {
     if (const char *env = std::getenv("CTA_THREADS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        return static_cast<int>(std::clamp(parsed, 1l, 64l));
+        const long parsed = parseEnvInt(env, "CTA_THREADS");
+        const long clamped = std::clamp(parsed, 1l, 64l);
+        if (clamped != parsed)
+            CTA_WARN("CTA_THREADS=", parsed, " clamped to ", clamped);
+        return static_cast<int>(clamped);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return static_cast<int>(std::clamp(hw, 1u, 16u));

@@ -27,8 +27,17 @@
 namespace cta::core {
 
 /**
+ * Strictly parses @p text as a base-10 integer. Exits via CTA_FATAL
+ * (naming @p what) on empty input, trailing garbage ("8x"), or
+ * overflow — a malformed CTA_THREADS/CTA_BACKEND must never silently
+ * degrade to a default.
+ */
+long parseEnvInt(const char *text, const char *what);
+
+/**
  * Worker count used by the process-global pool: the CTA_THREADS
- * environment variable when set (clamped to [1, 64]), otherwise
+ * environment variable when set (malformed values are fatal;
+ * out-of-range values clamp to [1, 64] with a warning), otherwise
  * std::thread::hardware_concurrency() clamped to [1, 16]. Read once
  * at first use of the global pool.
  */

@@ -96,6 +96,20 @@ LinearClusterTree::assign(std::span<const std::int32_t> code)
                   [static_cast<std::size_t>(addr)].clusterIdx;
 }
 
+IncrementalClusterTable::IncrementalClusterTable(Index hash_len)
+    : tree_(hash_len)
+{
+}
+
+Index
+IncrementalClusterTable::append(std::span<const std::int32_t> code)
+{
+    const Index cluster = tree_.assign(code);
+    table_.table.push_back(cluster);
+    table_.numClusters = tree_.numClusters();
+    return cluster;
+}
+
 ClusterTable
 buildClusterTable(const HashMatrix &codes)
 {

@@ -133,4 +133,38 @@ class LinearClusterTree
  */
 ClusterTable buildClusterTable(const HashMatrix &codes);
 
+/**
+ * Streaming cluster table for the serving layer: append() inserts one
+ * token's code into a live tree instead of rebuilding the table from
+ * scratch per decode step.
+ *
+ * Equivalence contract: tree assignment is order-streaming (a token's
+ * cluster index depends only on the codes before it), so after any
+ * number of appends table() is bit-identical to buildClusterTable()
+ * over the same code prefix — enforced by tests/serve_test.cc.
+ */
+class IncrementalClusterTable
+{
+  public:
+    explicit IncrementalClusterTable(core::Index hash_len);
+
+    /** Appends one code; returns the cluster index it joined. */
+    core::Index append(std::span<const std::int32_t> code);
+
+    /** The table over every code appended so far. */
+    const ClusterTable &table() const { return table_; }
+
+    /** Number of codes appended so far. */
+    core::Index size() const
+    {
+        return static_cast<core::Index>(table_.table.size());
+    }
+
+    core::Index numClusters() const { return table_.numClusters; }
+
+  private:
+    MapClusterTree tree_;
+    ClusterTable table_;
+};
+
 } // namespace cta::alg

@@ -82,6 +82,81 @@ aggregateProbabilities(const Matrix &s_bar,
     }
 }
 
+void
+ClusterPairCounts::add(Index c1, Index c2)
+{
+    CTA_REQUIRE(c1 >= 0 && c2 >= 0, "negative cluster index ", c1,
+                ", ", c2);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(c1) << 32) |
+        static_cast<std::uint64_t>(c2);
+    const auto [it, inserted] = index_.try_emplace(key, pairs_.size());
+    if (inserted)
+        pairs_.push_back(Pair{c1, c2, 1});
+    else
+        ++pairs_[it->second].count;
+    ++tokens_;
+}
+
+void
+aggregateProbabilitiesGrouped(const Matrix &s_bar,
+                              const ClusterPairCounts &pairs, Index k1,
+                              Matrix &ap, Matrix &row_sums,
+                              OpCounts *counts)
+{
+    const Index k0 = s_bar.rows();
+    const Index k_total = s_bar.cols();
+    ap = Matrix(k0, k_total);
+    row_sums = Matrix(k0, 1);
+    for (Index i = 0; i < k0; ++i) {
+        const Real *srow = s_bar.row(i).data();
+        Real *aprow = ap.row(i).data();
+        Wide total = 0;
+        for (const auto &pair : pairs.pairs()) {
+            const Index c1 = pair.c1;
+            const Index c2 = k1 + pair.c2;
+            CTA_ASSERT(c1 < k1 && c2 < k_total,
+                       "cluster index out of range");
+            const Real p = std::exp(srow[c1] + srow[c2]);
+            const Real weighted =
+                static_cast<Real>(pair.count) * p;
+            aprow[c1] += weighted;
+            aprow[c2] += weighted;
+            total += 2.0 * weighted;
+        }
+        row_sums(i, 0) = static_cast<Real>(total);
+    }
+    if (counts) {
+        const auto k0u = static_cast<std::uint64_t>(k0);
+        const auto pu =
+            static_cast<std::uint64_t>(pairs.pairs().size());
+        counts->exps += k0u * pu;
+        counts->muls += k0u * pu;      // count weighting
+        counts->adds += 3 * k0u * pu;  // s1+s2 and two AP merges
+    }
+}
+
+void
+refreshProjectedRow(const nn::Linear &linear,
+                    std::span<const Real> centroid, Matrix &projected,
+                    Index row, OpCounts *counts)
+{
+    CTA_REQUIRE(static_cast<Index>(centroid.size()) == linear.inDim(),
+                "centroid dim ", centroid.size(), " != linear in dim ",
+                linear.inDim());
+    CTA_REQUIRE(row >= 0 && row <= projected.rows(),
+                "projected row ", row, " out of range");
+    Matrix token(1, linear.inDim());
+    std::copy(centroid.begin(), centroid.end(), token.row(0).begin());
+    const Matrix y = linear.forward(token, counts);
+    if (row == projected.rows()) {
+        projected.appendRows(y);
+        return;
+    }
+    std::copy(y.row(0).begin(), y.row(0).end(),
+              projected.row(row).begin());
+}
+
 LshParamSet
 sampleLshParams(const CtaConfig &config, Index dim)
 {

@@ -23,6 +23,9 @@
 
 #pragma once
 
+#include <unordered_map>
+#include <vector>
+
 #include "core/matrix.h"
 #include "core/op_counter.h"
 #include "cta/compression.h"
@@ -170,5 +173,69 @@ void aggregateProbabilities(const core::Matrix &s_bar,
                             core::Index k1, core::Matrix &ap,
                             core::Matrix &row_sums,
                             core::OpCounts *counts = nullptr);
+
+/**
+ * Multiset of (level-1, level-2) cluster-pair occurrences over the KV
+ * tokens, in first-seen order. A token's aggregated probability
+ * p_j = exp(Sb[CT1[j]] + Sb[k1+CT2[j]]) depends only on its pair, so
+ * a decode session maintains these counts in O(1) per appended token
+ * and aggregates probabilities per distinct pair instead of per
+ * token (aggregateProbabilitiesGrouped).
+ */
+class ClusterPairCounts
+{
+  public:
+    struct Pair
+    {
+        core::Index c1 = 0;     ///< level-1 cluster
+        core::Index c2 = 0;     ///< level-2 cluster (un-offset)
+        core::Index count = 0;  ///< tokens with this pair
+    };
+
+    /** Records one token's (c1, c2) assignment. */
+    void add(core::Index c1, core::Index c2);
+
+    /** Distinct pairs in first-seen order (deterministic). */
+    const std::vector<Pair> &pairs() const { return pairs_; }
+
+    /** Total tokens recorded. */
+    core::Index tokens() const { return tokens_; }
+
+  private:
+    std::vector<Pair> pairs_;
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+    core::Index tokens_ = 0;
+};
+
+/**
+ * Grouped attention probability aggregation: algebraically identical
+ * to aggregateProbabilities() — each distinct (c1, c2) pair's
+ * probability is computed once and weighted by its multiplicity — at
+ * O(k0 * pairs) cost instead of O(k0 * n). Floating-point
+ * accumulation order differs from the per-token version (count-
+ * weighted adds in first-seen pair order), so results agree to
+ * rounding, not bit-for-bit; the serving layer's exact mode keeps the
+ * per-token path for bit-level comparisons.
+ */
+void aggregateProbabilitiesGrouped(const core::Matrix &s_bar,
+                                   const ClusterPairCounts &pairs,
+                                   core::Index k1, core::Matrix &ap,
+                                   core::Matrix &row_sums,
+                                   core::OpCounts *counts = nullptr);
+
+/**
+ * Re-projects one centroid row through @p linear into row @p row of
+ * @p projected (growing it by one row when row == projected.rows()).
+ * Every backend's GEMM computes each output row independently with
+ * the same ascending-k accumulation (core/backend.h determinism
+ * contract), so a row refreshed here is bit-identical to the
+ * corresponding row of linear.forward() over the full centroid
+ * matrix — which is how a decode session keeps Qb/Kb/Vb in sync
+ * while re-projecting only centroids that changed.
+ */
+void refreshProjectedRow(const nn::Linear &linear,
+                         std::span<const core::Real> centroid,
+                         core::Matrix &projected, core::Index row,
+                         core::OpCounts *counts = nullptr);
 
 } // namespace cta::alg

@@ -1,5 +1,7 @@
 #include "cta/compression.h"
 
+#include <utility>
+
 #include "core/logging.h"
 #include "core/op_counter.h"
 
@@ -81,6 +83,135 @@ compressTwoLevel(const Matrix &x, const LshParams &params1,
         Real *rrow = residual.row(i).data();
         for (Index j = 0; j < x.cols(); ++j)
             rrow[j] = trow[j] - crow[j];
+    }
+    if (counts)
+        counts->adds += static_cast<std::uint64_t>(x.size());
+    out.level2 = compressTokens(residual, params2, counts);
+    return out;
+}
+
+IncrementalCompression::IncrementalCompression(LshParams params)
+    : params_(std::move(params)),
+      table_(params_.hashLen()),
+      codeBuf_(static_cast<std::size_t>(params_.hashLen()), 0)
+{
+}
+
+std::span<const Real>
+IncrementalCompression::centroid(Index c) const
+{
+    return level_.centroids.row(c);
+}
+
+AppendResult
+IncrementalCompression::append(std::span<const Real> token,
+                               core::OpCounts *counts)
+{
+    const Index d = params_.dim();
+    CTA_REQUIRE(static_cast<Index>(token.size()) == d, "token dim ",
+                token.size(), " != compression dim ", d);
+    hashToken(token, params_, codeBuf_, counts);
+    const Index before = table_.numClusters();
+    const Index c = table_.append(codeBuf_);
+    AppendResult result{c, table_.numClusters() != before};
+    if (result.newCluster) {
+        sums_.appendRows(Matrix(1, d));
+        level_.centroids.appendRows(Matrix(1, d));
+        members_.push_back(0);
+    }
+    // Running member sum in ascending token order — the accumulation
+    // order aggregateCentroids uses, so sums stay bit-identical to a
+    // batch rebuild of the prefix.
+    Real *sum = sums_.row(c).data();
+    for (Index j = 0; j < d; ++j)
+        sum[j] += token[static_cast<std::size_t>(j)];
+    ++members_[static_cast<std::size_t>(c)];
+    // Refresh only the touched centroid: mean = sum * (1/count), the
+    // same mul aggregateCentroids applies.
+    const Real inv =
+        1.0f /
+        static_cast<Real>(members_[static_cast<std::size_t>(c)]);
+    Real *crow = level_.centroids.row(c).data();
+    for (Index j = 0; j < d; ++j)
+        crow[j] = sum[j] * inv;
+    level_.table.push_back(c);
+    level_.numClusters = table_.numClusters();
+    if (counts) {
+        // d adds into the sum plus a d-wide centroid refresh; the
+        // refresh really happens once per append here (the batch path
+        // pays numClusters*d divisions once instead).
+        counts->adds += static_cast<std::uint64_t>(d);
+        counts->divs += static_cast<std::uint64_t>(d);
+    }
+    return result;
+}
+
+IncrementalTwoLevelCompression::IncrementalTwoLevelCompression(
+    LshParams params1, LshParams params2)
+    : level1_(std::move(params1)), level2_(std::move(params2))
+{
+    CTA_REQUIRE(level1_.dim() == level2_.dim(),
+                "level-1/level-2 dims differ: ", level1_.dim(), " vs ",
+                level2_.dim());
+}
+
+TwoLevelAppendResult
+IncrementalTwoLevelCompression::append(std::span<const Real> token,
+                                       core::OpCounts *counts)
+{
+    TwoLevelAppendResult result;
+    result.level1 = level1_.append(token, counts);
+    // Decode-time residual, frozen at insertion: subtract the
+    // post-insert centroid of the cluster the token just joined.
+    const std::span<const Real> mean =
+        level1_.centroid(result.level1.cluster);
+    residualBuf_.resize(token.size());
+    for (std::size_t j = 0; j < token.size(); ++j)
+        residualBuf_[j] = token[j] - mean[j];
+    if (counts)
+        counts->adds += static_cast<std::uint64_t>(token.size());
+    result.level2 = level2_.append(residualBuf_, counts);
+    return result;
+}
+
+TwoLevelCompression
+IncrementalTwoLevelCompression::snapshot() const
+{
+    return TwoLevelCompression{level1_.level(), level2_.level()};
+}
+
+TwoLevelCompression
+compressTwoLevelDecode(const Matrix &x, const LshParams &params1,
+                       const LshParams &params2,
+                       core::OpCounts *counts)
+{
+    TwoLevelCompression out;
+    out.level1 = compressTokens(x, params1, counts);
+    // Residuals frozen at insertion: token i sees the centroid of its
+    // cluster over members 0..i only. Replayed here with running
+    // sums, mirroring the incremental arithmetic exactly (sum in
+    // token order, mean = sum * (1/count), subtract the stored mean).
+    const Index n = x.rows();
+    const Index d = x.cols();
+    Matrix sums(out.level1.numClusters, d);
+    std::vector<Index> members(
+        static_cast<std::size_t>(out.level1.numClusters), 0);
+    Matrix residual(n, d);
+    for (Index i = 0; i < n; ++i) {
+        const Index c = out.level1.table[static_cast<std::size_t>(i)];
+        Real *sum = sums.row(c).data();
+        const Real *trow = x.row(i).data();
+        for (Index j = 0; j < d; ++j)
+            sum[j] += trow[j];
+        ++members[static_cast<std::size_t>(c)];
+        const Real inv =
+            1.0f /
+            static_cast<Real>(members[static_cast<std::size_t>(c)]);
+        Real *rrow = residual.row(i).data();
+        for (Index j = 0; j < d; ++j) {
+            const Real mean = sum[j] * inv;
+            rrow[j] = trow[j] - mean;
+        }
     }
     if (counts)
         counts->adds += static_cast<std::uint64_t>(x.size());

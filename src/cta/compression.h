@@ -76,4 +76,120 @@ core::Matrix reconstruct(const CompressionLevel &level);
 /** Reconstructs X~_i = C1[CT1[i]] + C2[CT2[i]] (eq. 2, keys/values). */
 core::Matrix reconstruct(const TwoLevelCompression &compression);
 
+/** What one append() did to an incremental compression level. */
+struct AppendResult
+{
+    core::Index cluster = 0;  ///< cluster the token joined
+    bool newCluster = false;  ///< a new centroid row was created
+};
+
+/**
+ * One streaming compression level for autoregressive decode: append()
+ * hashes just the new token, inserts its code into the live cluster
+ * tree, adds it into the cluster's running sum and refreshes only the
+ * touched centroid row — O(l*d) per token instead of the O(n*l*d)
+ * full recompression compressTokens() pays per call.
+ *
+ * Equivalence contract: level() after any number of appends is
+ * bit-identical to compressTokens() over the same token prefix. The
+ * table matches because tree assignment is order-streaming; centroids
+ * match because each cluster's sum accumulates its members in
+ * ascending token order — exactly aggregateCentroids()'s order — and
+ * the mean is formed the same way (sum * (1/count)). Enforced by
+ * tests/serve_test.cc.
+ */
+class IncrementalCompression
+{
+  public:
+    explicit IncrementalCompression(LshParams params);
+
+    /** Appends one token (length dim()); updates tree + centroid. */
+    AppendResult append(std::span<const core::Real> token,
+                        core::OpCounts *counts = nullptr);
+
+    /** Compression of every token appended so far. */
+    const CompressionLevel &level() const { return level_; }
+
+    /** Current centroid (mean) of cluster @p c. */
+    std::span<const core::Real> centroid(core::Index c) const;
+
+    /** Tokens appended so far. */
+    core::Index size() const
+    {
+        return static_cast<core::Index>(level_.table.size());
+    }
+
+    core::Index dim() const { return params_.dim(); }
+
+  private:
+    LshParams params_;
+    IncrementalClusterTable table_;
+    core::Matrix sums_;               ///< numClusters x d member sums
+    std::vector<core::Index> members_;
+    CompressionLevel level_;
+    std::vector<std::int32_t> codeBuf_;
+};
+
+/** What one append() did to an incremental two-level compression. */
+struct TwoLevelAppendResult
+{
+    AppendResult level1;
+    AppendResult level2;
+};
+
+/**
+ * Streaming two-level residual compression — the KV-side state a
+ * decode session maintains across steps.
+ *
+ * Decode-time residual semantics: the level-2 residual of token i is
+ * frozen at insertion, r_i = x_i - C1[CT1[i]] with C1 taken right
+ * after inserting token i. (Batch compressTwoLevel() subtracts the
+ * *final* centroids instead; under that definition every append to a
+ * cluster would change the residuals — and hence level-2 codes — of
+ * all its earlier members, forcing O(n) rehash/rebuild work per step.
+ * Freezing keeps appends O(l*d) while eq. 2 still holds with the
+ * prefix centroid state.) The from-scratch reference for this
+ * semantics is compressTwoLevelDecode(); incremental state must match
+ * it bit-for-bit at every prefix length (tests/serve_test.cc).
+ */
+class IncrementalTwoLevelCompression
+{
+  public:
+    IncrementalTwoLevelCompression(LshParams params1,
+                                   LshParams params2);
+
+    /** Appends one KV token to both levels. */
+    TwoLevelAppendResult append(std::span<const core::Real> token,
+                                core::OpCounts *counts = nullptr);
+
+    const IncrementalCompression &level1() const { return level1_; }
+    const IncrementalCompression &level2() const { return level2_; }
+
+    /** Copies the current state into a batch TwoLevelCompression. */
+    TwoLevelCompression snapshot() const;
+
+    /** Tokens appended so far. */
+    core::Index size() const { return level1_.size(); }
+
+  private:
+    IncrementalCompression level1_;
+    IncrementalCompression level2_;
+    std::vector<core::Real> residualBuf_;
+};
+
+/**
+ * From-scratch rebuild of the decode-time two-level compression over
+ * a whole prefix, built from the batch primitives (hashTokens,
+ * buildClusterTable, aggregateCentroids): level 1 is exactly
+ * compressTokens(); residuals are then formed sequentially against
+ * the running (prefix) centroid of each token's cluster and level 2
+ * is compressTokens() over those residuals. This is the independent
+ * reference IncrementalTwoLevelCompression is bit-compared against.
+ */
+TwoLevelCompression compressTwoLevelDecode(const core::Matrix &x,
+                                           const LshParams &params1,
+                                           const LshParams &params2,
+                                           core::OpCounts *counts =
+                                               nullptr);
+
 } // namespace cta::alg

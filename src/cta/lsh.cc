@@ -1,6 +1,7 @@
 #include "cta/lsh.h"
 
 #include <cmath>
+#include <limits>
 
 #include "core/logging.h"
 #include "core/op_counter.h"
@@ -68,6 +69,60 @@ LshParams::withWidth(Real new_w) const
     return params;
 }
 
+namespace {
+
+/**
+ * Saturating bucket conversion: floor values beyond the int32 range
+ * clamp to its bounds (small w plus large tokens can push dot/w far
+ * past 2^31, where a raw cast is UB); NaN maps to bucket 0.
+ */
+std::int32_t
+toBucket(Wide floored)
+{
+    constexpr Wide lo =
+        static_cast<Wide>(std::numeric_limits<std::int32_t>::min());
+    constexpr Wide hi =
+        static_cast<Wide>(std::numeric_limits<std::int32_t>::max());
+    if (std::isnan(floored))
+        return 0;
+    if (floored <= lo)
+        return std::numeric_limits<std::int32_t>::min();
+    if (floored >= hi)
+        return std::numeric_limits<std::int32_t>::max();
+    return static_cast<std::int32_t>(floored);
+}
+
+} // namespace
+
+void
+hashToken(std::span<const Real> token, const LshParams &params,
+          std::span<std::int32_t> code, core::OpCounts *counts)
+{
+    const Index l = params.hashLen();
+    const Index d = params.dim();
+    CTA_REQUIRE(static_cast<Index>(token.size()) == d, "token dim ",
+                token.size(), " != LSH dim ", d);
+    CTA_REQUIRE(static_cast<Index>(code.size()) == l, "code length ",
+                code.size(), " != hash length ", l);
+    const Real inv_w = 1.0f / params.w;
+    for (Index j = 0; j < l; ++j) {
+        const Real *dir = params.a.row(j).data();
+        Wide dot = 0;
+        for (Index k = 0; k < d; ++k)
+            dot += static_cast<Wide>(dir[k]) * token[k];
+        const Wide shifted = (dot + params.b(j, 0)) * inv_w;
+        code[static_cast<std::size_t>(j)] =
+            toBucket(std::floor(shifted));
+    }
+    if (counts) {
+        const auto lu = static_cast<std::uint64_t>(l);
+        counts->macs += lu * static_cast<std::uint64_t>(d);
+        counts->adds += lu;   // + b
+        counts->muls += lu;   // * 1/w
+        counts->floors += lu;
+    }
+}
+
 HashMatrix
 hashTokens(const Matrix &x, const LshParams &params,
            core::OpCounts *counts)
@@ -76,28 +131,11 @@ hashTokens(const Matrix &x, const LshParams &params,
                 " != LSH dim ", params.dim());
     const Index n = x.rows();
     const Index l = params.hashLen();
-    const Index d = params.dim();
     HashMatrix h(n, l);
-    const Real inv_w = 1.0f / params.w;
     for (Index i = 0; i < n; ++i) {
-        const Real *token = x.row(i).data();
-        for (Index j = 0; j < l; ++j) {
-            const Real *dir = params.a.row(j).data();
-            Wide dot = 0;
-            for (Index k = 0; k < d; ++k)
-                dot += static_cast<Wide>(dir[k]) * token[k];
-            const Wide shifted = (dot + params.b(j, 0)) * inv_w;
-            h(i, j) = static_cast<std::int32_t>(
-                std::floor(shifted));
-        }
-    }
-    if (counts) {
-        const auto nu = static_cast<std::uint64_t>(n);
-        const auto lu = static_cast<std::uint64_t>(l);
-        counts->macs += lu * nu * static_cast<std::uint64_t>(d);
-        counts->adds += lu * nu;   // + b
-        counts->muls += lu * nu;   // * 1/w
-        counts->floors += lu * nu;
+        std::span<std::int32_t> row{&h(i, 0),
+                                    static_cast<std::size_t>(l)};
+        hashToken(x.row(i), params, row, counts);
     }
     return h;
 }

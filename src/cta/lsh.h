@@ -79,8 +79,24 @@ struct LshParams
  * the MAC chain), l*n adds and l*n floor/divide pairs — matching the
  * paper's SIII-D overhead accounting of 3*l*n*d multiplications for
  * the three LSH instances.
+ *
+ * Bucket integers saturate to the int32 range (extreme dot products
+ * under a tiny bucket width would otherwise overflow the cast); NaN
+ * inputs hash to bucket 0.
  */
 HashMatrix hashTokens(const core::Matrix &x, const LshParams &params,
                       core::OpCounts *counts = nullptr);
+
+/**
+ * Hashes a single token into @p code (length hashLen()). This is the
+ * exact per-row computation of hashTokens — a token's hash depends on
+ * nothing but the token and the parameters — so hashing tokens one at
+ * a time as a decode session appends them produces bit-identical
+ * codes to batch-hashing the whole prefix. Charges l*d MACs, l adds,
+ * l muls and l floors.
+ */
+void hashToken(std::span<const core::Real> token,
+               const LshParams &params, std::span<std::int32_t> code,
+               core::OpCounts *counts = nullptr);
 
 } // namespace cta::alg

@@ -18,6 +18,9 @@ using core::Wide;
 Matrix
 rowExp(const Matrix &scores, Matrix &row_sums, OpCounts *counts)
 {
+    // Guard here, not just in rowSoftmax: max_element on an empty row
+    // is UB, and rowExp is callable on its own.
+    CTA_REQUIRE(scores.cols() > 0, "softmax over empty rows");
     Matrix out(scores.rows(), scores.cols());
     row_sums = Matrix(scores.rows(), 1);
     // Row-parallel: each row's max/exp/denominator is independent.
@@ -50,7 +53,6 @@ rowExp(const Matrix &scores, Matrix &row_sums, OpCounts *counts)
 Matrix
 rowSoftmax(const Matrix &scores, OpCounts *counts)
 {
-    CTA_REQUIRE(scores.cols() > 0, "softmax over empty rows");
     Matrix row_sums;
     Matrix out = rowExp(scores, row_sums, counts);
     core::activeBackend().mapRows(

@@ -1,0 +1,107 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/parallel.h"
+
+namespace cta::serve {
+
+using core::Index;
+
+Batcher::Batcher(core::ThreadPool *pool) : pool_(pool) {}
+
+core::ThreadPool &
+Batcher::pool() const
+{
+    return pool_ ? *pool_ : core::ThreadPool::global();
+}
+
+Index
+Batcher::addSession(std::unique_ptr<DecodeSession> session)
+{
+    CTA_REQUIRE(session != nullptr, "null session");
+    sessions_.push_back(std::move(session));
+    return static_cast<Index>(sessions_.size()) - 1;
+}
+
+Index
+Batcher::sessionCount() const
+{
+    return static_cast<Index>(sessions_.size());
+}
+
+DecodeSession &
+Batcher::session(Index id)
+{
+    CTA_REQUIRE(id >= 0 && id < sessionCount(), "session id ", id,
+                " out of range [0, ", sessionCount(), ")");
+    return *sessions_[static_cast<std::size_t>(id)];
+}
+
+void
+Batcher::submit(Index session, std::span<const core::Real> token)
+{
+    CTA_REQUIRE(session >= 0 && session < sessionCount(),
+                "session id ", session, " out of range [0, ",
+                sessionCount(), ")");
+    Pending pending;
+    pending.session = session;
+    pending.token.assign(token.begin(), token.end());
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.slot = pending_.size();
+    pending_.push_back(std::move(pending));
+}
+
+Index
+Batcher::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<Index>(pending_.size());
+}
+
+std::vector<StepResult>
+Batcher::flush()
+{
+    std::vector<Pending> batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch.swap(pending_);
+    }
+    std::vector<StepResult> results(batch.size());
+    if (batch.empty())
+        return results;
+
+    // Group by session, preserving submission order within each: a
+    // session is sequential state, so its queued steps form one
+    // serial task; distinct sessions fan out over the pool.
+    std::vector<std::vector<std::size_t>> per_session(
+        sessions_.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        per_session[static_cast<std::size_t>(batch[i].session)]
+            .push_back(i);
+    std::vector<Index> active;
+    for (std::size_t s = 0; s < per_session.size(); ++s)
+        if (!per_session[s].empty())
+            active.push_back(static_cast<Index>(s));
+
+    pool().run(static_cast<Index>(active.size()), [&](Index t) {
+        const Index sid = active[static_cast<std::size_t>(t)];
+        DecodeSession &sess = *sessions_[static_cast<std::size_t>(sid)];
+        for (const std::size_t i :
+             per_session[static_cast<std::size_t>(sid)]) {
+            const Pending &p = batch[i];
+            const auto begin = std::chrono::steady_clock::now();
+            core::Matrix out = sess.step(p.token);
+            const auto end = std::chrono::steady_clock::now();
+            stats_.recordStep(
+                std::chrono::duration<double>(end - begin).count());
+            results[p.slot] =
+                StepResult{p.session, std::move(out)};
+        }
+    });
+    return results;
+}
+
+} // namespace cta::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Groups pending decode steps of many sessions into one batched
+ * flush over the thread pool.
+ *
+ * Sessions are stateful and strictly sequential, so the batching
+ * model is: within a session, queued steps run in submission order on
+ * one worker; across sessions, work fans out over the pool
+ * (ThreadPool::run, one task per session with pending work). Outputs
+ * come back in global submission order, and because sessions are
+ * independent and each is processed serially, results are
+ * deterministic for any thread count — the same contract the compute
+ * backends follow. (A session's inner GEMMs may themselves hit the
+ * pool; re-entrant run() degrades to inline execution with identical
+ * results.)
+ */
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "serve/decode_session.h"
+#include "serve/server_stats.h"
+
+namespace cta::core {
+class ThreadPool;
+} // namespace cta::core
+
+namespace cta::serve {
+
+/** One completed decode step, in submission order. */
+struct StepResult
+{
+    core::Index session = 0; ///< id returned by addSession()
+    core::Matrix output;     ///< 1 x d attention output
+};
+
+/** Batches queued per-session steps over a thread pool. */
+class Batcher
+{
+  public:
+    /** @param pool worker pool; nullptr means the process-global
+     *  pool. */
+    explicit Batcher(core::ThreadPool *pool = nullptr);
+
+    /** Registers a session; returns its id (dense, from 0). */
+    core::Index addSession(std::unique_ptr<DecodeSession> session);
+
+    core::Index sessionCount() const;
+
+    DecodeSession &session(core::Index id);
+
+    /** Queues one decode step (copies @p token). Thread-safe. */
+    void submit(core::Index session, std::span<const core::Real> token);
+
+    /** Queued steps not yet flushed. */
+    core::Index pendingCount() const;
+
+    /**
+     * Runs every queued step — per-session sequential, cross-session
+     * parallel — and returns outputs in submission order. Each step's
+     * latency is recorded in stats().
+     */
+    std::vector<StepResult> flush();
+
+    /** Per-step latency/throughput accumulator. */
+    ServerStats &stats() { return stats_; }
+
+  private:
+    struct Pending
+    {
+        core::Index session = 0;
+        std::vector<core::Real> token;
+        std::size_t slot = 0; ///< submission index within the flush
+    };
+
+    core::ThreadPool &pool() const;
+
+    core::ThreadPool *pool_;
+    std::vector<std::unique_ptr<DecodeSession>> sessions_;
+    mutable std::mutex mutex_; ///< guards pending_
+    std::vector<Pending> pending_;
+    ServerStats stats_;
+};
+
+} // namespace cta::serve

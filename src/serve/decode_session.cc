@@ -1,0 +1,153 @@
+#include "serve/decode_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace cta::serve {
+
+using core::Index;
+using core::Matrix;
+using core::OpCounts;
+using core::Real;
+
+DecodeSession::DecodeSession(nn::AttentionHeadParams params,
+                             ServeConfig config, Index token_dim)
+    : params_(std::move(params)),
+      config_(config),
+      lsh_(alg::sampleLshParams(config_.cta, token_dim)),
+      kv_(lsh_.lsh1, lsh_.lsh2),
+      tokenDim_(token_dim)
+{
+    CTA_REQUIRE(params_.wq.inDim() == token_dim &&
+                params_.wk.inDim() == token_dim &&
+                params_.wv.inDim() == token_dim,
+                "head projections expect token dim ",
+                params_.wq.inDim(), ", session serves ", token_dim);
+    const Index d = params_.wk.outDim();
+    kBar1_ = Matrix(0, d);
+    kBar2_ = Matrix(0, d);
+    vBar1_ = Matrix(0, d);
+    vBar2_ = Matrix(0, d);
+}
+
+const Matrix &
+DecodeSession::kBar(int level) const
+{
+    CTA_REQUIRE(level == 1 || level == 2, "level must be 1 or 2");
+    return level == 1 ? kBar1_ : kBar2_;
+}
+
+const Matrix &
+DecodeSession::vBar(int level) const
+{
+    CTA_REQUIRE(level == 1 || level == 2, "level must be 1 or 2");
+    return level == 1 ? vBar1_ : vBar2_;
+}
+
+void
+DecodeSession::ingest(std::span<const Real> token, OpCounts *counts)
+{
+    const alg::TwoLevelAppendResult r = kv_.append(token, counts);
+    // Only the two centroids this token touched changed; refresh
+    // exactly those cached projection rows (bit-identical to a full
+    // forward over the centroid matrices — backend rows are
+    // independent).
+    alg::refreshProjectedRow(params_.wk,
+                             kv_.level1().centroid(r.level1.cluster),
+                             kBar1_, r.level1.cluster, counts);
+    alg::refreshProjectedRow(params_.wv,
+                             kv_.level1().centroid(r.level1.cluster),
+                             vBar1_, r.level1.cluster, counts);
+    alg::refreshProjectedRow(params_.wk,
+                             kv_.level2().centroid(r.level2.cluster),
+                             kBar2_, r.level2.cluster, counts);
+    alg::refreshProjectedRow(params_.wv,
+                             kv_.level2().centroid(r.level2.cluster),
+                             vBar2_, r.level2.cluster, counts);
+    pairs_.add(r.level1.cluster, r.level2.cluster);
+}
+
+void
+DecodeSession::prefill(const Matrix &tokens)
+{
+    CTA_REQUIRE(tokens.cols() == tokenDim_, "prefill token dim ",
+                tokens.cols(), " != session dim ", tokenDim_);
+    OpCounts ops;
+    for (Index i = 0; i < tokens.rows(); ++i)
+        ingest(tokens.row(i), &ops);
+    totalOps_ += ops;
+}
+
+Matrix
+DecodeSession::step(std::span<const Real> token)
+{
+    CTA_REQUIRE(static_cast<Index>(token.size()) == tokenDim_,
+                "step token dim ", token.size(), " != session dim ",
+                tokenDim_);
+    OpCounts ops;
+    ingest(token, &ops);
+
+    // Stage 2 for the query: the lone query is its own cluster with
+    // the token as centroid, so only the projection remains.
+    Matrix q(1, tokenDim_);
+    std::copy(token.begin(), token.end(), q.row(0).begin());
+    const Matrix q_bar = params_.wq.forward(q, &ops);
+
+    // Stages 3-5 mirror ctaAttentionFromCompression() operation for
+    // operation (the bit-exactness contract), reading the cached
+    // projections instead of reprojecting [C1; C2].
+    Matrix k_bar = kBar1_;
+    k_bar.appendRows(kBar2_);
+    Matrix v_bar = vBar1_;
+    v_bar.appendRows(vBar2_);
+    const Index k1 = kv_.level1().level().numClusters;
+    const Index k2 = kv_.level2().level().numClusters;
+    const Index d = q_bar.cols();
+
+    const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
+    Matrix s_bar = matmulTransB(q_bar, k_bar, &ops);
+    s_bar = scale(s_bar, inv_sqrt_d, &ops);
+
+    if (config_.cta.subtractRowMax) {
+        Real *row = s_bar.row(0).data();
+        Real row_max = row[0];
+        for (Index j = 1; j < k1; ++j)
+            row_max = std::max(row_max, row[j]);
+        for (Index j = k1; j < k1 + k2; ++j)
+            row[j] -= row_max;
+        ops.cmps += static_cast<std::uint64_t>(k1 - 1);
+        ops.adds += static_cast<std::uint64_t>(k2);
+    }
+
+    Matrix ap;
+    Matrix row_sums;
+    if (config_.groupedAggregation) {
+        alg::aggregateProbabilitiesGrouped(s_bar, pairs_, k1, ap,
+                                           row_sums, &ops);
+    } else {
+        alg::aggregateProbabilities(s_bar, kv_.level1().level().table,
+                                    kv_.level2().level().table, k1,
+                                    ap, row_sums, &ops);
+    }
+
+    const Matrix o_bar = matmul(ap, v_bar, &ops);
+
+    const Real denom = row_sums(0, 0) * 0.5f;
+    CTA_ASSERT(denom > 0, "zero attention denominator");
+    const Real inv = 1.0f / denom;
+    Matrix out(1, d);
+    const Real *src = o_bar.row(0).data();
+    Real *dst = out.row(0).data();
+    for (Index j = 0; j < d; ++j)
+        dst[j] = src[j] * inv;
+    ops.divs += static_cast<std::uint64_t>(d);
+
+    lastStepOps_ = ops;
+    totalOps_ += ops;
+    return out;
+}
+
+} // namespace cta::serve

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * One autoregressive decode stream served with CTA compression state
+ * maintained *incrementally* across steps.
+ *
+ * Per generated token, a session:
+ *
+ *   1. appends the token to its two-level KV compression (hashing
+ *      only that token, inserting into the live cluster trees, and
+ *      refreshing only the touched centroids — O(l*d)),
+ *   2. re-projects just the touched centroid rows through W^K / W^V
+ *      (O(d*d) each; GEMM rows are independent under the backend
+ *      determinism contract, so cached rows stay bit-identical to a
+ *      full forward over the centroid matrix),
+ *   3. runs CTA stages 3-5 for the single new query against the
+ *      cached compressed projections — O((k1+k2)*d) scores/output
+ *      plus O(pairs) grouped probability aggregation.
+ *
+ * Total per-step cost is O(l*d + (k1+k2)*d + pairs) — sub-linear in
+ * the context length n, versus the O(n*l*d) full recompression a
+ * batch ctaAttention() call pays.
+ *
+ * Equivalence contract (tests/serve_test.cc): after any number of
+ * steps, kv().snapshot() is bit-identical to compressTwoLevelDecode()
+ * over the same token prefix, and — with groupedAggregation off — a
+ * step's output is bit-identical to ctaAttentionFromCompression()
+ * over that rebuilt state with the new token as the only query.
+ */
+
+#pragma once
+
+#include <span>
+
+#include "core/matrix.h"
+#include "core/op_counter.h"
+#include "cta/compressed_attention.h"
+#include "cta/compression.h"
+#include "nn/attention.h"
+
+namespace cta::serve {
+
+/** Serving-layer configuration of one decode session. */
+struct ServeConfig
+{
+    /** The CTA scheme parameters (hash length, bucket widths, ...). */
+    alg::CtaConfig cta;
+    /**
+     * Aggregate attention probabilities per distinct (c1, c2) cluster
+     * pair — O(pairs) per step — instead of per context token (O(n)).
+     * Algebraically identical; accumulation order differs, so switch
+     * off for bit-level comparisons against the batch path.
+     */
+    bool groupedAggregation = true;
+};
+
+/** Incremental CTA decode state for one attention head's stream. */
+class DecodeSession
+{
+  public:
+    /**
+     * @param params projection weights of the served head; wq/wk/wv
+     *        must all accept tokens of dimension @p token_dim
+     * @param token_dim dimension d_w of incoming tokens
+     */
+    DecodeSession(nn::AttentionHeadParams params, ServeConfig config,
+                  core::Index token_dim);
+
+    /** Ingests a context-token matrix (n x tokenDim) row by row,
+     *  updating KV state without producing outputs. */
+    void prefill(const core::Matrix &tokens);
+
+    /**
+     * Appends @p token to the KV state and returns the CTA attention
+     * output (1 x d) of the new token attending over the whole
+     * context including itself. The single query is its own cluster,
+     * so the query "compression" is the identity.
+     */
+    core::Matrix step(std::span<const core::Real> token);
+
+    /** Context tokens absorbed so far (prefill + steps). */
+    core::Index contextLength() const { return kv_.size(); }
+
+    core::Index tokenDim() const { return tokenDim_; }
+
+    const ServeConfig &config() const { return config_; }
+
+    const nn::AttentionHeadParams &params() const { return params_; }
+
+    /** Live incremental KV compression state (for tests/metrics). */
+    const alg::IncrementalTwoLevelCompression &kv() const
+    {
+        return kv_;
+    }
+
+    /** Live (c1, c2) pair multiset (for tests/metrics). */
+    const alg::ClusterPairCounts &pairs() const { return pairs_; }
+
+    /** Cached K projection of the level-@p level centroids. */
+    const core::Matrix &kBar(int level) const;
+
+    /** Cached V projection of the level-@p level centroids. */
+    const core::Matrix &vBar(int level) const;
+
+    /** Operation counts of the most recent step() call. */
+    const core::OpCounts &lastStepOps() const { return lastStepOps_; }
+
+    /** Cumulative operation counts over prefill + all steps. */
+    const core::OpCounts &totalOps() const { return totalOps_; }
+
+  private:
+    /** KV append + touched-centroid reprojection + pair update. */
+    void ingest(std::span<const core::Real> token,
+                core::OpCounts *counts);
+
+    nn::AttentionHeadParams params_;
+    ServeConfig config_;
+    alg::LshParamSet lsh_;
+    alg::IncrementalTwoLevelCompression kv_;
+    core::Matrix kBar1_; ///< k1 x d cached W^K projection of C1
+    core::Matrix kBar2_; ///< k2 x d cached W^K projection of C2
+    core::Matrix vBar1_; ///< k1 x d cached W^V projection of C1
+    core::Matrix vBar2_; ///< k2 x d cached W^V projection of C2
+    alg::ClusterPairCounts pairs_;
+    core::Index tokenDim_ = 0;
+    core::OpCounts lastStepOps_;
+    core::OpCounts totalOps_;
+};
+
+} // namespace cta::serve

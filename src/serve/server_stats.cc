@@ -1,0 +1,92 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace cta::serve {
+
+using core::Index;
+
+void
+ServerStats::recordStep(double seconds, Index tokens)
+{
+    CTA_REQUIRE(seconds >= 0 && tokens >= 0,
+                "negative step duration or token count");
+    std::lock_guard<std::mutex> lock(mutex_);
+    stepSeconds_.push_back(seconds);
+    tokens_ += tokens;
+    totalSeconds_ += seconds;
+}
+
+Index
+ServerStats::steps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<Index>(stepSeconds_.size());
+}
+
+double
+ServerStats::percentileOf(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const auto n = static_cast<double>(sorted.size());
+    // Nearest-rank: smallest index r with r/n >= p/100.
+    const auto rank = static_cast<std::size_t>(
+        std::clamp(std::ceil(p / 100.0 * n), 1.0, n));
+    return sorted[rank - 1];
+}
+
+double
+ServerStats::percentileSeconds(double p) const
+{
+    CTA_REQUIRE(p >= 0 && p <= 100, "percentile ", p,
+                " outside [0, 100]");
+    std::vector<double> sorted;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sorted = stepSeconds_;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    return percentileOf(sorted, p);
+}
+
+ServerStatsSnapshot
+ServerStats::snapshot() const
+{
+    std::vector<double> sorted;
+    ServerStatsSnapshot snap;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sorted = stepSeconds_;
+        snap.tokens = tokens_;
+        snap.totalSeconds = totalSeconds_;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    snap.steps = static_cast<Index>(sorted.size());
+    if (snap.steps == 0)
+        return snap;
+    snap.meanSeconds =
+        snap.totalSeconds / static_cast<double>(snap.steps);
+    snap.p50Seconds = percentileOf(sorted, 50);
+    snap.p95Seconds = percentileOf(sorted, 95);
+    snap.p99Seconds = percentileOf(sorted, 99);
+    snap.maxSeconds = sorted.back();
+    if (snap.totalSeconds > 0)
+        snap.tokensPerSecond =
+            static_cast<double>(snap.tokens) / snap.totalSeconds;
+    return snap;
+}
+
+void
+ServerStats::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stepSeconds_.clear();
+    tokens_ = 0;
+    totalSeconds_ = 0;
+}
+
+} // namespace cta::serve

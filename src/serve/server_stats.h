@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Latency/throughput accumulator for the serving layer.
+ *
+ * core::RunningStat keeps only moments; a serving benchmark needs
+ * tail latencies, so ServerStats records every step duration and
+ * reports nearest-rank percentiles (p50/p95/p99) plus the serialized
+ * token rate. recordStep() is thread-safe — Batcher::flush() calls it
+ * from pool workers.
+ */
+
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cta::serve {
+
+/** Point-in-time summary of a ServerStats accumulator. */
+struct ServerStatsSnapshot
+{
+    core::Index steps = 0;   ///< recorded decode steps
+    core::Index tokens = 0;  ///< tokens those steps produced
+    double totalSeconds = 0; ///< sum of step durations
+    double meanSeconds = 0;  ///< mean step duration
+    double p50Seconds = 0;   ///< median step duration
+    double p95Seconds = 0;
+    double p99Seconds = 0;
+    double maxSeconds = 0;
+    /** tokens / totalSeconds: the serialized-equivalent rate (batch
+     *  wall-clock throughput is higher; the bench measures it
+     *  separately). */
+    double tokensPerSecond = 0;
+};
+
+/** Thread-safe per-step latency recorder with tail percentiles. */
+class ServerStats
+{
+  public:
+    /** Records one decode step that took @p seconds and produced
+     *  @p tokens tokens (one per session step). */
+    void recordStep(double seconds, core::Index tokens = 1);
+
+    /** Steps recorded so far. */
+    core::Index steps() const;
+
+    /**
+     * Nearest-rank percentile of the recorded step durations;
+     * @p p in [0, 100]. Returns 0 with no samples.
+     */
+    double percentileSeconds(double p) const;
+
+    /** Full summary (single lock, consistent across fields). */
+    ServerStatsSnapshot snapshot() const;
+
+    /** Drops all recorded samples. */
+    void reset();
+
+  private:
+    /** Nearest-rank percentile over a sorted sample vector. */
+    static double percentileOf(const std::vector<double> &sorted,
+                               double p);
+
+    mutable std::mutex mutex_;
+    std::vector<double> stepSeconds_;
+    core::Index tokens_ = 0;
+    double totalSeconds_ = 0;
+};
+
+} // namespace cta::serve

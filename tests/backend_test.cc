@@ -193,6 +193,25 @@ TEST(BackendFactoryTest, ParsesSpecStrings)
     EXPECT_GE(makeBackend("parallel")->threadCount(), 1);
 }
 
+TEST(BackendFactoryDeathTest, RejectsMalformedThreadCounts)
+{
+    // Regression: atoi accepted trailing garbage, so
+    // CTA_BACKEND=parallel:8x silently ran with 8 threads.
+    EXPECT_EXIT(makeBackend("parallel:8x"),
+                ::testing::ExitedWithCode(1),
+                "malformed CTA_BACKEND thread count");
+    EXPECT_EXIT(makeBackend("parallel:abc"),
+                ::testing::ExitedWithCode(1),
+                "malformed CTA_BACKEND thread count");
+    EXPECT_EXIT(makeBackend("parallel:"),
+                ::testing::ExitedWithCode(1),
+                "empty CTA_BACKEND thread count");
+    EXPECT_EXIT(makeBackend("parallel:0"),
+                ::testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(makeBackend("parallel:65"),
+                ::testing::ExitedWithCode(1), "outside");
+}
+
 /** End-to-end CTA run under a specific backend. */
 cta::alg::CtaResult
 runCta(Backend *backend)

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the serving-layer Batcher: submission-order outputs,
+ * per-session sequencing, determinism across thread counts, and step
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "nn/workload.h"
+#include "serve/batcher.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::core::ThreadPool;
+using cta::serve::Batcher;
+using cta::serve::DecodeSession;
+using cta::serve::ServeConfig;
+using cta::serve::StepResult;
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    return std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(Real)) == 0;
+}
+
+Matrix
+sampleTokens(Index n, Index dim, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = dim;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    profile.noiseScale = 0.05f;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+constexpr Index kDim = 32;
+constexpr Index kHeadDim = 16;
+
+std::unique_ptr<DecodeSession>
+makeSession(const cta::nn::AttentionHeadParams &params,
+            const Matrix &prefill)
+{
+    auto session = std::make_unique<DecodeSession>(
+        params, ServeConfig{}, kDim);
+    session->prefill(prefill);
+    return session;
+}
+
+/** Runs the same interleaved workload through a Batcher on @p pool;
+ *  returns the flush outputs. */
+std::vector<StepResult>
+runWorkload(ThreadPool *pool)
+{
+    Rng rng(9);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix ctx_a = sampleTokens(40, kDim, 21);
+    const Matrix ctx_b = sampleTokens(48, kDim, 22);
+    const Matrix steps = sampleTokens(12, kDim, 23);
+
+    Batcher batcher(pool);
+    const Index a = batcher.addSession(makeSession(params, ctx_a));
+    const Index b = batcher.addSession(makeSession(params, ctx_b));
+    // Interleave sessions: a b a b ... so the flush must demultiplex.
+    for (Index i = 0; i < steps.rows(); ++i)
+        batcher.submit(i % 2 == 0 ? a : b, steps.row(i));
+    EXPECT_EQ(batcher.pendingCount(), steps.rows());
+    auto results = batcher.flush();
+    EXPECT_EQ(batcher.pendingCount(), 0);
+    EXPECT_EQ(batcher.stats().steps(), steps.rows());
+    return results;
+}
+
+TEST(BatcherTest, FlushMatchesStandaloneSessions)
+{
+    const auto results = runWorkload(nullptr);
+    ASSERT_EQ(static_cast<Index>(results.size()), 12);
+
+    // Reference: the same two streams stepped directly, serially.
+    Rng rng(9);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    DecodeSession ref_a(params, ServeConfig{}, kDim);
+    DecodeSession ref_b(params, ServeConfig{}, kDim);
+    ref_a.prefill(sampleTokens(40, kDim, 21));
+    ref_b.prefill(sampleTokens(48, kDim, 22));
+    const Matrix steps = sampleTokens(12, kDim, 23);
+
+    for (Index i = 0; i < steps.rows(); ++i) {
+        const auto &result = results[static_cast<std::size_t>(i)];
+        EXPECT_EQ(result.session, i % 2);
+        DecodeSession &ref = i % 2 == 0 ? ref_a : ref_b;
+        const Matrix want = ref.step(steps.row(i));
+        EXPECT_TRUE(bitIdentical(result.output, want))
+            << "submission " << i;
+    }
+}
+
+TEST(BatcherTest, DeterministicAcrossThreadCounts)
+{
+    ThreadPool serial(1);
+    ThreadPool wide(8);
+    const auto one = runWorkload(&serial);
+    const auto eight = runWorkload(&wide);
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].session, eight[i].session);
+        EXPECT_TRUE(bitIdentical(one[i].output, eight[i].output))
+            << "submission " << i;
+    }
+}
+
+TEST(BatcherTest, MultipleStepsPerSessionStaySequential)
+{
+    Rng rng(10);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix ctx = sampleTokens(32, kDim, 31);
+    const Matrix steps = sampleTokens(5, kDim, 32);
+
+    Batcher batcher;
+    const Index id = batcher.addSession(makeSession(params, ctx));
+    for (Index i = 0; i < steps.rows(); ++i)
+        batcher.submit(id, steps.row(i));
+    const auto results = batcher.flush();
+    ASSERT_EQ(static_cast<Index>(results.size()), steps.rows());
+
+    DecodeSession ref(params, ServeConfig{}, kDim);
+    ref.prefill(ctx);
+    for (Index i = 0; i < steps.rows(); ++i) {
+        const Matrix want = ref.step(steps.row(i));
+        EXPECT_TRUE(bitIdentical(
+            results[static_cast<std::size_t>(i)].output, want))
+            << "queued step " << i;
+    }
+    // The batched session advanced exactly like the reference.
+    EXPECT_EQ(batcher.session(id).contextLength(),
+              ref.contextLength());
+}
+
+TEST(BatcherTest, FlushWithNothingPendingIsANoop)
+{
+    Batcher batcher;
+    EXPECT_TRUE(batcher.flush().empty());
+    EXPECT_EQ(batcher.stats().steps(), 0);
+}
+
+TEST(BatcherDeathTest, RejectsUnknownSessionIds)
+{
+    Batcher batcher;
+    const std::vector<Real> token(static_cast<std::size_t>(kDim), 0.0f);
+    EXPECT_EXIT(batcher.submit(0, token),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(batcher.session(3), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/fixed_point.h"
 #include "core/matrix.h"
@@ -49,6 +50,35 @@ TEST(FxpFormatTest, QuantizeSaturates)
     const FxpFormat fmt{13, 7};
     EXPECT_FLOAT_EQ(fmt.quantize(1000.0f), fmt.maxValue());
     EXPECT_FLOAT_EQ(fmt.quantize(-1000.0f), fmt.minValue());
+}
+
+TEST(FxpFormatTest, EncodeSaturatesNonFiniteAndHugeInputs)
+{
+    // Regression: encode() used to call llrint() before clamping, so
+    // non-finite or huge inputs hit UB and +inf could come back as
+    // minValue() (LLONG_MIN clamped to the lower bound).
+    const FxpFormat fmt{13, 7};
+    const Real inf = std::numeric_limits<Real>::infinity();
+    EXPECT_FLOAT_EQ(fmt.quantize(inf), fmt.maxValue());
+    EXPECT_FLOAT_EQ(fmt.quantize(-inf), fmt.minValue());
+    EXPECT_FLOAT_EQ(fmt.quantize(1e30f), fmt.maxValue());
+    EXPECT_FLOAT_EQ(fmt.quantize(-1e30f), fmt.minValue());
+    EXPECT_FLOAT_EQ(
+        fmt.quantize(std::numeric_limits<Real>::quiet_NaN()), 0.0f);
+}
+
+TEST(FxpFormatTest, EncodeSaturatesEveryFormatWidth)
+{
+    const Real inf = std::numeric_limits<Real>::infinity();
+    for (int total = 4; total <= 32; total += 7) {
+        for (int frac = 0; frac < total; frac += 3) {
+            const FxpFormat fmt{total, frac};
+            EXPECT_EQ(fmt.encode(inf),
+                      (std::int64_t{1} << (total - 1)) - 1);
+            EXPECT_EQ(fmt.encode(-inf),
+                      -(std::int64_t{1} << (total - 1)));
+        }
+    }
 }
 
 TEST(FxpFormatTest, EncodeDecodeRoundTripOnGrid)

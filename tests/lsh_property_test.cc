@@ -15,7 +15,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numbers>
+#include <vector>
 
 #include "core/rng.h"
 #include "cta/lsh.h"
@@ -125,6 +128,65 @@ TEST(CollisionLawTest, MonotoneInWidth)
         const double p = collisionProbability(c, w);
         EXPECT_GT(p, prev);
         prev = p;
+    }
+}
+
+TEST(BucketSaturationTest, ExtremeProjectionsClampToInt32Range)
+{
+    // Regression: the bucket index used to be formed with a plain
+    // static_cast<int32_t>(floor(shifted)), UB for extreme dot
+    // products — on x86 a huge *positive* projection came back as
+    // INT32_MIN. Buckets must saturate instead.
+    Rng rng(123);
+    const Index dim = 8;
+    const LshParams params =
+        LshParams::sample(3, dim, /*w=*/0.001f, rng);
+    Matrix x(3, dim);
+    for (Index j = 0; j < dim; ++j) {
+        x(0, j) = 1e30f;   // overflow positive
+        x(1, j) = -1e30f;  // overflow negative
+        x(2, j) = 0.5f;    // in range
+    }
+    const auto codes = hashTokens(x, params);
+    for (Index j = 0; j < 3; ++j) {
+        const std::int32_t hi = codes(0, j);
+        const std::int32_t lo = codes(1, j);
+        EXPECT_TRUE(hi == std::numeric_limits<std::int32_t>::max() ||
+                    hi == std::numeric_limits<std::int32_t>::min());
+        EXPECT_TRUE(lo == std::numeric_limits<std::int32_t>::max() ||
+                    lo == std::numeric_limits<std::int32_t>::min());
+        // Opposite-sign projections saturate at opposite ends.
+        EXPECT_NE(hi, lo);
+    }
+}
+
+TEST(BucketSaturationTest, NanProjectionsHashToZeroBucket)
+{
+    Rng rng(321);
+    const Index dim = 4;
+    const LshParams params = LshParams::sample(2, dim, 1.0f, rng);
+    Matrix x(1, dim);
+    for (Index j = 0; j < dim; ++j)
+        x(0, j) = std::numeric_limits<Real>::quiet_NaN();
+    const auto codes = hashTokens(x, params);
+    for (Index j = 0; j < 2; ++j)
+        EXPECT_EQ(codes(0, j), 0);
+}
+
+TEST(BucketSaturationTest, HashTokenMatchesHashTokens)
+{
+    // The single-token path must agree bit-for-bit with the batch
+    // path — it is the decode-time building block.
+    Rng rng(77);
+    const Index dim = 16, l = 6;
+    const LshParams params = LshParams::sample(l, dim, 1.0f, rng);
+    const Matrix x = Matrix::randomNormal(10, dim, rng);
+    const auto batch = hashTokens(x, params);
+    std::vector<std::int32_t> code(static_cast<std::size_t>(l));
+    for (Index i = 0; i < x.rows(); ++i) {
+        cta::alg::hashToken(x.row(i), params, code);
+        for (Index j = 0; j < l; ++j)
+            EXPECT_EQ(code[static_cast<std::size_t>(j)], batch(i, j));
     }
 }
 

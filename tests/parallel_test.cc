@@ -7,9 +7,12 @@
  */
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,9 +22,35 @@
 namespace {
 
 using cta::core::chunkSpans;
+using cta::core::configuredThreadCount;
 using cta::core::Index;
 using cta::core::parallelFor;
+using cta::core::parseEnvInt;
 using cta::core::ThreadPool;
+
+/** RAII guard setting an environment variable for one test. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            old_ = old;
+        setenv(name, value, /*overwrite=*/1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (old_)
+            setenv(name_, old_->c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::optional<std::string> old_;
+};
 
 TEST(ChunkSpansTest, EmptyRangeYieldsNoSpans)
 {
@@ -170,6 +199,60 @@ TEST(ParallelForTest, SingleThreadPoolWorks)
 TEST(ConfiguredThreadCountTest, IsPositive)
 {
     EXPECT_GE(cta::core::configuredThreadCount(), 1);
+}
+
+TEST(ParseEnvIntTest, ParsesPlainIntegers)
+{
+    EXPECT_EQ(parseEnvInt("8", "test"), 8);
+    EXPECT_EQ(parseEnvInt("-3", "test"), -3);
+    EXPECT_EQ(parseEnvInt("0", "test"), 0);
+}
+
+TEST(ParseEnvIntDeathTest, RejectsMalformedValues)
+{
+    // Regression: strtol-without-endptr accepted "8x" as 8 and
+    // silently parsed "abc" as 0.
+    EXPECT_EXIT(parseEnvInt("8x", "CTA_THREADS"),
+                ::testing::ExitedWithCode(1), "malformed CTA_THREADS");
+    EXPECT_EXIT(parseEnvInt("abc", "CTA_THREADS"),
+                ::testing::ExitedWithCode(1), "malformed CTA_THREADS");
+    EXPECT_EXIT(parseEnvInt("", "CTA_THREADS"),
+                ::testing::ExitedWithCode(1), "empty CTA_THREADS");
+    EXPECT_EXIT(parseEnvInt(" 8", "CTA_THREADS"),
+                ::testing::ExitedWithCode(1), "empty CTA_THREADS");
+    EXPECT_EXIT(parseEnvInt("99999999999999999999", "CTA_THREADS"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ConfiguredThreadCountTest, ReadsValidEnv)
+{
+    ScopedEnv env("CTA_THREADS", "5");
+    EXPECT_EQ(configuredThreadCount(), 5);
+}
+
+TEST(ConfiguredThreadCountTest, ClampsOutOfRangeValues)
+{
+    {
+        ScopedEnv env("CTA_THREADS", "1000");
+        EXPECT_EQ(configuredThreadCount(), 64);
+    }
+    {
+        ScopedEnv env("CTA_THREADS", "0");
+        EXPECT_EQ(configuredThreadCount(), 1);
+    }
+    {
+        ScopedEnv env("CTA_THREADS", "-4");
+        EXPECT_EQ(configuredThreadCount(), 1);
+    }
+}
+
+TEST(ConfiguredThreadCountDeathTest, RejectsMalformedEnv)
+{
+    // Regression: CTA_THREADS=abc used to degrade silently to one
+    // thread instead of failing loudly.
+    ScopedEnv env("CTA_THREADS", "abc");
+    EXPECT_EXIT(configuredThreadCount(),
+                ::testing::ExitedWithCode(1), "malformed CTA_THREADS");
 }
 
 } // namespace

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the serving layer's incremental compression state and
+ * DecodeSession — above all the bit-exactness equivalence contract:
+ * incrementally maintained cluster tables, centroids, projections and
+ * attention outputs must match a from-scratch rebuild of the same
+ * prefix exactly, at every prefix length.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/rng.h"
+#include "cta/compressed_attention.h"
+#include "cta/compression.h"
+#include "nn/workload.h"
+#include "serve/decode_session.h"
+#include "serve/server_stats.h"
+
+namespace {
+
+using cta::alg::CompressionLevel;
+using cta::alg::compressTokens;
+using cta::alg::compressTwoLevel;
+using cta::alg::compressTwoLevelDecode;
+using cta::alg::IncrementalCompression;
+using cta::alg::IncrementalTwoLevelCompression;
+using cta::alg::TwoLevelCompression;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::serve::DecodeSession;
+using cta::serve::ServeConfig;
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    return std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(Real)) == 0;
+}
+
+/** Cluster-structured tokens the LSH compression actually compresses
+ *  (pure noise would make every token its own cluster). */
+Matrix
+sampleTokens(Index n, Index dim, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = dim;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    profile.noiseScale = 0.05f;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+void
+expectLevelsBitIdentical(const CompressionLevel &got,
+                         const CompressionLevel &want, Index prefix)
+{
+    ASSERT_EQ(got.numClusters, want.numClusters)
+        << "prefix " << prefix;
+    ASSERT_EQ(got.table, want.table) << "prefix " << prefix;
+    EXPECT_TRUE(bitIdentical(got.centroids, want.centroids))
+        << "prefix " << prefix;
+}
+
+TEST(IncrementalCompressionTest, MatchesBatchAtEveryPrefix)
+{
+    const Index n = 96, dim = 32;
+    const Matrix tokens = sampleTokens(n, dim, 11);
+    cta::alg::CtaConfig config;
+    const auto lsh = cta::alg::sampleLshParams(config, dim);
+
+    IncrementalCompression inc(lsh.lsh1);
+    for (Index i = 0; i < n; ++i) {
+        inc.append(tokens.row(i));
+        const CompressionLevel ref =
+            compressTokens(tokens.rowSlice(0, i + 1), lsh.lsh1);
+        expectLevelsBitIdentical(inc.level(), ref, i + 1);
+    }
+    EXPECT_EQ(inc.size(), n);
+}
+
+TEST(IncrementalTwoLevelTest, SnapshotMatchesDecodeRebuildAtEveryPrefix)
+{
+    const Index n = 96, dim = 32;
+    const Matrix tokens = sampleTokens(n, dim, 12);
+    cta::alg::CtaConfig config;
+    const auto lsh = cta::alg::sampleLshParams(config, dim);
+
+    IncrementalTwoLevelCompression inc(lsh.lsh1, lsh.lsh2);
+    for (Index i = 0; i < n; ++i) {
+        inc.append(tokens.row(i));
+        const TwoLevelCompression ref = compressTwoLevelDecode(
+            tokens.rowSlice(0, i + 1), lsh.lsh1, lsh.lsh2);
+        const TwoLevelCompression snap = inc.snapshot();
+        expectLevelsBitIdentical(snap.level1, ref.level1, i + 1);
+        expectLevelsBitIdentical(snap.level2, ref.level2, i + 1);
+    }
+}
+
+TEST(CompressTwoLevelDecodeTest, Level1MatchesBatchCompression)
+{
+    // The decode-time semantics only changes level-2 residual
+    // formation; level 1 must be exactly the batch compression.
+    const Index n = 80, dim = 32;
+    const Matrix tokens = sampleTokens(n, dim, 13);
+    cta::alg::CtaConfig config;
+    const auto lsh = cta::alg::sampleLshParams(config, dim);
+
+    const TwoLevelCompression decode =
+        compressTwoLevelDecode(tokens, lsh.lsh1, lsh.lsh2);
+    const TwoLevelCompression batch =
+        compressTwoLevel(tokens, lsh.lsh1, lsh.lsh2);
+    expectLevelsBitIdentical(decode.level1, batch.level1, n);
+}
+
+TEST(DecodeSessionTest, ExactModeMatchesBatchRebuildEveryStep)
+{
+    const Index prefill = 48, steps = 24, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(prefill + steps, dim, 14);
+    Rng rng(3);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    ServeConfig config;
+    config.groupedAggregation = false;
+    DecodeSession session(params, config, dim);
+    session.prefill(tokens.rowSlice(0, prefill));
+    ASSERT_EQ(session.contextLength(), prefill);
+
+    const auto lsh = cta::alg::sampleLshParams(config.cta, dim);
+    for (Index i = prefill; i < prefill + steps; ++i) {
+        const Matrix out = session.step(tokens.row(i));
+
+        // From-scratch rebuild of the same prefix: the new token is
+        // the lone query (its own cluster, centroid = itself).
+        const TwoLevelCompression kv_ref = compressTwoLevelDecode(
+            tokens.rowSlice(0, i + 1), lsh.lsh1, lsh.lsh2);
+        CompressionLevel query;
+        query.centroids = tokens.rowSlice(i, i + 1);
+        query.table = {0};
+        query.numClusters = 1;
+        const cta::alg::CtaResult ref =
+            cta::alg::ctaAttentionFromCompression(
+                query, kv_ref, 1, params, config.cta.subtractRowMax);
+        EXPECT_TRUE(bitIdentical(out, ref.output)) << "step " << i;
+    }
+}
+
+TEST(DecodeSessionTest, CachedProjectionsMatchFullForward)
+{
+    const Index n = 72, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(n, dim, 15);
+    Rng rng(4);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    DecodeSession session(params, ServeConfig{}, dim);
+    session.prefill(tokens);
+
+    const TwoLevelCompression snap = session.kv().snapshot();
+    EXPECT_TRUE(bitIdentical(session.kBar(1),
+                             params.wk.forward(snap.level1.centroids)));
+    EXPECT_TRUE(bitIdentical(session.kBar(2),
+                             params.wk.forward(snap.level2.centroids)));
+    EXPECT_TRUE(bitIdentical(session.vBar(1),
+                             params.wv.forward(snap.level1.centroids)));
+    EXPECT_TRUE(bitIdentical(session.vBar(2),
+                             params.wv.forward(snap.level2.centroids)));
+}
+
+TEST(DecodeSessionTest, GroupedAggregationMatchesExactToRounding)
+{
+    const Index prefill = 64, steps = 8, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(prefill + steps, dim, 16);
+    Rng rng(5);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    ServeConfig grouped;
+    grouped.groupedAggregation = true;
+    ServeConfig exact;
+    exact.groupedAggregation = false;
+    DecodeSession a(params, grouped, dim);
+    DecodeSession b(params, exact, dim);
+    a.prefill(tokens.rowSlice(0, prefill));
+    b.prefill(tokens.rowSlice(0, prefill));
+
+    for (Index i = prefill; i < prefill + steps; ++i) {
+        const Matrix out_a = a.step(tokens.row(i));
+        const Matrix out_b = b.step(tokens.row(i));
+        ASSERT_EQ(out_a.cols(), out_b.cols());
+        for (Index j = 0; j < out_a.cols(); ++j)
+            EXPECT_NEAR(out_a(0, j), out_b(0, j), 1e-4f)
+                << "step " << i << " col " << j;
+    }
+}
+
+TEST(DecodeSessionTest, PairCountsMatchClusterTables)
+{
+    const Index n = 90, dim = 32;
+    const Matrix tokens = sampleTokens(n, dim, 17);
+    Rng rng(6);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, 16, rng);
+
+    DecodeSession session(params, ServeConfig{}, dim);
+    session.prefill(tokens);
+
+    const TwoLevelCompression snap = session.kv().snapshot();
+    EXPECT_EQ(session.pairs().tokens(), n);
+    Index total = 0;
+    for (const auto &pair : session.pairs().pairs()) {
+        Index expect = 0;
+        for (std::size_t i = 0; i < snap.level1.table.size(); ++i)
+            if (snap.level1.table[i] == pair.c1 &&
+                snap.level2.table[i] == pair.c2)
+                ++expect;
+        EXPECT_EQ(pair.count, expect);
+        total += pair.count;
+    }
+    EXPECT_EQ(total, n);
+}
+
+TEST(DecodeSessionTest, StepCostIsFarBelowBatchRecompression)
+{
+    const Index n = 256, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(n + 1, dim, 18);
+    Rng rng(7);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    DecodeSession session(params, ServeConfig{}, dim);
+    session.prefill(tokens.rowSlice(0, n));
+    (void)session.step(tokens.row(n));
+
+    // A batch CTA evaluation re-hashes and re-projects the whole
+    // context; one incremental step touches O(l*d + (k1+k2)*d) state.
+    const cta::alg::CtaResult batch = cta::alg::ctaAttention(
+        tokens, tokens, params, cta::alg::CtaConfig{});
+    EXPECT_LT(session.lastStepOps().flops() * 4,
+              batch.totalOps().flops());
+}
+
+TEST(ServerStatsTest, NearestRankPercentilesAndThroughput)
+{
+    cta::serve::ServerStats stats;
+    EXPECT_EQ(stats.steps(), 0);
+    EXPECT_EQ(stats.percentileSeconds(99), 0.0);
+
+    // Durations 0.001 .. 0.100 in shuffled insertion order.
+    for (int i = 100; i >= 1; --i)
+        stats.recordStep(i / 1000.0);
+    EXPECT_EQ(stats.steps(), 100);
+    EXPECT_DOUBLE_EQ(stats.percentileSeconds(50), 0.050);
+    EXPECT_DOUBLE_EQ(stats.percentileSeconds(95), 0.095);
+    EXPECT_DOUBLE_EQ(stats.percentileSeconds(99), 0.099);
+    EXPECT_DOUBLE_EQ(stats.percentileSeconds(100), 0.100);
+
+    const auto snap = stats.snapshot();
+    EXPECT_EQ(snap.steps, 100);
+    EXPECT_EQ(snap.tokens, 100);
+    EXPECT_DOUBLE_EQ(snap.p50Seconds, 0.050);
+    EXPECT_DOUBLE_EQ(snap.p95Seconds, 0.095);
+    EXPECT_DOUBLE_EQ(snap.p99Seconds, 0.099);
+    EXPECT_DOUBLE_EQ(snap.maxSeconds, 0.100);
+    EXPECT_NEAR(snap.totalSeconds, 5.050, 1e-9);
+    EXPECT_NEAR(snap.meanSeconds, 0.0505, 1e-9);
+    EXPECT_NEAR(snap.tokensPerSecond, 100.0 / 5.050, 1e-6);
+
+    stats.reset();
+    EXPECT_EQ(stats.steps(), 0);
+}
+
+TEST(ServerStatsDeathTest, RejectsNegativeDurations)
+{
+    cta::serve::ServerStats stats;
+    EXPECT_EXIT(stats.recordStep(-1.0),
+                ::testing::ExitedWithCode(1), "negative step");
+}
+
+} // namespace

@@ -82,6 +82,25 @@ TEST(SoftmaxTest, RowExpReturnsDenominators)
     }
 }
 
+TEST(SoftmaxDeathTest, RowExpRejectsEmptyRows)
+{
+    // Regression: rowExp() used to run max_element over an empty row
+    // (UB) when called directly with cols() == 0; the guard lived
+    // only in rowSoftmax().
+    const Matrix s(3, 0);
+    Matrix sums;
+    EXPECT_EXIT(cta::nn::rowExp(s, sums),
+                ::testing::ExitedWithCode(1),
+                "softmax over empty rows");
+}
+
+TEST(SoftmaxDeathTest, RowSoftmaxRejectsEmptyRows)
+{
+    const Matrix s(2, 0);
+    EXPECT_EXIT(cta::nn::rowSoftmax(s), ::testing::ExitedWithCode(1),
+                "softmax over empty rows");
+}
+
 TEST(SoftmaxTest, OpAccountingMatchesFormula)
 {
     Rng rng(4);
