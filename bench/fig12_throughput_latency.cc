@@ -23,6 +23,7 @@
 #include "elsa/elsa_accel.h"
 #include "elsa/elsa_system.h"
 #include "gpu/gpu_model.h"
+#include "obs/trace.h"
 #include "sim/report.h"
 
 namespace {
@@ -152,24 +153,24 @@ main()
     std::vector<std::vector<std::string>> geo;
     geo.push_back({"platform", "geomean vs GPU"});
     geo.push_back({"ELSA-Conservative+GPU",
-                   cta::sim::fmtRatio(cta::core::geomean(sp_elsa_c))});
+                   cta::sim::fmtRatio(cta::core::geomeanPositive(sp_elsa_c))});
     geo.push_back({"ELSA-Aggressive+GPU",
-                   cta::sim::fmtRatio(cta::core::geomean(sp_elsa_a))});
+                   cta::sim::fmtRatio(cta::core::geomeanPositive(sp_elsa_a))});
     const char *names[3] = {"CTA-0", "CTA-0.5", "CTA-1"};
     for (int i = 0; i < 3; ++i)
         geo.push_back({names[i], cta::sim::fmtRatio(
-            cta::core::geomean(sp_cta[static_cast<std::size_t>(i)]))});
+            cta::core::geomeanPositive(sp_cta[static_cast<std::size_t>(i)]))});
     std::fputs(cta::sim::renderTable(geo).c_str(), stdout);
 
-    const double geo_aggr = cta::core::geomean(sp_elsa_a);
+    const double geo_aggr = cta::core::geomeanPositive(sp_elsa_a);
     std::printf("\nCTA vs ELSA-Aggressive+GPU (paper: 18.3x / 22.1x "
                 "/ 28.7x): %s / %s / %s\n",
                 cta::sim::fmtRatio(
-                    cta::core::geomean(sp_cta[0]) / geo_aggr).c_str(),
+                    cta::core::geomeanPositive(sp_cta[0]) / geo_aggr).c_str(),
                 cta::sim::fmtRatio(
-                    cta::core::geomean(sp_cta[1]) / geo_aggr).c_str(),
+                    cta::core::geomeanPositive(sp_cta[1]) / geo_aggr).c_str(),
                 cta::sim::fmtRatio(
-                    cta::core::geomean(sp_cta[2]) / geo_aggr).c_str());
+                    cta::core::geomeanPositive(sp_cta[2]) / geo_aggr).c_str());
 
     bench::banner("Figure 12 right: CTA latency breakdown");
     const double n_cases = static_cast<double>(cases.size());
@@ -187,5 +188,7 @@ main()
                         vs_ideal[static_cast<std::size_t>(i)]))
                         .c_str());
     }
+    if (cta::obs::writeSidecars("BENCH_fig12_throughput_latency"))
+        std::printf("  [trace + metrics sidecars written]\n");
     return 0;
 }

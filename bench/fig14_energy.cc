@@ -19,6 +19,7 @@
 #include "elsa/elsa_accel.h"
 #include "elsa/elsa_system.h"
 #include "gpu/gpu_model.h"
+#include "obs/trace.h"
 #include "sim/report.h"
 
 int
@@ -115,25 +116,25 @@ main()
     std::vector<std::vector<std::string>> geo;
     geo.push_back({"platform", "geomean vs GPU"});
     geo.push_back({"ELSA-Conservative+GPU", cta::sim::fmtRatio(
-        cta::core::geomean(eff_elsa_c), 0)});
+        cta::core::geomeanPositive(eff_elsa_c), 0)});
     geo.push_back({"ELSA-Aggressive+GPU", cta::sim::fmtRatio(
-        cta::core::geomean(eff_elsa_a), 0)});
+        cta::core::geomeanPositive(eff_elsa_a), 0)});
     const char *names[3] = {"CTA-0", "CTA-0.5", "CTA-1"};
     for (int i = 0; i < 3; ++i)
         geo.push_back({names[i], cta::sim::fmtRatio(
-            cta::core::geomean(
+            cta::core::geomeanPositive(
                 eff_cta[static_cast<std::size_t>(i)]), 0)});
     std::fputs(cta::sim::renderTable(geo).c_str(), stdout);
 
     const double geo_elsa =
-        cta::core::geomean(eff_elsa_a);
+        cta::core::geomeanPositive(eff_elsa_a);
     std::printf("\nCTA vs ELSA-Aggressive+GPU energy (paper: 399x / "
                 "471x / 587x): %s / %s / %s\n",
-                cta::sim::fmtRatio(cta::core::geomean(eff_cta[0]) /
+                cta::sim::fmtRatio(cta::core::geomeanPositive(eff_cta[0]) /
                                    geo_elsa, 0).c_str(),
-                cta::sim::fmtRatio(cta::core::geomean(eff_cta[1]) /
+                cta::sim::fmtRatio(cta::core::geomeanPositive(eff_cta[1]) /
                                    geo_elsa, 0).c_str(),
-                cta::sim::fmtRatio(cta::core::geomean(eff_cta[2]) /
+                cta::sim::fmtRatio(cta::core::geomeanPositive(eff_cta[2]) /
                                    geo_elsa, 0).c_str());
 
     bench::banner("Figure 14 right: CTA energy breakdown");
@@ -146,5 +147,7 @@ main()
                     .c_str(),
                 cta::sim::fmtPercent(aux_share / breakdown_count)
                     .c_str());
+    if (cta::obs::writeSidecars("BENCH_fig14_energy"))
+        std::printf("  [trace + metrics sidecars written]\n");
     return 0;
 }

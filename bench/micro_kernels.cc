@@ -28,6 +28,7 @@
 #include "cta/config.h"
 #include "elsa/elsa_attention.h"
 #include "nn/workload.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -302,5 +303,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (cta::obs::writeSidecars("BENCH_micro_kernels"))
+        std::printf("  [trace + metrics sidecars written]\n");
     return 0;
 }

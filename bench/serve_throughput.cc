@@ -31,6 +31,7 @@
 #include "core/rng.h"
 #include "nn/attention.h"
 #include "nn/workload.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 
 namespace {
@@ -206,5 +207,7 @@ main(int argc, char **argv)
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("  [data written to BENCH_serve_throughput.json]\n");
+    if (cta::obs::writeSidecars("BENCH_serve_throughput"))
+        std::printf("  [trace + metrics sidecars written]\n");
     return 0;
 }

@@ -43,6 +43,30 @@ geomean(std::span<const Wide> values)
 }
 
 Wide
+geomeanPositive(std::span<const Wide> values)
+{
+    Wide log_acc = 0;
+    std::size_t kept = 0;
+    for (Wide v : values) {
+        // "v > 0" is false for NaN as well, so this one branch drops
+        // negatives, zeros, NaNs and -inf; +inf would poison the log
+        // sum, so it is dropped too.
+        if (!(v > 0) || std::isinf(v)) {
+            CTA_WARN("geomeanPositive: dropping non-positive or "
+                     "non-finite value ", v);
+            continue;
+        }
+        log_acc += std::log(v);
+        ++kept;
+    }
+    if (kept == 0) {
+        CTA_WARN("geomeanPositive: no positive values, returning 0");
+        return 0;
+    }
+    return std::exp(log_acc / static_cast<Wide>(kept));
+}
+
+Wide
 minOf(std::span<const Wide> values)
 {
     CTA_REQUIRE(!values.empty(), "minOf of empty span");

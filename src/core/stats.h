@@ -23,6 +23,14 @@ Wide stddev(std::span<const Wide> values);
 /** Geometric mean; all values must be positive. */
 Wide geomean(std::span<const Wide> values);
 
+/**
+ * Geometric mean over the positive entries only: non-positive or
+ * non-finite values are dropped with a warning instead of aborting,
+ * so one degenerate measurement cannot take down a whole bench run.
+ * Returns 0 when no positive values survive.
+ */
+Wide geomeanPositive(std::span<const Wide> values);
+
 /** Minimum; span must be non-empty. */
 Wide minOf(std::span<const Wide> values);
 

@@ -1,6 +1,8 @@
 #include "cta/cluster_tree.h"
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::alg {
 
@@ -104,6 +106,8 @@ IncrementalClusterTable::IncrementalClusterTable(Index hash_len)
 Index
 IncrementalClusterTable::append(std::span<const std::int32_t> code)
 {
+    CTA_TRACE_SCOPE("cluster.append");
+    CTA_OBS_COUNT("cluster.appends", 1);
     const Index cluster = tree_.assign(code);
     table_.table.push_back(cluster);
     table_.numClusters = tree_.numClusters();
@@ -113,6 +117,8 @@ IncrementalClusterTable::append(std::span<const std::int32_t> code)
 ClusterTable
 buildClusterTable(const HashMatrix &codes)
 {
+    CTA_TRACE_SCOPE("cluster.build");
+    CTA_OBS_COUNT("cluster.builds", 1);
     MapClusterTree tree(codes.cols());
     ClusterTable ct;
     ct.table.reserve(static_cast<std::size_t>(codes.rows()));

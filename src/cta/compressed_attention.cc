@@ -5,6 +5,8 @@
 
 #include "core/logging.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::alg {
 
@@ -52,6 +54,7 @@ aggregateProbabilities(const Matrix &s_bar,
                        const std::vector<Index> &ct2, Index k1,
                        Matrix &ap, Matrix &row_sums, OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("aggregate.probabilities");
     CTA_REQUIRE(ct1.size() == ct2.size(), "CT1/CT2 size mismatch");
     const Index k0 = s_bar.rows();
     const Index k_total = s_bar.cols();
@@ -104,6 +107,7 @@ aggregateProbabilitiesGrouped(const Matrix &s_bar,
                               Matrix &ap, Matrix &row_sums,
                               OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("aggregate.probabilities_grouped");
     const Index k0 = s_bar.rows();
     const Index k_total = s_bar.cols();
     ap = Matrix(k0, k_total);
@@ -176,6 +180,8 @@ ctaAttention(const Matrix &xq, const Matrix &xkv,
              const nn::AttentionHeadParams &params,
              const CtaConfig &config)
 {
+    CTA_TRACE_SCOPE("attention.cta");
+    CTA_OBS_COUNT("attention.cta_calls", 1);
     CTA_REQUIRE(xq.cols() == xkv.cols(), "query/key token dims differ");
 
     // --- Stage 1: token compression (paper SIII-A/B). ---
@@ -201,6 +207,7 @@ ctaAttentionFromCompression(const CompressionLevel &query_comp,
                             const nn::AttentionHeadParams &params,
                             bool subtract_row_max)
 {
+    CTA_TRACE_SCOPE("attention.from_compression");
     CTA_REQUIRE(!query_comp.table.empty() &&
                 !kv_comp.level1.table.empty(),
                 "empty compression");
@@ -215,15 +222,21 @@ ctaAttentionFromCompression(const CompressionLevel &query_comp,
     const Index k2 = result.inter.kvComp.level2.numClusters;
 
     // --- Stage 2: linears on compressed tokens (eq. 3). ---
-    Matrix c_cat = result.inter.kvComp.level1.centroids;
-    c_cat.appendRows(result.inter.kvComp.level2.centroids);
-    result.inter.qBar = params.wq.forward(
-        result.inter.queryComp.centroids, &result.linearOps);
-    result.inter.kBar = params.wk.forward(c_cat, &result.linearOps);
-    result.inter.vBar = params.wv.forward(c_cat, &result.linearOps);
+    {
+        CTA_TRACE_SCOPE("attention.linears");
+        Matrix c_cat = result.inter.kvComp.level1.centroids;
+        c_cat.appendRows(result.inter.kvComp.level2.centroids);
+        result.inter.qBar = params.wq.forward(
+            result.inter.queryComp.centroids, &result.linearOps);
+        result.inter.kBar =
+            params.wk.forward(c_cat, &result.linearOps);
+        result.inter.vBar =
+            params.wv.forward(c_cat, &result.linearOps);
+    }
     const Index d = result.inter.qBar.cols();
 
     // --- Stage 3: compressed scores (eq. 5). ---
+    CTA_TRACE_SCOPE("attention.scores_to_output");
     const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
     result.inter.sBar = matmulTransB(result.inter.qBar,
                                      result.inter.kBar,

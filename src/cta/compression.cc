@@ -4,6 +4,8 @@
 
 #include "core/logging.h"
 #include "core/op_counter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::alg {
 
@@ -24,6 +26,7 @@ Matrix
 aggregateCentroids(const Matrix &x, const ClusterTable &ct,
                    core::OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("cluster.aggregate");
     CTA_REQUIRE(static_cast<Index>(ct.table.size()) == x.rows(),
                 "cluster table size ", ct.table.size(),
                 " != token count ", x.rows());
@@ -58,6 +61,7 @@ CompressionLevel
 compressTokens(const Matrix &x, const LshParams &params,
                core::OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("compress.level");
     const HashMatrix codes = hashTokens(x, params, counts);
     ClusterTable ct = buildClusterTable(codes);
     CompressionLevel level;
@@ -71,6 +75,8 @@ TwoLevelCompression
 compressTwoLevel(const Matrix &x, const LshParams &params1,
                  const LshParams &params2, core::OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("compress.two_level");
+    CTA_OBS_COUNT("compress.batch_calls", 1);
     TwoLevelCompression out;
     out.level1 = compressTokens(x, params1, counts);
     // Residual tokens rX = X - C1[CT1] (the SA's leftmost adder
@@ -110,7 +116,13 @@ IncrementalCompression::append(std::span<const Real> token,
     const Index d = params_.dim();
     CTA_REQUIRE(static_cast<Index>(token.size()) == d, "token dim ",
                 token.size(), " != compression dim ", d);
-    hashToken(token, params_, codeBuf_, counts);
+    {
+        // hashToken itself is uninstrumented (hot leaf); the span
+        // and counter for the incremental path live here.
+        CTA_TRACE_SCOPE("lsh.hash");
+        CTA_OBS_COUNT("lsh.tokens_hashed", 1);
+        hashToken(token, params_, codeBuf_, counts);
+    }
     const Index before = table_.numClusters();
     const Index c = table_.append(codeBuf_);
     AppendResult result{c, table_.numClusters() != before};
@@ -159,6 +171,8 @@ TwoLevelAppendResult
 IncrementalTwoLevelCompression::append(std::span<const Real> token,
                                        core::OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("compress.append");
+    CTA_OBS_COUNT("compress.appended_tokens", 1);
     TwoLevelAppendResult result;
     result.level1 = level1_.append(token, counts);
     // Decode-time residual, frozen at insertion: subtract the

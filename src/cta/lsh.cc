@@ -6,6 +6,8 @@
 #include "core/logging.h"
 #include "core/op_counter.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::alg {
 
@@ -98,6 +100,11 @@ void
 hashToken(std::span<const Real> token, const LshParams &params,
           std::span<std::int32_t> code, core::OpCounts *counts)
 {
+    // Deliberately uninstrumented: this leaf is the per-token hot
+    // path (the l x d dot-product loop), and even disabled macros
+    // here cost several percent of serve throughput by inhibiting
+    // its optimization. Callers carry the "lsh.hash" span and the
+    // lsh.tokens_hashed counter instead.
     const Index l = params.hashLen();
     const Index d = params.dim();
     CTA_REQUIRE(static_cast<Index>(token.size()) == d, "token dim ",
@@ -127,9 +134,11 @@ HashMatrix
 hashTokens(const Matrix &x, const LshParams &params,
            core::OpCounts *counts)
 {
+    CTA_TRACE_SCOPE("lsh.hash_batch");
     CTA_REQUIRE(x.cols() == params.dim(), "token dim ", x.cols(),
                 " != LSH dim ", params.dim());
     const Index n = x.rows();
+    CTA_OBS_COUNT("lsh.tokens_hashed", static_cast<std::uint64_t>(n));
     const Index l = params.hashLen();
     HashMatrix h(n, l);
     for (Index i = 0; i < n; ++i) {

@@ -3,6 +3,7 @@
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "obs/trace.h"
 
 namespace cta::alg {
 
@@ -45,6 +46,7 @@ CtaMultiHeadAttention::config() const
 Matrix
 CtaMultiHeadAttention::forward(const Matrix &x, OpCounts *counts) const
 {
+    CTA_TRACE_SCOPE("attention.multihead");
     const CtaConfig &cfg = config();
     // Compress the layer input ONCE; all heads share it.
     const LshParamSet lsh = sampleLshParams(cfg, x.cols());
@@ -64,12 +66,14 @@ CtaMultiHeadAttention::forward(const Matrix &x, OpCounts *counts) const
     // order — counts are bit-identical for any thread count.
     std::vector<CtaResult> results(heads_.size());
     core::parallelFor(0, num_heads, [&](Index begin, Index end) {
-        for (Index h = begin; h < end; ++h)
+        for (Index h = begin; h < end; ++h) {
+            CTA_TRACE_SCOPE_ID("attention.head", h);
             results[static_cast<std::size_t>(h)] =
                 ctaAttentionFromCompression(
                     query_comp, kv_comp, x.rows(),
                     heads_[static_cast<std::size_t>(h)],
                     cfg.subtractRowMax);
+        }
     });
     for (Index h = 0; h < num_heads; ++h) {
         const CtaResult &r = results[static_cast<std::size_t>(h)];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace cta::accel {
 
@@ -69,6 +70,7 @@ CtaAccelerator::run(const core::Matrix &xq, const core::Matrix &xkv,
                     const alg::CtaConfig &alg_config,
                     const std::string &platform) const
 {
+    CTA_TRACE_SCOPE("accel.run");
     CTA_REQUIRE(xq.cols() == hwConfig_.saHeight,
                 "token dim ", xq.cols(), " != SA height ",
                 hwConfig_.saHeight);

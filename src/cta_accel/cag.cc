@@ -1,5 +1,7 @@
 #include "cta_accel/cag.h"
 
+#include "obs/metrics.h"
+
 namespace cta::accel {
 
 CagModel::CagModel(const HwConfig &config, const sim::TechParams &tech)
@@ -28,6 +30,12 @@ CagModel::aggregate(core::Index tokens, core::Index clusters,
         // Exposed CAVG pass: one centroid per cycle down the column.
         report.exposedCycles = static_cast<core::Cycles>(clusters);
     }
+    // CACC retires one token/cycle, CAVG one centroid/cycle; hidden
+    // cycles ride on idle SA columns, exposed ones stall the SA.
+    CTA_OBS_COUNT("accel.cag.busy_cycles",
+                  static_cast<std::uint64_t>(tokens) +
+                      static_cast<std::uint64_t>(clusters));
+    CTA_OBS_COUNT("accel.cag.exposed_cycles", report.exposedCycles);
     return report;
 }
 

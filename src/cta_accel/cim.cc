@@ -1,6 +1,8 @@
 #include "cta_accel/cim.h"
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::accel {
 
@@ -14,6 +16,7 @@ CimModel::CimModel(const HwConfig &config, const sim::TechParams &tech)
 CimReport
 CimModel::process(const alg::HashMatrix &codes) const
 {
+    CTA_TRACE_SCOPE("accel.cim");
     CTA_REQUIRE(codes.cols() == config_.hashLen,
                 "hash length ", codes.cols(), " != CIM threads ",
                 config_.hashLen);
@@ -32,6 +35,8 @@ CimModel::process(const alg::HashMatrix &codes) const
     report.memReads = tree.memReads();
     report.memWrites = tree.memWrites();
     report.probes = tree.probes();
+    CTA_OBS_COUNT("accel.cim.busy_cycles", report.cycles);
+    CTA_OBS_COUNT("accel.cim.probes", report.probes);
 
     // Layer memories are small but multi-ported (l threads with
     // write-bypass between adjacent threads); charge twice the

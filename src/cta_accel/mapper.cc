@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::accel {
 
@@ -45,6 +47,7 @@ TableIMapper::addStep(MappingResult &result, const SaStep &sa,
 MappingResult
 TableIMapper::schedule(const alg::CompressionStats &stats) const
 {
+    CTA_TRACE_SCOPE("accel.schedule");
     CTA_REQUIRE(stats.n > 0 && stats.m > 0 && stats.k0 > 0 &&
                 stats.k1 > 0, "empty shapes");
     CTA_REQUIRE(stats.d == hwConfig_.saHeight,
@@ -151,6 +154,25 @@ TableIMapper::schedule(const alg::CompressionStats &stats) const
         fill.saCycles = 2 * skew;
         result.steps.push_back(fill);
     }
+
+    // Per-module busy/idle accounting (the Table-I makespan is the
+    // SA critical path; everything the SA waits on shows up as
+    // exposedAux). Cycle counts are workload functions, so the
+    // counters stay deterministic under any CTA_THREADS.
+    Cycles sa_busy = 0;
+    for (const ScheduledStep &step : result.steps)
+        sa_busy += step.saCycles;
+    const Cycles total = result.latency.total();
+    CTA_OBS_COUNT("accel.schedules", 1);
+    CTA_OBS_COUNT("accel.sa.busy_cycles", sa_busy);
+    CTA_OBS_COUNT("accel.sa.idle_cycles",
+                  total > sa_busy ? total - sa_busy : 0);
+    CTA_OBS_COUNT("accel.pag.busy_cycles", result.pagBusyCycles);
+    CTA_OBS_COUNT("accel.pag.stall_cycles", result.pagStallCycles);
+    CTA_OBS_COUNT("accel.pag.idle_cycles",
+                  total > result.pagBusyCycles
+                      ? total - result.pagBusyCycles
+                      : 0);
     return result;
 }
 

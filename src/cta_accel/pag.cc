@@ -1,6 +1,7 @@
 #include "cta_accel/pag.h"
 
 #include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace cta::accel {
 
@@ -39,6 +40,7 @@ PagModel::aggregateBatch(core::Index rows, core::Index tokens) const
          2.0 * tech_.addEnergyPj) +
         static_cast<sim::Wide>(report.csReads + report.apWrites) *
             buffer_pj;
+    CTA_OBS_COUNT("accel.pag.batch_cycles", report.cycles);
     return report;
 }
 

@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "core/logging.h"
+
+namespace cta::obs {
+
+void
+Gauge::max(double v)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+Gauge::add(double v)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+namespace {
+
+/** std::map keeps iteration sorted and node addresses stable, so
+ *  counter()/gauge() references stay valid forever. */
+struct MetricsRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+MetricsRegistry &
+registry()
+{
+    static MetricsRegistry r;
+    return r;
+}
+
+} // namespace
+
+Counter &
+counter(std::string_view name)
+{
+    CTA_REQUIRE(!name.empty(), "empty metric name");
+    MetricsRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.counters.find(name);
+    if (it == r.counters.end())
+        it = r.counters
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+gauge(std::string_view name)
+{
+    CTA_REQUIRE(!name.empty(), "empty metric name");
+    MetricsRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.gauges.find(name);
+    if (it == r.gauges.end())
+        it = r.gauges
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+counterSnapshot()
+{
+    MetricsRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(r.counters.size());
+    for (const auto &[name, c] : r.counters)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+gaugeSnapshot()
+{
+    MetricsRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(r.gauges.size());
+    for (const auto &[name, g] : r.gauges)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+void
+resetMetrics()
+{
+    MetricsRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto &[name, c] : r.counters)
+        c->reset();
+    for (const auto &[name, g] : r.gauges)
+        g->reset();
+}
+
+void
+writeMetricsJson(std::ostream &os)
+{
+    const auto counters = counterSnapshot();
+    const auto gauges = gaugeSnapshot();
+    os << "{\n  \"counters\": {";
+    const char *sep = "\n";
+    for (const auto &[name, value] : counters) {
+        os << sep << "    \"" << name << "\": " << value;
+        sep = ",\n";
+    }
+    os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    sep = "\n";
+    char num[64];
+    for (const auto &[name, value] : gauges) {
+        std::snprintf(num, sizeof(num), "%.9g", value);
+        os << sep << "    \"" << name << "\": " << num;
+        sep = ",\n";
+    }
+    os << (gauges.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+bool
+writeMetricsJsonFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        CTA_WARN("could not open metrics file ", path);
+        return false;
+    }
+    writeMetricsJson(out);
+    return true;
+}
+
+} // namespace cta::obs

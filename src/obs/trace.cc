@@ -1,0 +1,248 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/parallel.h"
+#include "obs/metrics.h"
+
+namespace cta::obs {
+
+namespace detail {
+
+std::atomic<bool> g_traceEnabled{false};
+
+namespace {
+
+/** One thread's span storage. Owned jointly by the thread (via a
+ *  thread_local shared_ptr) and the registry, so buffers outlive
+ *  their thread and exited workers' spans still merge. */
+struct Buffer
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    int tid = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    int nextTid = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::shared_ptr<Buffer> &
+threadBuffer()
+{
+    thread_local std::shared_ptr<Buffer> buffer = [] {
+        auto b = std::make_shared<Buffer>();
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        b->tid = r.nextTid++;
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return buffer;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+/** Reads CTA_TRACE / CTA_TRACE_FILE once, before main(). */
+struct EnvInit
+{
+    std::string traceFile;
+
+    EnvInit()
+    {
+        epoch(); // pin the trace epoch to process start
+        if (const char *env = std::getenv("CTA_TRACE"))
+            g_traceEnabled.store(
+                core::parseEnvInt(env, "CTA_TRACE") != 0,
+                std::memory_order_relaxed);
+        if (const char *env = std::getenv("CTA_TRACE_FILE"))
+            traceFile = env;
+    }
+};
+
+EnvInit &
+envInit()
+{
+    static EnvInit init;
+    return init;
+}
+
+// Force env parsing during static initialization so traceEnabled()
+// is correct from the first instruction of main().
+const bool g_envInitialized = (envInit(), true);
+
+} // namespace
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+void
+record(const char *name, std::uint64_t start_ns, std::uint64_t dur_ns,
+       std::int64_t id)
+{
+    Buffer &buffer = *threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.events.push_back(
+        TraceEvent{name, start_ns, dur_ns, id, buffer.tid});
+}
+
+} // namespace detail
+
+void
+setTraceEnabled(bool on)
+{
+    detail::g_traceEnabled.store(on, std::memory_order_relaxed);
+}
+
+const std::string &
+traceFilePath()
+{
+    return detail::envInit().traceFile;
+}
+
+namespace {
+
+/** Copies every buffer's events under the registry+buffer locks. */
+std::vector<TraceEvent>
+mergedEvents(std::uint64_t *dropped_out)
+{
+    std::vector<TraceEvent> merged;
+    std::uint64_t dropped = 0;
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> registry_lock(r.mutex);
+    for (const auto &buffer : r.buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        merged.insert(merged.end(), buffer->events.begin(),
+                      buffer->events.end());
+        dropped += buffer->dropped;
+    }
+    if (dropped_out)
+        *dropped_out = dropped;
+    return merged;
+}
+
+} // namespace
+
+std::size_t
+traceEventCount()
+{
+    return mergedEvents(nullptr).size();
+}
+
+std::uint64_t
+droppedTraceEvents()
+{
+    std::uint64_t dropped = 0;
+    (void)mergedEvents(&dropped);
+    return dropped;
+}
+
+void
+clearTrace()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> registry_lock(r.mutex);
+    for (const auto &buffer : r.buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->events.clear();
+        buffer->dropped = 0;
+    }
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events = mergedEvents(&dropped);
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.startNs != b.startNs)
+                             return a.startNs < b.startNs;
+                         return a.tid < b.tid;
+                     });
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n"
+       << "  \"droppedEvents\": " << dropped << ",\n"
+       << "  \"traceEvents\": [";
+    const char *sep = "\n";
+    char line[256];
+    for (const TraceEvent &ev : events) {
+        os << sep;
+        sep = ",\n";
+        // Chrome trace wants microsecond timestamps; keep ns
+        // resolution via the fractional part.
+        std::snprintf(line, sizeof(line),
+                      "    {\"name\": \"%s\", \"ph\": \"X\", "
+                      "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                      "\"tid\": %d",
+                      ev.name,
+                      static_cast<double>(ev.startNs) / 1e3,
+                      static_cast<double>(ev.durNs) / 1e3, ev.tid);
+        os << line;
+        if (ev.id >= 0)
+            os << ", \"args\": {\"id\": " << ev.id << "}";
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        CTA_WARN("could not open trace file ", path);
+        return false;
+    }
+    writeChromeTrace(out);
+    return true;
+}
+
+bool
+writeSidecars(const std::string &base)
+{
+    if (!traceEnabled())
+        return false;
+    const std::string trace_path =
+        traceFilePath().empty() ? base + ".trace.json"
+                                : traceFilePath();
+    bool ok = writeChromeTraceFile(trace_path);
+    ok = writeMetricsJsonFile(base + ".metrics.json") && ok;
+    return ok;
+}
+
+} // namespace cta::obs

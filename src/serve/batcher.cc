@@ -5,6 +5,8 @@
 
 #include "core/logging.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::serve {
 
@@ -49,6 +51,8 @@ Batcher::submit(Index session, std::span<const core::Real> token)
     Pending pending;
     pending.session = session;
     pending.token.assign(token.begin(), token.end());
+    pending.submitted = std::chrono::steady_clock::now();
+    CTA_OBS_COUNT("serve.submitted", 1);
     std::lock_guard<std::mutex> lock(mutex_);
     pending.slot = pending_.size();
     pending_.push_back(std::move(pending));
@@ -64,6 +68,7 @@ Batcher::pendingCount() const
 std::vector<StepResult>
 Batcher::flush()
 {
+    CTA_TRACE_SCOPE("serve.flush");
     std::vector<Pending> batch;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -88,11 +93,20 @@ Batcher::flush()
 
     pool().run(static_cast<Index>(active.size()), [&](Index t) {
         const Index sid = active[static_cast<std::size_t>(t)];
+        CTA_TRACE_SCOPE_ID("serve.session_flush", sid);
         DecodeSession &sess = *sessions_[static_cast<std::size_t>(sid)];
         for (const std::size_t i :
              per_session[static_cast<std::size_t>(sid)]) {
             const Pending &p = batch[i];
             const auto begin = std::chrono::steady_clock::now();
+            // Queue wait: submit() to the moment the step starts.
+            // Timing-domain, so gauges only (counters stay
+            // deterministic across thread counts).
+            const double wait =
+                std::chrono::duration<double>(begin - p.submitted)
+                    .count();
+            CTA_OBS_GAUGE_MAX("serve.queue_wait_max_s", wait);
+            CTA_OBS_GAUGE_ADD("serve.queue_wait_total_s", wait);
             core::Matrix out = sess.step(p.token);
             const auto end = std::chrono::steady_clock::now();
             stats_.recordStep(
@@ -100,6 +114,10 @@ Batcher::flush()
             results[p.slot] =
                 StepResult{p.session, std::move(out)};
         }
+        CTA_OBS_COUNT(
+            "serve.flushed",
+            static_cast<std::uint64_t>(
+                per_session[static_cast<std::size_t>(sid)].size()));
     });
     return results;
 }

@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -75,6 +76,7 @@ class Batcher
         core::Index session = 0;
         std::vector<core::Real> token;
         std::size_t slot = 0; ///< submission index within the flush
+        std::chrono::steady_clock::time_point submitted{};
     };
 
     core::ThreadPool &pool() const;

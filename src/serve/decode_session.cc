@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cta::serve {
 
@@ -73,6 +75,9 @@ DecodeSession::ingest(std::span<const Real> token, OpCounts *counts)
 void
 DecodeSession::prefill(const Matrix &tokens)
 {
+    CTA_TRACE_SCOPE("decode.prefill");
+    CTA_OBS_COUNT("serve.prefill_tokens",
+                  static_cast<std::uint64_t>(tokens.rows()));
     CTA_REQUIRE(tokens.cols() == tokenDim_, "prefill token dim ",
                 tokens.cols(), " != session dim ", tokenDim_);
     OpCounts ops;
@@ -84,14 +89,20 @@ DecodeSession::prefill(const Matrix &tokens)
 Matrix
 DecodeSession::step(std::span<const Real> token)
 {
+    CTA_TRACE_SCOPE("decode.step");
+    CTA_OBS_COUNT("serve.decode_steps", 1);
     CTA_REQUIRE(static_cast<Index>(token.size()) == tokenDim_,
                 "step token dim ", token.size(), " != session dim ",
                 tokenDim_);
     OpCounts ops;
-    ingest(token, &ops);
+    {
+        CTA_TRACE_SCOPE("decode.ingest");
+        ingest(token, &ops);
+    }
 
     // Stage 2 for the query: the lone query is its own cluster with
     // the token as centroid, so only the projection remains.
+    CTA_TRACE_SCOPE("attention.decode");
     Matrix q(1, tokenDim_);
     std::copy(token.begin(), token.end(), q.row(0).begin());
     const Matrix q_bar = params_.wq.forward(q, &ops);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/logging.h"
 
@@ -9,22 +10,73 @@ namespace cta::serve {
 
 using core::Index;
 
+ServerStats::ServerStats(Index capacity) : capacity_(capacity)
+{
+    CTA_REQUIRE(capacity > 0, "reservoir capacity must be positive, "
+                "got ", capacity);
+    // Fixed seed: the reservoir subset (and therefore the estimated
+    // percentiles past capacity) is reproducible run to run.
+    rngState_ = 0x9e3779b97f4a7c15ull ^
+                static_cast<std::uint64_t>(capacity);
+}
+
+std::uint64_t
+ServerStats::nextRandom()
+{
+    // splitmix64: tiny, fast, and plenty for reservoir indices.
+    std::uint64_t z = (rngState_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 void
 ServerStats::recordStep(double seconds, Index tokens)
 {
-    CTA_REQUIRE(seconds >= 0 && tokens >= 0,
+    // A negative duration/count is a caller bug (time math gone
+    // wrong) and stays fatal; NaN/inf means the measurement itself is
+    // garbage, so keep the server running and drop the sample.
+    CTA_REQUIRE(!(seconds < 0) && tokens >= 0,
                 "negative step duration or token count");
+    if (!std::isfinite(seconds)) {
+        CTA_WARN("ServerStats: dropping non-finite step duration ",
+                 seconds);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++droppedNonFinite_;
+        return;
+    }
     std::lock_guard<std::mutex> lock(mutex_);
-    stepSeconds_.push_back(seconds);
-    tokens_ += tokens;
+    ++recorded_;
+    if (static_cast<Index>(samples_.size()) < capacity_) {
+        samples_.push_back(seconds);
+    } else {
+        // Algorithm R: sample i (1-based) replaces a reservoir slot
+        // with probability capacity / i, keeping the subset uniform.
+        const std::uint64_t j = nextRandom() % recorded_;
+        if (j < static_cast<std::uint64_t>(capacity_))
+            samples_[static_cast<std::size_t>(j)] = seconds;
+    }
+    constexpr Index kMaxTokens = std::numeric_limits<Index>::max();
+    tokens_ = tokens <= kMaxTokens - tokens_ ? tokens_ + tokens
+                                             : kMaxTokens;
     totalSeconds_ += seconds;
+    maxSeconds_ = std::max(maxSeconds_, seconds);
 }
 
 Index
 ServerStats::steps() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return static_cast<Index>(stepSeconds_.size());
+    constexpr auto kMax =
+        static_cast<std::uint64_t>(std::numeric_limits<Index>::max());
+    return static_cast<Index>(std::min(recorded_, kMax));
+}
+
+Index
+ServerStats::samplesStored() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<Index>(samples_.size());
 }
 
 double
@@ -47,7 +99,7 @@ ServerStats::percentileSeconds(double p) const
     std::vector<double> sorted;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        sorted = stepSeconds_;
+        sorted = samples_;
     }
     std::sort(sorted.begin(), sorted.end());
     return percentileOf(sorted, p);
@@ -58,22 +110,30 @@ ServerStats::snapshot() const
 {
     std::vector<double> sorted;
     ServerStatsSnapshot snap;
+    std::uint64_t recorded = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        sorted = stepSeconds_;
+        sorted = samples_;
+        recorded = recorded_;
         snap.tokens = tokens_;
         snap.totalSeconds = totalSeconds_;
+        snap.maxSeconds = maxSeconds_;
+        constexpr auto kMax = static_cast<std::uint64_t>(
+            std::numeric_limits<Index>::max());
+        snap.droppedNonFinite = static_cast<Index>(
+            std::min(droppedNonFinite_, kMax));
     }
     std::sort(sorted.begin(), sorted.end());
-    snap.steps = static_cast<Index>(sorted.size());
+    constexpr auto kMax =
+        static_cast<std::uint64_t>(std::numeric_limits<Index>::max());
+    snap.steps = static_cast<Index>(std::min(recorded, kMax));
     if (snap.steps == 0)
         return snap;
     snap.meanSeconds =
-        snap.totalSeconds / static_cast<double>(snap.steps);
+        snap.totalSeconds / static_cast<double>(recorded);
     snap.p50Seconds = percentileOf(sorted, 50);
     snap.p95Seconds = percentileOf(sorted, 95);
     snap.p99Seconds = percentileOf(sorted, 99);
-    snap.maxSeconds = sorted.back();
     if (snap.totalSeconds > 0)
         snap.tokensPerSecond =
             static_cast<double>(snap.tokens) / snap.totalSeconds;
@@ -84,9 +144,13 @@ void
 ServerStats::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    stepSeconds_.clear();
+    samples_.clear();
+    samples_.shrink_to_fit();
+    recorded_ = 0;
+    droppedNonFinite_ = 0;
     tokens_ = 0;
     totalSeconds_ = 0;
+    maxSeconds_ = 0;
 }
 
 } // namespace cta::serve

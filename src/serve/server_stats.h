@@ -3,14 +3,20 @@
  * Latency/throughput accumulator for the serving layer.
  *
  * core::RunningStat keeps only moments; a serving benchmark needs
- * tail latencies, so ServerStats records every step duration and
- * reports nearest-rank percentiles (p50/p95/p99) plus the serialized
- * token rate. recordStep() is thread-safe — Batcher::flush() calls it
- * from pool workers.
+ * tail latencies, so ServerStats keeps a bounded reservoir of step
+ * durations and reports nearest-rank percentiles (p50/p95/p99) plus
+ * the serialized token rate. Below the configured capacity the
+ * reservoir holds every sample and the percentiles are exact; past it
+ * the samples are a uniform random subset (Algorithm R with a fixed
+ * internal seed, so runs are reproducible) and the percentiles become
+ * estimates while count/mean/max stay exact. Memory is O(capacity)
+ * regardless of how many steps are recorded. recordStep() is
+ * thread-safe — Batcher::flush() calls it from pool workers.
  */
 
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -33,29 +39,51 @@ struct ServerStatsSnapshot
      *  wall-clock throughput is higher; the bench measures it
      *  separately). */
     double tokensPerSecond = 0;
+    /** Non-finite durations rejected by recordStep(). */
+    core::Index droppedNonFinite = 0;
 };
 
 /** Thread-safe per-step latency recorder with tail percentiles. */
 class ServerStats
 {
   public:
-    /** Records one decode step that took @p seconds and produced
-     *  @p tokens tokens (one per session step). */
-    void recordStep(double seconds, core::Index tokens = 1);
+    /** Reservoir size bounding the memory of a long-running server. */
+    static constexpr core::Index kDefaultCapacity = 1 << 16;
 
-    /** Steps recorded so far. */
-    core::Index steps() const;
+    /** @param capacity reservoir sample budget (> 0). Percentiles are
+     *  exact while the step count stays at or below it. */
+    explicit ServerStats(core::Index capacity = kDefaultCapacity);
 
     /**
-     * Nearest-rank percentile of the recorded step durations;
-     * @p p in [0, 100]. Returns 0 with no samples.
+     * Records one decode step that took @p seconds and produced
+     * @p tokens tokens (one per session step). Negative inputs are a
+     * caller bug and abort; a non-finite duration (NaN/inf from a
+     * broken clock) is dropped with a warning instead of poisoning
+     * every derived statistic. The token total saturates at the Index
+     * maximum rather than overflowing.
+     */
+    void recordStep(double seconds, core::Index tokens = 1);
+
+    /** Steps recorded so far (exact, not bounded by the capacity). */
+    core::Index steps() const;
+
+    /** Samples currently held in the reservoir (<= capacity). */
+    core::Index samplesStored() const;
+
+    /** Configured reservoir capacity. */
+    core::Index sampleCapacity() const { return capacity_; }
+
+    /**
+     * Nearest-rank percentile of the reservoir durations; @p p in
+     * [0, 100]. Exact while steps() <= sampleCapacity(), an unbiased
+     * estimate beyond that. Returns 0 with no samples.
      */
     double percentileSeconds(double p) const;
 
     /** Full summary (single lock, consistent across fields). */
     ServerStatsSnapshot snapshot() const;
 
-    /** Drops all recorded samples. */
+    /** Drops all recorded samples and resets the counters. */
     void reset();
 
   private:
@@ -63,10 +91,18 @@ class ServerStats
     static double percentileOf(const std::vector<double> &sorted,
                                double p);
 
+    /** splitmix64 step over rngState_; caller holds mutex_. */
+    std::uint64_t nextRandom();
+
+    core::Index capacity_;
     mutable std::mutex mutex_;
-    std::vector<double> stepSeconds_;
-    core::Index tokens_ = 0;
+    std::vector<double> samples_;      ///< reservoir, <= capacity_
+    std::uint64_t recorded_ = 0;       ///< accepted steps, exact
+    std::uint64_t droppedNonFinite_ = 0;
+    std::uint64_t rngState_;
+    core::Index tokens_ = 0;           ///< saturating
     double totalSeconds_ = 0;
+    double maxSeconds_ = 0;
 };
 
 } // namespace cta::serve

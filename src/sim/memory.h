@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "sim/energy_model.h"
 
 namespace cta::sim {
@@ -32,10 +33,18 @@ class SramModel
               const TechParams &tech);
 
     /** Records @p words 16-bit word reads. */
-    void read(std::uint64_t words) { reads_ += words; }
+    void read(std::uint64_t words)
+    {
+        reads_ += words;
+        CTA_OBS_COUNT("sim.sram.read_words", words);
+    }
 
     /** Records @p words 16-bit word writes. */
-    void write(std::uint64_t words) { writes_ += words; }
+    void write(std::uint64_t words)
+    {
+        writes_ += words;
+        CTA_OBS_COUNT("sim.sram.write_words", words);
+    }
 
     /** Resets the access counters (not the configuration). */
     void reset();

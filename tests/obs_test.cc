@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the observability layer (obs/trace.h, obs/metrics.h):
+ * span recording and the Chrome-trace JSON shape, the
+ * disabled-by-default contract, the per-thread buffer cap, and the
+ * counter determinism contract — identical totals for a fixed
+ * workload under any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::ThreadPool;
+
+/** Restores the runtime trace flag and clears buffers on exit, so
+ *  tests cannot leak state into each other. */
+class TraceSandbox
+{
+  public:
+    TraceSandbox()
+    {
+        cta::obs::setTraceEnabled(false);
+        cta::obs::clearTrace();
+    }
+    ~TraceSandbox()
+    {
+        cta::obs::setTraceEnabled(false);
+        cta::obs::clearTrace();
+    }
+};
+
+TEST(TraceTest, DisabledByDefaultRecordsNothing)
+{
+    TraceSandbox sandbox;
+    {
+        CTA_TRACE_SCOPE("test.should_not_record");
+    }
+    EXPECT_EQ(cta::obs::traceEventCount(), 0u);
+}
+
+TEST(TraceTest, ScopeRecordsOneEventPerEntry)
+{
+    TraceSandbox sandbox;
+    cta::obs::setTraceEnabled(true);
+    for (int i = 0; i < 5; ++i) {
+        cta::obs::TraceScope scope("test.span");
+    }
+    {
+        cta::obs::TraceScope scope("test.with_id", 42);
+    }
+    EXPECT_EQ(cta::obs::traceEventCount(), 6u);
+    EXPECT_EQ(cta::obs::droppedTraceEvents(), 0u);
+}
+
+TEST(TraceTest, MacrosFollowBuildConfiguration)
+{
+    // With CTA_OBS=OFF the macros compile away even though the
+    // library (and its direct API) is still built; otherwise they
+    // behave exactly like the underlying calls.
+    TraceSandbox sandbox;
+    cta::obs::resetMetrics();
+    cta::obs::setTraceEnabled(true);
+    {
+        CTA_TRACE_SCOPE("test.macro");
+    }
+    CTA_OBS_COUNT("test.macro.count", 2);
+#ifdef CTA_OBS_DISABLED
+    EXPECT_EQ(cta::obs::traceEventCount(), 0u);
+    EXPECT_EQ(cta::obs::counter("test.macro.count").value(), 0u);
+#else
+    EXPECT_EQ(cta::obs::traceEventCount(), 1u);
+    EXPECT_EQ(cta::obs::counter("test.macro.count").value(), 2u);
+#endif
+    cta::obs::resetMetrics();
+}
+
+TEST(TraceTest, ToggleMidScopeNeverRecordsHalfOpenSpans)
+{
+    TraceSandbox sandbox;
+    // Enabled at entry, disabled at exit: the span was armed, so it
+    // records (name_ was latched). Disabled at entry, enabled at
+    // exit: never armed, never records.
+    cta::obs::setTraceEnabled(false);
+    {
+        CTA_TRACE_SCOPE("test.never_armed");
+        cta::obs::setTraceEnabled(true);
+    }
+    EXPECT_EQ(cta::obs::traceEventCount(), 0u);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape)
+{
+    TraceSandbox sandbox;
+    cta::obs::setTraceEnabled(true);
+    {
+        cta::obs::TraceScope outer("test.outer");
+        cta::obs::TraceScope inner("test.inner", 7);
+    }
+    std::ostringstream os;
+    cta::obs::writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"test.outer\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"test.inner\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\": 7"), std::string::npos);
+    // Balanced braces/brackets as a cheap well-formedness check.
+    long braces = 0, brackets = 0;
+    for (char c : json) {
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceTest, ConcurrentScopesAllLand)
+{
+    TraceSandbox sandbox;
+    cta::obs::setTraceEnabled(true);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i) {
+                cta::obs::TraceScope scope("test.concurrent");
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(cta::obs::traceEventCount(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(cta::obs::droppedTraceEvents(), 0u);
+}
+
+TEST(TraceTest, BufferCapDropsAndCounts)
+{
+    TraceSandbox sandbox;
+    cta::obs::setTraceEnabled(true);
+    constexpr std::size_t kOver = 100;
+    for (std::size_t i = 0; i < cta::obs::kMaxEventsPerThread + kOver;
+         ++i) {
+        cta::obs::TraceScope scope("test.flood");
+    }
+    EXPECT_EQ(cta::obs::traceEventCount(),
+              cta::obs::kMaxEventsPerThread);
+    EXPECT_EQ(cta::obs::droppedTraceEvents(), kOver);
+}
+
+TEST(TraceTest, WriteSidecarsNoOpWhenDisabled)
+{
+    TraceSandbox sandbox;
+    EXPECT_FALSE(cta::obs::writeSidecars("should_not_exist"));
+}
+
+TEST(MetricsTest, CounterAddAndReset)
+{
+    cta::obs::resetMetrics();
+    cta::obs::counter("test.counter").add(3);
+    cta::obs::counter("test.counter").add();
+    EXPECT_EQ(cta::obs::counter("test.counter").value(), 4u);
+    cta::obs::resetMetrics();
+    EXPECT_EQ(cta::obs::counter("test.counter").value(), 0u);
+}
+
+TEST(MetricsTest, GaugeMaxAndAdd)
+{
+    cta::obs::resetMetrics();
+    auto &g = cta::obs::gauge("test.gauge_max");
+    g.max(1.5);
+    g.max(0.5);
+    g.max(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    auto &s = cta::obs::gauge("test.gauge_sum");
+    s.add(1.25);
+    s.add(0.75);
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(MetricsTest, RegistryReferencesAreStable)
+{
+    cta::obs::resetMetrics();
+    cta::obs::Counter &a = cta::obs::counter("test.stable");
+    // Force registry growth past typical small-map sizes.
+    for (int i = 0; i < 100; ++i)
+        cta::obs::counter("test.filler." + std::to_string(i)).add(1);
+    cta::obs::Counter &b = cta::obs::counter("test.stable");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, CounterTotalsDeterministicAcrossThreadCounts)
+{
+    // The determinism contract: counters accumulate workload-derived
+    // event counts with commutative adds, so a fixed workload yields
+    // identical totals no matter how the pool partitions it.
+    constexpr Index kTasks = 257; // deliberately not a multiple of 4
+    auto run_workload = [&](int threads) {
+        cta::obs::resetMetrics();
+        ThreadPool pool(threads);
+        cta::obs::Counter &calls = cta::obs::counter("test.det.calls");
+        cta::obs::Counter &weighted =
+            cta::obs::counter("test.det.weighted");
+        pool.run(kTasks, [&](Index t) {
+            calls.add(1);
+            weighted.add(static_cast<std::uint64_t>(t) + 1);
+        });
+        return std::make_pair(
+            cta::obs::counter("test.det.calls").value(),
+            cta::obs::counter("test.det.weighted").value());
+    };
+    const auto serial = run_workload(1);
+    const auto quad = run_workload(4);
+    const auto odd = run_workload(3);
+    EXPECT_EQ(serial, quad);
+    EXPECT_EQ(serial, odd);
+    EXPECT_EQ(serial.first, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(serial.second,
+              static_cast<std::uint64_t>(kTasks) * (kTasks + 1) / 2);
+    cta::obs::resetMetrics();
+}
+
+TEST(MetricsTest, MetricsJsonSortedAndComplete)
+{
+    cta::obs::resetMetrics();
+    cta::obs::counter("test.json.b").add(2);
+    cta::obs::counter("test.json.a").add(1);
+    cta::obs::gauge("test.json.g").set(1.5);
+    std::ostringstream os;
+    cta::obs::writeMetricsJson(os);
+    const std::string json = os.str();
+    const auto pos_a = json.find("\"test.json.a\": 1");
+    const auto pos_b = json.find("\"test.json.b\": 2");
+    EXPECT_NE(pos_a, std::string::npos);
+    EXPECT_NE(pos_b, std::string::npos);
+    EXPECT_LT(pos_a, pos_b); // sorted keys
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.g\""), std::string::npos);
+    cta::obs::resetMetrics();
+}
+
+TEST(MetricsTest, SnapshotsSorted)
+{
+    cta::obs::resetMetrics();
+    cta::obs::counter("test.snap.z").add(1);
+    cta::obs::counter("test.snap.a").add(1);
+    const auto counters = cta::obs::counterSnapshot();
+    for (std::size_t i = 1; i < counters.size(); ++i)
+        EXPECT_LT(counters[i - 1].first, counters[i].first);
+    cta::obs::resetMetrics();
+}
+
+} // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/stats.h"
@@ -48,6 +49,31 @@ TEST(StatsTest, GeomeanSingleton)
 {
     const std::vector<Wide> v{7.5};
     EXPECT_NEAR(cta::core::geomean(v), 7.5, 1e-12);
+}
+
+TEST(StatsTest, GeomeanPositiveMatchesGeomeanOnCleanInput)
+{
+    const std::vector<Wide> v{1, 4, 16};
+    EXPECT_NEAR(cta::core::geomeanPositive(v),
+                cta::core::geomean(v), 1e-12);
+}
+
+TEST(StatsTest, GeomeanPositiveDropsNonPositiveValues)
+{
+    // Zeros, negatives, NaN and inf are all skipped; only {1, 4, 16}
+    // contribute.
+    const std::vector<Wide> v{
+        1, 0, 4, -2, 16, std::numeric_limits<Wide>::quiet_NaN(),
+        std::numeric_limits<Wide>::infinity()};
+    EXPECT_NEAR(cta::core::geomeanPositive(v), 4.0, 1e-9);
+}
+
+TEST(StatsTest, GeomeanPositiveAllDroppedReturnsZero)
+{
+    const std::vector<Wide> v{0, -1,
+                              std::numeric_limits<Wide>::quiet_NaN()};
+    EXPECT_DOUBLE_EQ(cta::core::geomeanPositive(v), 0.0);
+    EXPECT_DOUBLE_EQ(cta::core::geomeanPositive({}), 0.0);
 }
 
 TEST(StatsTest, MinMax)
