@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Session-lifecycle soak: thousands of decode sessions churned
+ * through a SessionManager whose byte budget is far below the
+ * aggregate working set, proving bounded-memory serving end to end.
+ *
+ * Sessions arrive in waves, decode a fixed number of steps through a
+ * manager-backed Batcher (one token per live session per round), and
+ * are removed when done. The budget forces continuous LRU eviction
+ * and on-demand restore; the bench records a per-round state-byte
+ * time series and asserts the *plateau property*: once the first
+ * eviction has happened, the post-enforcement live byte total never
+ * exceeds the budget (except in the degenerate single-resident case
+ * the never-evict-MRU rule permits), while every session still runs
+ * to completion — bounded memory without livelock.
+ *
+ * Results go to BENCH_serve_soak.json. `--smoke` shrinks the run so
+ * CI (including the sanitizer jobs) can execute it in seconds; the
+ * budget comes from CTA_MEM_BUDGET when set, else a default chosen
+ * to sit well below the aggregate footprint.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "nn/attention.h"
+#include "nn/workload.h"
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+constexpr Index kTokenDim = 32;
+constexpr Index kHeadDim = 16;
+
+Matrix
+clusteredTokens(Index n, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = kTokenDim;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+/** One decode stream mid-flight. */
+struct ActiveSession
+{
+    Index id = 0;        ///< SessionManager id
+    Matrix decode;       ///< lifetime x tokenDim pending tokens
+    Index stepsDone = 0;
+};
+
+/** Per-round sample of the manager's memory state. */
+struct RoundSample
+{
+    Index round = 0;
+    Index live = 0;
+    Index evicted = 0;
+    std::size_t liveBytes = 0;
+    std::size_t evictedBytes = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t restores = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    const Index total_sessions = smoke ? 48 : 2048;
+    const Index arrivals_per_round = smoke ? 8 : 64;
+    const Index prefill_len = 12;
+    const Index lifetime_steps = smoke ? 4 : 8;
+
+    // Honour CTA_MEM_BUDGET; otherwise pick a budget well below the
+    // aggregate working set so the eviction machinery actually runs.
+    std::size_t budget = cta::serve::SessionManager::memBudgetFromEnv();
+    if (budget == 0)
+        budget = smoke ? (std::size_t{256} << 10)
+                       : (std::size_t{4} << 20);
+
+    Rng rng(23);
+    const auto params = cta::nn::AttentionHeadParams::randomInit(
+        kTokenDim, kHeadDim, rng);
+    cta::serve::SessionManager manager(params, cta::serve::ServeConfig{},
+                                       kTokenDim, budget);
+    cta::serve::Batcher batcher(manager);
+
+    std::printf("==== serve soak: %lld sessions under a %zu-byte "
+                "budget ====\n\n",
+                static_cast<long long>(total_sessions), budget);
+
+    std::vector<ActiveSession> active;
+    std::vector<RoundSample> series;
+    Index spawned = 0;
+    Index completed = 0;
+    std::size_t peak_live_bytes = 0;
+    bool plateaued = true;
+    bool eviction_seen = false;
+    Index round = 0;
+
+    while (completed < total_sessions) {
+        // Wave of arrivals: prefill a short context, queue the
+        // session's decode tokens for the coming rounds.
+        for (Index a = 0;
+             a < arrivals_per_round && spawned < total_sessions; ++a) {
+            const auto seed = static_cast<std::uint64_t>(spawned);
+            ActiveSession s;
+            s.id = manager.createSession(
+                clusteredTokens(prefill_len, 1000 + seed));
+            s.decode = clusteredTokens(lifetime_steps, 9000 + seed);
+            active.push_back(std::move(s));
+            ++spawned;
+        }
+
+        // One decode step per active session (evicted ones restore
+        // inside flush), then retire finished streams.
+        for (const ActiveSession &s : active) {
+            const auto result = batcher.trySubmit(
+                s.id, s.decode.row(s.stepsDone));
+            if (result != cta::serve::SubmitResult::Accepted) {
+                std::fprintf(stderr, "round %lld: submit rejected: %s\n",
+                             static_cast<long long>(round),
+                             cta::serve::toString(result));
+                return 1;
+            }
+        }
+        const auto results = batcher.flush();
+        if (results.size() != active.size()) {
+            std::fprintf(stderr, "short flush!\n");
+            return 1;
+        }
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            ActiveSession &s = active[i];
+            if (++s.stepsDone < lifetime_steps) {
+                if (kept != i)
+                    active[kept] = std::move(s);
+                ++kept;
+            } else {
+                batcher.removeSession(s.id);
+                ++completed;
+            }
+        }
+        active.resize(kept);
+
+        const auto stats = manager.stats();
+        RoundSample sample;
+        sample.round = round;
+        sample.live = stats.live;
+        sample.evicted = stats.evicted;
+        sample.liveBytes = stats.liveBytes;
+        sample.evictedBytes = stats.evictedBytes;
+        sample.evictions = stats.evictions;
+        sample.restores = stats.restores;
+        series.push_back(sample);
+        peak_live_bytes = std::max(peak_live_bytes, stats.liveBytes);
+        if (stats.evictions > 0)
+            eviction_seen = true;
+        // Plateau: post-enforcement live bytes fit the budget. The
+        // never-evict-MRU rule legitimately leaves one oversized
+        // resident when a single session exceeds the whole budget.
+        if (eviction_seen && stats.liveBytes > budget &&
+            stats.live > 1) {
+            plateaued = false;
+        }
+        ++round;
+    }
+
+    const auto stats = manager.stats();
+    std::printf("  rounds            %lld\n",
+                static_cast<long long>(round));
+    std::printf("  completed         %lld / %lld\n",
+                static_cast<long long>(completed),
+                static_cast<long long>(total_sessions));
+    std::printf("  evictions         %llu\n",
+                static_cast<unsigned long long>(stats.evictions));
+    std::printf("  restores          %llu\n",
+                static_cast<unsigned long long>(stats.restores));
+    std::printf("  peak live bytes   %zu (budget %zu)\n",
+                peak_live_bytes, budget);
+    std::printf("  plateaued         %s\n", plateaued ? "yes" : "no");
+
+    std::FILE *out = std::fopen("BENCH_serve_soak.json", "w");
+    if (!out) {
+        std::printf("  [could not open BENCH_serve_soak.json]\n");
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"serve_soak\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"token_dim\": %lld,\n"
+                 "  \"head_dim\": %lld,\n"
+                 "  \"budget_bytes\": %zu,\n"
+                 "  \"sessions\": %lld,\n"
+                 "  \"completed\": %lld,\n"
+                 "  \"rounds\": %lld,\n"
+                 "  \"evictions\": %llu,\n"
+                 "  \"restores\": %llu,\n"
+                 "  \"peak_live_bytes\": %zu,\n"
+                 "  \"plateaued\": %s,\n"
+                 "  \"series\": [\n",
+                 smoke ? "true" : "false",
+                 static_cast<long long>(kTokenDim),
+                 static_cast<long long>(kHeadDim), budget,
+                 static_cast<long long>(total_sessions),
+                 static_cast<long long>(completed),
+                 static_cast<long long>(round),
+                 static_cast<unsigned long long>(stats.evictions),
+                 static_cast<unsigned long long>(stats.restores),
+                 peak_live_bytes, plateaued ? "true" : "false");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const RoundSample &s = series[i];
+        std::fprintf(
+            out,
+            "    {\"round\": %lld, \"live\": %lld, \"evicted\": %lld, "
+            "\"live_bytes\": %zu, \"evicted_bytes\": %zu, "
+            "\"evictions\": %llu, \"restores\": %llu}%s\n",
+            static_cast<long long>(s.round),
+            static_cast<long long>(s.live),
+            static_cast<long long>(s.evicted), s.liveBytes,
+            s.evictedBytes,
+            static_cast<unsigned long long>(s.evictions),
+            static_cast<unsigned long long>(s.restores),
+            i + 1 < series.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("  [data written to BENCH_serve_soak.json]\n");
+    if (cta::obs::writeSidecars("BENCH_serve_soak"))
+        std::printf("  [trace + metrics sidecars written]\n");
+
+    if (!plateaued || completed != total_sessions) {
+        std::fprintf(stderr, "soak FAILED: plateaued=%d completed=%lld\n",
+                     plateaued ? 1 : 0,
+                     static_cast<long long>(completed));
+        return 1;
+    }
+    return 0;
+}

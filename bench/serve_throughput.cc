@@ -101,8 +101,10 @@ runPoint(const cta::nn::AttentionHeadParams &params, Index batch,
     point.context = context;
     point.steps = steps;
     point.wallSeconds = wall;
+    // A degenerate grid point (or a clock that didn't advance) must
+    // not print inf/NaN into the JSON.
     point.tokensPerSecond =
-        static_cast<double>(batch * steps) / wall;
+        wall > 0 ? static_cast<double>(batch * steps) / wall : 0;
     point.meanStepMs = stats.meanSeconds * 1e3;
     point.p50StepMs = stats.p50Seconds * 1e3;
     point.p95StepMs = stats.p95Seconds * 1e3;

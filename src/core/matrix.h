@@ -49,6 +49,14 @@ class Matrix
     /** True when the matrix has no elements. */
     bool empty() const { return size() == 0; }
 
+    /** Heap bytes held by the storage (capacity, not just size — what
+     *  the allocator actually reserved; the serving layer's memory
+     *  accounting sums these). */
+    std::size_t memoryBytes() const
+    {
+        return data_.capacity() * sizeof(Real);
+    }
+
     /** Element access (bounds-checked in debug builds). */
     Real &operator()(Index r, Index c);
 

@@ -46,6 +46,22 @@ MapClusterTree::assign(std::span<const std::int32_t> code)
     return it->second;
 }
 
+std::size_t
+MapClusterTree::stateBytes() const
+{
+    // Node vector plus, per node, the unordered_map's buckets and
+    // heap-allocated entry nodes. The map internals aren't visible,
+    // so charge one bucket pointer and one (key, value, next) record
+    // per entry — a consistent estimate, not an allocator audit.
+    std::size_t bytes = nodes_.capacity() * sizeof(Node);
+    for (const Node &node : nodes_)
+        bytes += node.children.bucket_count() * sizeof(void *) +
+                 node.children.size() *
+                     (sizeof(std::pair<std::int32_t, Index>) +
+                      sizeof(void *));
+    return bytes;
+}
+
 LinearClusterTree::LinearClusterTree(Index hash_len)
     : hashLen_(hash_len),
       layers_(static_cast<std::size_t>(hash_len))
@@ -108,10 +124,63 @@ IncrementalClusterTable::append(std::span<const std::int32_t> code)
 {
     CTA_TRACE_SCOPE("cluster.append");
     CTA_OBS_COUNT("cluster.appends", 1);
+    const Index before = tree_.numClusters();
     const Index cluster = tree_.assign(code);
+    if (tree_.numClusters() != before)
+        clusterCodes_.insert(clusterCodes_.end(), code.begin(),
+                             code.end());
     table_.table.push_back(cluster);
     table_.numClusters = tree_.numClusters();
     return cluster;
+}
+
+ClusterTableSnapshot
+IncrementalClusterTable::saveState() const
+{
+    ClusterTableSnapshot snap;
+    snap.hashLen = tree_.hashLen();
+    snap.table = table_.table;
+    snap.clusterCodes = clusterCodes_;
+    return snap;
+}
+
+void
+IncrementalClusterTable::restoreState(const ClusterTableSnapshot &snap)
+{
+    CTA_REQUIRE(snap.hashLen == tree_.hashLen(),
+                "snapshot hash length ", snap.hashLen,
+                " != table hash length ", tree_.hashLen());
+    CTA_REQUIRE(static_cast<Index>(snap.clusterCodes.size()) ==
+                    snap.numClusters() * snap.hashLen,
+                "snapshot cluster codes not a multiple of hash "
+                "length");
+    MapClusterTree tree(snap.hashLen);
+    const Index k = snap.numClusters();
+    for (Index c = 0; c < k; ++c) {
+        const std::span<const std::int32_t> code(
+            snap.clusterCodes.data() +
+                static_cast<std::size_t>(c * snap.hashLen),
+            static_cast<std::size_t>(snap.hashLen));
+        const Index assigned = tree.assign(code);
+        CTA_REQUIRE(assigned == c, "snapshot cluster codes are not "
+                    "distinct first-seen codes: code ", c,
+                    " reassigned to ", assigned);
+    }
+    for (const Index c : snap.table)
+        CTA_REQUIRE(c >= 0 && c < k, "snapshot table entry ", c,
+                    " outside [0, ", k, ")");
+    tree_ = std::move(tree);
+    table_.table = snap.table;
+    table_.numClusters = k;
+    clusterCodes_ = snap.clusterCodes;
+}
+
+std::size_t
+IncrementalClusterTable::stateBytes() const
+{
+    return tree_.stateBytes() +
+           table_.table.capacity() * sizeof(Index) +
+           clusterCodes_.capacity() * sizeof(std::int32_t);
 }
 
 ClusterTable

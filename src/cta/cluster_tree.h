@@ -57,6 +57,12 @@ class MapClusterTree
     /** Number of distinct clusters assigned so far. */
     core::Index numClusters() const { return clusterCount_; }
 
+    /** The code length l the trie was built for. */
+    core::Index hashLen() const { return hashLen_; }
+
+    /** Estimated heap footprint of the trie (nodes + child maps). */
+    std::size_t stateBytes() const;
+
   private:
     struct Node
     {
@@ -134,6 +140,31 @@ class LinearClusterTree
 ClusterTable buildClusterTable(const HashMatrix &codes);
 
 /**
+ * Serializable state of an IncrementalClusterTable: the per-token
+ * cluster table plus one representative hash code per cluster, in
+ * cluster-index (first-seen) order. Replaying the codes through a
+ * fresh trie reassigns the same dense indices, so restore() rebuilds
+ * the live tree bit-identically without persisting trie internals —
+ * and the snapshot is far smaller than the tree it stands for.
+ */
+struct ClusterTableSnapshot
+{
+    core::Index hashLen = 0;
+    /** token -> cluster, as in ClusterTable::table. */
+    std::vector<core::Index> table;
+    /** numClusters x hashLen codes, flattened row-major. */
+    std::vector<std::int32_t> clusterCodes;
+
+    /** Number of distinct clusters the snapshot holds. */
+    core::Index numClusters() const
+    {
+        return hashLen == 0
+            ? 0
+            : static_cast<core::Index>(clusterCodes.size()) / hashLen;
+    }
+};
+
+/**
  * Streaming cluster table for the serving layer: append() inserts one
  * token's code into a live tree instead of rebuilding the table from
  * scratch per decode step.
@@ -162,9 +193,26 @@ class IncrementalClusterTable
 
     core::Index numClusters() const { return table_.numClusters; }
 
+    /** Compact serializable state (see ClusterTableSnapshot). */
+    ClusterTableSnapshot saveState() const;
+
+    /**
+     * Replaces the live state with @p snap. The rebuilt trie assigns
+     * every future code exactly as the snapshotted tree would have
+     * (assignment depends only on the set of codes seen, which the
+     * snapshot carries in index order) — the evict/restore
+     * bit-identity contract of tests/serve_test.cc.
+     */
+    void restoreState(const ClusterTableSnapshot &snap);
+
+    /** Estimated heap footprint (trie + table + stored codes). */
+    std::size_t stateBytes() const;
+
   private:
     MapClusterTree tree_;
     ClusterTable table_;
+    /** First-seen code of every cluster (numClusters x hashLen). */
+    std::vector<std::int32_t> clusterCodes_;
 };
 
 } // namespace cta::alg

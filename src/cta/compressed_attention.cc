@@ -101,6 +101,18 @@ ClusterPairCounts::add(Index c1, Index c2)
     ++tokens_;
 }
 
+std::size_t
+ClusterPairCounts::stateBytes() const
+{
+    // The map internals aren't visible; charge a bucket pointer plus
+    // a (key, value, next) record per entry, like the trie estimate.
+    return pairs_.capacity() * sizeof(Pair) +
+           index_.bucket_count() * sizeof(void *) +
+           index_.size() *
+               (sizeof(std::pair<std::uint64_t, std::size_t>) +
+                sizeof(void *));
+}
+
 void
 aggregateProbabilitiesGrouped(const Matrix &s_bar,
                               const ClusterPairCounts &pairs, Index k1,

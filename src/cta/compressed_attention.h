@@ -201,6 +201,9 @@ class ClusterPairCounts
     /** Total tokens recorded. */
     core::Index tokens() const { return tokens_; }
 
+    /** Estimated heap footprint (pair vector + dedup map). */
+    std::size_t stateBytes() const;
+
   private:
     std::vector<Pair> pairs_;
     std::unordered_map<std::uint64_t, std::size_t> index_;

@@ -158,6 +158,60 @@ IncrementalCompression::append(std::span<const Real> token,
     return result;
 }
 
+CompressionLevelSnapshot
+IncrementalCompression::saveState() const
+{
+    CompressionLevelSnapshot snap;
+    snap.table = table_.saveState();
+    snap.sums = sums_;
+    snap.members = members_;
+    return snap;
+}
+
+void
+IncrementalCompression::restoreState(
+    const CompressionLevelSnapshot &snap)
+{
+    const Index d = params_.dim();
+    const Index k = snap.table.numClusters();
+    CTA_REQUIRE(snap.sums.rows() == k && snap.sums.cols() == d,
+                "snapshot sums shape ", snap.sums.rows(), "x",
+                snap.sums.cols(), " != ", k, "x", d);
+    CTA_REQUIRE(static_cast<Index>(snap.members.size()) == k,
+                "snapshot member counts ", snap.members.size(),
+                " != cluster count ", k);
+    for (const Index m : snap.members)
+        CTA_REQUIRE(m > 0, "snapshot cluster with no members");
+    table_.restoreState(snap.table);
+    sums_ = snap.sums;
+    members_ = snap.members;
+    // Re-derive every centroid exactly as append() left it: the mean
+    // is always written as sum * (1/count), so the recomputed rows
+    // are bit-identical to the evicted ones.
+    level_.centroids = Matrix(k, d);
+    for (Index c = 0; c < k; ++c) {
+        const Real inv =
+            1.0f /
+            static_cast<Real>(members_[static_cast<std::size_t>(c)]);
+        const Real *sum = sums_.row(c).data();
+        Real *crow = level_.centroids.row(c).data();
+        for (Index j = 0; j < d; ++j)
+            crow[j] = sum[j] * inv;
+    }
+    level_.table = snap.table.table;
+    level_.numClusters = k;
+}
+
+std::size_t
+IncrementalCompression::stateBytes() const
+{
+    return table_.stateBytes() + sums_.memoryBytes() +
+           members_.capacity() * sizeof(Index) +
+           level_.centroids.memoryBytes() +
+           level_.table.capacity() * sizeof(Index) +
+           codeBuf_.capacity() * sizeof(std::int32_t);
+}
+
 IncrementalTwoLevelCompression::IncrementalTwoLevelCompression(
     LshParams params1, LshParams params2)
     : level1_(std::move(params1)), level2_(std::move(params2))
@@ -192,6 +246,32 @@ TwoLevelCompression
 IncrementalTwoLevelCompression::snapshot() const
 {
     return TwoLevelCompression{level1_.level(), level2_.level()};
+}
+
+TwoLevelSnapshot
+IncrementalTwoLevelCompression::saveState() const
+{
+    return TwoLevelSnapshot{level1_.saveState(), level2_.saveState()};
+}
+
+void
+IncrementalTwoLevelCompression::restoreState(
+    const TwoLevelSnapshot &snap)
+{
+    CTA_REQUIRE(snap.level1.table.table.size() ==
+                    snap.level2.table.table.size(),
+                "two-level snapshot with mismatched token counts: ",
+                snap.level1.table.table.size(), " vs ",
+                snap.level2.table.table.size());
+    level1_.restoreState(snap.level1);
+    level2_.restoreState(snap.level2);
+}
+
+std::size_t
+IncrementalTwoLevelCompression::stateBytes() const
+{
+    return level1_.stateBytes() + level2_.stateBytes() +
+           residualBuf_.capacity() * sizeof(Real);
 }
 
 TwoLevelCompression

@@ -84,6 +84,21 @@ struct AppendResult
 };
 
 /**
+ * Serializable state of one IncrementalCompression level. Centroids
+ * are deliberately absent: append() always recomputes a touched
+ * centroid row as sum * (1/count) from the running member sums, so
+ * restoreState() re-derives every row with the same expression and
+ * lands on bit-identical values — the snapshot stays roughly half the
+ * size of the live level.
+ */
+struct CompressionLevelSnapshot
+{
+    ClusterTableSnapshot table;
+    core::Matrix sums;                 ///< numClusters x d member sums
+    std::vector<core::Index> members;  ///< per-cluster member counts
+};
+
+/**
  * One streaming compression level for autoregressive decode: append()
  * hashes just the new token, inserts its code into the live cluster
  * tree, adds it into the cluster's running sum and refreshes only the
@@ -121,6 +136,19 @@ class IncrementalCompression
 
     core::Index dim() const { return params_.dim(); }
 
+    /** Compact serializable state (no centroids, no trie). */
+    CompressionLevelSnapshot saveState() const;
+
+    /**
+     * Replaces the live state with @p snap, recomputing centroids
+     * from the member sums. Subsequent appends are bit-identical to a
+     * level that was never snapshotted (tests/serve_test.cc).
+     */
+    void restoreState(const CompressionLevelSnapshot &snap);
+
+    /** Estimated heap footprint of the live level. */
+    std::size_t stateBytes() const;
+
   private:
     LshParams params_;
     IncrementalClusterTable table_;
@@ -135,6 +163,13 @@ struct TwoLevelAppendResult
 {
     AppendResult level1;
     AppendResult level2;
+};
+
+/** Serializable state of an IncrementalTwoLevelCompression. */
+struct TwoLevelSnapshot
+{
+    CompressionLevelSnapshot level1;
+    CompressionLevelSnapshot level2;
 };
 
 /**
@@ -167,6 +202,16 @@ class IncrementalTwoLevelCompression
 
     /** Copies the current state into a batch TwoLevelCompression. */
     TwoLevelCompression snapshot() const;
+
+    /** Compact serializable state of both levels (for eviction). */
+    TwoLevelSnapshot saveState() const;
+
+    /** Restores both levels from @p snap; appends afterwards are
+     *  bit-identical to a never-snapshotted instance. */
+    void restoreState(const TwoLevelSnapshot &snap);
+
+    /** Estimated heap footprint of both live levels. */
+    std::size_t stateBytes() const;
 
     /** Tokens appended so far. */
     core::Index size() const { return level1_.size(); }

@@ -6,12 +6,34 @@
 
 namespace cta::gpu {
 
-GpuModel::GpuModel(const sim::GpuParams &params) : params_(params) {}
+GpuModel::GpuModel(const sim::GpuParams &params) : params_(params)
+{
+    // Every one of these ends up in a roofline denominator; zero or
+    // negative would turn latencies into inf/NaN far from the bad
+    // config, so reject at construction.
+    CTA_REQUIRE(params_.peakFp32Tflops > 0 &&
+                params_.hbmBandwidthGBs > 0 &&
+                params_.bandwidthEfficiency > 0 &&
+                params_.gemmEfficiency > 0 &&
+                params_.attentionMatmulEfficiency > 0 &&
+                params_.elementwiseEfficiency > 0 &&
+                params_.launchAmortization > 0,
+                "GpuParams rates/efficiencies must be positive");
+    CTA_REQUIRE(params_.kernelLaunchUs >= 0 &&
+                params_.serialDependencyNs >= 0,
+                "GpuParams overheads must be non-negative");
+}
 
 Wide
 GpuModel::kernelSeconds(Wide flops, Wide bytes, Wide flop_eff,
                         Wide kernels) const
 {
+    CTA_ASSERT(flops >= 0 && bytes >= 0 && kernels >= 0,
+               "negative kernel work");
+    // No work means no launch: zero-length sequences must price to
+    // zero seconds, not to bare launch overhead.
+    if (flops <= 0 && bytes <= 0)
+        return 0;
     const Wide compute =
         flops / (params_.peakFp32Tflops * 1e12 * flop_eff);
     const Wide memory = bytes /
@@ -24,6 +46,10 @@ GpuModel::kernelSeconds(Wide flops, Wide bytes, Wide flop_eff,
 Wide
 GpuModel::linearSeconds(Index m, Index n, Index dw, Index d) const
 {
+    CTA_ASSERT(m >= 0 && n >= 0 && dw >= 0 && d >= 0,
+               "negative shape");
+    if (m + n == 0 || dw == 0 || d == 0)
+        return 0;
     const Wide flops =
         2.0 * static_cast<Wide>(m + 2 * n) * dw * d;
     const Wide bytes =
@@ -37,6 +63,9 @@ GpuModel::linearSeconds(Index m, Index n, Index dw, Index d) const
 Wide
 GpuModel::attentionCalcSeconds(Index m, Index n, Index d) const
 {
+    CTA_ASSERT(m >= 0 && n >= 0 && d >= 0, "negative shape");
+    if (m == 0 || n == 0)
+        return 0;
     const Wide mn = static_cast<Wide>(m) * n;
     // S = Q K^T and O = P V.
     const Wide matmul_flops = 2.0 * 2.0 * mn * d;
@@ -62,6 +91,12 @@ GpuModel::exactAttentionSeconds(Index m, Index n, Index dw,
 Wide
 GpuModel::ctaOnGpuSeconds(const alg::CompressionStats &stats) const
 {
+    CTA_ASSERT(stats.n >= 0 && stats.k0 >= 0 && stats.k1 >= 0 &&
+               stats.k2 >= 0 && stats.dw >= 0 && stats.d >= 0,
+               "negative compression stats");
+    // An empty sequence compresses to nothing and launches nothing.
+    if (stats.n == 0)
+        return 0;
     // Matrix stages on compressed shapes at GEMM efficiency.
     const Index k_total = stats.k1 + stats.k2;
     const Wide lin_flops = 2.0 *

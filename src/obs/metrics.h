@@ -175,8 +175,19 @@ bool writeMetricsJsonFile(const std::string &path);
             cta_obs_gauge_.add(value); \
         } \
     } while (false)
+/** Overwrites the named gauge (last-writer-wins) when observability
+ *  is on. */
+#define CTA_OBS_GAUGE_SET(name, value) \
+    do { \
+        if (::cta::obs::traceEnabled()) { \
+            static ::cta::obs::Gauge &cta_obs_gauge_ = \
+                ::cta::obs::gauge(name); \
+            cta_obs_gauge_.set(value); \
+        } \
+    } while (false)
 #else
 #define CTA_OBS_COUNT(name, delta) static_cast<void>(0)
 #define CTA_OBS_GAUGE_MAX(name, value) static_cast<void>(0)
 #define CTA_OBS_GAUGE_ADD(name, value) static_cast<void>(0)
+#define CTA_OBS_GAUGE_SET(name, value) static_cast<void>(0)
 #endif

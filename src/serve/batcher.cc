@@ -1,18 +1,70 @@
 #include "serve/batcher.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/session_manager.h"
 
 namespace cta::serve {
 
 using core::Index;
 
-Batcher::Batcher(core::ThreadPool *pool) : pool_(pool) {}
+const char *
+toString(SubmitResult result)
+{
+    switch (result) {
+    case SubmitResult::Accepted:
+        return "Accepted";
+    case SubmitResult::QueueFull:
+        return "QueueFull";
+    case SubmitResult::SessionRemoved:
+        return "SessionRemoved";
+    }
+    return "?";
+}
+
+namespace {
+
+Index
+resolveQueueCapacity(Index queue_cap)
+{
+    if (queue_cap == 0)
+        return Batcher::queueCapacityFromEnv();
+    CTA_REQUIRE(queue_cap > 0, "queue capacity must be positive, got ",
+                queue_cap);
+    return queue_cap;
+}
+
+} // namespace
+
+Batcher::Batcher(core::ThreadPool *pool, Index queue_cap)
+    : pool_(pool), queueCapacity_(resolveQueueCapacity(queue_cap))
+{}
+
+Batcher::Batcher(SessionManager &manager, core::ThreadPool *pool,
+                 Index queue_cap)
+    : pool_(pool),
+      manager_(&manager),
+      queueCapacity_(resolveQueueCapacity(queue_cap))
+{}
+
+Index
+Batcher::queueCapacityFromEnv()
+{
+    const char *env = std::getenv("CTA_QUEUE_CAP");
+    if (env == nullptr)
+        return kDefaultQueueCapacity;
+    const long parsed = core::parseEnvInt(env, "CTA_QUEUE_CAP");
+    CTA_REQUIRE(parsed > 0,
+                "CTA_QUEUE_CAP must be a positive queue bound, got ",
+                parsed);
+    return static_cast<Index>(parsed);
+}
 
 core::ThreadPool &
 Batcher::pool() const
@@ -23,15 +75,30 @@ Batcher::pool() const
 Index
 Batcher::addSession(std::unique_ptr<DecodeSession> session)
 {
+    CTA_REQUIRE(manager_ == nullptr, "batcher is manager-backed; "
+                "create sessions through the SessionManager");
     CTA_REQUIRE(session != nullptr, "null session");
     sessions_.push_back(std::move(session));
+    removed_.push_back(false);
     return static_cast<Index>(sessions_.size()) - 1;
 }
 
 Index
 Batcher::sessionCount() const
 {
+    if (manager_)
+        return manager_->sessionCount();
     return static_cast<Index>(sessions_.size());
+}
+
+bool
+Batcher::sessionUsable(Index id) const
+{
+    if (id < 0 || id >= sessionCount())
+        return false;
+    if (manager_)
+        return manager_->exists(id);
+    return !removed_[static_cast<std::size_t>(id)];
 }
 
 DecodeSession &
@@ -39,23 +106,88 @@ Batcher::session(Index id)
 {
     CTA_REQUIRE(id >= 0 && id < sessionCount(), "session id ", id,
                 " out of range [0, ", sessionCount(), ")");
-    return *sessions_[static_cast<std::size_t>(id)];
+    CTA_REQUIRE(sessionUsable(id), "session ", id,
+                " was removed; cannot access it");
+    return *resolve(id);
+}
+
+DecodeSession *
+Batcher::resolve(Index id)
+{
+    if (manager_)
+        return &manager_->acquire(id);
+    return sessions_[static_cast<std::size_t>(id)].get();
+}
+
+void
+Batcher::removeSession(Index id)
+{
+    CTA_REQUIRE(id >= 0 && id < sessionCount(), "session id ", id,
+                " out of range [0, ", sessionCount(), ")");
+    CTA_REQUIRE(sessionUsable(id), "session ", id,
+                " was already removed");
+    if (manager_) {
+        manager_->removeSession(id);
+    } else {
+        sessions_[static_cast<std::size_t>(id)].reset();
+        removed_[static_cast<std::size_t>(id)] = true;
+    }
+    // Drop queued steps for the freed session; re-number the
+    // submission slots so flush() results stay dense.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].session == id)
+            continue;
+        if (kept != i)
+            pending_[kept] = std::move(pending_[i]);
+        pending_[kept].slot = kept;
+        ++kept;
+    }
+    pending_.resize(kept);
 }
 
 void
 Batcher::submit(Index session, std::span<const core::Real> token)
 {
+    const SubmitResult result = trySubmit(session, token);
+    CTA_REQUIRE(result == SubmitResult::Accepted, "submit to session ",
+                session, " rejected: ", toString(result),
+                " (use trySubmit to shed load)");
+}
+
+SubmitResult
+Batcher::trySubmit(Index session, std::span<const core::Real> token,
+                   std::chrono::steady_clock::time_point deadline)
+{
+    // Out-of-range is a caller bug, not load — always fatal. A
+    // removed session is a normal race with lifecycle management and
+    // gets a recoverable rejection.
     CTA_REQUIRE(session >= 0 && session < sessionCount(),
                 "session id ", session, " out of range [0, ",
                 sessionCount(), ")");
+    if (!sessionUsable(session)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejectedSubmits_;
+        return SubmitResult::SessionRemoved;
+    }
     Pending pending;
     pending.session = session;
     pending.token.assign(token.begin(), token.end());
     pending.submitted = std::chrono::steady_clock::now();
-    CTA_OBS_COUNT("serve.submitted", 1);
+    pending.deadline = deadline;
     std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<Index>(pending_.size()) >= queueCapacity_) {
+        ++rejectedSubmits_;
+        // Shed-load volume is workload/timing dependent; keep it out
+        // of the deterministic counter domain.
+        CTA_OBS_GAUGE_ADD("serve.queue_rejected", 1.0);
+        return SubmitResult::QueueFull;
+    }
+    CTA_OBS_COUNT("serve.submitted", 1);
     pending.slot = pending_.size();
     pending_.push_back(std::move(pending));
+    return SubmitResult::Accepted;
 }
 
 Index
@@ -63,6 +195,20 @@ Batcher::pendingCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<Index>(pending_.size());
+}
+
+std::uint64_t
+Batcher::rejectedSubmits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejectedSubmits_;
+}
+
+std::uint64_t
+Batcher::expiredSteps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return expiredSteps_;
 }
 
 std::vector<StepResult>
@@ -75,14 +221,17 @@ Batcher::flush()
         batch.swap(pending_);
     }
     std::vector<StepResult> results(batch.size());
-    if (batch.empty())
+    if (batch.empty()) {
+        if (manager_)
+            manager_->enforceBudget();
         return results;
+    }
 
     // Group by session, preserving submission order within each: a
     // session is sequential state, so its queued steps form one
     // serial task; distinct sessions fan out over the pool.
     std::vector<std::vector<std::size_t>> per_session(
-        sessions_.size());
+        static_cast<std::size_t>(sessionCount()));
     for (std::size_t i = 0; i < batch.size(); ++i)
         per_session[static_cast<std::size_t>(batch[i].session)]
             .push_back(i);
@@ -91,14 +240,37 @@ Batcher::flush()
         if (!per_session[s].empty())
             active.push_back(static_cast<Index>(s));
 
+    // Resolve every session serially before fanning out: in managed
+    // mode this is where evicted sessions restore, and keeping the
+    // restores (and the LRU ticks they take) outside the parallel
+    // region keeps eviction decisions thread-count-invariant.
+    std::vector<DecodeSession *> resolved(active.size());
+    for (std::size_t t = 0; t < active.size(); ++t)
+        resolved[t] = resolve(active[t]);
+
+    std::vector<std::uint64_t> expired(active.size(), 0);
     pool().run(static_cast<Index>(active.size()), [&](Index t) {
         const Index sid = active[static_cast<std::size_t>(t)];
         CTA_TRACE_SCOPE_ID("serve.session_flush", sid);
-        DecodeSession &sess = *sessions_[static_cast<std::size_t>(sid)];
+        DecodeSession &sess = *resolved[static_cast<std::size_t>(t)];
+        // Once one step misses its deadline, every later step of the
+        // same session expires with it: running them anyway would
+        // append tokens after a hole and break the stream-prefix
+        // invariant.
+        bool cascaded = false;
+        std::uint64_t ran = 0;
         for (const std::size_t i :
              per_session[static_cast<std::size_t>(sid)]) {
             const Pending &p = batch[i];
             const auto begin = std::chrono::steady_clock::now();
+            if (cascaded ||
+                (p.deadline != kNoDeadline && begin >= p.deadline)) {
+                cascaded = true;
+                ++expired[static_cast<std::size_t>(t)];
+                results[p.slot].session = p.session;
+                results[p.slot].status = StepStatus::Expired;
+                continue;
+            }
             // Queue wait: submit() to the moment the step starts.
             // Timing-domain, so gauges only (counters stay
             // deterministic across thread counts).
@@ -112,13 +284,29 @@ Batcher::flush()
             stats_.recordStep(
                 std::chrono::duration<double>(end - begin).count());
             results[p.slot] =
-                StepResult{p.session, std::move(out)};
+                StepResult{p.session, StepStatus::Ok, std::move(out)};
+            ++ran;
         }
-        CTA_OBS_COUNT(
-            "serve.flushed",
-            static_cast<std::uint64_t>(
-                per_session[static_cast<std::size_t>(sid)].size()));
+        CTA_OBS_COUNT("serve.flushed", ran);
     });
+
+    std::uint64_t expiredTotal = 0;
+    for (const std::uint64_t e : expired)
+        expiredTotal += e;
+    if (expiredTotal > 0) {
+        CTA_OBS_GAUGE_ADD("serve.expired_steps",
+                          static_cast<double>(expiredTotal));
+        std::lock_guard<std::mutex> lock(mutex_);
+        expiredSteps_ += expiredTotal;
+    }
+
+    if (manager_) {
+        // Recency follows submission order — deterministic for any
+        // thread count — then the budget pass may evict stragglers.
+        for (const Pending &p : batch)
+            manager_->touch(p.session);
+        manager_->enforceBudget();
+    }
     return results;
 }
 

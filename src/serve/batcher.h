@@ -13,6 +13,21 @@
  * backends follow. (A session's inner GEMMs may themselves hit the
  * pool; re-entrant run() degrades to inline execution with identical
  * results.)
+ *
+ * Admission control and backpressure: the submit queue is bounded
+ * (default 64Ki entries, CTA_QUEUE_CAP overrides) — trySubmit()
+ * reports QueueFull instead of growing without limit, and submit()
+ * treats every rejection as fatal. Each request may carry a deadline;
+ * steps whose deadline passed before they start are skipped and
+ * returned as Expired (and, to keep the session's token stream a
+ * prefix, every later queued step of that session in the same flush
+ * expires with it).
+ *
+ * Sessions can be owned two ways: directly (addSession) or by a
+ * SessionManager (memory-budgeted mode). In managed mode, flush()
+ * restores evicted sessions before fanning out and enforces the
+ * byte budget after — both outside the parallel region, so eviction
+ * decisions stay deterministic for any thread count.
  */
 
 #pragma once
@@ -32,38 +47,117 @@ class ThreadPool;
 
 namespace cta::serve {
 
+class SessionManager;
+
+/** Admission verdict of one trySubmit() call. */
+enum class SubmitResult
+{
+    Accepted,       ///< queued for the next flush
+    QueueFull,      ///< bounded queue at capacity — shed load
+    SessionRemoved, ///< target session was removed
+};
+
+/** Human-readable name of a SubmitResult. */
+const char *toString(SubmitResult result);
+
+/** Outcome of one queued step. */
+enum class StepStatus
+{
+    Ok,      ///< step ran; output is valid
+    Expired, ///< deadline passed before the step started; no output
+};
+
 /** One completed decode step, in submission order. */
 struct StepResult
 {
-    core::Index session = 0; ///< id returned by addSession()
-    core::Matrix output;     ///< 1 x d attention output
+    core::Index session = 0;          ///< id returned by addSession()
+    StepStatus status = StepStatus::Ok;
+    core::Matrix output;              ///< 1 x d output (empty if Expired)
 };
 
 /** Batches queued per-session steps over a thread pool. */
 class Batcher
 {
   public:
-    /** @param pool worker pool; nullptr means the process-global
-     *  pool. */
-    explicit Batcher(core::ThreadPool *pool = nullptr);
+    /** Queue bound used when CTA_QUEUE_CAP is unset. */
+    static constexpr core::Index kDefaultQueueCapacity = 1 << 16;
 
-    /** Registers a session; returns its id (dense, from 0). */
+    /** No-deadline sentinel for trySubmit(). */
+    static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+        std::chrono::steady_clock::time_point::max();
+
+    /**
+     * @param pool worker pool; nullptr means the process-global pool.
+     * @param queue_cap submit-queue bound; 0 reads CTA_QUEUE_CAP
+     *        (default kDefaultQueueCapacity when unset).
+     */
+    explicit Batcher(core::ThreadPool *pool = nullptr,
+                     core::Index queue_cap = 0);
+
+    /**
+     * Memory-budgeted mode: sessions live in @p manager, which must
+     * outlive the batcher. flush() restores evicted sessions on
+     * demand and enforces the manager's byte budget afterwards.
+     */
+    explicit Batcher(SessionManager &manager,
+                     core::ThreadPool *pool = nullptr,
+                     core::Index queue_cap = 0);
+
+    /** Parses CTA_QUEUE_CAP (must be positive); the default bound
+     *  when unset. */
+    static core::Index queueCapacityFromEnv();
+
+    /** Registers a session; returns its id (dense, from 0).
+     *  Fatal in managed mode — create sessions via the manager. */
     core::Index addSession(std::unique_ptr<DecodeSession> session);
 
     core::Index sessionCount() const;
 
+    /** The live session for @p id (restoring it first in managed
+     *  mode). Fatal for out-of-range or removed ids. */
     DecodeSession &session(core::Index id);
 
-    /** Queues one decode step (copies @p token). Thread-safe. */
+    /**
+     * Frees session @p id: its state is destroyed (or dropped from
+     * the manager), any queued steps for it are discarded, and every
+     * later access to the id is fatal. Ids are not reused.
+     */
+    void removeSession(core::Index id);
+
+    /** Queues one decode step (copies @p token). Thread-safe. Fatal
+     *  when the bounded queue is full or the session was removed —
+     *  use trySubmit() to shed load instead. */
     void submit(core::Index session, std::span<const core::Real> token);
+
+    /**
+     * Admission-controlled submit: returns QueueFull when the bounded
+     * queue is at capacity and SessionRemoved when the target session
+     * was removed, instead of aborting. Out-of-range ids are still
+     * fatal (caller bug, not load). @p deadline: steps not *started*
+     * by then come back Expired from flush(). Thread-safe.
+     */
+    SubmitResult trySubmit(core::Index session,
+                           std::span<const core::Real> token,
+                           std::chrono::steady_clock::time_point
+                               deadline = kNoDeadline);
 
     /** Queued steps not yet flushed. */
     core::Index pendingCount() const;
 
+    /** Configured submit-queue bound. */
+    core::Index queueCapacity() const { return queueCapacity_; }
+
+    /** Cumulative trySubmit() rejections (queue full / removed). */
+    std::uint64_t rejectedSubmits() const;
+
+    /** Cumulative steps returned as Expired by flush(). */
+    std::uint64_t expiredSteps() const;
+
     /**
      * Runs every queued step — per-session sequential, cross-session
      * parallel — and returns outputs in submission order. Each step's
-     * latency is recorded in stats().
+     * latency is recorded in stats(). Steps past their deadline are
+     * skipped and returned as Expired.
      */
     std::vector<StepResult> flush();
 
@@ -77,14 +171,27 @@ class Batcher
         std::vector<core::Real> token;
         std::size_t slot = 0; ///< submission index within the flush
         std::chrono::steady_clock::time_point submitted{};
+        std::chrono::steady_clock::time_point deadline{kNoDeadline};
     };
 
     core::ThreadPool &pool() const;
 
+    /** The live session pointer for a validated id. */
+    DecodeSession *resolve(core::Index id);
+
+    /** True when @p id is valid and not removed (caller holds no
+     *  lock; sessions are only added/removed between flushes). */
+    bool sessionUsable(core::Index id) const;
+
     core::ThreadPool *pool_;
+    SessionManager *manager_ = nullptr; ///< null in direct mode
+    core::Index queueCapacity_ = kDefaultQueueCapacity;
     std::vector<std::unique_ptr<DecodeSession>> sessions_;
-    mutable std::mutex mutex_; ///< guards pending_
+    std::vector<bool> removed_; ///< direct mode: id freed?
+    mutable std::mutex mutex_;  ///< guards pending_ + counters below
     std::vector<Pending> pending_;
+    std::uint64_t rejectedSubmits_ = 0;
+    std::uint64_t expiredSteps_ = 0;
     ServerStats stats_;
 };
 

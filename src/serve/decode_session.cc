@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 #include <utility>
 
 #include "core/logging.h"
@@ -14,6 +16,146 @@ using core::Index;
 using core::Matrix;
 using core::OpCounts;
 using core::Real;
+
+namespace {
+
+constexpr std::uint8_t kBlobMagic[4] = {'C', 'T', 'A', 'S'};
+constexpr std::uint32_t kBlobVersion = 1;
+
+/** Appends the raw little-endian bytes of @p value. */
+template <typename T>
+void
+putScalar(std::vector<std::uint8_t> &out, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+void
+putArray(std::vector<std::uint8_t> &out, const T *data,
+         std::size_t count)
+{
+    putScalar<std::uint64_t>(out, count);
+    const auto at = out.size();
+    out.resize(at + count * sizeof(T));
+    std::memcpy(out.data() + at, data, count * sizeof(T));
+}
+
+/** Bounds-checked reader over a snapshot blob. */
+class BlobReader
+{
+  public:
+    explicit BlobReader(std::span<const std::uint8_t> bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T value;
+        CTA_REQUIRE(at_ + sizeof(T) <= bytes_.size(),
+                    "truncated session snapshot blob at offset ", at_);
+        std::memcpy(&value, bytes_.data() + at_, sizeof(T));
+        at_ += sizeof(T);
+        return value;
+    }
+
+    template <typename T>
+    std::vector<T>
+    array()
+    {
+        const auto count = scalar<std::uint64_t>();
+        CTA_REQUIRE(count <= (bytes_.size() - at_) / sizeof(T),
+                    "session snapshot blob array overruns the blob");
+        std::vector<T> out(static_cast<std::size_t>(count));
+        std::memcpy(out.data(), bytes_.data() + at_,
+                    out.size() * sizeof(T));
+        at_ += out.size() * sizeof(T);
+        return out;
+    }
+
+    bool exhausted() const { return at_ == bytes_.size(); }
+
+  private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t at_ = 0;
+};
+
+void
+putLevel(std::vector<std::uint8_t> &out,
+         const alg::CompressionLevelSnapshot &level)
+{
+    putScalar<std::int64_t>(out, level.table.hashLen);
+    putArray(out, level.table.table.data(), level.table.table.size());
+    putArray(out, level.table.clusterCodes.data(),
+             level.table.clusterCodes.size());
+    putScalar<std::int64_t>(out, level.sums.rows());
+    putScalar<std::int64_t>(out, level.sums.cols());
+    putArray(out, level.sums.data(),
+             static_cast<std::size_t>(level.sums.size()));
+    putArray(out, level.members.data(), level.members.size());
+}
+
+alg::CompressionLevelSnapshot
+readLevel(BlobReader &reader)
+{
+    alg::CompressionLevelSnapshot level;
+    level.table.hashLen = reader.scalar<std::int64_t>();
+    level.table.table = reader.array<Index>();
+    level.table.clusterCodes = reader.array<std::int32_t>();
+    const Index rows = reader.scalar<std::int64_t>();
+    const Index cols = reader.scalar<std::int64_t>();
+    const std::vector<Real> sums = reader.array<Real>();
+    CTA_REQUIRE(rows >= 0 && cols >= 0 &&
+                    static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(cols) ==
+                        sums.size(),
+                "snapshot blob sums shape ", rows, "x", cols,
+                " does not match ", sums.size(), " values");
+    level.sums = Matrix(rows, cols);
+    std::copy(sums.begin(), sums.end(), level.sums.data());
+    level.members = reader.array<Index>();
+    return level;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeSnapshot(const SessionSnapshot &snap)
+{
+    std::vector<std::uint8_t> out;
+    out.insert(out.end(), std::begin(kBlobMagic), std::end(kBlobMagic));
+    putScalar<std::uint32_t>(out, kBlobVersion);
+    putScalar<std::int64_t>(out, snap.tokenDim);
+    putLevel(out, snap.kv.level1);
+    putLevel(out, snap.kv.level2);
+    return out;
+}
+
+SessionSnapshot
+deserializeSnapshot(std::span<const std::uint8_t> bytes)
+{
+    CTA_REQUIRE(bytes.size() >= sizeof(kBlobMagic) &&
+                    std::memcmp(bytes.data(), kBlobMagic,
+                                sizeof(kBlobMagic)) == 0,
+                "not a session snapshot blob (bad magic)");
+    BlobReader reader(bytes.subspan(sizeof(kBlobMagic)));
+    const auto version = reader.scalar<std::uint32_t>();
+    CTA_REQUIRE(version == kBlobVersion, "session snapshot version ",
+                version, " unsupported (expected ", kBlobVersion, ")");
+    SessionSnapshot snap;
+    snap.tokenDim = reader.scalar<std::int64_t>();
+    snap.kv.level1 = readLevel(reader);
+    snap.kv.level2 = readLevel(reader);
+    CTA_REQUIRE(reader.exhausted(),
+                "trailing bytes after session snapshot blob");
+    return snap;
+}
 
 DecodeSession::DecodeSession(nn::AttentionHeadParams params,
                              ServeConfig config, Index token_dim)
@@ -159,6 +301,78 @@ DecodeSession::step(std::span<const Real> token)
     lastStepOps_ = ops;
     totalOps_ += ops;
     return out;
+}
+
+std::size_t
+DecodeSession::stateBytes() const
+{
+    std::size_t bytes = kv_.stateBytes() + pairs_.stateBytes() +
+                        kBar1_.memoryBytes() + kBar2_.memoryBytes() +
+                        vBar1_.memoryBytes() + vBar2_.memoryBytes();
+    for (const nn::Linear *linear :
+         {&params_.wq, &params_.wk, &params_.wv}) {
+        bytes += linear->weight().memoryBytes();
+        if (linear->bias())
+            bytes += linear->bias()->memoryBytes();
+    }
+    bytes += lsh_.lsh0.a.memoryBytes() + lsh_.lsh0.b.memoryBytes() +
+             lsh_.lsh1.a.memoryBytes() + lsh_.lsh1.b.memoryBytes() +
+             lsh_.lsh2.a.memoryBytes() + lsh_.lsh2.b.memoryBytes();
+    return bytes;
+}
+
+SessionSnapshot
+DecodeSession::snapshot() const
+{
+    SessionSnapshot snap;
+    snap.tokenDim = tokenDim_;
+    snap.kv = kv_.saveState();
+    return snap;
+}
+
+void
+DecodeSession::restore(const SessionSnapshot &snap)
+{
+    CTA_TRACE_SCOPE("decode.restore");
+    CTA_OBS_COUNT("serve.session_restores", 1);
+    CTA_REQUIRE(snap.tokenDim == tokenDim_, "snapshot token dim ",
+                snap.tokenDim, " != session dim ", tokenDim_);
+    kv_.restoreState(snap.kv);
+
+    // The pair multiset is fully determined by the two cluster
+    // tables: replaying them in token order performs the exact add()
+    // sequence the live session performed.
+    const std::vector<Index> &ct1 = kv_.level1().level().table;
+    const std::vector<Index> &ct2 = kv_.level2().level().table;
+    pairs_ = alg::ClusterPairCounts();
+    for (std::size_t i = 0; i < ct1.size(); ++i)
+        pairs_.add(ct1[i], ct2[i]);
+
+    // Cached projections: a live session's row r holds
+    // refreshProjectedRow() of the *final* centroid r (every earlier
+    // write was overwritten), so re-projecting each centroid once
+    // reproduces the cache bit-for-bit.
+    const Index d = params_.wk.outDim();
+    kBar1_ = Matrix(0, d);
+    kBar2_ = Matrix(0, d);
+    vBar1_ = Matrix(0, d);
+    vBar2_ = Matrix(0, d);
+    const Index k1 = kv_.level1().level().numClusters;
+    const Index k2 = kv_.level2().level().numClusters;
+    for (Index c = 0; c < k1; ++c) {
+        alg::refreshProjectedRow(params_.wk, kv_.level1().centroid(c),
+                                 kBar1_, c);
+        alg::refreshProjectedRow(params_.wv, kv_.level1().centroid(c),
+                                 vBar1_, c);
+    }
+    for (Index c = 0; c < k2; ++c) {
+        alg::refreshProjectedRow(params_.wk, kv_.level2().centroid(c),
+                                 kBar2_, c);
+        alg::refreshProjectedRow(params_.wv, kv_.level2().centroid(c),
+                                 vBar2_, c);
+    }
+    lastStepOps_ = OpCounts{};
+    totalOps_ = OpCounts{};
 }
 
 } // namespace cta::serve

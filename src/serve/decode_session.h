@@ -29,7 +29,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/matrix.h"
 #include "core/op_counter.h"
@@ -52,6 +54,28 @@ struct ServeConfig
      */
     bool groupedAggregation = true;
 };
+
+/**
+ * Serializable compression state of one DecodeSession. Holds only
+ * the incremental KV compression; the projection weights, the pair
+ * multiset and the cached centroid projections are all re-derivable
+ * (weights are shared model state the owner re-supplies on restore,
+ * the rest is recomputed bit-identically), so an evicted session
+ * costs a fraction of its live footprint.
+ */
+struct SessionSnapshot
+{
+    core::Index tokenDim = 0;
+    alg::TwoLevelSnapshot kv;
+};
+
+/** Encodes @p snap as a flat little-endian byte blob (magic "CTAS",
+ *  versioned) — what a SessionManager keeps for an evicted session. */
+std::vector<std::uint8_t> serializeSnapshot(const SessionSnapshot &snap);
+
+/** Inverse of serializeSnapshot(); fatal on a malformed blob. */
+SessionSnapshot
+deserializeSnapshot(std::span<const std::uint8_t> bytes);
 
 /** Incremental CTA decode state for one attention head's stream. */
 class DecodeSession
@@ -106,6 +130,30 @@ class DecodeSession
 
     /** Cumulative operation counts over prefill + all steps. */
     const core::OpCounts &totalOps() const { return totalOps_; }
+
+    /**
+     * Estimated heap bytes of everything this session owns: the
+     * incremental KV state (tries, tables, sums, centroids), cached
+     * K/V centroid projections, the pair multiset, scratch buffers
+     * and the per-session weight copies. The SessionManager budgets
+     * against the sum of these.
+     */
+    std::size_t stateBytes() const;
+
+    /** Compact serializable state (see SessionSnapshot). */
+    SessionSnapshot snapshot() const;
+
+    /**
+     * Replaces this session's decode state with @p snap, recomputing
+     * the pair multiset and cached projections from it.
+     *
+     * Bit-identity contract (tests/serve_test.cc): for a session
+     * restored into the same (params, config, tokenDim), every
+     * subsequent step() output is bit-identical to a session that was
+     * never snapshotted. Op counters restart from zero — they are
+     * bookkeeping, not decode state.
+     */
+    void restore(const SessionSnapshot &snap);
 
   private:
     /** KV append + touched-centroid reprojection + pair update. */

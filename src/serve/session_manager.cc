@@ -1,0 +1,247 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cta::serve {
+
+using core::Index;
+
+SessionManager::SessionManager(nn::AttentionHeadParams params,
+                               ServeConfig config, Index token_dim,
+                               std::size_t mem_budget_bytes)
+    : params_(std::move(params)),
+      config_(config),
+      tokenDim_(token_dim),
+      memBudgetBytes_(mem_budget_bytes)
+{
+    CTA_REQUIRE(params_.wq.inDim() == token_dim &&
+                params_.wk.inDim() == token_dim &&
+                params_.wv.inDim() == token_dim,
+                "head projections expect token dim ",
+                params_.wq.inDim(), ", manager serves ", token_dim);
+}
+
+std::size_t
+SessionManager::memBudgetFromEnv()
+{
+    const char *env = std::getenv("CTA_MEM_BUDGET");
+    if (env == nullptr)
+        return 0; // unlimited
+    const long parsed = core::parseEnvInt(env, "CTA_MEM_BUDGET");
+    CTA_REQUIRE(parsed > 0, "CTA_MEM_BUDGET must be a positive byte "
+                "count (unset it for unlimited), got ", parsed);
+    return static_cast<std::size_t>(parsed);
+}
+
+std::unique_ptr<DecodeSession>
+SessionManager::makeSession() const
+{
+    return std::make_unique<DecodeSession>(params_, config_,
+                                           tokenDim_);
+}
+
+Index
+SessionManager::createSession()
+{
+    Slot slot;
+    slot.state = State::Live;
+    slot.live = makeSession();
+    slot.lastUsed = ++tick_;
+    slots_.push_back(std::move(slot));
+    CTA_OBS_COUNT("serve.manager.created", 1);
+    return static_cast<Index>(slots_.size()) - 1;
+}
+
+Index
+SessionManager::createSession(const core::Matrix &tokens)
+{
+    const Index id = createSession();
+    slots_[static_cast<std::size_t>(id)].live->prefill(tokens);
+    return id;
+}
+
+SessionManager::Slot &
+SessionManager::slot(Index id, const char *verb)
+{
+    CTA_REQUIRE(id >= 0 && id < sessionCount(), "session id ", id,
+                " out of range [0, ", sessionCount(), ") in ", verb);
+    Slot &s = slots_[static_cast<std::size_t>(id)];
+    CTA_REQUIRE(s.state != State::Removed, "session ", id,
+                " was removed; cannot ", verb, " it");
+    return s;
+}
+
+const SessionManager::Slot &
+SessionManager::slot(Index id, const char *verb) const
+{
+    return const_cast<SessionManager *>(this)->slot(id, verb);
+}
+
+bool
+SessionManager::exists(Index id) const
+{
+    return id >= 0 && id < sessionCount() &&
+           slots_[static_cast<std::size_t>(id)].state !=
+               State::Removed;
+}
+
+bool
+SessionManager::isLive(Index id) const
+{
+    return exists(id) &&
+           slots_[static_cast<std::size_t>(id)].state == State::Live;
+}
+
+bool
+SessionManager::isEvicted(Index id) const
+{
+    return exists(id) && slots_[static_cast<std::size_t>(id)].state ==
+                             State::Evicted;
+}
+
+DecodeSession &
+SessionManager::acquire(Index id)
+{
+    Slot &s = slot(id, "acquire");
+    if (s.state == State::Evicted) {
+        CTA_TRACE_SCOPE_ID("serve.session_restore", id);
+        const SessionSnapshot snap = deserializeSnapshot(s.blob);
+        s.live = makeSession();
+        s.live->restore(snap);
+        s.blob.clear();
+        s.blob.shrink_to_fit();
+        s.state = State::Live;
+        ++restores_;
+        CTA_OBS_COUNT("serve.manager.restores", 1);
+    }
+    s.lastUsed = ++tick_;
+    return *s.live;
+}
+
+void
+SessionManager::touch(Index id)
+{
+    slot(id, "touch").lastUsed = ++tick_;
+}
+
+void
+SessionManager::evict(Index id)
+{
+    Slot &s = slot(id, "evict");
+    if (s.state == State::Evicted)
+        return;
+    CTA_TRACE_SCOPE_ID("serve.session_evict", id);
+    s.blob = serializeSnapshot(s.live->snapshot());
+    s.live.reset();
+    s.state = State::Evicted;
+    ++evictions_;
+    CTA_OBS_COUNT("serve.manager.evictions", 1);
+}
+
+void
+SessionManager::removeSession(Index id)
+{
+    Slot &s = slot(id, "remove");
+    s.live.reset();
+    s.blob.clear();
+    s.blob.shrink_to_fit();
+    s.state = State::Removed;
+    CTA_OBS_COUNT("serve.manager.removed", 1);
+}
+
+void
+SessionManager::enforceBudget()
+{
+    if (memBudgetBytes_ == 0) {
+        publishGauges();
+        return;
+    }
+    // Collect live sessions, LRU first. stateBytes() is O(clusters)
+    // per session, and only live sessions (bounded by the budget) are
+    // visited — the whole pass stays far below one decode step.
+    std::vector<std::pair<std::uint64_t, Index>> live;
+    std::size_t total = 0;
+    for (Index id = 0; id < sessionCount(); ++id) {
+        const Slot &s = slots_[static_cast<std::size_t>(id)];
+        if (s.state != State::Live)
+            continue;
+        live.emplace_back(s.lastUsed, id);
+        total += s.live->stateBytes();
+    }
+    std::sort(live.begin(), live.end());
+    // Evict LRU-first, but never the most-recently-used session: a
+    // budget below a single session's footprint then degrades to
+    // one-resident-at-a-time serving rather than livelock.
+    for (std::size_t i = 0;
+         total > memBudgetBytes_ && i + 1 < live.size(); ++i) {
+        const Index id = live[i].second;
+        const std::size_t bytes =
+            slots_[static_cast<std::size_t>(id)].live->stateBytes();
+        evict(id);
+        total -= std::min(bytes, total);
+    }
+    publishGauges();
+}
+
+std::size_t
+SessionManager::liveStateBytes() const
+{
+    std::size_t total = 0;
+    for (const Slot &s : slots_)
+        if (s.state == State::Live)
+            total += s.live->stateBytes();
+    return total;
+}
+
+std::size_t
+SessionManager::evictedBlobBytes() const
+{
+    std::size_t total = 0;
+    for (const Slot &s : slots_)
+        if (s.state == State::Evicted)
+            total += s.blob.capacity();
+    return total;
+}
+
+SessionManagerStats
+SessionManager::stats() const
+{
+    SessionManagerStats stats;
+    stats.created = sessionCount();
+    for (const Slot &s : slots_) {
+        switch (s.state) {
+        case State::Live:
+            ++stats.live;
+            stats.liveBytes += s.live->stateBytes();
+            break;
+        case State::Evicted:
+            ++stats.evicted;
+            stats.evictedBytes += s.blob.capacity();
+            break;
+        case State::Removed:
+            ++stats.removed;
+            break;
+        }
+    }
+    stats.evictions = evictions_;
+    stats.restores = restores_;
+    return stats;
+}
+
+void
+SessionManager::publishGauges() const
+{
+    CTA_OBS_GAUGE_SET("serve.manager.live_bytes",
+                      static_cast<double>(liveStateBytes()));
+    CTA_OBS_GAUGE_SET("serve.manager.evicted_blob_bytes",
+                      static_cast<double>(evictedBlobBytes()));
+}
+
+} // namespace cta::serve

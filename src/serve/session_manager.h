@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Bounded-memory ownership of many decode sessions: per-session byte
+ * accounting, a global memory budget, and LRU eviction to compact
+ * serialized snapshots.
+ *
+ * The paper's premise (§III-B) is that compressed cluster state is
+ * small enough to keep resident; this layer makes that an enforced
+ * property instead of a hope. Every session's heap footprint is
+ * measurable (DecodeSession::stateBytes()); when the sum of live
+ * sessions exceeds the budget, the least-recently-used ones are
+ * *evicted*: their incremental compression state is serialized to a
+ * compact blob (serializeSnapshot()) and the live session — weights
+ * copy, cached projections, cluster tries and all — is destroyed.
+ * Touching an evicted session later restores it bit-identically
+ * (evict → restore → step equals never-evicted step; enforced in
+ * tests/serve_test.cc and tests/session_manager_test.cc).
+ *
+ * All sessions share one model (params/config/tokenDim given at
+ * construction) — the realistic serving shape, and what lets an
+ * evicted session drop its weight copy entirely.
+ *
+ * Thread-safety: none — the manager is externally synchronized.
+ * Batcher drives it only outside its parallel flush region, keeping
+ * eviction decisions deterministic for any thread count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/decode_session.h"
+
+namespace cta::serve {
+
+/** Point-in-time summary of a SessionManager. */
+struct SessionManagerStats
+{
+    core::Index created = 0;      ///< ids ever handed out
+    core::Index live = 0;         ///< sessions resident in memory
+    core::Index evicted = 0;      ///< sessions held as blobs
+    core::Index removed = 0;      ///< sessions freed for good
+    std::size_t liveBytes = 0;    ///< sum of live stateBytes()
+    std::size_t evictedBytes = 0; ///< sum of snapshot blob sizes
+    std::uint64_t evictions = 0;  ///< cumulative evict operations
+    std::uint64_t restores = 0;   ///< cumulative restore operations
+};
+
+/** Owns decode sessions under a global memory budget (LRU evict). */
+class SessionManager
+{
+  public:
+    /**
+     * @param params shared projection weights of the served model
+     * @param config shared CTA serving configuration
+     * @param token_dim dimension of incoming tokens
+     * @param mem_budget_bytes live-session byte budget; 0 means
+     *        unlimited. Defaults to the CTA_MEM_BUDGET environment
+     *        knob (absent → unlimited, malformed or non-positive →
+     *        fatal, parsed via core::parseEnvInt).
+     */
+    SessionManager(nn::AttentionHeadParams params, ServeConfig config,
+                   core::Index token_dim,
+                   std::size_t mem_budget_bytes = memBudgetFromEnv());
+
+    /** Parses CTA_MEM_BUDGET (bytes); 0 (unlimited) when unset. */
+    static std::size_t memBudgetFromEnv();
+
+    /** Creates an empty session; returns its id (dense, from 0). */
+    core::Index createSession();
+
+    /** Creates a session prefilled with @p tokens (n x tokenDim). */
+    core::Index createSession(const core::Matrix &tokens);
+
+    /** Ids ever created (including evicted and removed ones). */
+    core::Index sessionCount() const
+    {
+        return static_cast<core::Index>(slots_.size());
+    }
+
+    /** True when @p id was created and not yet removed. */
+    bool exists(core::Index id) const;
+
+    /** True when @p id is resident in memory. */
+    bool isLive(core::Index id) const;
+
+    /** True when @p id is held as a serialized blob. */
+    bool isEvicted(core::Index id) const;
+
+    /**
+     * Returns the live session for @p id, restoring it from its blob
+     * first when evicted, and marks it most-recently-used. Fatal for
+     * unknown or removed ids. The reference stays valid until the
+     * next evict/remove of this id.
+     */
+    DecodeSession &acquire(core::Index id);
+
+    /** Marks @p id most-recently-used without restoring it. */
+    void touch(core::Index id);
+
+    /**
+     * Serializes @p id's compression state and destroys the live
+     * session. No-op when already evicted; fatal for removed ids.
+     */
+    void evict(core::Index id);
+
+    /** Frees @p id entirely (live state or blob). The id stays
+     *  allocated but every later access is fatal. */
+    void removeSession(core::Index id);
+
+    /**
+     * Evicts least-recently-used live sessions until the live byte
+     * total fits the budget. The most-recently-used session is never
+     * evicted, so a budget smaller than one session degrades to
+     * one-resident-at-a-time serving instead of livelock.
+     */
+    void enforceBudget();
+
+    /** Sum of live sessions' stateBytes() (recomputed). */
+    std::size_t liveStateBytes() const;
+
+    /** Sum of evicted sessions' blob sizes. */
+    std::size_t evictedBlobBytes() const;
+
+    std::size_t memBudgetBytes() const { return memBudgetBytes_; }
+
+    /** Consistent summary of counts and byte totals. */
+    SessionManagerStats stats() const;
+
+    const ServeConfig &config() const { return config_; }
+
+    core::Index tokenDim() const { return tokenDim_; }
+
+  private:
+    enum class State { Live, Evicted, Removed };
+
+    struct Slot
+    {
+        State state = State::Live;
+        std::unique_ptr<DecodeSession> live;
+        std::vector<std::uint8_t> blob;
+        std::uint64_t lastUsed = 0; ///< LRU tick (higher = fresher)
+    };
+
+    Slot &slot(core::Index id, const char *verb);
+    const Slot &slot(core::Index id, const char *verb) const;
+
+    /** Builds an empty session from the shared model state. */
+    std::unique_ptr<DecodeSession> makeSession() const;
+
+    /** Publishes byte/count gauges to the obs layer. */
+    void publishGauges() const;
+
+    nn::AttentionHeadParams params_;
+    ServeConfig config_;
+    core::Index tokenDim_ = 0;
+    std::size_t memBudgetBytes_ = 0;
+    std::vector<Slot> slots_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t restores_ = 0;
+};
+
+} // namespace cta::serve

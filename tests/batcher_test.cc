@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -171,6 +173,177 @@ TEST(BatcherDeathTest, RejectsUnknownSessionIds)
                 ::testing::ExitedWithCode(1), "out of range");
     EXPECT_EXIT(batcher.session(3), ::testing::ExitedWithCode(1),
                 "out of range");
+    // trySubmit treats bad ids as caller bugs too — only full queues
+    // and removed sessions are recoverable rejections.
+    EXPECT_EXIT(batcher.trySubmit(7, token),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(BatcherTest, BoundedQueueShedsLoad)
+{
+    Rng rng(11);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(6, kDim, 41);
+
+    Batcher batcher(nullptr, /*queue_cap=*/4);
+    EXPECT_EQ(batcher.queueCapacity(), 4);
+    const Index id = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 40)));
+
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_EQ(batcher.trySubmit(id, steps.row(i)),
+                  cta::serve::SubmitResult::Accepted);
+    // Queue at capacity: trySubmit rejects (submit would abort —
+    // covered in BatcherDeathTest, which runs before any pool work).
+    EXPECT_EQ(batcher.trySubmit(id, steps.row(4)),
+              cta::serve::SubmitResult::QueueFull);
+    EXPECT_EQ(batcher.rejectedSubmits(), 1u);
+    EXPECT_EQ(batcher.pendingCount(), 4);
+
+    // Flushing drains the queue and re-opens admission.
+    EXPECT_EQ(static_cast<Index>(batcher.flush().size()), 4);
+    EXPECT_EQ(batcher.trySubmit(id, steps.row(4)),
+              cta::serve::SubmitResult::Accepted);
+}
+
+TEST(BatcherTest, QueueCapacityEnvKnob)
+{
+    setenv("CTA_QUEUE_CAP", "2", 1);
+    Batcher batcher;
+    unsetenv("CTA_QUEUE_CAP");
+    EXPECT_EQ(batcher.queueCapacity(), 2);
+
+    // Unset env falls back to the compiled-in default.
+    Batcher fallback;
+    EXPECT_EQ(fallback.queueCapacity(),
+              Batcher::kDefaultQueueCapacity);
+}
+
+TEST(BatcherDeathTest, MalformedQueueCapacityEnvIsFatal)
+{
+    // Each EXPECT_EXIT clause forks, so setting the env in the parent
+    // is visible to the child that constructs the Batcher.
+    setenv("CTA_QUEUE_CAP", "not-a-number", 1);
+    EXPECT_EXIT({ Batcher batcher; }, ::testing::ExitedWithCode(1),
+                "CTA_QUEUE_CAP");
+    setenv("CTA_QUEUE_CAP", "0", 1);
+    EXPECT_EXIT({ Batcher batcher; }, ::testing::ExitedWithCode(1),
+                "positive");
+    setenv("CTA_QUEUE_CAP", "-3", 1);
+    EXPECT_EXIT({ Batcher batcher; }, ::testing::ExitedWithCode(1),
+                "positive");
+    unsetenv("CTA_QUEUE_CAP");
+}
+
+TEST(BatcherTest, RemoveSessionDropsPendingAndRejectsResubmit)
+{
+    Rng rng(12);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(6, kDim, 51);
+
+    Batcher batcher;
+    const Index a = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 50)));
+    const Index b = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 50)));
+
+    // Interleave, then remove a: its queued steps vanish, b's stay.
+    for (Index i = 0; i < 6; ++i)
+        batcher.submit(i % 2 == 0 ? a : b, steps.row(i));
+    batcher.removeSession(a);
+    EXPECT_EQ(batcher.pendingCount(), 3);
+    EXPECT_EQ(batcher.trySubmit(a, steps.row(0)),
+              cta::serve::SubmitResult::SessionRemoved);
+
+    const auto results = batcher.flush();
+    ASSERT_EQ(static_cast<Index>(results.size()), 3);
+    for (const auto &r : results)
+        EXPECT_EQ(r.session, b);
+    // Ids are not reused; the removed id stays fatal to access.
+    EXPECT_EQ(batcher.sessionCount(), 2);
+}
+
+TEST(BatcherDeathTest, SubmitAbortsWhenQueueFull)
+{
+    Rng rng(15);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(3, kDim, 81);
+    Batcher batcher(nullptr, /*queue_cap=*/2);
+    const Index id = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 80)));
+    batcher.submit(id, steps.row(0));
+    batcher.submit(id, steps.row(1));
+    EXPECT_EXIT(batcher.submit(id, steps.row(2)),
+                ::testing::ExitedWithCode(1), "QueueFull");
+}
+
+TEST(BatcherDeathTest, AccessAfterRemoveIsFatal)
+{
+    Rng rng(13);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    Batcher batcher;
+    const Index id = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 60)));
+    batcher.removeSession(id);
+    EXPECT_EXIT(batcher.session(id), ::testing::ExitedWithCode(1),
+                "removed");
+    EXPECT_EXIT(batcher.removeSession(id),
+                ::testing::ExitedWithCode(1), "removed");
+    const std::vector<Real> token(static_cast<std::size_t>(kDim),
+                                  0.0f);
+    EXPECT_EXIT(batcher.submit(id, token),
+                ::testing::ExitedWithCode(1), "SessionRemoved");
+}
+
+TEST(BatcherTest, ExpiredDeadlinesCascadePerSession)
+{
+    Rng rng(14);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(4, kDim, 71);
+
+    Batcher batcher;
+    const Index a = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 70)));
+    const Index b = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 70)));
+
+    // a's first step has an already-expired deadline; its second has
+    // none — but must still expire via the per-session cascade so the
+    // token stream keeps no holes. b is unconstrained.
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::seconds(1);
+    ASSERT_EQ(batcher.trySubmit(a, steps.row(0), past),
+              cta::serve::SubmitResult::Accepted);
+    ASSERT_EQ(batcher.trySubmit(b, steps.row(1)),
+              cta::serve::SubmitResult::Accepted);
+    ASSERT_EQ(batcher.trySubmit(a, steps.row(2)),
+              cta::serve::SubmitResult::Accepted);
+
+    const auto results = batcher.flush();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].status, cta::serve::StepStatus::Expired);
+    EXPECT_EQ(results[0].output.size(), 0);
+    EXPECT_EQ(results[1].status, cta::serve::StepStatus::Ok);
+    EXPECT_GT(results[1].output.size(), 0);
+    EXPECT_EQ(results[2].status, cta::serve::StepStatus::Expired);
+    EXPECT_EQ(batcher.expiredSteps(), 2u);
+    // a ingested nothing beyond its prefill; b advanced by one.
+    EXPECT_EQ(batcher.session(a).contextLength(), 16);
+    EXPECT_EQ(batcher.session(b).contextLength(), 17);
+
+    // A generous future deadline does not expire.
+    const auto future = std::chrono::steady_clock::now() +
+                        std::chrono::hours(1);
+    ASSERT_EQ(batcher.trySubmit(a, steps.row(0), future),
+              cta::serve::SubmitResult::Accepted);
+    const auto ok = batcher.flush();
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok[0].status, cta::serve::StepStatus::Ok);
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baseline/ideal_accel.h"
 #include "gpu/gpu_model.h"
 
@@ -81,6 +83,70 @@ TEST(GpuModelTest, RunExactHeadReportsBreakdown)
     EXPECT_GT(report.latency.linears, 0u);
     EXPECT_GT(report.latency.attention, 0u);
     EXPECT_GT(report.energy.total(), 0.0);
+}
+
+TEST(GpuModelTest, ZeroWorkPricesToZeroSeconds)
+{
+    // Denominator audit: every degenerate shape must yield exactly 0
+    // seconds — finite, no launch charge, no inf/NaN from the
+    // roofline divisions.
+    const GpuModel gpu;
+    struct Case
+    {
+        const char *name;
+        Wide seconds;
+    };
+    CompressionStats empty;
+    empty.n = 0;
+    empty.m = 0;
+    empty.dw = empty.d = 64;
+    const Case cases[] = {
+        {"linear m=n=0", gpu.linearSeconds(0, 0, 64, 64)},
+        {"linear dw=0", gpu.linearSeconds(512, 512, 0, 64)},
+        {"linear d=0", gpu.linearSeconds(512, 512, 64, 0)},
+        {"attention m=0", gpu.attentionCalcSeconds(0, 512, 64)},
+        {"attention n=0", gpu.attentionCalcSeconds(512, 0, 64)},
+        {"exact all-zero", gpu.exactAttentionSeconds(0, 0, 0, 0)},
+        {"cta n=0", gpu.ctaOnGpuSeconds(empty)},
+    };
+    for (const Case &c : cases) {
+        EXPECT_TRUE(std::isfinite(c.seconds)) << c.name;
+        EXPECT_EQ(c.seconds, 0.0) << c.name;
+    }
+    // ... while one-sided shapes still price the work they do have.
+    EXPECT_GT(gpu.linearSeconds(0, 512, 64, 64), 0.0);
+    EXPECT_TRUE(std::isfinite(gpu.linearSeconds(0, 512, 64, 64)));
+}
+
+TEST(GpuModelDeathTest, RejectsDegenerateParams)
+{
+    // Each of these lands in a roofline denominator; constructing the
+    // model with a zero must die immediately, not emit inf later.
+    struct Case
+    {
+        const char *name;
+        void (*corrupt)(cta::sim::GpuParams &);
+    };
+    const Case cases[] = {
+        {"peak", [](cta::sim::GpuParams &p) { p.peakFp32Tflops = 0; }},
+        {"bandwidth",
+         [](cta::sim::GpuParams &p) { p.hbmBandwidthGBs = 0; }},
+        {"bw-eff",
+         [](cta::sim::GpuParams &p) { p.bandwidthEfficiency = 0; }},
+        {"gemm-eff",
+         [](cta::sim::GpuParams &p) { p.gemmEfficiency = 0; }},
+        {"amortization",
+         [](cta::sim::GpuParams &p) { p.launchAmortization = -1; }},
+        {"launch-us",
+         [](cta::sim::GpuParams &p) { p.kernelLaunchUs = -1; }},
+    };
+    for (const Case &c : cases) {
+        cta::sim::GpuParams params;
+        c.corrupt(params);
+        EXPECT_EXIT(GpuModel{params}, ::testing::ExitedWithCode(1),
+                    "GpuParams")
+            << c.name;
+    }
 }
 
 TEST(IdealAcceleratorTest, PeakCyclesFormula)

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "core/rng.h"
 #include "cta/compressed_attention.h"
@@ -248,6 +250,147 @@ TEST(DecodeSessionTest, StepCostIsFarBelowBatchRecompression)
         tokens, tokens, params, cta::alg::CtaConfig{});
     EXPECT_LT(session.lastStepOps().flops() * 4,
               batch.totalOps().flops());
+}
+
+TEST(IncrementalTwoLevelTest, SaveRestoreRoundTripAtEveryPrefix)
+{
+    // restoreState() must rebuild trie, tables and centroids so that
+    // continued appends are indistinguishable from an uninterrupted
+    // run — checked by interrupting at every prefix.
+    const Index n = 64, dim = 32;
+    const Matrix tokens = sampleTokens(n, dim, 19);
+    cta::alg::CtaConfig config;
+    const auto lsh = cta::alg::sampleLshParams(config, dim);
+
+    IncrementalTwoLevelCompression ref(lsh.lsh1, lsh.lsh2);
+    for (Index cut = 0; cut < n; ++cut) {
+        ref.append(tokens.row(cut));
+        IncrementalTwoLevelCompression resumed(lsh.lsh1, lsh.lsh2);
+        resumed.restoreState(ref.saveState());
+        ASSERT_EQ(resumed.size(), cut + 1);
+        for (Index i = cut + 1; i < std::min(cut + 5, n); ++i)
+            resumed.append(tokens.row(i));
+        const Index len = std::min(cut + 5, n);
+        const TwoLevelCompression want = compressTwoLevelDecode(
+            tokens.rowSlice(0, len), lsh.lsh1, lsh.lsh2);
+        const TwoLevelCompression got = resumed.snapshot();
+        expectLevelsBitIdentical(got.level1, want.level1, len);
+        expectLevelsBitIdentical(got.level2, want.level2, len);
+    }
+}
+
+TEST(DecodeSessionTest, EvictRestoreStepsBitIdenticalAtPrefixes)
+{
+    // The tentpole contract: serialize -> destroy -> deserialize ->
+    // restore -> step must produce the same bits as a session that
+    // was never evicted, at several interruption points.
+    const Index prefill = 40, steps = 24, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(prefill + steps, dim, 20);
+    Rng rng(8);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    for (const Index cut : {Index{0}, Index{5}, Index{13}, Index{23}}) {
+        DecodeSession reference(params, ServeConfig{}, dim);
+        reference.prefill(tokens.rowSlice(0, prefill));
+        std::vector<Matrix> want;
+        for (Index i = 0; i < steps; ++i)
+            want.push_back(reference.step(tokens.row(prefill + i)));
+
+        DecodeSession victim(params, ServeConfig{}, dim);
+        victim.prefill(tokens.rowSlice(0, prefill));
+        for (Index i = 0; i < cut; ++i) {
+            const Matrix out = victim.step(tokens.row(prefill + i));
+            ASSERT_TRUE(bitIdentical(out, want[static_cast<
+                std::size_t>(i)])) << "cut " << cut << " step " << i;
+        }
+
+        // Evict: through the byte codec, into a fresh session.
+        const std::vector<std::uint8_t> blob =
+            cta::serve::serializeSnapshot(victim.snapshot());
+        DecodeSession restored(params, ServeConfig{}, dim);
+        restored.restore(cta::serve::deserializeSnapshot(blob));
+        ASSERT_EQ(restored.contextLength(), prefill + cut);
+
+        for (Index i = cut; i < steps; ++i) {
+            const Matrix out = restored.step(tokens.row(prefill + i));
+            EXPECT_TRUE(bitIdentical(out, want[static_cast<
+                std::size_t>(i)])) << "cut " << cut << " step " << i;
+        }
+    }
+}
+
+TEST(DecodeSessionTest, RestoredStateMatchesOriginalCaches)
+{
+    const Index n = 64, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(n, dim, 21);
+    Rng rng(9);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    DecodeSession original(params, ServeConfig{}, dim);
+    original.prefill(tokens);
+    DecodeSession restored(params, ServeConfig{}, dim);
+    restored.restore(original.snapshot());
+
+    // Re-derived caches must be bit-identical, not just close.
+    EXPECT_TRUE(bitIdentical(restored.kBar(1), original.kBar(1)));
+    EXPECT_TRUE(bitIdentical(restored.kBar(2), original.kBar(2)));
+    EXPECT_TRUE(bitIdentical(restored.vBar(1), original.vBar(1)));
+    EXPECT_TRUE(bitIdentical(restored.vBar(2), original.vBar(2)));
+    EXPECT_EQ(restored.pairs().pairs().size(),
+              original.pairs().pairs().size());
+    EXPECT_EQ(restored.pairs().tokens(), original.pairs().tokens());
+}
+
+TEST(DecodeSessionTest, StateBytesAndBlobCompactness)
+{
+    const Index n = 96, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(n, dim, 22);
+    Rng rng(10);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    DecodeSession session(params, ServeConfig{}, dim);
+    const std::size_t empty_bytes = session.stateBytes();
+    // Even an empty session owns its weight copy and LSH params.
+    EXPECT_GT(empty_bytes, static_cast<std::size_t>(3 * dim * d) *
+                               sizeof(Real));
+    session.prefill(tokens);
+    const std::size_t full_bytes = session.stateBytes();
+    EXPECT_GT(full_bytes, empty_bytes);
+
+    // The eviction win: the serialized blob drops weights, tries,
+    // centroids and cached projections, so it must be much smaller
+    // than the live footprint.
+    const auto blob = cta::serve::serializeSnapshot(session.snapshot());
+    EXPECT_LT(blob.size(), full_bytes / 2);
+}
+
+TEST(SnapshotCodecDeathTest, RejectsMalformedBlobs)
+{
+    const Index n = 32, dim = 32;
+    const Matrix tokens = sampleTokens(n, dim, 23);
+    Rng rng(11);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, 16, rng);
+    DecodeSession session(params, ServeConfig{}, dim);
+    session.prefill(tokens);
+    std::vector<std::uint8_t> blob =
+        cta::serve::serializeSnapshot(session.snapshot());
+
+    std::vector<std::uint8_t> truncated(blob.begin(),
+                                        blob.end() - 16);
+    EXPECT_EXIT(cta::serve::deserializeSnapshot(truncated),
+                ::testing::ExitedWithCode(1), "");
+    std::vector<std::uint8_t> bad_magic = blob;
+    bad_magic[0] ^= 0xff;
+    EXPECT_EXIT(cta::serve::deserializeSnapshot(bad_magic),
+                ::testing::ExitedWithCode(1), "");
+    std::vector<std::uint8_t> trailing = blob;
+    trailing.push_back(0);
+    EXPECT_EXIT(cta::serve::deserializeSnapshot(trailing),
+                ::testing::ExitedWithCode(1), "");
 }
 
 TEST(ServerStatsTest, NearestRankPercentilesAndThroughput)

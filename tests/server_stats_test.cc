@@ -101,6 +101,38 @@ TEST(ServerStatsHardeningTest, NonFiniteDurationsDroppedWithCount)
     EXPECT_DOUBLE_EQ(snap.maxSeconds, 2e-3);
 }
 
+TEST(ServerStatsHardeningTest, ZeroDenominatorWindowsYieldZeroRates)
+{
+    // Denominator audit: every window with a zero duration (or no
+    // samples at all) must report 0 tokens/s and finite statistics —
+    // never inf/NaN from a 0/0.
+    struct Case
+    {
+        const char *name;
+        Index steps;          ///< recordStep calls
+        double secondsEach;   ///< duration per step
+        Index tokensEach;     ///< tokens per step
+    };
+    const Case cases[] = {
+        {"empty window", 0, 0.0, 0},
+        {"zero-duration steps", 10, 0.0, 1},
+        {"zero-duration zero-token", 5, 0.0, 0},
+    };
+    for (const Case &c : cases) {
+        ServerStats stats;
+        for (Index i = 0; i < c.steps; ++i)
+            stats.recordStep(c.secondsEach, c.tokensEach);
+        const ServerStatsSnapshot snap = stats.snapshot();
+        EXPECT_EQ(snap.steps, c.steps) << c.name;
+        EXPECT_DOUBLE_EQ(snap.totalSeconds, 0.0) << c.name;
+        EXPECT_DOUBLE_EQ(snap.tokensPerSecond, 0.0) << c.name;
+        EXPECT_TRUE(std::isfinite(snap.meanSeconds)) << c.name;
+        EXPECT_TRUE(std::isfinite(snap.p50Seconds)) << c.name;
+        EXPECT_TRUE(std::isfinite(snap.p99Seconds)) << c.name;
+        EXPECT_TRUE(std::isfinite(snap.maxSeconds)) << c.name;
+    }
+}
+
 TEST(ServerStatsHardeningTest, TokenTotalSaturatesInsteadOfWrapping)
 {
     constexpr Index kMax = std::numeric_limits<Index>::max();

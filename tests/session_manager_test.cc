@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for SessionManager: byte accounting, LRU eviction under a
+ * budget, bit-identical restore through the manager, lifecycle
+ * (remove) semantics, env-knob parsing, and the no-livelock
+ * guarantee when the budget is smaller than a single session.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/workload.h"
+#include "serve/batcher.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::serve::Batcher;
+using cta::serve::DecodeSession;
+using cta::serve::ServeConfig;
+using cta::serve::SessionManager;
+using cta::serve::StepStatus;
+using cta::serve::SubmitResult;
+
+constexpr Index kDim = 32;
+constexpr Index kHeadDim = 16;
+
+Matrix
+sampleTokens(Index n, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = kDim;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    profile.noiseScale = 0.05f;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+cta::nn::AttentionHeadParams
+headParams(std::uint64_t seed = 2)
+{
+    Rng rng(seed);
+    return cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim,
+                                                    rng);
+}
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(Real)) == 0;
+}
+
+TEST(SessionManagerTest, AccountsBytesAndTracksStates)
+{
+    SessionManager manager(headParams(), ServeConfig{}, kDim,
+                           /*mem_budget_bytes=*/0);
+    EXPECT_EQ(manager.sessionCount(), 0);
+    EXPECT_EQ(manager.liveStateBytes(), 0u);
+
+    const Index a = manager.createSession(sampleTokens(48, 100));
+    const Index b = manager.createSession();
+    EXPECT_EQ(manager.sessionCount(), 2);
+    EXPECT_TRUE(manager.isLive(a));
+    EXPECT_TRUE(manager.isLive(b));
+
+    // A prefilled session owns strictly more state than an empty one,
+    // and the aggregate equals the per-session sum.
+    const std::size_t bytes_a = manager.acquire(a).stateBytes();
+    const std::size_t bytes_b = manager.acquire(b).stateBytes();
+    EXPECT_GT(bytes_a, bytes_b);
+    EXPECT_EQ(manager.liveStateBytes(), bytes_a + bytes_b);
+
+    const auto stats = manager.stats();
+    EXPECT_EQ(stats.created, 2);
+    EXPECT_EQ(stats.live, 2);
+    EXPECT_EQ(stats.evicted, 0);
+    EXPECT_EQ(stats.liveBytes, bytes_a + bytes_b);
+}
+
+TEST(SessionManagerTest, EvictsLruFirstUnderBudget)
+{
+    // Size one session to compute a ~2.5-session budget.
+    SessionManager sizer(headParams(), ServeConfig{}, kDim, 0);
+    const std::size_t per_session =
+        sizer.acquire(sizer.createSession(sampleTokens(32, 200)))
+            .stateBytes();
+
+    SessionManager enforced(headParams(), ServeConfig{}, kDim,
+                            per_session * 5 / 2);
+    std::vector<Index> eids;
+    for (int i = 0; i < 4; ++i)
+        eids.push_back(enforced.createSession(
+            sampleTokens(32, 200 + static_cast<std::uint64_t>(i))));
+    enforced.touch(eids[2]);
+    enforced.touch(eids[0]);
+    enforced.touch(eids[3]);
+    enforced.touch(eids[1]);
+    enforced.enforceBudget();
+
+    EXPECT_TRUE(enforced.isEvicted(eids[2]));
+    EXPECT_TRUE(enforced.isEvicted(eids[0]));
+    EXPECT_TRUE(enforced.isLive(eids[3]));
+    EXPECT_TRUE(enforced.isLive(eids[1]));
+    EXPECT_LE(enforced.liveStateBytes(), per_session * 5 / 2);
+    EXPECT_GT(enforced.evictedBlobBytes(), 0u);
+    EXPECT_EQ(enforced.stats().evictions, 2u);
+}
+
+TEST(SessionManagerTest, RestoreThroughManagerIsBitIdentical)
+{
+    const Index prefill = 40, steps = 8;
+    const Matrix tokens = sampleTokens(prefill + steps, 300);
+
+    // Reference: never evicted.
+    SessionManager ref_manager(headParams(), ServeConfig{}, kDim, 0);
+    const Index ref = ref_manager.createSession(
+        tokens.rowSlice(0, prefill));
+    std::vector<Matrix> want;
+    for (Index i = 0; i < steps; ++i)
+        want.push_back(
+            ref_manager.acquire(ref).step(tokens.row(prefill + i)));
+
+    // Victim: evicted and restored between every step.
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0);
+    const Index id = manager.createSession(
+        tokens.rowSlice(0, prefill));
+    for (Index i = 0; i < steps; ++i) {
+        manager.evict(id);
+        ASSERT_TRUE(manager.isEvicted(id));
+        const Matrix out =
+            manager.acquire(id).step(tokens.row(prefill + i));
+        ASSERT_TRUE(manager.isLive(id));
+        EXPECT_TRUE(bitIdentical(
+            out, want[static_cast<std::size_t>(i)]))
+            << "step " << i;
+    }
+    EXPECT_EQ(manager.stats().evictions, manager.stats().restores);
+}
+
+TEST(SessionManagerTest, TinyBudgetDegradesToOneResidentNoLivelock)
+{
+    // Budget below a single session: the never-evict-MRU rule must
+    // leave exactly the most recent session resident and still make
+    // forward progress.
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 1);
+    const Index a = manager.createSession(sampleTokens(32, 400));
+    const Index b = manager.createSession(sampleTokens(32, 401));
+    const Matrix decode = sampleTokens(4, 402);
+
+    for (Index i = 0; i < 4; ++i) {
+        (void)manager.acquire(a).step(decode.row(i));
+        manager.enforceBudget();
+        EXPECT_TRUE(manager.isLive(a));
+        EXPECT_TRUE(manager.isEvicted(b));
+        (void)manager.acquire(b).step(decode.row(i));
+        manager.enforceBudget();
+        EXPECT_TRUE(manager.isLive(b));
+        EXPECT_TRUE(manager.isEvicted(a));
+    }
+    EXPECT_EQ(manager.stats().live, 1);
+}
+
+TEST(SessionManagerTest, RemoveFreesBytesAndBlocksAccess)
+{
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0);
+    const Index a = manager.createSession(sampleTokens(32, 500));
+    const Index b = manager.createSession(sampleTokens(32, 501));
+    manager.evict(b);
+    EXPECT_GT(manager.liveStateBytes(), 0u);
+    EXPECT_GT(manager.evictedBlobBytes(), 0u);
+
+    manager.removeSession(a);
+    manager.removeSession(b);
+    EXPECT_EQ(manager.liveStateBytes(), 0u);
+    EXPECT_EQ(manager.evictedBlobBytes(), 0u);
+    EXPECT_FALSE(manager.exists(a));
+    EXPECT_FALSE(manager.exists(b));
+    EXPECT_EQ(manager.stats().removed, 2);
+    // Ids are not reused.
+    EXPECT_EQ(manager.createSession(), 2);
+}
+
+TEST(SessionManagerDeathTest, InvalidAccessIsFatal)
+{
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0);
+    const Index id = manager.createSession();
+    manager.removeSession(id);
+    EXPECT_EXIT(manager.acquire(id), ::testing::ExitedWithCode(1),
+                "removed");
+    EXPECT_EXIT(manager.acquire(99), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(manager.touch(id), ::testing::ExitedWithCode(1),
+                "removed");
+    EXPECT_EXIT(manager.evict(id), ::testing::ExitedWithCode(1),
+                "removed");
+    EXPECT_EXIT(manager.removeSession(id),
+                ::testing::ExitedWithCode(1), "removed");
+}
+
+TEST(SessionManagerDeathTest, EnvBudgetParsing)
+{
+    // Death-test subprocesses inherit the env we set here; each EXIT
+    // clause runs in a child, so setenv/unsetenv around them is safe.
+    setenv("CTA_MEM_BUDGET", "garbage", 1);
+    EXPECT_EXIT(SessionManager::memBudgetFromEnv(),
+                ::testing::ExitedWithCode(1), "CTA_MEM_BUDGET");
+    setenv("CTA_MEM_BUDGET", "-5", 1);
+    EXPECT_EXIT(SessionManager::memBudgetFromEnv(),
+                ::testing::ExitedWithCode(1), "positive");
+    setenv("CTA_MEM_BUDGET", "1048576", 1);
+    EXPECT_EQ(SessionManager::memBudgetFromEnv(), 1048576u);
+    unsetenv("CTA_MEM_BUDGET");
+    EXPECT_EQ(SessionManager::memBudgetFromEnv(), 0u);
+}
+
+TEST(ManagedBatcherDeathTest, AddSessionDelegatesToManager)
+{
+    // Managed batchers delegate session creation to the manager.
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0);
+    Batcher batcher(manager);
+    EXPECT_EXIT(batcher.addSession(nullptr),
+                ::testing::ExitedWithCode(1), "manager");
+}
+
+TEST(ManagedBatcherTest, FlushRestoresEvictedSessionsAndEnforces)
+{
+    const Index prefill = 32, steps = 6;
+
+    // Reference outputs from an unmanaged batcher.
+    std::vector<Matrix> want;
+    {
+        Batcher ref;
+        auto session = std::make_unique<DecodeSession>(
+            headParams(), ServeConfig{}, kDim);
+        session->prefill(sampleTokens(prefill, 600));
+        const Index id = ref.addSession(std::move(session));
+        const Matrix decode = sampleTokens(steps, 601);
+        for (Index i = 0; i < steps; ++i) {
+            ref.submit(id, decode.row(i));
+            auto results = ref.flush();
+            ASSERT_EQ(results.size(), 1u);
+            want.push_back(std::move(results[0].output));
+        }
+    }
+
+    // Managed: two sessions under a one-session budget, alternating —
+    // every flush restores one and evicts the other.
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 1);
+    const Index a = manager.createSession(sampleTokens(prefill, 600));
+    const Index b = manager.createSession(sampleTokens(prefill, 600));
+    Batcher batcher(manager);
+    const Matrix decode = sampleTokens(steps, 601);
+    for (Index i = 0; i < steps; ++i) {
+        ASSERT_EQ(batcher.trySubmit(a, decode.row(i)),
+                  SubmitResult::Accepted);
+        ASSERT_EQ(batcher.trySubmit(b, decode.row(i)),
+                  SubmitResult::Accepted);
+        const auto results = batcher.flush();
+        ASSERT_EQ(results.size(), 2u);
+        for (const auto &r : results) {
+            EXPECT_EQ(r.status, StepStatus::Ok);
+            EXPECT_TRUE(bitIdentical(
+                r.output, want[static_cast<std::size_t>(i)]))
+                << "step " << i;
+        }
+    }
+    const auto stats = manager.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.restores, 0u);
+    EXPECT_EQ(stats.live, 1);
+
+    // removeSession forwards to the manager and rejects resubmission.
+    batcher.removeSession(a);
+    EXPECT_FALSE(manager.exists(a));
+    EXPECT_EQ(batcher.trySubmit(a, decode.row(0)),
+              SubmitResult::SessionRemoved);
+}
+
+} // namespace
