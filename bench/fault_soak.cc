@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Fault-injection soak across the serving + accelerator stack: the
+ * serve-lifecycle workload (waves of sessions decoding through a
+ * budget-bound SessionManager/Batcher) is run twice — once fault-free
+ * as the reference, once with every CTA_FAULT site armed at a nonzero
+ * rate — and the run fails unless
+ *
+ *   1. nothing crashes: every session runs to completion or is
+ *      cleanly quarantined, and the process exits normally,
+ *   2. every *injected* snapshot corruption is *detected* by the
+ *      CRC/structural integrity layer (detected == injected,
+ *      silent == 0), with a rate-1.0 targeted phase guaranteeing the
+ *      quarantine path is exercised even in --smoke,
+ *   3. every clean session — no injection landed in its work, none of
+ *      its steps expired or was corrupted — produces outputs
+ *      bit-identical to the fault-free reference run (the payoff of
+ *      the stateless content-keyed determinism model),
+ *   4. the accelerator model (SRAM/CIM/CAG/PAG/LSH sites) stays
+ *      crash-free, finite and run-to-run deterministic under the same
+ *      fault configuration.
+ *
+ * The fault configuration honours CTA_FAULT_SEED / CTA_FAULT_RATE /
+ * CTA_FAULT_SITES when CTA_FAULT_RATE is set nonzero; otherwise a
+ * built-in seed/rate is used so the bench is self-contained. Results
+ * go to BENCH_fault_soak.json; `--smoke` shrinks the run for CI
+ * (including the sanitizer jobs).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "cta/error.h"
+#include "cta_accel/accelerator.h"
+#include "fault/fault.h"
+#include "nn/attention.h"
+#include "nn/workload.h"
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+namespace fault = cta::fault;
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Real;
+using cta::core::Rng;
+using cta::serve::Batcher;
+using cta::serve::SessionManager;
+using cta::serve::SessionManagerStats;
+using cta::serve::StepStatus;
+using cta::serve::SubmitResult;
+
+#ifdef CTA_FAULT_DISABLED
+constexpr bool kFaultBuild = false;
+#else
+constexpr bool kFaultBuild = true;
+#endif
+
+constexpr Index kTokenDim = 32;
+constexpr Index kHeadDim = 16;
+
+Matrix
+clusteredTokens(Index n, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = kTokenDim;
+    profile.coarseClusters = 8;
+    profile.fineClusters = 6;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(Real)) == 0;
+}
+
+/** What one run of the workload observed about one session. */
+struct SessionRecord
+{
+    std::vector<Matrix> outputs; ///< Ok step outputs, in step order
+    bool expired = false;        ///< any step came back Expired
+    bool corrupted = false;      ///< quarantined (corrupt snapshot)
+    bool tainted = false;        ///< an injection landed in its work
+};
+
+/** One full pass over the session-lifecycle workload. */
+struct RunResult
+{
+    std::vector<SessionRecord> sessions;
+    SessionManagerStats stats;
+    std::uint64_t expiredSteps = 0;
+    std::uint64_t corruptedSteps = 0;
+    Index completed = 0;
+    bool ok = false; ///< the run itself hit no protocol error
+};
+
+struct WorkloadShape
+{
+    Index totalSessions = 0;
+    Index arrivalsPerRound = 0;
+    Index prefillLen = 12;
+    Index lifetimeSteps = 0;
+    std::size_t budget = 0;
+};
+
+/** One decode stream mid-flight. */
+struct ActiveSession
+{
+    Index id = 0;
+    Matrix decode;
+    Index stepsDone = 0;
+    bool submitted = false; ///< has a step in the current flush
+    bool done = false;
+};
+
+RunResult
+runWorkload(const fault::FaultConfig &fc, const WorkloadShape &shape)
+{
+    fault::setConfig(fc);
+    RunResult run;
+    run.sessions.resize(
+        static_cast<std::size_t>(shape.totalSessions));
+
+    Rng rng(23);
+    const auto params = cta::nn::AttentionHeadParams::randomInit(
+        kTokenDim, kHeadDim, rng);
+    SessionManager manager(params, cta::serve::ServeConfig{},
+                           kTokenDim, shape.budget);
+    Batcher batcher(manager);
+
+    std::vector<ActiveSession> active;
+    Index spawned = 0;
+
+    // Retires @p s: forces an integrity check on a still-evicted blob
+    // (so no injected corruption escapes detection accounting), reads
+    // the taint verdict, and frees the session.
+    const auto retire = [&](ActiveSession &s) {
+        SessionRecord &rec =
+            run.sessions[static_cast<std::size_t>(s.id)];
+        if (manager.isEvicted(s.id))
+            manager.tryAcquire(s.id); // detection sweep
+        if (manager.isQuarantined(s.id))
+            rec.corrupted = true;
+        else
+            rec.tainted = manager.isFaultTainted(s.id);
+        batcher.removeSession(s.id);
+        s.done = true;
+        ++run.completed;
+    };
+
+    while (run.completed < shape.totalSessions) {
+        for (Index a = 0; a < shape.arrivalsPerRound &&
+                          spawned < shape.totalSessions;
+             ++a) {
+            const auto seed = static_cast<std::uint64_t>(spawned);
+            ActiveSession s;
+            s.id = manager.createSession(
+                clusteredTokens(shape.prefillLen, 1000 + seed));
+            s.decode =
+                clusteredTokens(shape.lifetimeSteps, 9000 + seed);
+            active.push_back(std::move(s));
+            ++spawned;
+        }
+
+        // One decode step per active session. A Corrupted admission
+        // verdict means the manager quarantined the session since its
+        // last step — retire it, everyone else is unaffected.
+        for (ActiveSession &s : active) {
+            const auto result =
+                batcher.trySubmit(s.id, s.decode.row(s.stepsDone));
+            if (result == SubmitResult::Accepted) {
+                s.submitted = true;
+            } else if (result == SubmitResult::Corrupted) {
+                run.sessions[static_cast<std::size_t>(s.id)]
+                    .corrupted = true;
+                batcher.removeSession(s.id);
+                s.done = true;
+                ++run.completed;
+            } else {
+                std::fprintf(stderr, "unexpected submit verdict %s\n",
+                             cta::serve::toString(result));
+                return run;
+            }
+        }
+
+        const auto results = batcher.flush();
+        std::size_t ri = 0;
+        for (ActiveSession &s : active) {
+            if (!s.submitted)
+                continue;
+            s.submitted = false;
+            if (ri >= results.size()) {
+                std::fprintf(stderr, "short flush!\n");
+                return run;
+            }
+            const auto &res = results[ri++];
+            if (res.session != s.id) {
+                std::fprintf(stderr, "flush order mismatch!\n");
+                return run;
+            }
+            SessionRecord &rec =
+                run.sessions[static_cast<std::size_t>(s.id)];
+            switch (res.status) {
+            case StepStatus::Ok:
+                rec.outputs.push_back(res.output);
+                break;
+            case StepStatus::Expired:
+                rec.expired = true;
+                break;
+            case StepStatus::Corrupted:
+                rec.corrupted = true;
+                break;
+            }
+            ++s.stepsDone;
+        }
+
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            ActiveSession &s = active[i];
+            if (!s.done &&
+                (run.sessions[static_cast<std::size_t>(s.id)]
+                     .corrupted ||
+                 s.stepsDone >= shape.lifetimeSteps)) {
+                if (run.sessions[static_cast<std::size_t>(s.id)]
+                        .corrupted) {
+                    batcher.removeSession(s.id);
+                    s.done = true;
+                    ++run.completed;
+                } else {
+                    retire(s);
+                }
+            }
+            if (!s.done) {
+                if (kept != i)
+                    active[kept] = std::move(s);
+                ++kept;
+            }
+        }
+        active.resize(kept);
+    }
+
+    run.stats = manager.stats();
+    run.expiredSteps = batcher.expiredSteps();
+    run.corruptedSteps = batcher.corruptedSteps();
+    run.ok = true;
+    return run;
+}
+
+/** Rate-1.0 snapshot-only phase: every eviction corrupts, every
+ *  restore must detect — guarantees the quarantine path runs even in
+ *  --smoke, where the statistical phase may inject nothing. */
+bool
+targetedQuarantinePhase(std::uint64_t seed, std::uint64_t *injected,
+                        std::uint64_t *detected)
+{
+    const unsigned snapshot_only =
+        1u << static_cast<unsigned>(fault::Site::SnapshotBlob);
+    fault::setConfig({seed, 1.0, snapshot_only});
+
+    Rng rng(31);
+    const auto params = cta::nn::AttentionHeadParams::randomInit(
+        kTokenDim, kHeadDim, rng);
+    SessionManager manager(params, cta::serve::ServeConfig{},
+                           kTokenDim, /*mem_budget_bytes=*/0);
+    constexpr Index kSessions = 6;
+    for (Index i = 0; i < kSessions; ++i) {
+        const Index id = manager.createSession(clusteredTokens(
+            12, 500 + static_cast<std::uint64_t>(i)));
+        manager.evict(id);
+    }
+    bool ok = true;
+    for (Index id = 0; id < kSessions; ++id) {
+        if (manager.tryAcquire(id) != nullptr || // must be detected
+            !manager.isQuarantined(id)) {
+            std::fprintf(stderr,
+                         "targeted corruption of session %lld went "
+                         "undetected\n",
+                         static_cast<long long>(id));
+            ok = false;
+        }
+    }
+    const auto stats = manager.stats();
+    *injected = stats.corruptionsInjected;
+    *detected = stats.corruptionsDetected;
+    ok = ok && stats.corruptionsInjected == kSessions &&
+         stats.corruptionsDetected == kSessions &&
+         stats.corruptionsSilent == 0;
+    return ok;
+}
+
+/** Runs the accelerator model twice under the same armed fault
+ *  configuration: must complete, stay finite, and agree bit-for-bit
+ *  between the two runs (content-keyed draws, no hidden state). */
+bool
+accelPhase(const fault::FaultConfig &fc)
+{
+    fault::setConfig(fc);
+    Rng rng(1);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(64, 64, rng);
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = 256;
+    profile.tokenDim = 64;
+    profile.coarseClusters = 30;
+    profile.fineClusters = 18;
+    profile.noiseScale = 0.04f;
+    cta::nn::WorkloadGenerator gen(profile, 2);
+    const Matrix tokens = gen.sampleTokens();
+    cta::alg::CtaConfig alg_config;
+    alg_config.w0 = 0.8f;
+    alg_config.w1 = 0.8f;
+    alg_config.w2 = 0.4f;
+
+    const cta::accel::CtaAccelerator accel(
+        cta::accel::HwConfig::paperDefault(),
+        cta::sim::TechParams::smic40nmClass());
+    const auto first =
+        accel.run(tokens, tokens, params, alg_config);
+    const auto second =
+        accel.run(tokens, tokens, params, alg_config);
+
+    bool ok = true;
+    if (!cta::alg::allFinite(first.algorithm.output)) {
+        std::fprintf(stderr,
+                     "accel output went non-finite under faults\n");
+        ok = false;
+    }
+    const double e1 = first.report.energy.computePj +
+                      first.report.energy.auxiliaryPj +
+                      first.report.energy.memoryPj;
+    if (!std::isfinite(e1)) {
+        std::fprintf(stderr,
+                     "accel energy went non-finite under faults\n");
+        ok = false;
+    }
+    if (!bitIdentical(first.algorithm.output,
+                      second.algorithm.output) ||
+        first.mapping.latency.total() !=
+            second.mapping.latency.total() ||
+        first.report.traffic.reads != second.report.traffic.reads) {
+        std::fprintf(stderr,
+                     "accel runs diverged under identical fault "
+                     "config\n");
+        ok = false;
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    WorkloadShape shape;
+    shape.totalSessions = smoke ? 32 : 2048;
+    shape.arrivalsPerRound = smoke ? 8 : 64;
+    shape.lifetimeSteps = smoke ? 4 : 8;
+    shape.budget = SessionManager::memBudgetFromEnv();
+    if (shape.budget == 0)
+        shape.budget =
+            smoke ? (std::size_t{256} << 10) : (std::size_t{4} << 20);
+
+    // Honour the env knobs when armed; otherwise self-contained
+    // defaults (rate chosen so most sessions stay clean and the
+    // bit-identity check is not vacuous).
+    fault::FaultConfig injected_config = fault::configFromEnv();
+    if (injected_config.rate == 0) {
+        injected_config.seed = 2026;
+        injected_config.rate = smoke ? 0.01 : 0.004;
+        injected_config.sites = fault::kAllSites;
+    }
+
+    std::printf("==== fault soak: %lld sessions, rate %g, fault "
+                "build %s ====\n\n",
+                static_cast<long long>(shape.totalSessions),
+                injected_config.rate, kFaultBuild ? "yes" : "no");
+
+    bool ok = true;
+
+    // --- Reference: fault-free run of the same workload. ---
+    fault::resetInjectionCounters();
+    const RunResult baseline =
+        runWorkload({injected_config.seed, 0.0, 0}, shape);
+    ok = ok && baseline.ok;
+    if (fault::totalInjections() != 0 ||
+        baseline.stats.corruptionsInjected != 0) {
+        std::fprintf(stderr,
+                     "rate-0 reference run injected faults!\n");
+        ok = false;
+    }
+    for (const SessionRecord &rec : baseline.sessions)
+        if (rec.expired || rec.corrupted || rec.tainted) {
+            std::fprintf(stderr,
+                         "rate-0 reference run degraded a session\n");
+            ok = false;
+            break;
+        }
+
+    // --- Faulted run. ---
+    fault::resetInjectionCounters();
+    const RunResult faulted = runWorkload(injected_config, shape);
+    ok = ok && faulted.ok;
+    const std::uint64_t serve_injections = fault::totalInjections();
+    std::uint64_t site_totals[fault::kSiteCount] = {};
+    for (unsigned s = 0; s < fault::kSiteCount; ++s)
+        site_totals[s] =
+            fault::totalInjections(static_cast<fault::Site>(s));
+
+    // Check 1: graceful completion — every session finished or was
+    // cleanly quarantined (runWorkload already failed otherwise).
+    if (faulted.completed != shape.totalSessions)
+        ok = false;
+
+    // Check 2: snapshot-corruption accounting.
+    if (faulted.stats.corruptionsDetected !=
+            faulted.stats.corruptionsInjected ||
+        faulted.stats.corruptionsSilent != 0) {
+        std::fprintf(
+            stderr,
+            "corruption accounting broken: injected %llu detected "
+            "%llu silent %llu\n",
+            static_cast<unsigned long long>(
+                faulted.stats.corruptionsInjected),
+            static_cast<unsigned long long>(
+                faulted.stats.corruptionsDetected),
+            static_cast<unsigned long long>(
+                faulted.stats.corruptionsSilent));
+        ok = false;
+    }
+
+    // Check 3: every clean session is bit-identical to the reference.
+    Index compared = 0, mismatched = 0, tainted = 0, degraded = 0;
+    for (std::size_t i = 0; i < faulted.sessions.size(); ++i) {
+        const SessionRecord &rec = faulted.sessions[i];
+        if (rec.corrupted || rec.expired) {
+            ++degraded;
+            continue;
+        }
+        if (rec.tainted) {
+            ++tainted;
+            continue;
+        }
+        ++compared;
+        const SessionRecord &ref = baseline.sessions[i];
+        bool same = rec.outputs.size() == ref.outputs.size();
+        for (std::size_t k = 0; same && k < rec.outputs.size(); ++k)
+            same = bitIdentical(rec.outputs[k], ref.outputs[k]);
+        if (!same) {
+            std::fprintf(stderr,
+                         "clean session %zu diverged from the "
+                         "fault-free reference\n",
+                         i);
+            ++mismatched;
+            ok = false;
+        }
+    }
+
+    // Check 4: guaranteed quarantine coverage + accelerator phase.
+    std::uint64_t targeted_injected = 0, targeted_detected = 0;
+    if (kFaultBuild) {
+        ok = targetedQuarantinePhase(injected_config.seed + 1,
+                                     &targeted_injected,
+                                     &targeted_detected) &&
+             ok;
+    }
+    ok = accelPhase(injected_config) && ok;
+    fault::setConfig({0, 0.0, 0}); // disarm before exiting
+
+    std::printf("  completed          %lld / %lld\n",
+                static_cast<long long>(faulted.completed),
+                static_cast<long long>(shape.totalSessions));
+    std::printf("  serve injections   %llu (sram %llu cim %llu cag "
+                "%llu pag %llu lsh %llu snapshot %llu queue %llu)\n",
+                static_cast<unsigned long long>(serve_injections),
+                static_cast<unsigned long long>(site_totals[0]),
+                static_cast<unsigned long long>(site_totals[1]),
+                static_cast<unsigned long long>(site_totals[2]),
+                static_cast<unsigned long long>(site_totals[3]),
+                static_cast<unsigned long long>(site_totals[4]),
+                static_cast<unsigned long long>(site_totals[5]),
+                static_cast<unsigned long long>(site_totals[6]));
+    std::printf("  snapshot faults    injected %llu detected %llu "
+                "silent %llu\n",
+                static_cast<unsigned long long>(
+                    faulted.stats.corruptionsInjected),
+                static_cast<unsigned long long>(
+                    faulted.stats.corruptionsDetected),
+                static_cast<unsigned long long>(
+                    faulted.stats.corruptionsSilent));
+    std::printf("  sessions           clean %lld tainted %lld "
+                "degraded %lld\n",
+                static_cast<long long>(compared),
+                static_cast<long long>(tainted),
+                static_cast<long long>(degraded));
+    std::printf("  bit-identity       %lld compared, %lld "
+                "mismatched\n",
+                static_cast<long long>(compared),
+                static_cast<long long>(mismatched));
+    std::printf("  verdict            %s\n\n", ok ? "OK" : "FAILED");
+
+    std::FILE *out = std::fopen("BENCH_fault_soak.json", "w");
+    if (!out) {
+        std::printf("  [could not open BENCH_fault_soak.json]\n");
+        return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"benchmark\": \"fault_soak\",\n"
+        "  \"smoke\": %s,\n"
+        "  \"fault_build\": %s,\n"
+        "  \"seed\": %llu,\n"
+        "  \"rate\": %g,\n"
+        "  \"sites\": %u,\n"
+        "  \"budget_bytes\": %zu,\n"
+        "  \"sessions\": %lld,\n"
+        "  \"completed\": %lld,\n"
+        "  \"clean_sessions\": %lld,\n"
+        "  \"tainted_sessions\": %lld,\n"
+        "  \"degraded_sessions\": %lld,\n"
+        "  \"mismatched_sessions\": %lld,\n"
+        "  \"expired_steps\": %llu,\n"
+        "  \"corrupted_steps\": %llu,\n"
+        "  \"evictions\": %llu,\n"
+        "  \"restores\": %llu,\n"
+        "  \"corruptions_injected\": %llu,\n"
+        "  \"corruptions_detected\": %llu,\n"
+        "  \"corruptions_silent\": %llu,\n"
+        "  \"targeted_injected\": %llu,\n"
+        "  \"targeted_detected\": %llu,\n"
+        "  \"injections_by_site\": {\"sram\": %llu, \"cim\": %llu, "
+        "\"cag\": %llu, \"pag\": %llu, \"lsh\": %llu, "
+        "\"snapshot\": %llu, \"queue\": %llu},\n"
+        "  \"ok\": %s\n}\n",
+        smoke ? "true" : "false", kFaultBuild ? "true" : "false",
+        static_cast<unsigned long long>(injected_config.seed),
+        injected_config.rate, injected_config.sites, shape.budget,
+        static_cast<long long>(shape.totalSessions),
+        static_cast<long long>(faulted.completed),
+        static_cast<long long>(compared),
+        static_cast<long long>(tainted),
+        static_cast<long long>(degraded),
+        static_cast<long long>(mismatched),
+        static_cast<unsigned long long>(faulted.expiredSteps),
+        static_cast<unsigned long long>(faulted.corruptedSteps),
+        static_cast<unsigned long long>(faulted.stats.evictions),
+        static_cast<unsigned long long>(faulted.stats.restores),
+        static_cast<unsigned long long>(
+            faulted.stats.corruptionsInjected),
+        static_cast<unsigned long long>(
+            faulted.stats.corruptionsDetected),
+        static_cast<unsigned long long>(
+            faulted.stats.corruptionsSilent),
+        static_cast<unsigned long long>(targeted_injected),
+        static_cast<unsigned long long>(targeted_detected),
+        static_cast<unsigned long long>(site_totals[0]),
+        static_cast<unsigned long long>(site_totals[1]),
+        static_cast<unsigned long long>(site_totals[2]),
+        static_cast<unsigned long long>(site_totals[3]),
+        static_cast<unsigned long long>(site_totals[4]),
+        static_cast<unsigned long long>(site_totals[5]),
+        static_cast<unsigned long long>(site_totals[6]),
+        ok ? "true" : "false");
+    std::fclose(out);
+    std::printf("  [data written to BENCH_fault_soak.json]\n");
+    if (cta::obs::writeSidecars("BENCH_fault_soak"))
+        std::printf("  [trace + metrics sidecars written]\n");
+
+    return ok ? 0 : 1;
+}

@@ -1,8 +1,8 @@
 #include "core/backend.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "core/env.h"
 #include "core/logging.h"
 #include "core/matrix.h"
 #include "core/parallel.h"
@@ -368,7 +368,7 @@ Backend &
 defaultBackend()
 {
     static std::unique_ptr<Backend> instance = [] {
-        const char *env = std::getenv("CTA_BACKEND");
+        const char *env = envString("CTA_BACKEND");
         return makeBackend(env ? env : "parallel");
     }();
     return *instance;

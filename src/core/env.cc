@@ -1,0 +1,54 @@
+#include "core/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/logging.h"
+#include "core/parallel.h"
+
+namespace cta::core {
+
+double
+parseEnvReal(const char *text, const char *what)
+{
+    if (text == nullptr || *text == '\0' ||
+        std::isspace(static_cast<unsigned char>(*text)))
+        CTA_FATAL("empty ", what);
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        CTA_FATAL("malformed ", what, " '", text,
+                  "': expected a base-10 real number");
+    if (errno == ERANGE || !std::isfinite(parsed))
+        CTA_FATAL(what, " '", text, "' out of range");
+    return parsed;
+}
+
+const char *
+envString(const char *name)
+{
+    return std::getenv(name);
+}
+
+std::optional<long>
+envInt(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return std::nullopt;
+    return parseEnvInt(text, name);
+}
+
+std::optional<double>
+envReal(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return std::nullopt;
+    return parseEnvReal(text, name);
+}
+
+} // namespace cta::core

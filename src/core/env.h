@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Strict environment-variable access — the one sanctioned route to
+ * getenv() for CTA_* knobs.
+ *
+ * Every knob shares the CTA_THREADS/CTA_BACKEND strictness contract
+ * (core/parallel.h parseEnvInt): an *unset* variable falls back to
+ * the documented default, but a *set* variable must parse cleanly —
+ * empty strings, trailing garbage ("8x", "0.5q") and out-of-range
+ * values are fatal, never silently coerced to a default. A malformed
+ * knob that quietly degraded to the default once hid a misconfigured
+ * fleet for days; these helpers make that impossible.
+ */
+
+#pragma once
+
+#include <optional>
+
+namespace cta::core {
+
+long parseEnvInt(const char *text, const char *what); // core/parallel.h
+
+/**
+ * Strictly parses @p text as a base-10 real number (strtod). Exits
+ * via CTA_FATAL (naming @p what) on empty input, trailing garbage or
+ * a non-finite result — same contract as parseEnvInt.
+ */
+double parseEnvReal(const char *text, const char *what);
+
+/** getenv(@p name); nullptr when unset. Prefer the typed helpers. */
+const char *envString(const char *name);
+
+/** @p name parsed via parseEnvInt; nullopt when unset. */
+std::optional<long> envInt(const char *name);
+
+/** @p name parsed via parseEnvReal; nullopt when unset. */
+std::optional<double> envReal(const char *name);
+
+} // namespace cta::core

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "core/env.h"
 #include "core/logging.h"
 
 namespace cta::core {
@@ -36,11 +37,10 @@ parseEnvInt(const char *text, const char *what)
 int
 configuredThreadCount()
 {
-    if (const char *env = std::getenv("CTA_THREADS")) {
-        const long parsed = parseEnvInt(env, "CTA_THREADS");
-        const long clamped = std::clamp(parsed, 1l, 64l);
-        if (clamped != parsed)
-            CTA_WARN("CTA_THREADS=", parsed, " clamped to ", clamped);
+    if (const auto parsed = envInt("CTA_THREADS")) {
+        const long clamped = std::clamp(*parsed, 1l, 64l);
+        if (clamped != *parsed)
+            CTA_WARN("CTA_THREADS=", *parsed, " clamped to ", clamped);
         return static_cast<int>(clamped);
     }
     const unsigned hw = std::thread::hardware_concurrency();

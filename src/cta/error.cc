@@ -1,6 +1,7 @@
 #include "cta/error.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/logging.h"
 #include "core/stats.h"
@@ -33,6 +34,17 @@ compareOutputs(const Matrix &approx, const Matrix &exact)
         ? static_cast<Real>(cos_sum / approx.rows()) : 1;
     err.worstCosine = approx.rows() > 0 ? cos_min : 1;
     return err;
+}
+
+bool
+allFinite(const Matrix &x)
+{
+    const Real *data = x.data();
+    const Index n = x.size();
+    for (Index i = 0; i < n; ++i)
+        if (!std::isfinite(data[i]))
+            return false;
+    return true;
 }
 
 } // namespace cta::alg

@@ -31,4 +31,8 @@ struct ApproximationError
 ApproximationError compareOutputs(const core::Matrix &approx,
                                   const core::Matrix &exact);
 
+/** True when every element of @p x is finite (no NaN or inf) — the
+ *  cheap numeric-health proxy the serving quality guard polls. */
+bool allFinite(const core::Matrix &x);
+
 } // namespace cta::alg

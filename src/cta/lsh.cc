@@ -6,6 +6,7 @@
 #include "core/logging.h"
 #include "core/op_counter.h"
 #include "core/rng.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -120,6 +121,18 @@ hashToken(std::span<const Real> token, const LshParams &params,
         const Wide shifted = (dot + params.b(j, 0)) * inv_w;
         code[static_cast<std::size_t>(j)] =
             toBucket(std::floor(shifted));
+    }
+    // Fault site (lsh): one disarmed branch per *token*, after the
+    // hot loop — per-element hooks would defeat the optimization the
+    // comment above protects. The draw is keyed on the produced code,
+    // so the same token faults identically under any thread count.
+    if (fault::armed(fault::Site::LshBucket)) {
+        const std::uint64_t key = fault::hashBytes(
+            code.data(), code.size() * sizeof(std::int32_t));
+        const auto at = static_cast<std::size_t>(
+            fault::mix(fault::Site::LshBucket, key ^ 0x17u) %
+            static_cast<std::uint64_t>(l));
+        fault::perturbBucket(fault::Site::LshBucket, key, code[at]);
     }
     if (counts) {
         const auto lu = static_cast<std::uint64_t>(l);

@@ -1,5 +1,6 @@
 #include "cta_accel/cag.h"
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace cta::accel {
@@ -29,6 +30,25 @@ CagModel::aggregate(core::Index tokens, core::Index clusters,
     if (!overlapped) {
         // Exposed CAVG pass: one centroid per cycle down the column.
         report.exposedCycles = static_cast<core::Cycles>(clusters);
+    }
+    // Fault site (cag): centroid operand reads sit behind an ECC
+    // detect-and-retry scheme — a faulty read is replayed (one extra
+    // exposed cycle and one access's worth of energy), never consumed
+    // as wrong data.
+    if (fault::armed(fault::Site::CagOperand)) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(tokens) << 20) ^
+            static_cast<std::uint64_t>(clusters) ^
+            (overlapped ? 0x5A5Au : 0u);
+        report.eccRetries =
+            fault::faultyWords(fault::Site::CagOperand, key,
+                               static_cast<std::uint64_t>(tokens));
+        report.exposedCycles +=
+            static_cast<core::Cycles>(report.eccRetries);
+        report.energyPj += static_cast<sim::Wide>(report.eccRetries) *
+            (d * tech_.addEnergyPj + tech_.cmpEnergyPj +
+             2.0 * d * tech_.regEnergyPj);
+        CTA_OBS_COUNT("accel.cag.ecc_retries", report.eccRetries);
     }
     // CACC retires one token/cycle, CAVG one centroid/cycle; hidden
     // cycles ride on idle SA columns, exposed ones stall the SA.

@@ -27,6 +27,9 @@ struct CagReport
      *  step runs concurrently, e.g. Table I row 4). */
     core::Cycles exposedCycles = 0;
     sim::Wide energyPj = 0;
+    /** Operand reads replayed by the ECC detect-and-retry scheme
+     *  (fault injection only; 0 when disarmed). */
+    std::uint64_t eccRetries = 0;
 };
 
 /** Timing/energy model of CACC + CAVG. */

@@ -1,6 +1,9 @@
 #include "cta_accel/cim.h"
 
+#include <vector>
+
 #include "core/logging.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,8 +27,28 @@ CimModel::process(const alg::HashMatrix &codes) const
     alg::LinearClusterTree tree(config_.hashLen);
     report.clusters.table.reserve(
         static_cast<std::size_t>(codes.rows()));
-    for (Index i = 0; i < codes.rows(); ++i)
-        report.clusters.table.push_back(tree.assign(codes.code(i)));
+    // Fault site (cim): a flipped bit in a streamed hash-code operand
+    // is *functional* corruption — the damaged code walks the cluster
+    // tree and lands in (or creates) the wrong cluster, which is
+    // exactly how a CIM datapath upset would present architecturally.
+    const bool cimFaults = fault::armed(fault::Site::CimOperand);
+    std::vector<std::int32_t> scratch;
+    for (Index i = 0; i < codes.rows(); ++i) {
+        std::span<const std::int32_t> code = codes.code(i);
+        if (cimFaults) {
+            scratch.assign(code.begin(), code.end());
+            const std::uint64_t key = fault::hashBytes(
+                scratch.data(),
+                scratch.size() * sizeof(std::int32_t));
+            const auto at = static_cast<std::size_t>(
+                fault::mix(fault::Site::CimOperand, key ^ 0x2Bu) %
+                scratch.size());
+            fault::flipInt32Bit(fault::Site::CimOperand, key,
+                                scratch[at]);
+            code = scratch;
+        }
+        report.clusters.table.push_back(tree.assign(code));
+    }
     report.clusters.numClusters = tree.numClusters();
 
     // One hash code retires per cycle once the pipeline is primed;

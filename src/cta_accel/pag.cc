@@ -1,6 +1,7 @@
 #include "cta_accel/pag.h"
 
 #include "core/logging.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace cta::accel {
@@ -40,6 +41,20 @@ PagModel::aggregateBatch(core::Index rows, core::Index tokens) const
          2.0 * tech_.addEnergyPj) +
         static_cast<sim::Wide>(report.csReads + report.apWrites) *
             buffer_pj;
+    // Fault site (pag): CS-buffer reads behind ECC detect-and-retry —
+    // each faulty read replays (one cycle, one buffer access's
+    // energy) instead of feeding a wrong score into the merge tree.
+    if (fault::armed(fault::Site::PagOperand)) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(rows) << 24) ^
+            static_cast<std::uint64_t>(tokens);
+        report.eccRetries = fault::faultyWords(
+            fault::Site::PagOperand, key, report.csReads);
+        report.cycles += static_cast<core::Cycles>(report.eccRetries);
+        report.energyPj +=
+            static_cast<sim::Wide>(report.eccRetries) * buffer_pj;
+        CTA_OBS_COUNT("accel.pag.ecc_retries", report.eccRetries);
+    }
     CTA_OBS_COUNT("accel.pag.batch_cycles", report.cycles);
     return report;
 }

@@ -30,6 +30,9 @@ struct PagReport
     sim::Wide energyPj = 0;
     std::uint64_t csReads = 0;  ///< compressed-score buffer reads
     std::uint64_t apWrites = 0; ///< AP buffer read-modify-writes
+    /** Buffer reads replayed by the ECC detect-and-retry scheme
+     *  (fault injection only; 0 when disarmed). */
+    std::uint64_t eccRetries = 0;
 };
 
 /** Timing/energy model of the PAG. */

@@ -1,0 +1,290 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <string>
+
+#include "core/env.h"
+#include "core/logging.h"
+
+namespace cta::fault {
+
+namespace detail {
+
+double g_rate = 0;
+unsigned g_sites = kAllSites;
+std::uint64_t g_seed = 0;
+
+} // namespace detail
+
+namespace {
+
+/** Per-site process totals (relaxed atomics; addition commutes, so
+ *  totals are thread-count-invariant for a deterministic fault set). */
+std::atomic<std::uint64_t> g_totals[kSiteCount];
+
+/** Per-thread injection count — lets a serial consumer bracket its
+ *  work and learn whether any fault fired inside it. */
+thread_local std::uint64_t tls_injections = 0;
+
+/** Distinct salt per site so the same key draws independently. */
+constexpr std::uint64_t
+siteSalt(Site site)
+{
+    return 0x9E3779B97F4A7C15ull *
+           (static_cast<std::uint64_t>(site) + 2);
+}
+
+/** splitmix64 finalizer — full-avalanche 64-bit mixing. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform [0, 1) double from the top 53 bits of @p bits. */
+double
+unitReal(std::uint64_t bits)
+{
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+void
+record(Site site, std::uint64_t count)
+{
+    g_totals[static_cast<unsigned>(site)].fetch_add(
+        count, std::memory_order_relaxed);
+    tls_injections += count;
+}
+
+unsigned
+parseSites(const char *text)
+{
+    const std::string spec(text);
+    if (spec == "all")
+        return kAllSites;
+    if (spec == "none")
+        return 0;
+    unsigned mask = 0;
+    std::size_t at = 0;
+    while (at <= spec.size()) {
+        const std::size_t comma = spec.find(',', at);
+        const std::string name = spec.substr(
+            at, comma == std::string::npos ? std::string::npos
+                                           : comma - at);
+        bool known = false;
+        for (unsigned s = 0; s < kSiteCount; ++s) {
+            if (name == siteName(static_cast<Site>(s))) {
+                mask |= 1u << s;
+                known = true;
+                break;
+            }
+        }
+        CTA_REQUIRE(known, "CTA_FAULT_SITES entry '", name,
+                    "' unknown (expected all | none | a comma list "
+                    "of sram,cim,cag,pag,lsh,snapshot,queue)");
+        if (comma == std::string::npos)
+            break;
+        at = comma + 1;
+    }
+    return mask;
+}
+
+/** Publishes @p config to the POD globals armed() reads. */
+void
+publish(const FaultConfig &config)
+{
+    detail::g_seed = config.seed;
+    detail::g_sites = config.sites;
+    detail::g_rate = config.rate;
+}
+
+/** Loads the env config exactly once, before main() in practice. */
+struct EnvInit
+{
+    EnvInit() { publish(configFromEnv()); }
+};
+
+EnvInit &
+envInit()
+{
+    static EnvInit init;
+    return init;
+}
+
+// Force env parsing during static initialization so armed() is
+// correct from the first instruction of main().
+const EnvInit &g_envInitForced = envInit();
+
+} // namespace
+
+FaultConfig
+configFromEnv()
+{
+    FaultConfig config;
+    if (const auto seed = core::envInt("CTA_FAULT_SEED"))
+        config.seed = static_cast<std::uint64_t>(*seed);
+    if (const auto rate = core::envReal("CTA_FAULT_RATE")) {
+        CTA_REQUIRE(*rate >= 0 && *rate <= 1,
+                    "CTA_FAULT_RATE must lie in [0, 1], got ", *rate);
+        config.rate = *rate;
+    }
+    if (const char *sites = core::envString("CTA_FAULT_SITES"))
+        config.sites = parseSites(sites);
+    return config;
+}
+
+FaultConfig
+config()
+{
+    envInit();
+    FaultConfig config;
+    config.seed = detail::g_seed;
+    config.rate = detail::g_rate;
+    config.sites = detail::g_sites;
+    return config;
+}
+
+void
+setConfig(const FaultConfig &config)
+{
+    envInit(); // keep init order deterministic
+    CTA_REQUIRE(config.rate >= 0 && config.rate <= 1,
+                "fault rate must lie in [0, 1], got ", config.rate);
+    publish(config);
+}
+
+std::uint64_t
+mix(Site site, std::uint64_t key)
+{
+    return splitmix64(detail::g_seed ^ siteSalt(site) ^
+                      splitmix64(key));
+}
+
+std::uint64_t
+hashBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = 0xCBF29CE484222325ull; // FNV-1a offset basis
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+bool
+inject(Site site, std::uint64_t key)
+{
+    if (!armed(site))
+        return false;
+    if (unitReal(mix(site, key)) >= detail::g_rate)
+        return false;
+    record(site, 1);
+    return true;
+}
+
+bool
+flipInt32Bit(Site site, std::uint64_t key, std::int32_t &value)
+{
+    if (!inject(site, key))
+        return false;
+    const unsigned bit =
+        static_cast<unsigned>(mix(site, key ^ 0x5Bu) % 32);
+    value ^= static_cast<std::int32_t>(std::uint32_t{1} << bit);
+    return true;
+}
+
+bool
+perturbBucket(Site site, std::uint64_t key, std::int32_t &bucket)
+{
+    if (!inject(site, key))
+        return false;
+    const bool up = (mix(site, key ^ 0xB5u) & 1u) != 0;
+    // Saturate at the int32 bounds like lsh.cc's toBucket().
+    if (up && bucket != std::numeric_limits<std::int32_t>::max())
+        ++bucket;
+    else if (!up &&
+             bucket != std::numeric_limits<std::int32_t>::min())
+        --bucket;
+    else
+        bucket = up ? bucket - 1 : bucket + 1;
+    return true;
+}
+
+bool
+corruptBlob(Site site, std::uint64_t key,
+            std::vector<std::uint8_t> &blob)
+{
+    if (blob.empty() || !inject(site, key))
+        return false;
+    const std::uint64_t draw = mix(site, key ^ 0xC0u);
+    if ((draw & 3u) == 0) {
+        // Truncate a short tail — models a torn write.
+        const std::size_t drop = std::min(
+            blob.size(),
+            static_cast<std::size_t>(1 + ((draw >> 2) & 0xF)));
+        blob.resize(blob.size() - drop);
+        return true;
+    }
+    // Flip one byte with a guaranteed-nonzero mask.
+    const std::size_t at =
+        static_cast<std::size_t>((draw >> 2) % blob.size());
+    std::uint8_t mask = static_cast<std::uint8_t>(draw >> 32);
+    if (mask == 0)
+        mask = 0xA5;
+    blob[at] ^= mask;
+    return true;
+}
+
+std::uint64_t
+faultyWords(Site site, std::uint64_t key, std::uint64_t words)
+{
+    if (!armed(site) || words == 0)
+        return 0;
+    const double expected =
+        static_cast<double>(words) * detail::g_rate;
+    auto count = static_cast<std::uint64_t>(expected);
+    const double frac = expected - static_cast<double>(count);
+    if (unitReal(mix(site, key)) < frac)
+        ++count;
+    count = std::min(count, words);
+    if (count > 0)
+        record(site, count);
+    return count;
+}
+
+std::uint64_t
+threadInjections()
+{
+    return tls_injections;
+}
+
+std::uint64_t
+totalInjections(Site site)
+{
+    return g_totals[static_cast<unsigned>(site)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+totalInjections()
+{
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < kSiteCount; ++s)
+        total += g_totals[s].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+resetInjectionCounters()
+{
+    for (unsigned s = 0; s < kSiteCount; ++s)
+        g_totals[s].store(0, std::memory_order_relaxed);
+}
+
+} // namespace cta::fault

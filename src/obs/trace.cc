@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/env.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
 
@@ -76,11 +77,10 @@ struct EnvInit
     EnvInit()
     {
         epoch(); // pin the trace epoch to process start
-        if (const char *env = std::getenv("CTA_TRACE"))
-            g_traceEnabled.store(
-                core::parseEnvInt(env, "CTA_TRACE") != 0,
-                std::memory_order_relaxed);
-        if (const char *env = std::getenv("CTA_TRACE_FILE"))
+        if (const auto on = core::envInt("CTA_TRACE"))
+            g_traceEnabled.store(*on != 0,
+                                 std::memory_order_relaxed);
+        if (const char *env = core::envString("CTA_TRACE_FILE"))
             traceFile = env;
     }
 };

@@ -1,11 +1,12 @@
 #include "serve/batcher.h"
 
 #include <chrono>
-#include <cstdlib>
 #include <utility>
 
+#include "core/env.h"
 #include "core/logging.h"
 #include "core/parallel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/session_manager.h"
@@ -24,6 +25,8 @@ toString(SubmitResult result)
         return "QueueFull";
     case SubmitResult::SessionRemoved:
         return "SessionRemoved";
+    case SubmitResult::Corrupted:
+        return "Corrupted";
     }
     return "?";
 }
@@ -56,14 +59,13 @@ Batcher::Batcher(SessionManager &manager, core::ThreadPool *pool,
 Index
 Batcher::queueCapacityFromEnv()
 {
-    const char *env = std::getenv("CTA_QUEUE_CAP");
-    if (env == nullptr)
+    const auto parsed = core::envInt("CTA_QUEUE_CAP");
+    if (!parsed)
         return kDefaultQueueCapacity;
-    const long parsed = core::parseEnvInt(env, "CTA_QUEUE_CAP");
-    CTA_REQUIRE(parsed > 0,
+    CTA_REQUIRE(*parsed > 0,
                 "CTA_QUEUE_CAP must be a positive queue bound, got ",
-                parsed);
-    return static_cast<Index>(parsed);
+                *parsed);
+    return static_cast<Index>(*parsed);
 }
 
 core::ThreadPool &
@@ -171,6 +173,11 @@ Batcher::trySubmit(Index session, std::span<const core::Real> token,
         ++rejectedSubmits_;
         return SubmitResult::SessionRemoved;
     }
+    if (manager_ && manager_->isQuarantined(session)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejectedSubmits_;
+        return SubmitResult::Corrupted;
+    }
     Pending pending;
     pending.session = session;
     pending.token.assign(token.begin(), token.end());
@@ -211,6 +218,13 @@ Batcher::expiredSteps() const
     return expiredSteps_;
 }
 
+std::uint64_t
+Batcher::corruptedSteps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corruptedSteps_;
+}
+
 std::vector<StepResult>
 Batcher::flush()
 {
@@ -243,16 +257,30 @@ Batcher::flush()
     // Resolve every session serially before fanning out: in managed
     // mode this is where evicted sessions restore, and keeping the
     // restores (and the LRU ticks they take) outside the parallel
-    // region keeps eviction decisions thread-count-invariant.
+    // region keeps eviction decisions thread-count-invariant. A
+    // session whose snapshot fails integrity checks resolves to
+    // nullptr (quarantined) and its steps come back Corrupted.
     std::vector<DecodeSession *> resolved(active.size());
     for (std::size_t t = 0; t < active.size(); ++t)
-        resolved[t] = resolve(active[t]);
+        resolved[t] = manager_ ? manager_->tryAcquire(active[t])
+                               : resolve(active[t]);
 
     std::vector<std::uint64_t> expired(active.size(), 0);
+    std::vector<std::uint64_t> corrupted(active.size(), 0);
     pool().run(static_cast<Index>(active.size()), [&](Index t) {
         const Index sid = active[static_cast<std::size_t>(t)];
         CTA_TRACE_SCOPE_ID("serve.session_flush", sid);
-        DecodeSession &sess = *resolved[static_cast<std::size_t>(t)];
+        DecodeSession *sess = resolved[static_cast<std::size_t>(t)];
+        if (sess == nullptr) {
+            for (const std::size_t i :
+                 per_session[static_cast<std::size_t>(sid)]) {
+                const Pending &p = batch[i];
+                ++corrupted[static_cast<std::size_t>(t)];
+                results[p.slot].session = p.session;
+                results[p.slot].status = StepStatus::Corrupted;
+            }
+            return;
+        }
         // Once one step misses its deadline, every later step of the
         // same session expires with it: running them anyway would
         // append tokens after a hole and break the stream-prefix
@@ -263,7 +291,17 @@ Batcher::flush()
              per_session[static_cast<std::size_t>(sid)]) {
             const Pending &p = batch[i];
             const auto begin = std::chrono::steady_clock::now();
-            if (cascaded ||
+            // Queue-delay fault site: a content-keyed draw treats
+            // this step as having overstayed its deadline, exercising
+            // the expiry cascade without wall-clock flakiness.
+            const bool forcedExpiry =
+                !cascaded &&
+                fault::inject(
+                    fault::Site::QueueDelay,
+                    fault::hashBytes(p.token.data(),
+                                     p.token.size() * sizeof(core::Real)) ^
+                        static_cast<std::uint64_t>(p.session));
+            if (cascaded || forcedExpiry ||
                 (p.deadline != kNoDeadline && begin >= p.deadline)) {
                 cascaded = true;
                 ++expired[static_cast<std::size_t>(t)];
@@ -279,7 +317,7 @@ Batcher::flush()
                     .count();
             CTA_OBS_GAUGE_MAX("serve.queue_wait_max_s", wait);
             CTA_OBS_GAUGE_ADD("serve.queue_wait_total_s", wait);
-            core::Matrix out = sess.step(p.token);
+            core::Matrix out = sess->step(p.token);
             const auto end = std::chrono::steady_clock::now();
             stats_.recordStep(
                 std::chrono::duration<double>(end - begin).count());
@@ -293,11 +331,19 @@ Batcher::flush()
     std::uint64_t expiredTotal = 0;
     for (const std::uint64_t e : expired)
         expiredTotal += e;
-    if (expiredTotal > 0) {
+    std::uint64_t corruptedTotal = 0;
+    for (const std::uint64_t c : corrupted)
+        corruptedTotal += c;
+    if (expiredTotal > 0)
         CTA_OBS_GAUGE_ADD("serve.expired_steps",
                           static_cast<double>(expiredTotal));
+    if (corruptedTotal > 0)
+        CTA_OBS_GAUGE_ADD("serve.corrupted_steps",
+                          static_cast<double>(corruptedTotal));
+    if (expiredTotal > 0 || corruptedTotal > 0) {
         std::lock_guard<std::mutex> lock(mutex_);
         expiredSteps_ += expiredTotal;
+        corruptedSteps_ += corruptedTotal;
     }
 
     if (manager_) {

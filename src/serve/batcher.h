@@ -55,6 +55,8 @@ enum class SubmitResult
     Accepted,       ///< queued for the next flush
     QueueFull,      ///< bounded queue at capacity — shed load
     SessionRemoved, ///< target session was removed
+    Corrupted,      ///< target session is quarantined (corrupt
+                    ///< snapshot); its state is unrecoverable
 };
 
 /** Human-readable name of a SubmitResult. */
@@ -63,8 +65,10 @@ const char *toString(SubmitResult result);
 /** Outcome of one queued step. */
 enum class StepStatus
 {
-    Ok,      ///< step ran; output is valid
-    Expired, ///< deadline passed before the step started; no output
+    Ok,        ///< step ran; output is valid
+    Expired,   ///< deadline passed before the step started; no output
+    Corrupted, ///< session was quarantined (corrupt snapshot) before
+               ///< the step could run; no output
 };
 
 /** One completed decode step, in submission order. */
@@ -131,10 +135,11 @@ class Batcher
 
     /**
      * Admission-controlled submit: returns QueueFull when the bounded
-     * queue is at capacity and SessionRemoved when the target session
-     * was removed, instead of aborting. Out-of-range ids are still
-     * fatal (caller bug, not load). @p deadline: steps not *started*
-     * by then come back Expired from flush(). Thread-safe.
+     * queue is at capacity, SessionRemoved when the target session
+     * was removed, and Corrupted when the manager quarantined it over
+     * a corrupt snapshot — instead of aborting. Out-of-range ids are
+     * still fatal (caller bug, not load). @p deadline: steps not
+     * *started* by then come back Expired from flush(). Thread-safe.
      */
     SubmitResult trySubmit(core::Index session,
                            std::span<const core::Real> token,
@@ -153,11 +158,17 @@ class Batcher
     /** Cumulative steps returned as Expired by flush(). */
     std::uint64_t expiredSteps() const;
 
+    /** Cumulative steps returned as Corrupted by flush(). */
+    std::uint64_t corruptedSteps() const;
+
     /**
      * Runs every queued step — per-session sequential, cross-session
      * parallel — and returns outputs in submission order. Each step's
      * latency is recorded in stats(). Steps past their deadline are
-     * skipped and returned as Expired.
+     * skipped and returned as Expired. In managed mode a session
+     * whose snapshot fails integrity checks at restore time is
+     * quarantined and its queued steps come back Corrupted — the
+     * other sessions in the same flush are unaffected.
      */
     std::vector<StepResult> flush();
 
@@ -192,6 +203,7 @@ class Batcher
     std::vector<Pending> pending_;
     std::uint64_t rejectedSubmits_ = 0;
     std::uint64_t expiredSteps_ = 0;
+    std::uint64_t corruptedSteps_ = 0;
     ServerStats stats_;
 };
 

@@ -6,7 +6,11 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/crc32.h"
 #include "core/logging.h"
+#include "cta/error.h"
+#include "fault/fault.h"
+#include "nn/softmax.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,7 +24,7 @@ using core::Real;
 namespace {
 
 constexpr std::uint8_t kBlobMagic[4] = {'C', 'T', 'A', 'S'};
-constexpr std::uint32_t kBlobVersion = 1;
+constexpr std::uint32_t kBlobVersion = 2; // v2: CRC-32 trailer
 
 /** Appends the raw little-endian bytes of @p value. */
 template <typename T>
@@ -44,7 +48,13 @@ putArray(std::vector<std::uint8_t> &out, const T *data,
     std::memcpy(out.data() + at, data, count * sizeof(T));
 }
 
-/** Bounds-checked reader over a snapshot blob. */
+/**
+ * Bounds-checked reader over a snapshot blob. Never fatal: the first
+ * failed read latches an error and every later read returns a default,
+ * so callers parse straight through and check ok() once at the end —
+ * that is what lets tryDeserializeSnapshot() survive a structurally
+ * damaged blob behind a forged checksum.
+ */
 class BlobReader
 {
   public:
@@ -57,9 +67,11 @@ class BlobReader
     T
     scalar()
     {
+        if (!ok_ || at_ + sizeof(T) > bytes_.size()) {
+            fail("truncated session snapshot blob");
+            return T{};
+        }
         T value;
-        CTA_REQUIRE(at_ + sizeof(T) <= bytes_.size(),
-                    "truncated session snapshot blob at offset ", at_);
         std::memcpy(&value, bytes_.data() + at_, sizeof(T));
         at_ += sizeof(T);
         return value;
@@ -70,8 +82,10 @@ class BlobReader
     array()
     {
         const auto count = scalar<std::uint64_t>();
-        CTA_REQUIRE(count <= (bytes_.size() - at_) / sizeof(T),
-                    "session snapshot blob array overruns the blob");
+        if (!ok_ || count > (bytes_.size() - at_) / sizeof(T)) {
+            fail("session snapshot blob array overruns the blob");
+            return {};
+        }
         std::vector<T> out(static_cast<std::size_t>(count));
         std::memcpy(out.data(), bytes_.data() + at_,
                     out.size() * sizeof(T));
@@ -79,11 +93,26 @@ class BlobReader
         return out;
     }
 
+    void
+    fail(const char *why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why;
+        }
+    }
+
+    bool ok() const { return ok_; }
+
+    const char *error() const { return error_; }
+
     bool exhausted() const { return at_ == bytes_.size(); }
 
   private:
     std::span<const std::uint8_t> bytes_;
     std::size_t at_ = 0;
+    bool ok_ = true;
+    const char *error_ = "";
 };
 
 void
@@ -111,12 +140,14 @@ readLevel(BlobReader &reader)
     const Index rows = reader.scalar<std::int64_t>();
     const Index cols = reader.scalar<std::int64_t>();
     const std::vector<Real> sums = reader.array<Real>();
-    CTA_REQUIRE(rows >= 0 && cols >= 0 &&
-                    static_cast<std::size_t>(rows) *
-                            static_cast<std::size_t>(cols) ==
-                        sums.size(),
-                "snapshot blob sums shape ", rows, "x", cols,
-                " does not match ", sums.size(), " values");
+    if (rows < 0 || cols < 0 ||
+        static_cast<std::size_t>(rows) *
+                static_cast<std::size_t>(cols) !=
+            sums.size()) {
+        reader.fail("snapshot blob sums shape does not match its "
+                    "value count");
+        return level;
+    }
     level.sums = Matrix(rows, cols);
     std::copy(sums.begin(), sums.end(), level.sums.data());
     level.members = reader.array<Index>();
@@ -129,31 +160,73 @@ std::vector<std::uint8_t>
 serializeSnapshot(const SessionSnapshot &snap)
 {
     std::vector<std::uint8_t> out;
+    // Reserve past the fixed header up front (also sidesteps a GCC 12
+    // -Wstringop-overflow false positive on growing a fresh vector by
+    // exactly sizeof(kBlobMagic)).
+    out.reserve(256);
     out.insert(out.end(), std::begin(kBlobMagic), std::end(kBlobMagic));
     putScalar<std::uint32_t>(out, kBlobVersion);
     putScalar<std::int64_t>(out, snap.tokenDim);
     putLevel(out, snap.kv.level1);
     putLevel(out, snap.kv.level2);
+    // CRC-32 trailer over everything above — detects every
+    // single-byte flip and every truncation at restore time.
+    putScalar<std::uint32_t>(out, core::crc32(out.data(), out.size()));
     return out;
+}
+
+bool
+tryDeserializeSnapshot(std::span<const std::uint8_t> bytes,
+                       SessionSnapshot *snap, std::string *error)
+{
+    CTA_REQUIRE(snap != nullptr, "null snapshot out-parameter");
+    const auto fail = [error](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    constexpr std::size_t kTrailer = sizeof(std::uint32_t);
+    if (bytes.size() <
+        sizeof(kBlobMagic) + sizeof(std::uint32_t) + kTrailer)
+        return fail("snapshot blob shorter than its fixed header");
+    if (std::memcmp(bytes.data(), kBlobMagic, sizeof(kBlobMagic)) != 0)
+        return fail("not a session snapshot blob (bad magic)");
+    // Verify the checksum before any structural parsing: corruption
+    // anywhere in the blob (including the length fields the parser
+    // would otherwise trust) is caught here.
+    std::uint32_t stored;
+    std::memcpy(&stored, bytes.data() + bytes.size() - kTrailer,
+                kTrailer);
+    if (stored != core::crc32(bytes.data(), bytes.size() - kTrailer))
+        return fail("session snapshot blob failed its CRC-32 check");
+    BlobReader reader(bytes.subspan(
+        sizeof(kBlobMagic),
+        bytes.size() - sizeof(kBlobMagic) - kTrailer));
+    const auto version = reader.scalar<std::uint32_t>();
+    if (reader.ok() && version != kBlobVersion)
+        return fail("unsupported session snapshot version");
+    SessionSnapshot out;
+    out.tokenDim = reader.scalar<std::int64_t>();
+    out.kv.level1 = readLevel(reader);
+    out.kv.level2 = readLevel(reader);
+    if (!reader.ok())
+        return fail(reader.error());
+    if (!reader.exhausted())
+        return fail("trailing bytes after session snapshot blob");
+    if (out.tokenDim <= 0)
+        return fail("session snapshot token dimension must be "
+                    "positive");
+    *snap = std::move(out);
+    return true;
 }
 
 SessionSnapshot
 deserializeSnapshot(std::span<const std::uint8_t> bytes)
 {
-    CTA_REQUIRE(bytes.size() >= sizeof(kBlobMagic) &&
-                    std::memcmp(bytes.data(), kBlobMagic,
-                                sizeof(kBlobMagic)) == 0,
-                "not a session snapshot blob (bad magic)");
-    BlobReader reader(bytes.subspan(sizeof(kBlobMagic)));
-    const auto version = reader.scalar<std::uint32_t>();
-    CTA_REQUIRE(version == kBlobVersion, "session snapshot version ",
-                version, " unsupported (expected ", kBlobVersion, ")");
     SessionSnapshot snap;
-    snap.tokenDim = reader.scalar<std::int64_t>();
-    snap.kv.level1 = readLevel(reader);
-    snap.kv.level2 = readLevel(reader);
-    CTA_REQUIRE(reader.exhausted(),
-                "trailing bytes after session snapshot blob");
+    std::string error;
+    CTA_REQUIRE(tryDeserializeSnapshot(bytes, &snap, &error),
+                "malformed session snapshot blob: ", error);
     return snap;
 }
 
@@ -214,6 +287,19 @@ DecodeSession::ingest(std::span<const Real> token, OpCounts *counts)
     pairs_.add(r.level1.cluster, r.level2.cluster);
 }
 
+namespace {
+
+bool
+spanFinite(std::span<const Real> values)
+{
+    for (const Real v : values)
+        if (!std::isfinite(v))
+            return false;
+    return true;
+}
+
+} // namespace
+
 void
 DecodeSession::prefill(const Matrix &tokens)
 {
@@ -222,9 +308,28 @@ DecodeSession::prefill(const Matrix &tokens)
                   static_cast<std::uint64_t>(tokens.rows()));
     CTA_REQUIRE(tokens.cols() == tokenDim_, "prefill token dim ",
                 tokens.cols(), " != session dim ", tokenDim_);
+    const std::uint64_t faultsBefore = fault::threadInjections();
     OpCounts ops;
-    for (Index i = 0; i < tokens.rows(); ++i)
-        ingest(tokens.row(i), &ops);
+    std::vector<Real> cleaned;
+    for (Index i = 0; i < tokens.rows(); ++i) {
+        std::span<const Real> row = tokens.row(i);
+        if (config_.qualityGuard && !spanFinite(row)) {
+            // Same policy as FxpFormat::encode: a non-finite element
+            // carries no usable signal, so pin it to zero rather than
+            // poisoning every centroid it would ever touch.
+            cleaned.assign(row.begin(), row.end());
+            for (Real &v : cleaned)
+                if (!std::isfinite(v))
+                    v = 0;
+            row = cleaned;
+            CTA_OBS_COUNT("serve.sanitized_tokens", 1);
+        }
+        ingest(row, &ops);
+        if (fallback_)
+            appendExactProjections(row, &ops);
+    }
+    faultTainted_ =
+        faultTainted_ || fault::threadInjections() != faultsBefore;
     totalOps_ += ops;
 }
 
@@ -236,17 +341,39 @@ DecodeSession::step(std::span<const Real> token)
     CTA_REQUIRE(static_cast<Index>(token.size()) == tokenDim_,
                 "step token dim ", token.size(), " != session dim ",
                 tokenDim_);
+    std::vector<Real> cleaned;
+    std::span<const Real> tok = token;
+    if (config_.qualityGuard && !spanFinite(tok)) {
+        cleaned.assign(token.begin(), token.end());
+        for (Real &v : cleaned)
+            if (!std::isfinite(v))
+                v = 0;
+        tok = cleaned;
+        CTA_OBS_COUNT("serve.sanitized_tokens", 1);
+    }
+    const std::uint64_t faultsBefore = fault::threadInjections();
     OpCounts ops;
     {
         CTA_TRACE_SCOPE("decode.ingest");
-        ingest(token, &ops);
+        ingest(tok, &ops);
+    }
+
+    Matrix out;
+    if (fallback_) {
+        appendExactProjections(tok, &ops);
+        out = exactStep(tok, &ops);
+        faultTainted_ = faultTainted_ ||
+                        fault::threadInjections() != faultsBefore;
+        lastStepOps_ = ops;
+        totalOps_ += ops;
+        return out;
     }
 
     // Stage 2 for the query: the lone query is its own cluster with
     // the token as centroid, so only the projection remains.
     CTA_TRACE_SCOPE("attention.decode");
     Matrix q(1, tokenDim_);
-    std::copy(token.begin(), token.end(), q.row(0).begin());
+    std::copy(tok.begin(), tok.end(), q.row(0).begin());
     const Matrix q_bar = params_.wq.forward(q, &ops);
 
     // Stages 3-5 mirror ctaAttentionFromCompression() operation for
@@ -259,6 +386,22 @@ DecodeSession::step(std::span<const Real> token)
     const Index k1 = kv_.level1().level().numClusters;
     const Index k2 = kv_.level2().level().numClusters;
     const Index d = q_bar.cols();
+
+    // Collapsed-cluster probe: a long context compressed to one
+    // cluster per level means the hash family has stopped separating
+    // tokens (an LSH fault or pathological stream) and every score
+    // degenerates to a single pair; exact attention is both safer
+    // and, at k1 + k2 == 2, not meaningfully more expensive.
+    if (config_.qualityGuard && k1 == 1 && k2 == 1 &&
+        contextLength() >= config_.guardMinContext) {
+        activateFallback("collapsed clusters", tok, &ops);
+        out = exactStep(tok, &ops);
+        faultTainted_ = faultTainted_ ||
+                        fault::threadInjections() != faultsBefore;
+        lastStepOps_ = ops;
+        totalOps_ += ops;
+        return out;
+    }
 
     const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
     Matrix s_bar = matmulTransB(q_bar, k_bar, &ops);
@@ -289,18 +432,103 @@ DecodeSession::step(std::span<const Real> token)
     const Matrix o_bar = matmul(ap, v_bar, &ops);
 
     const Real denom = row_sums(0, 0) * 0.5f;
+    if (config_.qualityGuard &&
+        (!std::isfinite(denom) || denom <= 0)) {
+        // The probability mass vanished or went non-finite — the
+        // guarded replacement for the fatal assert below.
+        activateFallback("degenerate attention denominator", tok,
+                         &ops);
+        out = exactStep(tok, &ops);
+        faultTainted_ = faultTainted_ ||
+                        fault::threadInjections() != faultsBefore;
+        lastStepOps_ = ops;
+        totalOps_ += ops;
+        return out;
+    }
     CTA_ASSERT(denom > 0, "zero attention denominator");
     const Real inv = 1.0f / denom;
-    Matrix out(1, d);
+    out = Matrix(1, d);
     const Real *src = o_bar.row(0).data();
     Real *dst = out.row(0).data();
     for (Index j = 0; j < d; ++j)
         dst[j] = src[j] * inv;
     ops.divs += static_cast<std::uint64_t>(d);
 
+    if (config_.qualityGuard && !alg::allFinite(out)) {
+        activateFallback("non-finite attention output", tok, &ops);
+        out = exactStep(tok, &ops);
+    }
+
+    faultTainted_ =
+        faultTainted_ || fault::threadInjections() != faultsBefore;
     lastStepOps_ = ops;
     totalOps_ += ops;
     return out;
+}
+
+void
+DecodeSession::activateFallback(const char *reason,
+                                std::span<const Real> token,
+                                OpCounts *counts)
+{
+    CTA_TRACE_SCOPE("decode.fallback_activate");
+    fallback_ = true;
+    fallbackReason_ = reason;
+    // Direct (ungated) counter: fallback is a correctness event the
+    // serving layer must observe even with tracing off.
+    obs::counter("serve.fallback").add(1);
+    CTA_WARN("session quality guard tripped (", reason,
+             "); falling back to exact attention at context length ",
+             contextLength());
+    // Seed the exact K/V caches from the reconstructed compression —
+    // the best approximation of the discarded context this session
+    // still owns. The in-hand token replaces its own approximate
+    // last row, and non-finite elements (often the very damage that
+    // tripped the guard) are zeroed so every later output is finite.
+    Matrix approx = alg::reconstruct(kv_.snapshot());
+    Real *data = approx.data();
+    for (Index i = 0; i < approx.size(); ++i)
+        if (!std::isfinite(data[i]))
+            data[i] = 0;
+    if (approx.rows() > 0 &&
+        static_cast<Index>(token.size()) == approx.cols()) {
+        Real *last = approx.row(approx.rows() - 1).data();
+        for (Index j = 0; j < tokenDim_; ++j)
+            last[j] = token[j];
+    }
+    kCache_ = params_.wk.forward(approx, counts);
+    vCache_ = params_.wv.forward(approx, counts);
+}
+
+void
+DecodeSession::appendExactProjections(std::span<const Real> token,
+                                      OpCounts *counts)
+{
+    Matrix t(1, tokenDim_);
+    std::copy(token.begin(), token.end(), t.row(0).begin());
+    kCache_.appendRows(params_.wk.forward(t, counts));
+    vCache_.appendRows(params_.wv.forward(t, counts));
+}
+
+Matrix
+DecodeSession::exactStep(std::span<const Real> token, OpCounts *counts)
+{
+    CTA_TRACE_SCOPE("attention.exact_fallback");
+    CTA_ASSERT(kCache_.rows() == contextLength() &&
+               vCache_.rows() == contextLength(),
+               "fallback cache rows ", kCache_.rows(),
+               " out of sync with context length ", contextLength());
+    Matrix q(1, tokenDim_);
+    std::copy(token.begin(), token.end(), q.row(0).begin());
+    const Matrix q_bar = params_.wq.forward(q, counts);
+    const Index d = q_bar.cols();
+    const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
+    Matrix s = matmulTransB(q_bar, kCache_, counts);
+    s = scale(s, inv_sqrt_d, counts);
+    // rowSoftmax subtracts the row max, so for finite caches the
+    // denominator is >= 1 and the output finite by construction.
+    const Matrix p = nn::rowSoftmax(s, counts);
+    return matmul(p, vCache_, counts);
 }
 
 std::size_t
@@ -308,7 +536,8 @@ DecodeSession::stateBytes() const
 {
     std::size_t bytes = kv_.stateBytes() + pairs_.stateBytes() +
                         kBar1_.memoryBytes() + kBar2_.memoryBytes() +
-                        vBar1_.memoryBytes() + vBar2_.memoryBytes();
+                        vBar1_.memoryBytes() + vBar2_.memoryBytes() +
+                        kCache_.memoryBytes() + vCache_.memoryBytes();
     for (const nn::Linear *linear :
          {&params_.wq, &params_.wk, &params_.wv}) {
         bytes += linear->weight().memoryBytes();
@@ -337,6 +566,14 @@ DecodeSession::restore(const SessionSnapshot &snap)
     CTA_OBS_COUNT("serve.session_restores", 1);
     CTA_REQUIRE(snap.tokenDim == tokenDim_, "snapshot token dim ",
                 snap.tokenDim, " != session dim ", tokenDim_);
+    // A snapshot does not carry the exact-attention caches (fallback
+    // sessions are pinned resident by the SessionManager precisely so
+    // they never round-trip through one); restoring means adopting
+    // the snapshot's compressed state wholesale.
+    fallback_ = false;
+    fallbackReason_ = "";
+    kCache_ = Matrix();
+    vCache_ = Matrix();
     kv_.restoreState(snap.kv);
 
     // The pair multiset is fully determined by the two cluster

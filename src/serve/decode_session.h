@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/matrix.h"
@@ -53,6 +54,19 @@ struct ServeConfig
      * off for bit-level comparisons against the batch path.
      */
     bool groupedAggregation = true;
+    /**
+     * Per-session quality guard (DESIGN.md §4.5): non-finite input
+     * tokens are sanitized to zero, and a degenerate attention
+     * denominator, a non-finite output, or fully collapsed clusters
+     * at long context permanently demote the session to exact
+     * attention instead of crashing the process. On a healthy stream
+     * none of the probes fire and outputs are bit-identical to a
+     * guard-free build. OFF restores the fatal-assert behavior.
+     */
+    bool qualityGuard = true;
+    /** Collapsed-cluster probe floor: k1 == k2 == 1 only trips the
+     *  guard once the context is at least this many tokens. */
+    core::Index guardMinContext = 4096;
 };
 
 /**
@@ -70,10 +84,24 @@ struct SessionSnapshot
 };
 
 /** Encodes @p snap as a flat little-endian byte blob (magic "CTAS",
- *  versioned) — what a SessionManager keeps for an evicted session. */
+ *  versioned, CRC-32 trailer) — what a SessionManager keeps for an
+ *  evicted session. */
 std::vector<std::uint8_t> serializeSnapshot(const SessionSnapshot &snap);
 
-/** Inverse of serializeSnapshot(); fatal on a malformed blob. */
+/**
+ * Non-fatal inverse of serializeSnapshot(). Returns false — with a
+ * diagnostic in @p error when non-null — on any malformed blob: bad
+ * magic or version, CRC-32 mismatch (every single-byte flip and every
+ * truncation lands here before structural parsing runs), or
+ * structural damage behind a forged checksum. @p snap is only written
+ * on success.
+ */
+bool tryDeserializeSnapshot(std::span<const std::uint8_t> bytes,
+                            SessionSnapshot *snap,
+                            std::string *error = nullptr);
+
+/** Inverse of serializeSnapshot(); fatal on a malformed blob. Prefer
+ *  tryDeserializeSnapshot() where corruption must be survivable. */
 SessionSnapshot
 deserializeSnapshot(std::span<const std::uint8_t> bytes);
 
@@ -140,6 +168,22 @@ class DecodeSession
      */
     std::size_t stateBytes() const;
 
+    /**
+     * True once the quality guard demoted this session to exact
+     * attention. Fallback is sticky for the session's lifetime; the
+     * exact K/V caches it builds are not part of snapshot(), so the
+     * owner must keep a fallback session resident (SessionManager
+     * pins it against eviction).
+     */
+    bool fallbackActive() const { return fallback_; }
+
+    /** Why the guard fired ("" while fallbackActive() is false). */
+    const char *fallbackReason() const { return fallbackReason_; }
+
+    /** True when a fault-injection site fired inside this session's
+     *  prefill()/step() calls (always false without CTA_FAULT). */
+    bool faultTainted() const { return faultTainted_; }
+
     /** Compact serializable state (see SessionSnapshot). */
     SessionSnapshot snapshot() const;
 
@@ -160,6 +204,22 @@ class DecodeSession
     void ingest(std::span<const core::Real> token,
                 core::OpCounts *counts);
 
+    /** Demotes the session to exact attention: seeds the exact K/V
+     *  caches from the reconstructed compression (the in-hand token
+     *  replaces its approximate last row) and bumps serve.fallback. */
+    void activateFallback(const char *reason,
+                          std::span<const core::Real> token,
+                          core::OpCounts *counts);
+
+    /** Appends the exact K/V projections of @p token to the caches. */
+    void appendExactProjections(std::span<const core::Real> token,
+                                core::OpCounts *counts);
+
+    /** Exact attention of @p token (already cached as the last K/V
+     *  row) over the whole cached context; output is always finite. */
+    core::Matrix exactStep(std::span<const core::Real> token,
+                           core::OpCounts *counts);
+
     nn::AttentionHeadParams params_;
     ServeConfig config_;
     alg::LshParamSet lsh_;
@@ -172,6 +232,11 @@ class DecodeSession
     core::Index tokenDim_ = 0;
     core::OpCounts lastStepOps_;
     core::OpCounts totalOps_;
+    core::Matrix kCache_; ///< n x d exact K cache (fallback only)
+    core::Matrix vCache_; ///< n x d exact V cache (fallback only)
+    bool fallback_ = false;
+    bool faultTainted_ = false;
+    const char *fallbackReason_ = "";
 };
 
 } // namespace cta::serve

@@ -1,11 +1,12 @@
 #include "serve/session_manager.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <utility>
 
+#include "core/env.h"
 #include "core/logging.h"
 #include "core/parallel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,13 +32,12 @@ SessionManager::SessionManager(nn::AttentionHeadParams params,
 std::size_t
 SessionManager::memBudgetFromEnv()
 {
-    const char *env = std::getenv("CTA_MEM_BUDGET");
-    if (env == nullptr)
+    const auto parsed = core::envInt("CTA_MEM_BUDGET");
+    if (!parsed)
         return 0; // unlimited
-    const long parsed = core::parseEnvInt(env, "CTA_MEM_BUDGET");
-    CTA_REQUIRE(parsed > 0, "CTA_MEM_BUDGET must be a positive byte "
-                "count (unset it for unlimited), got ", parsed);
-    return static_cast<std::size_t>(parsed);
+    CTA_REQUIRE(*parsed > 0, "CTA_MEM_BUDGET must be a positive byte "
+                "count (unset it for unlimited), got ", *parsed);
+    return static_cast<std::size_t>(*parsed);
 }
 
 std::unique_ptr<DecodeSession>
@@ -106,13 +106,61 @@ SessionManager::isEvicted(Index id) const
                              State::Evicted;
 }
 
+bool
+SessionManager::isQuarantined(Index id) const
+{
+    return exists(id) && slots_[static_cast<std::size_t>(id)].state ==
+                             State::Quarantined;
+}
+
+bool
+SessionManager::isFaultTainted(Index id) const
+{
+    const Slot &s = slot(id, "query taint of");
+    return s.taint || (s.live && s.live->faultTainted());
+}
+
 DecodeSession &
 SessionManager::acquire(Index id)
 {
+    DecodeSession *session = tryAcquire(id);
+    CTA_REQUIRE(session != nullptr, "session ", id,
+                " is quarantined (corrupt snapshot); cannot acquire "
+                "it (use tryAcquire to degrade gracefully)");
+    return *session;
+}
+
+DecodeSession *
+SessionManager::tryAcquire(Index id)
+{
     Slot &s = slot(id, "acquire");
+    if (s.state == State::Quarantined)
+        return nullptr;
     if (s.state == State::Evicted) {
         CTA_TRACE_SCOPE_ID("serve.session_restore", id);
-        const SessionSnapshot snap = deserializeSnapshot(s.blob);
+        SessionSnapshot snap;
+        std::string error;
+        if (!tryDeserializeSnapshot(s.blob, &snap, &error)) {
+            // Integrity failure: quarantine just this session. Its
+            // state is unrecoverable, but nothing it shared with the
+            // rest of the server (weights, config) is touched.
+            if (s.corruptionInjected)
+                ++corruptionsDetected_;
+            CTA_WARN("session ", id, " snapshot failed integrity "
+                     "check (", error, "); quarantining it");
+            s.blob.clear();
+            s.blob.shrink_to_fit();
+            s.live.reset();
+            s.state = State::Quarantined;
+            CTA_OBS_COUNT("serve.manager.quarantined", 1);
+            return nullptr;
+        }
+        if (s.corruptionInjected) {
+            // An injected corruption decoded cleanly — the integrity
+            // layer missed it. The fault soak fails on this counter.
+            ++corruptionsSilent_;
+            s.corruptionInjected = false;
+        }
         s.live = makeSession();
         s.live->restore(snap);
         s.blob.clear();
@@ -122,7 +170,7 @@ SessionManager::acquire(Index id)
         CTA_OBS_COUNT("serve.manager.restores", 1);
     }
     s.lastUsed = ++tick_;
-    return *s.live;
+    return s.live.get();
 }
 
 void
@@ -135,13 +183,27 @@ void
 SessionManager::evict(Index id)
 {
     Slot &s = slot(id, "evict");
-    if (s.state == State::Evicted)
+    if (s.state == State::Evicted || s.state == State::Quarantined)
+        return;
+    // Quality-guard fallback sessions are pinned resident: their
+    // exact K/V caches are not part of the snapshot, so an
+    // evict/restore round trip would not be bit-identical.
+    if (s.live->fallbackActive())
         return;
     CTA_TRACE_SCOPE_ID("serve.session_evict", id);
+    s.taint = s.taint || s.live->faultTainted();
     s.blob = serializeSnapshot(s.live->snapshot());
     s.live.reset();
     s.state = State::Evicted;
     ++evictions_;
+    // Snapshot-blob fault site, keyed on the serial eviction ordinal
+    // (evict runs outside any parallel region, so the ordinal — and
+    // with it the whole fault set — is thread-count-invariant).
+    if (fault::corruptBlob(fault::Site::SnapshotBlob, evictions_,
+                           s.blob)) {
+        s.corruptionInjected = true;
+        ++corruptionsInjected_;
+    }
     CTA_OBS_COUNT("serve.manager.evictions", 1);
 }
 
@@ -172,8 +234,13 @@ SessionManager::enforceBudget()
         const Slot &s = slots_[static_cast<std::size_t>(id)];
         if (s.state != State::Live)
             continue;
-        live.emplace_back(s.lastUsed, id);
         total += s.live->stateBytes();
+        // Fallback sessions count against the budget but are never
+        // eviction candidates (their exact caches are not
+        // serializable — see evict()).
+        if (s.live->fallbackActive())
+            continue;
+        live.emplace_back(s.lastUsed, id);
     }
     std::sort(live.begin(), live.end());
     // Evict LRU-first, but never the most-recently-used session: a
@@ -228,10 +295,16 @@ SessionManager::stats() const
         case State::Removed:
             ++stats.removed;
             break;
+        case State::Quarantined:
+            ++stats.quarantined;
+            break;
         }
     }
     stats.evictions = evictions_;
     stats.restores = restores_;
+    stats.corruptionsInjected = corruptionsInjected_;
+    stats.corruptionsDetected = corruptionsDetected_;
+    stats.corruptionsSilent = corruptionsSilent_;
     return stats;
 }
 

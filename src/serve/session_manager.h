@@ -42,10 +42,18 @@ struct SessionManagerStats
     core::Index live = 0;         ///< sessions resident in memory
     core::Index evicted = 0;      ///< sessions held as blobs
     core::Index removed = 0;      ///< sessions freed for good
+    core::Index quarantined = 0;  ///< sessions lost to corruption
     std::size_t liveBytes = 0;    ///< sum of live stateBytes()
     std::size_t evictedBytes = 0; ///< sum of snapshot blob sizes
     std::uint64_t evictions = 0;  ///< cumulative evict operations
     std::uint64_t restores = 0;   ///< cumulative restore operations
+    /** Snapshot corruptions the fault layer injected at evict time. */
+    std::uint64_t corruptionsInjected = 0;
+    /** Injected corruptions the CRC/decode caught at restore time. */
+    std::uint64_t corruptionsDetected = 0;
+    /** Injected corruptions that decoded anyway — the fault soak
+     *  requires this to stay exactly zero. */
+    std::uint64_t corruptionsSilent = 0;
 };
 
 /** Owns decode sessions under a global memory budget (LRU evict). */
@@ -89,6 +97,10 @@ class SessionManager
     /** True when @p id is held as a serialized blob. */
     bool isEvicted(core::Index id) const;
 
+    /** True when @p id was quarantined: its snapshot blob failed
+     *  integrity checks at restore time and its state is gone. */
+    bool isQuarantined(core::Index id) const;
+
     /**
      * Returns the live session for @p id, restoring it from its blob
      * first when evicted, and marks it most-recently-used. Fatal for
@@ -97,12 +109,34 @@ class SessionManager
      */
     DecodeSession &acquire(core::Index id);
 
+    /**
+     * Non-fatal acquire: like acquire(), but when the stored blob
+     * fails its CRC-32 or structural decode the session is
+     * *quarantined* — its state is dropped, the id answers
+     * isQuarantined(), every other session is unaffected — and
+     * nullptr is returned. Also returns nullptr for an already
+     * quarantined id. Still fatal for unknown/removed ids (caller
+     * bug, not corruption).
+     */
+    DecodeSession *tryAcquire(core::Index id);
+
+    /**
+     * True when fault injection fired inside @p id's own work: the
+     * live session's taint flag, OR-ed with taint saved across
+     * evictions. The fault soak uses this to decide which sessions
+     * must still be bit-identical to a fault-free run.
+     */
+    bool isFaultTainted(core::Index id) const;
+
     /** Marks @p id most-recently-used without restoring it. */
     void touch(core::Index id);
 
     /**
      * Serializes @p id's compression state and destroys the live
-     * session. No-op when already evicted; fatal for removed ids.
+     * session. No-op when already evicted, and no-op for a session
+     * whose quality guard fell back to exact attention (its K/V
+     * caches are not in the snapshot, so it is pinned resident);
+     * fatal for removed ids.
      */
     void evict(core::Index id);
 
@@ -134,7 +168,7 @@ class SessionManager
     core::Index tokenDim() const { return tokenDim_; }
 
   private:
-    enum class State { Live, Evicted, Removed };
+    enum class State { Live, Evicted, Removed, Quarantined };
 
     struct Slot
     {
@@ -142,6 +176,12 @@ class SessionManager
         std::unique_ptr<DecodeSession> live;
         std::vector<std::uint8_t> blob;
         std::uint64_t lastUsed = 0; ///< LRU tick (higher = fresher)
+        /** The fault layer corrupted this slot's blob at evict time —
+         *  ground truth for the detected/silent accounting. */
+        bool corruptionInjected = false;
+        /** Sticky fault taint carried across evict/restore (the live
+         *  session's flag dies with it at eviction). */
+        bool taint = false;
     };
 
     Slot &slot(core::Index id, const char *verb);
@@ -161,6 +201,9 @@ class SessionManager
     std::uint64_t tick_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t restores_ = 0;
+    std::uint64_t corruptionsInjected_ = 0;
+    std::uint64_t corruptionsDetected_ = 0;
+    std::uint64_t corruptionsSilent_ = 0;
 };
 
 } // namespace cta::serve

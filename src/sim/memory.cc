@@ -18,6 +18,7 @@ SramModel::reset()
 {
     reads_ = 0;
     writes_ = 0;
+    faultyReads_ = 0;
 }
 
 Wide

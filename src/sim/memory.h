@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/types.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "sim/energy_model.h"
 
@@ -35,6 +36,13 @@ class SramModel
     /** Records @p words 16-bit word reads. */
     void read(std::uint64_t words)
     {
+        // Fault site (sram): the model stores no data, so bit flips
+        // are *accounted* statistically — a deterministic faulty-word
+        // count keyed on the access ordinal — rather than applied.
+        // One folded-away branch when disarmed.
+        if (fault::armed(fault::Site::SramWord))
+            faultyReads_ += fault::faultyWords(
+                fault::Site::SramWord, reads_ ^ (words << 17), words);
         reads_ += words;
         CTA_OBS_COUNT("sim.sram.read_words", words);
     }
@@ -55,6 +63,9 @@ class SramModel
     std::uint64_t writes() const { return writes_; }
     std::uint64_t accesses() const { return reads_ + writes_; }
 
+    /** Word reads the fault layer marked faulty (0 when disarmed). */
+    std::uint64_t faultyReads() const { return faultyReads_; }
+
     /** Dynamic access energy so far, in picojoules. */
     Wide dynamicEnergyPj() const;
 
@@ -68,6 +79,7 @@ class SramModel
     Wide areaMm2_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    std::uint64_t faultyReads_ = 0;
 };
 
 } // namespace cta::sim
