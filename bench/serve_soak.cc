@@ -1,27 +1,43 @@
 /**
  * @file
  * Session-lifecycle soak: thousands of decode sessions churned
- * through a SessionManager whose byte budget is far below the
- * aggregate working set, proving bounded-memory serving end to end.
+ * through a SessionManager, proving bounded-memory serving end to
+ * end. Two modes:
  *
- * Sessions arrive in waves, decode a fixed number of steps through a
- * manager-backed Batcher (one token per live session per round), and
- * are removed when done. The budget forces continuous LRU eviction
- * and on-demand restore; the bench records a per-round state-byte
- * time series and asserts the *plateau property*: once the first
- * eviction has happened, the post-enforcement live byte total never
- * exceeds the budget (except in the degenerate single-resident case
- * the never-evict-MRU rule permits), while every session still runs
- * to completion — bounded memory without livelock.
+ * Classic (default): sessions arrive in waves under a byte budget far
+ * below the aggregate working set, decode a fixed number of steps
+ * through a manager-backed Batcher (one token per live session per
+ * round), and are removed when done. The budget forces continuous LRU
+ * eviction and on-demand restore; the bench records a per-round
+ * state-byte time series and asserts the *plateau property*: once the
+ * first eviction has happened, the post-enforcement live byte total
+ * never exceeds the budget (except in the degenerate single-resident
+ * case the never-evict-MRU rule permits), while every session still
+ * runs to completion — bounded memory without livelock.
  *
- * Results go to BENCH_serve_soak.json. `--smoke` shrinks the run so
- * CI (including the sanitizer jobs) can execute it in seconds; the
- * budget comes from CTA_MEM_BUDGET when set, else a default chosen
- * to sit well below the aggregate footprint.
+ * Prefix sharing (--prefix-share): the same prompt served two ways at
+ * equal budget. Phase A prefills N standalone sessions with one
+ * 512-token prompt (no sharing — every session pays the full state).
+ * Phase B prefills the prompt once and forks N children off it
+ * copy-on-write. Both phases run identical decode rounds with
+ * interleaved evict/restore churn, 16 probe session *pairs* fed
+ * identical token streams — one of each pair is evicted and restored
+ * (including a full cold cycle where every session AND the prefix
+ * donor are evicted, forcing a prefix re-resolution) while its twin
+ * stays resident — and every probe output must be bit-identical
+ * between the twins. The bench asserts peak resident bytes of the
+ * forked phase stay under 25% of the no-sharing phase, at least one
+ * arena page is shared, and zero corruptions slip through silently.
+ *
+ * Results go to BENCH_serve_soak.json. `--smoke` shrinks the classic
+ * run so CI (including the sanitizer jobs) can execute it in seconds;
+ * `--sessions N` overrides the prefix-share session count (CI uses
+ * 1024, the default is 10000).
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -56,7 +72,7 @@ clusteredTokens(Index n, std::uint64_t seed)
     return gen.sampleTokens();
 }
 
-/** One decode stream mid-flight. */
+/** One decode stream mid-flight (classic mode). */
 struct ActiveSession
 {
     Index id = 0;        ///< SessionManager id
@@ -64,7 +80,7 @@ struct ActiveSession
     Index stepsDone = 0;
 };
 
-/** Per-round sample of the manager's memory state. */
+/** Per-round sample of the manager's memory state (classic mode). */
 struct RoundSample
 {
     Index round = 0;
@@ -76,15 +92,334 @@ struct RoundSample
     std::uint64_t restores = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Prefix-share mode
+// ---------------------------------------------------------------------------
+
+constexpr Index kShareRounds = 3;    ///< decode rounds per phase
+constexpr Index kSharePrefill = 512; ///< shared-prompt length
+/** Dense pages so a forked session's private footprint tracks what it
+ *  actually dirtied, not page-rounding slack. */
+constexpr std::size_t kSharePageBytes = 256;
+
+/** Outcome of one prefix-share phase. */
+struct PhaseResult
+{
+    std::size_t peakResident = 0;
+    std::size_t peakSharedPageBytes = 0;
+    std::uint64_t forks = 0;
+    std::uint64_t cowCopies = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t prefixEvictions = 0;
+    std::uint64_t prefixRestores = 0;
+    std::uint64_t corruptionsSilent = 0;
+    std::size_t sampleBlobBytes = 0; ///< one forked snapshot's size
+    bool bitIdentical = true;
+};
+
+bool
+rowsBitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(cta::core::Real)) == 0;
+}
+
+/**
+ * Runs one phase: N sessions over the same prompt (standalone or
+ * forked), kShareRounds decode rounds with evict/restore churn, and
+ * twin-probe bit-identity checks. Probe pair j is sessions (2j,
+ * 2j+1) with identical decode streams; the even one is evicted and
+ * restored, the odd one stays resident through rounds 0-1 (the final
+ * cold cycle evicts everything, so round 2 compares two restored
+ * twins against each other — both passed through the blob codec and,
+ * in the forked phase, through prefix re-resolution).
+ */
+PhaseResult
+runSharePhase(bool share, Index sessions,
+              const cta::nn::AttentionHeadParams &params,
+              const Matrix &prompt, const std::vector<Matrix> &decode,
+              Index probe_pairs, std::size_t budget)
+{
+    cta::serve::SessionManager manager(params,
+                                       cta::serve::ServeConfig{},
+                                       kTokenDim, budget,
+                                       kSharePageBytes);
+    cta::serve::Batcher batcher(manager);
+    PhaseResult result;
+
+    const auto trackPeak = [&] {
+        const auto stats = manager.stats();
+        result.peakResident =
+            std::max(result.peakResident, stats.residentBytes);
+        result.peakSharedPageBytes =
+            std::max(result.peakSharedPageBytes,
+                     stats.sharedPageBytes);
+    };
+
+    Index parent = -1;
+    if (share)
+        parent = manager.createSession(prompt);
+    std::vector<Index> ids;
+    ids.reserve(static_cast<std::size_t>(sessions));
+    for (Index i = 0; i < sessions; ++i)
+        ids.push_back(share ? batcher.forkSession(parent)
+                            : manager.createSession(prompt));
+    trackPeak();
+
+    std::vector<std::vector<Matrix>> probe_out(
+        static_cast<std::size_t>(probe_pairs) * 2);
+    for (Index round = 0; round < kShareRounds; ++round) {
+        for (Index i = 0; i < sessions; ++i) {
+            const auto verdict = batcher.trySubmit(
+                ids[static_cast<std::size_t>(i)],
+                decode[static_cast<std::size_t>(i)].row(round));
+            if (verdict != cta::serve::SubmitResult::Accepted) {
+                std::fprintf(stderr, "round %lld: submit rejected: %s\n",
+                             static_cast<long long>(round),
+                             cta::serve::toString(verdict));
+                result.bitIdentical = false;
+                return result;
+            }
+        }
+        const auto results = batcher.flush();
+        for (Index p = 0; p < probe_pairs * 2; ++p)
+            probe_out[static_cast<std::size_t>(p)].push_back(
+                results[static_cast<std::size_t>(p)].output);
+        trackPeak();
+
+        if (round == 0) {
+            // Churn: evict the even probe of every pair plus every
+            // 8th session; the next flush restores them on demand
+            // (forked sessions through their delta blob).
+            for (Index p = 0; p < probe_pairs; ++p)
+                manager.evict(ids[static_cast<std::size_t>(2 * p)]);
+            for (Index i = 0; i < sessions; i += 8)
+                manager.evict(ids[static_cast<std::size_t>(i)]);
+            if (sessions > 0 &&
+                manager.isEvicted(ids[0]))
+                result.sampleBlobBytes = manager.evictedBlobBytes() /
+                                         std::max<std::size_t>(
+                                             1, manager.stats().evicted);
+        } else if (round == 1) {
+            // Full cold cycle: every session and (once all its
+            // children are cold) the prefix donor go to blobs. Round
+            // 2 then restores the world — children re-resolve the
+            // prefix from its own snapshot first.
+            for (Index i = 0; i < sessions; ++i)
+                manager.evict(ids[static_cast<std::size_t>(i)]);
+            if (parent >= 0)
+                manager.evict(parent);
+            for (std::int64_t pid = 0; pid < manager.prefixCount();
+                 ++pid)
+                manager.evictPrefixIfCold(pid);
+        }
+    }
+
+    // Twin probes must agree bitwise at every round: round 0 (both
+    // fresh), round 1 (even twin restored from its blob), round 2
+    // (both restored after the cold cycle).
+    for (Index p = 0; p < probe_pairs; ++p) {
+        const auto &even = probe_out[static_cast<std::size_t>(2 * p)];
+        const auto &odd =
+            probe_out[static_cast<std::size_t>(2 * p + 1)];
+        for (Index round = 0; round < kShareRounds; ++round)
+            if (!rowsBitIdentical(
+                    even[static_cast<std::size_t>(round)],
+                    odd[static_cast<std::size_t>(round)])) {
+                std::fprintf(stderr,
+                             "probe pair %lld diverged at round %lld "
+                             "(share=%d)\n",
+                             static_cast<long long>(p),
+                             static_cast<long long>(round),
+                             share ? 1 : 0);
+                result.bitIdentical = false;
+            }
+    }
+
+    const auto stats = manager.stats();
+    result.forks = stats.forks;
+    result.cowCopies = stats.cowCopies;
+    result.evictions = stats.evictions;
+    result.restores = stats.restores;
+    result.prefixEvictions = stats.prefixEvictions;
+    result.prefixRestores = stats.prefixRestores;
+    result.corruptionsSilent = stats.corruptionsSilent;
+    return result;
+}
+
+int
+runPrefixShare(Index sessions, bool smoke)
+{
+    // Equal budget for both phases. A generous (or unlimited) budget
+    // keeps the comparison about footprint, not eviction policy; the
+    // churn is driven explicitly.
+    const std::size_t budget =
+        cta::serve::SessionManager::memBudgetFromEnv();
+    const Index probe_pairs = std::min<Index>(16, sessions / 2);
+
+    std::printf("==== serve soak (prefix share): %lld sessions "
+                "forked from one %lld-token prompt ====\n\n",
+                static_cast<long long>(sessions),
+                static_cast<long long>(kSharePrefill));
+
+    Rng rng(23);
+    const auto params = cta::nn::AttentionHeadParams::randomInit(
+        kTokenDim, kHeadDim, rng);
+    const Matrix prompt = clusteredTokens(kSharePrefill, 4242);
+    // Per-session decode streams, shared by both phases so the two
+    // runs do identical work. Probe twins (2j, 2j+1) share a stream.
+    std::vector<Matrix> decode;
+    decode.reserve(static_cast<std::size_t>(sessions));
+    for (Index i = 0; i < sessions; ++i) {
+        const bool probe = i < probe_pairs * 2;
+        const auto seed = probe
+            ? 5000 + static_cast<std::uint64_t>(i / 2)
+            : 9000 + static_cast<std::uint64_t>(i);
+        decode.push_back(clusteredTokens(kShareRounds, seed));
+    }
+
+    std::printf("  phase A: no sharing (every session pays the "
+                "prompt)\n");
+    const PhaseResult noshare = runSharePhase(
+        false, sessions, params, prompt, decode, probe_pairs, budget);
+    std::printf("    peak resident bytes  %zu\n", noshare.peakResident);
+    std::printf("  phase B: forked copy-on-write\n");
+    const PhaseResult share = runSharePhase(
+        true, sessions, params, prompt, decode, probe_pairs, budget);
+    std::printf("    peak resident bytes  %zu\n", share.peakResident);
+
+    const double ratio = noshare.peakResident == 0
+        ? 1.0
+        : static_cast<double>(share.peakResident) /
+            static_cast<double>(noshare.peakResident);
+    std::printf("\n  peak ratio (share/noshare)  %.3f\n", ratio);
+    std::printf("  shared page bytes (peak)    %zu\n",
+                share.peakSharedPageBytes);
+    std::printf("  forks                       %llu\n",
+                static_cast<unsigned long long>(share.forks));
+    std::printf("  cow copies                  %llu\n",
+                static_cast<unsigned long long>(share.cowCopies));
+    std::printf("  evict/restore               %llu / %llu\n",
+                static_cast<unsigned long long>(share.evictions),
+                static_cast<unsigned long long>(share.restores));
+    std::printf("  prefix evict/restore        %llu / %llu\n",
+                static_cast<unsigned long long>(share.prefixEvictions),
+                static_cast<unsigned long long>(share.prefixRestores));
+    std::printf("  avg forked blob bytes       %zu\n",
+                share.sampleBlobBytes);
+    std::printf("  bit identical               %s\n",
+                share.bitIdentical && noshare.bitIdentical ? "yes"
+                                                           : "no");
+
+    std::FILE *out = std::fopen("BENCH_serve_soak.json", "w");
+    if (!out) {
+        std::printf("  [could not open BENCH_serve_soak.json]\n");
+        return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"benchmark\": \"serve_soak\",\n"
+        "  \"mode\": \"prefix_share\",\n"
+        "  \"smoke\": %s,\n"
+        "  \"token_dim\": %lld,\n"
+        "  \"head_dim\": %lld,\n"
+        "  \"page_bytes\": %zu,\n"
+        "  \"budget_bytes\": %zu,\n"
+        "  \"sessions\": %lld,\n"
+        "  \"prefill_tokens\": %lld,\n"
+        "  \"decode_rounds\": %lld,\n"
+        "  \"probe_pairs\": %lld,\n"
+        "  \"peak_noshare\": %zu,\n"
+        "  \"peak_share\": %zu,\n"
+        "  \"ratio\": %.6f,\n"
+        "  \"shared_page_bytes\": %zu,\n"
+        "  \"forks\": %llu,\n"
+        "  \"cow_copies\": %llu,\n"
+        "  \"evictions\": %llu,\n"
+        "  \"restores\": %llu,\n"
+        "  \"prefix_evictions\": %llu,\n"
+        "  \"prefix_restores\": %llu,\n"
+        "  \"avg_forked_blob_bytes\": %zu,\n"
+        "  \"bit_identical\": %s,\n"
+        "  \"corruptions_silent\": %llu\n}\n",
+        smoke ? "true" : "false", static_cast<long long>(kTokenDim),
+        static_cast<long long>(kHeadDim), kSharePageBytes, budget,
+        static_cast<long long>(sessions),
+        static_cast<long long>(kSharePrefill),
+        static_cast<long long>(kShareRounds),
+        static_cast<long long>(probe_pairs), noshare.peakResident,
+        share.peakResident, ratio, share.peakSharedPageBytes,
+        static_cast<unsigned long long>(share.forks),
+        static_cast<unsigned long long>(share.cowCopies),
+        static_cast<unsigned long long>(share.evictions),
+        static_cast<unsigned long long>(share.restores),
+        static_cast<unsigned long long>(share.prefixEvictions),
+        static_cast<unsigned long long>(share.prefixRestores),
+        share.sampleBlobBytes,
+        share.bitIdentical && noshare.bitIdentical ? "true" : "false",
+        static_cast<unsigned long long>(share.corruptionsSilent +
+                                        noshare.corruptionsSilent));
+    std::fclose(out);
+    std::printf("  [data written to BENCH_serve_soak.json]\n");
+    if (cta::obs::writeSidecars("BENCH_serve_soak"))
+        std::printf("  [trace + metrics sidecars written]\n");
+
+    bool ok = true;
+    if (!share.bitIdentical || !noshare.bitIdentical) {
+        std::fprintf(stderr, "FAILED: probe outputs not bit-identical "
+                             "across evict/restore\n");
+        ok = false;
+    }
+    if (ratio >= 0.25) {
+        std::fprintf(stderr,
+                     "FAILED: peak share ratio %.3f >= 0.25\n", ratio);
+        ok = false;
+    }
+    if (share.peakSharedPageBytes < kSharePageBytes) {
+        std::fprintf(stderr, "FAILED: no arena page was ever shared\n");
+        ok = false;
+    }
+    if (share.forks != static_cast<std::uint64_t>(sessions)) {
+        std::fprintf(stderr, "FAILED: expected %lld forks, saw %llu\n",
+                     static_cast<long long>(sessions),
+                     static_cast<unsigned long long>(share.forks));
+        ok = false;
+    }
+    if (share.prefixEvictions < 1 || share.prefixRestores < 1) {
+        std::fprintf(stderr, "FAILED: cold cycle never evicted or "
+                             "re-resolved the prefix donor\n");
+        ok = false;
+    }
+    if (share.corruptionsSilent + noshare.corruptionsSilent != 0) {
+        std::fprintf(stderr, "FAILED: silent snapshot corruption\n");
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    bool prefix_share = false;
+    Index share_sessions = 10000;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--prefix-share") == 0)
+            prefix_share = true;
+        else if (std::strcmp(argv[i], "--sessions") == 0 &&
+                 i + 1 < argc)
+            share_sessions = std::atoll(argv[++i]);
+    }
+
+    if (prefix_share)
+        return runPrefixShare(share_sessions, smoke);
 
     const Index total_sessions = smoke ? 48 : 2048;
     const Index arrivals_per_round = smoke ? 8 : 64;
@@ -207,6 +542,7 @@ main(int argc, char **argv)
     }
     std::fprintf(out,
                  "{\n  \"benchmark\": \"serve_soak\",\n"
+                 "  \"mode\": \"classic\",\n"
                  "  \"smoke\": %s,\n"
                  "  \"token_dim\": %lld,\n"
                  "  \"head_dim\": %lld,\n"

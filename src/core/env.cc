@@ -27,6 +27,55 @@ parseEnvReal(const char *text, const char *what)
     return parsed;
 }
 
+std::size_t
+parseEnvBytes(const char *text, const char *what)
+{
+    if (text == nullptr || *text == '\0' ||
+        std::isspace(static_cast<unsigned char>(*text)))
+        CTA_FATAL("empty ", what);
+    if (*text == '-' || *text == '+')
+        CTA_FATAL(what, " must be a positive byte count, got '", text,
+                  "'");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text)
+        CTA_FATAL("malformed ", what, " '", text,
+                  "': expected a byte count like 1048576 or 64M");
+    if (errno == ERANGE)
+        CTA_FATAL(what, " '", text, "' out of range");
+    std::size_t multiplier = 1;
+    if (*end != '\0') {
+        switch (*end) {
+        case 'k': case 'K': multiplier = 1ull << 10; break;
+        case 'm': case 'M': multiplier = 1ull << 20; break;
+        case 'g': case 'G': multiplier = 1ull << 30; break;
+        default:
+            CTA_FATAL("malformed ", what, " '", text,
+                      "': expected a byte count like 1048576 or 64M");
+        }
+        if (*(end + 1) != '\0')
+            CTA_FATAL("malformed ", what, " '", text,
+                      "': expected a byte count like 1048576 or 64M");
+    }
+    if (parsed == 0)
+        CTA_FATAL(what, " must be a positive byte count, got '", text,
+                  "'");
+    constexpr unsigned long long kMax = ~0ull;
+    if (parsed > kMax / multiplier)
+        CTA_FATAL(what, " '", text, "' out of range");
+    return static_cast<std::size_t>(parsed * multiplier);
+}
+
+std::optional<std::size_t>
+envBytes(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return std::nullopt;
+    return parseEnvBytes(text, name);
+}
+
 const char *
 envString(const char *name)
 {

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 namespace cta::core {
@@ -35,5 +36,17 @@ std::optional<long> envInt(const char *name);
 
 /** @p name parsed via parseEnvReal; nullopt when unset. */
 std::optional<double> envReal(const char *name);
+
+/**
+ * Strictly parses @p text as a positive byte count: a base-10
+ * integer with an optional single `K`/`M`/`G` suffix (case-
+ * insensitive, powers of 1024). Fatal (naming @p what) on empty
+ * input, sign characters, zero, trailing garbage, or overflow —
+ * "64M" is 67108864; "64MB", "-5" and "0" are configuration errors.
+ */
+std::size_t parseEnvBytes(const char *text, const char *what);
+
+/** @p name parsed via parseEnvBytes; nullopt when unset. */
+std::optional<std::size_t> envBytes(const char *name);
 
 } // namespace cta::core

@@ -46,6 +46,24 @@ MapClusterTree::assign(std::span<const std::int32_t> code)
     return it->second;
 }
 
+Index
+MapClusterTree::find(std::span<const std::int32_t> code) const
+{
+    CTA_REQUIRE(static_cast<Index>(code.size()) == hashLen_,
+                "code length ", code.size(), " != ", hashLen_);
+    Index node = 0;
+    for (Index depth = 0; depth < hashLen_; ++depth) {
+        const auto &children =
+            nodes_[static_cast<std::size_t>(node)].children;
+        const auto it =
+            children.find(code[static_cast<std::size_t>(depth)]);
+        if (it == children.end())
+            return -1;
+        node = it->second;
+    }
+    return node; // leaf map stored the cluster index directly
+}
+
 std::size_t
 MapClusterTree::stateBytes() const
 {
@@ -115,8 +133,36 @@ LinearClusterTree::assign(std::span<const std::int32_t> code)
 }
 
 IncrementalClusterTable::IncrementalClusterTable(Index hash_len)
-    : tree_(hash_len)
+    : IncrementalClusterTable(hash_len,
+                              std::make_shared<core::PageArena>(
+                                  core::PageArena::pageBytesFromEnv()))
 {
+}
+
+IncrementalClusterTable::IncrementalClusterTable(
+    Index hash_len, std::shared_ptr<core::PageArena> arena)
+    : hashLen_(hash_len),
+      overlay_(hash_len),
+      assignments_(arena),
+      clusterCodes_(std::move(arena))
+{
+}
+
+Index
+IncrementalClusterTable::assignCode(
+    std::span<const std::int32_t> code)
+{
+    if (base_) {
+        const Index hit = base_->find(code);
+        if (hit >= 0)
+            return hit;
+    }
+    const Index before = overlay_.numClusters();
+    const Index cluster = baseClusters_ + overlay_.assign(code);
+    if (overlay_.numClusters() != before)
+        for (const std::int32_t v : code)
+            clusterCodes_.push_back(v);
+    return cluster;
 }
 
 Index
@@ -124,32 +170,65 @@ IncrementalClusterTable::append(std::span<const std::int32_t> code)
 {
     CTA_TRACE_SCOPE("cluster.append");
     CTA_OBS_COUNT("cluster.appends", 1);
-    const Index before = tree_.numClusters();
-    const Index cluster = tree_.assign(code);
-    if (tree_.numClusters() != before)
-        clusterCodes_.insert(clusterCodes_.end(), code.begin(),
-                             code.end());
-    table_.table.push_back(cluster);
-    table_.numClusters = tree_.numClusters();
+    const Index cluster = assignCode(code);
+    assignments_.push_back(cluster);
     return cluster;
+}
+
+ClusterTable
+IncrementalClusterTable::table() const
+{
+    ClusterTable ct;
+    ct.table.reserve(static_cast<std::size_t>(assignments_.size()));
+    for (std::size_t i = 0; i < assignments_.size(); ++i)
+        ct.table.push_back(assignments_[i]);
+    ct.numClusters = numClusters();
+    return ct;
 }
 
 ClusterTableSnapshot
 IncrementalClusterTable::saveState() const
 {
     ClusterTableSnapshot snap;
-    snap.hashLen = tree_.hashLen();
-    snap.table = table_.table;
-    snap.clusterCodes = clusterCodes_;
+    snap.hashLen = hashLen_;
+    snap.table = tableSuffix(0);
+    snap.clusterCodes = codeSuffix(0);
     return snap;
+}
+
+std::vector<Index>
+IncrementalClusterTable::tableSuffix(Index from) const
+{
+    CTA_REQUIRE(from >= 0 && from <= size(), "table suffix start ",
+                from, " out of range [0, ", size(), "]");
+    std::vector<Index> suffix;
+    suffix.reserve(static_cast<std::size_t>(size() - from));
+    for (Index i = from; i < size(); ++i)
+        suffix.push_back(assignments_[static_cast<std::size_t>(i)]);
+    return suffix;
+}
+
+std::vector<std::int32_t>
+IncrementalClusterTable::codeSuffix(Index from_cluster) const
+{
+    CTA_REQUIRE(from_cluster >= 0 && from_cluster <= numClusters(),
+                "code suffix start ", from_cluster,
+                " out of range [0, ", numClusters(), "]");
+    std::vector<std::int32_t> codes;
+    codes.reserve(static_cast<std::size_t>(
+        (numClusters() - from_cluster) * hashLen_));
+    for (Index i = from_cluster * hashLen_;
+         i < numClusters() * hashLen_; ++i)
+        codes.push_back(clusterCodes_[static_cast<std::size_t>(i)]);
+    return codes;
 }
 
 void
 IncrementalClusterTable::restoreState(const ClusterTableSnapshot &snap)
 {
-    CTA_REQUIRE(snap.hashLen == tree_.hashLen(),
+    CTA_REQUIRE(snap.hashLen == hashLen_,
                 "snapshot hash length ", snap.hashLen,
-                " != table hash length ", tree_.hashLen());
+                " != table hash length ", hashLen_);
     CTA_REQUIRE(static_cast<Index>(snap.clusterCodes.size()) ==
                     snap.numClusters() * snap.hashLen,
                 "snapshot cluster codes not a multiple of hash "
@@ -169,18 +248,79 @@ IncrementalClusterTable::restoreState(const ClusterTableSnapshot &snap)
     for (const Index c : snap.table)
         CTA_REQUIRE(c >= 0 && c < k, "snapshot table entry ", c,
                     " outside [0, ", k, ")");
-    tree_ = std::move(tree);
-    table_.table = snap.table;
-    table_.numClusters = k;
-    clusterCodes_ = snap.clusterCodes;
+    base_.reset();
+    baseClusters_ = 0;
+    overlay_ = std::move(tree);
+    assignments_.clear();
+    for (const Index c : snap.table)
+        assignments_.push_back(c);
+    clusterCodes_.clear();
+    for (const std::int32_t v : snap.clusterCodes)
+        clusterCodes_.push_back(v);
+}
+
+void
+IncrementalClusterTable::restoreSuffix(
+    std::span<const Index> table_suffix,
+    std::span<const std::int32_t> code_suffix)
+{
+    CTA_REQUIRE(static_cast<Index>(code_suffix.size()) % hashLen_ ==
+                    0,
+                "delta cluster codes not a multiple of hash length");
+    const Index fresh =
+        static_cast<Index>(code_suffix.size()) / hashLen_;
+    for (Index c = 0; c < fresh; ++c) {
+        const std::span<const std::int32_t> code(
+            code_suffix.data() +
+                static_cast<std::size_t>(c * hashLen_),
+            static_cast<std::size_t>(hashLen_));
+        const Index expect = numClusters();
+        const Index got = assignCode(code);
+        CTA_REQUIRE(got == expect, "delta cluster code ", c,
+                    " resolves to existing cluster ", got,
+                    ", expected fresh cluster ", expect);
+    }
+    const Index k = numClusters();
+    for (const Index c : table_suffix) {
+        CTA_REQUIRE(c >= 0 && c < k, "delta table entry ", c,
+                    " outside [0, ", k, ")");
+        assignments_.push_back(c);
+    }
+}
+
+void
+IncrementalClusterTable::shareTree()
+{
+    auto tree = std::make_shared<MapClusterTree>(hashLen_);
+    const Index k = numClusters();
+    for (Index c = 0; c < k; ++c) {
+        std::vector<std::int32_t> code(
+            static_cast<std::size_t>(hashLen_));
+        for (Index j = 0; j < hashLen_; ++j)
+            code[static_cast<std::size_t>(j)] =
+                clusterCodes_[static_cast<std::size_t>(
+                    c * hashLen_ + j)];
+        const Index assigned = tree->assign(code);
+        CTA_REQUIRE(assigned == c, "stored cluster codes are not "
+                    "distinct first-seen codes: code ", c,
+                    " reassigned to ", assigned);
+    }
+    base_ = std::move(tree);
+    baseClusters_ = k;
+    overlay_ = MapClusterTree(hashLen_);
 }
 
 std::size_t
 IncrementalClusterTable::stateBytes() const
 {
-    return tree_.stateBytes() +
-           table_.table.capacity() * sizeof(Index) +
-           clusterCodes_.capacity() * sizeof(std::int32_t);
+    return overlay_.stateBytes() + assignments_.privateBytes() +
+           clusterCodes_.privateBytes();
+}
+
+std::size_t
+IncrementalClusterTable::sharedTreeBytes() const
+{
+    return base_ ? base_->stateBytes() : 0;
 }
 
 ClusterTable

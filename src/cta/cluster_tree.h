@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/page_arena.h"
 #include "core/types.h"
 #include "cta/lsh.h"
 
@@ -53,6 +55,10 @@ class MapClusterTree
      * starting at 0.
      */
     core::Index assign(std::span<const std::int32_t> code);
+
+    /** Lookup without insertion: the cluster index of @p code, or -1
+     *  when the code has never been assigned. */
+    core::Index find(std::span<const std::int32_t> code) const;
 
     /** Number of distinct clusters assigned so far. */
     core::Index numClusters() const { return clusterCount_; }
@@ -173,25 +179,50 @@ struct ClusterTableSnapshot
  * cluster index depends only on the codes before it), so after any
  * number of appends table() is bit-identical to buildClusterTable()
  * over the same code prefix — enforced by tests/serve_test.cc.
+ *
+ * Storage is paged (core::PageArena): the per-token assignments and
+ * the first-seen cluster codes live in arena pages, so copying a
+ * table (session fork) shares every page CoW. The trie itself splits
+ * into a frozen shared base (built by shareTree() at fork time,
+ * lookup-only) plus a small private overlay holding only clusters
+ * first seen after the fork — overlay cluster c gets dense index
+ * baseClusters + c, which is exactly the index a single tree would
+ * have assigned, because every base cluster was first seen before
+ * every overlay cluster.
  */
 class IncrementalClusterTable
 {
   public:
+    /** Standalone table with its own private arena. */
     explicit IncrementalClusterTable(core::Index hash_len);
+
+    IncrementalClusterTable(core::Index hash_len,
+                            std::shared_ptr<core::PageArena> arena);
 
     /** Appends one code; returns the cluster index it joined. */
     core::Index append(std::span<const std::int32_t> code);
 
-    /** The table over every code appended so far. */
-    const ClusterTable &table() const { return table_; }
+    /** Materializes the table over every code appended so far. */
+    ClusterTable table() const;
+
+    /** Per-token assignments, paged (no materialization). */
+    const core::PagedVector<core::Index> &assignments() const
+    {
+        return assignments_;
+    }
 
     /** Number of codes appended so far. */
     core::Index size() const
     {
-        return static_cast<core::Index>(table_.table.size());
+        return static_cast<core::Index>(assignments_.size());
     }
 
-    core::Index numClusters() const { return table_.numClusters; }
+    core::Index numClusters() const
+    {
+        return baseClusters_ + overlay_.numClusters();
+    }
+
+    core::Index hashLen() const { return hashLen_; }
 
     /** Compact serializable state (see ClusterTableSnapshot). */
     ClusterTableSnapshot saveState() const;
@@ -201,18 +232,54 @@ class IncrementalClusterTable
      * every future code exactly as the snapshotted tree would have
      * (assignment depends only on the set of codes seen, which the
      * snapshot carries in index order) — the evict/restore
-     * bit-identity contract of tests/serve_test.cc.
+     * bit-identity contract of tests/serve_test.cc. Drops any shared
+     * base tree.
      */
     void restoreState(const ClusterTableSnapshot &snap);
 
-    /** Estimated heap footprint (trie + table + stored codes). */
+    /**
+     * Delta restore on top of the current (prefix) state: each code
+     * in @p code_suffix must found a fresh cluster with the next
+     * sequential index, then @p table_suffix extends the per-token
+     * assignments. Fatal when the suffix is inconsistent with the
+     * present state — corrupt deltas never restore silently.
+     */
+    void restoreSuffix(std::span<const core::Index> table_suffix,
+                       std::span<const std::int32_t> code_suffix);
+
+    /** table()[from..): the assignments a delta snapshot carries. */
+    std::vector<core::Index> tableSuffix(core::Index from) const;
+
+    /** Flattened codes of clusters [from_cluster, numClusters()). */
+    std::vector<std::int32_t>
+    codeSuffix(core::Index from_cluster) const;
+
+    /**
+     * Freezes the current trie into a shared immutable base (replay
+     * of the first-seen codes — provably assigns identical indices)
+     * and resets the overlay. Called on a fork donor so children
+     * share one tree instead of deep-copying it.
+     */
+    void shareTree();
+
+    /** Privately-owned bytes: solely-owned pages, the page index, and
+     *  the overlay trie. Shared pages and the shared base tree are
+     *  priced elsewhere (arena / sharedTreeBytes). */
     std::size_t stateBytes() const;
 
+    /** Footprint of the frozen shared base tree, if any. */
+    std::size_t sharedTreeBytes() const;
+
   private:
-    MapClusterTree tree_;
-    ClusterTable table_;
+    core::Index assignCode(std::span<const std::int32_t> code);
+
+    core::Index hashLen_;
+    std::shared_ptr<const MapClusterTree> base_; ///< frozen, lookup-only
+    core::Index baseClusters_ = 0;
+    MapClusterTree overlay_; ///< clusters first seen after the fork
+    core::PagedVector<core::Index> assignments_;
     /** First-seen code of every cluster (numClusters x hashLen). */
-    std::vector<std::int32_t> clusterCodes_;
+    core::PagedVector<std::int32_t> clusterCodes_;
 };
 
 } // namespace cta::alg

@@ -86,31 +86,93 @@ aggregateProbabilities(const Matrix &s_bar,
 }
 
 void
+aggregateProbabilities(const Matrix &s_bar,
+                       const core::PagedVector<Index> &ct1,
+                       const core::PagedVector<Index> &ct2, Index k1,
+                       Matrix &ap, Matrix &row_sums, OpCounts *counts)
+{
+    CTA_TRACE_SCOPE("aggregate.probabilities");
+    CTA_REQUIRE(ct1.size() == ct2.size(), "CT1/CT2 size mismatch");
+    const Index k0 = s_bar.rows();
+    const Index k_total = s_bar.cols();
+    const auto n = static_cast<Index>(ct1.size());
+    ap = Matrix(k0, k_total);
+    row_sums = Matrix(k0, 1);
+    for (Index i = 0; i < k0; ++i) {
+        const Real *srow = s_bar.row(i).data();
+        Real *aprow = ap.row(i).data();
+        Wide total = 0;
+        for (Index j = 0; j < n; ++j) {
+            const Index c1 = ct1[static_cast<std::size_t>(j)];
+            const Index c2 = k1 + ct2[static_cast<std::size_t>(j)];
+            CTA_ASSERT(c1 >= 0 && c1 < k1 && c2 >= k1 && c2 < k_total,
+                       "cluster index out of range");
+            const Real p = std::exp(srow[c1] + srow[c2]);
+            aprow[c1] += p;
+            aprow[c2] += p;
+            total += 2.0 * p;
+        }
+        row_sums(i, 0) = static_cast<Real>(total);
+    }
+    if (counts) {
+        const auto k0u = static_cast<std::uint64_t>(k0);
+        const auto nu = static_cast<std::uint64_t>(n);
+        counts->exps += k0u * nu;
+        counts->adds += 3 * k0u * nu;
+    }
+}
+
+ClusterPairCounts::ClusterPairCounts()
+    : ClusterPairCounts(std::make_shared<core::PageArena>(
+          core::PageArena::pageBytesFromEnv()))
+{
+}
+
+ClusterPairCounts::ClusterPairCounts(
+    std::shared_ptr<core::PageArena> arena)
+    : pairs_(std::move(arena))
+{
+}
+
+void
 ClusterPairCounts::add(Index c1, Index c2)
 {
     CTA_REQUIRE(c1 >= 0 && c2 >= 0, "negative cluster index ", c1,
                 ", ", c2);
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(c1) << 32) |
-        static_cast<std::uint64_t>(c2);
-    const auto [it, inserted] = index_.try_emplace(key, pairs_.size());
-    if (inserted)
-        pairs_.push_back(Pair{c1, c2, 1});
-    else
-        ++pairs_[it->second].count;
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+        Pair p = pairs_[i];
+        if (p.c1 == c1 && p.c2 == c2) {
+            ++p.count;
+            pairs_.set(i, p);
+            ++tokens_;
+            return;
+        }
+    }
+    pairs_.push_back(Pair{c1, c2, 1});
     ++tokens_;
+}
+
+std::vector<ClusterPairCounts::Pair>
+ClusterPairCounts::pairs() const
+{
+    std::vector<Pair> out;
+    out.reserve(pairs_.size());
+    for (std::size_t i = 0; i < pairs_.size(); ++i)
+        out.push_back(pairs_[i]);
+    return out;
+}
+
+void
+ClusterPairCounts::clear()
+{
+    pairs_.clear();
+    tokens_ = 0;
 }
 
 std::size_t
 ClusterPairCounts::stateBytes() const
 {
-    // The map internals aren't visible; charge a bucket pointer plus
-    // a (key, value, next) record per entry, like the trie estimate.
-    return pairs_.capacity() * sizeof(Pair) +
-           index_.bucket_count() * sizeof(void *) +
-           index_.size() *
-               (sizeof(std::pair<std::uint64_t, std::size_t>) +
-                sizeof(void *));
+    return pairs_.privateBytes();
 }
 
 void
@@ -128,7 +190,8 @@ aggregateProbabilitiesGrouped(const Matrix &s_bar,
         const Real *srow = s_bar.row(i).data();
         Real *aprow = ap.row(i).data();
         Wide total = 0;
-        for (const auto &pair : pairs.pairs()) {
+        for (Index pi = 0; pi < pairs.pairCount(); ++pi) {
+            const ClusterPairCounts::Pair pair = pairs.pair(pi);
             const Index c1 = pair.c1;
             const Index c2 = k1 + pair.c2;
             CTA_ASSERT(c1 < k1 && c2 < k_total,
@@ -144,8 +207,7 @@ aggregateProbabilitiesGrouped(const Matrix &s_bar,
     }
     if (counts) {
         const auto k0u = static_cast<std::uint64_t>(k0);
-        const auto pu =
-            static_cast<std::uint64_t>(pairs.pairs().size());
+        const auto pu = static_cast<std::uint64_t>(pairs.pairCount());
         counts->exps += k0u * pu;
         counts->muls += k0u * pu;      // count weighting
         counts->adds += 3 * k0u * pu;  // s1+s2 and two AP merges
@@ -171,6 +233,28 @@ refreshProjectedRow(const nn::Linear &linear,
     }
     std::copy(y.row(0).begin(), y.row(0).end(),
               projected.row(row).begin());
+}
+
+void
+refreshProjectedRow(const nn::Linear &linear,
+                    std::span<const Real> centroid,
+                    core::PagedRows &projected, Index row,
+                    OpCounts *counts)
+{
+    CTA_REQUIRE(static_cast<Index>(centroid.size()) == linear.inDim(),
+                "centroid dim ", centroid.size(), " != linear in dim ",
+                linear.inDim());
+    CTA_REQUIRE(row >= 0 && row <= projected.rows(),
+                "projected row ", row, " out of range");
+    Matrix token(1, linear.inDim());
+    std::copy(centroid.begin(), centroid.end(), token.row(0).begin());
+    const Matrix y = linear.forward(token, counts);
+    if (row == projected.rows()) {
+        projected.appendRow(y.row(0));
+        return;
+    }
+    std::copy(y.row(0).begin(), y.row(0).end(),
+              projected.writableRow(row).begin());
 }
 
 LshParamSet

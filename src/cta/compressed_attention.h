@@ -23,11 +23,12 @@
 
 #pragma once
 
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/matrix.h"
 #include "core/op_counter.h"
+#include "core/page_arena.h"
 #include "cta/compression.h"
 #include "nn/attention.h"
 
@@ -175,6 +176,19 @@ void aggregateProbabilities(const core::Matrix &s_bar,
                             core::OpCounts *counts = nullptr);
 
 /**
+ * Same aggregation over paged cluster tables (identical arithmetic
+ * and accumulation order — bit-identical to the vector overload),
+ * so the serving layer's exact mode never materializes its paged
+ * per-token assignments.
+ */
+void aggregateProbabilities(
+    const core::Matrix &s_bar,
+    const core::PagedVector<core::Index> &ct1,
+    const core::PagedVector<core::Index> &ct2, core::Index k1,
+    core::Matrix &ap, core::Matrix &row_sums,
+    core::OpCounts *counts = nullptr);
+
+/**
  * Multiset of (level-1, level-2) cluster-pair occurrences over the KV
  * tokens, in first-seen order. A token's aggregated probability
  * p_j = exp(Sb[CT1[j]] + Sb[k1+CT2[j]]) depends only on its pair, so
@@ -192,21 +206,41 @@ class ClusterPairCounts
         core::Index count = 0;  ///< tokens with this pair
     };
 
-    /** Records one token's (c1, c2) assignment. */
+    /** Standalone counts with a private arena. */
+    ClusterPairCounts();
+
+    /** Counts stored in @p arena pages (session fork shares CoW). */
+    explicit ClusterPairCounts(std::shared_ptr<core::PageArena> arena);
+
+    /** Records one token's (c1, c2) assignment. add() scans the pair
+     *  list linearly — distinct pairs stay few, and dropping the old
+     *  dedup hash map is what makes a fork O(shared pages). */
     void add(core::Index c1, core::Index c2);
 
-    /** Distinct pairs in first-seen order (deterministic). */
-    const std::vector<Pair> &pairs() const { return pairs_; }
+    /** Materializes the distinct pairs in first-seen order. */
+    std::vector<Pair> pairs() const;
+
+    /** Distinct pairs recorded so far. */
+    core::Index pairCount() const
+    {
+        return static_cast<core::Index>(pairs_.size());
+    }
+
+    Pair pair(core::Index i) const
+    {
+        return pairs_[static_cast<std::size_t>(i)];
+    }
 
     /** Total tokens recorded. */
     core::Index tokens() const { return tokens_; }
 
-    /** Estimated heap footprint (pair vector + dedup map). */
+    void clear();
+
+    /** Privately-owned heap footprint (solely-owned pages + index). */
     std::size_t stateBytes() const;
 
   private:
-    std::vector<Pair> pairs_;
-    std::unordered_map<std::uint64_t, std::size_t> index_;
+    core::PagedVector<Pair> pairs_;
     core::Index tokens_ = 0;
 };
 
@@ -239,6 +273,13 @@ void aggregateProbabilitiesGrouped(const core::Matrix &s_bar,
 void refreshProjectedRow(const nn::Linear &linear,
                          std::span<const core::Real> centroid,
                          core::Matrix &projected, core::Index row,
+                         core::OpCounts *counts = nullptr);
+
+/** Same refresh into a paged row store (identical arithmetic; the
+ *  write privatises the touched page CoW). */
+void refreshProjectedRow(const nn::Linear &linear,
+                         std::span<const core::Real> centroid,
+                         core::PagedRows &projected, core::Index row,
                          core::OpCounts *counts = nullptr);
 
 } // namespace cta::alg

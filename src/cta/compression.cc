@@ -1,5 +1,6 @@
 #include "cta/compression.h"
 
+#include <cstring>
 #include <utility>
 
 #include "core/logging.h"
@@ -97,23 +98,40 @@ compressTwoLevel(const Matrix &x, const LshParams &params1,
 }
 
 IncrementalCompression::IncrementalCompression(LshParams params)
-    : params_(std::move(params)),
-      table_(params_.hashLen()),
-      codeBuf_(static_cast<std::size_t>(params_.hashLen()), 0)
+    : IncrementalCompression(
+          std::make_shared<const LshParams>(std::move(params)),
+          std::make_shared<core::PageArena>(
+              core::PageArena::pageBytesFromEnv()))
 {
 }
 
-std::span<const Real>
-IncrementalCompression::centroid(Index c) const
+IncrementalCompression::IncrementalCompression(
+    std::shared_ptr<const LshParams> params,
+    std::shared_ptr<core::PageArena> arena)
+    : params_(std::move(params)),
+      arena_(std::move(arena)),
+      table_(params_->hashLen(), arena_),
+      sums_(arena_, params_->dim()),
+      centroids_(arena_, params_->dim()),
+      codeBuf_(static_cast<std::size_t>(params_->hashLen()), 0)
 {
-    return level_.centroids.row(c);
+}
+
+CompressionLevel
+IncrementalCompression::level() const
+{
+    CompressionLevel level;
+    level.centroids = centroids_.toMatrix();
+    level.table = table_.tableSuffix(0);
+    level.numClusters = numClusters();
+    return level;
 }
 
 AppendResult
 IncrementalCompression::append(std::span<const Real> token,
                                core::OpCounts *counts)
 {
-    const Index d = params_.dim();
+    const Index d = params_->dim();
     CTA_REQUIRE(static_cast<Index>(token.size()) == d, "token dim ",
                 token.size(), " != compression dim ", d);
     {
@@ -121,20 +139,21 @@ IncrementalCompression::append(std::span<const Real> token,
         // and counter for the incremental path live here.
         CTA_TRACE_SCOPE("lsh.hash");
         CTA_OBS_COUNT("lsh.tokens_hashed", 1);
-        hashToken(token, params_, codeBuf_, counts);
+        hashToken(token, *params_, codeBuf_, counts);
     }
     const Index before = table_.numClusters();
     const Index c = table_.append(codeBuf_);
     AppendResult result{c, table_.numClusters() != before};
     if (result.newCluster) {
-        sums_.appendRows(Matrix(1, d));
-        level_.centroids.appendRows(Matrix(1, d));
+        sums_.appendZeroRow();
+        centroids_.appendZeroRow();
         members_.push_back(0);
     }
     // Running member sum in ascending token order — the accumulation
     // order aggregateCentroids uses, so sums stay bit-identical to a
-    // batch rebuild of the prefix.
-    Real *sum = sums_.row(c).data();
+    // batch rebuild of the prefix. writableRow privatises the page
+    // CoW first, so a forked session never touches its donor's rows.
+    Real *sum = sums_.writableRow(c).data();
     for (Index j = 0; j < d; ++j)
         sum[j] += token[static_cast<std::size_t>(j)];
     ++members_[static_cast<std::size_t>(c)];
@@ -143,11 +162,9 @@ IncrementalCompression::append(std::span<const Real> token,
     const Real inv =
         1.0f /
         static_cast<Real>(members_[static_cast<std::size_t>(c)]);
-    Real *crow = level_.centroids.row(c).data();
+    Real *crow = centroids_.writableRow(c).data();
     for (Index j = 0; j < d; ++j)
         crow[j] = sum[j] * inv;
-    level_.table.push_back(c);
-    level_.numClusters = table_.numClusters();
     if (counts) {
         // d adds into the sum plus a d-wide centroid refresh; the
         // refresh really happens once per append here (the batch path
@@ -163,7 +180,7 @@ IncrementalCompression::saveState() const
 {
     CompressionLevelSnapshot snap;
     snap.table = table_.saveState();
-    snap.sums = sums_;
+    snap.sums = sums_.toMatrix();
     snap.members = members_;
     return snap;
 }
@@ -172,7 +189,7 @@ void
 IncrementalCompression::restoreState(
     const CompressionLevelSnapshot &snap)
 {
-    const Index d = params_.dim();
+    const Index d = params_->dim();
     const Index k = snap.table.numClusters();
     CTA_REQUIRE(snap.sums.rows() == k && snap.sums.cols() == d,
                 "snapshot sums shape ", snap.sums.rows(), "x",
@@ -183,38 +200,173 @@ IncrementalCompression::restoreState(
     for (const Index m : snap.members)
         CTA_REQUIRE(m > 0, "snapshot cluster with no members");
     table_.restoreState(snap.table);
-    sums_ = snap.sums;
     members_ = snap.members;
+    sums_.clear();
+    centroids_.clear();
     // Re-derive every centroid exactly as append() left it: the mean
     // is always written as sum * (1/count), so the recomputed rows
     // are bit-identical to the evicted ones.
-    level_.centroids = Matrix(k, d);
+    std::vector<Real> mean(static_cast<std::size_t>(d));
     for (Index c = 0; c < k; ++c) {
+        sums_.appendRow(snap.sums.row(c));
         const Real inv =
             1.0f /
             static_cast<Real>(members_[static_cast<std::size_t>(c)]);
-        const Real *sum = sums_.row(c).data();
-        Real *crow = level_.centroids.row(c).data();
+        const Real *sum = snap.sums.row(c).data();
         for (Index j = 0; j < d; ++j)
-            crow[j] = sum[j] * inv;
+            mean[static_cast<std::size_t>(j)] = sum[j] * inv;
+        centroids_.appendRow(mean);
     }
-    level_.table = snap.table.table;
-    level_.numClusters = k;
+}
+
+CompressionLevelDelta
+IncrementalCompression::saveDelta(
+    const IncrementalCompression *base) const
+{
+    const Index d = params_->dim();
+    CompressionLevelDelta delta;
+    delta.baseTokens = base ? base->size() : 0;
+    delta.baseClusters = base ? base->numClusters() : 0;
+    CTA_REQUIRE(delta.baseTokens <= size() &&
+                    delta.baseClusters <= numClusters(),
+                "delta base (", delta.baseTokens, " tokens, ",
+                delta.baseClusters, " clusters) ahead of the level (",
+                size(), " tokens, ", numClusters(), " clusters)");
+    delta.tableSuffix = table_.tableSuffix(delta.baseTokens);
+    delta.codeSuffix = table_.codeSuffix(delta.baseClusters);
+    delta.members = members_;
+    // A base cluster diverged iff this level appended into it:
+    // member count or bitwise sum differs. (Member counts alone are
+    // not enough — an all-zero token leaves the sum bit-identical
+    // while changing the centroid through the count.)
+    for (Index c = 0; c < delta.baseClusters; ++c) {
+        const std::span<const Real> mine = sums_.row(c);
+        const std::span<const Real> theirs = base->sums_.row(c);
+        const bool diverged =
+            members_[static_cast<std::size_t>(c)] !=
+                base->members_[static_cast<std::size_t>(c)] ||
+            std::memcmp(mine.data(), theirs.data(),
+                        static_cast<std::size_t>(d) * sizeof(Real)) !=
+                0;
+        if (diverged)
+            delta.divergedRows.push_back(c);
+    }
+    delta.divergedSums =
+        Matrix(static_cast<Index>(delta.divergedRows.size()), d);
+    for (std::size_t i = 0; i < delta.divergedRows.size(); ++i) {
+        const std::span<const Real> src =
+            sums_.row(delta.divergedRows[i]);
+        std::memcpy(delta.divergedSums.row(static_cast<Index>(i))
+                        .data(),
+                    src.data(),
+                    static_cast<std::size_t>(d) * sizeof(Real));
+    }
+    delta.appendedSums =
+        Matrix(numClusters() - delta.baseClusters, d);
+    for (Index c = delta.baseClusters; c < numClusters(); ++c) {
+        const std::span<const Real> src = sums_.row(c);
+        std::memcpy(
+            delta.appendedSums.row(c - delta.baseClusters).data(),
+            src.data(), static_cast<std::size_t>(d) * sizeof(Real));
+    }
+    return delta;
+}
+
+void
+IncrementalCompression::restoreDelta(
+    const CompressionLevelDelta &delta)
+{
+    const Index d = params_->dim();
+    CTA_REQUIRE(size() == delta.baseTokens,
+                "delta base has ", delta.baseTokens,
+                " tokens, level has ", size());
+    CTA_REQUIRE(numClusters() == delta.baseClusters,
+                "delta base has ", delta.baseClusters,
+                " clusters, level has ", numClusters());
+    table_.restoreSuffix(delta.tableSuffix, delta.codeSuffix);
+    const Index k = numClusters();
+    CTA_REQUIRE(static_cast<Index>(delta.members.size()) == k,
+                "delta member counts ", delta.members.size(),
+                " != cluster count ", k);
+    for (const Index m : delta.members)
+        CTA_REQUIRE(m > 0, "delta cluster with no members");
+    CTA_REQUIRE(delta.appendedSums.rows() == k - delta.baseClusters &&
+                    (delta.appendedSums.rows() == 0 ||
+                     delta.appendedSums.cols() == d),
+                "delta appended sums shape ",
+                delta.appendedSums.rows(), "x",
+                delta.appendedSums.cols(), " != ",
+                k - delta.baseClusters, "x", d);
+    CTA_REQUIRE(delta.divergedSums.rows() ==
+                        static_cast<Index>(delta.divergedRows.size()) &&
+                    (delta.divergedSums.rows() == 0 ||
+                     delta.divergedSums.cols() == d),
+                "delta diverged sums shape mismatch");
+    // Non-diverged base clusters must agree with the delta's counts —
+    // a cheap consistency check that catches blob/base mismatches.
+    std::vector<bool> diverged(static_cast<std::size_t>(k), false);
+    for (const Index c : delta.divergedRows) {
+        CTA_REQUIRE(c >= 0 && c < delta.baseClusters,
+                    "delta diverged row ", c, " outside base [0, ",
+                    delta.baseClusters, ")");
+        diverged[static_cast<std::size_t>(c)] = true;
+    }
+    for (Index c = 0; c < delta.baseClusters; ++c)
+        if (!diverged[static_cast<std::size_t>(c)])
+            CTA_REQUIRE(
+                delta.members[static_cast<std::size_t>(c)] ==
+                    members_[static_cast<std::size_t>(c)],
+                "delta claims cluster ", c,
+                " unchanged but member counts differ");
+    members_ = delta.members;
+    std::vector<Real> mean(static_cast<std::size_t>(d));
+    const auto refreshRow = [&](Index c) {
+        const Real inv =
+            1.0f /
+            static_cast<Real>(members_[static_cast<std::size_t>(c)]);
+        const std::span<const Real> sum = sums_.row(c);
+        Real *crow = centroids_.writableRow(c).data();
+        for (Index j = 0; j < d; ++j)
+            crow[j] = sum[static_cast<std::size_t>(j)] * inv;
+    };
+    for (std::size_t i = 0; i < delta.divergedRows.size(); ++i) {
+        const Index c = delta.divergedRows[i];
+        const std::span<const Real> src =
+            delta.divergedSums.row(static_cast<Index>(i));
+        std::memcpy(sums_.writableRow(c).data(), src.data(),
+                    static_cast<std::size_t>(d) * sizeof(Real));
+        refreshRow(c);
+    }
+    for (Index r = 0; r < delta.appendedSums.rows(); ++r) {
+        sums_.appendRow(delta.appendedSums.row(r));
+        centroids_.appendZeroRow();
+        refreshRow(delta.baseClusters + r);
+    }
 }
 
 std::size_t
 IncrementalCompression::stateBytes() const
 {
-    return table_.stateBytes() + sums_.memoryBytes() +
-           members_.capacity() * sizeof(Index) +
-           level_.centroids.memoryBytes() +
-           level_.table.capacity() * sizeof(Index) +
-           codeBuf_.capacity() * sizeof(std::int32_t);
+    return table_.stateBytes() + sums_.privateBytes() +
+           centroids_.privateBytes() +
+           members_.capacity() * sizeof(Index) + scratchBytes();
 }
 
 IncrementalTwoLevelCompression::IncrementalTwoLevelCompression(
     LshParams params1, LshParams params2)
     : level1_(std::move(params1)), level2_(std::move(params2))
+{
+    CTA_REQUIRE(level1_.dim() == level2_.dim(),
+                "level-1/level-2 dims differ: ", level1_.dim(), " vs ",
+                level2_.dim());
+}
+
+IncrementalTwoLevelCompression::IncrementalTwoLevelCompression(
+    std::shared_ptr<const LshParams> params1,
+    std::shared_ptr<const LshParams> params2,
+    std::shared_ptr<core::PageArena> arena)
+    : level1_(std::move(params1), arena),
+      level2_(std::move(params2), std::move(arena))
 {
     CTA_REQUIRE(level1_.dim() == level2_.dim(),
                 "level-1/level-2 dims differ: ", level1_.dim(), " vs ",
@@ -267,11 +419,34 @@ IncrementalTwoLevelCompression::restoreState(
     level2_.restoreState(snap.level2);
 }
 
+TwoLevelDelta
+IncrementalTwoLevelCompression::saveDelta(
+    const IncrementalTwoLevelCompression *base) const
+{
+    return TwoLevelDelta{
+        level1_.saveDelta(base ? &base->level1_ : nullptr),
+        level2_.saveDelta(base ? &base->level2_ : nullptr)};
+}
+
+void
+IncrementalTwoLevelCompression::restoreDelta(const TwoLevelDelta &delta)
+{
+    level1_.restoreDelta(delta.level1);
+    level2_.restoreDelta(delta.level2);
+}
+
+void
+IncrementalTwoLevelCompression::shareTrees()
+{
+    level1_.shareTree();
+    level2_.shareTree();
+}
+
 std::size_t
 IncrementalTwoLevelCompression::stateBytes() const
 {
     return level1_.stateBytes() + level2_.stateBytes() +
-           residualBuf_.capacity() * sizeof(Real);
+           scratchBytes();
 }
 
 TwoLevelCompression

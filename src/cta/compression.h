@@ -13,9 +13,11 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/matrix.h"
+#include "core/page_arena.h"
 #include "cta/cluster_tree.h"
 #include "cta/lsh.h"
 
@@ -99,6 +101,38 @@ struct CompressionLevelSnapshot
 };
 
 /**
+ * Delta state of one compression level against a shared-prefix base:
+ * everything the level accumulated past the fork point, plus the base
+ * rows the child diverged from (a cluster diverges when the child
+ * appended into it — detected as a member-count or bitwise sum
+ * change; member counts alone are not enough because an all-zero
+ * token changes the count, and hence the centroid, without changing
+ * the sum). With no base (baseTokens == baseClusters == 0) the delta
+ * is a complete snapshot: restoreDelta() then rebuilds from empty.
+ *
+ * Centroids are absent for the same reason as in
+ * CompressionLevelSnapshot: every centroid row is always written as
+ * sum * (1/count), so recomputing diverged and appended rows lands on
+ * bit-identical values, and non-diverged rows still live in pages
+ * shared with the base.
+ */
+struct CompressionLevelDelta
+{
+    core::Index baseTokens = 0;
+    core::Index baseClusters = 0;
+    /** token -> cluster for tokens [baseTokens, size). */
+    std::vector<core::Index> tableSuffix;
+    /** First-seen codes of clusters [baseClusters, k), flattened. */
+    std::vector<std::int32_t> codeSuffix;
+    /** Full per-cluster member counts (all k clusters). */
+    std::vector<core::Index> members;
+    /** Base cluster ids whose sums/counts differ from the base. */
+    std::vector<core::Index> divergedRows;
+    core::Matrix divergedSums;  ///< |divergedRows| x d
+    core::Matrix appendedSums;  ///< (k - baseClusters) x d
+};
+
+/**
  * One streaming compression level for autoregressive decode: append()
  * hashes just the new token, inserts its code into the live cluster
  * tree, adds it into the cluster's running sum and refreshes only the
@@ -116,25 +150,47 @@ struct CompressionLevelSnapshot
 class IncrementalCompression
 {
   public:
+    /** Standalone level: copies @p params, owns a private arena. */
     explicit IncrementalCompression(LshParams params);
+
+    /** Serving-layer level: shares LSH parameters and the page arena
+     *  with every other session of the same manager. */
+    IncrementalCompression(std::shared_ptr<const LshParams> params,
+                           std::shared_ptr<core::PageArena> arena);
 
     /** Appends one token (length dim()); updates tree + centroid. */
     AppendResult append(std::span<const core::Real> token,
                         core::OpCounts *counts = nullptr);
 
-    /** Compression of every token appended so far. */
-    const CompressionLevel &level() const { return level_; }
+    /** Materializes the compression of every token appended so far. */
+    CompressionLevel level() const;
 
     /** Current centroid (mean) of cluster @p c. */
-    std::span<const core::Real> centroid(core::Index c) const;
-
-    /** Tokens appended so far. */
-    core::Index size() const
+    std::span<const core::Real> centroid(core::Index c) const
     {
-        return static_cast<core::Index>(level_.table.size());
+        return centroids_.row(c);
     }
 
-    core::Index dim() const { return params_.dim(); }
+    /** Tokens appended so far. */
+    core::Index size() const { return table_.size(); }
+
+    core::Index numClusters() const { return table_.numClusters(); }
+
+    core::Index dim() const { return params_->dim(); }
+
+    /** The live cluster table (paged assignments, no copy). */
+    const IncrementalClusterTable &clusters() const { return table_; }
+
+    /** Running member sums, paged (numClusters rows). */
+    const core::PagedRows &sums() const { return sums_; }
+
+    /** Current centroids, paged (numClusters rows). */
+    const core::PagedRows &centroidRows() const { return centroids_; }
+
+    const std::vector<core::Index> &memberCounts() const
+    {
+        return members_;
+    }
 
     /** Compact serializable state (no centroids, no trie). */
     CompressionLevelSnapshot saveState() const;
@@ -146,15 +202,48 @@ class IncrementalCompression
      */
     void restoreState(const CompressionLevelSnapshot &snap);
 
-    /** Estimated heap footprint of the live level. */
+    /**
+     * Delta against @p base (a frozen shared-prefix donor this level
+     * was forked from), or a complete snapshot when @p base is null.
+     */
+    CompressionLevelDelta
+    saveDelta(const IncrementalCompression *base) const;
+
+    /**
+     * Applies @p delta on top of the current state, which must be
+     * exactly the delta's base (token/cluster counts are verified
+     * fatally). For a full delta the level must be empty or is reset
+     * by the caller first.
+     */
+    void restoreDelta(const CompressionLevelDelta &delta);
+
+    /** Freezes the cluster trie into a shared base (fork donors). */
+    void shareTree() { table_.shareTree(); }
+
+    /** Privately-owned heap footprint of the live level: solely-owned
+     *  pages, page indexes, member counts, overlay trie, scratch.
+     *  Shared pages and shared base trees are priced elsewhere. */
     std::size_t stateBytes() const;
 
+    /** Scratch buffers (hash code buffer). */
+    std::size_t scratchBytes() const
+    {
+        return codeBuf_.capacity() * sizeof(std::int32_t);
+    }
+
+    /** Footprint of the frozen shared cluster tree, if any. */
+    std::size_t sharedTreeBytes() const
+    {
+        return table_.sharedTreeBytes();
+    }
+
   private:
-    LshParams params_;
+    std::shared_ptr<const LshParams> params_;
+    std::shared_ptr<core::PageArena> arena_;
     IncrementalClusterTable table_;
-    core::Matrix sums_;               ///< numClusters x d member sums
+    core::PagedRows sums_;      ///< numClusters x d member sums
+    core::PagedRows centroids_; ///< numClusters x d means
     std::vector<core::Index> members_;
-    CompressionLevel level_;
     std::vector<std::int32_t> codeBuf_;
 };
 
@@ -170,6 +259,13 @@ struct TwoLevelSnapshot
 {
     CompressionLevelSnapshot level1;
     CompressionLevelSnapshot level2;
+};
+
+/** Delta state of both levels against a shared-prefix base. */
+struct TwoLevelDelta
+{
+    CompressionLevelDelta level1;
+    CompressionLevelDelta level2;
 };
 
 /**
@@ -193,6 +289,11 @@ class IncrementalTwoLevelCompression
     IncrementalTwoLevelCompression(LshParams params1,
                                    LshParams params2);
 
+    IncrementalTwoLevelCompression(
+        std::shared_ptr<const LshParams> params1,
+        std::shared_ptr<const LshParams> params2,
+        std::shared_ptr<core::PageArena> arena);
+
     /** Appends one KV token to both levels. */
     TwoLevelAppendResult append(std::span<const core::Real> token,
                                 core::OpCounts *counts = nullptr);
@@ -210,8 +311,31 @@ class IncrementalTwoLevelCompression
      *  bit-identical to a never-snapshotted instance. */
     void restoreState(const TwoLevelSnapshot &snap);
 
-    /** Estimated heap footprint of both live levels. */
+    /** Delta of both levels against @p base (null -> full). */
+    TwoLevelDelta
+    saveDelta(const IncrementalTwoLevelCompression *base) const;
+
+    /** Applies @p delta on top of the current (base) state. */
+    void restoreDelta(const TwoLevelDelta &delta);
+
+    /** Freezes both cluster tries into shared bases (fork donors). */
+    void shareTrees();
+
+    /** Privately-owned heap footprint of both live levels (see
+     *  IncrementalCompression::stateBytes). */
     std::size_t stateBytes() const;
+
+    /** Scratch buffers owned at this layer (residual buffer). */
+    std::size_t scratchBytes() const
+    {
+        return residualBuf_.capacity() * sizeof(core::Real);
+    }
+
+    /** Footprint of the frozen shared cluster trees, if any. */
+    std::size_t sharedTreeBytes() const
+    {
+        return level1_.sharedTreeBytes() + level2_.sharedTreeBytes();
+    }
 
     /** Tokens appended so far. */
     core::Index size() const { return level1_.size(); }

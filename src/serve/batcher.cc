@@ -86,6 +86,15 @@ Batcher::addSession(std::unique_ptr<DecodeSession> session)
 }
 
 Index
+Batcher::forkSession(Index parent)
+{
+    CTA_REQUIRE(manager_ != nullptr,
+                "forkSession requires a manager-backed batcher "
+                "(prefix sharing lives in the SessionManager)");
+    return manager_->forkSession(parent);
+}
+
+Index
 Batcher::sessionCount() const
 {
     if (manager_)

@@ -115,6 +115,14 @@ class Batcher
      *  Fatal in managed mode — create sessions via the manager. */
     core::Index addSession(std::unique_ptr<DecodeSession> session);
 
+    /**
+     * Managed mode only: forks a new session off @p parent's current
+     * state via SessionManager::forkSession() — the child shares the
+     * parent's state pages copy-on-write and its snapshots serialize
+     * only its divergence. Fatal in direct mode.
+     */
+    core::Index forkSession(core::Index parent);
+
     core::Index sessionCount() const;
 
     /** The live session for @p id (restoring it first in managed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <string>
 #include <type_traits>
 #include <utility>
 
@@ -24,7 +25,11 @@ using core::Real;
 namespace {
 
 constexpr std::uint8_t kBlobMagic[4] = {'C', 'T', 'A', 'S'};
-constexpr std::uint32_t kBlobVersion = 2; // v2: CRC-32 trailer
+// v1: no checksum; v2: CRC-32 trailer, full-state levels; v3: delta
+// levels + shared-prefix reference. v1/v2 are rejected with a
+// distinct "legacy" diagnostic (their full-state payload cannot be
+// expressed as a v3 delta without the base they were taken against).
+constexpr std::uint32_t kBlobVersion = 3;
 
 /** Appends the raw little-endian bytes of @p value. */
 template <typename T>
@@ -46,6 +51,14 @@ putArray(std::vector<std::uint8_t> &out, const T *data,
     const auto at = out.size();
     out.resize(at + count * sizeof(T));
     std::memcpy(out.data() + at, data, count * sizeof(T));
+}
+
+void
+putMatrix(std::vector<std::uint8_t> &out, const Matrix &m)
+{
+    putScalar<std::int64_t>(out, m.rows());
+    putScalar<std::int64_t>(out, m.cols());
+    putArray(out, m.data(), static_cast<std::size_t>(m.size()));
 }
 
 /**
@@ -115,43 +128,61 @@ class BlobReader
     const char *error_ = "";
 };
 
-void
-putLevel(std::vector<std::uint8_t> &out,
-         const alg::CompressionLevelSnapshot &level)
+Matrix
+readMatrix(BlobReader &reader)
 {
-    putScalar<std::int64_t>(out, level.table.hashLen);
-    putArray(out, level.table.table.data(), level.table.table.size());
-    putArray(out, level.table.clusterCodes.data(),
-             level.table.clusterCodes.size());
-    putScalar<std::int64_t>(out, level.sums.rows());
-    putScalar<std::int64_t>(out, level.sums.cols());
-    putArray(out, level.sums.data(),
-             static_cast<std::size_t>(level.sums.size()));
-    putArray(out, level.members.data(), level.members.size());
-}
-
-alg::CompressionLevelSnapshot
-readLevel(BlobReader &reader)
-{
-    alg::CompressionLevelSnapshot level;
-    level.table.hashLen = reader.scalar<std::int64_t>();
-    level.table.table = reader.array<Index>();
-    level.table.clusterCodes = reader.array<std::int32_t>();
     const Index rows = reader.scalar<std::int64_t>();
     const Index cols = reader.scalar<std::int64_t>();
-    const std::vector<Real> sums = reader.array<Real>();
+    const std::vector<Real> values = reader.array<Real>();
     if (rows < 0 || cols < 0 ||
         static_cast<std::size_t>(rows) *
                 static_cast<std::size_t>(cols) !=
-            sums.size()) {
-        reader.fail("snapshot blob sums shape does not match its "
+            values.size()) {
+        reader.fail("snapshot blob matrix shape does not match its "
                     "value count");
-        return level;
+        return {};
     }
-    level.sums = Matrix(rows, cols);
-    std::copy(sums.begin(), sums.end(), level.sums.data());
-    level.members = reader.array<Index>();
-    return level;
+    Matrix out(rows, cols);
+    std::copy(values.begin(), values.end(), out.data());
+    return out;
+}
+
+void
+putDelta(std::vector<std::uint8_t> &out,
+         const alg::CompressionLevelDelta &delta)
+{
+    putScalar<std::int64_t>(out, delta.baseTokens);
+    putScalar<std::int64_t>(out, delta.baseClusters);
+    putArray(out, delta.tableSuffix.data(), delta.tableSuffix.size());
+    putArray(out, delta.codeSuffix.data(), delta.codeSuffix.size());
+    putArray(out, delta.members.data(), delta.members.size());
+    putArray(out, delta.divergedRows.data(),
+             delta.divergedRows.size());
+    putMatrix(out, delta.divergedSums);
+    putMatrix(out, delta.appendedSums);
+}
+
+alg::CompressionLevelDelta
+readDelta(BlobReader &reader)
+{
+    alg::CompressionLevelDelta delta;
+    delta.baseTokens = reader.scalar<std::int64_t>();
+    delta.baseClusters = reader.scalar<std::int64_t>();
+    delta.tableSuffix = reader.array<Index>();
+    delta.codeSuffix = reader.array<std::int32_t>();
+    delta.members = reader.array<Index>();
+    delta.divergedRows = reader.array<Index>();
+    delta.divergedSums = readMatrix(reader);
+    delta.appendedSums = readMatrix(reader);
+    if (!reader.ok())
+        return delta;
+    if (delta.baseTokens < 0 || delta.baseClusters < 0)
+        reader.fail("snapshot blob delta has negative base counts");
+    else if (delta.divergedSums.rows() !=
+             static_cast<Index>(delta.divergedRows.size()))
+        reader.fail("snapshot blob diverged-sums row count does not "
+                    "match its diverged-row list");
+    return delta;
 }
 
 } // namespace
@@ -167,8 +198,10 @@ serializeSnapshot(const SessionSnapshot &snap)
     out.insert(out.end(), std::begin(kBlobMagic), std::end(kBlobMagic));
     putScalar<std::uint32_t>(out, kBlobVersion);
     putScalar<std::int64_t>(out, snap.tokenDim);
-    putLevel(out, snap.kv.level1);
-    putLevel(out, snap.kv.level2);
+    putScalar<std::int64_t>(out, snap.prefixId);
+    putScalar<std::int64_t>(out, snap.prefixTokens);
+    putDelta(out, snap.kv.level1);
+    putDelta(out, snap.kv.level2);
     // CRC-32 trailer over everything above — detects every
     // single-byte flip and every truncation at restore time.
     putScalar<std::uint32_t>(out, core::crc32(out.data(), out.size()));
@@ -180,9 +213,9 @@ tryDeserializeSnapshot(std::span<const std::uint8_t> bytes,
                        SessionSnapshot *snap, std::string *error)
 {
     CTA_REQUIRE(snap != nullptr, "null snapshot out-parameter");
-    const auto fail = [error](const char *why) {
+    const auto fail = [error](std::string why) {
         if (error)
-            *error = why;
+            *error = std::move(why);
         return false;
     };
     constexpr std::size_t kTrailer = sizeof(std::uint32_t);
@@ -203,12 +236,22 @@ tryDeserializeSnapshot(std::span<const std::uint8_t> bytes,
         sizeof(kBlobMagic),
         bytes.size() - sizeof(kBlobMagic) - kTrailer));
     const auto version = reader.scalar<std::uint32_t>();
+    if (reader.ok() && (version == 1 || version == 2))
+        // Distinct from generic corruption: the blob is intact, it is
+        // just from an older serving build whose full-state layout
+        // this build no longer restores.
+        return fail("legacy session snapshot version " +
+                    std::to_string(version) +
+                    " is no longer supported; re-snapshot with the "
+                    "current serving build");
     if (reader.ok() && version != kBlobVersion)
         return fail("unsupported session snapshot version");
     SessionSnapshot out;
     out.tokenDim = reader.scalar<std::int64_t>();
-    out.kv.level1 = readLevel(reader);
-    out.kv.level2 = readLevel(reader);
+    out.prefixId = reader.scalar<std::int64_t>();
+    out.prefixTokens = reader.scalar<std::int64_t>();
+    out.kv.level1 = readDelta(reader);
+    out.kv.level2 = readDelta(reader);
     if (!reader.ok())
         return fail(reader.error());
     if (!reader.exhausted())
@@ -216,6 +259,15 @@ tryDeserializeSnapshot(std::span<const std::uint8_t> bytes,
     if (out.tokenDim <= 0)
         return fail("session snapshot token dimension must be "
                     "positive");
+    if (out.prefixId < -1)
+        return fail("session snapshot prefix id must be -1 or a "
+                    "valid prefix");
+    if (out.prefixTokens < 0)
+        return fail("session snapshot prefix token count must be "
+                    "non-negative");
+    if (out.prefixId < 0 && out.prefixTokens != 0)
+        return fail("standalone session snapshot carries a prefix "
+                    "token count");
     *snap = std::move(out);
     return true;
 }
@@ -232,36 +284,91 @@ deserializeSnapshot(std::span<const std::uint8_t> bytes)
 
 DecodeSession::DecodeSession(nn::AttentionHeadParams params,
                              ServeConfig config, Index token_dim)
-    : params_(std::move(params)),
-      config_(config),
-      lsh_(alg::sampleLshParams(config_.cta, token_dim)),
-      kv_(lsh_.lsh1, lsh_.lsh2),
-      tokenDim_(token_dim)
+    : DecodeSession(
+          std::make_shared<const nn::AttentionHeadParams>(
+              std::move(params)),
+          config, token_dim,
+          std::make_shared<const alg::LshParamSet>(
+              alg::sampleLshParams(config.cta, token_dim)),
+          std::make_shared<core::PageArena>(
+              core::PageArena::pageBytesFromEnv()))
 {
-    CTA_REQUIRE(params_.wq.inDim() == token_dim &&
-                params_.wk.inDim() == token_dim &&
-                params_.wv.inDim() == token_dim,
-                "head projections expect token dim ",
-                params_.wq.inDim(), ", session serves ", token_dim);
-    const Index d = params_.wk.outDim();
-    kBar1_ = Matrix(0, d);
-    kBar2_ = Matrix(0, d);
-    vBar1_ = Matrix(0, d);
-    vBar2_ = Matrix(0, d);
 }
 
-const Matrix &
+DecodeSession::DecodeSession(
+    std::shared_ptr<const nn::AttentionHeadParams> params,
+    ServeConfig config, Index token_dim,
+    std::shared_ptr<const alg::LshParamSet> lsh,
+    std::shared_ptr<core::PageArena> arena)
+    : params_(std::move(params)),
+      config_(config),
+      lsh_(std::move(lsh)),
+      arena_(std::move(arena)),
+      kv_(std::shared_ptr<const alg::LshParams>(lsh_, &lsh_->lsh1),
+          std::shared_ptr<const alg::LshParams>(lsh_, &lsh_->lsh2),
+          arena_),
+      kBar1_(arena_, params_->wk.outDim()),
+      kBar2_(arena_, params_->wk.outDim()),
+      vBar1_(arena_, params_->wv.outDim()),
+      vBar2_(arena_, params_->wv.outDim()),
+      pairs_(arena_),
+      tokenDim_(token_dim)
+{
+    CTA_REQUIRE(params_->wq.inDim() == token_dim &&
+                params_->wk.inDim() == token_dim &&
+                params_->wv.inDim() == token_dim,
+                "head projections expect token dim ",
+                params_->wq.inDim(), ", session serves ", token_dim);
+}
+
+std::unique_ptr<DecodeSession>
+DecodeSession::forkFrom(std::shared_ptr<const SharedPrefix> prefix)
+{
+    CTA_REQUIRE(prefix != nullptr, "null shared prefix");
+    CTA_OBS_COUNT("serve.session_forks", 1);
+    // The CoW copy bumps per-page refcounts — O(pages), no state
+    // copied. The donor's tries were flattened at freeze time, so the
+    // child's private overlay starts empty.
+    auto child = std::unique_ptr<DecodeSession>(
+        new DecodeSession(prefix->donor()));
+    child->prefix_ = std::move(prefix);
+    child->frozen_.reset();
+    child->lastStepOps_ = OpCounts{};
+    child->totalOps_ = OpCounts{};
+    return child;
+}
+
+std::shared_ptr<const SharedPrefix>
+DecodeSession::sharedPrefix(std::int64_t id)
+{
+    CTA_REQUIRE(!fallback_,
+                "cannot freeze a fallback session as a shared prefix "
+                "(its exact K/V caches are not CoW-shareable)");
+    if (frozen_)
+        return frozen_;
+    CTA_OBS_COUNT("serve.prefix_freezes", 1);
+    // Flatten the cluster tries into lookup-only shared bases first,
+    // so this session, the donor, and every child reference one tree
+    // instead of deep-copying trie nodes per fork.
+    kv_.shareTrees();
+    auto donor =
+        std::unique_ptr<const DecodeSession>(new DecodeSession(*this));
+    frozen_ = std::make_shared<const SharedPrefix>(id, std::move(donor));
+    return frozen_;
+}
+
+Matrix
 DecodeSession::kBar(int level) const
 {
     CTA_REQUIRE(level == 1 || level == 2, "level must be 1 or 2");
-    return level == 1 ? kBar1_ : kBar2_;
+    return level == 1 ? kBar1_.toMatrix() : kBar2_.toMatrix();
 }
 
-const Matrix &
+Matrix
 DecodeSession::vBar(int level) const
 {
     CTA_REQUIRE(level == 1 || level == 2, "level must be 1 or 2");
-    return level == 1 ? vBar1_ : vBar2_;
+    return level == 1 ? vBar1_.toMatrix() : vBar2_.toMatrix();
 }
 
 void
@@ -272,16 +379,16 @@ DecodeSession::ingest(std::span<const Real> token, OpCounts *counts)
     // exactly those cached projection rows (bit-identical to a full
     // forward over the centroid matrices — backend rows are
     // independent).
-    alg::refreshProjectedRow(params_.wk,
+    alg::refreshProjectedRow(params_->wk,
                              kv_.level1().centroid(r.level1.cluster),
                              kBar1_, r.level1.cluster, counts);
-    alg::refreshProjectedRow(params_.wv,
+    alg::refreshProjectedRow(params_->wv,
                              kv_.level1().centroid(r.level1.cluster),
                              vBar1_, r.level1.cluster, counts);
-    alg::refreshProjectedRow(params_.wk,
+    alg::refreshProjectedRow(params_->wk,
                              kv_.level2().centroid(r.level2.cluster),
                              kBar2_, r.level2.cluster, counts);
-    alg::refreshProjectedRow(params_.wv,
+    alg::refreshProjectedRow(params_->wv,
                              kv_.level2().centroid(r.level2.cluster),
                              vBar2_, r.level2.cluster, counts);
     pairs_.add(r.level1.cluster, r.level2.cluster);
@@ -308,6 +415,7 @@ DecodeSession::prefill(const Matrix &tokens)
                   static_cast<std::uint64_t>(tokens.rows()));
     CTA_REQUIRE(tokens.cols() == tokenDim_, "prefill token dim ",
                 tokens.cols(), " != session dim ", tokenDim_);
+    frozen_.reset(); // state mutates; any cached fork donor is stale
     const std::uint64_t faultsBefore = fault::threadInjections();
     OpCounts ops;
     std::vector<Real> cleaned;
@@ -341,6 +449,7 @@ DecodeSession::step(std::span<const Real> token)
     CTA_REQUIRE(static_cast<Index>(token.size()) == tokenDim_,
                 "step token dim ", token.size(), " != session dim ",
                 tokenDim_);
+    frozen_.reset(); // state mutates; any cached fork donor is stale
     std::vector<Real> cleaned;
     std::span<const Real> tok = token;
     if (config_.qualityGuard && !spanFinite(tok)) {
@@ -374,17 +483,17 @@ DecodeSession::step(std::span<const Real> token)
     CTA_TRACE_SCOPE("attention.decode");
     Matrix q(1, tokenDim_);
     std::copy(tok.begin(), tok.end(), q.row(0).begin());
-    const Matrix q_bar = params_.wq.forward(q, &ops);
+    const Matrix q_bar = params_->wq.forward(q, &ops);
 
     // Stages 3-5 mirror ctaAttentionFromCompression() operation for
     // operation (the bit-exactness contract), reading the cached
     // projections instead of reprojecting [C1; C2].
-    Matrix k_bar = kBar1_;
-    k_bar.appendRows(kBar2_);
-    Matrix v_bar = vBar1_;
-    v_bar.appendRows(vBar2_);
-    const Index k1 = kv_.level1().level().numClusters;
-    const Index k2 = kv_.level2().level().numClusters;
+    Matrix k_bar = kBar1_.toMatrix();
+    k_bar.appendRows(kBar2_.toMatrix());
+    Matrix v_bar = vBar1_.toMatrix();
+    v_bar.appendRows(vBar2_.toMatrix());
+    const Index k1 = kv_.level1().numClusters();
+    const Index k2 = kv_.level2().numClusters();
     const Index d = q_bar.cols();
 
     // Collapsed-cluster probe: a long context compressed to one
@@ -424,9 +533,10 @@ DecodeSession::step(std::span<const Real> token)
         alg::aggregateProbabilitiesGrouped(s_bar, pairs_, k1, ap,
                                            row_sums, &ops);
     } else {
-        alg::aggregateProbabilities(s_bar, kv_.level1().level().table,
-                                    kv_.level2().level().table, k1,
-                                    ap, row_sums, &ops);
+        alg::aggregateProbabilities(
+            s_bar, kv_.level1().clusters().assignments(),
+            kv_.level2().clusters().assignments(), k1, ap, row_sums,
+            &ops);
     }
 
     const Matrix o_bar = matmul(ap, v_bar, &ops);
@@ -496,8 +606,8 @@ DecodeSession::activateFallback(const char *reason,
         for (Index j = 0; j < tokenDim_; ++j)
             last[j] = token[j];
     }
-    kCache_ = params_.wk.forward(approx, counts);
-    vCache_ = params_.wv.forward(approx, counts);
+    kCache_ = params_->wk.forward(approx, counts);
+    vCache_ = params_->wv.forward(approx, counts);
 }
 
 void
@@ -506,8 +616,8 @@ DecodeSession::appendExactProjections(std::span<const Real> token,
 {
     Matrix t(1, tokenDim_);
     std::copy(token.begin(), token.end(), t.row(0).begin());
-    kCache_.appendRows(params_.wk.forward(t, counts));
-    vCache_.appendRows(params_.wv.forward(t, counts));
+    kCache_.appendRows(params_->wk.forward(t, counts));
+    vCache_.appendRows(params_->wv.forward(t, counts));
 }
 
 Matrix
@@ -520,7 +630,7 @@ DecodeSession::exactStep(std::span<const Real> token, OpCounts *counts)
                " out of sync with context length ", contextLength());
     Matrix q(1, tokenDim_);
     std::copy(token.begin(), token.end(), q.row(0).begin());
-    const Matrix q_bar = params_.wq.forward(q, counts);
+    const Matrix q_bar = params_->wq.forward(q, counts);
     const Index d = q_bar.cols();
     const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
     Matrix s = matmulTransB(q_bar, kCache_, counts);
@@ -534,19 +644,25 @@ DecodeSession::exactStep(std::span<const Real> token, OpCounts *counts)
 std::size_t
 DecodeSession::stateBytes() const
 {
-    std::size_t bytes = kv_.stateBytes() + pairs_.stateBytes() +
-                        kBar1_.memoryBytes() + kBar2_.memoryBytes() +
-                        vBar1_.memoryBytes() + vBar2_.memoryBytes() +
-                        kCache_.memoryBytes() + vCache_.memoryBytes();
+    return kv_.stateBytes() + pairs_.stateBytes() +
+           kBar1_.privateBytes() + kBar2_.privateBytes() +
+           vBar1_.privateBytes() + vBar2_.privateBytes() +
+           kCache_.memoryBytes() + vCache_.memoryBytes();
+}
+
+std::size_t
+DecodeSession::modelBytes() const
+{
+    std::size_t bytes = 0;
     for (const nn::Linear *linear :
-         {&params_.wq, &params_.wk, &params_.wv}) {
+         {&params_->wq, &params_->wk, &params_->wv}) {
         bytes += linear->weight().memoryBytes();
         if (linear->bias())
             bytes += linear->bias()->memoryBytes();
     }
-    bytes += lsh_.lsh0.a.memoryBytes() + lsh_.lsh0.b.memoryBytes() +
-             lsh_.lsh1.a.memoryBytes() + lsh_.lsh1.b.memoryBytes() +
-             lsh_.lsh2.a.memoryBytes() + lsh_.lsh2.b.memoryBytes();
+    bytes += lsh_->lsh0.a.memoryBytes() + lsh_->lsh0.b.memoryBytes() +
+             lsh_->lsh1.a.memoryBytes() + lsh_->lsh1.b.memoryBytes() +
+             lsh_->lsh2.a.memoryBytes() + lsh_->lsh2.b.memoryBytes();
     return bytes;
 }
 
@@ -555,7 +671,13 @@ DecodeSession::snapshot() const
 {
     SessionSnapshot snap;
     snap.tokenDim = tokenDim_;
-    snap.kv = kv_.saveState();
+    if (prefix_) {
+        snap.prefixId = prefix_->id();
+        snap.prefixTokens = prefix_->tokens();
+        snap.kv = kv_.saveDelta(&prefix_->donor().kv());
+    } else {
+        snap.kv = kv_.saveDelta(nullptr);
+    }
     return snap;
 }
 
@@ -570,43 +692,124 @@ DecodeSession::restore(const SessionSnapshot &snap)
     // sessions are pinned resident by the SessionManager precisely so
     // they never round-trip through one); restoring means adopting
     // the snapshot's compressed state wholesale.
+    frozen_.reset();
     fallback_ = false;
     fallbackReason_ = "";
     kCache_ = Matrix();
     vCache_ = Matrix();
-    kv_.restoreState(snap.kv);
 
-    // The pair multiset is fully determined by the two cluster
-    // tables: replaying them in token order performs the exact add()
-    // sequence the live session performed.
-    const std::vector<Index> &ct1 = kv_.level1().level().table;
-    const std::vector<Index> &ct2 = kv_.level2().level().table;
-    pairs_ = alg::ClusterPairCounts();
-    for (std::size_t i = 0; i < ct1.size(); ++i)
-        pairs_.add(ct1[i], ct2[i]);
+    const Index d = params_->wk.outDim();
+    if (snap.prefixId >= 0) {
+        CTA_REQUIRE(prefix_ != nullptr,
+                    "snapshot references shared prefix ",
+                    snap.prefixId, " but the session is standalone");
+        CTA_REQUIRE(prefix_->id() == snap.prefixId,
+                    "snapshot references shared prefix ",
+                    snap.prefixId, ", session is forked from prefix ",
+                    prefix_->id());
+        CTA_REQUIRE(snap.prefixTokens == prefix_->tokens(),
+                    "snapshot fork point ", snap.prefixTokens,
+                    " does not match the prefix donor's ",
+                    prefix_->tokens(), " tokens");
+        // Re-adopt the donor state CoW (O(pages) refcount bumps —
+        // this also rolls back any divergence this instance had),
+        // then apply the private delta on top.
+        const DecodeSession &donor = prefix_->donor();
+        kv_ = donor.kv_;
+        kBar1_ = donor.kBar1_;
+        kBar2_ = donor.kBar2_;
+        vBar1_ = donor.vBar1_;
+        vBar2_ = donor.vBar2_;
+        pairs_ = donor.pairs_;
+        kv_.restoreDelta(snap.kv);
 
-    // Cached projections: a live session's row r holds
-    // refreshProjectedRow() of the *final* centroid r (every earlier
-    // write was overwritten), so re-projecting each centroid once
-    // reproduces the cache bit-for-bit.
-    const Index d = params_.wk.outDim();
-    kBar1_ = Matrix(0, d);
-    kBar2_ = Matrix(0, d);
-    vBar1_ = Matrix(0, d);
-    vBar2_ = Matrix(0, d);
-    const Index k1 = kv_.level1().level().numClusters;
-    const Index k2 = kv_.level2().level().numClusters;
-    for (Index c = 0; c < k1; ++c) {
-        alg::refreshProjectedRow(params_.wk, kv_.level1().centroid(c),
-                                 kBar1_, c);
-        alg::refreshProjectedRow(params_.wv, kv_.level1().centroid(c),
-                                 vBar1_, c);
-    }
-    for (Index c = 0; c < k2; ++c) {
-        alg::refreshProjectedRow(params_.wk, kv_.level2().centroid(c),
-                                 kBar2_, c);
-        alg::refreshProjectedRow(params_.wv, kv_.level2().centroid(c),
-                                 vBar2_, c);
+        // The donor's pair multiset already covers the prefix tokens;
+        // replaying only the suffix performs the exact add() sequence
+        // the live forked session performed after the fork.
+        const core::PagedVector<Index> &ct1 =
+            kv_.level1().clusters().assignments();
+        const core::PagedVector<Index> &ct2 =
+            kv_.level2().clusters().assignments();
+        for (Index i = snap.prefixTokens; i < kv_.size(); ++i)
+            pairs_.add(ct1[static_cast<std::size_t>(i)],
+                       ct2[static_cast<std::size_t>(i)]);
+
+        // Cached projections: only centroids the delta touched
+        // (diverged base rows + appended clusters) changed; rows of
+        // untouched clusters are bit-identical and stay in pages
+        // shared with the donor.
+        const auto refreshLevel =
+            [this](const alg::IncrementalCompression &level,
+                   const alg::CompressionLevelDelta &delta,
+                   core::PagedRows &k_rows, core::PagedRows &v_rows) {
+                for (const Index c : delta.divergedRows) {
+                    alg::refreshProjectedRow(params_->wk,
+                                             level.centroid(c),
+                                             k_rows, c);
+                    alg::refreshProjectedRow(params_->wv,
+                                             level.centroid(c),
+                                             v_rows, c);
+                }
+                for (Index c = delta.baseClusters;
+                     c < level.numClusters(); ++c) {
+                    alg::refreshProjectedRow(params_->wk,
+                                             level.centroid(c),
+                                             k_rows, c);
+                    alg::refreshProjectedRow(params_->wv,
+                                             level.centroid(c),
+                                             v_rows, c);
+                }
+            };
+        refreshLevel(kv_.level1(), snap.kv.level1, kBar1_, vBar1_);
+        refreshLevel(kv_.level2(), snap.kv.level2, kBar2_, vBar2_);
+    } else {
+        // Standalone snapshot: rebuild everything from the full
+        // (base-less) delta.
+        prefix_.reset();
+        kv_ = alg::IncrementalTwoLevelCompression(
+            std::shared_ptr<const alg::LshParams>(lsh_, &lsh_->lsh1),
+            std::shared_ptr<const alg::LshParams>(lsh_, &lsh_->lsh2),
+            arena_);
+        kv_.restoreDelta(snap.kv);
+
+        // The pair multiset is fully determined by the two cluster
+        // tables: replaying them in token order performs the exact
+        // add() sequence the live session performed.
+        const core::PagedVector<Index> &ct1 =
+            kv_.level1().clusters().assignments();
+        const core::PagedVector<Index> &ct2 =
+            kv_.level2().clusters().assignments();
+        pairs_ = alg::ClusterPairCounts(arena_);
+        for (Index i = 0; i < kv_.size(); ++i)
+            pairs_.add(ct1[static_cast<std::size_t>(i)],
+                       ct2[static_cast<std::size_t>(i)]);
+
+        // Cached projections: a live session's row r holds
+        // refreshProjectedRow() of the *final* centroid r (every
+        // earlier write was overwritten), so re-projecting each
+        // centroid once reproduces the cache bit-for-bit.
+        kBar1_ = core::PagedRows(arena_, d);
+        kBar2_ = core::PagedRows(arena_, d);
+        vBar1_ = core::PagedRows(arena_, d);
+        vBar2_ = core::PagedRows(arena_, d);
+        const Index k1 = kv_.level1().numClusters();
+        const Index k2 = kv_.level2().numClusters();
+        for (Index c = 0; c < k1; ++c) {
+            alg::refreshProjectedRow(params_->wk,
+                                     kv_.level1().centroid(c), kBar1_,
+                                     c);
+            alg::refreshProjectedRow(params_->wv,
+                                     kv_.level1().centroid(c), vBar1_,
+                                     c);
+        }
+        for (Index c = 0; c < k2; ++c) {
+            alg::refreshProjectedRow(params_->wk,
+                                     kv_.level2().centroid(c), kBar2_,
+                                     c);
+            alg::refreshProjectedRow(params_->wv,
+                                     kv_.level2().centroid(c), vBar2_,
+                                     c);
+        }
     }
     lastStepOps_ = OpCounts{};
     totalOps_ = OpCounts{};

@@ -30,17 +30,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/matrix.h"
 #include "core/op_counter.h"
+#include "core/page_arena.h"
 #include "cta/compressed_attention.h"
 #include "cta/compression.h"
 #include "nn/attention.h"
 
 namespace cta::serve {
+
+class SharedPrefix;
 
 /** Serving-layer configuration of one decode session. */
 struct ServeConfig
@@ -71,16 +75,24 @@ struct ServeConfig
 
 /**
  * Serializable compression state of one DecodeSession. Holds only
- * the incremental KV compression; the projection weights, the pair
- * multiset and the cached centroid projections are all re-derivable
- * (weights are shared model state the owner re-supplies on restore,
- * the rest is recomputed bit-identically), so an evicted session
- * costs a fraction of its live footprint.
+ * the incremental KV compression *delta*: for a session forked from
+ * a shared prefix, just the privately-owned state past the fork
+ * point plus a reference to the prefix (prefixId); for a standalone
+ * session, the full state as a base-less delta. The projection
+ * weights, the pair multiset and the cached centroid projections are
+ * all re-derivable (weights are shared model state the owner
+ * re-supplies on restore, the rest is recomputed bit-identically),
+ * so an evicted session costs a fraction of its live footprint —
+ * and an evicted *forked* session costs only its divergence.
  */
 struct SessionSnapshot
 {
     core::Index tokenDim = 0;
-    alg::TwoLevelSnapshot kv;
+    /** Shared-prefix reference, or -1 for a standalone snapshot. */
+    std::int64_t prefixId = -1;
+    /** Context length of the prefix donor at fork time. */
+    core::Index prefixTokens = 0;
+    alg::TwoLevelDelta kv;
 };
 
 /** Encodes @p snap as a flat little-endian byte blob (magic "CTAS",
@@ -110,12 +122,47 @@ class DecodeSession
 {
   public:
     /**
+     * Standalone session: copies @p params, samples its own LSH set
+     * and owns a private page arena.
+     *
      * @param params projection weights of the served head; wq/wk/wv
      *        must all accept tokens of dimension @p token_dim
      * @param token_dim dimension d_w of incoming tokens
      */
     DecodeSession(nn::AttentionHeadParams params, ServeConfig config,
                   core::Index token_dim);
+
+    /**
+     * Serving-layer session: shares the head weights, the sampled
+     * LSH parameter set and the page arena with every other session
+     * of the same SessionManager. @p lsh must equal
+     * sampleLshParams(config.cta, token_dim) — it is hoisted, not
+     * re-interpreted.
+     */
+    DecodeSession(std::shared_ptr<const nn::AttentionHeadParams> params,
+                  ServeConfig config, core::Index token_dim,
+                  std::shared_ptr<const alg::LshParamSet> lsh,
+                  std::shared_ptr<core::PageArena> arena);
+
+    /**
+     * Forks a child session off a frozen shared prefix: the child
+     * starts bit-identical to the donor, sharing every state page
+     * CoW — the first divergent write copies one page, not the
+     * session. O(pages) bookkeeping, no state copied.
+     */
+    static std::unique_ptr<DecodeSession>
+    forkFrom(std::shared_ptr<const SharedPrefix> prefix);
+
+    /**
+     * Freezes the current state as a shareable prefix under @p id: a
+     * CoW copy of this session becomes the immutable fork donor, and
+     * the cluster tries are flattened into lookup-only trees shared
+     * by this session, the donor, and every future child. Cached
+     * until the next mutation (prefill/step/restore), so repeated
+     * forks off an unchanged parent reuse one donor. Fatal on a
+     * fallback session (its exact caches cannot be shared CoW).
+     */
+    std::shared_ptr<const SharedPrefix> sharedPrefix(std::int64_t id);
 
     /** Ingests a context-token matrix (n x tokenDim) row by row,
      *  updating KV state without producing outputs. */
@@ -136,7 +183,7 @@ class DecodeSession
 
     const ServeConfig &config() const { return config_; }
 
-    const nn::AttentionHeadParams &params() const { return params_; }
+    const nn::AttentionHeadParams &params() const { return *params_; }
 
     /** Live incremental KV compression state (for tests/metrics). */
     const alg::IncrementalTwoLevelCompression &kv() const
@@ -147,11 +194,23 @@ class DecodeSession
     /** Live (c1, c2) pair multiset (for tests/metrics). */
     const alg::ClusterPairCounts &pairs() const { return pairs_; }
 
-    /** Cached K projection of the level-@p level centroids. */
-    const core::Matrix &kBar(int level) const;
+    /** Materializes the cached K projection of level @p level. */
+    core::Matrix kBar(int level) const;
 
-    /** Cached V projection of the level-@p level centroids. */
-    const core::Matrix &vBar(int level) const;
+    /** Materializes the cached V projection of level @p level. */
+    core::Matrix vBar(int level) const;
+
+    /** The page arena this session allocates from. */
+    const std::shared_ptr<core::PageArena> &arena() const
+    {
+        return arena_;
+    }
+
+    /** The shared prefix this session was forked from (or null). */
+    const std::shared_ptr<const SharedPrefix> &prefix() const
+    {
+        return prefix_;
+    }
 
     /** Operation counts of the most recent step() call. */
     const core::OpCounts &lastStepOps() const { return lastStepOps_; }
@@ -160,13 +219,27 @@ class DecodeSession
     const core::OpCounts &totalOps() const { return totalOps_; }
 
     /**
-     * Estimated heap bytes of everything this session owns: the
-     * incremental KV state (tries, tables, sums, centroids), cached
-     * K/V centroid projections, the pair multiset, scratch buffers
-     * and the per-session weight copies. The SessionManager budgets
-     * against the sum of these.
+     * Estimated heap bytes this session *privately* owns: solely-
+     * owned arena pages of the incremental KV state and cached K/V
+     * centroid projections, page indexes, the overlay tries, the
+     * pair multiset, scratch buffers, and (for fallback sessions)
+     * the exact K/V caches. Pages shared with other sessions are
+     * priced once by the arena (PageArena::sharedBytes), shared base
+     * tries once per prefix (sharedTreeBytes), and the model weights
+     * once per server (modelBytes) — every resident byte is counted
+     * exactly once across SessionManager::residentBytes().
      */
     std::size_t stateBytes() const;
+
+    /** Bytes of the shared model state this session references: head
+     *  projection weights and the three LSH parameter matrices. */
+    std::size_t modelBytes() const;
+
+    /** Footprint of the frozen shared cluster trees, if any. */
+    std::size_t sharedTreeBytes() const
+    {
+        return kv_.sharedTreeBytes();
+    }
 
     /**
      * True once the quality guard demoted this session to exact
@@ -200,6 +273,10 @@ class DecodeSession
     void restore(const SessionSnapshot &snap);
 
   private:
+    /** CoW copy: shares every arena page with @p other. Used by
+     *  sharedPrefix() (donor) and forkFrom() (children) only. */
+    DecodeSession(const DecodeSession &other) = default;
+
     /** KV append + touched-centroid reprojection + pair update. */
     void ingest(std::span<const core::Real> token,
                 core::OpCounts *counts);
@@ -220,15 +297,20 @@ class DecodeSession
     core::Matrix exactStep(std::span<const core::Real> token,
                            core::OpCounts *counts);
 
-    nn::AttentionHeadParams params_;
+    std::shared_ptr<const nn::AttentionHeadParams> params_;
     ServeConfig config_;
-    alg::LshParamSet lsh_;
+    std::shared_ptr<const alg::LshParamSet> lsh_;
+    std::shared_ptr<core::PageArena> arena_;
     alg::IncrementalTwoLevelCompression kv_;
-    core::Matrix kBar1_; ///< k1 x d cached W^K projection of C1
-    core::Matrix kBar2_; ///< k2 x d cached W^K projection of C2
-    core::Matrix vBar1_; ///< k1 x d cached W^V projection of C1
-    core::Matrix vBar2_; ///< k2 x d cached W^V projection of C2
+    core::PagedRows kBar1_; ///< k1 x d cached W^K projection of C1
+    core::PagedRows kBar2_; ///< k2 x d cached W^K projection of C2
+    core::PagedRows vBar1_; ///< k1 x d cached W^V projection of C1
+    core::PagedRows vBar2_; ///< k2 x d cached W^V projection of C2
     alg::ClusterPairCounts pairs_;
+    /** The frozen prefix this session was forked from, if any. */
+    std::shared_ptr<const SharedPrefix> prefix_;
+    /** Cached sharedPrefix() donor; reset on every mutation. */
+    std::shared_ptr<const SharedPrefix> frozen_;
     core::Index tokenDim_ = 0;
     core::OpCounts lastStepOps_;
     core::OpCounts totalOps_;
@@ -237,6 +319,37 @@ class DecodeSession
     bool fallback_ = false;
     bool faultTainted_ = false;
     const char *fallbackReason_ = "";
+};
+
+/**
+ * An immutable fork donor: a CoW-frozen copy of a DecodeSession at
+ * the moment sharedPrefix() was called, identified by a manager-
+ * scoped id. Children forked from it share all its arena pages and
+ * its flattened cluster trees; their snapshots serialize only the
+ * delta past this state plus the id.
+ */
+class SharedPrefix
+{
+  public:
+    SharedPrefix(std::int64_t id,
+                 std::unique_ptr<const DecodeSession> donor)
+        : id_(id), donor_(std::move(donor))
+    {
+    }
+
+    std::int64_t id() const { return id_; }
+
+    const DecodeSession &donor() const { return *donor_; }
+
+    /** Context length of the donor (the fork point). */
+    core::Index tokens() const { return donor_->contextLength(); }
+
+    /** True when the donor is itself a fork of another prefix. */
+    bool donorIsFork() const { return donor_->prefix() != nullptr; }
+
+  private:
+    std::int64_t id_;
+    std::unique_ptr<const DecodeSession> donor_;
 };
 
 } // namespace cta::serve

@@ -14,37 +14,62 @@ namespace cta::serve {
 
 using core::Index;
 
+namespace {
+
+std::size_t
+computeModelBytes(const nn::AttentionHeadParams &params,
+                  const alg::LshParamSet &lsh)
+{
+    std::size_t bytes = 0;
+    for (const nn::Linear *linear :
+         {&params.wq, &params.wk, &params.wv}) {
+        bytes += linear->weight().memoryBytes();
+        if (linear->bias())
+            bytes += linear->bias()->memoryBytes();
+    }
+    bytes += lsh.lsh0.a.memoryBytes() + lsh.lsh0.b.memoryBytes() +
+             lsh.lsh1.a.memoryBytes() + lsh.lsh1.b.memoryBytes() +
+             lsh.lsh2.a.memoryBytes() + lsh.lsh2.b.memoryBytes();
+    return bytes;
+}
+
+} // namespace
+
 SessionManager::SessionManager(nn::AttentionHeadParams params,
                                ServeConfig config, Index token_dim,
-                               std::size_t mem_budget_bytes)
-    : params_(std::move(params)),
+                               std::size_t mem_budget_bytes,
+                               std::size_t page_bytes)
+    : params_(std::make_shared<const nn::AttentionHeadParams>(
+          std::move(params))),
       config_(config),
+      lsh_(std::make_shared<const alg::LshParamSet>(
+          alg::sampleLshParams(config.cta, token_dim))),
+      arena_(std::make_shared<core::PageArena>(
+          page_bytes != 0 ? page_bytes
+                          : core::PageArena::pageBytesFromEnv())),
       tokenDim_(token_dim),
-      memBudgetBytes_(mem_budget_bytes)
+      memBudgetBytes_(mem_budget_bytes),
+      modelBytes_(computeModelBytes(*params_, *lsh_))
 {
-    CTA_REQUIRE(params_.wq.inDim() == token_dim &&
-                params_.wk.inDim() == token_dim &&
-                params_.wv.inDim() == token_dim,
+    CTA_REQUIRE(params_->wq.inDim() == token_dim &&
+                params_->wk.inDim() == token_dim &&
+                params_->wv.inDim() == token_dim,
                 "head projections expect token dim ",
-                params_.wq.inDim(), ", manager serves ", token_dim);
+                params_->wq.inDim(), ", manager serves ", token_dim);
 }
 
 std::size_t
 SessionManager::memBudgetFromEnv()
 {
-    const auto parsed = core::envInt("CTA_MEM_BUDGET");
-    if (!parsed)
-        return 0; // unlimited
-    CTA_REQUIRE(*parsed > 0, "CTA_MEM_BUDGET must be a positive byte "
-                "count (unset it for unlimited), got ", *parsed);
-    return static_cast<std::size_t>(*parsed);
+    const auto parsed = core::envBytes("CTA_MEM_BUDGET");
+    return parsed ? *parsed : 0; // unset -> unlimited
 }
 
 std::unique_ptr<DecodeSession>
 SessionManager::makeSession() const
 {
     return std::make_unique<DecodeSession>(params_, config_,
-                                           tokenDim_);
+                                           tokenDim_, lsh_, arena_);
 }
 
 Index
@@ -65,6 +90,46 @@ SessionManager::createSession(const core::Matrix &tokens)
     const Index id = createSession();
     slots_[static_cast<std::size_t>(id)].live->prefill(tokens);
     return id;
+}
+
+Index
+SessionManager::forkSession(Index parent)
+{
+    DecodeSession &donor_source = acquire(parent);
+    CTA_REQUIRE(!donor_source.fallbackActive(), "session ", parent,
+                " fell back to exact attention; it cannot donate a "
+                "shared prefix");
+    const auto next = static_cast<std::int64_t>(prefixes_.size());
+    std::shared_ptr<const SharedPrefix> prefix =
+        donor_source.sharedPrefix(next);
+    if (prefix->id() == next) {
+        // Freshly frozen donor: register it.
+        PrefixEntry entry;
+        entry.live = prefix;
+        entry.tokens = prefix->tokens();
+        entry.lastUsed = ++tick_;
+        prefixes_.push_back(std::move(entry));
+        CTA_OBS_COUNT("serve.manager.prefixes", 1);
+    } else {
+        // The parent has not mutated since its last fork; reuse the
+        // cached donor (and its registry entry).
+        PrefixEntry &entry =
+            prefixes_[static_cast<std::size_t>(prefix->id())];
+        CTA_ASSERT(entry.live.get() == prefix.get(),
+                   "cached shared prefix ", prefix->id(),
+                   " diverged from its registry entry");
+        entry.lastUsed = ++tick_;
+    }
+
+    Slot slot;
+    slot.state = State::Live;
+    slot.live = DecodeSession::forkFrom(prefix);
+    slot.prefixId = prefix->id();
+    slot.lastUsed = ++tick_;
+    slots_.push_back(std::move(slot));
+    ++forks_;
+    CTA_OBS_COUNT("serve.manager.forks", 1);
+    return static_cast<Index>(slots_.size()) - 1;
 }
 
 SessionManager::Slot &
@@ -120,6 +185,45 @@ SessionManager::isFaultTainted(Index id) const
     return s.taint || (s.live && s.live->faultTainted());
 }
 
+std::shared_ptr<const SharedPrefix>
+SessionManager::resolvePrefix(std::int64_t id)
+{
+    CTA_REQUIRE(id >= 0 &&
+                    id < static_cast<std::int64_t>(prefixes_.size()),
+                "shared prefix id ", id, " out of range [0, ",
+                prefixes_.size(), ")");
+    PrefixEntry &entry = prefixes_[static_cast<std::size_t>(id)];
+    entry.lastUsed = ++tick_;
+    if (entry.live)
+        return entry.live;
+
+    CTA_TRACE_SCOPE_ID("serve.prefix_restore", id);
+    // A corrupt prefix blob is fatal, not a quarantine: a prefix
+    // underpins every session forked from it, so silently dropping it
+    // would cascade data loss the caller cannot reason about.
+    SessionSnapshot snap;
+    std::string error;
+    CTA_REQUIRE(tryDeserializeSnapshot(entry.blob, &snap, &error),
+                "shared prefix ", id, " snapshot blob is corrupt (",
+                error, ")");
+    std::unique_ptr<DecodeSession> donor_source;
+    if (snap.prefixId >= 0)
+        donor_source = DecodeSession::forkFrom(
+            resolvePrefix(snap.prefixId));
+    else
+        donor_source = makeSession();
+    donor_source->restore(snap);
+    entry.live = donor_source->sharedPrefix(id);
+    CTA_ASSERT(entry.live->tokens() == entry.tokens,
+               "restored prefix ", id, " has ", entry.live->tokens(),
+               " tokens, expected ", entry.tokens);
+    entry.blob.clear();
+    entry.blob.shrink_to_fit();
+    ++prefixRestores_;
+    CTA_OBS_COUNT("serve.manager.prefix_restores", 1);
+    return entry.live;
+}
+
 DecodeSession &
 SessionManager::acquire(Index id)
 {
@@ -143,7 +247,8 @@ SessionManager::tryAcquire(Index id)
         if (!tryDeserializeSnapshot(s.blob, &snap, &error)) {
             // Integrity failure: quarantine just this session. Its
             // state is unrecoverable, but nothing it shared with the
-            // rest of the server (weights, config) is touched.
+            // rest of the server (weights, config, prefixes) is
+            // touched.
             if (s.corruptionInjected)
                 ++corruptionsDetected_;
             CTA_WARN("session ", id, " snapshot failed integrity "
@@ -161,7 +266,15 @@ SessionManager::tryAcquire(Index id)
             ++corruptionsSilent_;
             s.corruptionInjected = false;
         }
-        s.live = makeSession();
+        if (snap.prefixId >= 0) {
+            CTA_REQUIRE(snap.prefixId == s.prefixId, "session ", id,
+                        " snapshot references prefix ", snap.prefixId,
+                        " but the slot recorded prefix ", s.prefixId);
+            s.live =
+                DecodeSession::forkFrom(resolvePrefix(snap.prefixId));
+        } else {
+            s.live = makeSession();
+        }
         s.live->restore(snap);
         s.blob.clear();
         s.blob.shrink_to_fit();
@@ -218,6 +331,42 @@ SessionManager::removeSession(Index id)
     CTA_OBS_COUNT("serve.manager.removed", 1);
 }
 
+bool
+SessionManager::prefixIsCold(std::int64_t id) const
+{
+    for (const Slot &s : slots_)
+        if (s.state == State::Live && s.prefixId == id)
+            return false;
+    // A resident child prefix's donor holds this prefix alive through
+    // its own prefix_ pointer; evicting the registry entry would not
+    // free a byte until the child goes cold too.
+    for (const PrefixEntry &entry : prefixes_) {
+        if (!entry.live || !entry.live->donorIsFork())
+            continue;
+        if (entry.live->donor().prefix()->id() == id)
+            return false;
+    }
+    return true;
+}
+
+bool
+SessionManager::evictPrefixIfCold(std::int64_t id)
+{
+    CTA_REQUIRE(id >= 0 &&
+                    id < static_cast<std::int64_t>(prefixes_.size()),
+                "shared prefix id ", id, " out of range [0, ",
+                prefixes_.size(), ")");
+    PrefixEntry &entry = prefixes_[static_cast<std::size_t>(id)];
+    if (!entry.live || !prefixIsCold(id))
+        return false;
+    CTA_TRACE_SCOPE_ID("serve.prefix_evict", id);
+    entry.blob = serializeSnapshot(entry.live->donor().snapshot());
+    entry.live.reset();
+    ++prefixEvictions_;
+    CTA_OBS_COUNT("serve.manager.prefix_evictions", 1);
+    return true;
+}
+
 void
 SessionManager::enforceBudget()
 {
@@ -225,16 +374,15 @@ SessionManager::enforceBudget()
         publishGauges();
         return;
     }
-    // Collect live sessions, LRU first. stateBytes() is O(clusters)
+    // Collect live sessions, LRU first. stateBytes() is O(pages)
     // per session, and only live sessions (bounded by the budget) are
     // visited — the whole pass stays far below one decode step.
     std::vector<std::pair<std::uint64_t, Index>> live;
-    std::size_t total = 0;
+    std::size_t total = residentBytes();
     for (Index id = 0; id < sessionCount(); ++id) {
         const Slot &s = slots_[static_cast<std::size_t>(id)];
         if (s.state != State::Live)
             continue;
-        total += s.live->stateBytes();
         // Fallback sessions count against the budget but are never
         // eviction candidates (their exact caches are not
         // serializable — see evict()).
@@ -245,7 +393,11 @@ SessionManager::enforceBudget()
     std::sort(live.begin(), live.end());
     // Evict LRU-first, but never the most-recently-used session: a
     // budget below a single session's footprint then degrades to
-    // one-resident-at-a-time serving rather than livelock.
+    // one-resident-at-a-time serving rather than livelock. Evicting
+    // a forked session frees exactly its private bytes: pages whose
+    // refcount drops to one migrate from the arena's shared total to
+    // the remaining owner's private total at equal size, so the
+    // decrement stays exact.
     for (std::size_t i = 0;
          total > memBudgetBytes_ && i + 1 < live.size(); ++i) {
         const Index id = live[i].second;
@@ -253,6 +405,25 @@ SessionManager::enforceBudget()
             slots_[static_cast<std::size_t>(id)].live->stateBytes();
         evict(id);
         total -= std::min(bytes, total);
+    }
+    // Still over (or the survivors alone exceed the budget): shed
+    // cold prefix donors, LRU first. A donor referenced by any live
+    // session is skipped — its pages could not be freed anyway.
+    if (total > memBudgetBytes_ && !prefixes_.empty()) {
+        std::vector<std::pair<std::uint64_t, std::int64_t>> cold;
+        for (std::int64_t id = 0;
+             id < static_cast<std::int64_t>(prefixes_.size()); ++id)
+            if (prefixes_[static_cast<std::size_t>(id)].live)
+                cold.emplace_back(
+                    prefixes_[static_cast<std::size_t>(id)].lastUsed,
+                    id);
+        std::sort(cold.begin(), cold.end());
+        for (const auto &[tick, id] : cold) {
+            if (total <= memBudgetBytes_)
+                break;
+            if (evictPrefixIfCold(id))
+                total = residentBytes();
+        }
     }
     publishGauges();
 }
@@ -275,6 +446,26 @@ SessionManager::evictedBlobBytes() const
         if (s.state == State::Evicted)
             total += s.blob.capacity();
     return total;
+}
+
+std::size_t
+SessionManager::residentBytes() const
+{
+    std::size_t total = liveStateBytes();
+    for (const PrefixEntry &entry : prefixes_)
+        if (entry.live)
+            total += entry.live->donor().stateBytes() +
+                     entry.live->donor().sharedTreeBytes();
+    total += arena_->sharedBytes();
+    return total;
+}
+
+bool
+SessionManager::isPrefixLive(std::int64_t id) const
+{
+    return id >= 0 &&
+           id < static_cast<std::int64_t>(prefixes_.size()) &&
+           prefixes_[static_cast<std::size_t>(id)].live != nullptr;
 }
 
 SessionManagerStats
@@ -305,6 +496,23 @@ SessionManager::stats() const
     stats.corruptionsInjected = corruptionsInjected_;
     stats.corruptionsDetected = corruptionsDetected_;
     stats.corruptionsSilent = corruptionsSilent_;
+    stats.prefixes = prefixCount();
+    for (const PrefixEntry &entry : prefixes_) {
+        if (entry.live) {
+            ++stats.prefixesLive;
+            stats.prefixBytes += entry.live->donor().stateBytes() +
+                                 entry.live->donor().sharedTreeBytes();
+        } else {
+            stats.prefixBlobBytes += entry.blob.capacity();
+        }
+    }
+    stats.sharedPageBytes = arena_->sharedBytes();
+    stats.residentBytes = residentBytes();
+    stats.modelBytes = modelBytes_;
+    stats.forks = forks_;
+    stats.cowCopies = arena_->cowCopies();
+    stats.prefixEvictions = prefixEvictions_;
+    stats.prefixRestores = prefixRestores_;
     return stats;
 }
 
@@ -315,6 +523,10 @@ SessionManager::publishGauges() const
                       static_cast<double>(liveStateBytes()));
     CTA_OBS_GAUGE_SET("serve.manager.evicted_blob_bytes",
                       static_cast<double>(evictedBlobBytes()));
+    CTA_OBS_GAUGE_SET("serve.manager.resident_bytes",
+                      static_cast<double>(residentBytes()));
+    CTA_OBS_GAUGE_SET("serve.manager.shared_page_bytes",
+                      static_cast<double>(arena_->sharedBytes()));
 }
 
 } // namespace cta::serve

@@ -1,24 +1,31 @@
 /**
  * @file
  * Bounded-memory ownership of many decode sessions: per-session byte
- * accounting, a global memory budget, and LRU eviction to compact
- * serialized snapshots.
+ * accounting, a global memory budget, LRU eviction to compact
+ * serialized snapshots, and copy-on-write prefix sharing.
  *
  * The paper's premise (§III-B) is that compressed cluster state is
  * small enough to keep resident; this layer makes that an enforced
- * property instead of a hope. Every session's heap footprint is
- * measurable (DecodeSession::stateBytes()); when the sum of live
- * sessions exceeds the budget, the least-recently-used ones are
- * *evicted*: their incremental compression state is serialized to a
- * compact blob (serializeSnapshot()) and the live session — weights
- * copy, cached projections, cluster tries and all — is destroyed.
- * Touching an evicted session later restores it bit-identically
- * (evict → restore → step equals never-evicted step; enforced in
- * tests/serve_test.cc and tests/session_manager_test.cc).
+ * property instead of a hope. Every resident byte is counted exactly
+ * once (residentBytes()): live sessions report the pages and indexes
+ * only they own (DecodeSession::stateBytes()), pages shared between
+ * forked sessions are priced once by the arena
+ * (core::PageArena::sharedBytes()), frozen prefix donors and their
+ * shared cluster trees once per prefix, and the model weights once
+ * per manager. When the total exceeds the budget, least-recently-used
+ * sessions are *evicted*: their incremental compression state is
+ * serialized to a compact blob (serializeSnapshot()) — for a forked
+ * session, only the delta past its shared prefix — and the live
+ * session is destroyed. A prefix donor itself is evicted only once
+ * every session referencing it is cold. Touching an evicted session
+ * later restores it bit-identically (evict → restore → step equals
+ * never-evicted step; enforced in tests/serve_test.cc and
+ * tests/session_manager_test.cc).
  *
  * All sessions share one model (params/config/tokenDim given at
- * construction) — the realistic serving shape, and what lets an
- * evicted session drop its weight copy entirely.
+ * construction), one sampled LSH set and one page arena — the
+ * realistic serving shape, and what lets an evicted session drop to
+ * just its snapshot blob.
  *
  * Thread-safety: none — the manager is externally synchronized.
  * Batcher drives it only outside its parallel flush region, keeping
@@ -31,6 +38,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/page_arena.h"
 #include "serve/decode_session.h"
 
 namespace cta::serve {
@@ -54,6 +62,20 @@ struct SessionManagerStats
     /** Injected corruptions that decoded anyway — the fault soak
      *  requires this to stay exactly zero. */
     std::uint64_t corruptionsSilent = 0;
+
+    // Prefix-sharing accounting (all zero on a manager that never
+    // forked).
+    core::Index prefixes = 0;     ///< prefixes ever registered
+    core::Index prefixesLive = 0; ///< prefix donors resident
+    std::size_t prefixBytes = 0;  ///< resident donor + shared-tree bytes
+    std::size_t prefixBlobBytes = 0; ///< evicted donor blob bytes
+    std::size_t sharedPageBytes = 0; ///< arena pages with >= 2 owners
+    std::size_t residentBytes = 0;   ///< the budgeted total
+    std::size_t modelBytes = 0;   ///< weights + LSH, priced once
+    std::uint64_t forks = 0;      ///< cumulative forkSession() calls
+    std::uint64_t cowCopies = 0;  ///< arena copy-on-write page copies
+    std::uint64_t prefixEvictions = 0;
+    std::uint64_t prefixRestores = 0;
 };
 
 /** Owns decode sessions under a global memory budget (LRU evict). */
@@ -64,16 +86,20 @@ class SessionManager
      * @param params shared projection weights of the served model
      * @param config shared CTA serving configuration
      * @param token_dim dimension of incoming tokens
-     * @param mem_budget_bytes live-session byte budget; 0 means
+     * @param mem_budget_bytes resident byte budget; 0 means
      *        unlimited. Defaults to the CTA_MEM_BUDGET environment
-     *        knob (absent → unlimited, malformed or non-positive →
-     *        fatal, parsed via core::parseEnvInt).
+     *        knob (absent → unlimited; parsed via core::envBytes, so
+     *        K/M/G suffixes work and malformed values are fatal).
+     * @param page_bytes arena page size; 0 means the CTA_PAGE_BYTES
+     *        environment knob (absent → PageArena::kDefaultPageBytes)
      */
     SessionManager(nn::AttentionHeadParams params, ServeConfig config,
                    core::Index token_dim,
-                   std::size_t mem_budget_bytes = memBudgetFromEnv());
+                   std::size_t mem_budget_bytes = memBudgetFromEnv(),
+                   std::size_t page_bytes = 0);
 
-    /** Parses CTA_MEM_BUDGET (bytes); 0 (unlimited) when unset. */
+    /** Parses CTA_MEM_BUDGET (bytes, K/M/G suffixes allowed); 0
+     *  (unlimited) when unset. */
     static std::size_t memBudgetFromEnv();
 
     /** Creates an empty session; returns its id (dense, from 0). */
@@ -81,6 +107,15 @@ class SessionManager
 
     /** Creates a session prefilled with @p tokens (n x tokenDim). */
     core::Index createSession(const core::Matrix &tokens);
+
+    /**
+     * Creates a session forked from @p parent's current state: the
+     * parent's state is frozen as a shared prefix (reused if the
+     * parent has not mutated since the last fork) and the child
+     * starts bit-identical to it, sharing every state page CoW. The
+     * child's snapshots serialize only its divergence.
+     */
+    core::Index forkSession(core::Index parent);
 
     /** Ids ever created (including evicted and removed ones). */
     core::Index sessionCount() const
@@ -132,11 +167,12 @@ class SessionManager
     void touch(core::Index id);
 
     /**
-     * Serializes @p id's compression state and destroys the live
-     * session. No-op when already evicted, and no-op for a session
-     * whose quality guard fell back to exact attention (its K/V
-     * caches are not in the snapshot, so it is pinned resident);
-     * fatal for removed ids.
+     * Serializes @p id's compression state (the delta past its shared
+     * prefix, for a forked session) and destroys the live session.
+     * No-op when already evicted, and no-op for a session whose
+     * quality guard fell back to exact attention (its K/V caches are
+     * not in the snapshot, so it is pinned resident); fatal for
+     * removed ids.
      */
     void evict(core::Index id);
 
@@ -145,10 +181,11 @@ class SessionManager
     void removeSession(core::Index id);
 
     /**
-     * Evicts least-recently-used live sessions until the live byte
-     * total fits the budget. The most-recently-used session is never
-     * evicted, so a budget smaller than one session degrades to
-     * one-resident-at-a-time serving instead of livelock.
+     * Evicts least-recently-used live sessions — then, if still over
+     * budget, cold prefix donors (those no live session references) —
+     * until residentBytes() fits the budget. The most-recently-used
+     * session is never evicted, so a budget smaller than one session
+     * degrades to one-resident-at-a-time serving instead of livelock.
      */
     void enforceBudget();
 
@@ -157,6 +194,32 @@ class SessionManager
 
     /** Sum of evicted sessions' blob sizes. */
     std::size_t evictedBlobBytes() const;
+
+    /**
+     * Every resident byte of session state, counted exactly once:
+     * live sessions' private bytes + resident prefix donors (private
+     * bytes + shared cluster trees) + arena pages shared by two or
+     * more owners. The model (weights + LSH) is excluded — it is
+     * fixed serving cost, reported separately in stats().
+     */
+    std::size_t residentBytes() const;
+
+    /** Prefixes ever registered by forkSession(). */
+    core::Index prefixCount() const
+    {
+        return static_cast<core::Index>(prefixes_.size());
+    }
+
+    /** True when prefix @p id's donor is resident. */
+    bool isPrefixLive(std::int64_t id) const;
+
+    /**
+     * Evicts prefix @p id's donor to a blob if it is resident and
+     * cold (no live session forked from it, no resident child
+     * prefix); returns true when it evicted. Exposed for tests; the
+     * budget path calls it automatically.
+     */
+    bool evictPrefixIfCold(std::int64_t id);
 
     std::size_t memBudgetBytes() const { return memBudgetBytes_; }
 
@@ -167,6 +230,9 @@ class SessionManager
 
     core::Index tokenDim() const { return tokenDim_; }
 
+    /** The page arena every session of this manager allocates from. */
+    const core::PageArena &arena() const { return *arena_; }
+
   private:
     enum class State { Live, Evicted, Removed, Quarantined };
 
@@ -176,6 +242,8 @@ class SessionManager
         std::unique_ptr<DecodeSession> live;
         std::vector<std::uint8_t> blob;
         std::uint64_t lastUsed = 0; ///< LRU tick (higher = fresher)
+        /** Prefix this session was forked from (-1 standalone). */
+        std::int64_t prefixId = -1;
         /** The fault layer corrupted this slot's blob at evict time —
          *  ground truth for the detected/silent accounting. */
         bool corruptionInjected = false;
@@ -184,23 +252,52 @@ class SessionManager
         bool taint = false;
     };
 
+    /** One registered shared prefix: the resident donor, or its
+     *  serialized snapshot while evicted. */
+    struct PrefixEntry
+    {
+        std::shared_ptr<const SharedPrefix> live;
+        std::vector<std::uint8_t> blob;
+        core::Index tokens = 0;
+        std::uint64_t lastUsed = 0;
+    };
+
     Slot &slot(core::Index id, const char *verb);
     const Slot &slot(core::Index id, const char *verb) const;
 
     /** Builds an empty session from the shared model state. */
     std::unique_ptr<DecodeSession> makeSession() const;
 
+    /**
+     * Returns prefix @p id's donor, rebuilding it from its blob (and,
+     * recursively, its own parent prefix) when evicted. Fatal on a
+     * corrupt prefix blob: a prefix underpins many sessions, so
+     * losing one is not a single-session quarantine event.
+     */
+    std::shared_ptr<const SharedPrefix> resolvePrefix(std::int64_t id);
+
+    /** True when no live session or resident child prefix references
+     *  prefix @p id. */
+    bool prefixIsCold(std::int64_t id) const;
+
     /** Publishes byte/count gauges to the obs layer. */
     void publishGauges() const;
 
-    nn::AttentionHeadParams params_;
+    std::shared_ptr<const nn::AttentionHeadParams> params_;
     ServeConfig config_;
+    std::shared_ptr<const alg::LshParamSet> lsh_;
+    std::shared_ptr<core::PageArena> arena_;
     core::Index tokenDim_ = 0;
     std::size_t memBudgetBytes_ = 0;
+    std::size_t modelBytes_ = 0;
     std::vector<Slot> slots_;
+    std::vector<PrefixEntry> prefixes_;
     std::uint64_t tick_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t restores_ = 0;
+    std::uint64_t forks_ = 0;
+    std::uint64_t prefixEvictions_ = 0;
+    std::uint64_t prefixRestores_ = 0;
     std::uint64_t corruptionsInjected_ = 0;
     std::uint64_t corruptionsDetected_ = 0;
     std::uint64_t corruptionsSilent_ = 0;

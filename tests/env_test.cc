@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for strict environment parsing (core/env.h), focused on the
+ * byte-count grammar behind CTA_MEM_BUDGET / CTA_PAGE_BYTES: plain
+ * integers, single K/M/G suffixes (powers of 1024, case-insensitive),
+ * and fatal rejection of everything else — a set-but-malformed knob
+ * must never silently coerce to a default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/env.h"
+
+namespace {
+
+using cta::core::envBytes;
+using cta::core::parseEnvBytes;
+
+TEST(ParseEnvBytesTest, PlainAndSuffixedValues)
+{
+    EXPECT_EQ(parseEnvBytes("1", "T"), 1u);
+    EXPECT_EQ(parseEnvBytes("4096", "T"), 4096u);
+    EXPECT_EQ(parseEnvBytes("2K", "T"), 2048u);
+    EXPECT_EQ(parseEnvBytes("2k", "T"), 2048u);
+    EXPECT_EQ(parseEnvBytes("64M", "T"), std::size_t{64} << 20);
+    EXPECT_EQ(parseEnvBytes("64m", "T"), std::size_t{64} << 20);
+    EXPECT_EQ(parseEnvBytes("3G", "T"), std::size_t{3} << 30);
+    EXPECT_EQ(parseEnvBytes("3g", "T"), std::size_t{3} << 30);
+}
+
+TEST(ParseEnvBytesDeathTest, MalformedValuesAreFatal)
+{
+    // The error names the offending knob so the fatal log is
+    // actionable.
+    EXPECT_EXIT(parseEnvBytes("", "CTA_MEM_BUDGET"),
+                ::testing::ExitedWithCode(1), "CTA_MEM_BUDGET");
+    EXPECT_EXIT(parseEnvBytes("garbage", "CTA_MEM_BUDGET"),
+                ::testing::ExitedWithCode(1), "CTA_MEM_BUDGET");
+    EXPECT_EXIT(parseEnvBytes("64MB", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("1.5G", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("64 M", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("M", "T"),
+                ::testing::ExitedWithCode(1), "");
+    // Signs, zero and overflow are configuration errors, not bytes.
+    EXPECT_EXIT(parseEnvBytes("-5", "T"),
+                ::testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(parseEnvBytes("+5", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("0", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("0K", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("99999999999999999999", "T"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseEnvBytes("18014398509481984G", "T"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(EnvBytesTest, UnsetMeansNullopt)
+{
+    unsetenv("CTA_TEST_BYTES_KNOB");
+    EXPECT_FALSE(envBytes("CTA_TEST_BYTES_KNOB").has_value());
+    setenv("CTA_TEST_BYTES_KNOB", "8K", 1);
+    const auto parsed = envBytes("CTA_TEST_BYTES_KNOB");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, 8192u);
+    unsetenv("CTA_TEST_BYTES_KNOB");
+}
+
+} // namespace

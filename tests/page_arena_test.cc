@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the page arena (core/page_arena.h): refcounted pages,
+ * copy-on-write privatisation, zero-fill on reuse, and the exact
+ * byte-accounting contract (solely-owned pages are private, shared
+ * pages priced once by the arena) for PagedVector and PagedRows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/page_arena.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::PageArena;
+using cta::core::PagedRows;
+using cta::core::PagedVector;
+using cta::core::PageRef;
+using cta::core::Real;
+
+TEST(PageArenaTest, AllocateReleaseAndAccounting)
+{
+    PageArena arena(256);
+    EXPECT_EQ(arena.pageBytes(), 256u);
+    EXPECT_EQ(arena.livePages(), 0u);
+
+    PageRef a = arena.allocate();
+    PageRef b = arena.allocate();
+    EXPECT_EQ(arena.livePages(), 2u);
+    EXPECT_EQ(arena.liveBytes(), 512u);
+    EXPECT_EQ(arena.sharedPages(), 0u);
+    EXPECT_TRUE(a.solelyOwned());
+
+    arena.addRef(a);
+    EXPECT_FALSE(a.solelyOwned());
+    EXPECT_EQ(arena.sharedPages(), 1u);
+    EXPECT_EQ(arena.sharedBytes(), 256u);
+
+    arena.release(a); // back to one owner
+    EXPECT_TRUE(a.solelyOwned());
+    EXPECT_EQ(arena.sharedPages(), 0u);
+    EXPECT_EQ(arena.livePages(), 2u);
+
+    arena.release(a);
+    arena.release(b);
+    EXPECT_EQ(arena.livePages(), 0u);
+    EXPECT_EQ(arena.liveBytes(), 0u);
+}
+
+TEST(PageArenaTest, PagesAreZeroFilledEvenAfterReuse)
+{
+    PageArena arena(128);
+    PageRef dirty = arena.allocate();
+    std::memset(dirty.data, 0xAB, 128);
+    arena.release(dirty); // page goes to the free list dirty
+
+    // Reuse must come back all-zero: restored state depends on it
+    // being bit-identical to a fresh allocation.
+    PageRef fresh = arena.allocate();
+    for (std::size_t i = 0; i < 128; ++i)
+        EXPECT_EQ(std::to_integer<int>(fresh.data[i]), 0) << i;
+    arena.release(fresh);
+}
+
+TEST(PageArenaTest, MakeWritableCopiesOnlyWhenShared)
+{
+    PageArena arena(64);
+    PageRef page = arena.allocate();
+    std::memset(page.data, 0x5A, 64);
+
+    // Sole owner: no copy, same page back.
+    const PageRef same = arena.makeWritable(page);
+    EXPECT_EQ(same.id, page.id);
+    EXPECT_EQ(arena.cowCopies(), 0u);
+
+    // Shared: the writer gets a private copy with identical bytes;
+    // the other owner keeps the original.
+    arena.addRef(page);
+    PageRef copy = arena.makeWritable(page);
+    EXPECT_NE(copy.id, page.id);
+    EXPECT_EQ(arena.cowCopies(), 1u);
+    EXPECT_TRUE(copy.solelyOwned());
+    EXPECT_TRUE(page.solelyOwned());
+    EXPECT_EQ(std::memcmp(copy.data, page.data, 64), 0);
+
+    // Diverge the copy; the original is untouched.
+    copy.data[0] = std::byte{0x00};
+    EXPECT_EQ(std::to_integer<int>(page.data[0]), 0x5A);
+
+    arena.release(copy);
+    arena.release(page);
+    EXPECT_EQ(arena.livePages(), 0u);
+}
+
+TEST(PagedVectorTest, CopySharesPagesAndWritesPrivatise)
+{
+    auto arena = std::make_shared<PageArena>(64); // 8 int64 per page
+    PagedVector<std::int64_t> v(arena);
+    for (std::int64_t i = 0; i < 20; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.pageCount(), 3u);
+    EXPECT_EQ(v.sharedPageCount(), 0u);
+
+    PagedVector<std::int64_t> copy(v);
+    EXPECT_EQ(copy.size(), 20u);
+    EXPECT_EQ(v.sharedPageCount(), 3u);
+    EXPECT_EQ(arena->sharedPages(), 3u);
+    // Shared pages are not private bytes; the index still is.
+    EXPECT_LT(copy.privateBytes(), 3 * 64u);
+
+    // A single write privatises exactly one page.
+    copy.set(0, -7);
+    EXPECT_EQ(copy[0], -7);
+    EXPECT_EQ(v[0], 0); // CoW: original untouched
+    EXPECT_EQ(v.sharedPageCount(), 2u);
+    EXPECT_EQ(arena->cowCopies(), 1u);
+
+    // Appending into a shared tail page privatises it too.
+    PagedVector<std::int64_t> tail(v);
+    tail.push_back(99);
+    EXPECT_EQ(tail[20], 99);
+    EXPECT_EQ(v.size(), 20u);
+    for (std::int64_t i = 1; i < 20; ++i)
+        EXPECT_EQ(v[i], i) << i;
+}
+
+TEST(PagedRowsTest, RowsRoundTripAndCopyOnWrite)
+{
+    auto arena = std::make_shared<PageArena>(64); // 2 rows of 8 floats
+    PagedRows rows(arena, 8);
+    for (Index r = 0; r < 5; ++r) {
+        std::vector<Real> row(8, static_cast<Real>(r));
+        rows.appendRow(row);
+    }
+    ASSERT_EQ(rows.rows(), 5);
+    ASSERT_EQ(rows.pageCount(), 3u);
+    EXPECT_EQ(rows.row(3)[0], 3.0f);
+
+    const Matrix dense = rows.toMatrix();
+    ASSERT_EQ(dense.rows(), 5);
+    for (Index r = 0; r < 5; ++r)
+        EXPECT_EQ(dense(r, 7), static_cast<Real>(r));
+
+    PagedRows fork(rows);
+    EXPECT_EQ(arena->sharedPages(), 3u);
+    fork.writableRow(0)[0] = -1.0f;
+    EXPECT_EQ(fork.row(0)[0], -1.0f);
+    EXPECT_EQ(rows.row(0)[0], 0.0f); // original intact
+    EXPECT_EQ(rows.sharedPageCount(), 2u);
+
+    // appendZeroRow really appends zeros.
+    fork.appendZeroRow();
+    EXPECT_EQ(fork.rows(), 6);
+    for (Index c = 0; c < 8; ++c)
+        EXPECT_EQ(fork.row(5)[c], 0.0f) << c;
+}
+
+TEST(PagedRowsTest, PrivateBytesTrackSoleOwnership)
+{
+    auto arena = std::make_shared<PageArena>(64);
+    PagedRows rows(arena, 8);
+    for (Index r = 0; r < 4; ++r)
+        rows.appendZeroRow();
+    const std::size_t alone = rows.privateBytes();
+    EXPECT_GE(alone, 2 * 64u); // both pages solely owned
+
+    {
+        const PagedRows copy(rows);
+        // Fully shared: neither side owns a page privately (only the
+        // PageRef indexes remain private), and the arena prices every
+        // live byte exactly once as shared.
+        EXPECT_EQ(rows.sharedPageCount(), 2u);
+        EXPECT_EQ(arena->sharedBytes(), arena->liveBytes());
+        EXPECT_LT(rows.privateBytes(), 64u);
+        EXPECT_LT(copy.privateBytes(), 64u);
+    }
+    // Copy destroyed: pages return to sole ownership at full price.
+    EXPECT_EQ(rows.privateBytes(), alone);
+    EXPECT_EQ(arena->sharedPages(), 0u);
+}
+
+} // namespace

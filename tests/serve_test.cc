@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/rng.h"
@@ -352,10 +353,12 @@ TEST(DecodeSessionTest, StateBytesAndBlobCompactness)
         cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
 
     DecodeSession session(params, ServeConfig{}, dim);
+    // Weights and LSH params are model cost, priced separately from
+    // the per-session state the eviction budget manages.
+    EXPECT_GT(session.modelBytes(),
+              static_cast<std::size_t>(3 * dim * d) * sizeof(Real));
     const std::size_t empty_bytes = session.stateBytes();
-    // Even an empty session owns its weight copy and LSH params.
-    EXPECT_GT(empty_bytes, static_cast<std::size_t>(3 * dim * d) *
-                               sizeof(Real));
+    EXPECT_GT(empty_bytes, 0u);
     session.prefill(tokens);
     const std::size_t full_bytes = session.stateBytes();
     EXPECT_GT(full_bytes, empty_bytes);
@@ -365,6 +368,121 @@ TEST(DecodeSessionTest, StateBytesAndBlobCompactness)
     // than the live footprint.
     const auto blob = cta::serve::serializeSnapshot(session.snapshot());
     EXPECT_LT(blob.size(), full_bytes / 2);
+}
+
+TEST(DecodeSessionTest, ForkedChildStepsBitIdenticalToUnsharedTwin)
+{
+    // A forked child shares every prefix page copy-on-write, so its
+    // decode must be bit-identical to a standalone session that paid
+    // for the whole prefix itself — and diverging the child must not
+    // perturb the parent.
+    const Index prefill = 64, steps = 8, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(prefill + 2 * steps, dim, 31);
+    Rng rng(12);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    auto parent = std::make_unique<DecodeSession>(params, ServeConfig{},
+                                                  dim);
+    parent->prefill(tokens.rowSlice(0, prefill));
+    const auto prefix = parent->sharedPrefix(0);
+    auto child = DecodeSession::forkFrom(prefix);
+    ASSERT_EQ(child->contextLength(), prefill);
+
+    DecodeSession twin(params, ServeConfig{}, dim);
+    twin.prefill(tokens.rowSlice(0, prefill));
+    for (Index i = 0; i < steps; ++i) {
+        const Matrix got = child->step(tokens.row(prefill + i));
+        const Matrix want = twin.step(tokens.row(prefill + i));
+        ASSERT_TRUE(bitIdentical(got, want)) << "step " << i;
+    }
+
+    // The parent then decodes a *different* continuation; the child's
+    // CoW divergence must not have leaked into shared pages.
+    DecodeSession parent_twin(params, ServeConfig{}, dim);
+    parent_twin.prefill(tokens.rowSlice(0, prefill));
+    for (Index i = 0; i < steps; ++i) {
+        const Matrix got =
+            parent->step(tokens.row(prefill + steps + i));
+        const Matrix want =
+            parent_twin.step(tokens.row(prefill + steps + i));
+        ASSERT_TRUE(bitIdentical(got, want)) << "parent step " << i;
+    }
+}
+
+TEST(DecodeSessionTest, ForkedDeltaSnapshotRestoresBitIdentically)
+{
+    // A forked session's snapshot holds only its divergence; applying
+    // it to a fresh fork of the same prefix must reproduce the exact
+    // state, and the blob must be far smaller than a full snapshot.
+    const Index prefill = 64, steps = 4, dim = 32, d = 16;
+    const Matrix tokens = sampleTokens(prefill + steps + 1, dim, 32);
+    Rng rng(13);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    auto parent = std::make_unique<DecodeSession>(params, ServeConfig{},
+                                                  dim);
+    parent->prefill(tokens.rowSlice(0, prefill));
+    const auto prefix = parent->sharedPrefix(0);
+    auto child = DecodeSession::forkFrom(prefix);
+    std::vector<Matrix> want;
+    for (Index i = 0; i < steps; ++i)
+        want.push_back(child->step(tokens.row(prefill + i)));
+
+    const auto blob = cta::serve::serializeSnapshot(child->snapshot());
+    const auto full_blob =
+        cta::serve::serializeSnapshot(parent->snapshot());
+    EXPECT_LT(blob.size(), full_blob.size() / 4)
+        << "delta blob should skip the shared prefix";
+
+    auto restored = DecodeSession::forkFrom(prefix);
+    restored->restore(cta::serve::deserializeSnapshot(blob));
+    ASSERT_EQ(restored->contextLength(), prefill + steps);
+    EXPECT_TRUE(bitIdentical(restored->kBar(1), child->kBar(1)));
+    EXPECT_TRUE(bitIdentical(restored->vBar(2), child->vBar(2)));
+    const Matrix got = restored->step(tokens.row(prefill + steps));
+    const Matrix ref = child->step(tokens.row(prefill + steps));
+    EXPECT_TRUE(bitIdentical(got, ref));
+}
+
+TEST(IncrementalTwoLevelTest, StateBytesExactAtPrefixes)
+{
+    // stateBytes() must price every resident arena page exactly once:
+    // at any prefix, the session's private footprint covers all live
+    // pages (lower bound) with only index/trie/scratch overhead on
+    // top (upper bound), and the two-level total decomposes exactly
+    // into its levels plus scratch.
+    const Index dim = 32, d = 16;
+    Rng rng(14);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(dim, d, rng);
+
+    std::size_t prev = 0;
+    for (const Index n : {Index{1}, Index{17}, Index{64}, Index{96}}) {
+        DecodeSession session(params, ServeConfig{}, dim);
+        session.prefill(sampleTokens(n, dim, 33));
+
+        const auto &kv = session.kv();
+        EXPECT_EQ(kv.stateBytes(), kv.level1().stateBytes() +
+                                       kv.level2().stateBytes() +
+                                       kv.scratchBytes())
+            << "prefix " << n;
+
+        // Never forked: no page is shared, so the session's private
+        // bytes must cover every page the arena has live.
+        const auto &arena = *session.arena();
+        EXPECT_EQ(arena.sharedBytes(), 0u) << "prefix " << n;
+        const std::size_t state = session.stateBytes();
+        EXPECT_GE(state, arena.liveBytes()) << "prefix " << n;
+        // Index/trie/scratch overhead rides on top but must stay the
+        // same order of magnitude as the paged payload.
+        EXPECT_LT(state,
+                  3 * arena.liveBytes() + (std::size_t{64} << 10))
+            << "prefix " << n;
+        EXPECT_GT(state, prev) << "prefix " << n;
+        prev = state;
+    }
 }
 
 TEST(SnapshotCodecDeathTest, RejectsMalformedBlobs)

@@ -222,6 +222,10 @@ TEST(SessionManagerDeathTest, EnvBudgetParsing)
                 ::testing::ExitedWithCode(1), "positive");
     setenv("CTA_MEM_BUDGET", "1048576", 1);
     EXPECT_EQ(SessionManager::memBudgetFromEnv(), 1048576u);
+    // Human-scale suffixes parse through core::envBytes.
+    setenv("CTA_MEM_BUDGET", "64M", 1);
+    EXPECT_EQ(SessionManager::memBudgetFromEnv(),
+              std::size_t{64} << 20);
     unsetenv("CTA_MEM_BUDGET");
     EXPECT_EQ(SessionManager::memBudgetFromEnv(), 0u);
 }
@@ -287,6 +291,114 @@ TEST(ManagedBatcherTest, FlushRestoresEvictedSessionsAndEnforces)
     EXPECT_FALSE(manager.exists(a));
     EXPECT_EQ(batcher.trySubmit(a, decode.row(0)),
               SubmitResult::SessionRemoved);
+}
+
+TEST(SessionManagerForkTest, ForkSharesPagesAndStepsBitIdentically)
+{
+    const Index prefill = 64, steps = 4;
+    const Matrix prompt = sampleTokens(prefill, 700);
+    const Matrix decode = sampleTokens(steps, 701);
+
+    // Dense 256-byte pages so sharing is visible at this small scale.
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0, 256);
+    const Index parent = manager.createSession(prompt);
+    const std::size_t parent_bytes =
+        manager.acquire(parent).stateBytes();
+    const Index c1 = manager.forkSession(parent);
+    const Index c2 = manager.forkSession(parent);
+
+    // Freshly forked children share every prefix page: their private
+    // footprint is a small fraction of a full copy, and the arena
+    // reports shared pages.
+    const auto stats = manager.stats();
+    EXPECT_EQ(stats.forks, 2u);
+    EXPECT_EQ(stats.prefixes, 1);
+    EXPECT_EQ(stats.prefixesLive, 1);
+    EXPECT_GT(stats.sharedPageBytes, 0u);
+    EXPECT_LT(manager.acquire(c1).stateBytes(), parent_bytes / 4);
+    // Three sessions over one prompt must cost far less than three
+    // full copies.
+    EXPECT_LT(manager.residentBytes(), 2 * 3 * parent_bytes / 2);
+
+    // Decode through the fork must match an unshared session bit for
+    // bit, for both children (same stream -> same bits).
+    SessionManager solo(headParams(), ServeConfig{}, kDim, 0, 256);
+    const Index twin = solo.createSession(prompt);
+    for (Index i = 0; i < steps; ++i) {
+        const Matrix want = solo.acquire(twin).step(decode.row(i));
+        EXPECT_TRUE(bitIdentical(
+            manager.acquire(c1).step(decode.row(i)), want))
+            << "child 1 step " << i;
+        EXPECT_TRUE(bitIdentical(
+            manager.acquire(c2).step(decode.row(i)), want))
+            << "child 2 step " << i;
+    }
+}
+
+TEST(SessionManagerForkTest, ForkedEvictRestoreIsBitIdentical)
+{
+    const Index prefill = 48, steps = 6;
+    const Matrix prompt = sampleTokens(prefill, 710);
+    const Matrix decode = sampleTokens(steps, 711);
+
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0, 256);
+    const Index parent = manager.createSession(prompt);
+    const Index victim = manager.forkSession(parent);
+    const Index twin = manager.forkSession(parent);
+
+    // The victim is squeezed through its delta blob between every
+    // step; the twin never is. Same stream, same bits.
+    for (Index i = 0; i < steps; ++i) {
+        manager.evict(victim);
+        ASSERT_TRUE(manager.isEvicted(victim));
+        const Matrix got =
+            manager.acquire(victim).step(decode.row(i));
+        const Matrix want =
+            manager.acquire(twin).step(decode.row(i));
+        EXPECT_TRUE(bitIdentical(got, want)) << "step " << i;
+    }
+    // Forked snapshots are deltas: far smaller than the standalone
+    // parent's full snapshot of the same prompt.
+    manager.evict(victim);
+    const std::size_t delta_blob = manager.evictedBlobBytes();
+    manager.evict(parent);
+    const std::size_t full_blob =
+        manager.evictedBlobBytes() - delta_blob;
+    EXPECT_LT(delta_blob, full_blob / 2);
+}
+
+TEST(SessionManagerForkTest, PrefixEvictsOnlyWhenColdAndResolvesBack)
+{
+    const Index prefill = 48, steps = 3;
+    const Matrix prompt = sampleTokens(prefill, 720);
+    const Matrix decode = sampleTokens(steps, 721);
+
+    SessionManager manager(headParams(), ServeConfig{}, kDim, 0, 256);
+    const Index parent = manager.createSession(prompt);
+    const Index child = manager.forkSession(parent);
+    ASSERT_EQ(manager.prefixCount(), 1);
+    ASSERT_TRUE(manager.isPrefixLive(0));
+
+    // A prefix with a live forked session is hot: not evictable.
+    EXPECT_FALSE(manager.evictPrefixIfCold(0));
+    manager.evict(child);
+    EXPECT_TRUE(manager.evictPrefixIfCold(0));
+    EXPECT_FALSE(manager.isPrefixLive(0));
+    EXPECT_EQ(manager.stats().prefixEvictions, 1u);
+    EXPECT_GT(manager.stats().prefixBlobBytes, 0u);
+
+    // Touching the child resolves the prefix back from its blob and
+    // the decode is still bit-identical to an unshared twin.
+    SessionManager solo(headParams(), ServeConfig{}, kDim, 0, 256);
+    const Index twin = solo.createSession(prompt);
+    for (Index i = 0; i < steps; ++i) {
+        const Matrix got =
+            manager.acquire(child).step(decode.row(i));
+        const Matrix want = solo.acquire(twin).step(decode.row(i));
+        EXPECT_TRUE(bitIdentical(got, want)) << "step " << i;
+    }
+    EXPECT_TRUE(manager.isPrefixLive(0));
+    EXPECT_EQ(manager.stats().prefixRestores, 1u);
 }
 
 } // namespace

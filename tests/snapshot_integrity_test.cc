@@ -168,6 +168,40 @@ TEST(SnapshotIntegrityTest, ForgedChecksumStillRejectsBadStructure)
         cta::serve::tryDeserializeSnapshot(lied, &snap, nullptr));
 }
 
+TEST(SnapshotIntegrityTest, LegacyVersionsRejectedWithVersionedError)
+{
+    // Pre-v3 blobs (flat snapshots without prefix deltas) are no
+    // longer decodable. They must be refused with an error that names
+    // the stale version — operationally distinct from corruption, so
+    // an operator knows to re-snapshot rather than hunt bit rot.
+    for (const std::uint8_t legacy : {std::uint8_t{1},
+                                      std::uint8_t{2}}) {
+        auto blob = sampleBlob();
+        blob[4] = legacy; // version lives right after the magic
+        forgeCrc(blob);   // valid checksum: this is not corruption
+        SessionSnapshot snap;
+        std::string error;
+        EXPECT_FALSE(
+            cta::serve::tryDeserializeSnapshot(blob, &snap, &error));
+        EXPECT_NE(error.find("legacy"), std::string::npos) << error;
+        EXPECT_NE(error.find(std::to_string(unsigned{legacy})),
+                  std::string::npos)
+            << error;
+    }
+
+    // Future/unknown versions get the generic unsupported message,
+    // not the legacy one.
+    auto blob = sampleBlob();
+    blob[4] = 0x09;
+    forgeCrc(blob);
+    SessionSnapshot snap;
+    std::string error;
+    EXPECT_FALSE(
+        cta::serve::tryDeserializeSnapshot(blob, &snap, &error));
+    EXPECT_EQ(error.find("legacy"), std::string::npos) << error;
+    EXPECT_NE(error.find("unsupported"), std::string::npos) << error;
+}
+
 TEST(SnapshotIntegrityDeathTest, FatalVariantAbortsOnCorruption)
 {
     auto blob = sampleBlob();
