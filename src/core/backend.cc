@@ -1,11 +1,13 @@
 #include "core/backend.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/env.h"
 #include "core/logging.h"
 #include "core/matrix.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 
 namespace cta::core {
 
@@ -18,8 +20,15 @@ namespace {
  */
 constexpr Index kRowGrain = 8;
 
-/** GEMMs below this MAC count run inline even on pooled backends. */
-constexpr Index kSerialGemmMacs = 64 * 64 * 64;
+/**
+ * GEMMs below this MAC count run inline even on pooled backends.
+ * Sized from the micro-kernel sweep: at 128^3 (2.1M MACs) the serial
+ * blocked kernel beats any fan-out — dispatch overhead dominates —
+ * while 256^3 (16.8M) gains from the pool. Outputs are unchanged
+ * either way (the determinism contract makes the partition
+ * invisible), so the cutover is purely a scheduling decision.
+ */
+constexpr Index kSerialGemmMacs = 4 * 1024 * 1024;
 
 /**
  * Reference ikj GEMM over output rows [row_begin, row_end): for each
@@ -353,6 +362,69 @@ ParallelBackend::reduceRows(Index rows,
     return combineChunks(partials);
 }
 
+std::string
+SimdBackend::name() const
+{
+    return std::string("simd[") +
+           simdLevelName(activeSimdLevel()) + "]:" +
+           std::to_string(threadCount());
+}
+
+void
+SimdBackend::gemm(const Matrix &a, const Matrix &b, Matrix &c) const
+{
+    // Short A (every decode-path GEMM is M = 1): skip the B pack —
+    // it would cost more than the multiply itself. Same FMA chain per
+    // element as the packed path, so the routing is invisible.
+    if (a.rows() < kSimdMr) {
+        simdVecMatRows(a, b, c, 0, a.rows());
+        return;
+    }
+    // When the width is a multiple of the panel width, row-major B IS
+    // a valid panel sequence read with k-stride = width, so the pack —
+    // a serial full-B copy billed to every GEMM — is skipped and the
+    // kernels read B in place. Ragged widths still pack to get the
+    // zero-padded tail panel.
+    std::vector<Real> packed;
+    const Real *panels;
+    Index bstride;
+    if (b.cols() % kSimdPanelWidth == 0) {
+        panels = b.data();
+        bstride = b.cols();
+    } else {
+        simdPackB(b, packed);
+        panels = packed.data();
+        bstride = kSimdPanelWidth;
+    }
+    if (a.rows() * a.cols() * b.cols() <= kSerialGemmMacs) {
+        simdGemmRowsPacked(a, panels, b.cols(), c, 0, a.rows(),
+                           0, a.cols(), bstride);
+        return;
+    }
+    // Depth slices OUTSIDE the thread fan-out: each kKc-deep slice of
+    // the packed B (width x 1 KB at kKc = 256) stays L2-resident
+    // across every row chunk, so B streams from memory once per GEMM
+    // instead of once per chunk — past ~256^3 the working set
+    // outgrows L2 and that re-streaming, not the FMA ports, is what
+    // bounds the kernel. Slices continue each element's k-ascending
+    // FMA chain through an exact fp32 store/load, so the slicing —
+    // like the row partition — is invisible in the results.
+    constexpr Index kKc = 256;
+    const Index depth = a.cols();
+    for (Index k0 = 0; k0 < depth; k0 += kKc) {
+        const Index k1 = std::min<Index>(depth, k0 + kKc);
+        // Grain 16 = 6 + 6 + 4: every full chunk decomposes into the
+        // tall micro-kernels with no 1-row tail.
+        parallelFor(pool(), 0, a.rows(),
+                    [&](Index row_begin, Index row_end) {
+                        simdGemmRowsPacked(a, panels, b.cols(), c,
+                                           row_begin, row_end, k0, k1,
+                                           bstride);
+                    },
+                    /*grain=*/16);
+    }
+}
+
 namespace {
 
 /** Test override slot; nullptr means "use the environment default". */
@@ -369,7 +441,7 @@ defaultBackend()
 {
     static std::unique_ptr<Backend> instance = [] {
         const char *env = envString("CTA_BACKEND");
-        return makeBackend(env ? env : "parallel");
+        return makeBackend(env ? env : "simd");
     }();
     return *instance;
 }
@@ -394,22 +466,29 @@ setActiveBackend(Backend *backend)
 std::unique_ptr<Backend>
 makeBackend(const std::string &spec)
 {
+    const auto pooledThreads = [&spec](const char *prefix) {
+        const long threads =
+            parseEnvInt(spec.c_str() + std::strlen(prefix),
+                        "CTA_BACKEND thread count");
+        CTA_REQUIRE(threads >= 1 && threads <= 64,
+                    "backend thread count in '", spec,
+                    "' outside [1, 64]");
+        return static_cast<int>(threads);
+    };
     if (spec == "naive")
         return std::make_unique<NaiveBackend>();
     if (spec == "parallel")
         return std::make_unique<ParallelBackend>();
-    const std::string prefix = "parallel:";
-    if (spec.rfind(prefix, 0) == 0) {
-        const long threads = parseEnvInt(spec.c_str() + prefix.size(),
-                                         "CTA_BACKEND thread count");
-        CTA_REQUIRE(threads >= 1 && threads <= 64,
-                    "backend thread count in '", spec,
-                    "' outside [1, 64]");
+    if (spec == "simd")
+        return std::make_unique<SimdBackend>();
+    if (spec.rfind("parallel:", 0) == 0)
         return std::make_unique<ParallelBackend>(
-            static_cast<int>(threads));
-    }
+            pooledThreads("parallel:"));
+    if (spec.rfind("simd:", 0) == 0)
+        return std::make_unique<SimdBackend>(pooledThreads("simd:"));
     CTA_PANIC("unknown backend '", spec,
-              "' (expected naive | parallel | parallel:<threads>)");
+              "' (expected naive | parallel[:<threads>] | "
+              "simd[:<threads>])");
 }
 
 } // namespace cta::core

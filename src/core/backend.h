@@ -9,25 +9,35 @@
  * kernels — or, later, SIMD / batched / sharded ones — is a matter
  * of installing another backend.
  *
- * Two implementations ship today:
+ * Three implementations ship today:
  *  - NaiveBackend: the original single-threaded reference kernels,
  *    kept verbatim as the op-count and bit-exactness reference.
  *  - ParallelBackend: cache-blocked, register-tiled kernels fanned
  *    out over a persistent thread pool (core/parallel.h).
+ *  - SimdBackend: ParallelBackend plus a packed-panel vectorized
+ *    GEMM with runtime ISA dispatch (core/simd.h; CTA_SIMD knob).
  *
- * Determinism contract: both backends produce bit-identical results
- * for any thread count. Work is partitioned over OUTPUT rows only
- * and each output element keeps the reference accumulation order
- * (ascending k); reductions combine per-chunk partials in ascending
- * chunk order with thread-count-independent chunking
- * (core/parallel.h chunkSpans). OpCounts are charged analytically by
- * the calling kernel wrappers and therefore never depend on the
- * backend or thread count.
+ * Determinism contract: every backend produces results that are a
+ * pure function of the inputs — independent of thread count. Work is
+ * partitioned over OUTPUT rows only and each output element keeps a
+ * fixed accumulation order (ascending k); reductions combine
+ * per-chunk partials in ascending chunk order with
+ * thread-count-independent chunking (core/parallel.h chunkSpans).
+ * naive and parallel are bit-identical to each other everywhere;
+ * simd is additionally bit-identical to them for gemmTransposedB,
+ * mapRows and reduceRows, while its gemm uses one k-ascending FMA
+ * chain per output element regardless of shape — bit-identical
+ * across every ISA level, thread count and internal kernel routing,
+ * differing from the reference chain only by FMA's removed
+ * intermediate roundings (so the incremental-equals-batch serving
+ * contracts hold within each backend). OpCounts are charged
+ * analytically by the calling kernel wrappers and therefore never
+ * depend on the backend or thread count.
  *
  * Selection: the default backend is chosen once from the CTA_BACKEND
- * environment variable ("parallel", the default, or "naive"), with
- * the thread count from CTA_THREADS; tests override it with
- * setActiveBackend().
+ * environment variable ("simd", the default, "parallel", or
+ * "naive"), with the thread count from CTA_THREADS; tests override
+ * it with setActiveBackend().
  */
 
 #pragma once
@@ -54,6 +64,14 @@ class Backend
 
     /** Worker threads this backend may use (1 for serial backends). */
     virtual int threadCount() const = 0;
+
+    /**
+     * True when gemm() accumulates each output element with a fused
+     * multiply-add chain (one rounding per step) instead of the
+     * naive mul-then-add chain. Kernels that must replicate a gemm's
+     * numerics exactly (the fused decode kernel) dispatch on this.
+     */
+    virtual bool gemmFmaChains() const { return false; }
 
     /**
      * C = A * B. @p c is pre-sized to rows(A) x cols(B) and
@@ -131,10 +149,31 @@ class ParallelBackend : public Backend
     Wide reduceRows(Index rows, const std::function<Wide(Index, Index)>
                                     &body) const override;
 
-  private:
+  protected:
     ThreadPool &pool() const;
 
+  private:
     std::unique_ptr<ThreadPool> owned_; ///< set when threads > 0
+};
+
+/**
+ * ParallelBackend with the GEMM replaced by the vectorized kernels
+ * from core/simd.h (AVX-512 / AVX2 / NEON with a scalar fallback,
+ * dispatched at runtime and forceable via CTA_SIMD). Every output
+ * element is one k-ascending FMA chain: GEMMs with fewer than
+ * kSimdMr rows — every per-token decode GEMM — skip the B pack but
+ * keep the identical chain, so a value never depends on shape
+ * routing, ISA level or thread count (see core/simd.h).
+ */
+class SimdBackend : public ParallelBackend
+{
+  public:
+    using ParallelBackend::ParallelBackend;
+
+    std::string name() const override;
+    bool gemmFmaChains() const override { return true; }
+    void gemm(const Matrix &a, const Matrix &b,
+              Matrix &c) const override;
 };
 
 /**
@@ -153,8 +192,8 @@ Backend &activeBackend();
 Backend *setActiveBackend(Backend *backend);
 
 /**
- * Factory: "naive" or "parallel" (optionally "parallel:<threads>").
- * Fatal on unknown names.
+ * Factory: "naive", "parallel" or "simd" (the pooled ones optionally
+ * suffixed ":<threads>"). Fatal on unknown names.
  */
 std::unique_ptr<Backend> makeBackend(const std::string &spec);
 

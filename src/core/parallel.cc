@@ -35,16 +35,40 @@ parseEnvInt(const char *text, const char *what)
 }
 
 int
-configuredThreadCount()
+resolveThreadCount(std::optional<long> env_threads, unsigned hardware,
+                   bool *warned_oversubscribed)
 {
-    if (const auto parsed = envInt("CTA_THREADS")) {
-        const long clamped = std::clamp(*parsed, 1l, 64l);
-        if (clamped != *parsed)
-            CTA_WARN("CTA_THREADS=", *parsed, " clamped to ", clamped);
+    if (warned_oversubscribed)
+        *warned_oversubscribed = false;
+    // hardware_concurrency() may legitimately return 0 ("not
+    // computable"); treat that as a single core, never as zero
+    // threads.
+    const unsigned hw = hardware == 0 ? 1u : hardware;
+    if (env_threads) {
+        const long clamped = std::clamp(*env_threads, 1l, 64l);
+        if (clamped != *env_threads)
+            CTA_WARN("CTA_THREADS=", *env_threads, " clamped to ",
+                     clamped);
+        if (static_cast<unsigned long>(clamped) > hw) {
+            if (warned_oversubscribed)
+                *warned_oversubscribed = true;
+            static std::atomic<bool> warned_once{false};
+            if (!warned_once.exchange(true))
+                CTA_WARN("CTA_THREADS=", clamped,
+                         " exceeds the hardware concurrency (", hw,
+                         "); the extra threads cannot speed "
+                         "anything up");
+        }
         return static_cast<int>(clamped);
     }
-    const unsigned hw = std::thread::hardware_concurrency();
     return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+int
+configuredThreadCount()
+{
+    return resolveThreadCount(envInt("CTA_THREADS"),
+                              std::thread::hardware_concurrency());
 }
 
 std::vector<std::pair<Index, Index>>
@@ -65,13 +89,16 @@ chunkSpans(Index begin, Index end, Index grain)
     return spans;
 }
 
-ThreadPool::ThreadPool(int threads)
+ThreadPool::ThreadPool(int threads, bool force_fanout)
+    : forceFanout_(force_fanout)
 {
     CTA_REQUIRE(threads >= 1, "thread pool needs >= 1 thread, got ",
                 threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    hardwareThreads_ = static_cast<int>(hw == 0 ? 1u : hw);
     workers_.reserve(static_cast<std::size_t>(threads - 1));
     for (int w = 1; w < threads; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
+        workers_.emplace_back([this] { workerLoop(); });
 }
 
 ThreadPool::~ThreadPool()
@@ -86,13 +113,16 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::runShare(int worker_idx, Index num_tasks,
-                     const std::function<void(Index)> &task,
-                     std::vector<std::exception_ptr> &errors)
+ThreadPool::drainTasks(Index num_tasks,
+                       const std::function<void(Index)> &task,
+                       std::vector<std::exception_ptr> &errors)
 {
-    const auto stride = static_cast<Index>(threadCount());
     tls_in_pool_task = true;
-    for (Index t = worker_idx; t < num_tasks; t += stride) {
+    for (;;) {
+        const Index t =
+            nextTask_.fetch_add(1, std::memory_order_relaxed);
+        if (t >= num_tasks)
+            break;
         try {
             task(t);
         } catch (...) {
@@ -108,10 +138,15 @@ ThreadPool::run(Index num_tasks, const std::function<void(Index)> &task)
 {
     if (num_tasks <= 0)
         return;
-    // Re-entrant or contended invocations fall back to inline serial
-    // execution — same chunks, ascending order, identical results.
-    const bool inline_only = workers_.empty() || tls_in_pool_task ||
-                             !runMutex_.try_lock();
+    // Inline serial execution — same tasks, ascending order,
+    // identical results — when fanning out cannot help (no workers;
+    // more pool threads than hardware threads to run them, where
+    // waking workers only adds context switches) or is not possible
+    // (re-entrant or contended invocation).
+    const bool inline_only =
+        workers_.empty() ||
+        (!forceFanout_ && threadCount() > hardwareThreads_) ||
+        tls_in_pool_task || !runMutex_.try_lock();
     if (inline_only) {
         std::vector<std::exception_ptr> errors(
             static_cast<std::size_t>(num_tasks));
@@ -140,11 +175,12 @@ ThreadPool::run(Index num_tasks, const std::function<void(Index)> &task)
         numTasks_ = num_tasks;
         errors_ = &errors;
         pendingWorkers_ = static_cast<int>(workers_.size());
+        nextTask_.store(0, std::memory_order_relaxed);
         ++epoch_;
     }
     wake_cv_.notify_all();
 
-    runShare(0, num_tasks, task, errors);
+    drainTasks(num_tasks, task, errors);
 
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -160,7 +196,7 @@ ThreadPool::run(Index num_tasks, const std::function<void(Index)> &task)
 }
 
 void
-ThreadPool::workerLoop(int worker_idx)
+ThreadPool::workerLoop()
 {
     std::uint64_t seen_epoch = 0;
     for (;;) {
@@ -179,7 +215,7 @@ ThreadPool::workerLoop(int worker_idx)
             num_tasks = numTasks_;
             errors = errors_;
         }
-        runShare(worker_idx, num_tasks, *task, *errors);
+        drainTasks(num_tasks, *task, *errors);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--pendingWorkers_ == 0)

@@ -15,9 +15,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -44,6 +47,19 @@ long parseEnvInt(const char *text, const char *what);
 int configuredThreadCount();
 
 /**
+ * The pure policy behind configuredThreadCount(), testable without
+ * touching the environment: @p env_threads is the parsed CTA_THREADS
+ * value (nullopt when unset), @p hardware the reported hardware
+ * concurrency — 0 (the standard's "unknown" value) resolves to 1.
+ * Warns once per process when the requested count exceeds the
+ * hardware concurrency; @p warned_oversubscribed (optional) reports
+ * that condition on every call regardless of the once-latch.
+ */
+int resolveThreadCount(std::optional<long> env_threads,
+                       unsigned hardware,
+                       bool *warned_oversubscribed = nullptr);
+
+/**
  * Deterministic static partition of [begin, end) into contiguous
  * chunks of at least @p grain iterations, capped at kMaxChunks
  * chunks. Depends only on its arguments (see the determinism
@@ -56,21 +72,37 @@ std::vector<std::pair<Index, Index>> chunkSpans(Index begin, Index end,
 inline constexpr Index kMaxChunks = 64;
 
 /**
- * A pool of persistent worker threads executing statically
- * partitioned task batches.
+ * A pool of persistent worker threads draining task batches through
+ * a shared ticket counter (work stealing over a fixed task list).
  *
- * run() assigns task t to worker t % threadCount() (the calling
- * thread participates as worker 0), so the task->worker mapping is
- * deterministic. Re-entrant use — run() called from inside a task,
- * or while another run() is in flight — degrades to inline serial
- * execution of the same tasks in ascending order, which by the
- * determinism contract computes identical results.
+ * run() publishes the batch and every participant — the calling
+ * thread plus any worker that wakes in time — claims the next
+ * unclaimed task index until the batch is drained. A worker that
+ * finishes its task immediately steals the next one, so load
+ * imbalance between chunks never idles a thread; a worker that
+ * arrives after the caller drained everything claims nothing and
+ * goes back to sleep. Which thread ran which task is
+ * non-deterministic, but every task runs exactly once and tasks are
+ * mutually independent by contract, so results are bit-identical for
+ * any schedule.
+ *
+ * Fan-out is skipped entirely — the batch runs inline on the caller
+ * — when the pool has more threads than the machine has hardware
+ * concurrency to run them (oversubscription can only add context
+ * switches), when run() is re-entered from inside a task, or when
+ * another run() is in flight. Inline execution processes the same
+ * tasks in ascending order: identical results by the same contract.
  */
 class ThreadPool
 {
   public:
-    /** Spawns @p threads - 1 workers (the caller is the last one). */
-    explicit ThreadPool(int threads);
+    /**
+     * Spawns @p threads - 1 workers (the caller is the last one).
+     * @p force_fanout disables the oversubscription inline shortcut
+     * so tests can exercise the cross-thread claiming path on any
+     * machine.
+     */
+    explicit ThreadPool(int threads, bool force_fanout = false);
 
     ~ThreadPool();
 
@@ -95,14 +127,16 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
-    void workerLoop(int worker_idx);
+    void workerLoop();
 
-    /** Runs this worker's static share of the current batch. */
-    void runShare(int worker_idx, Index num_tasks,
-                  const std::function<void(Index)> &task,
-                  std::vector<std::exception_ptr> &errors);
+    /** Claims and runs tasks off nextTask_ until the batch drains. */
+    void drainTasks(Index num_tasks,
+                    const std::function<void(Index)> &task,
+                    std::vector<std::exception_ptr> &errors);
 
     std::vector<std::thread> workers_;
+    int hardwareThreads_ = 1; ///< snapshot at construction, >= 1
+    bool forceFanout_ = false;
 
     std::mutex mutex_;
     std::condition_variable wake_cv_;
@@ -113,6 +147,10 @@ class ThreadPool
     std::vector<std::exception_ptr> *errors_ = nullptr;
     int pendingWorkers_ = 0;       ///< spawned workers still running
     bool stop_ = false;
+
+    /** Next unclaimed task index of the current batch. Reset under
+     *  mutex_ before each epoch; claimed lock-free while draining. */
+    std::atomic<Index> nextTask_{0};
 
     std::mutex runMutex_;          ///< serializes concurrent run()s
 };

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD primitives under the compute-backend layer.
+ *
+ * One translation unit (simd.cc) holds every vector kernel, each
+ * compiled for its ISA with per-function target attributes (AVX2,
+ * AVX-512, NEON on aarch64) plus a scalar fallback, and dispatched at
+ * runtime from the detected — or CTA_SIMD-forced — level. No TU-wide
+ * -march is needed, so the same binary runs on any host and picks the
+ * widest path it supports.
+ *
+ * Determinism contract (the part that makes vectorization safe here):
+ * every primitive preserves the PER-ELEMENT operation sequence of its
+ * scalar reference. Vector width only changes which independent
+ * elements execute together, never the rounding sequence of any one
+ * element:
+ *
+ *  - simdRowMax: max is exact (no rounding), so any scan order gives
+ *    the same result for finite/-inf data.
+ *  - simdScaleRow / simdAddRow / simdMulAddRow / simdFmaRow: one
+ *    multiply and/or one add (or one fused multiply-add) per element
+ *    — identical at every width.
+ *  - simdVecMatRows / simdGemmRowsPacked: per output element ONE
+ *    k-ascending fused-multiply-add chain — the same chain class in
+ *    both, so routing between them is bitwise-invisible. FMA rounds
+ *    once per step, and scalar std::fmaf == AVX2 vfmadd == AVX-512
+ *    vfmadd == NEON vfma for the same operands, so the result is
+ *    bit-identical across every ISA level and thread count — it
+ *    differs from the naive (mul+add) reference chain only by the
+ *    removed intermediate roundings.
+ *
+ * Selection: resolved once from the CTA_SIMD environment variable
+ * ("auto" by default; "off"/"scalar", "avx2", "avx512", "neon" force
+ * a level, fatal when unsupported or unknown); tests override with
+ * setSimdLevel().
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace cta::core {
+
+class Matrix;
+
+/** Vector ISA levels, ordered by preference within an architecture. */
+enum class SimdLevel
+{
+    Scalar = 0, ///< portable scalar kernels (also the CTA_SIMD=off path)
+    Avx2 = 1,   ///< 8-lane float AVX2 + FMA
+    Avx512 = 2, ///< 16-lane float AVX-512F
+    Neon = 3,   ///< 4-lane float NEON (aarch64)
+};
+
+/** Human-readable level name ("scalar", "avx2", ...). */
+const char *simdLevelName(SimdLevel level);
+
+/** Highest level the host CPU supports. */
+SimdLevel detectSimdLevel();
+
+/** True when the host can execute kernels of @p level. */
+bool simdLevelSupported(SimdLevel level);
+
+/**
+ * The level every simd* primitive dispatches on, resolved once from
+ * CTA_SIMD (fatal on unknown names or unsupported forced levels),
+ * unless overridden by setSimdLevel().
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * Forces the active level (test hook for ISA A/B comparisons).
+ * Returns the previously forced level setting. Fatal when @p level is
+ * not supported by the host. Not thread-safe against concurrent
+ * kernel dispatch — switch levels only between computations.
+ */
+SimdLevel setSimdLevel(SimdLevel level);
+
+/**
+ * Measures register-resident FMA throughput (GFLOP/s) at the active
+ * level — the compute ceiling for the bench roofline table. Runs for
+ * a few tens of milliseconds.
+ */
+double simdFmaPeakGflops();
+
+/** max of x[0..n): exact (no rounding), order-independent for
+ *  finite/-inf data. n must be >= 1. */
+Real simdRowMax(const Real *x, Index n);
+
+/** x[j] *= s for j in [0, n). */
+void simdScaleRow(Real *x, Index n, Real s);
+
+/** acc[j] += x[j] for j in [0, n). */
+void simdAddRow(Real *acc, const Real *x, Index n);
+
+/** acc[j] += w * x[j] (multiply, then add — the reference GEMM
+ *  accumulation step) for j in [0, n). */
+void simdMulAddRow(Real *acc, const Real *x, Real w, Index n);
+
+/** acc[j] = fma(w, x[j], acc[j]) for j in [0, n) — the SimdBackend
+ *  GEMM accumulation step (one rounding per element). */
+void simdFmaRow(Real *acc, const Real *x, Real w, Index n);
+
+/** Width of one packed B panel (simdPackB / simdGemmRowsPacked). */
+inline constexpr Index kSimdPanelWidth = 64;
+
+/** Row-block height of the packed GEMM micro-kernel; SimdBackend
+ *  routes matrices with fewer rows to simdVecMatRows instead. */
+inline constexpr Index kSimdMr = 4;
+
+/**
+ * Packs row-major @p b into kSimdPanelWidth-wide column panels,
+ * zero-padded to full width: panel p holds rows k = 0..K-1 of columns
+ * [p*W, (p+1)*W). Pure data movement — no rounding.
+ */
+void simdPackB(const Matrix &b, std::vector<Real> &packed);
+
+/**
+ * Packed-panel GEMM over output rows [row_begin, row_end) of
+ * C += A * B, reading B from simdPackB(@p packed). Each output
+ * element is one k-ascending FMA chain (see the file contract);
+ * results are a pure function of the inputs — independent of the row
+ * partition, the panel partition, the ISA level and the thread count.
+ *
+ * [@p k_begin, @p k_end) restricts the accumulation to a depth slice:
+ * C += A[:, k_begin:k_end) * B[k_begin:k_end, :); k_end = -1 means
+ * "through the last k". SimdBackend loops depth slices OUTSIDE its
+ * thread fan-out so each slice's panels stay L2-resident across every
+ * row chunk instead of re-streaming the full packed B per chunk.
+ * Slicing is bitwise-invisible: consecutive slices continue each
+ * element's k-ascending FMA chain through an exact store/load of the
+ * fp32 partial — the same rounding sequence as one unbroken chain.
+ *
+ * @p bstride is the distance in floats between consecutive k rows of
+ * a panel: kSimdPanelWidth for a simdPackB image (the default), or
+ * B's column count to read a row-major B in place — when the width is
+ * a multiple of the panel width, B's own storage IS a valid panel
+ * sequence and the copy (and its memory-bandwidth bill) can be
+ * skipped. Same loads, same chains, bit-identical either way.
+ */
+void simdGemmRowsPacked(const Matrix &a, const Real *packed,
+                        Index width, Matrix &c, Index row_begin,
+                        Index row_end, Index k_begin = 0,
+                        Index k_end = -1,
+                        Index bstride = kSimdPanelWidth);
+
+/**
+ * Vector-times-matrix rows for short A (rows < kSimdMr), avoiding
+ * the B pack: C += A * B with the same k-ascending FMA chain per
+ * element as simdGemmRowsPacked, so a GEMM's result never depends on
+ * which of the two paths ran it.
+ */
+void simdVecMatRows(const Matrix &a, const Matrix &b, Matrix &c,
+                    Index row_begin, Index row_end);
+
+} // namespace cta::core

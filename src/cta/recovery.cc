@@ -1,5 +1,6 @@
 #include "cta/recovery.h"
 
+#include "core/backend.h"
 #include "core/logging.h"
 #include "nn/softmax.h"
 
@@ -21,17 +22,23 @@ recoverScores(const CtaIntermediates &inter, Index m)
     const auto n = static_cast<Index>(ct1.size());
     const Index k1 = inter.kvComp.level1.numClusters;
 
+    // Row-parallel gather: each output row reads only its own query
+    // cluster's score row — disjoint writes, no reductions, so the
+    // partition cannot change any result.
     Matrix scores(m, n);
-    for (Index i = 0; i < m; ++i) {
-        const Index c0 = ct0[static_cast<std::size_t>(i)];
-        for (Index j = 0; j < n; ++j) {
-            const Index c1 = ct1[static_cast<std::size_t>(j)];
-            const Index c2 =
-                k1 + ct2[static_cast<std::size_t>(j)];
-            scores(i, j) =
-                inter.sBar(c0, c1) + inter.sBar(c0, c2);
-        }
-    }
+    core::activeBackend().mapRows(
+        m, [&](Index row_begin, Index row_end) {
+            for (Index i = row_begin; i < row_end; ++i) {
+                const Index c0 = ct0[static_cast<std::size_t>(i)];
+                for (Index j = 0; j < n; ++j) {
+                    const Index c1 = ct1[static_cast<std::size_t>(j)];
+                    const Index c2 =
+                        k1 + ct2[static_cast<std::size_t>(j)];
+                    scores(i, j) =
+                        inter.sBar(c0, c1) + inter.sBar(c0, c2);
+                }
+            }
+        });
     return scores;
 }
 

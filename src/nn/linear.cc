@@ -6,6 +6,7 @@
 #include "core/logging.h"
 #include "core/op_counter.h"
 #include "core/rng.h"
+#include "core/simd.h"
 
 namespace cta::nn {
 
@@ -42,11 +43,15 @@ Linear::forward(const Matrix &x, OpCounts *counts) const
                 "linear input dim ", x.cols(), " != ", weight_.rows());
     Matrix y = matmul(x, weight_, counts);
     if (bias_) {
+        // Vectorized per-row bias add: one add per element at every
+        // vector width, so results stay bit-identical to the scalar
+        // loop (and to every ISA level).
+        const Real *brow = bias_->row(0).data();
         core::activeBackend().mapRows(
             y.rows(), [&](Index row_begin, Index row_end) {
                 for (Index i = row_begin; i < row_end; ++i)
-                    for (Index j = 0; j < y.cols(); ++j)
-                        y(i, j) += (*bias_)(0, j);
+                    core::simdAddRow(y.row(i).data(), brow,
+                                     y.cols());
             });
         if (counts)
             counts->adds += static_cast<std::uint64_t>(y.size());

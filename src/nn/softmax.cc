@@ -6,6 +6,7 @@
 #include "core/backend.h"
 #include "core/logging.h"
 #include "core/op_counter.h"
+#include "core/simd.h"
 
 namespace cta::nn {
 
@@ -24,12 +25,22 @@ rowExp(const Matrix &scores, Matrix &row_sums, OpCounts *counts)
     Matrix out(scores.rows(), scores.cols());
     row_sums = Matrix(scores.rows(), 1);
     // Row-parallel: each row's max/exp/denominator is independent.
+    // The max scan is vectorized (exact — no rounding); the exp loop
+    // stays scalar with a single ascending Wide denominator chain so
+    // results are bit-identical at every ISA level and thread count.
     core::activeBackend().mapRows(
         scores.rows(), [&](Index row_begin, Index row_end) {
             for (Index i = row_begin; i < row_end; ++i) {
-                const auto row = scores.row(i);
-                const Real row_max =
-                    *std::max_element(row.begin(), row.end());
+                const Real row_max = core::simdRowMax(
+                    scores.row(i).data(), scores.cols());
+                if (std::isinf(row_max) && row_max < Real{0}) {
+                    // Fully-masked row: exp(-inf - -inf) would be
+                    // NaN. Defined as "attends to nothing" instead.
+                    Real *orow = out.row(i).data();
+                    std::fill(orow, orow + out.cols(), Real{0});
+                    row_sums(i, 0) = 0;
+                    continue;
+                }
                 Wide denom = 0;
                 for (Index j = 0; j < scores.cols(); ++j) {
                     const Real e = std::exp(scores(i, j) - row_max);
@@ -42,10 +53,17 @@ rowExp(const Matrix &scores, Matrix &row_sums, OpCounts *counts)
     if (counts) {
         const auto cells = static_cast<std::uint64_t>(scores.size());
         const auto rows = static_cast<std::uint64_t>(scores.rows());
-        counts->cmps += cells - rows;  // max scan
-        counts->adds += cells;         // shift by max
-        counts->exps += cells;
-        counts->adds += cells - rows;  // denominator sum
+        const auto cols = static_cast<std::uint64_t>(scores.cols());
+        std::uint64_t masked = 0;
+        for (Index i = 0; i < scores.rows(); ++i)
+            if (row_sums(i, 0) == Real{0})
+                ++masked;
+        const std::uint64_t live_cells = cells - masked * cols;
+        const std::uint64_t live_rows = rows - masked;
+        counts->cmps += cells - rows;  // max scan (every row)
+        counts->adds += live_cells;    // shift by max
+        counts->exps += live_cells;
+        counts->adds += live_cells - live_rows; // denominator sum
     }
     return out;
 }
@@ -58,14 +76,21 @@ rowSoftmax(const Matrix &scores, OpCounts *counts)
     core::activeBackend().mapRows(
         out.rows(), [&](Index row_begin, Index row_end) {
             for (Index i = row_begin; i < row_end; ++i) {
-                const Real inv = 1.0f / row_sums(i, 0);
-                for (Index j = 0; j < out.cols(); ++j)
-                    out(i, j) *= inv;
+                const Real sum = row_sums(i, 0);
+                if (sum == Real{0})
+                    continue; // fully-masked row, already all zero
+                core::simdScaleRow(out.row(i).data(), out.cols(),
+                                   1.0f / sum);
             }
         });
     if (counts) {
-        counts->divs += static_cast<std::uint64_t>(out.rows());
-        counts->muls += static_cast<std::uint64_t>(out.size());
+        std::uint64_t live_rows = 0;
+        for (Index i = 0; i < out.rows(); ++i)
+            if (row_sums(i, 0) != Real{0})
+                ++live_rows;
+        counts->divs += live_rows;
+        counts->muls +=
+            live_rows * static_cast<std::uint64_t>(out.cols());
     }
     return out;
 }

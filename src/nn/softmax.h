@@ -18,9 +18,16 @@ namespace cta::nn {
 /**
  * Row-wise softmax with max-subtraction for stability.
  *
+ * A fully-masked row (every score -infinity — e.g. a causal mask
+ * before the first valid position) attends to nothing and produces an
+ * all-zero row, not NaN: exp(-inf - -inf) is never evaluated and the
+ * 0/0 normalization is defined as 0.
+ *
  * Charges per row: (cols-1) cmps for the max scan, cols adds for the
- * shift, cols exps, (cols-1) adds for the denominator sum and cols
- * divs — matching what attention hardware actually evaluates.
+ * shift, cols exps, (cols-1) adds for the denominator sum, one div
+ * for the reciprocal and cols muls for the normalization — matching
+ * what attention hardware actually evaluates. Fully-masked rows
+ * charge only their max scan.
  */
 core::Matrix rowSoftmax(const core::Matrix &scores,
                         core::OpCounts *counts = nullptr);
@@ -28,6 +35,8 @@ core::Matrix rowSoftmax(const core::Matrix &scores,
 /**
  * Row-wise exp(x - rowmax(x)) without the normalizing division;
  * also returns each row's denominator in @p row_sums (rows x 1).
+ * A fully-masked row yields all zeros with a zero row sum (see
+ * rowSoftmax).
  */
 core::Matrix rowExp(const core::Matrix &scores, core::Matrix &row_sums,
                     core::OpCounts *counts = nullptr);

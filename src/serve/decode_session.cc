@@ -7,6 +7,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/backend.h"
 #include "core/crc32.h"
 #include "core/logging.h"
 #include "cta/error.h"
@@ -485,13 +486,6 @@ DecodeSession::step(std::span<const Real> token)
     std::copy(tok.begin(), tok.end(), q.row(0).begin());
     const Matrix q_bar = params_->wq.forward(q, &ops);
 
-    // Stages 3-5 mirror ctaAttentionFromCompression() operation for
-    // operation (the bit-exactness contract), reading the cached
-    // projections instead of reprojecting [C1; C2].
-    Matrix k_bar = kBar1_.toMatrix();
-    k_bar.appendRows(kBar2_.toMatrix());
-    Matrix v_bar = vBar1_.toMatrix();
-    v_bar.appendRows(vBar2_.toMatrix());
     const Index k1 = kv_.level1().numClusters();
     const Index k2 = kv_.level2().numClusters();
     const Index d = q_bar.cols();
@@ -513,35 +507,61 @@ DecodeSession::step(std::span<const Real> token)
     }
 
     const Real inv_sqrt_d = 1.0f / std::sqrt(static_cast<Real>(d));
-    Matrix s_bar = matmulTransB(q_bar, k_bar, &ops);
-    s_bar = scale(s_bar, inv_sqrt_d, &ops);
-
-    if (config_.cta.subtractRowMax) {
-        Real *row = s_bar.row(0).data();
-        Real row_max = row[0];
-        for (Index j = 1; j < k1; ++j)
-            row_max = std::max(row_max, row[j]);
-        for (Index j = k1; j < k1 + k2; ++j)
-            row[j] -= row_max;
-        ops.cmps += static_cast<std::uint64_t>(k1 - 1);
-        ops.adds += static_cast<std::uint64_t>(k2);
-    }
-
-    Matrix ap;
-    Matrix row_sums;
-    if (config_.groupedAggregation) {
-        alg::aggregateProbabilitiesGrouped(s_bar, pairs_, k1, ap,
-                                           row_sums, &ops);
-    } else {
-        alg::aggregateProbabilities(
-            s_bar, kv_.level1().clusters().assignments(),
-            kv_.level2().clusters().assignments(), k1, ap, row_sums,
+    // Stages 3-5 mirror ctaAttentionFromCompression() operation for
+    // operation (the bit-exactness contract), reading the cached
+    // projections instead of reprojecting [C1; C2]. Both branches
+    // leave the un-normalized output row in o_row and the probability
+    // mass in row_sum; the normalization tail below is shared.
+    const Real *o_row = nullptr;
+    Real row_sum = 0;
+    Matrix o_bar; // unfused path's output storage
+    if (config_.groupedAggregation && config_.fusedDecode) {
+        // Fused kernel: one pass over the paged projection rows — no
+        // K-bar/V-bar materialization, no intermediate matrices.
+        row_sum = alg::fusedDecodeAttend(
+            q_bar, kBar1_, kBar2_, vBar1_, vBar2_, pairs_, inv_sqrt_d,
+            config_.cta.subtractRowMax,
+            core::activeBackend().gemmFmaChains(), fusedScratch_,
             &ops);
+        o_row = fusedScratch_.out.data();
+    } else {
+        Matrix k_bar = kBar1_.toMatrix();
+        k_bar.appendRows(kBar2_.toMatrix());
+        Matrix v_bar = vBar1_.toMatrix();
+        v_bar.appendRows(vBar2_.toMatrix());
+
+        Matrix s_bar = matmulTransB(q_bar, k_bar, &ops);
+        s_bar = scale(s_bar, inv_sqrt_d, &ops);
+
+        if (config_.cta.subtractRowMax) {
+            Real *row = s_bar.row(0).data();
+            Real row_max = row[0];
+            for (Index j = 1; j < k1; ++j)
+                row_max = std::max(row_max, row[j]);
+            for (Index j = k1; j < k1 + k2; ++j)
+                row[j] -= row_max;
+            ops.cmps += static_cast<std::uint64_t>(k1 - 1);
+            ops.adds += static_cast<std::uint64_t>(k2);
+        }
+
+        Matrix ap;
+        Matrix row_sums;
+        if (config_.groupedAggregation) {
+            alg::aggregateProbabilitiesGrouped(s_bar, pairs_, k1, ap,
+                                               row_sums, &ops);
+        } else {
+            alg::aggregateProbabilities(
+                s_bar, kv_.level1().clusters().assignments(),
+                kv_.level2().clusters().assignments(), k1, ap,
+                row_sums, &ops);
+        }
+
+        o_bar = matmul(ap, v_bar, &ops);
+        o_row = o_bar.row(0).data();
+        row_sum = row_sums(0, 0);
     }
 
-    const Matrix o_bar = matmul(ap, v_bar, &ops);
-
-    const Real denom = row_sums(0, 0) * 0.5f;
+    const Real denom = row_sum * 0.5f;
     if (config_.qualityGuard &&
         (!std::isfinite(denom) || denom <= 0)) {
         // The probability mass vanished or went non-finite — the
@@ -558,10 +578,9 @@ DecodeSession::step(std::span<const Real> token)
     CTA_ASSERT(denom > 0, "zero attention denominator");
     const Real inv = 1.0f / denom;
     out = Matrix(1, d);
-    const Real *src = o_bar.row(0).data();
     Real *dst = out.row(0).data();
     for (Index j = 0; j < d; ++j)
-        dst[j] = src[j] * inv;
+        dst[j] = o_row[j] * inv;
     ops.divs += static_cast<std::uint64_t>(d);
 
     if (config_.qualityGuard && !alg::allFinite(out)) {

@@ -40,6 +40,7 @@
 #include "core/page_arena.h"
 #include "cta/compressed_attention.h"
 #include "cta/compression.h"
+#include "cta/fused_decode.h"
 #include "nn/attention.h"
 
 namespace cta::serve {
@@ -58,6 +59,19 @@ struct ServeConfig
      * off for bit-level comparisons against the batch path.
      */
     bool groupedAggregation = true;
+    /**
+     * Run the grouped decode step through the fused online-softmax
+     * kernel (cta/fused_decode.h): scores, row-max shift, pair
+     * aggregation and AV accumulation in one pass over the cached
+     * cluster projections, skipping the per-step K-bar/V-bar matrix
+     * materializations and intermediate allocations. Bit-identical to
+     * the unfused grouped path under every backend, ISA level and
+     * thread count (tests/fused_decode_test.cc); OFF keeps the
+     * unfused pipeline for A/B debugging. Ignored when
+     * groupedAggregation is off (the per-token aggregation needs the
+     * materialized tables anyway).
+     */
+    bool fusedDecode = true;
     /**
      * Per-session quality guard (DESIGN.md §4.5): non-finite input
      * tokens are sanitized to zero, and a degenerate attention
@@ -307,6 +321,8 @@ class DecodeSession
     core::PagedRows vBar1_; ///< k1 x d cached W^V projection of C1
     core::PagedRows vBar2_; ///< k2 x d cached W^V projection of C2
     alg::ClusterPairCounts pairs_;
+    /** Reused fused-kernel buffers (alloc-free steady-state steps). */
+    alg::FusedDecodeScratch fusedScratch_;
     /** The frozen prefix this session was forked from, if any. */
     std::shared_ptr<const SharedPrefix> prefix_;
     /** Cached sharedPrefix() donor; reset on every mutation. */

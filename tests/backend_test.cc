@@ -7,7 +7,10 @@
  * identical op accounting whichever backend runs it.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -247,6 +250,74 @@ TEST(BackendEndToEndTest, CtaPipelineBitIdenticalAndCountsMatch)
         EXPECT_EQ(result.stats.k0, ref.stats.k0);
         EXPECT_EQ(result.stats.k1, ref.stats.k1);
     }
+}
+
+TEST(BackendEndToEndTest, SimdBackendThreadCountInvariantAndClose)
+{
+    // The simd backend's GEMM is a different rounding chain than
+    // naive (FMA vs mul+add), so the end-to-end outputs are compared
+    // across ITS OWN thread counts bitwise, and against naive only by
+    // tolerance.
+    cta::core::SimdBackend one(1);
+    cta::core::SimdBackend eight(8);
+    NaiveBackend naive;
+
+    const auto ref = runCta(&one);
+    const auto multi = runCta(&eight);
+    EXPECT_TRUE(bitIdentical(multi.output, ref.output));
+    EXPECT_EQ(multi.totalOps(), ref.totalOps());
+
+    const auto exact = runCta(&naive);
+    EXPECT_EQ(exact.totalOps(), ref.totalOps());
+    EXPECT_EQ(exact.stats.k0, ref.stats.k0);
+    EXPECT_EQ(exact.stats.k1, ref.stats.k1);
+    EXPECT_LT(maxAbsDiff(ref.output, exact.output), 1e-3f);
+}
+
+/** Best-of wall time of @p backend's 256^3 GEMM over @p reps runs. */
+double
+bestGemmSeconds(Backend &backend, const Matrix &a, const Matrix &b,
+                Matrix &c, int reps)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        c.fill(0);
+        const auto t0 = std::chrono::steady_clock::now();
+        backend.gemm(a, b, c);
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+TEST(BackendScalingTest, MoreThreadsNeverSlowerAt256)
+{
+    // Regression for the negative-scaling bug: parallel:8 used to run
+    // a 256^3 GEMM ~30% SLOWER than parallel:1 (fork-join overhead on
+    // oversubscribed hosts, re-dispatched per row block). With the
+    // size-aware serial cutover and the oversubscription inline
+    // shortcut, 8 threads must never lose to 1 beyond noise — and the
+    // outputs must stay bit-exact, which is what makes the cutover
+    // legal in the first place.
+    Rng rng(51);
+    const Index n = 256;
+    const Matrix a = Matrix::randomNormal(n, n, rng);
+    const Matrix b = Matrix::randomNormal(n, n, rng);
+    ParallelBackend one(1);
+    ParallelBackend eight(8);
+    Matrix c1(n, n), c8(n, n);
+
+    // Warm up (page faults, pool spin-up), then best-of to shed
+    // scheduler noise. 1.5x tolerance absorbs shared-host jitter
+    // while still catching the ~permanent regressions this guards.
+    (void)bestGemmSeconds(one, a, b, c1, 1);
+    (void)bestGemmSeconds(eight, a, b, c8, 1);
+    const double t1 = bestGemmSeconds(one, a, b, c1, 5);
+    const double t8 = bestGemmSeconds(eight, a, b, c8, 5);
+    EXPECT_TRUE(bitIdentical(c8, c1));
+    EXPECT_LE(t8, 1.5 * t1)
+        << "parallel:8 " << t8 << "s vs parallel:1 " << t1 << "s";
 }
 
 } // namespace

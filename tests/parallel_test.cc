@@ -7,12 +7,15 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,6 +29,7 @@ using cta::core::configuredThreadCount;
 using cta::core::Index;
 using cta::core::parallelFor;
 using cta::core::parseEnvInt;
+using cta::core::resolveThreadCount;
 using cta::core::ThreadPool;
 
 /** RAII guard setting an environment variable for one test. */
@@ -253,6 +257,103 @@ TEST(ConfiguredThreadCountDeathTest, RejectsMalformedEnv)
     ScopedEnv env("CTA_THREADS", "abc");
     EXPECT_EXIT(configuredThreadCount(),
                 ::testing::ExitedWithCode(1), "malformed CTA_THREADS");
+}
+
+TEST(ResolveThreadCountTest, UnknownHardwareConcurrencyResolvesToOne)
+{
+    // Regression: hardware_concurrency() may legally return 0
+    // ("unknown"); the pool must size to 1, not 0 (which formerly
+    // spawned std::thread::hardware_concurrency() - 1 == UINT_MAX
+    // workers' worth of nonsense downstream).
+    EXPECT_EQ(resolveThreadCount(std::nullopt, 0), 1);
+    EXPECT_EQ(resolveThreadCount(std::nullopt, 1), 1);
+}
+
+TEST(ResolveThreadCountTest, DefaultsFollowHardwareClampedTo16)
+{
+    EXPECT_EQ(resolveThreadCount(std::nullopt, 4), 4);
+    EXPECT_EQ(resolveThreadCount(std::nullopt, 16), 16);
+    EXPECT_EQ(resolveThreadCount(std::nullopt, 64), 16);
+}
+
+TEST(ResolveThreadCountTest, EnvWinsEvenOnUnknownHardware)
+{
+    EXPECT_EQ(resolveThreadCount(8, 0), 8);
+    EXPECT_EQ(resolveThreadCount(2, 64), 2);
+}
+
+TEST(ResolveThreadCountTest, EnvClampsToValidRange)
+{
+    EXPECT_EQ(resolveThreadCount(1000, 4), 64);
+    EXPECT_EQ(resolveThreadCount(0, 4), 1);
+    EXPECT_EQ(resolveThreadCount(-3, 4), 1);
+}
+
+TEST(ResolveThreadCountTest, ReportsOversubscription)
+{
+    // The out-param reports the condition on every call, independent
+    // of the once-per-process warning latch (which an earlier test in
+    // this binary may already have tripped).
+    bool warned = false;
+    EXPECT_EQ(resolveThreadCount(8, 1, &warned), 8);
+    EXPECT_TRUE(warned);
+
+    warned = true;
+    EXPECT_EQ(resolveThreadCount(4, 4, &warned), 4);
+    EXPECT_FALSE(warned);
+
+    warned = false;
+    EXPECT_EQ(resolveThreadCount(1000, 4, &warned), 64);
+    EXPECT_TRUE(warned);
+}
+
+TEST(ThreadPoolTest, OversubscribedPoolRunsInlineByDefault)
+{
+    // A pool bigger than the machine must fall back to inline
+    // draining (fan-out can only add context switches). The calling
+    // thread then claims every task itself.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int threads = static_cast<int>(hw == 0 ? 1 : hw) + 4;
+    ThreadPool pool(threads);
+    std::set<std::thread::id> ids;
+    std::mutex ids_mutex;
+    pool.run(32, [&](Index) {
+        const std::lock_guard<std::mutex> lock(ids_mutex);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_EQ(ids.size(), 1u);
+    EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ForceFanoutExercisesCrossThreadClaiming)
+{
+    // force_fanout disables the oversubscription shortcut so the
+    // cross-thread ticket-claiming path runs even on a single-core
+    // host. Workers race the caller for tickets; retry with slow
+    // tasks until at least one task lands off the calling thread.
+    ThreadPool pool(4, /*force_fanout=*/true);
+    constexpr Index kTasks = 16;
+    bool saw_other_thread = false;
+    for (int attempt = 0; attempt < 50 && !saw_other_thread;
+         ++attempt) {
+        std::vector<std::atomic<int>> visits(kTasks);
+        std::set<std::thread::id> ids;
+        std::mutex ids_mutex;
+        pool.run(kTasks, [&](Index task) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+            ++visits[static_cast<std::size_t>(task)];
+            const std::lock_guard<std::mutex> lock(ids_mutex);
+            ids.insert(std::this_thread::get_id());
+        });
+        for (const auto &count : visits)
+            ASSERT_EQ(count.load(), 1); // exactly once, every batch
+        saw_other_thread =
+            ids.size() > 1 ||
+            ids.find(std::this_thread::get_id()) == ids.end();
+    }
+    EXPECT_TRUE(saw_other_thread)
+        << "no worker ever claimed a task in 50 batches";
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/matrix.h"
 #include "core/op_counter.h"
@@ -111,6 +112,86 @@ TEST(SoftmaxTest, OpAccountingMatchesFormula)
     EXPECT_EQ(ops.exps, cells);
     EXPECT_EQ(ops.cmps, cells - rows);
     EXPECT_EQ(ops.divs, rows);
+}
+
+TEST(SoftmaxTest, FullyMaskedRowYieldsZerosNotNaN)
+{
+    // Regression: a row of all -inf (every key masked) produced
+    // exp(-inf - (-inf)) = exp(nan) and a 0/0 normalization — NaNs
+    // that then poisoned every downstream matmul. The defined
+    // semantics is an all-zero output row ("attend to nothing").
+    constexpr Real kNegInf = -std::numeric_limits<Real>::infinity();
+    Rng rng(5);
+    Matrix s = Matrix::randomNormal(4, 6, rng);
+    for (Index j = 0; j < s.cols(); ++j) {
+        s(1, j) = kNegInf;
+        s(3, j) = kNegInf;
+    }
+
+    Matrix sums;
+    const Matrix e = cta::nn::rowExp(s, sums);
+    const Matrix p = cta::nn::rowSoftmax(s);
+    for (Index i : {Index{1}, Index{3}}) {
+        EXPECT_EQ(sums(i, 0), 0.0f);
+        for (Index j = 0; j < s.cols(); ++j) {
+            EXPECT_EQ(e(i, j), 0.0f) << "row " << i << " col " << j;
+            EXPECT_EQ(p(i, j), 0.0f) << "row " << i << " col " << j;
+        }
+    }
+    // Live rows are untouched by the guard: finite and normalized.
+    for (Index i : {Index{0}, Index{2}}) {
+        Real sum = 0;
+        for (Index j = 0; j < s.cols(); ++j) {
+            ASSERT_TRUE(std::isfinite(p(i, j)));
+            sum += p(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(SoftmaxTest, AllRowsMaskedIsStillWellDefined)
+{
+    constexpr Real kNegInf = -std::numeric_limits<Real>::infinity();
+    const Matrix s(3, 5, kNegInf);
+    const Matrix p = cta::nn::rowSoftmax(s);
+    for (Index i = 0; i < p.rows(); ++i)
+        for (Index j = 0; j < p.cols(); ++j)
+            EXPECT_EQ(p(i, j), 0.0f);
+}
+
+TEST(SoftmaxTest, MaskedRowsChargeOnlyTheirMaxScan)
+{
+    // A masked row still pays its row-max scan (cols - 1 cmps) but no
+    // exps, adds, divs or muls; live rows charge the full formula.
+    constexpr Real kNegInf = -std::numeric_limits<Real>::infinity();
+    Rng rng(6);
+    Matrix s = Matrix::randomNormal(4, 7, rng);
+    for (Index j = 0; j < s.cols(); ++j)
+        s(2, j) = kNegInf;
+
+    OpCounts ops;
+    cta::nn::rowSoftmax(s, &ops);
+    const std::uint64_t rows = 4, cols = 7, live_rows = 3;
+    EXPECT_EQ(ops.cmps, rows * (cols - 1));
+    EXPECT_EQ(ops.exps, live_rows * cols);
+    EXPECT_EQ(ops.divs, live_rows);
+    EXPECT_EQ(ops.muls, live_rows * cols);
+}
+
+TEST(SoftmaxTest, PartiallyMaskedRowIsUntouchedByTheGuard)
+{
+    // -inf entries inside an otherwise live row flow through the
+    // ordinary path: exp(-inf - max) == 0 exactly, and the rest of
+    // the row normalizes over the survivors.
+    constexpr Real kNegInf = -std::numeric_limits<Real>::infinity();
+    Matrix s(1, 4, 1.0f);
+    s(0, 1) = kNegInf;
+    s(0, 3) = kNegInf;
+    const Matrix p = cta::nn::rowSoftmax(s);
+    EXPECT_EQ(p(0, 1), 0.0f);
+    EXPECT_EQ(p(0, 3), 0.0f);
+    EXPECT_NEAR(p(0, 0), 0.5f, 1e-6f);
+    EXPECT_NEAR(p(0, 2), 0.5f, 1e-6f);
 }
 
 } // namespace
