@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Multi-tenant SLO bench: goodput under a p99 latency target, swept
+ * over offered load to find the saturation knee.
+ *
+ * Two QoS classes share one ServeFrontend: "gold" (DRR weight 8,
+ * ~30% of traffic) and "bronze" (weight 1, ~70%). A trace-driven
+ * *open-loop* load generator (serve/loadgen.h: Zipf session
+ * popularity, bursty non-homogeneous Poisson arrivals, mixed request
+ * lengths) offers work on its own clock, so unlike the closed-loop
+ * serve benches this one can actually drive the stack past
+ * saturation and watch queueing take hold.
+ *
+ * Replay is virtual-time: the trace clock advances by each
+ * flushOnce() call's *measured* wall duration, and idle gaps are
+ * skipped, so the bench never sleeps and a run's wall time is pure
+ * serving work. A token's latency is its completion virtual time
+ * minus its trace arrival time — exactly what an outside client
+ * would see, including time spent waiting in the tenant queue.
+ *
+ * The sweep fixes a per-token SLO (calibrated from the machine's
+ * measured step time), offers {0.3 ... 1.5}x the calibrated capacity,
+ * and reports per-tenant goodput (tokens/s completing within the
+ * SLO) and latency percentiles at every point. The headline claims:
+ * total goodput rises to a knee and then flattens (more offered load
+ * stops buying throughput), and past the knee gold's p99 degrades
+ * strictly less than bronze's — the DRR weights actually protect the
+ * high-QoS class while admission quotas shed the overload onto
+ * bronze.
+ *
+ * Results go to BENCH_serve_slo.json. `--smoke` shrinks the sweep to
+ * two tiny points so CI can validate the JSON schema in well under a
+ * second.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "nn/attention.h"
+#include "nn/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/frontend.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+
+constexpr Index kTokenDim = 32;
+constexpr Index kHeadDim = 32;
+
+Matrix
+clusteredTokens(Index n, std::uint64_t seed)
+{
+    cta::nn::WorkloadProfile profile;
+    profile.seqLen = n;
+    profile.tokenDim = kTokenDim;
+    profile.coarseClusters = 20;
+    profile.fineClusters = 12;
+    cta::nn::WorkloadGenerator gen(profile, seed);
+    return gen.sampleTokens();
+}
+
+struct TenantSpec
+{
+    const char *name;
+    std::uint32_t weight;
+    Index sessions;
+    double trafficShare; ///< fraction of offered tokens
+    double burstFactor;
+    double burstPeriod;
+};
+
+struct TenantPoint
+{
+    std::uint64_t offered = 0;   ///< tokens the trace asked for
+    std::uint64_t admitted = 0;  ///< accepted by the front-end
+    std::uint64_t shed = 0;      ///< rejected at admission
+    std::uint64_t completed = 0; ///< StepStatus::Ok
+    std::uint64_t withinSlo = 0; ///< completed within the SLO
+    double p50Ms = 0;
+    double p99Ms = 0;
+    double goodput = 0; ///< withinSlo / virtual seconds
+};
+
+struct SweepPoint
+{
+    double offeredFraction = 0;
+    double offeredTokensPerSecond = 0;
+    double virtualSeconds = 0;
+    double goodput = 0; ///< all tenants
+    std::vector<TenantPoint> tenants;
+};
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size()));
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/** Mean per-step wall seconds of one session — the capacity unit the
+ *  sweep is scaled against. Warms the session up first: the steps
+ *  right after a prefill amortize one-off compression builds and
+ *  would overstate the steady-state cost several-fold. */
+double
+calibrateStepSeconds(const cta::nn::AttentionHeadParams &params,
+                     Index warmup, Index steps)
+{
+    cta::serve::DecodeSession session(params,
+                                      cta::serve::ServeConfig{},
+                                      kTokenDim);
+    session.prefill(clusteredTokens(64, 7));
+    const Matrix tokens = clusteredTokens(warmup + steps, 11);
+    for (Index s = 0; s < warmup; ++s)
+        session.step(tokens.row(s));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Index s = 0; s < steps; ++s)
+        session.step(tokens.row(warmup + s));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    return wall > 0 ? wall / static_cast<double>(steps) : 1e-7;
+}
+
+SweepPoint
+runPoint(const cta::nn::AttentionHeadParams &params,
+         const std::vector<TenantSpec> &specs, double offeredFraction,
+         double capacityTokensPerSecond, double sloSeconds,
+         double durationSeconds, Index quota, std::uint64_t seed)
+{
+    cta::serve::FrontendConfig fc;
+    fc.shards = 4;
+    fc.drrQuantumScale = 8;
+    fc.maxDispatchPerFlush = 256;
+    fc.memBudgetBytes = 0; // eviction churn is serve_soak's subject
+    cta::serve::ServeFrontend frontend(params,
+                                       cta::serve::ServeConfig{},
+                                       kTokenDim, fc);
+
+    // Register tenants and prefill their sessions with a mix of
+    // context lengths — front-end ids are dense in creation order, so
+    // tenant t's sessions occupy one contiguous id range.
+    std::vector<Index> firstSession(specs.size(), 0);
+    Index totalSessions = 0;
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        cta::serve::TenantConfig tc;
+        tc.name = specs[t].name;
+        tc.weight = specs[t].weight;
+        tc.maxQueued = quota;
+        frontend.registerTenant(tc);
+        firstSession[t] = totalSessions;
+        totalSessions += specs[t].sessions;
+    }
+    for (std::size_t t = 0; t < specs.size(); ++t)
+        for (Index i = 0; i < specs[t].sessions; ++i) {
+            const Index len = 32 + (i % 5) * 16; // 32..96 tokens
+            frontend.createSession(
+                static_cast<Index>(t),
+                clusteredTokens(len, seed * 131 +
+                                         static_cast<std::uint64_t>(
+                                             firstSession[t] + i)));
+        }
+
+    // Per-tenant open-loop traces at this point's offered rate,
+    // merged into one time-sorted schedule over global session ids.
+    const double offeredTokens =
+        offeredFraction * capacityTokensPerSecond;
+    std::vector<cta::serve::Arrival> trace;
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        cta::serve::LoadGenConfig lg;
+        lg.sessions = specs[t].sessions;
+        lg.zipfExponent = 1.0;
+        // steps/request is uniform in [1, 4], so requests/s =
+        // tokens/s divided by the mean request length 2.5.
+        lg.ratePerSecond =
+            offeredTokens * specs[t].trafficShare / 2.5;
+        lg.burstFactor = specs[t].burstFactor;
+        lg.burstPeriodSeconds = specs[t].burstPeriod;
+        lg.minSteps = 1;
+        lg.maxSteps = 4;
+        lg.durationSeconds = durationSeconds;
+        lg.seed = seed * 17 + t;
+        trace = cta::serve::mergeArrivals(
+            trace, cta::serve::generateArrivals(lg), firstSession[t]);
+    }
+
+    // One reusable decode token per session.
+    const Matrix decodeTokens =
+        clusteredTokens(totalSessions, seed * 31 + 5);
+
+    // Virtual-time replay: arrival-time FIFOs track each session's
+    // outstanding tokens; completions pop in order because the
+    // front-end preserves per-session submission order end-to-end.
+    std::vector<std::deque<double>> outstanding(
+        static_cast<std::size_t>(totalSessions));
+    std::vector<std::vector<double>> latencies(specs.size());
+    SweepPoint point;
+    point.offeredFraction = offeredFraction;
+    point.offeredTokensPerSecond = offeredTokens;
+    point.tenants.resize(specs.size());
+
+    double vnow = 0;
+    std::size_t next = 0;
+    Index inflightTotal = 0;
+    for (int round = 0; round < 2000000; ++round) {
+        // Admit every arrival the virtual clock has reached.
+        while (next < trace.size() && trace[next].time <= vnow) {
+            const cta::serve::Arrival &a = trace[next];
+            const auto tenantId = static_cast<std::size_t>(
+                frontend.tenantOf(a.session));
+            TenantPoint &tp = point.tenants[tenantId];
+            for (Index s = 0; s < a.steps; ++s) {
+                ++tp.offered;
+                const auto result = frontend.trySubmit(
+                    a.session, decodeTokens.row(a.session));
+                if (result == cta::serve::SubmitResult::Accepted) {
+                    ++tp.admitted;
+                    outstanding[static_cast<std::size_t>(a.session)]
+                        .push_back(a.time);
+                    ++inflightTotal;
+                } else {
+                    ++tp.shed;
+                }
+            }
+            ++next;
+        }
+        if (inflightTotal == 0) {
+            if (next >= trace.size())
+                break; // drained and the trace is spent
+            vnow = trace[next].time; // idle-skip to the next arrival
+            continue;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto completions = frontend.flushOnce();
+        const auto t1 = std::chrono::steady_clock::now();
+        vnow += std::chrono::duration<double>(t1 - t0).count();
+        for (const cta::serve::Completion &c : completions) {
+            auto &fifo =
+                outstanding[static_cast<std::size_t>(c.session)];
+            if (fifo.empty())
+                continue; // defensive; cannot happen
+            const double arrival = fifo.front();
+            fifo.pop_front();
+            --inflightTotal;
+            TenantPoint &tp =
+                point.tenants[static_cast<std::size_t>(c.tenant)];
+            if (c.status == cta::serve::StepStatus::Ok) {
+                ++tp.completed;
+                const double latency = vnow - arrival;
+                latencies[static_cast<std::size_t>(c.tenant)]
+                    .push_back(latency);
+                if (latency <= sloSeconds)
+                    ++tp.withinSlo;
+            }
+        }
+    }
+
+    point.virtualSeconds = vnow > 0 ? vnow : durationSeconds;
+    std::uint64_t goodTotal = 0;
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        TenantPoint &tp = point.tenants[t];
+        tp.p50Ms = percentile(latencies[t], 0.50) * 1e3;
+        tp.p99Ms = percentile(latencies[t], 0.99) * 1e3;
+        tp.goodput = static_cast<double>(tp.withinSlo) /
+                     point.virtualSeconds;
+        goodTotal += tp.withinSlo;
+    }
+    point.goodput =
+        static_cast<double>(goodTotal) / point.virtualSeconds;
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    // Per-tenant queue-wait / shed gauges ride the obs runtime flag.
+    cta::obs::setTraceEnabled(true);
+    cta::obs::resetMetrics();
+
+    Rng rng(23);
+    const auto params = cta::nn::AttentionHeadParams::randomInit(
+        kTokenDim, kHeadDim, rng);
+
+    const std::vector<TenantSpec> specs = {
+        {"gold", 8, smoke ? 4 : 8, 0.3, 1.2, 0.2},
+        {"bronze", 1, smoke ? 8 : 24, 0.7, 1.6, 0.13},
+    };
+    const std::vector<double> fractions =
+        smoke ? std::vector<double>{0.5, 4.0}
+              : std::vector<double>{0.3, 0.5, 1.0, 1.5, 2.0, 3.0,
+                                    4.0, 5.0};
+    const double duration = smoke ? 0.05 : 1.5;
+    const Index quota = smoke ? 512 : 4096;
+
+    // Capacity calibration: the machine's serial steady-state step
+    // rate, derated for flush/dispatch overhead, anchors the sweep so
+    // "1.0x offered" lands near real saturation on any host. The SLO
+    // is a few worst-case flush durations (maxDispatchPerFlush
+    // steps), so a healthy system clears it while a quota-deep queue
+    // cannot.
+    const double stepSeconds = calibrateStepSeconds(
+        params, smoke ? 8 : 32, smoke ? 64 : 256);
+    const double capacity = 0.85 / stepSeconds;
+    const double slo = std::max(0.005, 4.0 * 256.0 * stepSeconds);
+
+    std::printf("==== serve SLO sweep: goodput vs offered load "
+                "====\n\n");
+    std::printf("  calibrated capacity %.0f tok/s, SLO %.1f ms\n\n",
+                capacity, slo * 1e3);
+    std::printf("  %6s %9s %9s | %9s %8s %8s | %9s %8s %8s\n", "load",
+                "offered", "goodput", "gold", "p50 ms", "p99 ms",
+                "bronze", "p50 ms", "p99 ms");
+
+    std::vector<SweepPoint> points;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        SweepPoint p = runPoint(params, specs, fractions[i], capacity,
+                                slo, duration, quota,
+                                1 + static_cast<std::uint64_t>(i));
+        std::printf("  %5.2fx %9.0f %9.0f | %9.0f %8.2f %8.2f | "
+                    "%9.0f %8.2f %8.2f\n",
+                    p.offeredFraction, p.offeredTokensPerSecond,
+                    p.goodput, p.tenants[0].goodput,
+                    p.tenants[0].p50Ms, p.tenants[0].p99Ms,
+                    p.tenants[1].goodput, p.tenants[1].p50Ms,
+                    p.tenants[1].p99Ms);
+        points.push_back(std::move(p));
+    }
+
+    // The knee: the offered load where total goodput peaks — past
+    // it, extra offered tokens only deepen queues and shed load.
+    std::size_t knee = 0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        if (points[i].goodput > points[knee].goodput)
+            knee = i;
+    // QoS separation: each class's p99 inflation from the lightest
+    // to the heaviest load. DRR must hold gold's inflation strictly
+    // below bronze's.
+    const auto p99Floor = [](double ms) {
+        return std::max(ms, 1e-3);
+    };
+    const double goldDeg =
+        p99Floor(points.back().tenants[0].p99Ms) /
+        p99Floor(points.front().tenants[0].p99Ms);
+    const double bronzeDeg =
+        p99Floor(points.back().tenants[1].p99Ms) /
+        p99Floor(points.front().tenants[1].p99Ms);
+    const bool qosOk = goldDeg < bronzeDeg;
+    std::printf("\n  knee at %.2fx offered (%.0f tok/s goodput); "
+                "p99 degradation gold %.1fx vs bronze %.1fx -> "
+                "qos %s\n",
+                points[knee].offeredFraction, points[knee].goodput,
+                goldDeg, bronzeDeg, qosOk ? "ok" : "VIOLATED");
+
+    std::FILE *out = std::fopen("BENCH_serve_slo.json", "w");
+    if (!out) {
+        std::printf("  [could not open BENCH_serve_slo.json]\n");
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"serve_slo\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"token_dim\": %lld,\n"
+                 "  \"slo_ms\": %.3f,\n"
+                 "  \"calibrated_tokens_per_second\": %.1f,\n"
+                 "  \"knee_offered_fraction\": %.2f,\n"
+                 "  \"knee_goodput_tokens_per_second\": %.1f,\n"
+                 "  \"gold_p99_degradation\": %.3f,\n"
+                 "  \"bronze_p99_degradation\": %.3f,\n"
+                 "  \"qos_separation_ok\": %s,\n"
+                 "  \"results\": [\n",
+                 smoke ? "true" : "false",
+                 static_cast<long long>(kTokenDim), slo * 1e3,
+                 capacity, points[knee].offeredFraction,
+                 points[knee].goodput, goldDeg, bronzeDeg,
+                 qosOk ? "true" : "false");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        std::fprintf(out,
+                     "    {\"offered_fraction\": %.2f, "
+                     "\"offered_tokens_per_second\": %.1f, "
+                     "\"virtual_seconds\": %.4f, "
+                     "\"goodput_tokens_per_second\": %.1f, "
+                     "\"tenants\": [\n",
+                     p.offeredFraction, p.offeredTokensPerSecond,
+                     p.virtualSeconds, p.goodput);
+        for (std::size_t t = 0; t < p.tenants.size(); ++t) {
+            const TenantPoint &tp = p.tenants[t];
+            std::fprintf(
+                out,
+                "      {\"tenant\": \"%s\", \"offered\": %llu, "
+                "\"admitted\": %llu, \"shed\": %llu, "
+                "\"completed\": %llu, \"within_slo\": %llu, "
+                "\"goodput_tokens_per_second\": %.1f, "
+                "\"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                specs[t].name,
+                static_cast<unsigned long long>(tp.offered),
+                static_cast<unsigned long long>(tp.admitted),
+                static_cast<unsigned long long>(tp.shed),
+                static_cast<unsigned long long>(tp.completed),
+                static_cast<unsigned long long>(tp.withinSlo),
+                tp.goodput, tp.p50Ms, tp.p99Ms,
+                t + 1 < p.tenants.size() ? "," : "");
+        }
+        std::fprintf(out, "    ]}%s\n",
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("  [data written to BENCH_serve_slo.json]\n");
+    if (cta::obs::writeSidecars("BENCH_serve_slo"))
+        std::printf("  [trace + metrics sidecars written]\n");
+    return 0;
+}

@@ -51,6 +51,27 @@ registry()
 
 } // namespace
 
+std::string
+labeled(std::string_view base, std::string_view key,
+        std::string_view value)
+{
+    CTA_REQUIRE(!base.empty() && !key.empty() && !value.empty(),
+                "labeled metric parts must be non-empty");
+    for (const std::string_view part : {key, value})
+        CTA_REQUIRE(part.find_first_of("{}=,") == std::string_view::npos,
+                    "label part '", std::string(part),
+                    "' contains a reserved delimiter ({}=,)");
+    std::string name;
+    name.reserve(base.size() + key.size() + value.size() + 3);
+    name.append(base);
+    name.push_back('{');
+    name.append(key);
+    name.push_back('=');
+    name.append(value);
+    name.push_back('}');
+    return name;
+}
+
 Counter &
 counter(std::string_view name)
 {

@@ -125,6 +125,19 @@ Counter &counter(std::string_view name);
 /** Registered gauge for @p name; same lifetime rules as counter(). */
 Gauge &gauge(std::string_view name);
 
+/**
+ * Composes a labeled metric name: "base{key=value}" — e.g.
+ * labeled("serve.queue_wait_max_s", "tenant", "gold") is
+ * "serve.queue_wait_max_s{tenant=gold}". This is how per-tenant (or
+ * any per-entity) series share one base name while staying distinct
+ * registry entries; labeled names sort next to their base in the
+ * metrics JSON. The braces/'='/',' are reserved delimiters: they are
+ * fatal inside @p key or @p value, so a labeled name always parses
+ * back unambiguously.
+ */
+std::string labeled(std::string_view base, std::string_view key,
+                    std::string_view value);
+
 /** (name, value) of every registered counter, sorted by name. */
 std::vector<std::pair<std::string, std::uint64_t>> counterSnapshot();
 

@@ -27,6 +27,10 @@ toString(SubmitResult result)
         return "SessionRemoved";
     case SubmitResult::Corrupted:
         return "Corrupted";
+    case SubmitResult::DeadlineExpired:
+        return "DeadlineExpired";
+    case SubmitResult::QuotaExceeded:
+        return "QuotaExceeded";
     }
     return "?";
 }
@@ -80,6 +84,7 @@ Batcher::addSession(std::unique_ptr<DecodeSession> session)
     CTA_REQUIRE(manager_ == nullptr, "batcher is manager-backed; "
                 "create sessions through the SessionManager");
     CTA_REQUIRE(session != nullptr, "null session");
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
     sessions_.push_back(std::move(session));
     removed_.push_back(false);
     return static_cast<Index>(sessions_.size()) - 1;
@@ -91,21 +96,29 @@ Batcher::forkSession(Index parent)
     CTA_REQUIRE(manager_ != nullptr,
                 "forkSession requires a manager-backed batcher "
                 "(prefix sharing lives in the SessionManager)");
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
     return manager_->forkSession(parent);
 }
 
 Index
-Batcher::sessionCount() const
+Batcher::sessionCountLocked() const
 {
     if (manager_)
         return manager_->sessionCount();
     return static_cast<Index>(sessions_.size());
 }
 
-bool
-Batcher::sessionUsable(Index id) const
+Index
+Batcher::sessionCount() const
 {
-    if (id < 0 || id >= sessionCount())
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
+    return sessionCountLocked();
+}
+
+bool
+Batcher::sessionUsableLocked(Index id) const
+{
+    if (id < 0 || id >= sessionCountLocked())
         return false;
     if (manager_)
         return manager_->exists(id);
@@ -115,15 +128,16 @@ Batcher::sessionUsable(Index id) const
 DecodeSession &
 Batcher::session(Index id)
 {
-    CTA_REQUIRE(id >= 0 && id < sessionCount(), "session id ", id,
-                " out of range [0, ", sessionCount(), ")");
-    CTA_REQUIRE(sessionUsable(id), "session ", id,
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
+    CTA_REQUIRE(id >= 0 && id < sessionCountLocked(), "session id ",
+                id, " out of range [0, ", sessionCountLocked(), ")");
+    CTA_REQUIRE(sessionUsableLocked(id), "session ", id,
                 " was removed; cannot access it");
-    return *resolve(id);
+    return *resolveLocked(id);
 }
 
 DecodeSession *
-Batcher::resolve(Index id)
+Batcher::resolveLocked(Index id)
 {
     if (manager_)
         return &manager_->acquire(id);
@@ -133,9 +147,14 @@ Batcher::resolve(Index id)
 void
 Batcher::removeSession(Index id)
 {
-    CTA_REQUIRE(id >= 0 && id < sessionCount(), "session id ", id,
-                " out of range [0, ", sessionCount(), ")");
-    CTA_REQUIRE(sessionUsable(id), "session ", id,
+    // Lifecycle first, queue purge second — the same sessionsMutex_
+    // -> mutex_ order trySubmit uses, so a concurrent submit either
+    // sees the session alive and enqueues before the purge, or sees
+    // it removed and rejects; a stale pending step can never survive.
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
+    CTA_REQUIRE(id >= 0 && id < sessionCountLocked(), "session id ",
+                id, " out of range [0, ", sessionCountLocked(), ")");
+    CTA_REQUIRE(sessionUsableLocked(id), "session ", id,
                 " was already removed");
     if (manager_) {
         manager_->removeSession(id);
@@ -168,38 +187,78 @@ Batcher::submit(Index session, std::span<const core::Real> token)
 }
 
 SubmitResult
+Batcher::recordRejectionLocked(SubmitResult reason)
+{
+    // Shed-load volume is workload/timing dependent; it stays out of
+    // the deterministic counter domain and is exported as gauges —
+    // one per reason, summing to rejectedSubmits().
+    switch (reason) {
+    case SubmitResult::QueueFull:
+        ++rejections_.queueFull;
+        CTA_OBS_GAUGE_ADD("serve.rejected.queue_full", 1.0);
+        // Legacy name, kept for existing dashboards/sidecar diffs.
+        CTA_OBS_GAUGE_ADD("serve.queue_rejected", 1.0);
+        break;
+    case SubmitResult::SessionRemoved:
+        ++rejections_.sessionRemoved;
+        CTA_OBS_GAUGE_ADD("serve.rejected.session_removed", 1.0);
+        break;
+    case SubmitResult::Corrupted:
+        ++rejections_.corrupted;
+        CTA_OBS_GAUGE_ADD("serve.rejected.corrupted", 1.0);
+        break;
+    case SubmitResult::DeadlineExpired:
+        ++rejections_.deadlineExpired;
+        CTA_OBS_GAUGE_ADD("serve.rejected.deadline_expired", 1.0);
+        break;
+    case SubmitResult::Accepted:
+    case SubmitResult::QuotaExceeded:
+        CTA_FATAL("not a Batcher rejection reason: ",
+                  toString(reason));
+    }
+    return reason;
+}
+
+SubmitResult
 Batcher::trySubmit(Index session, std::span<const core::Real> token,
                    std::chrono::steady_clock::time_point deadline)
 {
+    const auto now = std::chrono::steady_clock::now();
+    // Lifecycle state (the session table / manager slots) is read
+    // under sessionsMutex_ and held through the enqueue, so a
+    // concurrent removeSession cannot slip between the check and the
+    // queue insert (locking order: sessionsMutex_ before mutex_).
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
     // Out-of-range is a caller bug, not load — always fatal. A
     // removed session is a normal race with lifecycle management and
     // gets a recoverable rejection.
-    CTA_REQUIRE(session >= 0 && session < sessionCount(),
+    CTA_REQUIRE(session >= 0 && session < sessionCountLocked(),
                 "session id ", session, " out of range [0, ",
-                sessionCount(), ")");
-    if (!sessionUsable(session)) {
+                sessionCountLocked(), ")");
+    if (!sessionUsableLocked(session)) {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++rejectedSubmits_;
-        return SubmitResult::SessionRemoved;
+        return recordRejectionLocked(SubmitResult::SessionRemoved);
     }
     if (manager_ && manager_->isQuarantined(session)) {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++rejectedSubmits_;
-        return SubmitResult::Corrupted;
+        return recordRejectionLocked(SubmitResult::Corrupted);
+    }
+    // Dead on arrival: a deadline that already passed can only come
+    // back Expired from flush(), so admitting it would burn a
+    // bounded-queue slot on work that can never run. Rejecting here
+    // lets load-shedding react a whole flush earlier.
+    if (deadline != kNoDeadline && now >= deadline) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return recordRejectionLocked(SubmitResult::DeadlineExpired);
     }
     Pending pending;
     pending.session = session;
     pending.token.assign(token.begin(), token.end());
-    pending.submitted = std::chrono::steady_clock::now();
+    pending.submitted = now;
     pending.deadline = deadline;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (static_cast<Index>(pending_.size()) >= queueCapacity_) {
-        ++rejectedSubmits_;
-        // Shed-load volume is workload/timing dependent; keep it out
-        // of the deterministic counter domain.
-        CTA_OBS_GAUGE_ADD("serve.queue_rejected", 1.0);
-        return SubmitResult::QueueFull;
-    }
+    if (static_cast<Index>(pending_.size()) >= queueCapacity_)
+        return recordRejectionLocked(SubmitResult::QueueFull);
     CTA_OBS_COUNT("serve.submitted", 1);
     pending.slot = pending_.size();
     pending_.push_back(std::move(pending));
@@ -217,7 +276,14 @@ std::uint64_t
 Batcher::rejectedSubmits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return rejectedSubmits_;
+    return rejections_.total();
+}
+
+SubmitRejections
+Batcher::rejectedSubmitsByReason() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejections_;
 }
 
 std::uint64_t
@@ -234,34 +300,31 @@ Batcher::corruptedSteps() const
     return corruptedSteps_;
 }
 
-std::vector<StepResult>
-Batcher::flush()
+Batcher::FlushPlan
+Batcher::beginFlush()
 {
-    CTA_TRACE_SCOPE("serve.flush");
-    std::vector<Pending> batch;
+    FlushPlan plan;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        batch.swap(pending_);
+        plan.batch.swap(pending_);
     }
-    std::vector<StepResult> results(batch.size());
-    if (batch.empty()) {
-        if (manager_)
-            manager_->enforceBudget();
-        return results;
-    }
+    plan.results.resize(plan.batch.size());
+    if (plan.batch.empty())
+        return plan;
 
     // Group by session, preserving submission order within each: a
     // session is sequential state, so its queued steps form one
     // serial task; distinct sessions fan out over the pool.
-    std::vector<std::vector<std::size_t>> per_session(
-        static_cast<std::size_t>(sessionCount()));
-    for (std::size_t i = 0; i < batch.size(); ++i)
-        per_session[static_cast<std::size_t>(batch[i].session)]
+    std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
+    plan.perSession.resize(
+        static_cast<std::size_t>(sessionCountLocked()));
+    for (std::size_t i = 0; i < plan.batch.size(); ++i)
+        plan.perSession[static_cast<std::size_t>(
+                            plan.batch[i].session)]
             .push_back(i);
-    std::vector<Index> active;
-    for (std::size_t s = 0; s < per_session.size(); ++s)
-        if (!per_session[s].empty())
-            active.push_back(static_cast<Index>(s));
+    for (std::size_t s = 0; s < plan.perSession.size(); ++s)
+        if (!plan.perSession[s].empty())
+            plan.active.push_back(static_cast<Index>(s));
 
     // Resolve every session serially before fanning out: in managed
     // mode this is where evicted sessions restore, and keeping the
@@ -269,79 +332,99 @@ Batcher::flush()
     // region keeps eviction decisions thread-count-invariant. A
     // session whose snapshot fails integrity checks resolves to
     // nullptr (quarantined) and its steps come back Corrupted.
-    std::vector<DecodeSession *> resolved(active.size());
-    for (std::size_t t = 0; t < active.size(); ++t)
-        resolved[t] = manager_ ? manager_->tryAcquire(active[t])
-                               : resolve(active[t]);
+    plan.resolved.resize(plan.active.size());
+    for (std::size_t t = 0; t < plan.active.size(); ++t)
+        plan.resolved[t] = manager_
+                               ? manager_->tryAcquire(plan.active[t])
+                               : resolveLocked(plan.active[t]);
+    plan.expired.assign(plan.active.size(), 0);
+    plan.corrupted.assign(plan.active.size(), 0);
+    return plan;
+}
 
-    std::vector<std::uint64_t> expired(active.size(), 0);
-    std::vector<std::uint64_t> corrupted(active.size(), 0);
-    pool().run(static_cast<Index>(active.size()), [&](Index t) {
-        const Index sid = active[static_cast<std::size_t>(t)];
-        CTA_TRACE_SCOPE_ID("serve.session_flush", sid);
-        DecodeSession *sess = resolved[static_cast<std::size_t>(t)];
-        if (sess == nullptr) {
-            for (const std::size_t i :
-                 per_session[static_cast<std::size_t>(sid)]) {
-                const Pending &p = batch[i];
-                ++corrupted[static_cast<std::size_t>(t)];
-                results[p.slot].session = p.session;
-                results[p.slot].status = StepStatus::Corrupted;
-            }
-            return;
-        }
-        // Once one step misses its deadline, every later step of the
-        // same session expires with it: running them anyway would
-        // append tokens after a hole and break the stream-prefix
-        // invariant.
-        bool cascaded = false;
-        std::uint64_t ran = 0;
+void
+Batcher::runPlanTask(FlushPlan &plan, Index t)
+{
+    const Index sid = plan.active[static_cast<std::size_t>(t)];
+    CTA_TRACE_SCOPE_ID("serve.session_flush", sid);
+    DecodeSession *sess = plan.resolved[static_cast<std::size_t>(t)];
+    if (sess == nullptr) {
         for (const std::size_t i :
-             per_session[static_cast<std::size_t>(sid)]) {
-            const Pending &p = batch[i];
-            const auto begin = std::chrono::steady_clock::now();
-            // Queue-delay fault site: a content-keyed draw treats
-            // this step as having overstayed its deadline, exercising
-            // the expiry cascade without wall-clock flakiness.
-            const bool forcedExpiry =
-                !cascaded &&
-                fault::inject(
-                    fault::Site::QueueDelay,
-                    fault::hashBytes(p.token.data(),
-                                     p.token.size() * sizeof(core::Real)) ^
-                        static_cast<std::uint64_t>(p.session));
-            if (cascaded || forcedExpiry ||
-                (p.deadline != kNoDeadline && begin >= p.deadline)) {
-                cascaded = true;
-                ++expired[static_cast<std::size_t>(t)];
-                results[p.slot].session = p.session;
-                results[p.slot].status = StepStatus::Expired;
-                continue;
-            }
-            // Queue wait: submit() to the moment the step starts.
-            // Timing-domain, so gauges only (counters stay
-            // deterministic across thread counts).
-            const double wait =
-                std::chrono::duration<double>(begin - p.submitted)
-                    .count();
-            CTA_OBS_GAUGE_MAX("serve.queue_wait_max_s", wait);
-            CTA_OBS_GAUGE_ADD("serve.queue_wait_total_s", wait);
-            core::Matrix out = sess->step(p.token);
-            const auto end = std::chrono::steady_clock::now();
-            stats_.recordStep(
-                std::chrono::duration<double>(end - begin).count());
-            results[p.slot] =
-                StepResult{p.session, StepStatus::Ok, std::move(out)};
-            ++ran;
+             plan.perSession[static_cast<std::size_t>(sid)]) {
+            const Pending &p = plan.batch[i];
+            ++plan.corrupted[static_cast<std::size_t>(t)];
+            plan.results[p.slot].session = p.session;
+            plan.results[p.slot].status = StepStatus::Corrupted;
         }
-        CTA_OBS_COUNT("serve.flushed", ran);
-    });
+        return;
+    }
+    // Once one step misses its deadline, every later step of the
+    // same session expires with it: running them anyway would
+    // append tokens after a hole and break the stream-prefix
+    // invariant.
+    bool cascaded = false;
+    std::uint64_t ran = 0;
+    for (const std::size_t i :
+         plan.perSession[static_cast<std::size_t>(sid)]) {
+        const Pending &p = plan.batch[i];
+        const auto begin = std::chrono::steady_clock::now();
+        // Queue wait: submit() to the moment the step would start.
+        // Recorded for *every* step — expired ones included, since
+        // the longest waits are exactly the ones that cause the
+        // expiry and hiding them would blind the overload gauges.
+        // Timing-domain, so gauges only (counters stay deterministic
+        // across thread counts).
+        const double wait =
+            std::chrono::duration<double>(begin - p.submitted)
+                .count();
+        CTA_OBS_GAUGE_MAX("serve.queue_wait_max_s", wait);
+        CTA_OBS_GAUGE_ADD("serve.queue_wait_total_s", wait);
+        // Queue-delay fault site: a content-keyed draw treats
+        // this step as having overstayed its deadline, exercising
+        // the expiry cascade without wall-clock flakiness.
+        const bool forcedExpiry =
+            !cascaded &&
+            fault::inject(
+                fault::Site::QueueDelay,
+                fault::hashBytes(p.token.data(),
+                                 p.token.size() *
+                                     sizeof(core::Real)) ^
+                    static_cast<std::uint64_t>(p.session));
+        if (cascaded || forcedExpiry ||
+            (p.deadline != kNoDeadline && begin >= p.deadline)) {
+            cascaded = true;
+            ++plan.expired[static_cast<std::size_t>(t)];
+            plan.results[p.slot].session = p.session;
+            plan.results[p.slot].status = StepStatus::Expired;
+            continue;
+        }
+        core::Matrix out = sess->step(p.token);
+        const auto end = std::chrono::steady_clock::now();
+        stats_.recordStep(
+            std::chrono::duration<double>(end - begin).count());
+        plan.results[p.slot] =
+            StepResult{p.session, StepStatus::Ok, std::move(out)};
+        ++ran;
+    }
+    CTA_OBS_COUNT("serve.flushed", ran);
+}
+
+std::vector<StepResult>
+Batcher::finishFlush(FlushPlan &&plan)
+{
+    if (plan.batch.empty()) {
+        if (manager_) {
+            std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
+            manager_->enforceBudget();
+        }
+        return std::move(plan.results);
+    }
 
     std::uint64_t expiredTotal = 0;
-    for (const std::uint64_t e : expired)
+    for (const std::uint64_t e : plan.expired)
         expiredTotal += e;
     std::uint64_t corruptedTotal = 0;
-    for (const std::uint64_t c : corrupted)
+    for (const std::uint64_t c : plan.corrupted)
         corruptedTotal += c;
     if (expiredTotal > 0)
         CTA_OBS_GAUGE_ADD("serve.expired_steps",
@@ -358,11 +441,23 @@ Batcher::flush()
     if (manager_) {
         // Recency follows submission order — deterministic for any
         // thread count — then the budget pass may evict stragglers.
-        for (const Pending &p : batch)
+        std::lock_guard<std::mutex> lifecycle(sessionsMutex_);
+        for (const Pending &p : plan.batch)
             manager_->touch(p.session);
         manager_->enforceBudget();
     }
-    return results;
+    return std::move(plan.results);
+}
+
+std::vector<StepResult>
+Batcher::flush()
+{
+    CTA_TRACE_SCOPE("serve.flush");
+    FlushPlan plan = beginFlush();
+    if (!plan.empty())
+        pool().run(plan.taskCount(),
+                   [&](Index t) { runPlanTask(plan, t); });
+    return finishFlush(std::move(plan));
 }
 
 } // namespace cta::serve

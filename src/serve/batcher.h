@@ -18,16 +18,42 @@
  * (default 64Ki entries, CTA_QUEUE_CAP overrides) — trySubmit()
  * reports QueueFull instead of growing without limit, and submit()
  * treats every rejection as fatal. Each request may carry a deadline;
- * steps whose deadline passed before they start are skipped and
- * returned as Expired (and, to keep the session's token stream a
- * prefix, every later queued step of that session in the same flush
- * expires with it).
+ * a step whose deadline has already passed *at submission* is
+ * rejected right there (DeadlineExpired) instead of occupying a
+ * bounded-queue slot it can never use, and steps whose deadline
+ * passes while queued are skipped at flush and returned as Expired
+ * (and, to keep the session's token stream a prefix, every later
+ * queued step of that session in the same flush expires with it).
+ * Every rejection reason is counted separately
+ * (rejectedSubmitsByReason()) and exported as a per-reason
+ * "serve.rejected.*" gauge; the reasons always sum to
+ * rejectedSubmits().
+ *
+ * Thread-safety and locking order: the submit path (submit /
+ * trySubmit) is thread-safe against itself and against session
+ * lifecycle mutation (addSession / forkSession / removeSession).
+ * Lifecycle state — the direct-mode session table and every
+ * SessionManager call — lives under sessionsMutex_; the pending
+ * queue and the rejection/expiry counters live under mutex_. The
+ * locking order is sessionsMutex_ BEFORE mutex_, never the reverse:
+ * trySubmit validates the session under sessionsMutex_ and enqueues
+ * under the nested mutex_, and removeSession mutates lifecycle state
+ * under sessionsMutex_ before purging the queue under the nested
+ * mutex_, so a submit can never slip a step for a freshly removed
+ * session past the purge. flush() itself must be driven from one
+ * thread at a time and must not run concurrently with removeSession
+ * (a removed session's state would be destroyed under a running
+ * step); the serving front-end serializes them.
  *
  * Sessions can be owned two ways: directly (addSession) or by a
  * SessionManager (memory-budgeted mode). In managed mode, flush()
  * restores evicted sessions before fanning out and enforces the
  * byte budget after — both outside the parallel region, so eviction
- * decisions stay deterministic for any thread count.
+ * decisions stay deterministic for any thread count. The
+ * beginFlush()/runPlanTask()/finishFlush() split exposes those same
+ * three phases to the sharded serving front-end (serve/frontend.h),
+ * which merges many shards' session tasks into one pool batch so
+ * idle workers steal flush work across shards.
  */
 
 #pragma once
@@ -52,15 +78,38 @@ class SessionManager;
 /** Admission verdict of one trySubmit() call. */
 enum class SubmitResult
 {
-    Accepted,       ///< queued for the next flush
-    QueueFull,      ///< bounded queue at capacity — shed load
-    SessionRemoved, ///< target session was removed
-    Corrupted,      ///< target session is quarantined (corrupt
-                    ///< snapshot); its state is unrecoverable
+    Accepted,        ///< queued for the next flush
+    QueueFull,       ///< bounded queue at capacity — shed load
+    SessionRemoved,  ///< target session was removed
+    Corrupted,       ///< target session is quarantined (corrupt
+                     ///< snapshot); its state is unrecoverable
+    DeadlineExpired, ///< the step's deadline had already passed at
+                     ///< submission — dead on arrival, never queued
+    QuotaExceeded,   ///< the tenant's admission quota is exhausted
+                     ///< (returned by the serving front-end's
+                     ///< per-tenant admission, never by Batcher)
 };
 
 /** Human-readable name of a SubmitResult. */
 const char *toString(SubmitResult result);
+
+/**
+ * Per-reason breakdown of trySubmit() rejections. The reasons are
+ * disjoint, so total() always equals Batcher::rejectedSubmits().
+ */
+struct SubmitRejections
+{
+    std::uint64_t queueFull = 0;
+    std::uint64_t sessionRemoved = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t deadlineExpired = 0;
+
+    std::uint64_t total() const
+    {
+        return queueFull + sessionRemoved + corrupted +
+               deadlineExpired;
+    }
+};
 
 /** Outcome of one queued step. */
 enum class StepStatus
@@ -82,6 +131,17 @@ struct StepResult
 /** Batches queued per-session steps over a thread pool. */
 class Batcher
 {
+  private:
+    struct Pending
+    {
+        core::Index session = 0;
+        std::vector<core::Real> token;
+        std::size_t slot = 0; ///< submission index within the flush
+        std::chrono::steady_clock::time_point submitted{};
+        std::chrono::steady_clock::time_point deadline{
+            std::chrono::steady_clock::time_point::max()};
+    };
+
   public:
     /** Queue bound used when CTA_QUEUE_CAP is unset. */
     static constexpr core::Index kDefaultQueueCapacity = 1 << 16;
@@ -89,6 +149,39 @@ class Batcher
     /** No-deadline sentinel for trySubmit(). */
     static constexpr std::chrono::steady_clock::time_point kNoDeadline =
         std::chrono::steady_clock::time_point::max();
+
+    /**
+     * One drained flush batch: the pending steps swapped out by
+     * beginFlush(), grouped per session, with every session resolved
+     * to a live pointer (restores happen inside beginFlush, serially,
+     * so eviction decisions stay thread-count-invariant). The
+     * taskCount() session tasks are mutually independent — run them
+     * in any order, concurrently, via runPlanTask() — then hand the
+     * plan back to finishFlush() for accounting. Lifecycle mutation
+     * (removeSession) must not run between beginFlush() and
+     * finishFlush() of the same batcher.
+     */
+    struct FlushPlan
+    {
+        /** Independent per-session tasks ready for runPlanTask(). */
+        core::Index taskCount() const
+        {
+            return static_cast<core::Index>(active.size());
+        }
+
+        bool empty() const { return batch.empty(); }
+
+      private:
+        friend class Batcher;
+        std::vector<Pending> batch;
+        /** Indices into batch per session id, submission order. */
+        std::vector<std::vector<std::size_t>> perSession;
+        std::vector<core::Index> active;    ///< session ids with work
+        std::vector<DecodeSession *> resolved; ///< parallel to active
+        std::vector<StepResult> results;    ///< slot-indexed
+        std::vector<std::uint64_t> expired;   ///< per active session
+        std::vector<std::uint64_t> corrupted; ///< per active session
+    };
 
     /**
      * @param pool worker pool; nullptr means the process-global pool.
@@ -133,6 +226,8 @@ class Batcher
      * Frees session @p id: its state is destroyed (or dropped from
      * the manager), any queued steps for it are discarded, and every
      * later access to the id is fatal. Ids are not reused.
+     * Thread-safe against the submit path; must not run concurrently
+     * with flush() (see the locking-order notes above).
      */
     void removeSession(core::Index id);
 
@@ -144,10 +239,13 @@ class Batcher
     /**
      * Admission-controlled submit: returns QueueFull when the bounded
      * queue is at capacity, SessionRemoved when the target session
-     * was removed, and Corrupted when the manager quarantined it over
-     * a corrupt snapshot — instead of aborting. Out-of-range ids are
-     * still fatal (caller bug, not load). @p deadline: steps not
-     * *started* by then come back Expired from flush(). Thread-safe.
+     * was removed, Corrupted when the manager quarantined it over a
+     * corrupt snapshot, and DeadlineExpired when @p deadline had
+     * already passed at submission (dead-on-arrival work never
+     * occupies a queue slot) — instead of aborting. Out-of-range ids
+     * are still fatal (caller bug, not load). @p deadline: steps not
+     * *started* by then come back Expired from flush(). Thread-safe,
+     * including against removeSession().
      */
     SubmitResult trySubmit(core::Index session,
                            std::span<const core::Real> token,
@@ -160,8 +258,15 @@ class Batcher
     /** Configured submit-queue bound. */
     core::Index queueCapacity() const { return queueCapacity_; }
 
-    /** Cumulative trySubmit() rejections (queue full / removed). */
+    /**
+     * Cumulative trySubmit() rejections over every reason — queue
+     * full, session removed, quarantined-corrupt, and dead-on-arrival
+     * deadline. Always equals rejectedSubmitsByReason().total().
+     */
     std::uint64_t rejectedSubmits() const;
+
+    /** Per-reason breakdown of rejectedSubmits(). */
+    SubmitRejections rejectedSubmitsByReason() const;
 
     /** Cumulative steps returned as Expired by flush(). */
     std::uint64_t expiredSteps() const;
@@ -177,39 +282,77 @@ class Batcher
      * whose snapshot fails integrity checks at restore time is
      * quarantined and its queued steps come back Corrupted — the
      * other sessions in the same flush are unaffected.
+     *
+     * Equivalent to beginFlush() + runPlanTask() over every task on
+     * the pool + finishFlush().
      */
     std::vector<StepResult> flush();
+
+    /**
+     * Sharding hook, phase 1 of flush(): drains the pending queue and
+     * resolves every session with work to a live pointer — in managed
+     * mode this is where evicted sessions restore, serially, keeping
+     * eviction decisions thread-count-invariant. The front-end calls
+     * this per shard (in shard order), merges every plan's tasks into
+     * one pool batch, then finishes each shard in order.
+     */
+    FlushPlan beginFlush();
+
+    /**
+     * Sharding hook, phase 2: executes session task @p t of @p plan
+     * (all queued steps of one session, in submission order). Tasks
+     * of one plan are mutually independent and may run concurrently;
+     * each task must run exactly once before finishFlush().
+     */
+    void runPlanTask(FlushPlan &plan, core::Index t);
+
+    /**
+     * Sharding hook, phase 3: folds @p plan's expiry/corruption
+     * totals into the counters, marks recency and enforces the
+     * manager budget (managed mode), and returns the results in
+     * submission order.
+     */
+    std::vector<StepResult> finishFlush(FlushPlan &&plan);
 
     /** Per-step latency/throughput accumulator. */
     ServerStats &stats() { return stats_; }
 
   private:
-    struct Pending
-    {
-        core::Index session = 0;
-        std::vector<core::Real> token;
-        std::size_t slot = 0; ///< submission index within the flush
-        std::chrono::steady_clock::time_point submitted{};
-        std::chrono::steady_clock::time_point deadline{kNoDeadline};
-    };
-
     core::ThreadPool &pool() const;
 
-    /** The live session pointer for a validated id. */
-    DecodeSession *resolve(core::Index id);
+    /** The live session pointer for a validated id. Caller holds
+     *  sessionsMutex_. */
+    DecodeSession *resolveLocked(core::Index id);
 
-    /** True when @p id is valid and not removed (caller holds no
-     *  lock; sessions are only added/removed between flushes). */
-    bool sessionUsable(core::Index id) const;
+    /** Ids ever created. Caller holds sessionsMutex_. */
+    core::Index sessionCountLocked() const;
+
+    /** True when @p id is valid and not removed. Caller holds
+     *  sessionsMutex_. */
+    bool sessionUsableLocked(core::Index id) const;
+
+    /** Counts one rejection for @p reason (caller holds mutex_) and
+     *  bumps the matching per-reason gauge; returns @p reason. */
+    SubmitResult recordRejectionLocked(SubmitResult reason);
 
     core::ThreadPool *pool_;
     SessionManager *manager_ = nullptr; ///< null in direct mode
+
+    /**
+     * Guards session lifecycle state: sessions_/removed_ in direct
+     * mode and every manager_ call in managed mode. Locking order:
+     * sessionsMutex_ BEFORE mutex_ (see the file header).
+     */
+    mutable std::mutex sessionsMutex_;
     core::Index queueCapacity_ = kDefaultQueueCapacity;
     std::vector<std::unique_ptr<DecodeSession>> sessions_;
     std::vector<bool> removed_; ///< direct mode: id freed?
-    mutable std::mutex mutex_;  ///< guards pending_ + counters below
+
+    /** Guards pending_ and the rejection/expiry counters below.
+     *  Inner lock — never acquire sessionsMutex_ while holding it. */
+    mutable std::mutex mutex_;
     std::vector<Pending> pending_;
-    std::uint64_t rejectedSubmits_ = 0;
+    SubmitRejections rejections_;
     std::uint64_t expiredSteps_ = 0;
     std::uint64_t corruptedSteps_ = 0;
     ServerStats stats_;

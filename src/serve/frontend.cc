@@ -1,0 +1,496 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/env.h"
+#include "core/logging.h"
+#include "core/parallel.h"
+#include "obs/trace.h"
+
+namespace cta::serve {
+
+using core::Index;
+
+namespace {
+
+constexpr Index kDefaultShards = 4;
+constexpr Index kMaxShards = 256;
+constexpr Index kDefaultTenantQuota = 1024;
+
+} // namespace
+
+Index
+ServeFrontend::shardsFromEnv()
+{
+    const auto parsed = core::envInt("CTA_SHARDS");
+    if (!parsed)
+        return kDefaultShards;
+    CTA_REQUIRE(*parsed > 0 && *parsed <= kMaxShards,
+                "CTA_SHARDS must be in [1, ", kMaxShards, "], got ",
+                *parsed);
+    return static_cast<Index>(*parsed);
+}
+
+Index
+ServeFrontend::tenantQuotaFromEnv()
+{
+    const auto parsed = core::envInt("CTA_TENANT_QUOTA");
+    if (!parsed)
+        return kDefaultTenantQuota;
+    CTA_REQUIRE(*parsed > 0,
+                "CTA_TENANT_QUOTA must be a positive step quota, "
+                "got ",
+                *parsed);
+    return static_cast<Index>(*parsed);
+}
+
+ServeFrontend::ServeFrontend(nn::AttentionHeadParams params,
+                             ServeConfig config, Index token_dim,
+                             FrontendConfig frontend)
+    : defaultQuota_(tenantQuotaFromEnv()),
+      drrQuantumScale_(frontend.drrQuantumScale),
+      maxDispatchPerFlush_(frontend.maxDispatchPerFlush),
+      pool_(frontend.pool)
+{
+    const Index shards =
+        frontend.shards == 0 ? shardsFromEnv() : frontend.shards;
+    CTA_REQUIRE(shards > 0 && shards <= kMaxShards,
+                "shard count must be in [1, ", kMaxShards, "], got ",
+                shards);
+    CTA_REQUIRE(drrQuantumScale_ > 0,
+                "drrQuantumScale must be positive, got ",
+                drrQuantumScale_);
+    CTA_REQUIRE(maxDispatchPerFlush_ > 0,
+                "maxDispatchPerFlush must be positive, got ",
+                maxDispatchPerFlush_);
+    // The byte budget is global intent, enforced per shard: an even
+    // split keeps every shard independently bounded without any
+    // cross-shard coordination on the flush path. 0 stays unlimited.
+    const std::size_t perShardBudget =
+        frontend.memBudgetBytes == 0
+            ? 0
+            : std::max<std::size_t>(
+                  frontend.memBudgetBytes /
+                      static_cast<std::size_t>(shards),
+                  1);
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (Index s = 0; s < shards; ++s) {
+        Shard shard;
+        shard.manager = std::make_unique<SessionManager>(
+            params, config, token_dim, perShardBudget);
+        shard.batcher = std::make_unique<Batcher>(
+            *shard.manager, pool_, frontend.queueCapPerShard);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+core::ThreadPool &
+ServeFrontend::pool() const
+{
+    return pool_ ? *pool_ : core::ThreadPool::global();
+}
+
+Index
+ServeFrontend::registerTenant(TenantConfig config)
+{
+    CTA_REQUIRE(!config.name.empty(), "tenant name must be non-empty");
+    CTA_REQUIRE(config.weight > 0,
+                "tenant '", config.name,
+                "' needs a positive DRR weight, got ", config.weight);
+    for (const Tenant &t : tenants_)
+        CTA_REQUIRE(t.config.name != config.name, "tenant name '",
+                    config.name, "' already registered");
+    if (config.maxQueued == 0)
+        config.maxQueued = defaultQuota_;
+    CTA_REQUIRE(config.maxQueued > 0, "tenant '", config.name,
+                "' needs a positive quota, got ", config.maxQueued);
+    Tenant tenant;
+    tenant.config = std::move(config);
+    // Registry references stay valid for the process lifetime, so
+    // caching them here keeps the flush path free of registry locks.
+    const std::string &name = tenant.config.name;
+    tenant.waitMax = &obs::gauge(
+        obs::labeled("serve.queue_wait_max_s", "tenant", name));
+    tenant.waitTotal = &obs::gauge(
+        obs::labeled("serve.queue_wait_total_s", "tenant", name));
+    tenant.latencyMax = &obs::gauge(
+        obs::labeled("serve.latency_max_s", "tenant", name));
+    tenant.shed =
+        &obs::gauge(obs::labeled("serve.shed_steps", "tenant", name));
+    tenants_.push_back(std::move(tenant));
+    return static_cast<Index>(tenants_.size()) - 1;
+}
+
+const ServeFrontend::Tenant &
+ServeFrontend::tenant(Index id) const
+{
+    CTA_REQUIRE(id >= 0 &&
+                    id < static_cast<Index>(tenants_.size()),
+                "tenant id ", id, " out of range [0, ",
+                tenants_.size(), ")");
+    return tenants_[static_cast<std::size_t>(id)];
+}
+
+Index
+ServeFrontend::tenantCount() const
+{
+    return static_cast<Index>(tenants_.size());
+}
+
+Index
+ServeFrontend::createSession(Index tenant_id)
+{
+    tenant(tenant_id); // range check
+    std::lock_guard<std::mutex> lock(mutex_);
+    SessionRef ref;
+    ref.shard = nextShard_;
+    ref.tenant = tenant_id;
+    nextShard_ = (nextShard_ + 1) % shardCount();
+    ref.local = shards_[static_cast<std::size_t>(ref.shard)]
+                    .manager->createSession();
+    sessions_.push_back(ref);
+    return static_cast<Index>(sessions_.size()) - 1;
+}
+
+Index
+ServeFrontend::createSession(Index tenant_id,
+                             const core::Matrix &tokens)
+{
+    tenant(tenant_id); // range check
+    std::lock_guard<std::mutex> lock(mutex_);
+    SessionRef ref;
+    ref.shard = nextShard_;
+    ref.tenant = tenant_id;
+    nextShard_ = (nextShard_ + 1) % shardCount();
+    ref.local = shards_[static_cast<std::size_t>(ref.shard)]
+                    .manager->createSession(tokens);
+    sessions_.push_back(ref);
+    return static_cast<Index>(sessions_.size()) - 1;
+}
+
+SubmitResult
+ServeFrontend::trySubmit(Index session,
+                         std::span<const core::Real> token,
+                         std::chrono::steady_clock::time_point deadline)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    CTA_REQUIRE(session >= 0 &&
+                    session < static_cast<Index>(sessions_.size()),
+                "session id ", session, " out of range [0, ",
+                sessions_.size(), ")");
+    const SessionRef &ref =
+        sessions_[static_cast<std::size_t>(session)];
+    Tenant &t = tenants_[static_cast<std::size_t>(ref.tenant)];
+    ++t.counters.submitted;
+    if (ref.removed) {
+        ++t.counters.shedDispatch;
+        t.shed->add(1.0);
+        return SubmitResult::SessionRemoved;
+    }
+    if (ref.corrupted) {
+        ++t.counters.shedDispatch;
+        t.shed->add(1.0);
+        return SubmitResult::Corrupted;
+    }
+    // Same dead-on-arrival rule as Batcher::trySubmit — a step whose
+    // deadline passed can never complete, so it must not consume the
+    // tenant's quota.
+    if (deadline != Batcher::kNoDeadline && now >= deadline) {
+        ++t.counters.shedDeadline;
+        t.shed->add(1.0);
+        return SubmitResult::DeadlineExpired;
+    }
+    if (static_cast<Index>(t.queue.size()) >= t.config.maxQueued) {
+        ++t.counters.shedQuota;
+        t.shed->add(1.0);
+        return SubmitResult::QuotaExceeded;
+    }
+    QueuedStep step;
+    step.session = session;
+    step.token.assign(token.begin(), token.end());
+    step.submitted = now;
+    step.deadline = deadline;
+    t.queue.push_back(std::move(step));
+    ++t.counters.admitted;
+    return SubmitResult::Accepted;
+}
+
+void
+ServeFrontend::dispatchLocked()
+{
+    const auto now = std::chrono::steady_clock::now();
+    const std::size_t n = tenants_.size();
+    // A tenant whose head step bounced off a full shard queue is done
+    // for this flush: its queue is FIFO and the head must not be
+    // skipped, so the whole round stops at it (deficit kept).
+    std::vector<char> blocked(n, 0);
+    // An idle tenant banks nothing: deficit is a claim on *queued*
+    // work, and letting it accumulate while idle would let a tenant
+    // burst far past its weight later (classic DRR rule).
+    for (Tenant &t : tenants_)
+        if (t.queue.empty())
+            t.deficit = 0;
+
+    Index total = 0;
+    while (total < maxDispatchPerFlush_) {
+        // Bank one quantum per backlogged tenant, then spend in
+        // round-robin passes. Re-banking until the cap (or the
+        // backlog) runs out makes the loop work-conserving: a lone
+        // tenant is not throttled to one quantum per flush.
+        bool banked = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            Tenant &t = tenants_[i];
+            if (!t.queue.empty() && !blocked[i]) {
+                t.deficit += static_cast<std::uint64_t>(
+                                 t.config.weight) *
+                             static_cast<std::uint64_t>(
+                                 drrQuantumScale_);
+                banked = true;
+            }
+        }
+        if (!banked)
+            break;
+        bool progress = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            Tenant &t = tenants_[i];
+            while (t.deficit > 0 && !t.queue.empty() && !blocked[i] &&
+                   total < maxDispatchPerFlush_) {
+                QueuedStep &head = t.queue.front();
+                SessionRef &ref = sessions_[static_cast<std::size_t>(
+                    head.session)];
+                Shard &shard =
+                    shards_[static_cast<std::size_t>(ref.shard)];
+                // A session removed after admission sheds its queued
+                // steps here; sheds cost no deficit — a tenant is not
+                // billed for work that never ran.
+                if (ref.removed) {
+                    ++t.counters.shedDispatch;
+                    t.shed->add(1.0);
+                    t.queue.pop_front();
+                    progress = true;
+                    continue;
+                }
+                const SubmitResult result = shard.batcher->trySubmit(
+                    ref.local, head.token, head.deadline);
+                if (result == SubmitResult::QueueFull) {
+                    blocked[i] = 1;
+                    break;
+                }
+                if (result == SubmitResult::Accepted) {
+                    DispatchTag tag;
+                    tag.session = head.session;
+                    tag.tenant = static_cast<Index>(i);
+                    tag.submitted = head.submitted;
+                    tag.waitSeconds =
+                        std::chrono::duration<double>(now -
+                                                      head.submitted)
+                            .count();
+                    if (obs::traceEnabled()) {
+                        t.waitMax->max(tag.waitSeconds);
+                        t.waitTotal->add(tag.waitSeconds);
+                    }
+                    shard.inflight.push_back(tag);
+                    --t.deficit;
+                    ++t.counters.dispatched;
+                    ++total;
+                } else if (result == SubmitResult::DeadlineExpired) {
+                    // Expired while queued at the front-end.
+                    ++t.counters.expired;
+                    t.shed->add(1.0);
+                } else if (result == SubmitResult::Corrupted) {
+                    ref.corrupted = true;
+                    ++t.counters.corrupted;
+                    ++t.counters.shedDispatch;
+                    t.shed->add(1.0);
+                } else {
+                    // SessionRemoved: removed behind the front-end's
+                    // back (direct batcher access).
+                    ref.removed = true;
+                    ++t.counters.shedDispatch;
+                    t.shed->add(1.0);
+                }
+                t.queue.pop_front(); // dispatched or shed either way
+                progress = true;
+            }
+        }
+        if (!progress)
+            break;
+    }
+}
+
+std::vector<Completion>
+ServeFrontend::flushOnce()
+{
+    CTA_TRACE_SCOPE("serve.frontend_flush");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dispatchLocked();
+    }
+
+    // Phase 1 per shard, serially in shard order: drains each shard's
+    // queue and restores evicted sessions — the thread-count-
+    // invariant part.
+    std::vector<Batcher::FlushPlan> plans;
+    plans.reserve(shards_.size());
+    for (Shard &shard : shards_)
+        plans.push_back(shard.batcher->beginFlush());
+
+    // Phase 2: every shard's independent session tasks, merged into
+    // ONE pool batch — the ticket-claiming workers steal across
+    // shards instead of idling at per-shard barriers.
+    std::vector<std::pair<Index, Index>> tasks;
+    for (std::size_t s = 0; s < plans.size(); ++s)
+        for (Index t = 0; t < plans[s].taskCount(); ++t)
+            tasks.emplace_back(static_cast<Index>(s), t);
+    if (!tasks.empty())
+        pool().run(static_cast<Index>(tasks.size()), [&](Index i) {
+            const auto &[s, t] = tasks[static_cast<std::size_t>(i)];
+            shards_[static_cast<std::size_t>(s)]
+                .batcher->runPlanTask(plans[static_cast<std::size_t>(s)],
+                                      t);
+        });
+
+    // Phase 3 per shard, serially in shard order: accounting, LRU
+    // touches and budget enforcement, then map slot-indexed results
+    // back to global sessions via the dispatch tags (both sides are
+    // in shard submission order, so they align one-to-one).
+    std::vector<Completion> completions;
+    const auto doneAt = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard &shard = shards_[s];
+        std::vector<StepResult> results =
+            shard.batcher->finishFlush(std::move(plans[s]));
+        CTA_REQUIRE(results.size() == shard.inflight.size(),
+                    "shard ", s, " returned ", results.size(),
+                    " results for ", shard.inflight.size(),
+                    " dispatched steps");
+        for (std::size_t k = 0; k < results.size(); ++k) {
+            const DispatchTag &tag = shard.inflight[k];
+            Tenant &t =
+                tenants_[static_cast<std::size_t>(tag.tenant)];
+            Completion c;
+            c.session = tag.session;
+            c.tenant = tag.tenant;
+            c.shard = static_cast<Index>(s);
+            c.status = results[k].status;
+            c.queueWaitSeconds = tag.waitSeconds;
+            c.output = std::move(results[k].output);
+            switch (c.status) {
+            case StepStatus::Ok:
+                ++t.counters.completed;
+                if (obs::traceEnabled())
+                    t.latencyMax->max(std::chrono::duration<double>(
+                                          doneAt - tag.submitted)
+                                          .count());
+                break;
+            case StepStatus::Expired:
+                ++t.counters.expired;
+                break;
+            case StepStatus::Corrupted:
+                ++t.counters.corrupted;
+                sessions_[static_cast<std::size_t>(tag.session)]
+                    .corrupted = true;
+                break;
+            }
+            completions.push_back(std::move(c));
+        }
+        shard.inflight.clear();
+    }
+    return completions;
+}
+
+void
+ServeFrontend::removeSession(Index session)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CTA_REQUIRE(session >= 0 &&
+                    session < static_cast<Index>(sessions_.size()),
+                "session id ", session, " out of range [0, ",
+                sessions_.size(), ")");
+    SessionRef &ref = sessions_[static_cast<std::size_t>(session)];
+    CTA_REQUIRE(!ref.removed, "session ", session,
+                " was already removed");
+    ref.removed = true;
+    Tenant &t = tenants_[static_cast<std::size_t>(ref.tenant)];
+    // Drop this session's queued-but-undispatched steps; steps
+    // already inside the shard batcher are purged by its own
+    // removeSession below.
+    const std::size_t before = t.queue.size();
+    t.queue.erase(std::remove_if(t.queue.begin(), t.queue.end(),
+                                 [session](const QueuedStep &q) {
+                                     return q.session == session;
+                                 }),
+                  t.queue.end());
+    const std::size_t dropped = before - t.queue.size();
+    if (dropped > 0) {
+        t.counters.shedDispatch +=
+            static_cast<std::uint64_t>(dropped);
+        t.shed->add(static_cast<double>(dropped));
+    }
+    shards_[static_cast<std::size_t>(ref.shard)]
+        .batcher->removeSession(ref.local);
+}
+
+Index
+ServeFrontend::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<Index>(sessions_.size());
+}
+
+Index
+ServeFrontend::tenantOf(Index session) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CTA_REQUIRE(session >= 0 &&
+                    session < static_cast<Index>(sessions_.size()),
+                "session id ", session, " out of range [0, ",
+                sessions_.size(), ")");
+    return sessions_[static_cast<std::size_t>(session)].tenant;
+}
+
+Index
+ServeFrontend::shardOf(Index session) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CTA_REQUIRE(session >= 0 &&
+                    session < static_cast<Index>(sessions_.size()),
+                "session id ", session, " out of range [0, ",
+                sessions_.size(), ")");
+    return sessions_[static_cast<std::size_t>(session)].shard;
+}
+
+Index
+ServeFrontend::queuedSteps(Index tenant_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<Index>(tenant(tenant_id).queue.size());
+}
+
+TenantCounters
+ServeFrontend::tenantCounters(Index tenant_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tenant(tenant_id).counters;
+}
+
+const SessionManager &
+ServeFrontend::manager(Index s) const
+{
+    CTA_REQUIRE(s >= 0 && s < shardCount(), "shard id ", s,
+                " out of range [0, ", shardCount(), ")");
+    return *shards_[static_cast<std::size_t>(s)].manager;
+}
+
+Batcher &
+ServeFrontend::batcher(Index s)
+{
+    CTA_REQUIRE(s >= 0 && s < shardCount(), "shard id ", s,
+                " out of range [0, ", shardCount(), ")");
+    return *shards_[static_cast<std::size_t>(s)].batcher;
+}
+
+} // namespace cta::serve

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Multi-tenant traffic front-end over a sharded, memory-budgeted
+ * serving stack: per-tenant QoS classes with deficit-round-robin
+ * (DRR) fair scheduling, per-tenant admission quotas, continuous
+ * batching, and cross-shard work stealing at flush.
+ *
+ * Topology: the front-end owns CTA_SHARDS shards, each a
+ * SessionManager (its own page arena and a slice of the byte budget)
+ * plus a manager-backed Batcher (its own bounded pending queue).
+ * Sessions are assigned to shards round-robin at creation — a pure
+ * function of creation order, so shard placement is deterministic.
+ *
+ * Submission path (thread-safe): trySubmit() lands steps in the
+ * owning tenant's FIFO queue after admission — a tenant whose queue
+ * holds maxQueued steps gets QuotaExceeded, so one tenant's overload
+ * can never consume another tenant's headroom. Steps do NOT go to
+ * the shard batchers at submit time; dispatch is the scheduler's
+ * job.
+ *
+ * Flush path (one driver thread — continuous batching is this
+ * driver looping flushOnce() while submitters keep arriving):
+ *
+ *  1. **DRR dispatch.** Every tenant with queued work banks quantum
+ *     = weight * drrQuantumScale deficit (an idle tenant's deficit
+ *     resets — no banking while idle), then round-robin passes move
+ *     steps tenant-queue -> shard batcher, each step costing one
+ *     deficit, until every queue is empty, every deficit is spent,
+ *     or maxDispatchPerFlush is reached. Under contention each
+ *     tenant's share of a flush converges to weight_i / sum(weights)
+ *     — weighted fairness; under light load everything queued is
+ *     dispatched — work conservation. Per-session FIFO order is
+ *     preserved (a session belongs to one tenant, tenant queues are
+ *     FIFO, and a dispatch-time QueueFull stops that tenant's round
+ *     *at the head*, never skipping past it).
+ *  2. **Sharded flush with cross-shard work stealing.** Each shard's
+ *     Batcher::beginFlush() runs serially in shard order (evicted
+ *     sessions restore here, keeping eviction decisions
+ *     thread-count-invariant per shard), then every shard's
+ *     session tasks are merged into ONE ThreadPool::run batch — the
+ *     pool's ticket-claiming workers steal across shards, so a
+ *     worker done with shard 0's sessions immediately picks up shard
+ *     3's instead of idling at a per-shard barrier. finishFlush()
+ *     then runs serially in shard order (budget enforcement).
+ *  3. **Completion mapping.** Results come back per shard in
+ *     submission order (the per-shard determinism contract) and are
+ *     tagged with tenant, global session id and queue-wait; per-
+ *     tenant queue-wait/latency/shed gauges go to the obs layer
+ *     under labeled names ("serve.queue_wait_max_s{tenant=gold}").
+ *
+ * Determinism: for a fixed sequence of trySubmit() calls between
+ * flushes, dispatch order, shard placement, eviction decisions and
+ * every step output are bit-identical for any thread count
+ * (tests/serve_frontend_test.cc).
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/batcher.h"
+#include "serve/session_manager.h"
+
+namespace cta::serve {
+
+/** QoS class of one tenant. */
+struct TenantConfig
+{
+    /** Label for stats and per-tenant gauge names ("gold", ...). */
+    std::string name;
+    /**
+     * DRR weight: this tenant's guaranteed share of each flush under
+     * contention is weight / sum(weights). Must be positive.
+     */
+    std::uint32_t weight = 1;
+    /**
+     * Admission quota: max steps waiting in this tenant's queue; a
+     * submit beyond it is rejected QuotaExceeded. 0 reads
+     * CTA_TENANT_QUOTA (default 1024).
+     */
+    core::Index maxQueued = 0;
+};
+
+/** Cumulative per-tenant accounting (monotonic). */
+struct TenantCounters
+{
+    std::uint64_t submitted = 0;  ///< trySubmit() calls
+    std::uint64_t admitted = 0;   ///< accepted into the tenant queue
+    std::uint64_t shedQuota = 0;  ///< QuotaExceeded rejections
+    std::uint64_t shedDeadline = 0; ///< dead-on-arrival rejections
+    /** Steps shed because the target session was removed or
+     *  quarantined — rejected at admission, dropped from the tenant
+     *  queue by removeSession(), or bounced by the shard at
+     *  dispatch. */
+    std::uint64_t shedDispatch = 0;
+    std::uint64_t dispatched = 0; ///< handed to a shard batcher
+    std::uint64_t completed = 0;  ///< StepStatus::Ok results
+    std::uint64_t expired = 0;    ///< deadline passed while queued
+    std::uint64_t corrupted = 0;  ///< session quarantined mid-flight
+};
+
+/** Front-end construction parameters. */
+struct FrontendConfig
+{
+    /** Shard count; 0 reads CTA_SHARDS (default 4). */
+    core::Index shards = 0;
+    /** Per-shard Batcher queue bound; 0 reads CTA_QUEUE_CAP. */
+    core::Index queueCapPerShard = 0;
+    /**
+     * Total resident byte budget, split evenly across the shards'
+     * SessionManagers; 0 is unlimited. Defaults to CTA_MEM_BUDGET.
+     */
+    std::size_t memBudgetBytes = SessionManager::memBudgetFromEnv();
+    /**
+     * Steps of deficit one weight unit banks per flush round. Larger
+     * values batch more steps per flush (throughput) at the cost of
+     * coarser fairness granularity (latency).
+     */
+    core::Index drrQuantumScale = 32;
+    /**
+     * Upper bound on steps dispatched by one flushOnce() — caps a
+     * flush's duration so overload degrades to bounded rounds
+     * instead of one unbounded mega-batch. Must be positive.
+     */
+    core::Index maxDispatchPerFlush = 256;
+    /** Worker pool; nullptr means the process-global pool. */
+    core::ThreadPool *pool = nullptr;
+};
+
+/** One completed (or failed) decode step returned by flushOnce(). */
+struct Completion
+{
+    core::Index session = 0; ///< front-end global session id
+    core::Index tenant = 0;
+    core::Index shard = 0;
+    StepStatus status = StepStatus::Ok;
+    /** Front-end submit to shard dispatch, in seconds (wall). */
+    double queueWaitSeconds = 0;
+    core::Matrix output; ///< 1 x d (empty unless status == Ok)
+};
+
+/** Multi-tenant sharded serving front-end (see file header). */
+class ServeFrontend
+{
+  public:
+    /**
+     * @param params shared projection weights of the served model
+     * @param config per-session CTA serving configuration
+     * @param token_dim dimension of incoming tokens
+     * @param frontend shard/QoS/pool configuration
+     */
+    ServeFrontend(nn::AttentionHeadParams params, ServeConfig config,
+                  core::Index token_dim,
+                  FrontendConfig frontend = FrontendConfig{});
+
+    /** Parses CTA_SHARDS (positive, at most 256); 4 when unset. */
+    static core::Index shardsFromEnv();
+
+    /** Parses CTA_TENANT_QUOTA (positive); 1024 when unset. */
+    static core::Index tenantQuotaFromEnv();
+
+    /**
+     * Registers a QoS class; returns its tenant id (dense, from 0).
+     * Tenant names must be unique — they key the per-tenant gauges.
+     * Not thread-safe; register every tenant before serving starts.
+     */
+    core::Index registerTenant(TenantConfig config);
+
+    /** Creates an empty session owned by @p tenant on the next shard
+     *  (round-robin); returns its front-end global id. */
+    core::Index createSession(core::Index tenant);
+
+    /** Creates a session prefilled with @p tokens (n x tokenDim). */
+    core::Index createSession(core::Index tenant,
+                              const core::Matrix &tokens);
+
+    /**
+     * Thread-safe admission: queues one decode step for @p session
+     * in its tenant's queue. Returns QuotaExceeded when the tenant's
+     * queue is at maxQueued, DeadlineExpired when @p deadline already
+     * passed, SessionRemoved/Corrupted when the target session is
+     * gone. Out-of-range ids are fatal.
+     */
+    SubmitResult trySubmit(core::Index session,
+                           std::span<const core::Real> token,
+                           std::chrono::steady_clock::time_point
+                               deadline = Batcher::kNoDeadline);
+
+    /**
+     * One continuous-batching round (single driver thread): DRR-
+     * dispatches queued steps to the shard batchers, runs every
+     * shard's flush as one work-stealing pool batch, and returns the
+     * completions — shards in index order, submission order within a
+     * shard. Concurrent trySubmit() calls keep landing in the tenant
+     * queues while the flush runs.
+     */
+    std::vector<Completion> flushOnce();
+
+    /** Removes @p session (drops its queued steps everywhere). Must
+     *  not run concurrently with flushOnce(). */
+    void removeSession(core::Index session);
+
+    core::Index shardCount() const
+    {
+        return static_cast<core::Index>(shards_.size());
+    }
+
+    core::Index tenantCount() const;
+
+    /** Sessions ever created through this front-end. */
+    core::Index sessionCount() const;
+
+    core::Index tenantOf(core::Index session) const;
+    core::Index shardOf(core::Index session) const;
+
+    /** Steps currently waiting in @p tenant's queue. */
+    core::Index queuedSteps(core::Index tenant) const;
+
+    /** Cumulative accounting for @p tenant. */
+    TenantCounters tenantCounters(core::Index tenant) const;
+
+    /** Shard @p s's manager (stats/budget introspection). */
+    const SessionManager &manager(core::Index s) const;
+
+    /** Shard @p s's batcher (stats introspection). */
+    Batcher &batcher(core::Index s);
+
+  private:
+    struct QueuedStep
+    {
+        core::Index session = 0; ///< global id
+        std::vector<core::Real> token;
+        std::chrono::steady_clock::time_point submitted{};
+        std::chrono::steady_clock::time_point deadline{
+            Batcher::kNoDeadline};
+    };
+
+    struct Tenant
+    {
+        TenantConfig config;
+        std::uint64_t deficit = 0;
+        std::deque<QueuedStep> queue;
+        TenantCounters counters;
+        /** Cached labeled gauges (registry lookups are locked). */
+        obs::Gauge *waitMax = nullptr;
+        obs::Gauge *waitTotal = nullptr;
+        obs::Gauge *latencyMax = nullptr;
+        obs::Gauge *shed = nullptr;
+    };
+
+    /** Dispatch-order metadata of one in-flight step; parallel to
+     *  the shard batcher's pending queue (empty between flushes). */
+    struct DispatchTag
+    {
+        core::Index session = 0; ///< global id
+        core::Index tenant = 0;
+        std::chrono::steady_clock::time_point submitted{};
+        double waitSeconds = 0; ///< submit to dispatch, measured
+    };
+
+    struct Shard
+    {
+        std::unique_ptr<SessionManager> manager;
+        std::unique_ptr<Batcher> batcher;
+        std::vector<DispatchTag> inflight;
+    };
+
+    struct SessionRef
+    {
+        core::Index shard = 0;
+        core::Index local = 0; ///< id within the shard's manager
+        core::Index tenant = 0;
+        bool removed = false;
+        /** Quarantine observed (sticky) — admission rejects early. */
+        bool corrupted = false;
+    };
+
+    core::ThreadPool &pool() const;
+
+    const Tenant &tenant(core::Index id) const;
+
+    /** Phase 1 of flushOnce(): DRR dispatch under mutex_. */
+    void dispatchLocked();
+
+    mutable std::mutex mutex_; ///< tenant queues, registry, counters
+    std::vector<Shard> shards_;
+    std::vector<Tenant> tenants_;
+    std::vector<SessionRef> sessions_;
+    core::Index defaultQuota_ = 0;
+    core::Index drrQuantumScale_ = 32;
+    core::Index maxDispatchPerFlush_ = 256;
+    core::Index nextShard_ = 0; ///< round-robin placement cursor
+    core::ThreadPool *pool_ = nullptr;
+};
+
+} // namespace cta::serve

@@ -1,0 +1,125 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace cta::serve {
+
+using core::Index;
+
+ZipfSampler::ZipfSampler(Index n, double exponent)
+{
+    CTA_REQUIRE(n > 0, "Zipf sampler needs at least one slot, got ",
+                n);
+    CTA_REQUIRE(exponent >= 0 && std::isfinite(exponent),
+                "Zipf exponent must be finite and non-negative, got ",
+                exponent);
+    cdf_.resize(static_cast<std::size_t>(n));
+    double total = 0;
+    for (Index k = 0; k < n; ++k) {
+        total += std::pow(static_cast<double>(k + 1), -exponent);
+        cdf_[static_cast<std::size_t>(k)] = total;
+    }
+    for (double &c : cdf_)
+        c /= total;
+    cdf_.back() = 1.0; // exact upper bound despite rounding
+}
+
+Index
+ZipfSampler::sample(core::Rng &rng) const
+{
+    const double u = static_cast<double>(rng.uniform());
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<Index>(it - cdf_.begin());
+}
+
+std::vector<Arrival>
+generateArrivals(const LoadGenConfig &config)
+{
+    CTA_REQUIRE(config.sessions > 0, "sessions must be positive, got ",
+                config.sessions);
+    CTA_REQUIRE(config.ratePerSecond > 0 &&
+                    std::isfinite(config.ratePerSecond),
+                "ratePerSecond must be positive and finite, got ",
+                config.ratePerSecond);
+    CTA_REQUIRE(config.burstFactor >= 1.0 && config.burstFactor <= 2.0,
+                "burstFactor must be in [1, 2] (peak-to-mean of a "
+                "non-negative sinusoidal rate), got ",
+                config.burstFactor);
+    CTA_REQUIRE(config.burstPeriodSeconds > 0,
+                "burstPeriodSeconds must be positive, got ",
+                config.burstPeriodSeconds);
+    CTA_REQUIRE(config.minSteps >= 1 &&
+                    config.maxSteps >= config.minSteps,
+                "steps range must satisfy 1 <= minSteps <= maxSteps, "
+                "got [", config.minSteps, ", ", config.maxSteps, "]");
+    CTA_REQUIRE(config.durationSeconds > 0,
+                "durationSeconds must be positive, got ",
+                config.durationSeconds);
+
+    core::Rng rng(config.seed);
+    const ZipfSampler zipf(config.sessions, config.zipfExponent);
+
+    // Thinning (Lewis-Shedler): candidate arrivals at the peak rate,
+    // each kept with probability rate(t)/peak. The modulation
+    // amplitude equals burstFactor - 1, so rate(t) stays
+    // non-negative and its mean is exactly ratePerSecond.
+    const double amplitude = config.burstFactor - 1.0;
+    const double peakRate = config.ratePerSecond * config.burstFactor;
+    const double twoPi = 2.0 * 3.14159265358979323846;
+
+    std::vector<Arrival> trace;
+    trace.reserve(static_cast<std::size_t>(
+        config.ratePerSecond * config.durationSeconds * 1.1 + 16));
+    double t = 0;
+    while (true) {
+        // Exponential inter-arrival at the peak rate; 1 - u avoids
+        // log(0) since uniform() is in [0, 1).
+        const double u = static_cast<double>(rng.uniform());
+        t += -std::log1p(-u) / peakRate;
+        if (t >= config.durationSeconds)
+            break;
+        const double modulated =
+            1.0 + amplitude *
+                      std::sin(twoPi * t / config.burstPeriodSeconds);
+        const double accept =
+            modulated * config.ratePerSecond / peakRate;
+        if (static_cast<double>(rng.uniform()) >= accept)
+            continue;
+        Arrival arrival;
+        arrival.time = t;
+        arrival.session = zipf.sample(rng);
+        arrival.steps =
+            config.minSteps +
+            static_cast<Index>(rng.uniformInt(static_cast<std::uint64_t>(
+                config.maxSteps - config.minSteps + 1)));
+        trace.push_back(arrival);
+    }
+    return trace;
+}
+
+std::vector<Arrival>
+mergeArrivals(const std::vector<Arrival> &a,
+              const std::vector<Arrival> &b, Index session_offset)
+{
+    std::vector<Arrival> merged;
+    merged.reserve(a.size() + b.size());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        const bool takeA =
+            j >= b.size() ||
+            (i < a.size() && a[i].time <= b[j].time);
+        if (takeA) {
+            merged.push_back(a[i++]);
+        } else {
+            Arrival shifted = b[j++];
+            shifted.session += session_offset;
+            merged.push_back(shifted);
+        }
+    }
+    return merged;
+}
+
+} // namespace cta::serve

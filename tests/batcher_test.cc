@@ -7,16 +7,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "nn/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
+#include "serve/session_manager.h"
 
 namespace {
 
@@ -312,17 +317,21 @@ TEST(BatcherTest, ExpiredDeadlinesCascadePerSession)
     const Index b = batcher.addSession(
         makeSession(params, sampleTokens(16, kDim, 70)));
 
-    // a's first step has an already-expired deadline; its second has
-    // none — but must still expire via the per-session cascade so the
-    // token stream keeps no holes. b is unconstrained.
-    const auto past = std::chrono::steady_clock::now() -
-                      std::chrono::seconds(1);
-    ASSERT_EQ(batcher.trySubmit(a, steps.row(0), past),
+    // a's first step carries a deadline that is still live at
+    // admission (already-lapsed ones are rejected there — see
+    // DeadOnArrivalSubmitsRejectedAtAdmission) but lapses while
+    // queued; its second has none — yet must still expire via the
+    // per-session cascade so the token stream keeps no holes. b is
+    // unconstrained.
+    const auto soon = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(5);
+    ASSERT_EQ(batcher.trySubmit(a, steps.row(0), soon),
               cta::serve::SubmitResult::Accepted);
     ASSERT_EQ(batcher.trySubmit(b, steps.row(1)),
               cta::serve::SubmitResult::Accepted);
     ASSERT_EQ(batcher.trySubmit(a, steps.row(2)),
               cta::serve::SubmitResult::Accepted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
 
     const auto results = batcher.flush();
     ASSERT_EQ(results.size(), 3u);
@@ -344,6 +353,219 @@ TEST(BatcherTest, ExpiredDeadlinesCascadePerSession)
     const auto ok = batcher.flush();
     ASSERT_EQ(ok.size(), 1u);
     EXPECT_EQ(ok[0].status, cta::serve::StepStatus::Ok);
+}
+
+TEST(BatcherTest, DeadOnArrivalSubmitsRejectedAtAdmission)
+{
+    Rng rng(16);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(2, kDim, 91);
+
+    Batcher batcher;
+    const Index id = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 90)));
+
+    // A deadline already in the past must be rejected at admission —
+    // it can only ever come back Expired, so queueing it would waste
+    // a bounded-queue slot — with its own distinct result.
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1);
+    EXPECT_EQ(batcher.trySubmit(id, steps.row(0), past),
+              cta::serve::SubmitResult::DeadlineExpired);
+    EXPECT_EQ(batcher.pendingCount(), 0);
+    EXPECT_EQ(batcher.rejectedSubmits(), 1u);
+    EXPECT_EQ(batcher.rejectedSubmitsByReason().deadlineExpired, 1u);
+    EXPECT_EQ(batcher.expiredSteps(), 0u); // never queued, not expired
+
+    // Future and absent deadlines still admit normally.
+    const auto future = std::chrono::steady_clock::now() +
+                        std::chrono::hours(1);
+    EXPECT_EQ(batcher.trySubmit(id, steps.row(0), future),
+              cta::serve::SubmitResult::Accepted);
+    EXPECT_EQ(batcher.trySubmit(id, steps.row(1)),
+              cta::serve::SubmitResult::Accepted);
+    EXPECT_EQ(batcher.pendingCount(), 2);
+}
+
+double
+gaugeValue(const char *name)
+{
+    for (const auto &[n, v] : cta::obs::gaugeSnapshot())
+        if (n == name)
+            return v;
+    return 0;
+}
+
+TEST(BatcherTest, PerReasonRejectionGaugesSumToCounter)
+{
+    Rng rng(17);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(4, kDim, 93);
+
+    cta::obs::setTraceEnabled(true);
+    cta::obs::resetMetrics();
+
+    Batcher batcher(nullptr, /*queue_cap=*/1);
+    const Index a = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 92)));
+    const Index b = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 92)));
+    batcher.removeSession(b);
+
+    // One rejection of each flavor: full queue, removed target, and
+    // a dead-on-arrival deadline.
+    ASSERT_EQ(batcher.trySubmit(a, steps.row(0)),
+              cta::serve::SubmitResult::Accepted);
+    EXPECT_EQ(batcher.trySubmit(a, steps.row(1)),
+              cta::serve::SubmitResult::QueueFull);
+    EXPECT_EQ(batcher.trySubmit(b, steps.row(2)),
+              cta::serve::SubmitResult::SessionRemoved);
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1);
+    EXPECT_EQ(batcher.trySubmit(a, steps.row(3), past),
+              cta::serve::SubmitResult::DeadlineExpired);
+
+    const auto reasons = batcher.rejectedSubmitsByReason();
+    EXPECT_EQ(reasons.queueFull, 1u);
+    EXPECT_EQ(reasons.sessionRemoved, 1u);
+    EXPECT_EQ(reasons.corrupted, 0u);
+    EXPECT_EQ(reasons.deadlineExpired, 1u);
+    // The invariant the old accounting broke: the headline counter is
+    // exactly the sum of the per-reason breakdown...
+    EXPECT_EQ(batcher.rejectedSubmits(), reasons.total());
+    // ...and the exported per-reason gauges agree with it too.
+    const double gaugeSum =
+        gaugeValue("serve.rejected.queue_full") +
+        gaugeValue("serve.rejected.session_removed") +
+        gaugeValue("serve.rejected.corrupted") +
+        gaugeValue("serve.rejected.deadline_expired");
+    EXPECT_DOUBLE_EQ(gaugeSum,
+                     static_cast<double>(batcher.rejectedSubmits()));
+    // The legacy gauge keeps its historical meaning: QueueFull only.
+    EXPECT_DOUBLE_EQ(gaugeValue("serve.queue_rejected"), 1.0);
+
+    cta::obs::setTraceEnabled(false);
+}
+
+TEST(BatcherTest, QueueWaitRecordedForExpiredSteps)
+{
+    Rng rng(18);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    const Matrix steps = sampleTokens(1, kDim, 95);
+
+    cta::obs::setTraceEnabled(true);
+    cta::obs::resetMetrics();
+
+    Batcher batcher;
+    const Index id = batcher.addSession(
+        makeSession(params, sampleTokens(16, kDim, 94)));
+    // Admit with a deadline that will lapse while queued, then wait
+    // it out so the flush sees an expired step.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(5);
+    ASSERT_EQ(batcher.trySubmit(id, steps.row(0), deadline),
+              cta::serve::SubmitResult::Accepted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    const auto results = batcher.flush();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, cta::serve::StepStatus::Expired);
+    // The regression: expired steps used to skip the queue-wait
+    // gauges entirely, hiding exactly the waits that caused the
+    // expiry. The step waited ~30ms, so both gauges must show it.
+    EXPECT_GT(gaugeValue("serve.queue_wait_total_s"), 0.0);
+    EXPECT_GE(gaugeValue("serve.queue_wait_max_s"), 0.005);
+
+    cta::obs::setTraceEnabled(false);
+}
+
+/** Hammers trySubmit from several threads while sessions are being
+ *  removed underneath them — the race the old Batcher had (lifecycle
+ *  state read without its mutex). Run under TSan in CI. */
+void
+tortureSubmitVsRemove(bool managed)
+{
+    Rng rng(19);
+    const auto params =
+        cta::nn::AttentionHeadParams::randomInit(kDim, kHeadDim, rng);
+    constexpr Index kSessions = 8;
+    constexpr int kThreads = 3;
+    constexpr int kSubmitsPerThread = 160;
+
+    std::unique_ptr<cta::serve::SessionManager> manager;
+    std::unique_ptr<Batcher> batcher;
+    if (managed) {
+        manager = std::make_unique<cta::serve::SessionManager>(
+            params, ServeConfig{}, kDim, /*mem_budget_bytes=*/0);
+        batcher = std::make_unique<Batcher>(*manager);
+        for (Index s = 0; s < kSessions; ++s)
+            manager->createSession(sampleTokens(8, kDim, 100 + s));
+    } else {
+        batcher = std::make_unique<Batcher>();
+        for (Index s = 0; s < kSessions; ++s)
+            batcher->addSession(
+                makeSession(params, sampleTokens(8, kDim, 100 + s)));
+    }
+    const Matrix tokens = sampleTokens(kSessions, kDim, 120);
+
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w)
+        submitters.emplace_back([&, w] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kSubmitsPerThread; ++i) {
+                const Index sid = (w * 31 + i) % kSessions;
+                const auto result = batcher->trySubmit(
+                    sid, tokens.row(sid));
+                if (result == cta::serve::SubmitResult::Accepted)
+                    accepted.fetch_add(1,
+                                       std::memory_order_relaxed);
+                else
+                    // The only shed reason this workload can hit.
+                    EXPECT_EQ(
+                        result,
+                        cta::serve::SubmitResult::SessionRemoved);
+            }
+        });
+
+    // Remove every odd session while the submitters run. No flush
+    // during the torture — flush may not race removeSession (that is
+    // the documented front-end contract), but submits may.
+    go.store(true, std::memory_order_release);
+    for (Index s = 1; s < kSessions; s += 2)
+        batcher->removeSession(s);
+    for (std::thread &t : submitters)
+        t.join();
+
+    // Everything accepted and not purged by a removal must flush to
+    // an Ok result on a surviving even session.
+    const auto results = batcher->flush();
+    for (const auto &r : results) {
+        EXPECT_EQ(r.session % 2, 0) << "step for removed session "
+                                    << r.session << " survived";
+        EXPECT_EQ(r.status, cta::serve::StepStatus::Ok);
+    }
+    EXPECT_LE(static_cast<std::uint64_t>(results.size()),
+              accepted.load());
+    // Rejection accounting stayed coherent under the contention.
+    EXPECT_EQ(batcher->rejectedSubmits(),
+              batcher->rejectedSubmitsByReason().total());
+}
+
+TEST(BatcherTortureTest, ConcurrentTrySubmitVsRemoveDirect)
+{
+    tortureSubmitVsRemove(/*managed=*/false);
+}
+
+TEST(BatcherTortureTest, ConcurrentTrySubmitVsRemoveManaged)
+{
+    tortureSubmitVsRemove(/*managed=*/true);
 }
 
 } // namespace

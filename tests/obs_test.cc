@@ -256,6 +256,38 @@ TEST(MetricsTest, MetricsJsonSortedAndComplete)
     cta::obs::resetMetrics();
 }
 
+TEST(MetricsTest, LabeledComposesPerEntityNames)
+{
+    EXPECT_EQ(cta::obs::labeled("serve.queue_wait_max_s", "tenant",
+                                "gold"),
+              "serve.queue_wait_max_s{tenant=gold}");
+    // Labeled names are ordinary registry entries, distinct from
+    // their base and from each other, and sort next to the base in
+    // the metrics JSON.
+    cta::obs::resetMetrics();
+    cta::obs::gauge("test.labeled").set(1.0);
+    cta::obs::gauge(cta::obs::labeled("test.labeled", "t", "a"))
+        .set(2.0);
+    cta::obs::gauge(cta::obs::labeled("test.labeled", "t", "b"))
+        .set(3.0);
+    EXPECT_DOUBLE_EQ(cta::obs::gauge("test.labeled{t=a}").value(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(cta::obs::gauge("test.labeled{t=b}").value(),
+                     3.0);
+    EXPECT_DOUBLE_EQ(cta::obs::gauge("test.labeled").value(), 1.0);
+    cta::obs::resetMetrics();
+}
+
+TEST(MetricsDeathTest, LabeledRejectsReservedDelimiters)
+{
+    EXPECT_EXIT(cta::obs::labeled("base", "key", "va=lue"),
+                ::testing::ExitedWithCode(1), "reserved delimiter");
+    EXPECT_EXIT(cta::obs::labeled("base", "k,ey", "value"),
+                ::testing::ExitedWithCode(1), "reserved delimiter");
+    EXPECT_EXIT(cta::obs::labeled("base", "", "value"),
+                ::testing::ExitedWithCode(1), "non-empty");
+}
+
 TEST(MetricsTest, SnapshotsSorted)
 {
     cta::obs::resetMetrics();
