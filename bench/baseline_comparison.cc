@@ -9,18 +9,19 @@
  * the paper cites (SI, references [42], [43]): their selection work
  * stays quadratic-ish and query-serial, so the gap to CTA widens
  * with sequence length.
+ *
+ * All four accelerators resolve by name through the registry
+ * (accel_registry/registry.h) — no hard-coded model types.
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "a3/a3_accel.h"
+#include "accel_registry/registry.h"
 #include "bench/common.h"
 #include "cta/error.h"
-#include "elsa/elsa_accel.h"
-#include "elsa/elsa_system.h"
 #include "gpu/gpu_model.h"
-#include "leopard/leopard_accel.h"
 #include "sim/report.h"
 
 namespace {
@@ -35,7 +36,6 @@ main()
     bench::banner("Baseline comparison: GPU vs A^3+GPU vs ELSA+GPU "
                   "vs 12 x CTA-0.5");
     const cta::gpu::GpuModel gpu;
-    const auto tech = cta::sim::TechParams::smic40nmClass();
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"n", "A3+GPU", "ELSA+GPU", "LeOPArd+GPU",
@@ -51,70 +51,45 @@ main()
         const auto exact = exactAttention(c.evalTokens, c.evalTokens,
                                           c.head);
 
-        // A^3 (moderate setting scaled with n).
-        cta::a3::A3HwConfig a3_hw = cta::a3::A3HwConfig::paperDefault();
-        a3_hw.maxSeqLen = n;
-        const cta::a3::A3Accelerator a3_accel(a3_hw, tech);
-        cta::a3::A3Config a3_cfg;
-        a3_cfg.searchRounds = n;
-        a3_cfg.candidates = n / 4;
-        const auto a3_r = a3_accel.run(c.evalTokens, c.evalTokens,
-                                       c.head, a3_cfg, "A3");
-        const double t_a3 = t_gpu_lin +
-            a3_r.report.seconds() / kUnits;
-        const auto a3_err = cta::alg::compareOutputs(
-            a3_r.algorithm.output, exact);
+        // All baselines run at their moderate operating point (A^3
+        // keep n/4, ELSA Moderate, LeOPArd 99% mass, CTA-0.5);
+        // calibrating models see the full token sequence.
+        cta::reg::AccelOptions options;
+        options.maxSeqLen = n;
+        cta::reg::RunRequest request;
+        request.quality = cta::reg::Quality::Moderate;
+        request.calibTokens = &c.tokens;
 
-        // ELSA (moderate).
-        cta::elsa::ElsaHwConfig e_hw =
-            cta::elsa::ElsaHwConfig::paperDefault();
-        e_hw.maxSeqLen = n;
-        const cta::elsa::ElsaAccelerator elsa_accel(e_hw, tech);
-        const auto e_r = elsa_accel.run(
-            c.evalTokens, c.evalTokens, c.head,
-            cta::elsa::ElsaConfig::fromPreset(
-                cta::elsa::ElsaPreset::Moderate),
-            "ELSA");
-        const double t_elsa = t_gpu_lin +
-            e_r.report.seconds() / kUnits;
-        const auto e_err = cta::alg::compareOutputs(
-            e_r.algorithm.output, exact);
+        const struct
+        {
+            const char *name;
+            const char *label;
+            bool addLinears; // attention-only models pay GPU linears
+        } platforms[] = {{"a3", "A3", true},
+                         {"elsa", "ELSA", true},
+                         {"leopard", "LeOPArd", true},
+                         {"cta", "CTA-0.5", false}};
 
-        // LeOPArd (calibrated to 99% softmax mass).
-        cta::leopard::LeopardHwConfig l_hw =
-            cta::leopard::LeopardHwConfig::paperDefault();
-        l_hw.maxSeqLen = n;
-        const cta::leopard::LeopardAccelerator leo_accel(l_hw, tech);
-        const auto leo_cfg = cta::leopard::calibrateLeopard(
-            c.tokens, c.head, 0.99f);
-        const auto leo_r = leo_accel.run(c.evalTokens, c.evalTokens,
-                                         c.head, leo_cfg, "LeOPArd");
-        const double t_leo = t_gpu_lin +
-            leo_r.report.seconds() / kUnits;
-        const auto leo_err = cta::alg::compareOutputs(
-            leo_r.algorithm.output, exact);
+        std::vector<std::string> speedups, cosines;
+        for (const auto &p : platforms) {
+            const auto accel = cta::reg::makeAccelerator(p.name,
+                                                         options);
+            request.platform = p.label;
+            const auto r = accel->run(c.evalTokens, c.evalTokens,
+                                      c.head, request);
+            double seconds = r.report.seconds() / kUnits;
+            if (p.addLinears)
+                seconds += t_gpu_lin;
+            const auto err =
+                cta::alg::compareOutputs(r.output, exact);
+            speedups.push_back(cta::sim::fmtRatio(t_gpu / seconds, 1));
+            cosines.push_back(cta::sim::fmt(err.meanCosine, 3));
+        }
 
-        // CTA-0.5.
-        cta::accel::HwConfig hw = cta::accel::HwConfig::paperDefault();
-        hw.maxSeqLen = n;
-        const cta::accel::CtaAccelerator accel(hw, tech);
-        const auto config =
-            bench::calibrated(c, cta::alg::Preset::Cta05);
-        const auto cta_r = accel.run(c.evalTokens, c.evalTokens,
-                                     c.head, config, "CTA-0.5");
-        const double t_cta = cta_r.report.seconds() / kUnits;
-        const auto cta_err = cta::alg::compareOutputs(
-            cta_r.algorithm.output, exact);
-
-        rows.push_back({std::to_string(n),
-                        cta::sim::fmtRatio(t_gpu / t_a3, 1),
-                        cta::sim::fmtRatio(t_gpu / t_elsa, 1),
-                        cta::sim::fmtRatio(t_gpu / t_leo, 1),
-                        cta::sim::fmtRatio(t_gpu / t_cta, 1),
-                        cta::sim::fmt(a3_err.meanCosine, 3),
-                        cta::sim::fmt(e_err.meanCosine, 3),
-                        cta::sim::fmt(leo_err.meanCosine, 3),
-                        cta::sim::fmt(cta_err.meanCosine, 3)});
+        std::vector<std::string> row = {std::to_string(n)};
+        row.insert(row.end(), speedups.begin(), speedups.end());
+        row.insert(row.end(), cosines.begin(), cosines.end());
+        rows.push_back(row);
     }
     std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
     bench::writeCsv("baseline_comparison", rows);

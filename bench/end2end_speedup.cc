@@ -17,8 +17,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "accel_registry/registry.h"
 #include "bench/common.h"
 #include "gpu/gpu_model.h"
 #include "sim/report.h"
@@ -35,15 +37,14 @@ main()
     bench::banner("End-to-end speedup (paper SVI-C) and GPU-CTA "
                   "motivation (paper SIV)");
     const cta::gpu::GpuModel gpu;
-    const auto tech = cta::sim::TechParams::smic40nmClass();
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"model", "n", "attention share", "end-to-end "
                     "speedup"});
     for (const cta::core::Index n : {512, 2048}) {
-        cta::accel::HwConfig hw = cta::accel::HwConfig::paperDefault();
-        hw.maxSeqLen = n;
-        const cta::accel::CtaAccelerator accel(hw, tech);
+        cta::reg::AccelOptions options;
+        options.maxSeqLen = n;
+        const auto accel = cta::reg::makeAccelerator("cta", options);
         // Keep only the two language workloads, then measure those
         // cases concurrently (results stay in case order).
         std::vector<bench::Case> selected;
@@ -55,10 +56,13 @@ main()
         }
         const auto measured = bench::runCasesParallel(
             selected, [&](const bench::Case &c) {
-                const auto config =
-                    bench::calibrated(c, cta::alg::Preset::Cta05);
-                const auto r = accel.run(c.tokens, c.tokens, c.head,
-                                         config, "CTA");
+                cta::reg::RunRequest request;
+                request.quality =
+                    cta::reg::Quality::Moderate; // CTA-0.5
+                request.platform = "CTA";
+                request.calibTokens = &c.tokens;
+                const auto r = accel->run(c.tokens, c.tokens, c.head,
+                                          request);
                 const double t_attn_gpu = gpu.exactAttentionSeconds(
                     n, n, c.tokens.cols(), c.testcase.model.dHead);
                 const double t_attn_cta = r.report.seconds() / kUnits;

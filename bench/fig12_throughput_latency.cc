@@ -12,15 +12,19 @@
  *   attention) and CTA latency relative to the iso-multiplier ideal
  *   accelerator. Paper reference: 7 / 34 / 59 % breakdown;
  *   CTA-0/0.5/1 at 41 / 34 / 26 % of ideal latency.
+ *
+ * The compared platforms ("cta", "elsa", "ideal") resolve through
+ * the accelerator registry; one shared instance each (run() is
+ * thread-safe) serves all pool tasks.
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "baseline/ideal_accel.h"
+#include "accel_registry/registry.h"
 #include "bench/common.h"
 #include "core/stats.h"
-#include "elsa/elsa_accel.h"
 #include "elsa/elsa_system.h"
 #include "gpu/gpu_model.h"
 #include "obs/trace.h"
@@ -29,6 +33,18 @@
 namespace {
 
 constexpr cta::core::Index kUnits = 12; // 12 x CTA vs 12 x ELSA
+
+/** Preset label + registry quality of one CTA column. */
+struct CtaPoint
+{
+    cta::alg::Preset preset;
+    cta::reg::Quality quality;
+};
+
+constexpr CtaPoint kCtaPoints[3] = {
+    {cta::alg::Preset::Cta0, cta::reg::Quality::Conservative},
+    {cta::alg::Preset::Cta05, cta::reg::Quality::Moderate},
+    {cta::alg::Preset::Cta1, cta::reg::Quality::Aggressive}};
 
 /** Everything one testcase contributes to the tables. */
 struct CaseResult
@@ -43,8 +59,9 @@ struct CaseResult
 
 CaseResult
 measureCase(const bench::Case &c, const cta::gpu::GpuModel &gpu,
-            const cta::accel::CtaAccelerator &accel,
-            const cta::elsa::ElsaAccelerator &elsa_accel)
+            const cta::reg::Accelerator &cta_accel,
+            const cta::reg::Accelerator &elsa_accel,
+            const cta::reg::Accelerator &ideal_accel)
 {
     CaseResult out;
     const auto n = c.tokens.rows();
@@ -54,40 +71,49 @@ measureCase(const bench::Case &c, const cta::gpu::GpuModel &gpu,
         n, n, c.tokens.cols(), c.testcase.model.dHead);
 
     out.row.push_back(c.testcase.name);
-    // ELSA systems.
-    for (const auto preset : {cta::elsa::ElsaPreset::Conservative,
-                              cta::elsa::ElsaPreset::Aggressive}) {
-        const auto r = elsa_accel.run(
-            c.evalTokens, c.evalTokens, c.head,
-            cta::elsa::ElsaConfig::fromPreset(preset),
-            elsaPresetName(preset));
+    // ELSA systems: attention-only accelerator + GPU linears.
+    const struct
+    {
+        cta::elsa::ElsaPreset preset;
+        cta::reg::Quality quality;
+    } elsa_points[] = {{cta::elsa::ElsaPreset::Conservative,
+                        cta::reg::Quality::Conservative},
+                       {cta::elsa::ElsaPreset::Aggressive,
+                        cta::reg::Quality::Aggressive}};
+    for (const auto &point : elsa_points) {
+        cta::reg::RunRequest request;
+        request.quality = point.quality;
+        request.platform = elsaPresetName(point.preset);
+        const auto r = elsa_accel.run(c.evalTokens, c.evalTokens,
+                                      c.head, request);
         const auto sys = cta::elsa::combineWithGpu(
-            r, t_gpu_lin, gpu.params().boardPowerW, kUnits);
+            r.report, t_gpu_lin, gpu.params().boardPowerW, kUnits);
         const double t_sys = sys.gpuSeconds + sys.elsaSeconds;
         const double speedup = t_gpu / t_sys;
         out.row.push_back(cta::sim::fmtRatio(speedup));
-        (preset == cta::elsa::ElsaPreset::Conservative
+        (point.preset == cta::elsa::ElsaPreset::Conservative
              ? out.spElsaC : out.spElsaA) = speedup;
     }
-    // CTA presets.
-    int pi = 0;
-    const cta::baseline::IdealAccelerator ideal(
-        accel.config().multiplierCount());
-    const double t_ideal =
-        static_cast<double>(ideal.exactAttentionCycles(
-            n, n, c.tokens.cols(), c.testcase.model.dHead)) /
+    // CTA presets against the iso-multiplier ideal bound.
+    cta::reg::RunRequest ideal_request;
+    const double t_ideal = static_cast<double>(
+        ideal_accel.run(c.evalTokens, c.evalTokens, c.head,
+                        ideal_request).report.latency.total()) /
         1e9 / kUnits;
-    for (const auto preset : bench::allPresets()) {
-        const auto config = bench::calibrated(c, preset);
-        const auto r = accel.run(c.evalTokens, c.evalTokens, c.head,
-                                 config,
-                                 cta::alg::presetName(preset));
+    int pi = 0;
+    for (const auto &point : kCtaPoints) {
+        cta::reg::RunRequest request;
+        request.quality = point.quality;
+        request.platform = cta::alg::presetName(point.preset);
+        request.calibTokens = &c.tokens;
+        const auto r = cta_accel.run(c.evalTokens, c.evalTokens,
+                                     c.head, request);
         const double t_cta = r.report.seconds() / kUnits;
         const double speedup = t_gpu / t_cta;
         out.row.push_back(cta::sim::fmtRatio(speedup));
         out.spCta[pi] = speedup;
         out.vsIdeal[pi] = t_cta / t_ideal;
-        if (preset == cta::alg::Preset::Cta05) {
+        if (point.preset == cta::alg::Preset::Cta05) {
             const auto &lat = r.report.latency;
             out.compShare = static_cast<double>(
                 lat.tokenCompression) / lat.total();
@@ -109,12 +135,9 @@ main()
     bench::banner("Figure 12 left: normalized attention throughput");
     auto cases = bench::makeCases(512);
     const cta::gpu::GpuModel gpu;
-    const cta::sim::TechParams tech =
-        cta::sim::TechParams::smic40nmClass();
-    const cta::accel::CtaAccelerator accel(
-        cta::accel::HwConfig::paperDefault(), tech);
-    const cta::elsa::ElsaAccelerator elsa_accel(
-        cta::elsa::ElsaHwConfig::paperDefault(), tech);
+    const auto cta_accel = cta::reg::makeAccelerator("cta");
+    const auto elsa_accel = cta::reg::makeAccelerator("elsa");
+    const auto ideal_accel = cta::reg::makeAccelerator("ideal");
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"testcase", "ELSA-Cons+GPU", "ELSA-Aggr+GPU",
@@ -130,7 +153,8 @@ main()
     // the tables and geomeans below are unchanged.
     const auto measured =
         bench::runCasesParallel(cases, [&](const bench::Case &c) {
-            return measureCase(c, gpu, accel, elsa_accel);
+            return measureCase(c, gpu, *cta_accel, *elsa_accel,
+                               *ideal_accel);
         });
     for (const auto &m : measured) {
         rows.push_back(m.row);

@@ -1,67 +1,130 @@
 /**
  * @file
- * Reproduces paper Fig. 13: design-space exploration of average
- * attention throughput under SA width b in {8, 16, 32, 64} crossed
- * with PAG degree of parallelism in {4, 8, 16, 32, 64, 128}, via the
- * library DSE API (cta_accel/dse.h).
+ * Reproduces paper Fig. 13 and extends it to the full DSE grid:
+ * SA tile (width x height) x PAG degree of parallelism, evaluated in
+ * parallel over the process-global thread pool and auto-tuned
+ * against the critical-path analyzer's bottleneck report.
  *
  * Paper's findings to reproduce:
  *   - PAG parallelism = 2 x SA width is the knee (more buys nothing,
  *     less stalls the loop);
  *   - optimal throughput grows sub-linearly with SA width (LSH phase
  *     only occupies l columns; value-register updates grow).
+ *
+ * Extension: a d = 32 what-if height (half-height SA tile on the
+ * same workloads) and, per (height, width), the smallest PAG
+ * parallelism whose bottleneck module is no longer the PAG —
+ * cross-checked against the throughput saturation knee.
+ *
+ * Results go to BENCH_dse_grid.json. The file contains no timing or
+ * thread-count fields, and every value is computed deterministically
+ * at any CTA_THREADS, so the bytes are identical under CTA_THREADS=1
+ * and CTA_THREADS=8 (CI diffs them). `--smoke` shrinks the grid so
+ * CI can validate the schema in well under a second.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "core/parallel.h"
 #include "cta_accel/dse.h"
 #include "sim/report.h"
 
-int
-main()
+namespace {
+
+using cta::core::Index;
+
+/** Smallest swept PAG parallelism at which the analyzer stops naming
+ *  the PAG as the binding module (0 if it never stops). */
+Index
+bottleneckKnee(const std::vector<cta::accel::DsePoint> &points,
+               Index height, Index width)
 {
+    for (const auto &p : points) // points are parallelism-ordered
+        if (p.saHeight == height && p.saWidth == width &&
+            p.bottleneckModule != "PAG")
+            return p.pagParallelism;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
     bench::banner("Figure 13: throughput vs SA width x PAG "
                   "parallelism");
     auto cases = bench::makeCases(512);
-    // Realized shapes from CTA-0.5 calibrations across testcases.
+    if (smoke)
+        cases.erase(cases.begin() + 2, cases.end());
+    // Realized shapes from CTA-0.5 calibrations across testcases,
+    // plus a d = 32 what-if copy of each (same compression result on
+    // a half-height tile) for the height axis of the grid.
+    const Index base_height =
+        cta::accel::HwConfig::paperDefault().saHeight;
+    const Index half_height = base_height / 2;
     std::vector<cta::alg::CompressionStats> shapes;
     for (const auto &c : cases) {
         const auto config =
             bench::calibrated(c, cta::alg::Preset::Cta05);
-        shapes.push_back(cta::alg::ctaAttention(c.evalTokens,
-                                                c.evalTokens, c.head,
-                                                config)
-                             .stats);
+        const auto stats = cta::alg::ctaAttention(c.evalTokens,
+                                                  c.evalTokens,
+                                                  c.head, config)
+                               .stats;
+        shapes.push_back(stats);
+        auto half = stats;
+        half.d = half_height;
+        shapes.push_back(half);
     }
 
     // Width starts at 8: the LSH phase maps one hash direction per
     // column, so the SA must be at least l = 6 columns wide.
-    const std::vector<cta::core::Index> widths{8, 16, 32, 64};
-    const std::vector<cta::core::Index> pag_par{4, 8, 16, 32, 64,
-                                                128};
-    const auto points = exploreDesignSpace(
-        cta::accel::HwConfig::paperDefault(), shapes, widths,
-        pag_par);
+    cta::accel::DseGrid grid;
+    grid.saWidths = smoke ? std::vector<Index>{8, 16}
+                          : std::vector<Index>{8, 16, 32, 64};
+    grid.saHeights = {half_height, base_height};
+    grid.pagParallelisms =
+        smoke ? std::vector<Index>{8, 16, 32}
+              : std::vector<Index>{4, 8, 16, 32, 64, 128};
 
-    // Normalize to b = 8, PAG = 16 (the paper's configuration).
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto points = exploreDesignSpace(
+        cta::accel::HwConfig::paperDefault(), shapes, grid);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    // Timing goes to stdout only — BENCH_dse_grid.json must stay
+    // byte-identical across thread counts.
+    std::printf("[%zu grid points x %zu shapes in %.1f ms on %d "
+                "threads]\n",
+                points.size(), shapes.size(), wall_ms,
+                cta::core::ThreadPool::global().threadCount());
+
+    // The paper's figure: base-height slice, normalized to b = 8,
+    // PAG = 16 (the paper's configuration).
     double base_throughput = 0;
     for (const auto &p : points)
-        if (p.saWidth == 8 && p.pagParallelism == 16)
+        if (p.saHeight == base_height && p.saWidth == 8 &&
+            p.pagParallelism == 16)
             base_throughput = p.throughput;
 
     std::vector<std::vector<std::string>> rows;
     {
         std::vector<std::string> header{"SA width"};
-        for (const auto p : pag_par)
+        for (const auto p : grid.pagParallelisms)
             header.push_back("PAG=" + std::to_string(p));
         rows.push_back(header);
     }
-    for (const auto width : widths) {
+    for (const auto width : grid.saWidths) {
         std::vector<std::string> row{std::to_string(width)};
         for (const auto &p : points)
-            if (p.saWidth == width)
+            if (p.saHeight == base_height && p.saWidth == width)
                 row.push_back(cta::sim::fmt(
                     p.throughput / base_throughput, 2));
         rows.push_back(row);
@@ -69,16 +132,73 @@ main()
     std::fputs(cta::sim::renderTable(rows).c_str(), stdout);
     bench::writeCsv("fig13_dse", rows);
     std::printf("\n(values normalized to b=8, PAG=16 — the paper's "
-                "configuration)\n");
+                "configuration; full grid including the d=%lld "
+                "height in BENCH_dse_grid.json)\n",
+                static_cast<long long>(half_height));
 
-    std::printf("\nknee analysis (paper: PAG = 2 x SA width is "
+    std::printf("\nauto-tune (paper: PAG = 2 x SA width is "
                 "optimal):\n");
-    for (const auto width : widths) {
-        std::printf("  b=%-3lld saturates at PAG=%lld (2b = %lld)\n",
+    // Base-height slice for the throughput knee (saturationKnee
+    // scans one width across the whole point set).
+    std::vector<cta::accel::DsePoint> base_points;
+    for (const auto &p : points)
+        if (p.saHeight == base_height)
+            base_points.push_back(p);
+    for (const auto height : grid.saHeights) {
+        for (const auto width : grid.saWidths) {
+            const Index bneck = bottleneckKnee(points, height, width);
+            if (height == base_height) {
+                std::printf(
+                    "  d=%-3lld b=%-3lld throughput knee PAG=%-4lld "
+                    "bottleneck leaves PAG at PAG=%lld (2b = %lld)\n",
+                    static_cast<long long>(height),
                     static_cast<long long>(width),
                     static_cast<long long>(
-                        cta::accel::saturationKnee(points, width)),
+                        cta::accel::saturationKnee(base_points,
+                                                   width)),
+                    static_cast<long long>(bneck),
                     static_cast<long long>(2 * width));
+            } else {
+                std::printf(
+                    "  d=%-3lld b=%-3lld bottleneck leaves PAG at "
+                    "PAG=%lld (2b = %lld)\n",
+                    static_cast<long long>(height),
+                    static_cast<long long>(width),
+                    static_cast<long long>(bneck),
+                    static_cast<long long>(2 * width));
+            }
+        }
     }
+
+    std::FILE *out = std::fopen("BENCH_dse_grid.json", "w");
+    if (!out) {
+        std::printf("  [could not open BENCH_dse_grid.json]\n");
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"dse_grid\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"shapes\": %zu,\n"
+                 "  \"points\": [\n",
+                 smoke ? "true" : "false", shapes.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        std::fprintf(
+            out,
+            "    {\"sa_width\": %lld, \"sa_height\": %lld, "
+            "\"pag_parallelism\": %lld, \"throughput\": %.6e, "
+            "\"mean_cycles\": %.6e, \"mean_pag_stalls\": %.6e, "
+            "\"bottleneck\": \"%s\", \"pag_binding_share\": "
+            "%.6f}%s\n",
+            static_cast<long long>(p.saWidth),
+            static_cast<long long>(p.saHeight),
+            static_cast<long long>(p.pagParallelism), p.throughput,
+            p.meanCycles, p.meanPagStalls,
+            p.bottleneckModule.c_str(), p.pagBindingShare,
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\n  [data written to BENCH_dse_grid.json]\n");
     return 0;
 }

@@ -9,14 +9,18 @@
  *
  * Right: CTA energy breakdown — paper reference 29 % memory, 62 %
  *   SA computation engine, 9 % auxiliary modules.
+ *
+ * Both compared accelerators resolve through the registry; one
+ * shared instance each serves all pool tasks.
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "accel_registry/registry.h"
 #include "bench/common.h"
 #include "core/stats.h"
-#include "elsa/elsa_accel.h"
 #include "elsa/elsa_system.h"
 #include "gpu/gpu_model.h"
 #include "obs/trace.h"
@@ -28,11 +32,8 @@ main()
     bench::banner("Figure 14 left: normalized energy efficiency");
     auto cases = bench::makeCases(512);
     const cta::gpu::GpuModel gpu;
-    const auto tech = cta::sim::TechParams::smic40nmClass();
-    const cta::accel::CtaAccelerator accel(
-        cta::accel::HwConfig::paperDefault(), tech);
-    const cta::elsa::ElsaAccelerator elsa_accel(
-        cta::elsa::ElsaHwConfig::paperDefault(), tech);
+    const auto accel = cta::reg::makeAccelerator("cta");
+    const auto elsa_accel = cta::reg::makeAccelerator("elsa");
 
     std::vector<double> eff_elsa_c, eff_elsa_a;
     std::vector<std::vector<double>> eff_cta(3);
@@ -62,30 +63,50 @@ main()
                 n, n, c.tokens.cols(), c.testcase.model.dHead);
 
             out.row.push_back(c.testcase.name);
-            for (const auto preset :
-                 {cta::elsa::ElsaPreset::Conservative,
-                  cta::elsa::ElsaPreset::Aggressive}) {
-                const auto r = elsa_accel.run(
-                    c.evalTokens, c.evalTokens, c.head,
-                    cta::elsa::ElsaConfig::fromPreset(preset),
-                    elsaPresetName(preset));
+            const struct
+            {
+                cta::elsa::ElsaPreset preset;
+                cta::reg::Quality quality;
+            } elsa_points[] = {{cta::elsa::ElsaPreset::Conservative,
+                                cta::reg::Quality::Conservative},
+                               {cta::elsa::ElsaPreset::Aggressive,
+                                cta::reg::Quality::Aggressive}};
+            for (const auto &point : elsa_points) {
+                cta::reg::RunRequest request;
+                request.quality = point.quality;
+                request.platform = elsaPresetName(point.preset);
+                const auto r = elsa_accel->run(
+                    c.evalTokens, c.evalTokens, c.head, request);
                 const auto sys = cta::elsa::combineWithGpu(
-                    r, t_gpu_lin, gpu.params().boardPowerW, 12);
+                    r.report, t_gpu_lin, gpu.params().boardPowerW,
+                    12);
                 const double ratio = e_gpu / sys.report.energyJ();
                 out.row.push_back(cta::sim::fmtRatio(ratio, 0));
-                (preset == cta::elsa::ElsaPreset::Conservative
+                (point.preset == cta::elsa::ElsaPreset::Conservative
                      ? out.effElsaC : out.effElsaA) = ratio;
             }
+            const struct
+            {
+                cta::alg::Preset preset;
+                cta::reg::Quality quality;
+            } cta_points[] = {{cta::alg::Preset::Cta0,
+                               cta::reg::Quality::Conservative},
+                              {cta::alg::Preset::Cta05,
+                               cta::reg::Quality::Moderate},
+                              {cta::alg::Preset::Cta1,
+                               cta::reg::Quality::Aggressive}};
             int pi = 0;
-            for (const auto preset : bench::allPresets()) {
-                const auto config = bench::calibrated(c, preset);
-                const auto r =
-                    accel.run(c.evalTokens, c.evalTokens, c.head,
-                              config, cta::alg::presetName(preset));
+            for (const auto &point : cta_points) {
+                cta::reg::RunRequest request;
+                request.quality = point.quality;
+                request.platform = cta::alg::presetName(point.preset);
+                request.calibTokens = &c.tokens;
+                const auto r = accel->run(c.evalTokens, c.evalTokens,
+                                          c.head, request);
                 const double ratio = e_gpu / r.report.energyJ();
                 out.row.push_back(cta::sim::fmtRatio(ratio, 0));
                 out.effCta[pi] = ratio;
-                if (preset == cta::alg::Preset::Cta05) {
+                if (point.preset == cta::alg::Preset::Cta05) {
                     const auto &e = r.report.energy;
                     out.memShare = e.memoryPj / e.total();
                     out.saShare = e.computePj / e.total();

@@ -7,13 +7,18 @@
  * Paper's claim to reproduce: ELSA's query-serial processing re-reads
  * keys/values (and signatures) per query, so its traffic grows much
  * faster with n than CTA's systolic, reuse-friendly access pattern.
+ *
+ * Both accelerators resolve through the registry at the paper's
+ * default memory sizing (maxSeqLen 512 at every length, as in the
+ * original figure).
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "accel_registry/registry.h"
 #include "bench/common.h"
-#include "elsa/elsa_accel.h"
 #include "sim/report.h"
 
 int
@@ -21,11 +26,8 @@ main()
 {
     bench::banner("Figure 16: normalized memory access vs sequence "
                   "length");
-    const auto tech = cta::sim::TechParams::smic40nmClass();
-    const cta::accel::CtaAccelerator accel(
-        cta::accel::HwConfig::paperDefault(), tech);
-    const cta::elsa::ElsaAccelerator elsa_accel(
-        cta::elsa::ElsaHwConfig::paperDefault(), tech);
+    const auto accel = cta::reg::makeAccelerator("cta");
+    const auto elsa_accel = cta::reg::makeAccelerator("elsa");
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"n", "CTA accesses", "ELSA accesses",
@@ -35,15 +37,17 @@ main()
         // Same workload family at each length (SQuAD1.1-like, BERT).
         auto cases = bench::makeCases(n);
         const auto &c = cases.front();
-        const auto config =
-            bench::calibrated(c, cta::alg::Preset::Cta05);
+        cta::reg::RunRequest cta_request;
+        cta_request.quality = cta::reg::Quality::Moderate; // CTA-0.5
+        cta_request.platform = "CTA";
+        cta_request.calibTokens = &c.tokens;
         const auto r_cta =
-            accel.run(c.tokens, c.tokens, c.head, config, "CTA");
-        const auto r_elsa = elsa_accel.run(
-            c.tokens, c.tokens, c.head,
-            cta::elsa::ElsaConfig::fromPreset(
-                cta::elsa::ElsaPreset::Aggressive),
-            "ELSA");
+            accel->run(c.tokens, c.tokens, c.head, cta_request);
+        cta::reg::RunRequest elsa_request;
+        elsa_request.quality = cta::reg::Quality::Aggressive;
+        elsa_request.platform = "ELSA";
+        const auto r_elsa =
+            elsa_accel->run(c.tokens, c.tokens, c.head, elsa_request);
         const double cta_acc =
             static_cast<double>(r_cta.report.traffic.total());
         const double elsa_acc =

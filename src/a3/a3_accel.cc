@@ -17,6 +17,10 @@ A3Accelerator::A3Accelerator(const A3HwConfig &config,
 {
     CTA_REQUIRE(config.searchLanes > 0 && config.dim > 0,
                 "invalid A3 configuration");
+    CTA_REQUIRE(config.maxSeqLen > 0,
+                "A3 memory sizing must be positive");
+    CTA_REQUIRE(config.freqGhz > 0,
+                "A3 clock frequency must be positive");
 }
 
 Wide

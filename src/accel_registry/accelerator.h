@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The unified accelerator seam (ROADMAP item 4, after gem-forge's
+ * TDGAccelerator pattern): every hardware model in the repo — CTA,
+ * ELSA, A^3, LeOPArd, the analytical GPU and the iso-multiplier
+ * ideal bound — sits behind one abstract interface so benches and
+ * the serve layer resolve platforms by string instead of hard-coded
+ * types.
+ *
+ * An Accelerator exposes three things:
+ *   - describe(): static identity + invariants (validated once at
+ *     registration, see registry.h);
+ *   - run(): one attention-head evaluation returning the existing
+ *     sim::PerfReport plus a per-module cycle breakdown that sums
+ *     exactly to the reported total latency;
+ *   - regStats(): accumulated run statistics (run count, total
+ *     cycles, per-module cycle totals), thread-safe because benches
+ *     share const accelerators across thread-pool tasks.
+ *
+ * Adapters wrap the existing model classes without changing them:
+ * run() through the seam is bit-identical (functional output and
+ * PerfReport) to invoking the wrapped model directly with the same
+ * inputs (asserted by tests/accel_registry_test.cc).
+ */
+
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "nn/attention.h"
+#include "sim/report.h"
+
+namespace cta::reg {
+
+/** Static identity of a registered accelerator model. */
+struct AccelDescriptor
+{
+    /** Registry key, e.g. "cta", "elsa", "gpu". */
+    std::string name;
+    /** Human-readable label, e.g. "CTA accelerator (Table I)". */
+    std::string display;
+    /** Model clock in GHz (1.0 for the ns-as-cycles GPU model). */
+    core::Real freqGhz = 1.0f;
+    /** Modeled silicon area; 0 when the model has none (GPU/ideal). */
+    sim::Wide areaMm2 = 0;
+    /** True when the model prices only the quadratic attention part
+     *  (ELSA / A^3 / LeOPArd leave the Q/K/V linears to the GPU). */
+    bool attentionOnly = false;
+};
+
+/** Accuracy/pruning operating point, mapped per model:
+ *  CTA-0/0.5/1, ELSA Conservative/Moderate/Aggressive, A^3 keep
+ *  n/2 / n/4 / n/8, LeOPArd mass 0.999/0.99/0.95. GPU and ideal run
+ *  exact attention at every quality. */
+enum class Quality
+{
+    Conservative,
+    Moderate,
+    Aggressive,
+};
+
+/** Display suffix, e.g. "moderate". */
+std::string qualityName(Quality quality);
+
+/** Per-run options beyond the input matrices. */
+struct RunRequest
+{
+    Quality quality = Quality::Moderate;
+    /** Platform label stamped into the PerfReport; empty uses the
+     *  descriptor name. */
+    std::string platform;
+    /** Calibration sequence for models that calibrate (CTA presets,
+     *  LeOPArd thresholds); nullptr calibrates on xkv. Must outlive
+     *  the call. */
+    const core::Matrix *calibTokens = nullptr;
+};
+
+/** One module's share of the run's total latency. */
+struct ModuleCycles
+{
+    std::string module;
+    core::Cycles cycles = 0;
+};
+
+/** Everything one run() produces. */
+struct RunResult
+{
+    /** Functional m x d attention output (approximate for the
+     *  pruning models, exact for GPU/ideal). */
+    core::Matrix output;
+    sim::PerfReport report;
+    /** Exhaustive split of report.latency.total() by module; the
+     *  cycles sum exactly to the total (asserted after every run). */
+    std::vector<ModuleCycles> moduleCycles;
+};
+
+/** Accumulated statistics over all run() calls on one instance. */
+struct AccelStats
+{
+    std::uint64_t runs = 0;
+    core::Cycles totalCycles = 0;
+    /** Per-module cycle totals, in first-seen order. */
+    std::vector<ModuleCycles> moduleCycles;
+};
+
+/** The abstract seam every hardware model adapts to. */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Static identity; invariants are registry-validated once. */
+    virtual const AccelDescriptor &describe() const = 0;
+
+    /**
+     * Simulates one attention-head evaluation and accumulates the
+     * run into regStats(). Fatal if the adapter's module breakdown
+     * does not sum to the reported latency — the drift guard for
+     * future models.
+     */
+    RunResult run(const core::Matrix &xq, const core::Matrix &xkv,
+                  const nn::AttentionHeadParams &head,
+                  const RunRequest &request = {}) const;
+
+    /** Snapshot of the accumulated per-module statistics. */
+    AccelStats regStats() const;
+
+    /** Zeroes the accumulated statistics. */
+    void resetStats() const;
+
+  protected:
+    /** Model-specific simulation; implemented by each adapter. */
+    virtual RunResult doRun(const core::Matrix &xq,
+                            const core::Matrix &xkv,
+                            const nn::AttentionHeadParams &head,
+                            const RunRequest &request) const = 0;
+
+  private:
+    mutable std::mutex statsMutex_;
+    mutable AccelStats stats_;
+};
+
+} // namespace cta::reg

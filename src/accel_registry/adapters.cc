@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Adapters wrapping the six hardware models behind the Accelerator
+ * seam. Each adapter forwards to the unchanged model class — same
+ * inputs, same calibration, same report — and only ADDS the
+ * per-module cycle breakdown, recomputed with the model's own
+ * formulas so it sums exactly to the reported latency.
+ *
+ * Quality mapping (one knob across very different pruning schemes):
+ *
+ *   quality       CTA      ELSA          A^3 keep   LeOPArd mass
+ *   conservative  CTA-0    Conservative  n/2        0.999
+ *   moderate      CTA-0.5  Moderate      n/4        0.99
+ *   aggressive    CTA-1    Aggressive    n/8        0.95
+ *
+ * GPU and ideal run exact attention at every quality.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "a3/a3_accel.h"
+#include "accel_registry/registry.h"
+#include "baseline/ideal_accel.h"
+#include "core/logging.h"
+#include "cta/config.h"
+#include "cta_accel/accelerator.h"
+#include "elsa/elsa_accel.h"
+#include "gpu/gpu_model.h"
+#include "leopard/leopard_accel.h"
+#include "nn/attention.h"
+
+namespace cta::reg {
+
+namespace {
+
+using core::Cycles;
+using core::Index;
+using sim::Wide;
+
+/** The label each adapter stamps into its model's PerfReport. */
+std::string
+platformLabel(const AccelDescriptor &desc, const RunRequest &request)
+{
+    return request.platform.empty() ? desc.name : request.platform;
+}
+
+const core::Matrix &
+calibrationTokens(const core::Matrix &xkv, const RunRequest &request)
+{
+    return request.calibTokens != nullptr ? *request.calibTokens
+                                          : xkv;
+}
+
+// ---------------------------------------------------------------
+// CTA
+// ---------------------------------------------------------------
+
+class CtaAdapter final : public Accelerator
+{
+  public:
+    explicit CtaAdapter(const AccelOptions &options)
+        : hw_([&] {
+              accel::HwConfig hw = accel::HwConfig::paperDefault();
+              hw.maxSeqLen = options.maxSeqLen;
+              return hw;
+          }()),
+          model_(hw_, options.tech)
+    {
+        desc_.name = "cta";
+        desc_.display = "CTA accelerator (Table-I schedule)";
+        desc_.freqGhz = hw_.freqGhz;
+        desc_.areaMm2 = model_.area().total();
+    }
+
+    const AccelDescriptor &describe() const override { return desc_; }
+
+  protected:
+    RunResult doRun(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &head,
+                    const RunRequest &request) const override
+    {
+        alg::Preset preset = alg::Preset::Cta05;
+        switch (request.quality) {
+          case Quality::Conservative:
+            preset = alg::Preset::Cta0;
+            break;
+          case Quality::Moderate:
+            preset = alg::Preset::Cta05;
+            break;
+          case Quality::Aggressive:
+            preset = alg::Preset::Cta1;
+            break;
+        }
+        const core::Matrix &calib = calibrationTokens(xkv, request);
+        const alg::CtaConfig config =
+            alg::calibrate(calib, calib, preset, 6, /*seed=*/7);
+        const accel::CtaAccelResult r = model_.run(
+            xq, xkv, head, config, platformLabel(desc_, request));
+
+        RunResult out;
+        out.output = r.algorithm.output;
+        out.report = r.report;
+        // SA cycles bind every step; exposed aux cycles carry the
+        // mapper's module tag; the CIM is fully hidden (0 exposed).
+        ModuleCycles sa{"SA", 0}, cim{"CIM", 0}, cag{"CAG", 0},
+            pag{"PAG", 0};
+        for (const accel::ScheduledStep &step : r.mapping.steps) {
+            sa.cycles += step.saCycles;
+            switch (step.auxModule) {
+              case accel::AuxModule::None:
+                break;
+              case accel::AuxModule::Cim:
+                cim.cycles += step.exposedAux;
+                break;
+              case accel::AuxModule::Cag:
+                cag.cycles += step.exposedAux;
+                break;
+              case accel::AuxModule::Pag:
+                pag.cycles += step.exposedAux;
+                break;
+            }
+        }
+        out.moduleCycles = {sa, cim, cag, pag};
+        return out;
+    }
+
+  private:
+    accel::HwConfig hw_;
+    accel::CtaAccelerator model_;
+    AccelDescriptor desc_;
+};
+
+// ---------------------------------------------------------------
+// ELSA
+// ---------------------------------------------------------------
+
+class ElsaAdapter final : public Accelerator
+{
+  public:
+    explicit ElsaAdapter(const AccelOptions &options)
+        : hw_([&] {
+              elsa::ElsaHwConfig hw =
+                  elsa::ElsaHwConfig::paperDefault();
+              hw.maxSeqLen = options.maxSeqLen;
+              return hw;
+          }()),
+          model_(hw_, options.tech)
+    {
+        desc_.name = "elsa";
+        desc_.display = "ELSA accelerator (ISCA'21, query-serial)";
+        desc_.freqGhz = hw_.freqGhz;
+        desc_.areaMm2 = model_.areaMm2();
+        desc_.attentionOnly = true;
+    }
+
+    const AccelDescriptor &describe() const override { return desc_; }
+
+  protected:
+    RunResult doRun(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &head,
+                    const RunRequest &request) const override
+    {
+        elsa::ElsaPreset preset = elsa::ElsaPreset::Moderate;
+        switch (request.quality) {
+          case Quality::Conservative:
+            preset = elsa::ElsaPreset::Conservative;
+            break;
+          case Quality::Moderate:
+            preset = elsa::ElsaPreset::Moderate;
+            break;
+          case Quality::Aggressive:
+            preset = elsa::ElsaPreset::Aggressive;
+            break;
+        }
+        const elsa::ElsaAccelResult r = model_.run(
+            xq, xkv, head, elsa::ElsaConfig::fromPreset(preset),
+            platformLabel(desc_, request));
+
+        RunResult out;
+        out.output = r.algorithm.output;
+        out.report = r.report;
+        // The model's own composition: n preprocess + m query hashes
+        // on the hash unit, then per query max(scan, survivors) in
+        // the filter/attention pipeline.
+        const auto &alg = r.algorithm;
+        ModuleCycles hash{"hash-unit",
+                          static_cast<Cycles>(alg.n + alg.m)};
+        ModuleCycles pipe{"attention-pipeline", 0};
+        const Cycles scan = static_cast<Cycles>(
+            (alg.n + hw_.filterLanes - 1) / hw_.filterLanes);
+        for (Index i = 0; i < alg.m; ++i) {
+            const auto survivors = static_cast<Cycles>(
+                alg.candidates[static_cast<std::size_t>(i)]);
+            pipe.cycles += std::max(scan, survivors);
+        }
+        out.moduleCycles = {hash, pipe};
+        return out;
+    }
+
+  private:
+    elsa::ElsaHwConfig hw_;
+    elsa::ElsaAccelerator model_;
+    AccelDescriptor desc_;
+};
+
+// ---------------------------------------------------------------
+// A^3
+// ---------------------------------------------------------------
+
+class A3Adapter final : public Accelerator
+{
+  public:
+    explicit A3Adapter(const AccelOptions &options)
+        : hw_([&] {
+              a3::A3HwConfig hw = a3::A3HwConfig::paperDefault();
+              hw.maxSeqLen = options.maxSeqLen;
+              return hw;
+          }()),
+          model_(hw_, options.tech)
+    {
+        desc_.name = "a3";
+        desc_.display = "A^3 accelerator (HPCA'20, greedy search)";
+        desc_.freqGhz = hw_.freqGhz;
+        desc_.areaMm2 = model_.areaMm2();
+        desc_.attentionOnly = true;
+    }
+
+    const AccelDescriptor &describe() const override { return desc_; }
+
+  protected:
+    RunResult doRun(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &head,
+                    const RunRequest &request) const override
+    {
+        const Index n = xkv.rows();
+        a3::A3Config config;
+        config.searchRounds = n;
+        switch (request.quality) {
+          case Quality::Conservative:
+            config.candidates = std::max<Index>(1, n / 2);
+            break;
+          case Quality::Moderate:
+            config.candidates = std::max<Index>(1, n / 4);
+            break;
+          case Quality::Aggressive:
+            config.candidates = std::max<Index>(1, n / 8);
+            break;
+        }
+        const a3::A3AccelResult r = model_.run(
+            xq, xkv, head, config, platformLabel(desc_, request));
+
+        RunResult out;
+        out.output = r.algorithm.output;
+        out.report = r.report;
+        // n log2(n) sorting-pass cycles, then per query
+        // max(search rounds / lanes, kept candidates).
+        const auto &alg = r.algorithm;
+        const auto logn = static_cast<Cycles>(std::ceil(
+            std::log2(std::max<Index>(2, alg.n))));
+        ModuleCycles sort{"sort-unit",
+                          static_cast<Cycles>(alg.n) * logn};
+        const Cycles search = static_cast<Cycles>(
+            (config.searchRounds + hw_.searchLanes - 1) /
+            hw_.searchLanes);
+        const auto keep = static_cast<Cycles>(
+            std::min<Index>(config.candidates, alg.n));
+        ModuleCycles pipe{"attention-pipeline", 0};
+        for (Index i = 0; i < alg.m; ++i)
+            pipe.cycles += std::max(search, keep);
+        out.moduleCycles = {sort, pipe};
+        return out;
+    }
+
+  private:
+    a3::A3HwConfig hw_;
+    a3::A3Accelerator model_;
+    AccelDescriptor desc_;
+};
+
+// ---------------------------------------------------------------
+// LeOPArd
+// ---------------------------------------------------------------
+
+class LeopardAdapter final : public Accelerator
+{
+  public:
+    explicit LeopardAdapter(const AccelOptions &options)
+        : hw_([&] {
+              leopard::LeopardHwConfig hw =
+                  leopard::LeopardHwConfig::paperDefault();
+              hw.maxSeqLen = options.maxSeqLen;
+              return hw;
+          }()),
+          model_(hw_, options.tech)
+    {
+        desc_.name = "leopard";
+        desc_.display =
+            "LeOPArd accelerator (ISCA'22, bit-serial)";
+        desc_.freqGhz = hw_.freqGhz;
+        desc_.areaMm2 = model_.areaMm2();
+        desc_.attentionOnly = true;
+    }
+
+    const AccelDescriptor &describe() const override { return desc_; }
+
+  protected:
+    RunResult doRun(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &head,
+                    const RunRequest &request) const override
+    {
+        core::Real mass = 0.99f;
+        switch (request.quality) {
+          case Quality::Conservative:
+            mass = 0.999f;
+            break;
+          case Quality::Moderate:
+            mass = 0.99f;
+            break;
+          case Quality::Aggressive:
+            mass = 0.95f;
+            break;
+        }
+        const leopard::LeopardConfig config =
+            leopard::calibrateLeopard(
+                calibrationTokens(xkv, request), head, mass);
+        const leopard::LeopardAccelResult r = model_.run(
+            xq, xkv, head, config, platformLabel(desc_, request));
+
+        RunResult out;
+        out.output = r.algorithm.output;
+        out.report = r.report;
+        // The model overlaps the two stages per query: the total is
+        // m * max(score, value) + score (trailing fill). Attribute
+        // each query's slot to the stage that bound it; the
+        // subtraction keeps the split exact under the model's single
+        // double->Cycles cast.
+        const auto &alg = r.algorithm;
+        const Wide mean_bits = static_cast<Wide>(alg.bitWorkRatio) *
+            static_cast<Wide>(config.scoreBits);
+        const Wide score_stage = static_cast<Wide>(alg.n) *
+            mean_bits / static_cast<Wide>(hw_.keyLanes);
+        const Wide value_stage = static_cast<Wide>(alg.keepRatio) *
+            static_cast<Wide>(alg.n);
+        const Cycles total = out.report.latency.total();
+        ModuleCycles score{"score-lanes", 0};
+        ModuleCycles value{"value-pipeline", 0};
+        if (score_stage >= value_stage) {
+            score.cycles = total;
+        } else {
+            value.cycles = std::min(
+                total, static_cast<Cycles>(
+                           static_cast<Wide>(alg.m) * value_stage));
+            score.cycles = total - value.cycles;
+        }
+        out.moduleCycles = {score, value};
+        return out;
+    }
+
+  private:
+    leopard::LeopardHwConfig hw_;
+    leopard::LeopardAccelerator model_;
+    AccelDescriptor desc_;
+};
+
+// ---------------------------------------------------------------
+// GPU (analytical V100)
+// ---------------------------------------------------------------
+
+class GpuAdapter final : public Accelerator
+{
+  public:
+    explicit GpuAdapter(const AccelOptions &)
+    {
+        desc_.name = "gpu";
+        desc_.display = "analytical V100-SXM2 roofline model";
+        desc_.freqGhz = 1.0f; // reports nanoseconds as cycles
+        desc_.areaMm2 = 0;    // board, not modeled silicon
+    }
+
+    const AccelDescriptor &describe() const override { return desc_; }
+
+  protected:
+    RunResult doRun(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &head,
+                    const RunRequest &request) const override
+    {
+        RunResult out;
+        out.report = model_.runExactHead(
+            xq.rows(), xkv.rows(), xq.cols(), head.wq.outDim(),
+            platformLabel(desc_, request));
+        out.output = nn::exactAttention(xq, xkv, head);
+        out.moduleCycles = {
+            ModuleCycles{"linears", out.report.latency.linears},
+            ModuleCycles{"attention", out.report.latency.attention}};
+        return out;
+    }
+
+  private:
+    gpu::GpuModel model_;
+    AccelDescriptor desc_;
+};
+
+// ---------------------------------------------------------------
+// Ideal (iso-multiplier peak-throughput bound)
+// ---------------------------------------------------------------
+
+class IdealAdapter final : public Accelerator
+{
+  public:
+    explicit IdealAdapter(const AccelOptions &)
+        : model_(accel::HwConfig::paperDefault().multiplierCount())
+    {
+        desc_.name = "ideal";
+        desc_.display =
+            "iso-multiplier ideal exact-attention bound";
+        desc_.freqGhz = 1.0f;
+        desc_.areaMm2 = 0; // hypothetical design, no area model
+    }
+
+    const AccelDescriptor &describe() const override { return desc_; }
+
+  protected:
+    RunResult doRun(const core::Matrix &xq, const core::Matrix &xkv,
+                    const nn::AttentionHeadParams &head,
+                    const RunRequest &request) const override
+    {
+        RunResult out;
+        out.report = model_.run(
+            xq.rows(), xkv.rows(), xq.cols(), head.wq.outDim(),
+            platformLabel(desc_, request));
+        out.output = nn::exactAttention(xq, xkv, head);
+        out.moduleCycles = {
+            ModuleCycles{"linears", out.report.latency.linears},
+            ModuleCycles{"attention", out.report.latency.attention}};
+        return out;
+    }
+
+  private:
+    baseline::IdealAccelerator model_;
+    AccelDescriptor desc_;
+};
+
+template <typename Adapter>
+AccelFactory
+factoryFor()
+{
+    return [](const AccelOptions &options) {
+        return std::unique_ptr<Accelerator>(new Adapter(options));
+    };
+}
+
+} // namespace
+
+void
+ensureBuiltins()
+{
+    // Explicit once-registration instead of static initializers:
+    // this TU lives in a static library and would be dropped (with
+    // its initializers) when nothing references it.
+    static std::once_flag once;
+    std::call_once(once, [] {
+        registerAccelerator("cta", factoryFor<CtaAdapter>());
+        registerAccelerator("elsa", factoryFor<ElsaAdapter>());
+        registerAccelerator("a3", factoryFor<A3Adapter>());
+        registerAccelerator("leopard", factoryFor<LeopardAdapter>());
+        registerAccelerator("gpu", factoryFor<GpuAdapter>());
+        registerAccelerator("ideal", factoryFor<IdealAdapter>());
+    });
+}
+
+} // namespace cta::reg

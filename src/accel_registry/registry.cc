@@ -1,0 +1,177 @@
+#include "accel_registry/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "core/logging.h"
+
+namespace cta::reg {
+
+std::string
+qualityName(Quality quality)
+{
+    switch (quality) {
+      case Quality::Conservative:
+        return "conservative";
+      case Quality::Moderate:
+        return "moderate";
+      case Quality::Aggressive:
+        return "aggressive";
+    }
+    CTA_FATAL("unknown quality value");
+}
+
+RunResult
+Accelerator::run(const core::Matrix &xq, const core::Matrix &xkv,
+                 const nn::AttentionHeadParams &head,
+                 const RunRequest &request) const
+{
+    RunResult result = doRun(xq, xkv, head, request);
+    if (result.report.platform.empty())
+        result.report.platform = request.platform.empty()
+            ? describe().name
+            : request.platform;
+    // The drift guard: an adapter whose breakdown stops covering the
+    // total latency is reporting cycles nobody can attribute.
+    core::Cycles module_sum = 0;
+    for (const ModuleCycles &m : result.moduleCycles)
+        module_sum += m.cycles;
+    CTA_ASSERT(module_sum == result.report.latency.total(),
+               "module cycle breakdown (", module_sum,
+               ") != total latency (",
+               result.report.latency.total(), ") for ",
+               describe().name);
+
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.runs;
+    stats_.totalCycles += result.report.latency.total();
+    for (const ModuleCycles &m : result.moduleCycles) {
+        auto it = std::find_if(
+            stats_.moduleCycles.begin(), stats_.moduleCycles.end(),
+            [&](const ModuleCycles &s) {
+                return s.module == m.module;
+            });
+        if (it == stats_.moduleCycles.end())
+            stats_.moduleCycles.push_back(m);
+        else
+            it->cycles += m.cycles;
+    }
+    return result;
+}
+
+AccelStats
+Accelerator::regStats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+void
+Accelerator::resetStats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_ = AccelStats{};
+}
+
+namespace {
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, AccelFactory> &
+registryMap()
+{
+    static std::map<std::string, AccelFactory> map;
+    return map;
+}
+
+/** The satellite-3 seam guard: every descriptor invariant checked
+ *  once, at registration, against a probe instance. */
+void
+validateDescriptor(const std::string &name,
+                   const AccelDescriptor &desc)
+{
+    CTA_REQUIRE(!desc.name.empty(), "descriptor name is empty for "
+                "registration key '", name, "'");
+    CTA_REQUIRE(desc.name == name, "descriptor name '", desc.name,
+                "' does not match registration key '", name, "'");
+    CTA_REQUIRE(!desc.display.empty(),
+                "descriptor display is empty for '", name, "'");
+    CTA_REQUIRE(desc.freqGhz > 0, "descriptor freqGhz must be "
+                "positive for '", name, "'");
+    CTA_REQUIRE(std::isfinite(desc.areaMm2) && desc.areaMm2 >= 0,
+                "descriptor area must be finite and non-negative "
+                "for '", name, "'");
+}
+
+} // namespace
+
+void
+registerAccelerator(const std::string &name, AccelFactory factory)
+{
+    CTA_REQUIRE(factory != nullptr, "null factory for '", name, "'");
+    // Probe outside the lock: factories may be arbitrarily heavy and
+    // must not recurse into the registry anyway.
+    const std::unique_ptr<Accelerator> probe =
+        factory(AccelOptions{});
+    CTA_REQUIRE(probe != nullptr,
+                "factory for '", name, "' built no instance");
+    validateDescriptor(name, probe->describe());
+
+    std::lock_guard<std::mutex> lock(registryMutex());
+    const bool inserted =
+        registryMap().emplace(name, std::move(factory)).second;
+    CTA_REQUIRE(inserted, "duplicate accelerator registration: '",
+                name, "'");
+}
+
+bool
+isRegistered(const std::string &name)
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registryMap().count(name) > 0;
+}
+
+std::vector<std::string>
+registeredNames()
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    names.reserve(registryMap().size());
+    for (const auto &entry : registryMap())
+        names.push_back(entry.first);
+    return names; // std::map iterates sorted
+}
+
+std::unique_ptr<Accelerator>
+makeAccelerator(const std::string &name, const AccelOptions &options)
+{
+    ensureBuiltins();
+    AccelFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        const auto it = registryMap().find(name);
+        if (it != registryMap().end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::string known;
+        for (const std::string &key : registeredNames())
+            known += (known.empty() ? "" : ", ") + key;
+        CTA_FATAL("unknown accelerator '", name,
+                  "' (registered: ", known, ")");
+    }
+    CTA_REQUIRE(options.maxSeqLen > 0,
+                "AccelOptions.maxSeqLen must be positive");
+    return factory(options);
+}
+
+} // namespace cta::reg

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static accelerator registry keyed by name (the manager half of the
+ * gem-forge pattern): factories register under a unique key, and
+ * makeAccelerator() resolves a key to a fresh instance sized by
+ * AccelOptions.
+ *
+ * Registration validates the model's describe() invariants ONCE by
+ * constructing a probe instance — a malformed descriptor (empty
+ * name, zero clock, negative or non-finite area) is a registration-
+ * time fatal instead of a NaN deep inside a bench table.
+ *
+ * The six built-in models self-register through ensureBuiltins()
+ * (explicit, std::once) rather than static initializers: the
+ * registry lives in a static library, and an unreferenced TU's
+ * initializers are dropped by the linker.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel_registry/accelerator.h"
+#include "sim/energy_model.h"
+
+namespace cta::reg {
+
+/** Instance sizing shared by every model. */
+struct AccelOptions
+{
+    /** On-chip memory sizing (maximum sequence length). */
+    core::Index maxSeqLen = 512;
+    /** Technology constants for area/energy models. */
+    sim::TechParams tech = sim::TechParams::smic40nmClass();
+};
+
+using AccelFactory =
+    std::function<std::unique_ptr<Accelerator>(const AccelOptions &)>;
+
+/**
+ * Registers @p factory under @p name. Fatal on a duplicate name or
+ * when the probe instance's describe() violates the descriptor
+ * invariants (name mismatch, empty display, freqGhz <= 0, area
+ * negative or non-finite).
+ */
+void registerAccelerator(const std::string &name,
+                         AccelFactory factory);
+
+/** True when @p name resolves (after ensureBuiltins()). */
+bool isRegistered(const std::string &name);
+
+/** Sorted keys of every registered model. */
+std::vector<std::string> registeredNames();
+
+/**
+ * Builds a fresh instance of the named model. Fatal on an unknown
+ * name, listing the registered keys. Calls ensureBuiltins() first,
+ * so callers never need the explicit init.
+ */
+std::unique_ptr<Accelerator>
+makeAccelerator(const std::string &name,
+                const AccelOptions &options = {});
+
+/** Registers the built-in models ("cta", "elsa", "a3", "leopard",
+ *  "gpu", "ideal") exactly once per process. */
+void ensureBuiltins();
+
+} // namespace cta::reg

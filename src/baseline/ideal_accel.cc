@@ -13,6 +13,8 @@ IdealAccelerator::IdealAccelerator(Index multipliers,
     : multipliers_(multipliers), freqGhz_(freq_ghz)
 {
     CTA_REQUIRE(multipliers > 0, "need at least one multiplier");
+    CTA_REQUIRE(freq_ghz > 0,
+                "ideal-accelerator clock frequency must be positive");
 }
 
 Cycles

@@ -17,6 +17,7 @@ CtaAccelerator::CtaAccelerator(const HwConfig &config,
                                const sim::TechParams &tech)
     : hwConfig_(config), tech_(tech)
 {
+    validateHwConfig(config);
 }
 
 Wide

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include "core/logging.h"
 #include "core/types.h"
 
 namespace cta::accel {
@@ -43,5 +44,28 @@ struct HwConfig
     /** The paper's evaluated configuration. */
     static HwConfig paperDefault() { return {}; }
 };
+
+/**
+ * Fatal on any non-positive dimension or clock. Every timing and
+ * energy expression downstream divides by freqGhz or a tile count, so
+ * a zero field would surface as inf/NaN deep inside a report instead
+ * of at construction. Called by every HwConfig consumer (mapper,
+ * accelerator, DSE).
+ */
+inline void
+validateHwConfig(const HwConfig &config)
+{
+    CTA_REQUIRE(config.saWidth > 0 && config.saHeight > 0,
+                "SA dimensions must be positive (got ",
+                config.saWidth, " x ", config.saHeight, ")");
+    CTA_REQUIRE(config.hashLen > 0, "hash length must be positive");
+    CTA_REQUIRE(config.maxSeqLen > 0,
+                "max sequence length must be positive");
+    CTA_REQUIRE(config.pagTiles > 0 && config.pagPerTile > 0,
+                "PAG tiling must be positive (got ", config.pagTiles,
+                " tiles x ", config.pagPerTile, " per tile)");
+    CTA_REQUIRE(config.freqGhz > 0,
+                "clock frequency must be positive");
+}
 
 } // namespace cta::accel

@@ -1,0 +1,181 @@
+#include "cta_accel/critpath.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+
+namespace cta::accel {
+
+using core::Cycles;
+using core::Index;
+
+const ModuleCritStats &
+CritPathReport::module(std::string_view name) const
+{
+    for (const ModuleCritStats &m : modules)
+        if (m.module == name)
+            return m;
+    CTA_FATAL("unknown critical-path module: ",
+              std::string(name));
+}
+
+CritPathReport
+analyzeCriticalPath(const HwConfig &config,
+                    const alg::CompressionStats &stats)
+{
+    const TableIMapper mapper(config);
+    const MappingResult mapping = mapper.schedule(stats);
+
+    CritPathReport report;
+    report.modules = {ModuleCritStats{"SA", 0, 0, 0},
+                      ModuleCritStats{"CIM", 0, 0, 0},
+                      ModuleCritStats{"CAG", 0, 0, 0},
+                      ModuleCritStats{"PAG", 0, 0, 0}};
+    ModuleCritStats &sa = report.modules[0];
+    ModuleCritStats &cim = report.modules[1];
+    ModuleCritStats &cag = report.modules[2];
+    ModuleCritStats &pag = report.modules[3];
+
+    // The schedule is a serial chain of steps; each step's SA cycles
+    // bind the path, and each exposed aux interval binds it under the
+    // module the mapper tagged. Walking the chain reproduces the
+    // makespan exactly.
+    Cycles cursor = 0;
+    for (const ScheduledStep &step : mapping.steps) {
+        cursor += step.saCycles + step.exposedAux;
+        sa.bindingCycles += step.saCycles;
+        switch (step.auxModule) {
+          case AuxModule::None:
+            break;
+          case AuxModule::Cim:
+            cim.bindingCycles += step.exposedAux;
+            break;
+          case AuxModule::Cag:
+            cag.bindingCycles += step.exposedAux;
+            break;
+          case AuxModule::Pag:
+            pag.bindingCycles += step.exposedAux;
+            break;
+        }
+    }
+    report.criticalPathCycles = cursor;
+    CTA_ASSERT(cursor == mapping.latency.total(),
+               "critical-path walk diverged from mapper latency");
+    sa.busyCycles = sa.bindingCycles;
+
+    // --- Hidden intervals and their slack. ---
+    const SystolicArrayModel sa_model(config);
+    const Index b = config.saWidth;
+    const Index d = config.saHeight;
+    const Index k_total = stats.k1 + stats.k2;
+    const Cycles extra_skew = config.bubbleRemoval
+        ? 0
+        : static_cast<Cycles>(d + config.hashLen);
+
+    // CIM: one hash code retired per cycle, fully hidden under the
+    // three LSH passes. Each pass window is that step's SA occupancy
+    // (LSH1 additionally pays the parameter-load update cycles, so
+    // its window exceeds its token count).
+    struct Pass
+    {
+        Cycles window;
+        Cycles busy;
+    };
+    SaStep lsh1 = sa_model.lshStep(stats.n, "LSH1");
+    SaStep lsh0 = sa_model.lshStep(stats.m, "LSH0");
+    lsh0.updateCycles = 0; // A stays resident, as in the mapper
+    SaStep lsh2 = sa_model.lshStep(stats.n, "LSH2");
+    lsh2.updateCycles = 0;
+    const Pass passes[3] = {
+        {lsh1.streamCycles + lsh1.updateCycles + extra_skew,
+         static_cast<Cycles>(stats.n)},
+        {lsh0.streamCycles + lsh0.updateCycles + extra_skew,
+         static_cast<Cycles>(stats.m)},
+        {lsh2.streamCycles + lsh2.updateCycles + extra_skew,
+         static_cast<Cycles>(stats.n)},
+    };
+    for (const Pass &pass : passes) {
+        cim.busyCycles += pass.busy;
+        if (pass.window > pass.busy)
+            cim.slackCycles += pass.window - pass.busy;
+    }
+
+    // CAG: CACC accumulates one token per cycle alongside the CIM in
+    // the same LSH windows (separate hardware, so it gets the full
+    // window again); the CAVG passes retire one centroid per cycle.
+    // Only CAVG(C2) is exposed; CAVG(C0)/CAVG(C1) hide under the
+    // K/V-linear phase, whose SA occupancy is their window.
+    for (const Pass &pass : passes) {
+        cag.busyCycles += pass.busy;
+        if (pass.window > pass.busy)
+            cag.slackCycles += pass.window - pass.busy;
+    }
+    cag.busyCycles +=
+        static_cast<Cycles>(stats.k0 + stats.k1 + stats.k2);
+    {
+        const Index kv_batches = (k_total + b - 1) / b;
+        const SaStep lin_k = sa_model.linearStep(
+            d, ValueRegSource::Memory, "LIN K");
+        const SaStep lin_v = sa_model.linearStep(
+            d, ValueRegSource::Keep, "LIN V");
+        const Cycles per_batch_skew = config.bubbleRemoval
+            ? 0
+            : static_cast<Cycles>(2 * (d + b));
+        const Cycles window =
+            static_cast<Cycles>(kv_batches) *
+            (lin_k.streamCycles + lin_k.updateCycles +
+             lin_v.streamCycles + lin_v.updateCycles +
+             per_batch_skew);
+        const auto hidden_cavg =
+            static_cast<Cycles>(stats.k0 + stats.k1);
+        if (window > hidden_cavg)
+            cag.slackCycles += window - hidden_cavg;
+    }
+
+    // PAG: every query batch is aggregated (busy tracks the mapper's
+    // accounting); interior batches hide under the next batch's
+    // [LIN Q, SCORE] span and carry slack when they finish early. An
+    // overrunning batch surfaced as a stall step above, so binding
+    // and slack never double-count the same batch.
+    pag.busyCycles = mapping.pagBusyCycles;
+    {
+        const Index q_batches = (stats.k0 + b - 1) / b;
+        PagModel pag_model(config, sim::TechParams::smic40nmClass());
+        const Cycles batch_cycles =
+            pag_model.aggregateBatch(b, stats.n).cycles;
+        const SaStep lin_q = sa_model.linearStep(
+            d, ValueRegSource::Memory, "LIN Q");
+        const SaStep score = sa_model.scoreStep(k_total, "SCORE");
+        const Cycles hide = lin_q.streamCycles + lin_q.updateCycles +
+                            score.streamCycles;
+        if (q_batches > 1 && hide > batch_cycles) {
+            pag.slackCycles += static_cast<Cycles>(q_batches - 1) *
+                               (hide - batch_cycles);
+        }
+    }
+
+    // Bottleneck: the module binding the most cycles (module order
+    // breaks ties, so a fully hidden aux never outranks the SA).
+    const ModuleCritStats *best = &report.modules.front();
+    for (const ModuleCritStats &m : report.modules)
+        if (m.bindingCycles > best->bindingCycles)
+            best = &m;
+    report.bottleneck = best->module;
+
+    if (obs::traceEnabled()) {
+        obs::gauge("accel.critpath.total_cycles")
+            .set(static_cast<double>(report.criticalPathCycles));
+        for (const ModuleCritStats &m : report.modules) {
+            obs::gauge(obs::labeled("accel.critpath.binding_cycles",
+                                    "module", m.module))
+                .set(static_cast<double>(m.bindingCycles));
+            obs::gauge(obs::labeled("accel.critpath.slack_cycles",
+                                    "module", m.module))
+                .set(static_cast<double>(m.slackCycles));
+        }
+    }
+    return report;
+}
+
+} // namespace cta::accel

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Critical-path analysis over the Table-I schedule (prism-style
+ * dependency-graph reduction): reconstructs the dependency DAG of
+ * module intervals — CIM and CACC hidden under the LSH passes, the
+ * exposed CAVG(C2) tail, PAG batches racing the [LIN Q, SCORE] spans
+ * they hide behind, and the SA step chain itself — computes the
+ * longest path, and attributes every cycle of it to the module that
+ * binds it.
+ *
+ * The Table-I makespan is by construction the serial walk of the
+ * scheduled steps (each step's saCycles + exposedAux extends the
+ * end time), so criticalPathCycles always equals the mapper's
+ * latency.total(); the value of the analysis is the attribution:
+ * which module's cycles sit on the longest path (bindingCycles) and
+ * how much headroom each hidden module interval still has before it
+ * would start binding (slackCycles). A PAG-starved configuration
+ * shows up as bottleneck = "PAG"; the paper-default configuration is
+ * SA-bound, matching the Fig. 13 knee finding.
+ */
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cta_accel/mapper.h"
+
+namespace cta::accel {
+
+/** Per-module critical-path attribution for one workload shape. */
+struct ModuleCritStats
+{
+    std::string module;             ///< "SA", "CIM", "CAG", "PAG"
+    /** Cycles the module is active, hidden or exposed. */
+    core::Cycles busyCycles = 0;
+    /** Cycles the module contributes to the longest path. */
+    core::Cycles bindingCycles = 0;
+    /** Extra cycles its hidden intervals could absorb before they
+     *  would extend the critical path. */
+    core::Cycles slackCycles = 0;
+};
+
+/** The analyzed dependency DAG of one scheduled evaluation. */
+struct CritPathReport
+{
+    /** Longest-path length; equals MappingResult latency.total(). */
+    core::Cycles criticalPathCycles = 0;
+    /** Fixed order: SA, CIM, CAG, PAG. */
+    std::vector<ModuleCritStats> modules;
+    /** Module with the most binding cycles (ties break in module
+     *  order, so the SA wins a dead heat). */
+    std::string bottleneck;
+
+    /** Lookup by module name; fatal on an unknown name. */
+    const ModuleCritStats &module(std::string_view name) const;
+};
+
+/**
+ * Schedules @p stats with the Table-I mapper under @p config and
+ * analyzes the resulting interval DAG. Also publishes the result as
+ * obs gauges when tracing is enabled: accel.critpath.total_cycles,
+ * accel.critpath.binding_cycles{module=...} and
+ * accel.critpath.slack_cycles{module=...}.
+ */
+CritPathReport analyzeCriticalPath(const HwConfig &config,
+                                   const alg::CompressionStats &stats);
+
+} // namespace cta::accel

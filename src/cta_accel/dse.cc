@@ -3,11 +3,154 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "core/parallel.h"
+#include "cta_accel/critpath.h"
 
 namespace cta::accel {
 
 using core::Index;
 using sim::Wide;
+
+namespace {
+
+/** Resolves one grid point's PAG tiling against the base config.
+ *  Fatal (with an actionable message) on an incompatible request —
+ *  called serially before the fan-out so death paths stay
+ *  deterministic. */
+void
+applyPagParallelism(HwConfig &config, Index parallelism,
+                    Index base_per_tile)
+{
+    CTA_REQUIRE(parallelism > 0,
+                "PAG parallelism must be positive");
+    if (parallelism < base_per_tile) {
+        // A single tile down-rated to the requested parallelism: the
+        // only way to express sub-per-tile parallelism with whole
+        // tiles.
+        config.pagTiles = 1;
+        config.pagPerTile = parallelism;
+        return;
+    }
+    CTA_REQUIRE(parallelism % base_per_tile == 0,
+                "PAG parallelism ", parallelism,
+                " not divisible by per-tile rate ", base_per_tile,
+                "; sweep multiples of ", base_per_tile,
+                " or lower the base config's pagPerTile to a common "
+                "divisor");
+    config.pagTiles = parallelism / base_per_tile;
+    config.pagPerTile = base_per_tile;
+}
+
+} // namespace
+
+std::vector<DsePoint>
+exploreDesignSpace(const HwConfig &base,
+                   const std::vector<alg::CompressionStats> &shapes,
+                   const DseGrid &grid)
+{
+    validateHwConfig(base);
+    CTA_REQUIRE(!shapes.empty(), "DSE needs at least one shape");
+    CTA_REQUIRE(!grid.saWidths.empty() &&
+                !grid.pagParallelisms.empty(),
+                "DSE needs at least one SA width and one PAG "
+                "parallelism");
+    std::vector<Index> heights = grid.saHeights;
+    if (heights.empty())
+        heights.push_back(base.saHeight);
+
+    // All validation runs serially up front: CTA_REQUIRE exits the
+    // process, which must never happen from inside a pool task.
+    for (const Index height : heights) {
+        CTA_REQUIRE(height > 0, "SA height must be positive");
+        const bool matched =
+            std::any_of(shapes.begin(), shapes.end(),
+                        [&](const alg::CompressionStats &s) {
+                            return s.d == height;
+                        });
+        CTA_REQUIRE(matched, "no shape has head dimension ", height,
+                    " for the requested SA height sweep");
+    }
+    for (const Index width : grid.saWidths) {
+        CTA_REQUIRE(width >= base.hashLen,
+                    "SA width ", width, " below hash length ",
+                    base.hashLen);
+    }
+
+    // Enumerate the grid (heights outermost, then widths, then
+    // parallelisms — the original loop order extended by the height
+    // axis) and pre-resolve every point's configuration.
+    struct Task
+    {
+        HwConfig config;
+        Index height;
+    };
+    std::vector<Task> tasks;
+    for (const Index height : heights) {
+        for (const Index width : grid.saWidths) {
+            for (const Index parallelism : grid.pagParallelisms) {
+                Task task;
+                task.config = base;
+                task.config.saWidth = width;
+                task.config.saHeight = height;
+                task.height = height;
+                applyPagParallelism(task.config, parallelism,
+                                    base.pagPerTile);
+                tasks.push_back(task);
+            }
+        }
+    }
+
+    // Fan out one task per point; results land at their enumeration
+    // index, so ordering (and every value: the per-point computation
+    // is single-threaded and shape order is fixed) is independent of
+    // the thread count.
+    std::vector<DsePoint> points(tasks.size());
+    core::ThreadPool::global().run(
+        static_cast<Index>(tasks.size()), [&](Index ti) {
+            const Task &task = tasks[static_cast<std::size_t>(ti)];
+            const HwConfig &config = task.config;
+            const TableIMapper mapper(config);
+            DsePoint point;
+            point.saWidth = config.saWidth;
+            point.saHeight = config.saHeight;
+            point.pagParallelism = config.pagParallelism();
+            Wide cycles_sum = 0, stall_sum = 0;
+            core::Cycles binding_sa = 0, binding_cag = 0,
+                binding_pag = 0;
+            Index count = 0;
+            for (const auto &shape : shapes) {
+                if (shape.d != task.height)
+                    continue;
+                const MappingResult r = mapper.schedule(shape);
+                cycles_sum += static_cast<Wide>(r.latency.total());
+                stall_sum += static_cast<Wide>(r.pagStallCycles);
+                const CritPathReport cp =
+                    analyzeCriticalPath(config, shape);
+                binding_sa += cp.module("SA").bindingCycles;
+                binding_cag += cp.module("CAG").bindingCycles;
+                binding_pag += cp.module("PAG").bindingCycles;
+                ++count;
+            }
+            const auto evals = static_cast<Wide>(count);
+            point.meanCycles = cycles_sum / evals;
+            point.meanPagStalls = stall_sum / evals;
+            // Total evaluations over total time: each shape
+            // contributes its true duration instead of a per-shape
+            // rate, so short shapes no longer dominate the mean.
+            point.throughput = evals *
+                static_cast<Wide>(config.freqGhz) * 1e9 / cycles_sum;
+            point.bottleneckModule =
+                binding_pag > binding_sa && binding_pag > binding_cag
+                    ? "PAG"
+                    : (binding_cag > binding_sa ? "CAG" : "SA");
+            const Wide binding_total = static_cast<Wide>(
+                binding_sa + binding_cag + binding_pag);
+            point.pagBindingShare =
+                static_cast<Wide>(binding_pag) / binding_total;
+            points[static_cast<std::size_t>(ti)] = point;
+        });
+    return points;
+}
 
 std::vector<DsePoint>
 exploreDesignSpace(const HwConfig &base,
@@ -15,43 +158,10 @@ exploreDesignSpace(const HwConfig &base,
                    const std::vector<Index> &sa_widths,
                    const std::vector<Index> &pag_parallelisms)
 {
-    CTA_REQUIRE(!shapes.empty(), "DSE needs at least one shape");
-    std::vector<DsePoint> points;
-    for (const Index width : sa_widths) {
-        CTA_REQUIRE(width >= base.hashLen,
-                    "SA width ", width, " below hash length ",
-                    base.hashLen);
-        for (const Index parallelism : pag_parallelisms) {
-            CTA_REQUIRE(parallelism % base.pagPerTile == 0,
-                        "PAG parallelism ", parallelism,
-                        " not divisible by per-tile rate ",
-                        base.pagPerTile);
-            HwConfig config = base;
-            config.saWidth = width;
-            config.pagTiles =
-                std::max<Index>(1, parallelism / base.pagPerTile);
-            const TableIMapper mapper(config);
-            DsePoint point;
-            point.saWidth = width;
-            point.pagParallelism = parallelism;
-            Wide cycles_sum = 0, stall_sum = 0, tput_sum = 0;
-            for (const auto &shape : shapes) {
-                const MappingResult r = mapper.schedule(shape);
-                const auto cycles =
-                    static_cast<Wide>(r.latency.total());
-                cycles_sum += cycles;
-                stall_sum += static_cast<Wide>(r.pagStallCycles);
-                tput_sum += static_cast<Wide>(config.freqGhz) * 1e9 /
-                            cycles;
-            }
-            const auto count = static_cast<Wide>(shapes.size());
-            point.meanCycles = cycles_sum / count;
-            point.meanPagStalls = stall_sum / count;
-            point.throughput = tput_sum / count;
-            points.push_back(point);
-        }
-    }
-    return points;
+    DseGrid grid;
+    grid.saWidths = sa_widths;
+    grid.pagParallelisms = pag_parallelisms;
+    return exploreDesignSpace(base, shapes, grid);
 }
 
 Index

@@ -1,14 +1,22 @@
 /**
  * @file
  * Design-space exploration over the CTA hardware configuration
- * (paper Fig. 13): sweeps SA width x PAG parallelism, times a set of
- * realized workload shapes with the Table-I scheduler and reports
- * mean throughput per point. The fig13 bench is a thin printer over
- * this API; library users can sweep their own grids.
+ * (paper Fig. 13): sweeps SA tile (width x height) x PAG parallelism,
+ * times a set of realized workload shapes with the Table-I scheduler
+ * and reports aggregate throughput plus the critical-path bottleneck
+ * per point. The fig13 bench is a thin printer over this API; library
+ * users can sweep their own grids.
+ *
+ * The grid fans out over the process-global ThreadPool: every point
+ * is an independent task whose result lands at its enumeration index,
+ * so the returned vector is ordered exactly like the serial double
+ * loop and is bit-identical under any CTA_THREADS setting (the same
+ * determinism contract as core/parallel.h).
  */
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cta_accel/mapper.h"
@@ -19,20 +27,47 @@ namespace cta::accel {
 struct DsePoint
 {
     core::Index saWidth = 0;
+    core::Index saHeight = 0;
     core::Index pagParallelism = 0;
-    /** Mean attention evaluations per second over the shapes. */
+    /** Attention evaluations per second over the shapes, computed as
+     *  total evaluations / total time so long and short shapes carry
+     *  their true weight (NOT an arithmetic mean of per-shape
+     *  rates, which overweights short shapes). */
     sim::Wide throughput = 0;
     /** Mean cycles over the shapes. */
     sim::Wide meanCycles = 0;
     /** Mean PAG stall cycles (nonzero = PAG-bound design). */
     sim::Wide meanPagStalls = 0;
+    /** Module binding the most critical-path cycles, summed over
+     *  the shapes ("SA", "CAG" or "PAG"). */
+    std::string bottleneckModule;
+    /** PAG share of all binding cycles (1.0 = fully PAG-bound). */
+    sim::Wide pagBindingShare = 0;
+};
+
+/** The swept axes. An empty saHeights sweeps only the base height. */
+struct DseGrid
+{
+    std::vector<core::Index> saWidths;
+    std::vector<core::Index> saHeights;
+    std::vector<core::Index> pagParallelisms;
 };
 
 /**
- * Evaluates the full grid. The base configuration supplies
- * everything except saWidth / pagTiles (pagPerTile stays at the
- * base's value; pag_parallelisms must be divisible by it).
+ * Evaluates the full grid in parallel. The base configuration
+ * supplies everything except saWidth / saHeight / PAG tiling. Each
+ * point averages over the shapes whose head dimension d matches the
+ * point's SA height (every swept height must match at least one
+ * shape). A PAG parallelism below the base's pagPerTile runs as a
+ * single down-rated tile; above it, it must be a multiple of
+ * pagPerTile.
  */
+std::vector<DsePoint>
+exploreDesignSpace(const HwConfig &base,
+                   const std::vector<alg::CompressionStats> &shapes,
+                   const DseGrid &grid);
+
+/** Width x parallelism sweep at the base height (original API). */
 std::vector<DsePoint>
 exploreDesignSpace(const HwConfig &base,
                    const std::vector<alg::CompressionStats> &shapes,
@@ -41,8 +76,8 @@ exploreDesignSpace(const HwConfig &base,
 
 /**
  * The PAG parallelism at which a width's throughput saturates
- * (within @p tolerance relative improvement). Paper finding: the
- * knee sits at 2 x SA width.
+ * (within @p tolerance relative improvement), at the base height.
+ * Paper finding: the knee sits at 2 x SA width.
  */
 core::Index saturationKnee(const std::vector<DsePoint> &points,
                            core::Index sa_width,

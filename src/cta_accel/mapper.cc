@@ -14,11 +14,13 @@ using core::Index;
 TableIMapper::TableIMapper(const HwConfig &config)
     : hwConfig_(config), sa_(config)
 {
+    validateHwConfig(config);
 }
 
 void
 TableIMapper::addStep(MappingResult &result, const SaStep &sa,
-                      PhaseClass phase, Cycles exposed_aux) const
+                      PhaseClass phase, Cycles exposed_aux,
+                      AuxModule aux_module) const
 {
     ScheduledStep step;
     step.name = sa.name;
@@ -29,6 +31,7 @@ TableIMapper::addStep(MappingResult &result, const SaStep &sa,
         step.saCycles += sa.skewCycles;
     }
     step.exposedAux = exposed_aux;
+    step.auxModule = exposed_aux > 0 ? aux_module : AuxModule::None;
     const Cycles cost = step.saCycles + step.exposedAux;
     switch (phase) {
       case PhaseClass::Compression:
@@ -78,7 +81,7 @@ TableIMapper::schedule(const alg::CompressionStats &stats) const
         cavg.name = "CAVG(C2)";
         cavg.streamCycles = 0;
         addStep(result, cavg, PhaseClass::Compression,
-                static_cast<Cycles>(stats.k2));
+                static_cast<Cycles>(stats.k2), AuxModule::Cag);
     }
 
     // ---- Rows 5-6: K/V linears over C^cat batches. ----
@@ -123,7 +126,8 @@ TableIMapper::schedule(const alg::CompressionStats &stats) const
                 const Cycles stall = pag_batch.cycles - hide;
                 SaStep wait;
                 wait.name = "PAG stall batch " + std::to_string(t - 1);
-                addStep(result, wait, PhaseClass::Attention, stall);
+                addStep(result, wait, PhaseClass::Attention, stall,
+                        AuxModule::Pag);
                 result.pagStallCycles += stall;
             }
             addStep(result,
@@ -137,7 +141,8 @@ TableIMapper::schedule(const alg::CompressionStats &stats) const
     {
         SaStep wait;
         wait.name = "PAG last batch";
-        addStep(result, wait, PhaseClass::Attention, pag_batch.cycles);
+        addStep(result, wait, PhaseClass::Attention, pag_batch.cycles,
+                AuxModule::Pag);
         addStep(result,
                 sa_.outputStep(k_total, "OUT last batch"),
                 PhaseClass::Attention);

@@ -43,6 +43,15 @@ enum class PhaseClass
     Attention,
 };
 
+/** Which auxiliary module (if any) a step's exposedAux charges. */
+enum class AuxModule
+{
+    None, ///< pure SA step (or fill/drain)
+    Cim,  ///< cluster-index module
+    Cag,  ///< centroid aggregation (CAVG) module
+    Pag,  ///< probability aggregation module
+};
+
 /** One scheduled step with its resolved timing. */
 struct ScheduledStep
 {
@@ -50,6 +59,8 @@ struct ScheduledStep
     PhaseClass phase;
     core::Cycles saCycles = 0;   ///< SA occupancy (0 for aux-only)
     core::Cycles exposedAux = 0; ///< aux cycles not hidden by the SA
+    /** Module the exposedAux cycles belong to (None if hidden). */
+    AuxModule auxModule = AuxModule::None;
 };
 
 /** Complete schedule of one attention evaluation. */
@@ -77,7 +88,8 @@ class TableIMapper
   private:
     /** Adds a step, applying per-step skew when packing is off. */
     void addStep(MappingResult &result, const SaStep &sa,
-                 PhaseClass phase, core::Cycles exposed_aux = 0) const;
+                 PhaseClass phase, core::Cycles exposed_aux = 0,
+                 AuxModule aux_module = AuxModule::None) const;
 
     HwConfig hwConfig_;
     SystolicArrayModel sa_;

@@ -16,6 +16,10 @@ ElsaAccelerator::ElsaAccelerator(const ElsaHwConfig &config,
 {
     CTA_REQUIRE(config.filterLanes > 0 && config.dim > 0,
                 "invalid ELSA configuration");
+    CTA_REQUIRE(config.maxSeqLen > 0 && config.hashBits > 0,
+                "ELSA memory/hash sizing must be positive");
+    CTA_REQUIRE(config.freqGhz > 0,
+                "ELSA clock frequency must be positive");
 }
 
 Wide

@@ -7,18 +7,19 @@ namespace cta::elsa {
 using sim::Wide;
 
 ElsaSystemReport
-combineWithGpu(const ElsaAccelResult &accel, Wide gpu_linear_seconds,
-               Wide gpu_power_w, core::Index units)
+combineWithGpu(const sim::PerfReport &accel_report,
+               Wide gpu_linear_seconds, Wide gpu_power_w,
+               core::Index units)
 {
     CTA_REQUIRE(units > 0, "need at least one ELSA unit");
     ElsaSystemReport out;
     out.gpuSeconds = gpu_linear_seconds;
     const Wide unit_seconds =
-        static_cast<Wide>(accel.report.latency.total()) /
-        (accel.report.freqGhz * 1e9);
+        static_cast<Wide>(accel_report.latency.total()) /
+        (accel_report.freqGhz * 1e9);
     out.elsaSeconds = unit_seconds / static_cast<Wide>(units);
 
-    out.report.platform = accel.report.platform + "+GPU";
+    out.report.platform = accel_report.platform + "+GPU";
     out.report.freqGhz = 1.0; // nanoseconds as cycles
     out.report.latency.linears = static_cast<core::Cycles>(
         out.gpuSeconds * 1e9);
@@ -28,12 +29,20 @@ combineWithGpu(const ElsaAccelResult &accel, Wide gpu_linear_seconds,
     // accelerators add their (comparatively small) dynamic energy.
     out.report.energy.computePj =
         gpu_power_w * out.gpuSeconds * 1e12 +
-        accel.report.energy.computePj + accel.report.energy.staticPj;
-    out.report.energy.memoryPj = accel.report.energy.memoryPj;
-    out.report.energy.auxiliaryPj = accel.report.energy.auxiliaryPj;
-    out.report.traffic = accel.report.traffic;
-    out.report.areaMm2 = accel.report.areaMm2;
+        accel_report.energy.computePj + accel_report.energy.staticPj;
+    out.report.energy.memoryPj = accel_report.energy.memoryPj;
+    out.report.energy.auxiliaryPj = accel_report.energy.auxiliaryPj;
+    out.report.traffic = accel_report.traffic;
+    out.report.areaMm2 = accel_report.areaMm2;
     return out;
+}
+
+ElsaSystemReport
+combineWithGpu(const ElsaAccelResult &accel, Wide gpu_linear_seconds,
+               Wide gpu_power_w, core::Index units)
+{
+    return combineWithGpu(accel.report, gpu_linear_seconds,
+                          gpu_power_w, units);
 }
 
 } // namespace cta::elsa

@@ -40,4 +40,12 @@ ElsaSystemReport combineWithGpu(const ElsaAccelResult &accel,
                                 sim::Wide gpu_power_w,
                                 core::Index units);
 
+/** Same combination from a bare attention-only PerfReport — the
+ *  shape produced by the accelerator registry for any of the
+ *  attention-only models (ELSA / A^3 / LeOPArd). */
+ElsaSystemReport combineWithGpu(const sim::PerfReport &accel_report,
+                                sim::Wide gpu_linear_seconds,
+                                sim::Wide gpu_power_w,
+                                core::Index units);
+
 } // namespace cta::elsa

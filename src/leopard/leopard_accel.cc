@@ -17,6 +17,10 @@ LeopardAccelerator::LeopardAccelerator(const LeopardHwConfig &config,
 {
     CTA_REQUIRE(config.keyLanes > 0 && config.dim > 0,
                 "invalid LeOPArd configuration");
+    CTA_REQUIRE(config.maxSeqLen > 0,
+                "LeOPArd memory sizing must be positive");
+    CTA_REQUIRE(config.freqGhz > 0,
+                "LeOPArd clock frequency must be positive");
 }
 
 Wide

@@ -205,4 +205,25 @@ TEST(A3AccelTest, EnergyAndTrafficPositive)
     EXPECT_GT(r.report.areaMm2, 0.0);
 }
 
+// The cycle and SRAM-sizing expressions divide by freqGhz and scale
+// with maxSeqLen; degenerate values must die at construction.
+TEST(A3AccelTest, RejectsDegenerateHwConfig)
+{
+    auto zero_freq = A3HwConfig::paperDefault();
+    zero_freq.freqGhz = 0;
+    EXPECT_DEATH(A3Accelerator(zero_freq,
+                               TechParams::smic40nmClass()),
+                 "A3 clock frequency must be positive");
+    auto zero_mem = A3HwConfig::paperDefault();
+    zero_mem.maxSeqLen = 0;
+    EXPECT_DEATH(A3Accelerator(zero_mem,
+                               TechParams::smic40nmClass()),
+                 "A3 memory sizing must be positive");
+    auto zero_lanes = A3HwConfig::paperDefault();
+    zero_lanes.searchLanes = 0;
+    EXPECT_DEATH(A3Accelerator(zero_lanes,
+                               TechParams::smic40nmClass()),
+                 "invalid A3 configuration");
+}
+
 } // namespace

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the unified accelerator registry: name resolution,
+ * descriptor validation at registration, the module-cycle drift
+ * guard, per-instance run statistics, and — the load-bearing
+ * property of the whole refactor — bit-identical outputs through
+ * the registry seam vs invoking each wrapped model directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "a3/a3_accel.h"
+#include "accel_registry/registry.h"
+#include "baseline/ideal_accel.h"
+#include "core/rng.h"
+#include "cta/config.h"
+#include "cta_accel/accelerator.h"
+#include "elsa/elsa_accel.h"
+#include "gpu/gpu_model.h"
+#include "leopard/leopard_accel.h"
+#include "nn/workload.h"
+
+namespace {
+
+using cta::core::Index;
+using cta::core::Matrix;
+using cta::core::Rng;
+using cta::nn::AttentionHeadParams;
+using cta::sim::PerfReport;
+using cta::sim::TechParams;
+
+struct Fixture
+{
+    Matrix calib;
+    Matrix eval;
+    AttentionHeadParams head;
+
+    explicit Fixture(Index n = 48)
+        : head([] {
+              Rng rng(1);
+              return AttentionHeadParams::randomInit(64, 64, rng);
+          }())
+    {
+        cta::nn::WorkloadProfile profile;
+        profile.seqLen = n;
+        profile.tokenDim = 64;
+        cta::nn::WorkloadGenerator gen(profile, 2);
+        calib = gen.sampleTokens();
+        eval = gen.sampleTokens();
+    }
+};
+
+cta::reg::AccelOptions
+smallOptions()
+{
+    cta::reg::AccelOptions options;
+    options.maxSeqLen = 64;
+    return options;
+}
+
+void
+expectSameReport(const PerfReport &a, const PerfReport &b)
+{
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_EQ(a.latency.tokenCompression, b.latency.tokenCompression);
+    EXPECT_EQ(a.latency.linears, b.latency.linears);
+    EXPECT_EQ(a.latency.attention, b.latency.attention);
+    EXPECT_EQ(a.energy.memoryPj, b.energy.memoryPj);
+    EXPECT_EQ(a.energy.computePj, b.energy.computePj);
+    EXPECT_EQ(a.energy.auxiliaryPj, b.energy.auxiliaryPj);
+    EXPECT_EQ(a.energy.staticPj, b.energy.staticPj);
+    EXPECT_EQ(a.traffic.reads, b.traffic.reads);
+    EXPECT_EQ(a.traffic.writes, b.traffic.writes);
+    EXPECT_EQ(a.areaMm2, b.areaMm2);
+    EXPECT_EQ(a.freqGhz, b.freqGhz);
+}
+
+void
+expectSameMatrix(const Matrix &a, const Matrix &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (Index r = 0; r < a.rows(); ++r)
+        for (Index c = 0; c < a.cols(); ++c)
+            EXPECT_EQ(a(r, c), b(r, c))
+                << "mismatch at (" << r << ", " << c << ")";
+}
+
+TEST(AccelRegistryTest, BuiltinsRegisteredAndSorted)
+{
+    const auto names = cta::reg::registeredNames();
+    const std::vector<std::string> expected{"a3", "cta", "elsa",
+                                            "gpu", "ideal",
+                                            "leopard"};
+    EXPECT_EQ(names, expected);
+    for (const auto &name : expected)
+        EXPECT_TRUE(cta::reg::isRegistered(name));
+    EXPECT_FALSE(cta::reg::isRegistered("tpu"));
+}
+
+TEST(AccelRegistryTest, UnknownNameDiesListingKeys)
+{
+    EXPECT_DEATH(cta::reg::makeAccelerator("tpu"),
+                 "unknown accelerator 'tpu'.*cta");
+}
+
+TEST(AccelRegistryTest, DuplicateRegistrationDies)
+{
+    EXPECT_DEATH(
+        cta::reg::registerAccelerator(
+            "cta",
+            [](const cta::reg::AccelOptions &options) {
+                return cta::reg::makeAccelerator("cta", options);
+            }),
+        "duplicate accelerator registration");
+}
+
+TEST(AccelRegistryTest, MalformedDescriptorDiesAtRegistration)
+{
+    class Broken final : public cta::reg::Accelerator
+    {
+      public:
+        const cta::reg::AccelDescriptor &describe() const override
+        {
+            return desc_; // display empty, freqGhz defaulted
+        }
+
+      protected:
+        cta::reg::RunResult
+        doRun(const Matrix &, const Matrix &,
+              const AttentionHeadParams &,
+              const cta::reg::RunRequest &) const override
+        {
+            return {};
+        }
+
+      private:
+        cta::reg::AccelDescriptor desc_{"broken", "", 1.0f, 0,
+                                        false};
+    };
+    EXPECT_DEATH(cta::reg::registerAccelerator(
+                     "broken",
+                     [](const cta::reg::AccelOptions &) {
+                         return std::unique_ptr<
+                             cta::reg::Accelerator>(new Broken());
+                     }),
+                 "descriptor display is empty");
+}
+
+/** Every registered model: breakdown covers the total and stats
+ *  accumulate. */
+class EveryAccelTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EveryAccelTest,
+    ::testing::ValuesIn(cta::reg::registeredNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST_P(EveryAccelTest, ModuleCyclesSumToTotalLatency)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator(GetParam(), smallOptions());
+    cta::reg::RunRequest request;
+    request.calibTokens = &fx.calib;
+    const auto r = accel->run(fx.eval, fx.eval, fx.head, request);
+    ASSERT_FALSE(r.moduleCycles.empty());
+    cta::core::Cycles sum = 0;
+    for (const auto &m : r.moduleCycles) {
+        EXPECT_FALSE(m.module.empty());
+        sum += m.cycles;
+    }
+    EXPECT_EQ(sum, r.report.latency.total());
+    EXPECT_GT(r.report.latency.total(), 0u);
+    EXPECT_EQ(r.output.rows(), fx.eval.rows());
+}
+
+TEST_P(EveryAccelTest, RegStatsAccumulateAcrossRuns)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator(GetParam(), smallOptions());
+    cta::reg::RunRequest request;
+    request.calibTokens = &fx.calib;
+    const auto r = accel->run(fx.eval, fx.eval, fx.head, request);
+    accel->run(fx.eval, fx.eval, fx.head, request);
+
+    const auto stats = accel->regStats();
+    EXPECT_EQ(stats.runs, 2u);
+    EXPECT_EQ(stats.totalCycles, 2 * r.report.latency.total());
+    ASSERT_EQ(stats.moduleCycles.size(), r.moduleCycles.size());
+    for (std::size_t i = 0; i < stats.moduleCycles.size(); ++i) {
+        EXPECT_EQ(stats.moduleCycles[i].module,
+                  r.moduleCycles[i].module);
+        EXPECT_EQ(stats.moduleCycles[i].cycles,
+                  2 * r.moduleCycles[i].cycles);
+    }
+
+    accel->resetStats();
+    EXPECT_EQ(accel->regStats().runs, 0u);
+    EXPECT_TRUE(accel->regStats().moduleCycles.empty());
+}
+
+TEST_P(EveryAccelTest, DescriptorMatchesRegistryKey)
+{
+    const auto accel =
+        cta::reg::makeAccelerator(GetParam(), smallOptions());
+    const auto &desc = accel->describe();
+    EXPECT_EQ(desc.name, GetParam());
+    EXPECT_FALSE(desc.display.empty());
+    EXPECT_GT(desc.freqGhz, 0.0f);
+    EXPECT_GE(desc.areaMm2, 0.0);
+}
+
+// --- A/B: the registry seam must not change a single bit. ---
+
+TEST(AccelRegistryAbTest, CtaMatchesDirectInvocation)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator("cta", smallOptions());
+    cta::reg::RunRequest request;
+    request.quality = cta::reg::Quality::Moderate;
+    request.platform = "CTA-0.5";
+    request.calibTokens = &fx.calib;
+    const auto via = accel->run(fx.eval, fx.eval, fx.head, request);
+
+    cta::accel::HwConfig hw = cta::accel::HwConfig::paperDefault();
+    hw.maxSeqLen = 64;
+    const cta::accel::CtaAccelerator direct(
+        hw, TechParams::smic40nmClass());
+    const auto config = cta::alg::calibrate(
+        fx.calib, fx.calib, cta::alg::Preset::Cta05, 6, /*seed=*/7);
+    const auto ref = direct.run(fx.eval, fx.eval, fx.head, config,
+                                "CTA-0.5");
+    expectSameReport(via.report, ref.report);
+    expectSameMatrix(via.output, ref.algorithm.output);
+}
+
+TEST(AccelRegistryAbTest, ElsaMatchesDirectInvocation)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator("elsa", smallOptions());
+    cta::reg::RunRequest request;
+    request.quality = cta::reg::Quality::Aggressive;
+    request.platform = "ELSA";
+    const auto via = accel->run(fx.eval, fx.eval, fx.head, request);
+
+    cta::elsa::ElsaHwConfig hw =
+        cta::elsa::ElsaHwConfig::paperDefault();
+    hw.maxSeqLen = 64;
+    const cta::elsa::ElsaAccelerator direct(
+        hw, TechParams::smic40nmClass());
+    const auto ref = direct.run(
+        fx.eval, fx.eval, fx.head,
+        cta::elsa::ElsaConfig::fromPreset(
+            cta::elsa::ElsaPreset::Aggressive),
+        "ELSA");
+    expectSameReport(via.report, ref.report);
+    expectSameMatrix(via.output, ref.algorithm.output);
+}
+
+TEST(AccelRegistryAbTest, A3MatchesDirectInvocation)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator("a3", smallOptions());
+    cta::reg::RunRequest request;
+    request.quality = cta::reg::Quality::Moderate;
+    request.platform = "A3";
+    const auto via = accel->run(fx.eval, fx.eval, fx.head, request);
+
+    cta::a3::A3HwConfig hw = cta::a3::A3HwConfig::paperDefault();
+    hw.maxSeqLen = 64;
+    const cta::a3::A3Accelerator direct(hw,
+                                        TechParams::smic40nmClass());
+    cta::a3::A3Config config;
+    config.searchRounds = fx.eval.rows();
+    config.candidates = fx.eval.rows() / 4;
+    const auto ref =
+        direct.run(fx.eval, fx.eval, fx.head, config, "A3");
+    expectSameReport(via.report, ref.report);
+    expectSameMatrix(via.output, ref.algorithm.output);
+}
+
+TEST(AccelRegistryAbTest, LeopardMatchesDirectInvocation)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator("leopard", smallOptions());
+    cta::reg::RunRequest request;
+    request.quality = cta::reg::Quality::Moderate;
+    request.platform = "LeOPArd";
+    request.calibTokens = &fx.calib;
+    const auto via = accel->run(fx.eval, fx.eval, fx.head, request);
+
+    cta::leopard::LeopardHwConfig hw =
+        cta::leopard::LeopardHwConfig::paperDefault();
+    hw.maxSeqLen = 64;
+    const cta::leopard::LeopardAccelerator direct(
+        hw, TechParams::smic40nmClass());
+    const auto config =
+        cta::leopard::calibrateLeopard(fx.calib, fx.head, 0.99f);
+    const auto ref =
+        direct.run(fx.eval, fx.eval, fx.head, config, "LeOPArd");
+    expectSameReport(via.report, ref.report);
+    expectSameMatrix(via.output, ref.algorithm.output);
+}
+
+TEST(AccelRegistryAbTest, GpuMatchesDirectInvocation)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator("gpu", smallOptions());
+    cta::reg::RunRequest request;
+    request.platform = "V100";
+    const auto via = accel->run(fx.eval, fx.eval, fx.head, request);
+
+    const cta::gpu::GpuModel direct;
+    const auto ref = direct.runExactHead(
+        fx.eval.rows(), fx.eval.rows(), fx.eval.cols(),
+        fx.head.wq.outDim(), "V100");
+    expectSameReport(via.report, ref);
+}
+
+TEST(AccelRegistryAbTest, IdealMatchesDirectInvocation)
+{
+    const Fixture fx;
+    const auto accel =
+        cta::reg::makeAccelerator("ideal", smallOptions());
+    const auto via =
+        accel->run(fx.eval, fx.eval, fx.head, {});
+
+    const cta::baseline::IdealAccelerator direct(
+        cta::accel::HwConfig::paperDefault().multiplierCount());
+    const auto ref = direct.run(
+        fx.eval.rows(), fx.eval.rows(), fx.eval.cols(),
+        fx.head.wq.outDim(), "Ideal");
+    // The registry defaults the platform to the descriptor name.
+    EXPECT_EQ(via.report.platform, "ideal");
+    EXPECT_EQ(via.report.latency.linears, ref.latency.linears);
+    EXPECT_EQ(via.report.latency.attention, ref.latency.attention);
+    EXPECT_EQ(via.report.freqGhz, ref.freqGhz);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the critical-path analyzer: the longest path equals the
+ * mapper's makespan on every configuration, binding cycles
+ * decompose it exactly, hidden modules carry slack instead of
+ * binding, and the bottleneck attribution flips from SA to PAG when
+ * the PAG is starved of parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cta_accel/critpath.h"
+
+namespace {
+
+using cta::accel::CritPathReport;
+using cta::accel::HwConfig;
+using cta::accel::MappingResult;
+using cta::accel::TableIMapper;
+using cta::alg::CompressionStats;
+using cta::core::Cycles;
+
+CompressionStats
+shape(cta::core::Index n = 512, cta::core::Index k0 = 200,
+      cta::core::Index k1 = 130, cta::core::Index k2 = 120)
+{
+    CompressionStats s;
+    s.m = s.n = n;
+    s.dw = s.d = 64;
+    s.k0 = k0;
+    s.k1 = k1;
+    s.k2 = k2;
+    return s;
+}
+
+std::vector<HwConfig>
+configs()
+{
+    std::vector<HwConfig> out;
+    out.push_back(HwConfig::paperDefault());
+    HwConfig wide = HwConfig::paperDefault();
+    wide.saWidth = 32;
+    wide.pagTiles = 32;
+    out.push_back(wide);
+    HwConfig no_bubble = HwConfig::paperDefault();
+    no_bubble.bubbleRemoval = false;
+    out.push_back(no_bubble);
+    HwConfig starved = HwConfig::paperDefault();
+    starved.pagTiles = 1;
+    starved.pagPerTile = 1;
+    out.push_back(starved);
+    return out;
+}
+
+TEST(CritPathTest, LongestPathEqualsMapperMakespan)
+{
+    for (const auto &config : configs()) {
+        for (const auto &s :
+             {shape(), shape(128, 60, 40, 30),
+              shape(512, 280, 150, 130)}) {
+            const MappingResult mapping =
+                TableIMapper(config).schedule(s);
+            const CritPathReport report =
+                cta::accel::analyzeCriticalPath(config, s);
+            EXPECT_EQ(report.criticalPathCycles,
+                      mapping.latency.total());
+        }
+    }
+}
+
+TEST(CritPathTest, BindingCyclesDecomposeThePath)
+{
+    for (const auto &config : configs()) {
+        const CritPathReport report =
+            cta::accel::analyzeCriticalPath(config, shape());
+        Cycles sum = 0;
+        for (const auto &m : report.modules)
+            sum += m.bindingCycles;
+        EXPECT_EQ(sum, report.criticalPathCycles);
+    }
+}
+
+TEST(CritPathTest, ModuleOrderAndLookup)
+{
+    const CritPathReport report = cta::accel::analyzeCriticalPath(
+        HwConfig::paperDefault(), shape());
+    ASSERT_EQ(report.modules.size(), 4u);
+    EXPECT_EQ(report.modules[0].module, "SA");
+    EXPECT_EQ(report.modules[1].module, "CIM");
+    EXPECT_EQ(report.modules[2].module, "CAG");
+    EXPECT_EQ(report.modules[3].module, "PAG");
+    EXPECT_EQ(&report.module("PAG"), &report.modules[3]);
+    EXPECT_DEATH(report.module("DMA"),
+                 "unknown critical-path module");
+}
+
+TEST(CritPathTest, PaperDefaultIsSaBound)
+{
+    const CritPathReport report = cta::accel::analyzeCriticalPath(
+        HwConfig::paperDefault(), shape());
+    EXPECT_EQ(report.bottleneck, "SA");
+    // The CIM is fully hidden: one code per cycle always fits under
+    // an LSH pass streaming one token per cycle.
+    EXPECT_EQ(report.module("CIM").bindingCycles, 0u);
+    EXPECT_GT(report.module("SA").bindingCycles, 0u);
+}
+
+TEST(CritPathTest, StarvedPagBecomesTheBottleneck)
+{
+    HwConfig starved = HwConfig::paperDefault();
+    starved.pagTiles = 1;
+    starved.pagPerTile = 1;
+    const CritPathReport report =
+        cta::accel::analyzeCriticalPath(starved, shape());
+    EXPECT_EQ(report.bottleneck, "PAG");
+    // A binding PAG has no spare headroom left.
+    EXPECT_EQ(report.module("PAG").slackCycles, 0u);
+    EXPECT_GT(report.module("PAG").bindingCycles,
+              report.module("SA").bindingCycles);
+}
+
+TEST(CritPathTest, HiddenModulesCarrySlackAtPaperDefault)
+{
+    const CritPathReport report = cta::accel::analyzeCriticalPath(
+        HwConfig::paperDefault(), shape());
+    // CIM and CAG fit under their windows with room to spare; the
+    // amply-parallel PAG finishes each batch early.
+    EXPECT_GT(report.module("CIM").slackCycles, 0u);
+    EXPECT_GT(report.module("CAG").slackCycles, 0u);
+    EXPECT_GT(report.module("PAG").slackCycles, 0u);
+    // Busy cycles are real work: every module does something.
+    for (const auto &m : report.modules)
+        EXPECT_GT(m.busyCycles, 0u) << m.module;
+}
+
+TEST(CritPathTest, MorePagParallelismNeverAddsBinding)
+{
+    const auto s = shape();
+    Cycles prev = ~Cycles{0};
+    for (const cta::core::Index tiles : {1, 2, 4, 8}) {
+        HwConfig config = HwConfig::paperDefault();
+        config.pagTiles = tiles;
+        const CritPathReport report =
+            cta::accel::analyzeCriticalPath(config, s);
+        const Cycles binding = report.module("PAG").bindingCycles;
+        EXPECT_LE(binding, prev);
+        prev = binding;
+    }
+}
+
+TEST(CritPathTest, RejectsInvalidConfig)
+{
+    HwConfig bad = HwConfig::paperDefault();
+    bad.freqGhz = 0;
+    EXPECT_DEATH(cta::accel::analyzeCriticalPath(bad, shape()),
+                 "clock frequency must be positive");
+}
+
+} // namespace

@@ -129,4 +129,26 @@ TEST(ElsaSystemTest, MoreUnitsShrinkAttentionShare)
     EXPECT_NEAR(one.elsaSeconds / twelve.elsaSeconds, 12.0, 1e-6);
 }
 
+// Every downstream timing expression divides by freqGhz and sizes
+// SRAM by maxSeqLen, so a zeroed field must die at construction
+// instead of surfacing as inf/NaN inside a report.
+TEST(ElsaAccelTest, RejectsDegenerateHwConfig)
+{
+    auto zero_freq = ElsaHwConfig::paperDefault();
+    zero_freq.freqGhz = 0;
+    EXPECT_DEATH(ElsaAccelerator(zero_freq,
+                                 TechParams::smic40nmClass()),
+                 "ELSA clock frequency must be positive");
+    auto zero_mem = ElsaHwConfig::paperDefault();
+    zero_mem.maxSeqLen = 0;
+    EXPECT_DEATH(ElsaAccelerator(zero_mem,
+                                 TechParams::smic40nmClass()),
+                 "ELSA memory/hash sizing must be positive");
+    auto zero_lanes = ElsaHwConfig::paperDefault();
+    zero_lanes.filterLanes = 0;
+    EXPECT_DEATH(ElsaAccelerator(zero_lanes,
+                                 TechParams::smic40nmClass()),
+                 "invalid ELSA configuration");
+}
+
 } // namespace

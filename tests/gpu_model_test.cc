@@ -176,4 +176,15 @@ TEST(IdealAcceleratorTest, ReportSplitsPhases)
     EXPECT_GT(report.latency.attention, report.latency.linears);
 }
 
+// Cycle-to-seconds conversion divides by the clock and the ceil-div
+// by the multiplier count; zeros must die at construction.
+TEST(IdealAcceleratorTest, RejectsDegenerateConfig)
+{
+    EXPECT_DEATH(IdealAccelerator(0),
+                 "need at least one multiplier");
+    EXPECT_DEATH(
+        IdealAccelerator(512, 0.0),
+        "ideal-accelerator clock frequency must be positive");
+}
+
 } // namespace

@@ -9,6 +9,7 @@
 
 #include "core/rng.h"
 #include "cta/error.h"
+#include "leopard/leopard_accel.h"
 #include "leopard/leopard_attention.h"
 #include "nn/workload.h"
 
@@ -151,6 +152,30 @@ TEST(LeopardTest, QuerySpecificPruningVaries)
         leopardAttention(fx.tokens, fx.tokens, fx.params, config);
     EXPECT_GT(r.keepRatio, 0.01f);
     EXPECT_LT(r.keepRatio, 0.99f);
+}
+
+// The accelerator model divides by freqGhz and sizes K/V SRAM by
+// maxSeqLen; degenerate values must die at construction.
+TEST(LeopardAccelTest, RejectsDegenerateHwConfig)
+{
+    using cta::leopard::LeopardAccelerator;
+    using cta::leopard::LeopardHwConfig;
+    using cta::sim::TechParams;
+    auto zero_freq = LeopardHwConfig::paperDefault();
+    zero_freq.freqGhz = 0;
+    EXPECT_DEATH(LeopardAccelerator(zero_freq,
+                                    TechParams::smic40nmClass()),
+                 "LeOPArd clock frequency must be positive");
+    auto zero_mem = LeopardHwConfig::paperDefault();
+    zero_mem.maxSeqLen = 0;
+    EXPECT_DEATH(LeopardAccelerator(zero_mem,
+                                    TechParams::smic40nmClass()),
+                 "LeOPArd memory sizing must be positive");
+    auto zero_lanes = LeopardHwConfig::paperDefault();
+    zero_lanes.keyLanes = 0;
+    EXPECT_DEATH(LeopardAccelerator(zero_lanes,
+                                    TechParams::smic40nmClass()),
+                 "invalid LeOPArd configuration");
 }
 
 } // namespace
