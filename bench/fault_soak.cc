@@ -223,6 +223,10 @@ runWorkload(const fault::FaultConfig &fc, const WorkloadShape &shape)
             case StepStatus::Corrupted:
                 rec.corrupted = true;
                 break;
+            case StepStatus::Bounced:
+                // Only the serving front-end's bounceFlush() returns
+                // Bounced; a plain Batcher::flush() never does.
+                CTA_FATAL("Batcher::flush returned Bounced");
             }
             ++s.stepsDone;
         }
@@ -488,7 +492,8 @@ main(int argc, char **argv)
                 static_cast<long long>(faulted.completed),
                 static_cast<long long>(shape.totalSessions));
     std::printf("  serve injections   %llu (sram %llu cim %llu cag "
-                "%llu pag %llu lsh %llu snapshot %llu queue %llu)\n",
+                "%llu pag %llu lsh %llu snapshot %llu queue %llu "
+                "shard %llu)\n",
                 static_cast<unsigned long long>(serve_injections),
                 static_cast<unsigned long long>(site_totals[0]),
                 static_cast<unsigned long long>(site_totals[1]),
@@ -496,7 +501,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(site_totals[3]),
                 static_cast<unsigned long long>(site_totals[4]),
                 static_cast<unsigned long long>(site_totals[5]),
-                static_cast<unsigned long long>(site_totals[6]));
+                static_cast<unsigned long long>(site_totals[6]),
+                static_cast<unsigned long long>(site_totals[7]));
     std::printf("  snapshot faults    injected %llu detected %llu "
                 "silent %llu\n",
                 static_cast<unsigned long long>(
@@ -547,7 +553,7 @@ main(int argc, char **argv)
         "  \"targeted_detected\": %llu,\n"
         "  \"injections_by_site\": {\"sram\": %llu, \"cim\": %llu, "
         "\"cag\": %llu, \"pag\": %llu, \"lsh\": %llu, "
-        "\"snapshot\": %llu, \"queue\": %llu},\n"
+        "\"snapshot\": %llu, \"queue\": %llu, \"shard\": %llu},\n"
         "  \"ok\": %s\n}\n",
         smoke ? "true" : "false", kFaultBuild ? "true" : "false",
         static_cast<unsigned long long>(injected_config.seed),
@@ -577,6 +583,7 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(site_totals[4]),
         static_cast<unsigned long long>(site_totals[5]),
         static_cast<unsigned long long>(site_totals[6]),
+        static_cast<unsigned long long>(site_totals[7]),
         ok ? "true" : "false");
     std::fclose(out);
     std::printf("  [data written to BENCH_fault_soak.json]\n");

@@ -86,7 +86,7 @@ parseSites(const char *text)
         }
         CTA_REQUIRE(known, "CTA_FAULT_SITES entry '", name,
                     "' unknown (expected all | none | a comma list "
-                    "of sram,cim,cag,pag,lsh,snapshot,queue)");
+                    "of sram,cim,cag,pag,lsh,snapshot,queue,shard)");
         if (comma == std::string::npos)
             break;
         at = comma + 1;

@@ -28,7 +28,7 @@
  *   CTA_FAULT_RATE   per-opportunity injection probability in [0, 1]
  *                    (default 0 — fully disarmed)
  *   CTA_FAULT_SITES  comma-separated subset of
- *                    sram,cim,cag,pag,lsh,snapshot,queue
+ *                    sram,cim,cag,pag,lsh,snapshot,queue,shard
  *                    (default "all"; "none" disarms by site)
  *
  * All three follow the strict env contract (core/env.h): malformed
@@ -59,9 +59,14 @@ enum class Site : unsigned
     LshBucket,    ///< cta/lsh: off-by-one bucket in a token's code
     SnapshotBlob, ///< serve: byte corruption / truncation of a blob
     QueueDelay,   ///< serve/batcher: artificial deadline pressure
+    ShardFault,   ///< serve/frontend: a whole shard wedges (its flush
+                  ///< fails and every dispatched step bounces) or is
+                  ///< poisoned (a resident snapshot is corrupted) —
+                  ///< the shard-level fault domain the front-end's
+                  ///< health machine and failover path must survive
 };
 
-inline constexpr unsigned kSiteCount = 7;
+inline constexpr unsigned kSiteCount = 8;
 inline constexpr unsigned kAllSites = (1u << kSiteCount) - 1;
 
 /** Short stable name of @p site ("sram", "cim", ...). */
@@ -83,6 +88,8 @@ siteName(Site site)
         return "snapshot";
     case Site::QueueDelay:
         return "queue";
+    case Site::ShardFault:
+        return "shard";
     }
     return "?";
 }

@@ -31,6 +31,8 @@ toString(SubmitResult result)
         return "DeadlineExpired";
     case SubmitResult::QuotaExceeded:
         return "QuotaExceeded";
+    case SubmitResult::ShardFenced:
+        return "ShardFenced";
     }
     return "?";
 }
@@ -213,6 +215,7 @@ Batcher::recordRejectionLocked(SubmitResult reason)
         break;
     case SubmitResult::Accepted:
     case SubmitResult::QuotaExceeded:
+    case SubmitResult::ShardFenced:
         CTA_FATAL("not a Batcher rejection reason: ",
                   toString(reason));
     }
@@ -298,6 +301,13 @@ Batcher::corruptedSteps() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return corruptedSteps_;
+}
+
+std::uint64_t
+Batcher::bouncedSteps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bouncedSteps_;
 }
 
 Batcher::FlushPlan
@@ -445,6 +455,28 @@ Batcher::finishFlush(FlushPlan &&plan)
         for (const Pending &p : plan.batch)
             manager_->touch(p.session);
         manager_->enforceBudget();
+    }
+    return std::move(plan.results);
+}
+
+std::vector<StepResult>
+Batcher::bounceFlush(FlushPlan &&plan)
+{
+    // The wedged-shard exit: every drained step is returned Bounced
+    // and NOTHING else happens — no step runs, no recency is marked,
+    // no budget pass evicts. The sessions are bitwise exactly where
+    // they were before dispatch (beginFlush() may have restored
+    // evicted sessions, which is read-repair, not mutation), so the
+    // caller may safely resubmit every bounced token.
+    for (const Pending &p : plan.batch) {
+        plan.results[p.slot].session = p.session;
+        plan.results[p.slot].status = StepStatus::Bounced;
+    }
+    if (!plan.batch.empty()) {
+        CTA_OBS_GAUGE_ADD("serve.bounced_steps",
+                          static_cast<double>(plan.batch.size()));
+        std::lock_guard<std::mutex> lock(mutex_);
+        bouncedSteps_ += static_cast<std::uint64_t>(plan.batch.size());
     }
     return std::move(plan.results);
 }

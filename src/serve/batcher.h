@@ -88,6 +88,10 @@ enum class SubmitResult
     QuotaExceeded,   ///< the tenant's admission quota is exhausted
                      ///< (returned by the serving front-end's
                      ///< per-tenant admission, never by Batcher)
+    ShardFenced,     ///< the target session sits on a Failed shard
+                     ///< that has no healthy destination to re-home
+                     ///< to yet — temporary, retry after recovery
+                     ///< (front-end only, never returned by Batcher)
 };
 
 /** Human-readable name of a SubmitResult. */
@@ -118,6 +122,9 @@ enum class StepStatus
     Expired,   ///< deadline passed before the step started; no output
     Corrupted, ///< session was quarantined (corrupt snapshot) before
                ///< the step could run; no output
+    Bounced,   ///< the step's shard wedged before the step ran; the
+               ///< session's stream is untouched, so resubmitting the
+               ///< same token is always safe
 };
 
 /** One completed decode step, in submission order. */
@@ -274,6 +281,9 @@ class Batcher
     /** Cumulative steps returned as Corrupted by flush(). */
     std::uint64_t corruptedSteps() const;
 
+    /** Cumulative steps returned as Bounced by bounceFlush(). */
+    std::uint64_t bouncedSteps() const;
+
     /**
      * Runs every queued step — per-session sequential, cross-session
      * parallel — and returns outputs in submission order. Each step's
@@ -313,6 +323,18 @@ class Batcher
      * submission order.
      */
     std::vector<StepResult> finishFlush(FlushPlan &&plan);
+
+    /**
+     * Failure-path alternative to runPlanTask()+finishFlush(): the
+     * shard wedged after beginFlush(), so no task of @p plan may run.
+     * Every drained step comes back StepStatus::Bounced and no
+     * session is stepped, touched or evicted — the sessions' token
+     * streams are exactly as if the steps were never dispatched, so
+     * the caller can resubmit them (possibly to another shard after
+     * failover) without breaking the stream-prefix invariant. Must
+     * not be mixed with runPlanTask() on the same plan.
+     */
+    std::vector<StepResult> bounceFlush(FlushPlan &&plan);
 
     /** Per-step latency/throughput accumulator. */
     ServerStats &stats() { return stats_; }
@@ -355,6 +377,7 @@ class Batcher
     SubmitRejections rejections_;
     std::uint64_t expiredSteps_ = 0;
     std::uint64_t corruptedSteps_ = 0;
+    std::uint64_t bouncedSteps_ = 0;
     ServerStats stats_;
 };
 

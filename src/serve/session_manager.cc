@@ -332,6 +332,166 @@ SessionManager::removeSession(Index id)
 }
 
 bool
+SessionManager::isPinnedResident(Index id) const
+{
+    return isLive(id) &&
+           slots_[static_cast<std::size_t>(id)].live->fallbackActive();
+}
+
+SessionExport
+SessionManager::exportSession(Index id)
+{
+    Slot &s = slot(id, "export");
+    CTA_REQUIRE(s.state != State::Quarantined, "session ", id,
+                " is quarantined; it has no state to export — drop "
+                "it instead of migrating it");
+    SessionExport exported;
+    exported.prefixId = s.prefixId;
+    exported.taint = s.taint;
+    if (s.state == State::Live) {
+        CTA_REQUIRE(!s.live->fallbackActive(), "session ", id,
+                    " fell back to exact attention; its K/V caches "
+                    "are not serializable, so it cannot migrate");
+        exported.taint = exported.taint || s.live->faultTainted();
+        exported.blob = serializeSnapshot(s.live->snapshot());
+    } else {
+        exported.blob = s.blob;
+    }
+    exported.corruptionInjected = s.corruptionInjected;
+    return exported;
+}
+
+Index
+SessionManager::adoptSession(SessionExport exported,
+                             std::int64_t new_prefix_id)
+{
+    Slot adopted;
+    adopted.taint = exported.taint;
+    adopted.prefixId = new_prefix_id;
+    adopted.lastUsed = ++tick_;
+
+    SessionSnapshot snap;
+    std::string error;
+    if (!tryDeserializeSnapshot(exported.blob, &snap, &error)) {
+        // The migrated blob arrives corrupt: quarantine the new id
+        // immediately — same verdict tryAcquire() would reach one
+        // restore later, reached one restore earlier.
+        if (exported.corruptionInjected)
+            ++corruptionsDetected_;
+        CTA_WARN("adopted session snapshot failed integrity check (",
+                 error, "); quarantining it on arrival");
+        adopted.state = State::Quarantined;
+        slots_.push_back(std::move(adopted));
+        CTA_OBS_COUNT("serve.manager.quarantined", 1);
+        return static_cast<Index>(slots_.size()) - 1;
+    }
+    if (exported.corruptionInjected) {
+        // Decoded despite the injection — the integrity layer missed
+        // it. The fault soak fails on this counter.
+        ++corruptionsSilent_;
+    }
+    CTA_REQUIRE((snap.prefixId >= 0) == (new_prefix_id >= 0),
+                "adopted session blob references prefix ",
+                snap.prefixId, " but the importer remapped it to ",
+                new_prefix_id);
+    if (snap.prefixId != new_prefix_id) {
+        snap.prefixId = new_prefix_id;
+        adopted.blob = serializeSnapshot(snap);
+    } else {
+        adopted.blob = std::move(exported.blob);
+    }
+    adopted.state = State::Evicted;
+    slots_.push_back(std::move(adopted));
+    CTA_OBS_COUNT("serve.manager.adopted", 1);
+    return static_cast<Index>(slots_.size()) - 1;
+}
+
+PrefixExport
+SessionManager::exportPrefix(std::int64_t id)
+{
+    CTA_REQUIRE(id >= 0 &&
+                    id < static_cast<std::int64_t>(prefixes_.size()),
+                "shared prefix id ", id, " out of range [0, ",
+                prefixes_.size(), ")");
+    PrefixEntry &entry = prefixes_[static_cast<std::size_t>(id)];
+    PrefixExport exported;
+    exported.tokens = entry.tokens;
+    if (entry.live) {
+        exported.blob =
+            serializeSnapshot(entry.live->donor().snapshot());
+        exported.parentId = entry.live->donorIsFork()
+                                ? entry.live->donor().prefix()->id()
+                                : -1;
+    } else {
+        exported.blob = entry.blob;
+        // The parent reference lives inside the snapshot; an evicted
+        // donor blob is valid by invariant (a corrupt one is fatal at
+        // resolvePrefix), so decoding here cannot fail silently.
+        SessionSnapshot snap;
+        std::string error;
+        CTA_REQUIRE(
+            tryDeserializeSnapshot(exported.blob, &snap, &error),
+            "shared prefix ", id, " blob is corrupt (", error, ")");
+        exported.parentId = snap.prefixId;
+    }
+    return exported;
+}
+
+std::int64_t
+SessionManager::adoptPrefix(PrefixExport exported,
+                            std::int64_t new_parent_id)
+{
+    // Same policy as resolvePrefix(): a prefix blob that does not
+    // decode is fatal, and its parent reference must land inside this
+    // manager's registry (the importer migrates chains root-first).
+    SessionSnapshot snap;
+    std::string error;
+    CTA_REQUIRE(tryDeserializeSnapshot(exported.blob, &snap, &error),
+                "adopted shared prefix blob is corrupt (", error, ")");
+    CTA_REQUIRE((snap.prefixId >= 0) == (new_parent_id >= 0),
+                "adopted prefix blob references parent ",
+                snap.prefixId, " but the importer remapped it to ",
+                new_parent_id);
+    CTA_REQUIRE(new_parent_id <
+                    static_cast<std::int64_t>(prefixes_.size()),
+                "adopted prefix parent ", new_parent_id,
+                " is not registered here (", prefixes_.size(),
+                " prefixes) — migrate the chain root-first");
+    PrefixEntry entry;
+    if (snap.prefixId != new_parent_id) {
+        snap.prefixId = new_parent_id;
+        entry.blob = serializeSnapshot(snap);
+    } else {
+        entry.blob = std::move(exported.blob);
+    }
+    entry.tokens = exported.tokens;
+    entry.lastUsed = ++tick_;
+    prefixes_.push_back(std::move(entry));
+    CTA_OBS_COUNT("serve.manager.prefixes", 1);
+    return static_cast<std::int64_t>(prefixes_.size()) - 1;
+}
+
+bool
+SessionManager::poisonSession(Index id, std::uint64_t key)
+{
+    Slot &s = slot(id, "poison");
+    if (s.state == State::Quarantined)
+        return false;
+    if (s.state == State::Live && s.live->fallbackActive())
+        return false;
+    if (s.state == State::Live)
+        evict(id);
+    if (s.corruptionInjected)
+        return true; // already corrupt; a second flip could cancel it
+    CTA_ASSERT(!s.blob.empty(), "evicted session ", id,
+               " has an empty snapshot blob");
+    s.blob[static_cast<std::size_t>(key % s.blob.size())] ^= 0xA5;
+    s.corruptionInjected = true;
+    ++corruptionsInjected_;
+    return true;
+}
+
+bool
 SessionManager::prefixIsCold(std::int64_t id) const
 {
     for (const Slot &s : slots_)

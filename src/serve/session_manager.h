@@ -78,6 +78,38 @@ struct SessionManagerStats
     std::uint64_t prefixRestores = 0;
 };
 
+/**
+ * One session's state packaged for cross-manager migration (shard
+ * failover). The blob is the session's CTAS v3 snapshot — serialized
+ * on demand for a live session, the stored blob for an evicted one —
+ * plus the slot bookkeeping the destination must inherit so the
+ * corruption/taint accounting stays exact across the move.
+ */
+struct SessionExport
+{
+    std::vector<std::uint8_t> blob;
+    /** Source-manager prefix id (-1 standalone). The importer remaps
+     *  it onto the destination's registry (exportPrefix/adoptPrefix)
+     *  before adoptSession(). Valid even when the blob is corrupt —
+     *  it comes from the slot, not the blob. */
+    std::int64_t prefixId = -1;
+    /** The fault layer corrupted this blob on the source manager. */
+    bool corruptionInjected = false;
+    /** Sticky fault taint accumulated on the source manager. */
+    bool taint = false;
+};
+
+/** One shared prefix packaged for cross-manager migration. */
+struct PrefixExport
+{
+    std::vector<std::uint8_t> blob; ///< donor CTAS snapshot
+    core::Index tokens = 0;         ///< donor context length
+    /** Source-manager id of the donor's own parent prefix (-1 when
+     *  the donor is a root). The importer migrates the parent first
+     *  and passes its new id to adoptPrefix(). */
+    std::int64_t parentId = -1;
+};
+
 /** Owns decode sessions under a global memory budget (LRU evict). */
 class SessionManager
 {
@@ -179,6 +211,78 @@ class SessionManager
     /** Frees @p id entirely (live state or blob). The id stays
      *  allocated but every later access is fatal. */
     void removeSession(core::Index id);
+
+    /**
+     * True when @p id is live but pinned resident by the quality-
+     * guard fallback: its exact K/V caches are not serializable, so
+     * it can be neither evicted nor migrated to another manager.
+     */
+    bool isPinnedResident(core::Index id) const;
+
+    /**
+     * Packages @p id for migration to another manager (shard
+     * failover): a live session is serialized in place (and stays
+     * live — the caller removes it after a successful adopt), an
+     * evicted one contributes its stored blob unmodified, so the
+     * migrated restore replays the exact bytes the source would have
+     * restored — the bit-identity contract extends to migration by
+     * construction. Fatal for removed, quarantined (the caller drops
+     * those) and fallback-pinned (isPinnedResident()) sessions.
+     */
+    SessionExport exportSession(core::Index id);
+
+    /**
+     * Adopts a migrated session: a new id is allocated holding @p
+     * exported's blob in the Evicted state, so the next acquire runs
+     * the ordinary restore path. @p new_prefix_id is this manager's
+     * id for the session's prefix chain (adoptPrefix()), or -1 for a
+     * standalone session — it must match the blob's own reference,
+     * which is rewritten (and the CRC recomputed) when they differ.
+     * A blob that fails its integrity check is quarantined right
+     * here, counted corruptionsDetected when the source flagged the
+     * injection — the detected==injected ledger survives migration
+     * because the injection was counted on the source manager and
+     * the detection on the destination, and the soak sums both over
+     * every shard.
+     */
+    core::Index adoptSession(SessionExport exported,
+                             std::int64_t new_prefix_id);
+
+    /**
+     * Packages shared prefix @p id for migration: the donor's
+     * snapshot blob (serialized in place when resident), its fork-
+     * point context length, and the source id of its own parent
+     * prefix so the importer can walk the chain root-first. Fatal for
+     * out-of-range ids.
+     */
+    PrefixExport exportPrefix(std::int64_t id);
+
+    /**
+     * Registers a migrated prefix and returns its id here. @p
+     * new_parent_id is THIS manager's id for the donor's parent
+     * prefix (adopt the chain root-first), or -1 for a root donor —
+     * it must agree in sign with the blob's embedded reference, which
+     * is rewritten (and the CRC recomputed) when the numbers differ.
+     * A corrupt blob is fatal, matching resolvePrefix(): a prefix
+     * underpins many sessions, so losing one is never a
+     * single-session event. The donor stays evicted until a restore
+     * first needs it.
+     */
+    std::int64_t adoptPrefix(PrefixExport exported,
+                             std::int64_t new_parent_id);
+
+    /**
+     * Deterministically corrupts @p id's snapshot blob (evicting the
+     * session first when live) — the "poison" arm of the shard-fault
+     * model, where a failing shard damages resident state rather than
+     * just wedging. Counted corruptionsInjected, so the soak's
+     * detected==injected ledger covers poisons like any other
+     * snapshot corruption. Returns false without touching anything
+     * for quarantined or fallback-pinned sessions and for blobs the
+     * fault layer already corrupted (re-flipping could cancel the
+     * first corruption); fatal for removed ids.
+     */
+    bool poisonSession(core::Index id, std::uint64_t key);
 
     /**
      * Evicts least-recently-used live sessions — then, if still over

@@ -1,9 +1,11 @@
 /**
  * @file
  * Tests for the multi-tenant serving front-end: DRR weighted
- * fairness, per-tenant admission quotas, round-robin sharding,
- * per-shard submission-order determinism across thread counts, and
- * the trace-driven load generator it is benched with.
+ * fairness, per-tenant admission quotas, least-loaded shard
+ * placement, exact per-shard budget splitting, retry-after admission
+ * hints, per-shard submission-order determinism across thread
+ * counts, and the trace-driven load generator it is benched with.
+ * Shard fault domains are covered in tests/shard_failover_test.cc.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +16,7 @@
 
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "fault/fault.h"
 #include "nn/workload.h"
 #include "serve/frontend.h"
 #include "serve/loadgen.h"
@@ -307,7 +310,15 @@ TEST(ServeFrontendTest, RemoveSessionShedsQueuedStepsAndRejects)
     frontend.removeSession(a);
     EXPECT_EQ(frontend.trySubmit(a, token.row(0)),
               SubmitResult::SessionRemoved);
-    EXPECT_EQ(frontend.tenantCounters(tenant).shedDispatch, 4u);
+    // All four sheds (3 queued drops + 1 admission rejection) are
+    // removed-session sheds, and the legacy catch-all is exactly the
+    // sum of the per-reason counters.
+    const auto counters = frontend.tenantCounters(tenant);
+    EXPECT_EQ(counters.shedRemoved, 4u);
+    EXPECT_EQ(counters.shedCorrupted, 0u);
+    EXPECT_EQ(counters.shedBounced, 0u);
+    EXPECT_EQ(counters.shedFenced, 0u);
+    EXPECT_EQ(counters.shedDispatch(), 4u);
 
     const auto completions = frontend.flushOnce();
     ASSERT_EQ(completions.size(), 3u);
@@ -328,6 +339,21 @@ TEST(ServeFrontendTest, EnvKnobsParse)
     EXPECT_EQ(ServeFrontend::tenantQuotaFromEnv(), 77);
     unsetenv("CTA_TENANT_QUOTA");
     EXPECT_EQ(ServeFrontend::tenantQuotaFromEnv(), 1024);
+
+    setenv("CTA_SHARD_FAIL_AFTER", "7", 1);
+    EXPECT_EQ(ServeFrontend::shardFailAfterFromEnv(), 7);
+    unsetenv("CTA_SHARD_FAIL_AFTER");
+    EXPECT_EQ(ServeFrontend::shardFailAfterFromEnv(), 3);
+
+    setenv("CTA_RETRY_BASE", "0.25", 1);
+    EXPECT_DOUBLE_EQ(ServeFrontend::retryBaseFromEnv(), 0.25);
+    unsetenv("CTA_RETRY_BASE");
+    EXPECT_DOUBLE_EQ(ServeFrontend::retryBaseFromEnv(), 1e-3);
+
+    setenv("CTA_RETRY_MAX", "8", 1);
+    EXPECT_DOUBLE_EQ(ServeFrontend::retryMaxFromEnv(), 8.0);
+    unsetenv("CTA_RETRY_MAX");
+    EXPECT_DOUBLE_EQ(ServeFrontend::retryMaxFromEnv(), 1.0);
 }
 
 TEST(ServeFrontendDeathTest, MalformedEnvKnobsAreFatal)
@@ -343,6 +369,18 @@ TEST(ServeFrontendDeathTest, MalformedEnvKnobsAreFatal)
     EXPECT_EXIT(ServeFrontend::tenantQuotaFromEnv(),
                 ::testing::ExitedWithCode(1), "CTA_TENANT_QUOTA");
     unsetenv("CTA_TENANT_QUOTA");
+    setenv("CTA_SHARD_FAIL_AFTER", "0", 1);
+    EXPECT_EXIT(ServeFrontend::shardFailAfterFromEnv(),
+                ::testing::ExitedWithCode(1), "CTA_SHARD_FAIL_AFTER");
+    unsetenv("CTA_SHARD_FAIL_AFTER");
+    setenv("CTA_RETRY_BASE", "-0.5", 1);
+    EXPECT_EXIT(ServeFrontend::retryBaseFromEnv(),
+                ::testing::ExitedWithCode(1), "CTA_RETRY_BASE");
+    unsetenv("CTA_RETRY_BASE");
+    setenv("CTA_RETRY_MAX", "nope", 1);
+    EXPECT_EXIT(ServeFrontend::retryMaxFromEnv(),
+                ::testing::ExitedWithCode(1), "CTA_RETRY_MAX");
+    unsetenv("CTA_RETRY_MAX");
 }
 
 TEST(ServeFrontendDeathTest, DuplicateTenantNameIsFatal)
@@ -354,6 +392,159 @@ TEST(ServeFrontendDeathTest, DuplicateTenantNameIsFatal)
     EXPECT_EXIT(frontend.registerTenant({"gold", 2, 8}),
                 ::testing::ExitedWithCode(1), "already registered");
 }
+
+TEST(ServeFrontendTest, ShardBudgetSplitSumsExactly)
+{
+    FrontendConfig fc;
+    fc.shards = 3;
+    fc.memBudgetBytes = 1'000'001; // 3 * 333'333 + 2
+    ServeFrontend frontend(testParams(), ServeConfig{}, kDim, fc);
+    // The first budget % shards shards take the extra byte; an even
+    // split would silently shave the operator's stated limit.
+    EXPECT_EQ(frontend.manager(0).memBudgetBytes(), 333'334u);
+    EXPECT_EQ(frontend.manager(1).memBudgetBytes(), 333'334u);
+    EXPECT_EQ(frontend.manager(2).memBudgetBytes(), 333'333u);
+    std::size_t sum = 0;
+    for (Index s = 0; s < frontend.shardCount(); ++s)
+        sum += frontend.manager(s).memBudgetBytes();
+    EXPECT_EQ(sum, 1'000'001u);
+}
+
+TEST(ServeFrontendDeathTest, BudgetSmallerThanShardCountIsFatal)
+{
+    FrontendConfig fc;
+    fc.shards = 4;
+    fc.memBudgetBytes = 3; // some shard would get a zero budget
+    EXPECT_EXIT(ServeFrontend(testParams(), ServeConfig{}, kDim, fc),
+                ::testing::ExitedWithCode(1), "memBudgetBytes");
+}
+
+TEST(ServeFrontendTest, PlacementPrefersLeastLoadedShard)
+{
+    FrontendConfig fc;
+    fc.shards = 2;
+    ServeFrontend frontend(testParams(), ServeConfig{}, kDim, fc);
+    const Index tenant = frontend.registerTenant({"solo", 1, 16});
+    const Index heavy =
+        frontend.createSession(tenant, sampleTokens(64, kDim, 110));
+    const Index light = frontend.createSession(tenant);
+    EXPECT_EQ(frontend.shardOf(heavy), 0);
+    EXPECT_EQ(frontend.shardOf(light), 1);
+    // An empty flush refreshes the placement load cache; shard 1 now
+    // holds far fewer resident bytes, so new sessions go to it until
+    // the next refresh evens the picture out.
+    EXPECT_TRUE(frontend.flushOnce().empty());
+    EXPECT_EQ(frontend.shardOf(frontend.createSession(tenant)), 1);
+    EXPECT_EQ(frontend.shardOf(frontend.createSession(tenant)), 1);
+    // A fork shares its parent's pages copy-on-write, so it lands on
+    // the parent's shard regardless of load.
+    EXPECT_EQ(frontend.shardOf(frontend.forkSession(heavy)), 0);
+}
+
+TEST(ServeFrontendTest, RetryAfterBacksOffExponentiallyAndResets)
+{
+    FrontendConfig fc;
+    fc.shards = 1;
+    fc.retryBaseSeconds = 0.5;
+    fc.retryMaxSeconds = 1.0;
+    ServeFrontend frontend(testParams(), ServeConfig{}, kDim, fc);
+    const Index tenant = frontend.registerTenant({"capped", 1, 2});
+    const Index s =
+        frontend.createSession(tenant, sampleTokens(8, kDim, 115));
+    const Matrix token = sampleTokens(1, kDim, 116);
+    for (Index i = 0; i < 2; ++i)
+        ASSERT_EQ(frontend.trySubmit(s, token.row(0)),
+                  SubmitResult::Accepted);
+    // Consecutive temporary rejections double the hint from the base
+    // up to the cap.
+    const auto first = frontend.admit(s, token.row(0));
+    EXPECT_EQ(first.result, SubmitResult::QuotaExceeded);
+    EXPECT_DOUBLE_EQ(first.retryAfterSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(frontend.admit(s, token.row(0)).retryAfterSeconds,
+                     1.0);
+    EXPECT_DOUBLE_EQ(frontend.admit(s, token.row(0)).retryAfterSeconds,
+                     1.0); // capped at retryMaxSeconds
+    // Draining re-opens admission; an acceptance resets the streak,
+    // so the next rejection starts over at the base.
+    EXPECT_EQ(frontend.flushOnce().size(), 2u);
+    const auto accepted = frontend.admit(s, token.row(0));
+    EXPECT_EQ(accepted.result, SubmitResult::Accepted);
+    EXPECT_DOUBLE_EQ(accepted.retryAfterSeconds, 0.0);
+    ASSERT_EQ(frontend.trySubmit(s, token.row(0)),
+              SubmitResult::Accepted);
+    const auto again = frontend.admit(s, token.row(0));
+    EXPECT_EQ(again.result, SubmitResult::QuotaExceeded);
+    EXPECT_DOUBLE_EQ(again.retryAfterSeconds, 0.5);
+}
+
+#ifndef CTA_FAULT_DISABLED
+TEST(ServeFrontendTest, ForcedQueueDelayExpiryLeavesStreamsIntact)
+{
+    const auto params = testParams();
+    FrontendConfig fc;
+    fc.shards = 1;
+    ServeFrontend frontend(params, ServeConfig{}, kDim, fc);
+    const Index alpha = frontend.registerTenant({"alpha", 1, 16});
+    const Index beta = frontend.registerTenant({"beta", 1, 16});
+    const Matrix ctx_a = sampleTokens(8, kDim, 120);
+    const Matrix ctx_b = sampleTokens(8, kDim, 121);
+    const Index sa = frontend.createSession(alpha, ctx_a);
+    const Index sb = frontend.createSession(beta, ctx_b);
+    const Matrix steps = sampleTokens(4, kDim, 122);
+
+    // Arm only the queue-delay site at rate 1: every dispatched step
+    // is treated as having overstayed its deadline.
+    cta::fault::FaultConfig injecting;
+    injecting.seed = 11;
+    injecting.rate = 1.0;
+    injecting.sites =
+        1u << static_cast<unsigned>(cta::fault::Site::QueueDelay);
+    cta::fault::setConfig(injecting);
+    for (Index i = 0; i < 2; ++i) {
+        ASSERT_EQ(frontend.trySubmit(sa, steps.row(i)),
+                  SubmitResult::Accepted);
+        ASSERT_EQ(frontend.trySubmit(sb, steps.row(2 + i)),
+                  SubmitResult::Accepted);
+    }
+    const auto expired = frontend.flushOnce();
+    cta::fault::setConfig(cta::fault::FaultConfig{});
+    ASSERT_EQ(expired.size(), 4u);
+    for (const Completion &c : expired)
+        EXPECT_EQ(c.status, StepStatus::Expired);
+    // The forced expiries are charged to the right tenants...
+    EXPECT_EQ(frontend.tenantCounters(alpha).expired, 2u);
+    EXPECT_EQ(frontend.tenantCounters(beta).expired, 2u);
+    EXPECT_EQ(frontend.tenantCounters(alpha).completed, 0u);
+    EXPECT_EQ(frontend.tenantCounters(beta).completed, 0u);
+
+    // ...and no expired step touched any stream: with the fault
+    // disarmed the same steps complete bit-identically to reference
+    // sessions that never saw the expired attempts.
+    DecodeSession ref_a(params, ServeConfig{}, kDim);
+    DecodeSession ref_b(params, ServeConfig{}, kDim);
+    ref_a.prefill(ctx_a);
+    ref_b.prefill(ctx_b);
+    for (Index i = 0; i < 2; ++i) {
+        ASSERT_EQ(frontend.trySubmit(sa, steps.row(i)),
+                  SubmitResult::Accepted);
+        ASSERT_EQ(frontend.trySubmit(sb, steps.row(2 + i)),
+                  SubmitResult::Accepted);
+    }
+    const auto done = frontend.flushOnce();
+    ASSERT_EQ(done.size(), 4u);
+    Index seen_a = 0;
+    Index seen_b = 0;
+    for (const Completion &c : done) {
+        ASSERT_EQ(c.status, StepStatus::Ok);
+        const Matrix want =
+            c.session == sa ? ref_a.step(steps.row(seen_a++))
+                            : ref_b.step(steps.row(2 + seen_b++));
+        EXPECT_TRUE(bitIdentical(c.output, want));
+    }
+    EXPECT_EQ(seen_a, 2);
+    EXPECT_EQ(seen_b, 2);
+}
+#endif // CTA_FAULT_DISABLED
 
 // ---- load generator ----------------------------------------------
 
